@@ -1,0 +1,38 @@
+//===- bench/BenchUtil.h - Shared helpers for experiment harnesses --------===//
+///
+/// \file
+/// Small shared pieces for the table-reproducing benchmark harnesses: the
+/// byteswap source generator (Figure 3) and row printing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DENALI_BENCH_BENCHUTIL_H
+#define DENALI_BENCH_BENCHUTIL_H
+
+#include "support/StringExtras.h"
+
+#include <cstdio>
+#include <string>
+
+namespace denali {
+namespace bench {
+
+/// The Figure 3 byteswap program for \p N bytes.
+inline std::string byteswapSource(unsigned N) {
+  std::string Body = "(\\var (r long 0)\n  (\\semi\n";
+  for (unsigned I = 0; I < N; ++I)
+    Body += strFormat("    (:= (r (\\storeb r %u (\\selectb a %u))))\n", I,
+                      N - 1 - I);
+  Body += "    (:= (\\res r))))";
+  return strFormat("(\\procdecl byteswap%u ((a long)) long\n  %s)", N,
+                   Body.c_str());
+}
+
+inline void banner(const char *Id, const char *Title) {
+  std::printf("\n=== %s: %s ===\n", Id, Title);
+}
+
+} // namespace bench
+} // namespace denali
+
+#endif // DENALI_BENCH_BENCHUTIL_H

@@ -1,0 +1,81 @@
+//===- bench/bench_sat.cpp - CDCL solver microbenchmarks ------------------===//
+//
+// Microbenchmarks of the SAT substrate (the CHAFF stand-in): pigeonhole
+// refutations (hard UNSAT), random 3-SAT near the phase transition, and
+// the cardinality encodings used by the scheduler constraints.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sat/Encodings.h"
+#include "sat/Solver.h"
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+using namespace denali::sat;
+
+static void addPigeonhole(Solver &S, int Pigeons, int Holes) {
+  auto VarOf = [&](int P, int H) { return P * Holes + H; };
+  for (int I = 0; I < Pigeons * Holes; ++I)
+    S.newVar();
+  for (int P = 0; P < Pigeons; ++P) {
+    ClauseLits Row;
+    for (int H = 0; H < Holes; ++H)
+      Row.push_back(Lit::pos(VarOf(P, H)));
+    S.addClause(Row);
+  }
+  for (int H = 0; H < Holes; ++H)
+    for (int P1 = 0; P1 < Pigeons; ++P1)
+      for (int P2 = P1 + 1; P2 < Pigeons; ++P2)
+        S.addClause(Lit::neg(VarOf(P1, H)), Lit::neg(VarOf(P2, H)));
+}
+
+static void BM_SatPigeonhole(benchmark::State &State) {
+  int Holes = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    Solver S;
+    addPigeonhole(S, Holes + 1, Holes);
+    benchmark::DoNotOptimize(S.solve());
+  }
+}
+BENCHMARK(BM_SatPigeonhole)->Arg(5)->Arg(6)->Arg(7)->Arg(8);
+
+static void BM_SatRandom3Sat(benchmark::State &State) {
+  int NumVars = static_cast<int>(State.range(0));
+  int NumClauses = static_cast<int>(NumVars * 4.26);
+  std::mt19937 Rng(12345);
+  for (auto _ : State) {
+    Solver S;
+    for (int I = 0; I < NumVars; ++I)
+      S.newVar();
+    for (int I = 0; I < NumClauses; ++I) {
+      ClauseLits C;
+      for (int J = 0; J < 3; ++J)
+        C.push_back(Lit(static_cast<Var>(Rng() % NumVars), Rng() & 1));
+      S.addClause(C);
+    }
+    benchmark::DoNotOptimize(S.solve());
+  }
+}
+BENCHMARK(BM_SatRandom3Sat)->Arg(50)->Arg(100)->Arg(150);
+
+static void BM_AtMostOneEncoding(benchmark::State &State) {
+  auto Style = static_cast<AtMostOneStyle>(State.range(1));
+  int Width = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    Solver S;
+    ClauseLits Group;
+    for (int I = 0; I < Width; ++I)
+      Group.push_back(Lit::pos(S.newVar()));
+    addAtMostOne(S, Group, Style);
+    benchmark::DoNotOptimize(S.numClauses());
+  }
+}
+BENCHMARK(BM_AtMostOneEncoding)
+    ->Args({64, 0 /*Pairwise*/})
+    ->Args({64, 1 /*Ladder*/})
+    ->Args({256, 0})
+    ->Args({256, 1});
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+//===- examples/custom_axioms.cpp - Program-specific facts ----------------===//
+//
+// Section 4: "a Denali source program may include axioms ... a powerful
+// substitute for conventional macros", and trust annotations become ground
+// axioms. This example:
+//
+//   1. defines an `avg` operator by axiom, then superoptimizes a use of
+//      it (the axiom gives the code generator its implementation);
+//   2. adds the ground fact that a register is a power-of-two-aligned
+//      pointer (low bits zero), letting an OR become the cheaper
+//      scaled-add-capable form;
+//   3. computes the "least common power of two" of two registers, one of
+//      the paper's section 8 tests.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Superoptimizer.h"
+
+#include <cstdio>
+
+using namespace denali;
+
+static bool show(driver::Superoptimizer &Opt, const char *Title,
+                 driver::GmaResult R) {
+  std::printf("=== %s ===\n", Title);
+  if (!R.ok()) {
+    std::printf("error: %s\n", R.Error.c_str());
+    return false;
+  }
+  std::printf("%u cycles, %zu instructions\n%s\n", R.Search.Cycles,
+              R.Search.Program.Instrs.size(),
+              R.Search.Program.toString().c_str());
+  if (auto Err = Opt.verify(R)) {
+    std::printf("verification FAILED: %s\n", Err->c_str());
+    return false;
+  }
+  std::printf("verified.\n\n");
+  return true;
+}
+
+int main() {
+  // --- 1. A defined operator. ---------------------------------------------
+  {
+    driver::Superoptimizer Opt;
+    ir::Context &Ctx = Opt.context();
+    Ctx.Ops.declareOp("avg", 2);
+    std::string Err;
+    // Floor-average without overflow: (a & b) + ((a ^ b) >> 1).
+    if (!Opt.addAxiomsText(R"(
+          (\axiom (forall (a b) (pats (avg a b))
+            (eq (avg a b)
+                (\add64 (\and64 a b) (\shr64 (\xor64 a b) 1)))))
+        )", &Err)) {
+      std::printf("axiom error: %s\n", Err.c_str());
+      return 1;
+    }
+    ir::TermId Goal = Ctx.Terms.make(
+        *Ctx.Ops.lookup("avg"),
+        {Ctx.Terms.makeVar("a"), Ctx.Terms.makeVar("b")});
+    if (!show(Opt, "avg(a, b) via a program axiom",
+              Opt.compileGoals("avg", {{"res", Goal}})))
+      return 1;
+  }
+
+  // --- 2. A trust annotation as a ground axiom. ----------------------------
+  {
+    driver::Superoptimizer Opt;
+    ir::Context &Ctx = Opt.context();
+    std::string Err;
+    // The programmer promises: tag contains only low-3-bit values, and p
+    // is 8-aligned, so p | tag = p + tag (provable from and-facts; here we
+    // state the consequence directly, as \trust would).
+    if (!Opt.addAxiomsText(R"(
+          (\axiom (forall (x) (pats (\or64 p x)) (eq (\or64 p x) (\add64 p x))))
+        )", &Err)) {
+      std::printf("axiom error: %s\n", Err.c_str());
+      return 1;
+    }
+    // Goal: (p | tag) * 4 + 1 — with the trust fact this is s4addq of an
+    // addq, or even one lda-style addq chain.
+    ir::TermId P = Ctx.Terms.makeVar("p");
+    ir::TermId Tag = Ctx.Terms.makeVar("tag");
+    ir::TermId Goal = Ctx.Terms.makeBuiltin(
+        ir::Builtin::Add64,
+        {Ctx.Terms.makeBuiltin(
+             ir::Builtin::Mul64,
+             {Ctx.Terms.makeBuiltin(ir::Builtin::Or64, {P, Tag}),
+              Ctx.Terms.makeConst(4)}),
+         Ctx.Terms.makeConst(1)});
+    if (!show(Opt, "(p | tag)*4 + 1 with a trust axiom",
+              Opt.compileGoals("tagged", {{"res", Goal}})))
+      return 1;
+  }
+
+  // --- 3. Least common power of two (section 8). ---------------------------
+  {
+    driver::Superoptimizer Opt;
+    ir::Context &Ctx = Opt.context();
+    ir::TermId AB = Ctx.Terms.makeBuiltin(
+        ir::Builtin::Or64,
+        {Ctx.Terms.makeVar("a"), Ctx.Terms.makeVar("b")});
+    ir::TermId Goal = Ctx.Terms.makeBuiltin(
+        ir::Builtin::And64,
+        {AB, Ctx.Terms.makeBuiltin(ir::Builtin::Neg64, {AB})});
+    if (!show(Opt, "least common power of two: (a|b) & -(a|b)",
+              Opt.compileGoals("lcp2", {{"res", Goal}})))
+      return 1;
+  }
+  return 0;
+}

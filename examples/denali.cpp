@@ -1,0 +1,103 @@
+//===- examples/denali.cpp - Command-line driver --------------------------===//
+//
+// The denali tool: compiles a Denali source file (the paper's LISP-like
+// input syntax, Figure 6) to annotated EV6 assembly on stdout.
+//
+//   denali [options] file.dnl
+//     --max-cycles N     budget ceiling (default 16)
+//     --binary-search    probe budgets by binary search (default linear)
+//     --show-nops        print nops in unfilled issue slots (Figure 4 style)
+//     --no-verify        skip differential verification
+//     --stats            print matcher/SAT statistics per GMA
+//     --dump-cnf DIR     write each probe's CNF in DIMACS format
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Superoptimizer.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace denali;
+
+int main(int argc, char **argv) {
+  const char *Path = nullptr;
+  bool ShowNops = false, Verify = true, Stats = false;
+  driver::Options Opts;
+  Opts.Search.MaxCycles = 16;
+
+  for (int I = 1; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--max-cycles") && I + 1 < argc) {
+      Opts.Search.MaxCycles = static_cast<unsigned>(std::atoi(argv[++I]));
+    } else if (!std::strcmp(argv[I], "--binary-search")) {
+      Opts.Search.Strategy = codegen::SearchStrategy::Binary;
+    } else if (!std::strcmp(argv[I], "--show-nops")) {
+      ShowNops = true;
+    } else if (!std::strcmp(argv[I], "--no-verify")) {
+      Verify = false;
+    } else if (!std::strcmp(argv[I], "--stats")) {
+      Stats = true;
+    } else if (!std::strcmp(argv[I], "--dump-cnf") && I + 1 < argc) {
+      Opts.Search.DumpCnfDir = argv[++I];
+    } else if (argv[I][0] != '-') {
+      Path = argv[I];
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", argv[I]);
+      return 2;
+    }
+  }
+  if (!Path) {
+    std::fprintf(stderr,
+                 "usage: denali [--max-cycles N] [--binary-search] "
+                 "[--show-nops] [--no-verify] [--stats] [--dump-cnf DIR] "
+                 "file.dnl\n");
+    return 2;
+  }
+
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "cannot open '%s'\n", Path);
+    return 1;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+
+  driver::Superoptimizer Opt(Opts);
+  driver::CompileResult R = Opt.compileSource(Buf.str());
+  if (!R.ok()) {
+    std::fprintf(stderr, "%s: %s\n", Path, R.Error.c_str());
+    return 1;
+  }
+  bool AllOk = true;
+  for (driver::GmaResult &G : R.Gmas) {
+    if (!G.ok()) {
+      std::fprintf(stderr, "%s: %s: %s\n", Path, G.Gma.Name.c_str(),
+                   G.Error.c_str());
+      AllOk = false;
+      continue;
+    }
+    if (Stats) {
+      std::printf("; %s: match %.2fs (%u rounds, %zu nodes); "
+                  "max live regs %u; budgets:",
+                  G.Gma.Name.c_str(), G.MatchSeconds, G.Matching.Rounds,
+                  G.Matching.FinalNodes,
+                  alpha::maxLiveRegisters(G.Search.Program));
+      for (const codegen::Probe &P : G.Search.Probes)
+        std::printf(" K=%u[%dv/%lluc/%s]", P.Cycles, P.Stats.Vars,
+                    static_cast<unsigned long long>(P.Stats.Clauses),
+                    P.Result == sat::SolveResult::Sat ? "sat" : "unsat");
+      std::printf("\n");
+    }
+    std::printf("%s\n", G.Search.Program.toString(ShowNops).c_str());
+    if (Verify) {
+      if (auto Err = Opt.verify(G)) {
+        std::fprintf(stderr, "%s: %s: verification FAILED: %s\n", Path,
+                     G.Gma.Name.c_str(), Err->c_str());
+        AllOk = false;
+      }
+    }
+  }
+  return AllOk ? 0 : 1;
+}

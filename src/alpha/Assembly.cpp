@@ -1,0 +1,166 @@
+//===- alpha/Assembly.cpp -------------------------------------------------===//
+
+#include "alpha/Assembly.h"
+
+#include "support/StringExtras.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace denali;
+using namespace denali::alpha;
+
+std::string Program::toString(bool ShowNops) const {
+  // Physical register map: inputs take the Alpha argument registers
+  // ($16..$21), results $0, temporaries from $1 up, memory pseudo-regs $M*.
+  std::map<uint32_t, std::string> PhysName;
+  std::set<unsigned> UsedNumbers;
+  unsigned NextArg = 16;
+  unsigned NextMem = 0;
+  for (const ProgramInput &In : Inputs) {
+    if (In.IsMemory) {
+      PhysName[In.Reg] = strFormat("$M%u", NextMem++);
+    } else {
+      PhysName[In.Reg] = strFormat("$%u", NextArg);
+      UsedNumbers.insert(NextArg++);
+    }
+  }
+  unsigned NextTemp = 1;
+  auto nameOf = [&](uint32_t VReg) -> std::string {
+    auto It = PhysName.find(VReg);
+    if (It != PhysName.end())
+      return It->second;
+    while (UsedNumbers.count(NextTemp))
+      ++NextTemp;
+    UsedNumbers.insert(NextTemp);
+    std::string N = strFormat("$%u", NextTemp);
+    PhysName[VReg] = N;
+    return N;
+  };
+
+  std::string Out;
+  Out += strFormat("%s:\n", Name.empty() ? "anon" : Name.c_str());
+  // Register map banner (Figure 4 prints one).
+  Out += "        # register map:";
+  for (const ProgramInput &In : Inputs)
+    Out += strFormat(" %s=%s", In.Name.c_str(), PhysName[In.Reg].c_str());
+  Out += '\n';
+
+  std::vector<const Instruction *> Sorted;
+  Sorted.reserve(Instrs.size());
+  for (const Instruction &I : Instrs)
+    Sorted.push_back(&I);
+  std::stable_sort(Sorted.begin(), Sorted.end(),
+                   [](const Instruction *A, const Instruction *B) {
+                     if (A->Cycle != B->Cycle)
+                       return A->Cycle < B->Cycle;
+                     return unitIndex(A->IssueUnit) < unitIndex(B->IssueUnit);
+                   });
+
+  size_t Idx = 0;
+  for (unsigned Cycle = 0; Cycle < Cycles; ++Cycle) {
+    bool AnyThisCycle = false;
+    for (unsigned U = 0; U < NumUnits; ++U) {
+      const Instruction *I = nullptr;
+      if (Idx < Sorted.size() && Sorted[Idx]->Cycle == Cycle &&
+          unitIndex(Sorted[Idx]->IssueUnit) == U)
+        I = Sorted[Idx++];
+      if (!I) {
+        if (ShowNops)
+          Out += strFormat("        nop                          # %u\n",
+                           Cycle);
+        continue;
+      }
+      AnyThisCycle = true;
+      std::string Text = "        " + I->Mnemonic;
+      auto opText = [&](const Operand &S) {
+        return S.isReg() ? nameOf(S.Reg) : formatConstant(S.Imm);
+      };
+      if (I->Mem == MemKind::Load) {
+        // ldq Rd, disp(Rbase)   (memory version register in the comment)
+        Text += strFormat(" %s, %lld(%s)", nameOf(I->Dest).c_str(),
+                          static_cast<long long>(I->Disp),
+                          opText(I->Srcs[1]).c_str());
+        Text += strFormat("  # mem=%s", opText(I->Srcs[0]).c_str());
+      } else if (I->Mem == MemKind::Store) {
+        Text += strFormat(" %s, %lld(%s)", opText(I->Srcs[2]).c_str(),
+                          static_cast<long long>(I->Disp),
+                          opText(I->Srcs[1]).c_str());
+        Text += strFormat("  # mem %s -> %s", opText(I->Srcs[0]).c_str(),
+                          nameOf(I->Dest).c_str());
+      } else {
+        // Operands in assembly order: sources then destination (the
+        // paper's three-operand style with the destination last).
+        bool First = true;
+        for (const Operand &S : I->Srcs) {
+          Text += First ? " " : ", ";
+          First = false;
+          Text += opText(S);
+        }
+        Text += First ? " " : ", ";
+        Text += nameOf(I->Dest);
+      }
+      while (Text.size() < 37)
+        Text += ' ';
+      Text += strFormat("# %u, %s", I->Cycle, unitName(I->IssueUnit));
+      if (I->Unused)
+        Text += " (unused)";
+      if (!I->Comment.empty())
+        Text += " ; " + I->Comment;
+      Out += Text + '\n';
+    }
+    (void)AnyThisCycle;
+  }
+  // Output map.
+  for (const auto &[TargetName, VReg] : Outputs)
+    Out += strFormat("        # result %s in %s\n", TargetName.c_str(),
+                     nameOf(VReg).c_str());
+  Out += strFormat("        # %u cycles, %zu instructions\n", Cycles,
+                   Instrs.size());
+  return Out;
+}
+
+unsigned denali::alpha::maxLiveRegisters(const Program &P) {
+  // Live range of a vreg: from its definition cycle to its last read
+  // (outputs stay live through the end). Memory pseudo-registers are not
+  // integer registers and are excluded.
+  std::map<uint32_t, std::pair<unsigned, unsigned>> Range; // def, lastUse
+  std::set<uint32_t> MemRegs;
+  for (const ProgramInput &In : P.Inputs) {
+    (In.IsMemory ? (void)MemRegs.insert(In.Reg)
+                 : (void)Range.emplace(In.Reg,
+                                       std::make_pair(0u, 0u)));
+  }
+  for (const Instruction &I : P.Instrs) {
+    if (I.Mem == MemKind::Store)
+      MemRegs.insert(I.Dest);
+    else
+      Range.emplace(I.Dest, std::make_pair(I.Cycle + I.Latency,
+                                           I.Cycle + I.Latency));
+  }
+  for (const Instruction &I : P.Instrs)
+    for (const Operand &S : I.Srcs)
+      if (S.isReg() && !MemRegs.count(S.Reg)) {
+        auto It = Range.find(S.Reg);
+        if (It != Range.end())
+          It->second.second = std::max(It->second.second, I.Cycle);
+      }
+  for (const auto &[Name, VReg] : P.Outputs) {
+    (void)Name;
+    auto It = Range.find(VReg);
+    if (It != Range.end())
+      It->second.second = std::max(It->second.second, P.Cycles);
+  }
+  unsigned Max = 0;
+  for (unsigned Cycle = 0; Cycle <= P.Cycles; ++Cycle) {
+    unsigned Live = 0;
+    for (const auto &[Reg, R] : Range) {
+      (void)Reg;
+      if (R.first <= Cycle && Cycle <= R.second)
+        ++Live;
+    }
+    Max = std::max(Max, Live);
+  }
+  return Max;
+}

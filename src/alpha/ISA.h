@@ -1,0 +1,126 @@
+//===- alpha/ISA.h - Alpha EV6 machine description --------------*- C++ -*-===//
+///
+/// \file
+/// The architectural description consumed by the constraint generator
+/// (paper, Figure 1): which functional units can execute which
+/// instructions, instruction latencies, and the EV6's clustered layout.
+///
+/// The EV6 is a quad-issue processor with four integer execution units in
+/// two clusters — upper/lower (U/L) by capability, 0/1 by cluster:
+///
+///           cluster 0     cluster 1
+///   upper      U0            U1       (shifter + byte ops live here)
+///   lower      L0            L1       (loads/stores live here)
+///
+/// A result computed on one cluster is available to the other one cycle
+/// later (the paper's "multiple register banks and extra delays for moving
+/// values between banks"). Figure 4's "unused" instruction exists exactly
+/// because of this constraint.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DENALI_ALPHA_ISA_H
+#define DENALI_ALPHA_ISA_H
+
+#include "ir/Term.h"
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace denali {
+namespace alpha {
+
+/// The four integer issue slots of the EV6.
+enum class Unit : uint8_t { U0 = 0, U1 = 1, L0 = 2, L1 = 3 };
+constexpr unsigned NumUnits = 4;
+constexpr unsigned NumClusters = 2;
+
+inline unsigned unitIndex(Unit U) { return static_cast<unsigned>(U); }
+inline Unit unitFromIndex(unsigned I) { return static_cast<Unit>(I); }
+inline unsigned clusterOf(Unit U) {
+  return (U == Unit::U0 || U == Unit::L0) ? 0 : 1;
+}
+const char *unitName(Unit U);
+
+/// Unit-mask bits.
+constexpr uint8_t MaskU0 = 1 << 0;
+constexpr uint8_t MaskU1 = 1 << 1;
+constexpr uint8_t MaskL0 = 1 << 2;
+constexpr uint8_t MaskL1 = 1 << 3;
+constexpr uint8_t MaskUpper = MaskU0 | MaskU1;
+constexpr uint8_t MaskLower = MaskL0 | MaskL1;
+constexpr uint8_t MaskAll = MaskUpper | MaskLower;
+
+/// Memory behaviour of an instruction.
+enum class MemKind : uint8_t { None, Load, Store };
+
+/// One instruction of the target, tied to the operator it computes.
+struct InstrDesc {
+  ir::OpId Op = 0;
+  std::string Mnemonic;
+  uint8_t UnitMask = MaskAll;
+  unsigned Latency = 1;
+  MemKind Mem = MemKind::None;
+  /// True if the *last* source operand may be an 8-bit literal (the Alpha
+  /// ALU-literal form).
+  bool AllowsImm8 = true;
+};
+
+/// Machine model selector. The paper notes retargeting (to the Itanium)
+/// mostly means new axioms plus a new architectural description; the
+/// second model demonstrates the description is data, not code:
+///  * EV6 — the paper's target: clustered quad issue, upper-only shifter
+///    and byte unit, U1-only multiplier, lower-only memory pipes;
+///  * SimpleQuad — an idealized single-cluster quad-issue machine where
+///    every unit executes everything (an upper bound on EV6 schedules).
+enum class Machine { EV6, SimpleQuad };
+
+/// The machine description: operator -> instruction table plus global
+/// timing parameters.
+class ISA {
+public:
+  explicit ISA(ir::Context &Ctx, Machine Model = Machine::EV6);
+
+  Machine model() const { return Model; }
+
+  /// \returns the instruction computing \p Op, or nullptr if \p Op is not a
+  /// machine operation.
+  const InstrDesc *descFor(ir::OpId Op) const;
+
+  /// The pseudo-instruction materializing a 64-bit constant into a
+  /// register (in reality lda/ldah sequences; modeled as one cycle, any
+  /// unit, which matches the common 16-bit-immediate case).
+  const InstrDesc &constMaterialize() const { return Ldiq; }
+
+  /// Extra cycles before a result is usable on the other cluster.
+  unsigned crossClusterDelay() const {
+    return Model == Machine::EV6 ? 1 : 0;
+  }
+
+  /// Cache-hit load latency (ldq).
+  unsigned loadHitLatency() const { return 3; }
+  /// Latency for loads annotated \miss in the source program.
+  unsigned loadMissLatency() const { return MissLatency; }
+  void setLoadMissLatency(unsigned L) { MissLatency = L; }
+
+  /// Issue width per cycle (quad issue).
+  unsigned issueWidth() const { return 4; }
+
+  /// All instruction descriptors (for the brute-force baseline's repertoire
+  /// and for documentation dumps).
+  const std::vector<InstrDesc> &allInstructions() const { return Table; }
+
+private:
+  Machine Model;
+  std::vector<InstrDesc> Table;
+  std::unordered_map<ir::OpId, size_t> ByOp;
+  InstrDesc Ldiq;
+  unsigned MissLatency = 13;
+};
+
+} // namespace alpha
+} // namespace denali
+
+#endif // DENALI_ALPHA_ISA_H

@@ -1,0 +1,285 @@
+//===- alpha/Simulator.cpp ------------------------------------------------===//
+
+#include "alpha/Simulator.h"
+
+#include "support/StringExtras.h"
+
+#include <algorithm>
+#include <array>
+#include <map>
+
+using namespace denali;
+using namespace denali::alpha;
+
+namespace {
+
+/// Computes the dataflow value of every register (inputs + instruction
+/// results). Returns false with \p Error set on failure.
+bool computeRegValues(const ir::Context &Ctx, const Program &P,
+                      const std::unordered_map<std::string, ir::Value> &Inputs,
+                      std::unordered_map<uint32_t, ir::Value> &Regs,
+                      std::string &Error);
+
+} // namespace
+
+RunResult denali::alpha::runProgram(
+    const ir::Context &Ctx, const Program &P,
+    const std::unordered_map<std::string, ir::Value> &Inputs) {
+  RunResult Result;
+  std::unordered_map<uint32_t, ir::Value> Regs;
+  if (!computeRegValues(Ctx, P, Inputs, Regs, Result.Error))
+    return Result;
+
+  for (const auto &[Name, VReg] : P.Outputs) {
+    auto It = Regs.find(VReg);
+    if (It == Regs.end()) {
+      Result.Error = strFormat("output '%s' (v%u) never written",
+                               Name.c_str(), VReg);
+      return Result;
+    }
+    Result.Outputs.emplace(Name, It->second);
+  }
+  Result.Ok = true;
+  return Result;
+}
+
+namespace {
+
+bool computeRegValues(const ir::Context &Ctx, const Program &P,
+                      const std::unordered_map<std::string, ir::Value> &Inputs,
+                      std::unordered_map<uint32_t, ir::Value> &Regs,
+                      std::string &Error) {
+  for (const ProgramInput &In : P.Inputs) {
+    auto It = Inputs.find(In.Name);
+    if (It == Inputs.end()) {
+      Error = strFormat("missing input '%s'", In.Name.c_str());
+      return false;
+    }
+    Regs.emplace(In.Reg, It->second);
+  }
+
+  // Execute in dependency order: repeat sweeps until all writes land (a
+  // valid program is acyclic, so this terminates in <= N sweeps; schedule
+  // order is usually already topological, making one sweep typical).
+  std::vector<const Instruction *> PendingInstrs;
+  for (const Instruction &I : P.Instrs)
+    PendingInstrs.push_back(&I);
+  size_t LastPending = PendingInstrs.size() + 1;
+  while (!PendingInstrs.empty() && PendingInstrs.size() < LastPending) {
+    LastPending = PendingInstrs.size();
+    std::vector<const Instruction *> Next;
+    for (const Instruction *I : PendingInstrs) {
+      std::vector<ir::Value> Args;
+      bool Ready = true;
+      for (const Operand &S : I->Srcs) {
+        if (!S.isReg()) {
+          Args.push_back(ir::Value::makeInt(S.Imm));
+          continue;
+        }
+        auto It = Regs.find(S.Reg);
+        if (It == Regs.end()) {
+          Ready = false;
+          break;
+        }
+        Args.push_back(It->second);
+      }
+      if (!Ready) {
+        Next.push_back(I);
+        continue;
+      }
+      const ir::OpInfo &Info = Ctx.Ops.info(I->Op);
+      std::optional<ir::Value> V;
+      if (I->Mem == MemKind::Load) {
+        if (Args.size() == 2 && Args[0].isArray() && Args[1].isInt())
+          V = ir::Value::makeInt(
+              Args[0].select(Args[1].asInt() + static_cast<uint64_t>(I->Disp)));
+      } else if (I->Mem == MemKind::Store) {
+        if (Args.size() == 3 && Args[0].isArray() && Args[1].isInt() &&
+            Args[2].isInt())
+          V = Args[0].store(Args[1].asInt() + static_cast<uint64_t>(I->Disp),
+                            Args[2].asInt());
+      } else if (Info.BuiltinOp == ir::Builtin::Const) {
+        // ldiq: materialize the immediate.
+        if (Args.size() != 1 || !Args[0].isInt()) {
+          Error = "malformed ldiq";
+          return false;
+        }
+        V = Args[0];
+      } else if (Info.Kind == ir::OpKind::Builtin) {
+        V = ir::evalBuiltin(Info.BuiltinOp, Args);
+      }
+      if (!V) {
+        Error = strFormat("cannot execute '%s'", I->Mnemonic.c_str());
+        return false;
+      }
+      if (Regs.count(I->Dest)) {
+        Error = strFormat("register v%u written twice", I->Dest);
+        return false;
+      }
+      Regs.emplace(I->Dest, std::move(*V));
+    }
+    PendingInstrs = std::move(Next);
+  }
+  if (!PendingInstrs.empty()) {
+    Error = strFormat(
+        "%zu instructions never became ready (dataflow cycle or missing "
+        "producer)", PendingInstrs.size());
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+std::optional<std::string> denali::alpha::validateMemoryDiscipline(
+    const ir::Context &Ctx, const Program &P,
+    const std::unordered_map<std::string, ir::Value> &Inputs) {
+  // Dataflow ("promised") values per register.
+  std::unordered_map<uint32_t, ir::Value> Regs;
+  std::string Error;
+  if (!computeRegValues(Ctx, P, Inputs, Regs, Error))
+    return Error;
+
+  // The machine's one real memory: the (sole) memory input's contents.
+  std::optional<ir::Value> SharedMem;
+  for (const ProgramInput &In : P.Inputs) {
+    if (!In.IsMemory)
+      continue;
+    if (SharedMem)
+      return std::string("multiple memory inputs; replay supports one");
+    auto It = Inputs.find(In.Name);
+    if (It == Inputs.end())
+      return strFormat("missing memory input '%s'", In.Name.c_str());
+    SharedMem = It->second;
+  }
+  if (!SharedMem)
+    return std::nullopt; // No memory: nothing to check.
+
+  // Replay in schedule order. Within one cycle, loads read the memory
+  // state from before the cycle's stores (loads read early, stores write
+  // at the end of the cycle).
+  std::vector<const Instruction *> Sorted;
+  for (const Instruction &I : P.Instrs)
+    if (I.Mem != MemKind::None)
+      Sorted.push_back(&I);
+  std::stable_sort(Sorted.begin(), Sorted.end(),
+                   [](const Instruction *A, const Instruction *B) {
+                     if (A->Cycle != B->Cycle)
+                       return A->Cycle < B->Cycle;
+                     // Loads before stores within a cycle.
+                     return (A->Mem == MemKind::Load) >
+                            (B->Mem == MemKind::Load);
+                   });
+  for (const Instruction *I : Sorted) {
+    auto RegVal = [&](const Operand &S) -> ir::Value {
+      return S.isReg() ? Regs.at(S.Reg) : ir::Value::makeInt(S.Imm);
+    };
+    uint64_t Addr =
+        RegVal(I->Srcs[1]).asInt() + static_cast<uint64_t>(I->Disp);
+    if (I->Mem == MemKind::Load) {
+      uint64_t Observed = SharedMem->select(Addr);
+      uint64_t Promised = Regs.at(I->Dest).asInt();
+      if (Observed != Promised)
+        return strFormat(
+            "load at cycle %u from address 0x%llx reads 0x%llx from real "
+            "memory but the dataflow semantics promised 0x%llx",
+            I->Cycle, static_cast<unsigned long long>(Addr),
+            static_cast<unsigned long long>(Observed),
+            static_cast<unsigned long long>(Promised));
+    } else {
+      SharedMem = SharedMem->store(Addr, RegVal(I->Srcs[2]).asInt());
+    }
+  }
+
+  // The final real memory must match every memory output's dataflow value.
+  for (const auto &[Name, VReg] : P.Outputs) {
+    auto It = Regs.find(VReg);
+    if (It == Regs.end() || !It->second.isArray())
+      continue;
+    if (!It->second.equals(*SharedMem))
+      return strFormat("final real memory differs from the promised memory "
+                       "value of output '%s'", Name.c_str());
+  }
+  return std::nullopt;
+}
+
+TimingReport denali::alpha::validateTiming(const ISA &Isa, const Program &P) {
+  TimingReport Report;
+
+  // Inputs are ready at cycle 0 on both clusters.
+  // ReadyAt[vreg][cluster] = first cycle at whose *start* the value is
+  // usable on that cluster.
+  std::unordered_map<uint32_t, std::array<unsigned, NumClusters>> ReadyAt;
+  for (const ProgramInput &In : P.Inputs)
+    ReadyAt[In.Reg] = {0, 0};
+
+  // Issue-slot occupancy.
+  std::map<std::pair<unsigned, unsigned>, const Instruction *> Slots;
+
+  // First pass: occupancy, unit legality, producer completion times.
+  for (const Instruction &I : P.Instrs) {
+    const InstrDesc *D = I.Op == Isa.constMaterialize().Op
+                             ? &Isa.constMaterialize()
+                             : Isa.descFor(I.Op);
+    if (!D) {
+      Report.Error = strFormat("'%s' is not a machine instruction",
+                               I.Mnemonic.c_str());
+      return Report;
+    }
+    unsigned UIdx = unitIndex(I.IssueUnit);
+    if (!(D->UnitMask & (1u << UIdx))) {
+      Report.Error = strFormat("'%s' cannot issue on %s", I.Mnemonic.c_str(),
+                               unitName(I.IssueUnit));
+      return Report;
+    }
+    auto Key = std::make_pair(I.Cycle, UIdx);
+    if (Slots.count(Key)) {
+      Report.Error = strFormat("issue slot conflict at cycle %u on %s",
+                               I.Cycle, unitName(I.IssueUnit));
+      return Report;
+    }
+    Slots.emplace(Key, &I);
+
+    unsigned OwnCluster = clusterOf(I.IssueUnit);
+    unsigned Done = I.Cycle + I.Latency; // Usable at start of this cycle.
+    auto &Entry = ReadyAt[I.Dest];
+    Entry[OwnCluster] = Done;
+    // Memory state (a store's "result") is shared between clusters.
+    Entry[1 - OwnCluster] = I.Mem == MemKind::Store
+                                ? Done
+                                : Done + Isa.crossClusterDelay();
+  }
+
+  // Second pass: operand readiness.
+  for (const Instruction &I : P.Instrs) {
+    unsigned Cluster = clusterOf(I.IssueUnit);
+    for (const Operand &S : I.Srcs) {
+      if (!S.isReg())
+        continue;
+      auto It = ReadyAt.find(S.Reg);
+      if (It == ReadyAt.end()) {
+        Report.Error = strFormat("v%u read but never written", S.Reg);
+        return Report;
+      }
+      if (It->second[Cluster] > I.Cycle) {
+        Report.Error = strFormat(
+            "operand v%u of '%s' (cycle %u, %s) ready only at cycle %u on "
+            "cluster %u",
+            S.Reg, I.Mnemonic.c_str(), I.Cycle, unitName(I.IssueUnit),
+            It->second[Cluster], Cluster);
+        return Report;
+      }
+    }
+    unsigned Finish = I.Cycle + I.Latency;
+    Report.Makespan = std::max(Report.Makespan, Finish);
+    if (Finish > P.Cycles) {
+      Report.Error = strFormat(
+          "instruction finishing at cycle %u exceeds budget %u", Finish,
+          P.Cycles);
+      return Report;
+    }
+  }
+
+  Report.Ok = true;
+  return Report;
+}

@@ -1,0 +1,72 @@
+//===- alpha/Simulator.h - Functional & timing simulation ------*- C++ -*-===//
+///
+/// \file
+/// The machine substrate the evaluation runs on (in place of the paper's
+/// real 667 MHz EV6 box):
+///
+///  * the **functional simulator** executes a Program on a machine state
+///    (input values per named input, arrays for memory) and reports the
+///    final value of every output register — this is what the end-to-end
+///    differential tests compare against the GMA's reference evaluation;
+///  * the **timing validator** replays the schedule against the EV6 unit /
+///    latency / cluster model and reports the first violation (operand not
+///    ready, issue-slot conflict, illegal unit) or the achieved makespan.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DENALI_ALPHA_SIMULATOR_H
+#define DENALI_ALPHA_SIMULATOR_H
+
+#include "alpha/Assembly.h"
+#include "alpha/ISA.h"
+#include "ir/Eval.h"
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace denali {
+namespace alpha {
+
+/// Result of a functional run.
+struct RunResult {
+  bool Ok = false;
+  std::string Error;
+  /// Final value per output name (from Program::Outputs).
+  std::unordered_map<std::string, ir::Value> Outputs;
+};
+
+/// Executes \p P with the given input bindings (name -> value).
+/// Instructions execute in dataflow order; each virtual register is
+/// assigned once, so schedule order does not affect values.
+RunResult runProgram(const ir::Context &Ctx, const Program &P,
+                     const std::unordered_map<std::string, ir::Value> &Inputs);
+
+/// Result of a timing validation.
+struct TimingReport {
+  bool Ok = false;
+  std::string Error;       ///< First violation, if any.
+  unsigned Makespan = 0;   ///< Cycles actually needed by the schedule.
+};
+
+/// Replays \p P's schedule against the EV6 model: per-(cycle, unit)
+/// exclusivity, unit legality per opcode, operand readiness including the
+/// cross-cluster delay, and the declared cycle count.
+TimingReport validateTiming(const ISA &Isa, const Program &P);
+
+/// Replays \p P's memory operations in schedule order against one *shared*
+/// memory (the machine's real memory, not the arrays-as-values fiction) and
+/// checks that every load observes exactly the value the dataflow semantics
+/// promised. This catches discipline bugs — a load scheduled after a store
+/// that may alias it, or a speculative store that corrupts memory — which
+/// the purely functional simulator cannot see. \returns an error
+/// description, or std::nullopt if the schedule is memory-sound on this
+/// input.
+std::optional<std::string> validateMemoryDiscipline(
+    const ir::Context &Ctx, const Program &P,
+    const std::unordered_map<std::string, ir::Value> &Inputs);
+
+} // namespace alpha
+} // namespace denali
+
+#endif // DENALI_ALPHA_SIMULATOR_H

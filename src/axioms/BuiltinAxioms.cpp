@@ -1,0 +1,240 @@
+//===- axioms/BuiltinAxioms.cpp -------------------------------------------===//
+
+#include "axioms/BuiltinAxioms.h"
+
+#include "sexpr/Parser.h"
+#include "support/Error.h"
+#include "support/StringExtras.h"
+
+using namespace denali;
+using namespace denali::axioms;
+
+//===----------------------------------------------------------------------===
+// Mathematical axioms (target-independent; paper section 4).
+//===----------------------------------------------------------------------===
+
+const char *denali::axioms::mathAxiomsText() {
+  return R"AX(
+; ---------------- add64: commutative, associative, identity 0 -------------
+(\axiom (forall (x y) (eq (\add64 x y) (\add64 y x))))
+(\axiom (forall (x y z) (pats (\add64 x (\add64 y z)))
+  (eq (\add64 x (\add64 y z)) (\add64 (\add64 x y) z))))
+(\axiom (forall (x y z) (pats (\add64 (\add64 x y) z))
+  (eq (\add64 x (\add64 y z)) (\add64 (\add64 x y) z))))
+(\axiom (forall (x) (eq (\add64 x 0) x)))
+
+; ---------------- sub64 / neg64 -------------------------------------------
+(\axiom (forall (x) (eq (\sub64 x 0) x)))
+(\axiom (forall (x) (eq (\sub64 x x) 0)))
+(\axiom (forall (x y) (pats (\sub64 x y))
+  (eq (\sub64 x y) (\add64 x (\neg64 y)))))
+(\axiom (forall (x) (pats (\neg64 x)) (eq (\neg64 x) (\sub64 0 x))))
+
+; ---------------- mul64: commutative, associative, identities -------------
+(\axiom (forall (x y) (eq (\mul64 x y) (\mul64 y x))))
+(\axiom (forall (x y z) (pats (\mul64 x (\mul64 y z)))
+  (eq (\mul64 x (\mul64 y z)) (\mul64 (\mul64 x y) z))))
+(\axiom (forall (x) (eq (\mul64 x 1) x)))
+(\axiom (forall (x) (eq (\mul64 x 0) 0)))
+(\axiom (forall (x) (pats (\mul64 x 2)) (eq (\mul64 x 2) (\add64 x x))))
+
+; ---------------- shifts ---------------------------------------------------
+; The Figure 2 fact: k * 2**n = k << n.
+(\axiom (forall (k n) (pats (\mul64 k (\pow 2 n)))
+  (eq (\mul64 k (\pow 2 n)) (\shl64 k n))))
+(\axiom (forall (x) (eq (\shl64 x 0) x)))
+(\axiom (forall (x) (eq (\shr64 x 0) x)))
+(\axiom (forall (x) (pats (\shl64 x 1)) (eq (\shl64 x 1) (\add64 x x))))
+
+; ---------------- boolean operations ---------------------------------------
+(\axiom (forall (x y) (eq (\or64 x y) (\or64 y x))))
+(\axiom (forall (x y z) (pats (\or64 x (\or64 y z)))
+  (eq (\or64 x (\or64 y z)) (\or64 (\or64 x y) z))))
+(\axiom (forall (x y z) (pats (\or64 (\or64 x y) z))
+  (eq (\or64 x (\or64 y z)) (\or64 (\or64 x y) z))))
+(\axiom (forall (x) (eq (\or64 x 0) x)))
+(\axiom (forall (x) (eq (\or64 x x) x)))
+(\axiom (forall (x y) (eq (\and64 x y) (\and64 y x))))
+(\axiom (forall (x y z) (pats (\and64 x (\and64 y z)))
+  (eq (\and64 x (\and64 y z)) (\and64 (\and64 x y) z))))
+(\axiom (forall (x) (eq (\and64 x 0xffffffffffffffff) x)))
+(\axiom (forall (x) (eq (\and64 x 0) 0)))
+(\axiom (forall (x) (eq (\and64 x x) x)))
+(\axiom (forall (x y) (eq (\xor64 x y) (\xor64 y x))))
+(\axiom (forall (x) (eq (\xor64 x 0) x)))
+(\axiom (forall (x) (eq (\xor64 x x) 0)))
+(\axiom (forall (x) (pats (\not64 (\not64 x)))
+  (eq (\not64 (\not64 x)) x)))
+; Disjoint-or is add: the clause form
+;   (or (neq (and64 x y) 0) (eq (or64 x y) (add64 x y)))
+; is sound but explosive — every instantiation plants fresh or64/add64
+; nodes that feed the AC saturation (measured 2500x slower on byteswap4
+; with an or64 trigger, and still divergent with an and64 trigger), so it
+; is left out; programs that need it can state the consequence directly
+; with \assume or a program axiom, as examples/custom_axioms.cpp does.
+
+; ---------------- select / store (arrays as values) ------------------------
+(\axiom (forall (a i x) (pats (\select (\store a i x) i))
+  (eq (\select (\store a i x) i) x)))
+; The select-store axiom of section 4: writing element i does not change
+; element j when i != j.
+(\axiom (forall (a i j x) (pats (\select (\store a i x) j))
+  (or (eq i j)
+      (eq (\select (\store a i x) j) (\select a j)))))
+; Independent stores commute.
+(\axiom (forall (a i j x y) (pats (\store (\store a i x) j y))
+  (or (eq i j)
+      (eq (\store (\store a i x) j y) (\store (\store a j y) i x)))))
+
+; ---------------- selectb / storeb (integers as byte arrays) ---------------
+(\axiom (forall (w i x) (pats (\selectb (\storeb w i x) i))
+  (eq (\selectb (\storeb w i x) i) (\selectb x 0))))
+; Byte indices act modulo 8 (the Alpha uses an address's low 3 bits), so
+; the no-interference guard compares the *masked* indices — plain i = j
+; would be unsound for indices past 7 (found by the axiom-soundness suite).
+(\axiom (forall (w i j x) (pats (\selectb (\storeb w i x) j))
+  (or (eq (\and64 i 7) (\and64 j 7))
+      (eq (\selectb (\storeb w i x) j) (\selectb w j)))))
+(\axiom (forall (w i j x y) (pats (\storeb (\storeb w i x) j y))
+  (or (eq (\and64 i 7) (\and64 j 7))
+      (eq (\storeb (\storeb w i x) j y) (\storeb (\storeb w j y) i x)))))
+; Byte extraction as shift-and-mask (gives shift-based alternatives).
+(\axiom (forall (w i) (pats (\selectb w i))
+  (eq (\selectb w i) (\and64 (\shr64 w (\mul64 8 i)) 0xff))))
+(\axiom (forall (w i) (pats (\selectw w i))
+  (eq (\selectw w i) (\and64 (\shr64 w (\mul64 8 i)) 0xffff))))
+
+; ---------------- extensions ----------------------------------------------
+(\axiom (forall (x) (pats (\zext8 x)) (eq (\zext8 x) (\and64 x 0xff))))
+(\axiom (forall (x) (pats (\zext16 x)) (eq (\zext16 x) (\and64 x 0xffff))))
+(\axiom (forall (x) (pats (\zext32 x))
+  (eq (\zext32 x) (\and64 x 0xffffffff))))
+(\axiom (forall (x) (pats (\sext16 x))
+  (eq (\sext16 x) (\sar64 (\shl64 x 48) 48))))
+(\axiom (forall (x) (pats (\sext32 x))
+  (eq (\sext32 x) (\sar64 (\shl64 x 32) 32))))
+(\axiom (forall (x) (pats (\zext8 x)) (eq (\zext8 x) (\selectb x 0))))
+(\axiom (forall (x) (pats (\zext16 x)) (eq (\zext16 x) (\selectw x 0))))
+
+; ---------------- comparisons ----------------------------------------------
+(\axiom (forall (x) (eq (\cmpult x x) 0)))
+(\axiom (forall (x) (eq (\cmpeq x x) 1)))
+(\axiom (forall (x y) (eq (\cmpeq x y) (\cmpeq y x))))
+; Non-strict vs strict: x <=u y  ==  (y <u x) ^ 1, and the signed twin.
+(\axiom (forall (x y) (pats (\cmpule x y))
+  (eq (\cmpule x y) (\xor64 (\cmpult y x) 1))))
+(\axiom (forall (x y) (pats (\cmple x y))
+  (eq (\cmple x y) (\xor64 (\cmplt y x) 1))))
+
+; ---------------- De Morgan and absorption ----------------------------------
+(\axiom (forall (x y) (pats (\not64 (\and64 x y)))
+  (eq (\not64 (\and64 x y)) (\or64 (\not64 x) (\not64 y)))))
+(\axiom (forall (x y) (pats (\not64 (\or64 x y)))
+  (eq (\not64 (\or64 x y)) (\and64 (\not64 x) (\not64 y)))))
+(\axiom (forall (x y) (pats (\and64 (\or64 x y) x))
+  (eq (\and64 (\or64 x y) x) x)))
+(\axiom (forall (x y) (pats (\or64 (\and64 x y) x))
+  (eq (\or64 (\and64 x y) x) x)))
+; x + x + x + x has the shift form too: covered by mul elaboration; the
+; common (x ^ y) ^ y = x cancellation is cheap and frequent.
+(\axiom (forall (x y) (pats (\xor64 (\xor64 x y) y))
+  (eq (\xor64 (\xor64 x y) y) x)))
+)AX";
+}
+
+//===----------------------------------------------------------------------===
+// Alpha EV6 architectural axioms (paper section 4's examples and friends).
+//===----------------------------------------------------------------------===
+
+const char *denali::axioms::alphaAxiomsText() {
+  return R"AX(
+; extbl(w, i) "extracts" byte i of longword w (section 4).
+(\axiom (forall (w i) (eq (\extbl w i) (\selectb w i))))
+; extwl(w, i) extracts the 16-bit field at byte offset i.
+(\axiom (forall (w i) (eq (\extwl w i) (\selectw w i))))
+; insbl(w, i) places the least significant byte of w at byte i.
+(\axiom (forall (w i) (pats (\insbl w i))
+  (eq (\insbl w i) (\shl64 (\selectb w 0) (\mul64 8 i)))))
+(\axiom (forall (w i) (pats (\shl64 (\selectb w 0) (\mul64 8 i)))
+  (eq (\insbl w i) (\shl64 (\selectb w 0) (\mul64 8 i)))))
+(\axiom (forall (w i) (pats (\inswl w i))
+  (eq (\inswl w i) (\shl64 (\selectw w 0) (\mul64 8 i)))))
+; mskbl(w, i) zeroes byte i (section 4: mskbl(w,i) = storeb(w,i,0)).
+(\axiom (forall (w i) (eq (\mskbl w i) (\storeb w i 0))))
+(\axiom (forall (w i) (eq (\mskwl w i) (\storew w i 0))))
+; storeb via msk/ins/or: the instruction-level decomposition of a byte
+; store, the combination Figure 4's byteswap code is built from.
+(\axiom (forall (w i x) (pats (\storeb w i x))
+  (eq (\storeb w i x) (\or64 (\mskbl w i) (\insbl x i)))))
+; Scaled adds (the s4addl example of Figure 2).
+(\axiom (forall (k n) (eq (\s4addl k n) (\add64 (\mul64 k 4) n))))
+(\axiom (forall (k n) (eq (\s8addl k n) (\add64 (\mul64 k 8) n))))
+(\axiom (forall (k n) (eq (\s4subl k n) (\sub64 (\mul64 k 4) n))))
+(\axiom (forall (k n) (eq (\s8subl k n) (\sub64 (\mul64 k 8) n))))
+; zapnot facts.
+(\axiom (forall (w) (eq (\zapnot w 0xff) w)))
+(\axiom (forall (w) (pats (\zapnot w 1)) (eq (\zapnot w 1) (\selectb w 0))))
+(\axiom (forall (w) (pats (\zapnot w 3)) (eq (\zapnot w 3) (\selectw w 0))))
+; bic / ornot / eqv in terms of and/or/xor/not.
+(\axiom (forall (x y) (pats (\bic64 x y))
+  (eq (\bic64 x y) (\and64 x (\not64 y)))))
+(\axiom (forall (x y) (pats (\and64 x (\not64 y)))
+  (eq (\bic64 x y) (\and64 x (\not64 y)))))
+(\axiom (forall (x y) (pats (\ornot64 x y))
+  (eq (\ornot64 x y) (\or64 x (\not64 y)))))
+(\axiom (forall (x y) (pats (\or64 x (\not64 y)))
+  (eq (\ornot64 x y) (\or64 x (\not64 y)))))
+(\axiom (forall (x y) (pats (\eqv64 x y))
+  (eq (\eqv64 x y) (\not64 (\xor64 x y)))))
+(\axiom (forall (x y) (pats (\not64 (\xor64 x y)))
+  (eq (\eqv64 x y) (\not64 (\xor64 x y)))))
+; not via ornot with the zero register.
+(\axiom (forall (x) (pats (\not64 x)) (eq (\not64 x) (\ornot64 0 x))))
+; neg via subtraction from the zero register (subq $31, x).
+(\axiom (forall (x) (pats (\neg64 x)) (eq (\neg64 x) (\sub64 0 x))))
+; extwl/inswl relate to the 16-bit field operations as extbl/insbl do to
+; bytes.
+(\axiom (forall (w i) (pats (\inswl w i))
+  (eq (\inswl w i) (\storew 0 i w))))
+; umulh is the paper's multi-result flavor in spirit: the high half of the
+; unsigned product; no mathematical decomposition is offered (it is its own
+; machine operation), but umulh(x, 0) and umulh(x, 1) fold.
+(\axiom (forall (x) (eq (\umulh x 0) 0)))
+(\axiom (forall (x) (eq (\umulh x 1) 0)))
+(\axiom (forall (x y) (eq (\umulh x y) (\umulh y x))))
+)AX";
+}
+
+std::optional<std::vector<match::Axiom>>
+denali::axioms::parseAxiomsText(ir::Context &Ctx, const std::string &Text,
+                                std::string *ErrorOut) {
+  sexpr::ParseResult Parsed = sexpr::parse(Text);
+  if (!Parsed.ok()) {
+    if (ErrorOut)
+      *ErrorOut = Parsed.Error->toString();
+    return std::nullopt;
+  }
+  std::vector<match::Axiom> Out;
+  for (const sexpr::SExpr &Form : Parsed.Forms) {
+    std::optional<match::Axiom> A = match::parseAxiom(Ctx, Form, ErrorOut);
+    if (!A)
+      return std::nullopt;
+    Out.push_back(std::move(*A));
+  }
+  return Out;
+}
+
+std::vector<match::Axiom>
+denali::axioms::loadBuiltinAxioms(ir::Context &Ctx) {
+  std::string Err;
+  auto Math = parseAxiomsText(Ctx, mathAxiomsText(), &Err);
+  if (!Math)
+    reportFatalError("built-in math axioms malformed: " + Err);
+  auto Alpha = parseAxiomsText(Ctx, alphaAxiomsText(), &Err);
+  if (!Alpha)
+    reportFatalError("built-in alpha axioms malformed: " + Err);
+  std::vector<match::Axiom> Out = std::move(*Math);
+  for (match::Axiom &A : *Alpha)
+    Out.push_back(std::move(A));
+  return Out;
+}

@@ -1,0 +1,44 @@
+//===- axioms/BuiltinAxioms.h - Built-in axiom files ------------*- C++ -*-===//
+///
+/// \file
+/// The built-in axiom sets, corresponding to the paper's two automatically
+/// loaded files (section 4): *mathematical axioms* (facts about add64,
+/// select/store, selectb/storeb, shifts, boolean operations useful for any
+/// target) and *architectural axioms* for the Alpha EV6 (definitions of
+/// extbl, insbl, mskbl, s4addl, zapnot, ... in terms of mathematical
+/// functions). Both are embedded as text in the paper's LISP-like axiom
+/// syntax and parsed at load time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DENALI_AXIOMS_BUILTINAXIOMS_H
+#define DENALI_AXIOMS_BUILTINAXIOMS_H
+
+#include "match/Axiom.h"
+
+#include <string>
+#include <vector>
+
+namespace denali {
+namespace axioms {
+
+/// The mathematical axiom file (text, \axiom forms).
+const char *mathAxiomsText();
+
+/// The Alpha EV6 architectural axiom file (text, \axiom forms).
+const char *alphaAxiomsText();
+
+/// Parses a text of (\axiom ...) forms. \returns std::nullopt and sets
+/// \p ErrorOut on failure.
+std::optional<std::vector<match::Axiom>>
+parseAxiomsText(ir::Context &Ctx, const std::string &Text,
+                std::string *ErrorOut);
+
+/// Loads math + Alpha axioms; fatal error if the built-in text is
+/// malformed (that would be a build defect, not user error).
+std::vector<match::Axiom> loadBuiltinAxioms(ir::Context &Ctx);
+
+} // namespace axioms
+} // namespace denali
+
+#endif // DENALI_AXIOMS_BUILTINAXIOMS_H

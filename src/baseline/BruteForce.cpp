@@ -1,0 +1,227 @@
+//===- baseline/BruteForce.cpp --------------------------------------------===//
+
+#include "baseline/BruteForce.h"
+
+#include "support/StringExtras.h"
+#include "support/Timer.h"
+
+#include <random>
+
+using namespace denali;
+using namespace denali::baseline;
+using denali::ir::Builtin;
+
+std::vector<Builtin> BruteForceOptions::defaultRepertoire() {
+  return {Builtin::Add64, Builtin::Sub64, Builtin::And64, Builtin::Or64,
+          Builtin::Xor64, Builtin::Bic64, Builtin::Shl64, Builtin::Shr64,
+          Builtin::Sar64, Builtin::CmpUlt, Builtin::CmpEq, Builtin::Extbl,
+          Builtin::Insbl, Builtin::Mskbl, Builtin::Zapnot, Builtin::S4Addl,
+          Builtin::S8Addl, Builtin::Not64, Builtin::Neg64};
+}
+
+namespace {
+
+unsigned arityOf(Builtin B) {
+  return (B == Builtin::Not64 || B == Builtin::Neg64) ? 1 : 2;
+}
+
+class Searcher {
+public:
+  Searcher(ir::Context &Ctx, ir::TermId Goal,
+           const std::vector<std::string> &InputNames,
+           const BruteForceOptions &Opts)
+      : Ctx(Ctx), Goal(Goal), InputNames(InputNames), Opts(Opts) {}
+
+  BruteForceResult run() {
+    Timer T;
+    BruteForceResult Result;
+    std::mt19937_64 Rng(Opts.Seed * 0x2545f4914f6cdd1dULL + 1);
+
+    // Test vectors: per vector, input values and the expected result.
+    unsigned NumInputs = static_cast<unsigned>(InputNames.size());
+    for (unsigned V = 0; V < Opts.NumTestVectors; ++V) {
+      std::vector<uint64_t> Ins;
+      for (unsigned I = 0; I < NumInputs; ++I)
+        Ins.push_back(interestingValue(Rng, V, I));
+      uint64_t Want;
+      if (!evalGoal(Ins, Want))
+        return Result; // Goal not evaluable: give up.
+      Vectors.push_back(std::move(Ins));
+      Expected.push_back(Want);
+    }
+
+    // Per-vector value slots: inputs, then one per instruction.
+    Slots.assign(Vectors.size(), {});
+    for (size_t V = 0; V < Vectors.size(); ++V)
+      Slots[V] = Vectors[V];
+
+    for (unsigned L = 1; L <= Opts.MaxLength; ++L) {
+      Sequence.clear();
+      Budget = Opts.MaxSequencesPerLength;
+      if (dfs(L, Result, Rng)) {
+        Result.Found = true;
+        Result.Length = L;
+        Result.Sequence = Sequence;
+        break;
+      }
+      if (Opts.MaxSequencesPerLength && Budget == 0)
+        break; // Budget exhausted at this length.
+    }
+    Result.Seconds = T.seconds();
+    return Result;
+  }
+
+private:
+  ir::Context &Ctx;
+  ir::TermId Goal;
+  const std::vector<std::string> &InputNames;
+  const BruteForceOptions &Opts;
+
+  std::vector<std::vector<uint64_t>> Vectors;
+  std::vector<uint64_t> Expected;
+  std::vector<std::vector<uint64_t>> Slots;
+  std::vector<BruteInstr> Sequence;
+  uint64_t Budget = 0;
+
+  static uint64_t interestingValue(std::mt19937_64 &Rng, unsigned V,
+                                   unsigned I) {
+    // A few corner cases, then random.
+    static const uint64_t Corners[] = {0, 1, ~0ULL, 0x8000000000000000ULL,
+                                       0xff, 0x0123456789abcdefULL};
+    if (V < std::size(Corners) && I == 0)
+      return Corners[V];
+    return Rng();
+  }
+
+  bool evalGoal(const std::vector<uint64_t> &Ins, uint64_t &Out) {
+    ir::Env E;
+    for (size_t I = 0; I < InputNames.size(); ++I)
+      E[Ctx.Ops.makeVariable(InputNames[I])] = ir::Value::makeInt(Ins[I]);
+    std::optional<ir::Value> V = ir::evalTerm(Ctx.Terms, Goal, E);
+    if (!V || !V->isInt())
+      return false;
+    Out = V->asInt();
+    return true;
+  }
+
+  uint64_t operandValue(size_t Vec, int Src) const {
+    if (Src >= 0)
+      return Slots[Vec][static_cast<size_t>(Src)];
+    return Opts.Immediates[static_cast<size_t>(-1 - Src)];
+  }
+
+  bool dfs(unsigned Remaining, BruteForceResult &Result,
+           std::mt19937_64 &Rng) {
+    if (Remaining == 0) {
+      ++Result.SequencesTried;
+      if (Budget && --Budget == 0)
+        return false;
+      // The last computed slot must match on every vector.
+      for (size_t V = 0; V < Vectors.size(); ++V)
+        if (Slots[V].back() != Expected[V])
+          return false;
+      ++Result.CandidatesFound;
+      return verify(Rng, Result);
+    }
+    std::vector<Builtin> Repertoire =
+        Opts.Repertoire.empty() ? BruteForceOptions::defaultRepertoire()
+                                : Opts.Repertoire;
+    int NumSlots = static_cast<int>(Slots[0].size());
+    int NumImms = static_cast<int>(Opts.Immediates.size());
+    for (Builtin B : Repertoire) {
+      unsigned Arity = arityOf(B);
+      for (int S0 = 0; S0 < NumSlots; ++S0) {
+        int S1Lo = Arity == 1 ? 0 : -NumImms;
+        int S1Hi = Arity == 1 ? 1 : NumSlots;
+        for (int S1 = S1Lo; S1 < S1Hi; ++S1) {
+          if (Opts.MaxSequencesPerLength && Budget == 0)
+            return false;
+          // Push the instruction: compute its value on every vector.
+          for (size_t V = 0; V < Vectors.size(); ++V) {
+            uint64_t A = operandValue(V, S0);
+            uint64_t C = Arity == 1 ? 0 : operandValue(V, S1);
+            std::vector<uint64_t> Args{A};
+            if (Arity == 2)
+              Args.push_back(C);
+            Slots[V].push_back(ir::evalBuiltinInt(B, Args));
+          }
+          Sequence.push_back(BruteInstr{B, S0, S1});
+          bool Found = dfs(Remaining - 1, Result, Rng);
+          if (!Found) {
+            Sequence.pop_back();
+            for (size_t V = 0; V < Vectors.size(); ++V)
+              Slots[V].pop_back();
+          }
+          if (Found)
+            return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  bool verify(std::mt19937_64 &Rng, BruteForceResult &Result) {
+    for (unsigned Trial = 0; Trial < Opts.VerifyVectors; ++Trial) {
+      std::vector<uint64_t> Ins;
+      for (size_t I = 0; I < InputNames.size(); ++I)
+        Ins.push_back(Rng());
+      uint64_t Want;
+      if (!evalGoal(Ins, Want))
+        return false;
+      // Execute the sequence.
+      std::vector<uint64_t> Vals = Ins;
+      for (const BruteInstr &I : Sequence) {
+        auto Val = [&](int Src) {
+          return Src >= 0 ? Vals[static_cast<size_t>(Src)]
+                          : Opts.Immediates[static_cast<size_t>(-1 - Src)];
+        };
+        std::vector<uint64_t> Args{Val(I.Src0)};
+        if (arityOf(I.B) == 2)
+          Args.push_back(Val(I.Src1));
+        Vals.push_back(ir::evalBuiltinInt(I.B, Args));
+      }
+      if (Vals.back() != Want) {
+        ++Result.FalseCandidates;
+        return false; // Passed the suite but is wrong: keep searching.
+      }
+    }
+    return true;
+  }
+};
+
+} // namespace
+
+std::string
+BruteForceResult::toString(const ir::Context &Ctx,
+                           const std::vector<std::string> &InputNames) const {
+  if (!Found)
+    return "(not found)";
+  std::string Out;
+  unsigned SlotIdx = static_cast<unsigned>(InputNames.size());
+  for (const BruteInstr &I : Sequence) {
+    const char *Name =
+        Ctx.Ops.info(Ctx.Ops.builtin(I.B)).Name.c_str();
+    auto SrcName = [&](int Src) -> std::string {
+      if (Src < 0)
+        return strFormat("#imm%d", -1 - Src);
+      if (static_cast<size_t>(Src) < InputNames.size())
+        return InputNames[static_cast<size_t>(Src)];
+      return strFormat("t%d", Src - static_cast<int>(InputNames.size()));
+    };
+    Out += strFormat("  t%u = %s %s", SlotIdx - static_cast<unsigned>(
+                                                    InputNames.size()),
+                     Name, SrcName(I.Src0).c_str());
+    if (arityOf(I.B) == 2)
+      Out += ", " + SrcName(I.Src1);
+    Out += '\n';
+    ++SlotIdx;
+  }
+  return Out;
+}
+
+BruteForceResult
+denali::baseline::bruteForceSearch(ir::Context &Ctx, ir::TermId Goal,
+                                   const std::vector<std::string> &InputNames,
+                                   const BruteForceOptions &Opts) {
+  return Searcher(Ctx, Goal, InputNames, Opts).run();
+}

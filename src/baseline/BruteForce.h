@@ -1,0 +1,76 @@
+//===- baseline/BruteForce.h - Massalin-style superoptimizer ----*- C++ -*-===//
+///
+/// \file
+/// Baseline 1: the Massalin / GNU-superoptimizer approach the paper
+/// contrasts with (sections 1.1, 8): exhaustively enumerate instruction
+/// sequences in order of increasing length, execute each against a suite
+/// of test vectors, and report sequences that pass as candidates. As in
+/// Massalin's superoptimizer, only register-to-register computations are
+/// enumerated (no memory access), candidates are *probably* correct
+/// (verified here against extra random vectors), and cost grows
+/// exponentially with the sequence length — the behaviour bench_bruteforce
+/// measures against Denali's goal-directed search.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DENALI_BASELINE_BRUTEFORCE_H
+#define DENALI_BASELINE_BRUTEFORCE_H
+
+#include "ir/Eval.h"
+#include "ir/Term.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace denali {
+namespace baseline {
+
+struct BruteForceOptions {
+  unsigned MaxLength = 4;
+  unsigned NumTestVectors = 8;
+  unsigned VerifyVectors = 64;
+  /// Register-to-register repertoire (Builtins with 1 or 2 operands).
+  std::vector<ir::Builtin> Repertoire;
+  /// Immediate pool for the second operand.
+  std::vector<uint64_t> Immediates{0, 1, 2, 3, 4, 8, 16, 24, 255};
+  /// Stop after this many complete sequences per length (0 = unlimited).
+  uint64_t MaxSequencesPerLength = 0;
+  uint64_t Seed = 1;
+
+  /// The default Alpha-ish register-to-register repertoire.
+  static std::vector<ir::Builtin> defaultRepertoire();
+};
+
+/// One enumerated instruction: Srcs index prior value slots (inputs first,
+/// then instruction results); negative encodings -1-K denote
+/// Immediates[K].
+struct BruteInstr {
+  ir::Builtin B;
+  int Src0 = 0;
+  int Src1 = 0; ///< Ignored for unary operators.
+};
+
+struct BruteForceResult {
+  bool Found = false;
+  unsigned Length = 0;
+  std::vector<BruteInstr> Sequence;
+  uint64_t SequencesTried = 0;   ///< Complete sequences executed.
+  uint64_t CandidatesFound = 0;  ///< Passed the test vectors.
+  uint64_t FalseCandidates = 0;  ///< Candidates the verifier rejected.
+  double Seconds = 0;
+
+  std::string toString(const ir::Context &Ctx,
+                       const std::vector<std::string> &InputNames) const;
+};
+
+/// Searches for the shortest sequence computing \p Goal from the variables
+/// \p InputNames (iterative deepening on length).
+BruteForceResult bruteForceSearch(ir::Context &Ctx, ir::TermId Goal,
+                                  const std::vector<std::string> &InputNames,
+                                  const BruteForceOptions &Opts);
+
+} // namespace baseline
+} // namespace denali
+
+#endif // DENALI_BASELINE_BRUTEFORCE_H

@@ -1,0 +1,46 @@
+//===- baseline/Rewriter.h - Greedy rewriting engine ------------*- C++ -*-===//
+///
+/// \file
+/// Baseline 2: a conventional cost-directed rewriting engine of the kind
+/// section 5 contrasts with the E-graph. It rewrites terms bottom-up
+/// (innermost first), greedily applying the first strictly-cost-improving
+/// rule, and never keeps both sides of an equality around.
+///
+/// This reproduces the paper's phase-ordering observation: on reg6*4 + 1
+/// the engine happily improves reg6*4 into reg6<<2 — after which the
+/// s4addl pattern (k*4 + n) can no longer match, so the optimal
+/// single-instruction form is missed. Denali's E-graph, which records
+/// equalities instead of rewriting, finds it (bench_rewriter, E10).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DENALI_BASELINE_REWRITER_H
+#define DENALI_BASELINE_REWRITER_H
+
+#include "alpha/ISA.h"
+#include "ir/Term.h"
+
+#include <string>
+#include <vector>
+
+namespace denali {
+namespace baseline {
+
+struct RewriteResult {
+  ir::TermId Term = 0;
+  unsigned Steps = 0;
+  std::vector<std::string> RulesApplied;
+};
+
+/// Latency-sum cost of \p T over its (shared) DAG; non-machine operators
+/// cost a large penalty, constants needing materialization cost 1.
+unsigned termCost(ir::Context &Ctx, const alpha::ISA &Isa, ir::TermId T);
+
+/// Greedily rewrites \p T to a (locally) cheaper form.
+RewriteResult greedyRewrite(ir::Context &Ctx, const alpha::ISA &Isa,
+                            ir::TermId T);
+
+} // namespace baseline
+} // namespace denali
+
+#endif // DENALI_BASELINE_REWRITER_H

@@ -1,0 +1,378 @@
+//===- codegen/Encoder.cpp ------------------------------------------------===//
+
+#include "codegen/Encoder.h"
+
+#include "support/Error.h"
+#include "support/StringExtras.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace denali;
+using namespace denali::codegen;
+using namespace denali::egraph;
+using denali::sat::Lit;
+using denali::sat::Solver;
+
+EncodingStats Encoder::encode(Solver &S, const std::vector<NamedGoal> &Goals,
+                              const EncoderOptions &Opts) {
+  const unsigned K = Opts.Cycles;
+  const unsigned NC = numClusters(Opts);
+  LVars.clear();
+  BVars.clear();
+
+  const std::vector<MachineTerm> &Terms = U.terms();
+
+  // --- Variables -----------------------------------------------------------
+  for (size_t T = 0; T < Terms.size(); ++T)
+    for (alpha::Unit Un : Terms[T].Units)
+      for (unsigned I = 0; I < K; ++I)
+        LVars[{T, alpha::unitIndex(Un), I}] = S.newVar();
+  for (ClassId Q : U.neededClasses())
+    for (unsigned C = 0; C < NC; ++C)
+      for (unsigned I = 0; I < K; ++I)
+        BVars[{Q, C, I}] = S.newVar();
+
+  auto LVar = [&](size_t T, alpha::Unit Un, unsigned I) {
+    auto It = LVars.find({T, alpha::unitIndex(Un), I});
+    assert(It != LVars.end() && "missing L variable");
+    return Lit::pos(It->second);
+  };
+  auto BVar = [&](ClassId Q, unsigned C, unsigned I) {
+    auto It = BVars.find({G.find(Q), C, I});
+    assert(It != BVars.end() && "missing B variable");
+    return Lit::pos(It->second);
+  };
+
+  // Extra cycles before term T's result (launched on unit Un) is usable on
+  // cluster C: stores write shared state, everything else pays the
+  // cross-cluster delay.
+  auto crossDelay = [&](const MachineTerm &T, alpha::Unit Un, unsigned C) {
+    if (Opts.SingleCluster || T.IsStore)
+      return 0u;
+    return clusterOfUnit(Un, Opts) == C ? 0u : Isa.crossClusterDelay();
+  };
+
+  // --- Condition 3 (+1): B(q,c,i) holds iff some member completed by i. ---
+  for (ClassId Q : U.neededClasses()) {
+    for (unsigned C = 0; C < NC; ++C) {
+      for (unsigned I = 0; I < K; ++I) {
+        Lit B = BVar(Q, C, I);
+        sat::ClauseLits Definition{~B};
+        if (I > 0) {
+          Lit Prev = BVar(Q, C, I - 1);
+          Definition.push_back(Prev);
+          S.addClause(~Prev, B); // Monotonic.
+        }
+        for (size_t T : U.producersOf(Q)) {
+          const MachineTerm &MT = Terms[T];
+          for (alpha::Unit Un : MT.Units) {
+            // Launch at J completes (on cluster C) at the end of cycle
+            // J + latency - 1 + crossDelay; completion exactly at I:
+            int J = static_cast<int>(I) -
+                    static_cast<int>(MT.Latency - 1 + crossDelay(MT, Un, C));
+            if (J < 0 || J >= static_cast<int>(K))
+              continue;
+            Lit L = LVar(T, Un, static_cast<unsigned>(J));
+            Definition.push_back(L);
+            S.addClause(~L, B);
+          }
+        }
+        S.addClause(Definition);
+      }
+    }
+  }
+
+  // --- Condition 2: operands available before launch. ---------------------
+  for (size_t T = 0; T < Terms.size(); ++T) {
+    const MachineTerm &MT = Terms[T];
+    for (size_t ArgIdx = 0; ArgIdx < MT.Args.size(); ++ArgIdx) {
+      ClassId A = MT.Args[ArgIdx];
+      if (U.isFree(A))
+        continue;
+      if (!MT.IsLdiq &&
+          U.isImmOperand(G, *MT.Desc, ArgIdx, MT.Args.size(), A))
+        continue;
+      for (alpha::Unit Un : MT.Units) {
+        unsigned C = clusterOfUnit(Un, Opts);
+        for (unsigned I = 0; I < K; ++I) {
+          Lit L = LVar(T, Un, I);
+          if (I == 0)
+            S.addClause(~L); // No cycle -1 to have computed the operand in.
+          else
+            S.addClause(~L, BVar(A, C, I - 1));
+        }
+      }
+    }
+  }
+
+  // --- Condition 4: issue exclusivity per (cycle, unit). ------------------
+  for (unsigned UIdx = 0; UIdx < alpha::NumUnits; ++UIdx) {
+    for (unsigned I = 0; I < K; ++I) {
+      sat::ClauseLits Group;
+      for (size_t T = 0; T < Terms.size(); ++T) {
+        auto It = LVars.find({T, UIdx, I});
+        if (It != LVars.end())
+          Group.push_back(Lit::pos(It->second));
+      }
+      sat::addAtMostOne(S, Group, Opts.AmoStyle);
+    }
+  }
+
+  // --- Condition 5: goals computed within K cycles. ------------------------
+  for (const NamedGoal &Goal : Goals) {
+    ClassId Q = G.find(Goal.Class);
+    if (U.isFree(Q))
+      continue;
+    sat::ClauseLits Clause;
+    for (unsigned C = 0; C < NC; ++C)
+      Clause.push_back(BVar(Q, C, K - 1));
+    S.addClause(Clause);
+  }
+
+  // --- Section 7: guard before unsafe (memory) operations. -----------------
+  if (Opts.GuardClass) {
+    ClassId Gd = G.find(*Opts.GuardClass);
+    if (!U.isFree(Gd)) {
+      for (size_t T = 0; T < Terms.size(); ++T) {
+        const MachineTerm &MT = Terms[T];
+        if (!MT.IsLoad && !MT.IsStore)
+          continue;
+        for (alpha::Unit Un : MT.Units) {
+          for (unsigned I = 0; I < K; ++I) {
+            Lit L = LVar(T, Un, I);
+            if (I == 0) {
+              S.addClause(~L);
+              continue;
+            }
+            sat::ClauseLits Clause{~L};
+            for (unsigned C = 0; C < NC; ++C)
+              Clause.push_back(BVar(Gd, C, I - 1));
+            S.addClause(Clause);
+          }
+        }
+      }
+    }
+  }
+
+  // --- Memory discipline. ---------------------------------------------------
+  // Each store launches at most once (a replayed store could overwrite a
+  // later store to the same unprovably-distinct address).
+  for (size_t T = 0; T < Terms.size(); ++T) {
+    const MachineTerm &MT = Terms[T];
+    if (!MT.IsStore)
+      continue;
+    sat::ClauseLits All;
+    for (alpha::Unit Un : MT.Units)
+      for (unsigned I = 0; I < K; ++I)
+        All.push_back(LVar(T, Un, I));
+    sat::addAtMostOne(S, All, Opts.AmoStyle);
+  }
+  // Anti-dependence: a load of memory state m may not launch after the
+  // store that overwrites m (i.e., the store whose memory argument is m).
+  for (size_t TL = 0; TL < Terms.size(); ++TL) {
+    if (!Terms[TL].IsLoad)
+      continue;
+    ClassId Mem = Terms[TL].Args[0];
+    for (size_t TS = 0; TS < Terms.size(); ++TS) {
+      if (!Terms[TS].IsStore || G.find(Terms[TS].Args[0]) != G.find(Mem))
+        continue;
+      for (alpha::Unit UL : Terms[TL].Units)
+        for (alpha::Unit US : Terms[TS].Units)
+          for (unsigned IL = 0; IL < K; ++IL)
+            for (unsigned IS = 0; IS < IL; ++IS)
+              S.addClause(~LVar(TL, UL, IL), ~LVar(TS, US, IS));
+    }
+  }
+
+  EncodingStats Stats;
+  Stats.Cycles = K;
+  Stats.Vars = S.numVars();
+  Stats.Clauses = S.numClauses();
+  Stats.MachineTerms = Terms.size();
+  Stats.Classes = U.neededClasses().size();
+  return Stats;
+}
+
+alpha::Program Encoder::extract(const Solver &S,
+                                const std::vector<NamedGoal> &Goals,
+                                const EncoderOptions &Opts,
+                                const std::string &Name) const {
+  const std::vector<MachineTerm> &Terms = U.terms();
+  alpha::Program P;
+  P.Name = Name;
+  P.Cycles = Opts.Cycles;
+
+  uint32_t NextReg = 0;
+  std::unordered_map<ClassId, uint32_t> InputReg;
+  for (const Universe::InputInfo &In : U.inputs()) {
+    uint32_t R = NextReg++;
+    P.Inputs.push_back(alpha::ProgramInput{R, In.Name, In.IsMemory});
+    InputReg[In.Class] = R;
+  }
+
+  struct Launch {
+    size_t Term;
+    alpha::Unit Un;
+    unsigned Cycle;
+    uint32_t VReg;
+  };
+  std::vector<Launch> Launches;
+  for (const auto &[Key, V] : LVars) {
+    if (!S.modelValue(V))
+      continue;
+    Launches.push_back(Launch{Key.Term, alpha::unitFromIndex(Key.Unit),
+                              Key.Cycle, NextReg++});
+  }
+
+  // Producer lookup: the launch of a term in class Q whose result is usable
+  // on cluster C at the start of cycle I, completing earliest.
+  auto findProducer = [&](ClassId Q, unsigned C,
+                          unsigned I) -> const Launch * {
+    Q = G.find(Q);
+    const Launch *Best = nullptr;
+    unsigned BestReady = ~0u;
+    for (const Launch &L : Launches) {
+      const MachineTerm &MT = Terms[L.Term];
+      if (G.find(MT.Class) != Q)
+        continue;
+      unsigned XD = (Opts.SingleCluster || MT.IsStore ||
+                     clusterOfUnit(L.Un, Opts) == C)
+                        ? 0
+                        : Isa.crossClusterDelay();
+      unsigned Ready = L.Cycle + MT.Latency + XD;
+      if (Ready > I)
+        continue;
+      if (Ready < BestReady) {
+        BestReady = Ready;
+        Best = &L;
+      }
+    }
+    return Best;
+  };
+
+  // Wire instructions.
+  std::unordered_map<const Launch *, alpha::Instruction> Built;
+  for (const Launch &L : Launches) {
+    const MachineTerm &MT = Terms[L.Term];
+    alpha::Instruction I;
+    I.Mnemonic = MT.Desc->Mnemonic;
+    I.Op = MT.Desc->Op;
+    I.Dest = L.VReg;
+    I.Cycle = L.Cycle;
+    I.IssueUnit = L.Un;
+    I.Latency = MT.Latency;
+    I.Mem = MT.Desc->Mem;
+    I.Disp = MT.Disp;
+    if (MT.IsLdiq) {
+      I.Srcs.push_back(alpha::Operand::imm(MT.ConstVal));
+    } else {
+      for (size_t ArgIdx = 0; ArgIdx < MT.Args.size(); ++ArgIdx) {
+        ClassId A = MT.Args[ArgIdx];
+        std::optional<uint64_t> KConst = G.classConstant(A);
+        if (U.isFree(A)) {
+          if (KConst && *KConst == 0) {
+            I.Srcs.push_back(alpha::Operand::imm(0)); // $31.
+            continue;
+          }
+          auto It = InputReg.find(G.find(A));
+          assert(It != InputReg.end() && "free class without input");
+          I.Srcs.push_back(alpha::Operand::reg(It->second));
+          continue;
+        }
+        if (U.isImmOperand(G, *MT.Desc, ArgIdx, MT.Args.size(), A)) {
+          I.Srcs.push_back(alpha::Operand::imm(*KConst));
+          continue;
+        }
+        const Launch *Prod =
+            findProducer(A, clusterOfUnit(L.Un, Opts), L.Cycle);
+        if (!Prod)
+          reportFatalError(strFormat(
+              "extraction: no producer for class c%u needed by '%s' at "
+              "cycle %u (encoder/extractor mismatch)",
+              G.find(A), I.Mnemonic.c_str(), L.Cycle));
+        I.Srcs.push_back(alpha::Operand::reg(Prod->VReg));
+      }
+    }
+    Built.emplace(&L, std::move(I));
+  }
+
+  // Outputs: choose, per goal, the earliest-completing producer.
+  std::unordered_set<uint32_t> OutputRegs;
+  for (const NamedGoal &Goal : Goals) {
+    ClassId Q = G.find(Goal.Class);
+    if (U.isFree(Q)) {
+      std::optional<uint64_t> KConst = G.classConstant(Q);
+      assert(!KConst || *KConst != 0 ||
+             !"literal-zero results are not expected from GMAs");
+      (void)KConst;
+      auto It = InputReg.find(Q);
+      assert(It != InputReg.end() && "free goal without input register");
+      P.Outputs.push_back({Goal.Target, It->second});
+      OutputRegs.insert(It->second);
+      continue;
+    }
+    const Launch *Best = nullptr;
+    unsigned BestReady = ~0u;
+    for (unsigned C = 0; C < numClusters(Opts); ++C) {
+      const Launch *L = findProducer(Q, C, Opts.Cycles);
+      if (!L)
+        continue;
+      unsigned Ready = L->Cycle + Terms[L->Term].Latency;
+      if (Ready < BestReady) {
+        BestReady = Ready;
+        Best = L;
+      }
+    }
+    if (!Best)
+      reportFatalError("extraction: goal class has no completed producer");
+    P.Outputs.push_back({Goal.Target, Best->VReg});
+    OutputRegs.insert(Best->VReg);
+  }
+
+  // Usage analysis: drop unused stores entirely (they would write real
+  // memory outside the GMA's contract); mark other unused instructions
+  // (Figure 4 keeps its "(unused)" extbl).
+  bool ChangedUsage = true;
+  std::unordered_set<const Launch *> Dropped;
+  while (ChangedUsage) {
+    ChangedUsage = false;
+    std::unordered_set<uint32_t> Used(OutputRegs.begin(), OutputRegs.end());
+    for (const Launch &L : Launches) {
+      if (Dropped.count(&L))
+        continue;
+      for (const alpha::Operand &Src : Built[&L].Srcs)
+        if (Src.isReg())
+          Used.insert(Src.Reg);
+    }
+    for (const Launch &L : Launches) {
+      if (Dropped.count(&L))
+        continue;
+      if (Terms[L.Term].IsStore && !Used.count(L.VReg)) {
+        Dropped.insert(&L);
+        ChangedUsage = true;
+      }
+    }
+    if (!ChangedUsage) {
+      for (const Launch &L : Launches) {
+        if (Dropped.count(&L))
+          continue;
+        Built[&L].Unused = !Used.count(L.VReg);
+      }
+    }
+  }
+
+  for (const Launch &L : Launches)
+    if (!Dropped.count(&L))
+      P.Instrs.push_back(std::move(Built[&L]));
+  std::stable_sort(P.Instrs.begin(), P.Instrs.end(),
+                   [](const alpha::Instruction &A,
+                      const alpha::Instruction &B) {
+                     if (A.Cycle != B.Cycle)
+                       return A.Cycle < B.Cycle;
+                     return alpha::unitIndex(A.IssueUnit) <
+                            alpha::unitIndex(B.IssueUnit);
+                   });
+  P.NumVRegs = NextReg;
+  return P;
+}

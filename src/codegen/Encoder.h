@@ -1,0 +1,126 @@
+//===- codegen/Encoder.h - E-graph -> SAT constraint generation -*- C++ -*-===//
+///
+/// \file
+/// The constraint generator (paper, section 6): formulates "some K-cycle
+/// EV6 program computes all the goal classes" as propositional clauses over
+///
+///   L(t, u, i) — a computation of machine term t is Launched on unit u at
+///                the beginning of cycle i;
+///   B(q, c, i) — the value of class q has been computed By the end of
+///                cycle i, on cluster c.
+///
+/// The paper's five conditions appear as:
+///   1. launch/completion linkage — folded into the B definition (the
+///      paper's A variables are eliminated by inlining the latency);
+///   2. operands before launch — L(t,u,i) => B(arg, cluster(u), i-1);
+///   3. class computed iff some member computed — the B iff-definition;
+///   4. issue exclusivity — at-most-one launch per (cycle, unit), which on
+///      the quad-issue EV6 also bounds the per-cycle total at 4;
+///   5. goals computed within K cycles — B(goal, *, K-1).
+///
+/// Additional constraints (paper, section 7): guard-before-unsafe-operation
+/// ordering, and memory discipline (loads of a memory state may not follow
+/// the store that overwrites it; each store launches at most once).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DENALI_CODEGEN_ENCODER_H
+#define DENALI_CODEGEN_ENCODER_H
+
+#include "alpha/Assembly.h"
+#include "codegen/Universe.h"
+#include "sat/Encodings.h"
+#include "sat/Solver.h"
+
+#include <map>
+#include <optional>
+
+namespace denali {
+namespace codegen {
+
+/// Options of one encoding run.
+struct EncoderOptions {
+  unsigned Cycles = 4; ///< The budget K.
+  sat::AtMostOneStyle AmoStyle = sat::AtMostOneStyle::Ladder;
+  /// Ablation: model a single cluster (no cross-cluster delay, B indexed
+  /// by one cluster).
+  bool SingleCluster = false;
+  /// If set, loads and stores may only launch after this class (the GMA
+  /// guard) has been computed.
+  std::optional<egraph::ClassId> GuardClass;
+};
+
+/// Size statistics of one encoding (reported like the paper's "1639
+/// variables and 4613 clauses").
+struct EncodingStats {
+  unsigned Cycles = 0;
+  int Vars = 0;
+  uint64_t Clauses = 0;
+  size_t MachineTerms = 0;
+  size_t Classes = 0;
+};
+
+/// A named goal: GMA target name -> class to compute.
+struct NamedGoal {
+  std::string Target;
+  egraph::ClassId Class;
+  bool IsMemory = false;
+};
+
+/// Encodes the universe into a solver and decodes models into programs.
+/// One Encoder instance serves many probes (one encode per fresh Solver).
+class Encoder {
+public:
+  Encoder(const egraph::EGraph &G, const alpha::ISA &Isa, const Universe &U)
+      : G(G), Isa(Isa), U(U) {}
+
+  /// Emits the constraints for \p Opts into \p S.
+  EncodingStats encode(sat::Solver &S, const std::vector<NamedGoal> &Goals,
+                       const EncoderOptions &Opts);
+
+  /// After encode() and a Sat solve() on the same solver: reads the
+  /// schedule off the model (the L's assigned true determine the machine
+  /// program, section 6) and wires operands into a Program.
+  alpha::Program extract(const sat::Solver &S,
+                         const std::vector<NamedGoal> &Goals,
+                         const EncoderOptions &Opts,
+                         const std::string &Name) const;
+
+private:
+  const egraph::EGraph &G;
+  const alpha::ISA &Isa;
+  const Universe &U;
+
+  // Variable maps of the most recent encode().
+  struct LKey {
+    size_t Term;
+    unsigned Unit;
+    unsigned Cycle;
+    bool operator<(const LKey &O) const {
+      return std::tie(Term, Unit, Cycle) < std::tie(O.Term, O.Unit, O.Cycle);
+    }
+  };
+  std::map<LKey, sat::Var> LVars;
+  struct BKey {
+    egraph::ClassId Class;
+    unsigned Cluster;
+    unsigned Cycle;
+    bool operator<(const BKey &O) const {
+      return std::tie(Class, Cluster, Cycle) <
+             std::tie(O.Class, O.Cluster, O.Cycle);
+    }
+  };
+  std::map<BKey, sat::Var> BVars;
+
+  unsigned numClusters(const EncoderOptions &Opts) const {
+    return Opts.SingleCluster ? 1 : alpha::NumClusters;
+  }
+  unsigned clusterOfUnit(alpha::Unit Un, const EncoderOptions &Opts) const {
+    return Opts.SingleCluster ? 0 : alpha::clusterOf(Un);
+  }
+};
+
+} // namespace codegen
+} // namespace denali
+
+#endif // DENALI_CODEGEN_ENCODER_H

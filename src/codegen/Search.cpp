@@ -1,0 +1,169 @@
+//===- codegen/Search.cpp -------------------------------------------------===//
+
+#include "codegen/Search.h"
+
+#include "sat/Dimacs.h"
+#include "sat/RupChecker.h"
+#include "support/StringExtras.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+
+using namespace denali;
+using namespace denali::codegen;
+using denali::sat::SolveResult;
+
+namespace {
+
+/// Runs one probe at budget K; on Sat, fills \p ProgramOut.
+Probe runProbe(Encoder &Enc, const std::vector<NamedGoal> &Goals,
+               const SearchOptions &Opts, unsigned K,
+               std::optional<alpha::Program> &ProgramOut,
+               const std::string &Name) {
+  Probe P;
+  P.Cycles = K;
+  sat::Solver S;
+  if (Opts.ConflictBudget)
+    S.setConflictBudget(Opts.ConflictBudget);
+  if (Opts.CertifyRefutations)
+    S.enableProofLogging();
+  EncoderOptions EncOpts = Opts.Encoding;
+  EncOpts.Cycles = K;
+  Timer T;
+  P.Stats = Enc.encode(S, Goals, EncOpts);
+  P.EncodeSeconds = T.seconds();
+  if (!Opts.DumpCnfDir.empty()) {
+    sat::Cnf F;
+    F.NumVars = S.numVars();
+    F.Clauses = S.problemClauses();
+    std::string Path = strFormat("%s/%s.K%u.cnf", Opts.DumpCnfDir.c_str(),
+                                 Name.empty() ? "gma" : Name.c_str(), K);
+    if (FILE *Out = std::fopen(Path.c_str(), "w")) {
+      std::string Text = F.toDimacs();
+      std::fwrite(Text.data(), 1, Text.size(), Out);
+      std::fclose(Out);
+    }
+  }
+  T.reset();
+  P.Result = S.solve();
+  P.SolveSeconds = T.seconds();
+  P.Conflicts = S.stats().Conflicts;
+  if (P.Result == SolveResult::Sat) {
+    ProgramOut = Enc.extract(S, Goals, EncOpts, Name);
+  } else if (P.Result == SolveResult::Unsat && Opts.CertifyRefutations) {
+    T.reset();
+    sat::Cnf F;
+    F.NumVars = S.numVars();
+    F.Clauses = S.problemClauses();
+    P.ProofSteps = S.proof().size();
+    P.ProofChecked = sat::checkRupProof(F, S.proof());
+    P.ProofCheckSeconds = T.seconds();
+  }
+  return P;
+}
+
+} // namespace
+
+SearchResult denali::codegen::searchBudgets(
+    const egraph::EGraph &G, const alpha::ISA &Isa, const Universe &U,
+    const std::vector<NamedGoal> &Goals, const SearchOptions &Opts,
+    const std::string &Name) {
+  SearchResult Result;
+  Encoder Enc(G, Isa, U);
+
+  // All goals free: the empty program computes everything.
+  bool AllFree = true;
+  for (const NamedGoal &Goal : Goals)
+    AllFree &= U.isFree(G.find(Goal.Class));
+  if (AllFree && !Goals.empty()) {
+    sat::Solver S;
+    EncoderOptions EncOpts = Opts.Encoding;
+    EncOpts.Cycles = 1;
+    Enc.encode(S, Goals, EncOpts);
+    if (S.solve() == SolveResult::Sat) {
+      Result.Found = true;
+      Result.Cycles = 0;
+      Result.Program = Enc.extract(S, Goals, EncOpts, Name);
+      Result.Program.Cycles = 0;
+      Result.Program.Instrs.clear();
+      return Result;
+    }
+  }
+
+  auto probe = [&](unsigned K, std::optional<alpha::Program> &Prog) {
+    Probe P = runProbe(Enc, Goals, Opts, K, Prog, Name);
+    Result.Probes.push_back(P);
+    return P.Result;
+  };
+
+  if (Opts.Strategy == SearchStrategy::Linear) {
+    for (unsigned K = Opts.MinCycles; K <= Opts.MaxCycles; ++K) {
+      std::optional<alpha::Program> Prog;
+      SolveResult R = probe(K, Prog);
+      if (R == SolveResult::Sat) {
+        Result.Found = true;
+        Result.Cycles = K;
+        Result.Program = std::move(*Prog);
+        Result.LowerBoundProved = K > Opts.MinCycles;
+        return Result;
+      }
+      if (R == SolveResult::Unknown) {
+        Result.Error = strFormat("probe at %u cycles exceeded the conflict "
+                                 "budget", K);
+        return Result;
+      }
+    }
+    Result.Error = strFormat("no program within %u cycles", Opts.MaxCycles);
+    return Result;
+  }
+
+  // Binary search: find a feasible Hi by doubling, then bisect
+  // [Lo = largest proved-infeasible + 1, Hi = smallest known-feasible].
+  unsigned Lo = Opts.MinCycles;
+  unsigned Hi = Opts.MinCycles;
+  std::optional<alpha::Program> BestProg;
+  unsigned BestK = 0;
+  bool AnyUnsat = false;
+  for (;;) {
+    std::optional<alpha::Program> Prog;
+    SolveResult R = probe(Hi, Prog);
+    if (R == SolveResult::Sat) {
+      BestProg = std::move(Prog);
+      BestK = Hi;
+      break;
+    }
+    if (R == SolveResult::Unknown) {
+      Result.Error = strFormat("probe at %u cycles exceeded the conflict "
+                               "budget", Hi);
+      return Result;
+    }
+    AnyUnsat = true;
+    Lo = Hi + 1;
+    if (Hi >= Opts.MaxCycles) {
+      Result.Error = strFormat("no program within %u cycles", Opts.MaxCycles);
+      return Result;
+    }
+    Hi = std::min(Opts.MaxCycles, Hi * 2);
+  }
+  while (Lo < BestK) {
+    unsigned Mid = Lo + (BestK - Lo) / 2;
+    std::optional<alpha::Program> Prog;
+    SolveResult R = probe(Mid, Prog);
+    if (R == SolveResult::Sat) {
+      BestProg = std::move(Prog);
+      BestK = Mid;
+    } else if (R == SolveResult::Unsat) {
+      AnyUnsat = true;
+      Lo = Mid + 1;
+    } else {
+      Result.Error = strFormat("probe at %u cycles exceeded the conflict "
+                               "budget", Mid);
+      return Result;
+    }
+  }
+  Result.Found = true;
+  Result.Cycles = BestK;
+  Result.Program = std::move(*BestProg);
+  Result.LowerBoundProved = AnyUnsat && BestK > Opts.MinCycles;
+  return Result;
+}

@@ -1,0 +1,79 @@
+//===- codegen/Search.h - Cycle-budget search -------------------*- C++ -*-===//
+///
+/// \file
+/// The outer loop of the obvious approach (paper, section 1.3): probe cycle
+/// budgets K, submitting "no K-cycle program computes the goals" to the SAT
+/// solver. UNSAT proves the lower bound K+1; SAT yields the program. The
+/// paper uses binary search but notes probe costs are far from constant;
+/// both strategies are provided, every probe is recorded.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DENALI_CODEGEN_SEARCH_H
+#define DENALI_CODEGEN_SEARCH_H
+
+#include "codegen/Encoder.h"
+
+#include <optional>
+
+namespace denali {
+namespace codegen {
+
+enum class SearchStrategy { Linear, Binary };
+
+struct SearchOptions {
+  SearchStrategy Strategy = SearchStrategy::Linear;
+  unsigned MinCycles = 1;
+  unsigned MaxCycles = 24;
+  /// Per-probe conflict budget (0 = unlimited).
+  uint64_t ConflictBudget = 0;
+  /// If nonempty, each probe's CNF is written to
+  /// <DumpCnfDir>/<name>.K<cycles>.cnf in DIMACS format (for cross-checking
+  /// with external solvers — the paper swapped SAT solvers freely).
+  std::string DumpCnfDir;
+  /// Certify refutations: every UNSAT probe logs a clausal proof which is
+  /// re-validated by the independent RUP checker, upgrading "the solver
+  /// said K cycles are impossible" to a machine-checked certificate.
+  bool CertifyRefutations = false;
+  EncoderOptions Encoding; ///< Cycles field is overwritten per probe.
+};
+
+/// One SAT probe (a row of the byteswap4 problem-size report).
+struct Probe {
+  unsigned Cycles = 0;
+  sat::SolveResult Result = sat::SolveResult::Unknown;
+  EncodingStats Stats;
+  double EncodeSeconds = 0;
+  double SolveSeconds = 0;
+  uint64_t Conflicts = 0;
+  /// With CertifyRefutations, for UNSAT probes: proof length and whether
+  /// the RUP checker accepted it.
+  size_t ProofSteps = 0;
+  bool ProofChecked = false;
+  double ProofCheckSeconds = 0;
+};
+
+/// The search outcome.
+struct SearchResult {
+  bool Found = false;
+  std::string Error; ///< Set when !Found.
+  alpha::Program Program;
+  unsigned Cycles = 0; ///< Minimal feasible budget found.
+  /// True if some strictly smaller budget was *proved* infeasible (the
+  /// paper's optimality certificate); false if MinCycles was feasible
+  /// immediately or a probe was inconclusive.
+  bool LowerBoundProved = false;
+  std::vector<Probe> Probes;
+};
+
+/// Finds the minimal-cycle program for \p Goals.
+SearchResult searchBudgets(const egraph::EGraph &G, const alpha::ISA &Isa,
+                           const Universe &U,
+                           const std::vector<NamedGoal> &Goals,
+                           const SearchOptions &Opts,
+                           const std::string &Name);
+
+} // namespace codegen
+} // namespace denali
+
+#endif // DENALI_CODEGEN_SEARCH_H

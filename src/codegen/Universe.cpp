@@ -1,0 +1,234 @@
+//===- codegen/Universe.cpp -----------------------------------------------===//
+
+#include "codegen/Universe.h"
+
+#include "support/StringExtras.h"
+
+#include <deque>
+
+using namespace denali;
+using namespace denali::codegen;
+using namespace denali::egraph;
+using denali::ir::Builtin;
+
+namespace {
+
+/// The argument position at which an instruction accepts an 8-bit literal:
+/// the Rb slot, which is the last source for plain ALU ops but the middle
+/// (value) operand for conditional moves (cmovXX Ra, Rb/#lit, Rc).
+size_t immArgIndex(const alpha::InstrDesc &Desc, size_t Arity) {
+  if (Desc.Mnemonic.rfind("cmov", 0) == 0)
+    return 1;
+  return Arity - 1;
+}
+
+} // namespace
+
+bool Universe::build(const EGraph &G, const alpha::ISA &Isa,
+                     const std::vector<ClassId> &Goals,
+                     const UniverseOptions &Opts, std::string *ErrorOut) {
+  Terms.clear();
+  Producers.clear();
+  Free.clear();
+  Needed.clear();
+  Inputs.clear();
+
+  const ir::Context &Ctx = G.context();
+  ir::OpId StoreOp = Ctx.Ops.builtin(Builtin::Store);
+  ir::OpId AddOp = Ctx.Ops.builtin(Builtin::Add64);
+  ir::OpId SubOp = Ctx.Ops.builtin(Builtin::Sub64);
+
+  // --- Memory spine: classes whose stores are allowed to execute. --------
+  std::unordered_set<ClassId> Spine;
+  {
+    std::deque<ClassId> Work;
+    for (ClassId Goal : Goals) {
+      ClassId C = G.find(Goal);
+      for (ENodeId N : G.classNodes(C))
+        if (G.node(N).Op == StoreOp) {
+          Work.push_back(C);
+          break;
+        }
+    }
+    while (!Work.empty()) {
+      ClassId C = G.find(Work.front());
+      Work.pop_front();
+      if (!Spine.insert(C).second)
+        continue;
+      for (ENodeId N : G.classNodes(C))
+        if (G.node(N).Op == StoreOp)
+          Work.push_back(G.find(G.node(N).Children[0]));
+    }
+  }
+
+  // --- Cone walk from the goals. ------------------------------------------
+  std::unordered_set<ClassId> Visited;
+  std::unordered_set<ClassId> GoalSet;
+  std::deque<ClassId> Work;
+  for (ClassId Goal : Goals) {
+    GoalSet.insert(G.find(Goal));
+    Work.push_back(G.find(Goal));
+  }
+
+  auto addTerm = [&](MachineTerm T) {
+    size_t Idx = Terms.size();
+    for (ClassId A : T.Args)
+      Work.push_back(A);
+    Producers[T.Class].push_back(Idx);
+    Terms.push_back(std::move(T));
+  };
+
+  auto unitsFromMask = [&](uint8_t Mask) {
+    std::vector<alpha::Unit> Units;
+    for (unsigned U = 0; U < alpha::NumUnits; ++U)
+      if (Mask & (1u << U))
+        Units.push_back(alpha::unitFromIndex(U));
+    return Units;
+  };
+
+  while (!Work.empty()) {
+    ClassId C = G.find(Work.front());
+    Work.pop_front();
+    if (!Visited.insert(C).second)
+      continue;
+
+    // Input (variable) classes are free.
+    std::optional<ENodeId> VarNode;
+    for (ENodeId N : G.classNodes(C))
+      if (Ctx.Ops.isVariable(G.node(N).Op)) {
+        VarNode = N;
+        break;
+      }
+    if (VarNode) {
+      Free.insert(C);
+      InputInfo In;
+      In.Class = C;
+      In.Op = G.node(*VarNode).Op;
+      In.Name = Ctx.Ops.info(In.Op).Name;
+      Inputs.push_back(std::move(In));
+      continue;
+    }
+
+    // Constants: 0 is the zero register (free as an operand); constants
+    // that are themselves goals — and every other constant — get a ldiq
+    // pseudo-term so a register can hold them.
+    if (std::optional<uint64_t> K = G.classConstant(C)) {
+      if (*K == 0 && !GoalSet.count(C)) {
+        Free.insert(C);
+        continue;
+      }
+      MachineTerm T;
+      T.Class = C;
+      T.Desc = &Isa.constMaterialize();
+      T.Latency = T.Desc->Latency;
+      T.Units = unitsFromMask(T.Desc->UnitMask);
+      T.IsLdiq = true;
+      T.ConstVal = *K;
+      Needed.push_back(C);
+      addTerm(std::move(T));
+      continue;
+    }
+
+    Needed.push_back(C);
+
+    for (ENodeId N : G.classNodes(C)) {
+      const ENode &Node = G.node(N);
+      const alpha::InstrDesc *Desc = Isa.descFor(Node.Op);
+      if (!Desc)
+        continue;
+      bool IsStore = Desc->Mem == alpha::MemKind::Store;
+      bool IsLoad = Desc->Mem == alpha::MemKind::Load;
+      if (IsStore && !Spine.count(C))
+        continue; // Only spine stores may execute (memory discipline).
+
+      MachineTerm T;
+      T.Node = N;
+      T.Class = C;
+      T.Desc = Desc;
+      T.Latency = Desc->Latency;
+      T.Units = unitsFromMask(Desc->UnitMask);
+      T.IsLoad = IsLoad;
+      T.IsStore = IsStore;
+      for (ClassId A : Node.Children)
+        T.Args.push_back(G.find(A));
+      if (IsLoad) {
+        auto It = Opts.LoadLatencyByAddr.find(T.Args[1]);
+        if (It != Opts.LoadLatencyByAddr.end())
+          T.Latency = It->second;
+      }
+      // Displacement variants for memory operations: absorb a constant
+      // offset of the address into the 16-bit ldq/stq displacement.
+      if (IsLoad || IsStore) {
+        ClassId AddrClass = T.Args[1];
+        for (ENodeId AN : G.classNodes(AddrClass)) {
+          const ENode &ANode = G.node(AN);
+          bool IsAdd = ANode.Op == AddOp;
+          bool IsSub = ANode.Op == SubOp;
+          if (!IsAdd && !IsSub)
+            continue;
+          for (int KIdx = 0; KIdx < 2; ++KIdx) {
+            if (IsSub && KIdx == 0)
+              continue;
+            std::optional<uint64_t> K =
+                G.classConstant(ANode.Children[KIdx]);
+            if (!K)
+              continue;
+            int64_t Disp = static_cast<int64_t>(*K);
+            if (IsSub)
+              Disp = -Disp;
+            if (Disp > Opts.MaxDisp || Disp < -Opts.MaxDisp - 1)
+              continue;
+            MachineTerm V = T;
+            V.Args[1] = G.find(ANode.Children[1 - KIdx]);
+            V.Disp = Disp;
+            V.HasDisp = true;
+            addTerm(std::move(V));
+          }
+        }
+      }
+      addTerm(std::move(T));
+    }
+  }
+
+  // Flag memory inputs: variables used as the memory argument of a load or
+  // store.
+  std::unordered_set<ClassId> MemClasses;
+  for (const MachineTerm &T : Terms)
+    if (T.IsLoad || T.IsStore)
+      MemClasses.insert(T.Args[0]);
+  for (InputInfo &In : Inputs)
+    In.IsMemory = MemClasses.count(In.Class) != 0;
+
+  // Goals must be computable.
+  for (ClassId Goal : Goals) {
+    ClassId C = G.find(Goal);
+    if (Free.count(C))
+      continue;
+    auto It = Producers.find(C);
+    if (It == Producers.end() || It->second.empty()) {
+      if (ErrorOut)
+        *ErrorOut = strFormat(
+            "goal class c%u has no machine-computable alternative "
+            "(matching found no instruction for it)", C);
+      return false;
+    }
+  }
+  return true;
+}
+
+const std::vector<size_t> &Universe::producersOf(ClassId C) const {
+  auto It = Producers.find(C);
+  if (It == Producers.end())
+    return EmptyList;
+  return It->second;
+}
+
+bool Universe::isImmOperand(const EGraph &G, const alpha::InstrDesc &Desc,
+                            size_t ArgIdx, size_t Arity, ClassId C) const {
+  if (!Desc.AllowsImm8)
+    return false;
+  if (ArgIdx != immArgIndex(Desc, Arity))
+    return false;
+  std::optional<uint64_t> K = G.classConstant(G.find(C));
+  return K && *K <= 255;
+}

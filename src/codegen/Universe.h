@@ -1,0 +1,108 @@
+//===- codegen/Universe.h - Machine-term universe ---------------*- C++ -*-===//
+///
+/// \file
+/// The encoding universe: everything the constraint generator needs to know
+/// about a saturated E-graph relative to a set of goal classes.
+///
+///  * **machine terms** — live E-nodes computable by one EV6 instruction
+///    (paper, section 6), restricted to the cone reachable from the goals;
+///    loads and stores contribute extra *displacement variants* (ldq/stq
+///    with a 16-bit displacement absorbs an add64(base, k) address);
+///  * **free classes** — GMA inputs (registers, the initial memory) and the
+///    constant 0 (the Alpha zero register $31), available at cycle 0;
+///  * **constants** — materialized by a pseudo ldiq machine term, or used
+///    directly as 8-bit ALU literals where the instruction form allows;
+///  * the **memory spine** — the chain of store classes leading to the goal
+///    memory value; only spine stores are candidates, which (with the
+///    encoder's ordering constraints) keeps speculative stores out of the
+///    schedule.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DENALI_CODEGEN_UNIVERSE_H
+#define DENALI_CODEGEN_UNIVERSE_H
+
+#include "alpha/ISA.h"
+#include "egraph/EGraph.h"
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace denali {
+namespace codegen {
+
+/// One candidate instruction instance.
+struct MachineTerm {
+  egraph::ENodeId Node = 0;          ///< 0 for ldiq pseudo-terms.
+  egraph::ClassId Class = 0;         ///< Canonical class it computes.
+  const alpha::InstrDesc *Desc = nullptr;
+  unsigned Latency = 1;
+  std::vector<egraph::ClassId> Args; ///< Canonical argument classes.
+  std::vector<alpha::Unit> Units;    ///< Units it may issue on.
+  bool IsLoad = false;
+  bool IsStore = false;
+  bool IsLdiq = false;
+  uint64_t ConstVal = 0;             ///< For ldiq.
+  int64_t Disp = 0;                  ///< Displacement variant (loads/stores).
+  bool HasDisp = false;
+};
+
+/// Options shaping the universe.
+struct UniverseOptions {
+  /// Load latency overrides by (canonical) address class — the \miss
+  /// annotations of the source program.
+  std::unordered_map<egraph::ClassId, unsigned> LoadLatencyByAddr;
+  /// Displacement range for ldq/stq address folding.
+  int64_t MaxDisp = 32767;
+};
+
+/// The collected universe.
+class Universe {
+public:
+  /// Builds the universe for \p Goals. \returns false (with \p ErrorOut)
+  /// if some goal class is not computable at all.
+  bool build(const egraph::EGraph &G, const alpha::ISA &Isa,
+             const std::vector<egraph::ClassId> &Goals,
+             const UniverseOptions &Opts, std::string *ErrorOut);
+
+  const std::vector<MachineTerm> &terms() const { return Terms; }
+
+  /// Machine terms computing class \p C (indices into terms()).
+  const std::vector<size_t> &producersOf(egraph::ClassId C) const;
+
+  /// True if \p C is available at cycle 0 (input or constant zero).
+  bool isFree(egraph::ClassId C) const { return Free.count(C) != 0; }
+
+  /// Classes requiring availability (B) variables.
+  const std::vector<egraph::ClassId> &neededClasses() const { return Needed; }
+
+  /// True if \p C can appear as the 8-bit literal operand of \p Desc at
+  /// argument position \p ArgIdx.
+  bool isImmOperand(const egraph::EGraph &G, const alpha::InstrDesc &Desc,
+                    size_t ArgIdx, size_t Arity, egraph::ClassId C) const;
+
+  /// The input (variable) classes with their names; memory inputs flagged.
+  struct InputInfo {
+    egraph::ClassId Class;
+    ir::OpId Op;
+    std::string Name;
+    bool IsMemory = false;
+  };
+  const std::vector<InputInfo> &inputs() const { return Inputs; }
+
+private:
+  std::vector<MachineTerm> Terms;
+  std::unordered_map<egraph::ClassId, std::vector<size_t>> Producers;
+  std::unordered_set<egraph::ClassId> Free;
+  std::vector<egraph::ClassId> Needed;
+  std::vector<InputInfo> Inputs;
+  std::vector<size_t> EmptyList;
+};
+
+} // namespace codegen
+} // namespace denali
+
+#endif // DENALI_CODEGEN_UNIVERSE_H

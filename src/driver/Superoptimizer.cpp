@@ -1,0 +1,245 @@
+//===- driver/Superoptimizer.cpp ------------------------------------------===//
+
+#include "driver/Superoptimizer.h"
+
+#include "lang/Surface.h"
+#include "match/Elaborate.h"
+#include "support/StringExtras.h"
+#include "support/Timer.h"
+
+#include <random>
+
+using namespace denali;
+using namespace denali::driver;
+using denali::ir::Builtin;
+
+Superoptimizer::Superoptimizer(Options O)
+    : Opts(O), Isa(Ctx, O.Model), Axioms(axioms::loadBuiltinAxioms(Ctx)) {}
+
+bool Superoptimizer::addAxiomsText(const std::string &Text,
+                                   std::string *ErrorOut) {
+  auto Parsed = axioms::parseAxiomsText(Ctx, Text, ErrorOut);
+  if (!Parsed)
+    return false;
+  for (match::Axiom &A : *Parsed) {
+    if (auto Def = match::extractDefinition(Ctx, A))
+      Defs.emplace(Def->first, Def->second);
+    Axioms.push_back(std::move(A));
+  }
+  return true;
+}
+
+GmaResult Superoptimizer::compileGMA(const gma::GMA &G) {
+  GmaResult Result;
+  Result.Gma = G;
+
+  egraph::EGraph Graph(Ctx);
+
+  // Goal classes: guard + all new values + annotated miss addresses.
+  std::vector<codegen::NamedGoal> Goals;
+  std::vector<egraph::ClassId> GoalClasses;
+  for (size_t I = 0; I < G.Targets.size(); ++I) {
+    egraph::ClassId C = Graph.addTerm(G.NewVals[I]);
+    bool IsMemory =
+        Ctx.Terms.node(G.NewVals[I]).Op == Ctx.Ops.builtin(Builtin::Store) ||
+        G.Targets[I] == "M";
+    Goals.push_back(codegen::NamedGoal{G.Targets[I], C, IsMemory});
+    GoalClasses.push_back(C);
+  }
+  std::optional<egraph::ClassId> GuardClass;
+  if (G.Guard && Opts.EnforceGuard) {
+    GuardClass = Graph.addTerm(*G.Guard);
+    GoalClasses.push_back(*GuardClass);
+  }
+  codegen::UniverseOptions UOpts;
+  for (ir::TermId Addr : G.MissAddrs) {
+    egraph::ClassId C = Graph.addTerm(Addr);
+    UOpts.LoadLatencyByAddr[Graph.find(C)] = Isa.loadMissLatency();
+  }
+  // Trust facts: asserted before matching so the whole saturation can use
+  // them (the \trust feature of section 2).
+  for (const gma::GMA::Assumption &A : G.Assumptions) {
+    egraph::ClassId L = Graph.addTerm(A.Lhs);
+    egraph::ClassId R = Graph.addTerm(A.Rhs);
+    if (A.IsEq)
+      Graph.assertEqual(L, R);
+    else
+      Graph.assertDistinct(L, R);
+  }
+  if (Graph.isInconsistent()) {
+    Result.Error = "contradictory \\assume facts: " +
+                   Graph.inconsistencyMessage();
+    return Result;
+  }
+
+  // Matching phase (Figure 1, left box).
+  Timer T;
+  match::Matcher M(Axioms);
+  for (match::Elaborator &E : match::standardElaborators())
+    M.addElaborator(std::move(E));
+  Result.Matching = M.saturate(Graph, Opts.Matching);
+  Result.MatchSeconds = T.seconds();
+  if (Graph.isInconsistent()) {
+    Result.Error = "E-graph inconsistent (unsound axiom?): " +
+                   Graph.inconsistencyMessage();
+    return Result;
+  }
+  // Miss annotations may have moved classes during saturation.
+  codegen::UniverseOptions UOpts2;
+  for (auto &[C, L] : UOpts.LoadLatencyByAddr)
+    UOpts2.LoadLatencyByAddr[Graph.find(C)] = L;
+
+  // Canonicalize goal classes after merging.
+  for (codegen::NamedGoal &Goal : Goals)
+    Goal.Class = Graph.find(Goal.Class);
+  std::vector<egraph::ClassId> Roots;
+  for (const codegen::NamedGoal &Goal : Goals)
+    Roots.push_back(Goal.Class);
+  if (GuardClass) {
+    GuardClass = Graph.find(*GuardClass);
+    Roots.push_back(*GuardClass);
+  }
+
+  // Constraint generation + satisfiability search (Figure 1, right boxes).
+  codegen::Universe U;
+  std::string Err;
+  if (!U.build(Graph, Isa, Roots, UOpts2, &Err)) {
+    Result.Error = Err;
+    return Result;
+  }
+  codegen::SearchOptions SOpts = Opts.Search;
+  if (GuardClass)
+    SOpts.Encoding.GuardClass = *GuardClass;
+  Result.Search = codegen::searchBudgets(Graph, Isa, U, Goals, SOpts, G.Name);
+  if (!Result.Search.Found)
+    Result.Error = Result.Search.Error;
+  return Result;
+}
+
+GmaResult Superoptimizer::compileGoals(
+    const std::string &Name,
+    const std::vector<std::pair<std::string, ir::TermId>> &Goals) {
+  gma::GMA G;
+  G.Name = Name;
+  for (const auto &[Target, Term] : Goals) {
+    G.Targets.push_back(Target);
+    G.NewVals.push_back(Term);
+  }
+  return compileGMA(G);
+}
+
+CompileResult Superoptimizer::compileSource(const std::string &Source) {
+  CompileResult Result;
+  std::string Err;
+  std::optional<lang::Module> M = lang::parseAnyModule(Source, &Err);
+  if (!M) {
+    Result.Error = Err;
+    return Result;
+  }
+  for (const lang::OpDecl &D : M->OpDecls)
+    Ctx.Ops.declareOp(D.Name, static_cast<int>(D.Arity));
+  for (const sexpr::SExpr &AxForm : M->Axioms) {
+    std::optional<match::Axiom> A = match::parseAxiom(Ctx, AxForm, &Err);
+    if (!A) {
+      Result.Error = "axiom: " + Err;
+      return Result;
+    }
+    if (auto Def = match::extractDefinition(Ctx, *A))
+      Defs.emplace(Def->first, Def->second);
+    Axioms.push_back(std::move(*A));
+  }
+  for (const lang::Proc &P : M->Procs) {
+    std::optional<std::vector<gma::GMA>> Gmas =
+        gma::translateProc(Ctx, P, &Err);
+    if (!Gmas) {
+      Result.Error = Err;
+      return Result;
+    }
+    for (const gma::GMA &G : *Gmas)
+      Result.Gmas.push_back(compileGMA(G));
+  }
+  return Result;
+}
+
+std::optional<std::string> Superoptimizer::verify(const GmaResult &R,
+                                                  unsigned Trials,
+                                                  uint64_t Seed) {
+  if (!R.ok())
+    return "GMA was not compiled successfully";
+  const alpha::Program &P = R.Search.Program;
+
+  alpha::TimingReport TR = alpha::validateTiming(Isa, P);
+  if (!TR.Ok)
+    return "timing: " + TR.Error;
+
+  std::mt19937_64 Rng(Seed * 0x9e3779b97f4a7c15ULL + 0xb5297a4d);
+  std::vector<ir::OpId> Inputs = gma::gmaInputs(Ctx, R.Gma);
+  for (unsigned Trial = 0; Trial < Trials; ++Trial) {
+    ir::Env E;
+    std::unordered_map<std::string, ir::Value> SimInputs;
+    for (ir::OpId In : Inputs) {
+      const std::string &Name = Ctx.Ops.info(In).Name;
+      // Memory inputs are those the program declares as memory.
+      bool IsMemory = false;
+      for (const alpha::ProgramInput &PI : P.Inputs)
+        if (PI.Name == Name)
+          IsMemory = PI.IsMemory;
+      ir::Value V = IsMemory ? ir::Value::makeArray(Rng())
+                             : ir::Value::makeInt(Rng());
+      E[In] = V;
+      SimInputs[Name] = V;
+    }
+    // Some program inputs may be unused by the reference terms (e.g. the
+    // memory of an unannotated path); bind them too.
+    for (const alpha::ProgramInput &PI : P.Inputs)
+      if (!SimInputs.count(PI.Name)) {
+        ir::Value V = PI.IsMemory ? ir::Value::makeArray(Rng())
+                                  : ir::Value::makeInt(Rng());
+        SimInputs[PI.Name] = V;
+        E[Ctx.Ops.makeVariable(PI.Name)] = V;
+      }
+    // Honor \assume facts of the simple `var = <evaluable>` shape by
+    // forcing the variable's value (the generated code is entitled to rely
+    // on them). Random inputs satisfy `neq` facts with overwhelming
+    // probability; other equalities are the programmer's risk.
+    for (const gma::GMA::Assumption &A : R.Gma.Assumptions) {
+      if (!A.IsEq)
+        continue;
+      for (auto [VarSide, ValSide] : {std::pair{A.Lhs, A.Rhs},
+                                      std::pair{A.Rhs, A.Lhs}}) {
+        const ir::TermNode &N = Ctx.Terms.node(VarSide);
+        if (!Ctx.Ops.isVariable(N.Op))
+          continue;
+        if (auto V = ir::evalTerm(Ctx.Terms, ValSide, E, &Defs)) {
+          E[N.Op] = *V;
+          SimInputs[Ctx.Ops.info(N.Op).Name] = *V;
+          break;
+        }
+      }
+    }
+
+    std::string Err;
+    auto Want = gma::evalGMA(Ctx, R.Gma, E, &Defs, &Err);
+    if (!Want)
+      return "reference evaluation failed: " + Err;
+    alpha::RunResult Run = alpha::runProgram(Ctx, P, SimInputs);
+    if (!Run.Ok)
+      return "simulation failed: " + Run.Error;
+    // Replay loads/stores against one real shared memory: catches
+    // discipline bugs the value semantics cannot.
+    if (auto MemErr = alpha::validateMemoryDiscipline(Ctx, P, SimInputs))
+      return "memory discipline: " + *MemErr;
+    for (const auto &[Target, WantV] : *Want) {
+      auto It = Run.Outputs.find(Target);
+      if (It == Run.Outputs.end())
+        return strFormat("output '%s' missing from program",
+                         Target.c_str());
+      if (!It->second.equals(WantV))
+        return strFormat(
+            "trial %u: output '%s' mismatch: program %s, reference %s",
+            Trial, Target.c_str(), It->second.toString().c_str(),
+            WantV.toString().c_str());
+    }
+  }
+  return std::nullopt;
+}

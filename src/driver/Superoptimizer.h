@@ -1,0 +1,117 @@
+//===- driver/Superoptimizer.h - The Denali pipeline ------------*- C++ -*-===//
+///
+/// \file
+/// The public facade: Figure 1's flow. A Superoptimizer owns the operator
+/// and term tables, the EV6 description, and the built-in axiom files; it
+/// compiles source modules (or single GMAs, or bare goal terms) to
+/// near-optimal scheduled EV6 assembly, and can differentially verify the
+/// result against the reference semantics on random inputs.
+///
+/// Typical use:
+/// \code
+///   denali::driver::Superoptimizer Opt;
+///   auto Result = Opt.compileSource(SourceText);
+///   for (auto &G : Result.Gmas)
+///     std::puts(G.Search.Program.toString().c_str());
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DENALI_DRIVER_SUPEROPTIMIZER_H
+#define DENALI_DRIVER_SUPEROPTIMIZER_H
+
+#include "alpha/ISA.h"
+#include "alpha/Simulator.h"
+#include "axioms/BuiltinAxioms.h"
+#include "codegen/Search.h"
+#include "gma/GMA.h"
+#include "lang/Parser.h"
+#include "match/Matcher.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace denali {
+namespace driver {
+
+/// Pipeline knobs.
+struct Options {
+  /// Target machine model (the architectural description of Figure 1).
+  alpha::Machine Model = alpha::Machine::EV6;
+  match::MatchLimits Matching;
+  codegen::SearchOptions Search;
+  /// Enforce guard-before-memory-operation ordering when a GMA has a
+  /// nontrivial guard (paper, section 7).
+  bool EnforceGuard = true;
+};
+
+/// The result of compiling one GMA.
+struct GmaResult {
+  gma::GMA Gma;
+  match::MatchStats Matching;
+  double MatchSeconds = 0;
+  codegen::SearchResult Search;
+  std::string Error; ///< Nonempty on failure.
+
+  bool ok() const { return Error.empty() && Search.Found; }
+};
+
+/// The result of compiling a module.
+struct CompileResult {
+  std::string Error; ///< Nonempty on front-end failure.
+  std::vector<GmaResult> Gmas;
+
+  bool ok() const { return Error.empty(); }
+};
+
+class Superoptimizer {
+public:
+  explicit Superoptimizer(Options Opts = Options());
+
+  ir::Context &context() { return Ctx; }
+  const alpha::ISA &isa() const { return Isa; }
+  Options &options() { return Opts; }
+
+  /// Compiles Denali source text — either the prototype's parenthesized
+  /// syntax (Figure 6) or the envisioned surface syntax (Figures 3/5; see
+  /// lang/Surface.h): declares operators, collects program axioms,
+  /// translates every procedure to GMAs, and superoptimizes each.
+  CompileResult compileSource(const std::string &Source);
+
+  /// Superoptimizes one GMA (the crucial inner subroutine).
+  GmaResult compileGMA(const gma::GMA &G);
+
+  /// Superoptimizes a bare vector of goal terms (library entry point for
+  /// the examples): target names are paired with terms.
+  GmaResult
+  compileGoals(const std::string &Name,
+               const std::vector<std::pair<std::string, ir::TermId>> &Goals);
+
+  /// Registers extra axioms (program-specific facts). \returns false with
+  /// \p ErrorOut on parse failure. Definitional axioms also extend the
+  /// reference evaluator.
+  bool addAxiomsText(const std::string &Text, std::string *ErrorOut);
+
+  /// Differentially verifies a compiled GMA: for \p Trials random input
+  /// environments, the simulated program's outputs must equal the GMA's
+  /// reference evaluation. \returns an error description or std::nullopt.
+  std::optional<std::string> verify(const GmaResult &R, unsigned Trials = 16,
+                                    uint64_t Seed = 1);
+
+  /// The evaluator definitions harvested from definitional axioms.
+  const ir::Definitions &definitions() const { return Defs; }
+
+private:
+  Options Opts;
+  ir::Context Ctx;
+  alpha::ISA Isa;
+  std::vector<match::Axiom> Axioms;
+  ir::Definitions Defs;
+};
+
+} // namespace driver
+} // namespace denali
+
+#endif // DENALI_DRIVER_SUPEROPTIMIZER_H

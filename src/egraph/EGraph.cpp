@@ -1,0 +1,415 @@
+//===- egraph/EGraph.cpp --------------------------------------------------===//
+
+#include "egraph/EGraph.h"
+
+#include "ir/Eval.h"
+#include "support/Error.h"
+#include "support/StringExtras.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace denali;
+using namespace denali::egraph;
+using denali::ir::Builtin;
+
+EGraph::EGraph(ir::Context &Ctx, bool FoldConstants)
+    : Ctx(Ctx), FoldConstants(FoldConstants) {}
+
+EGraph::Key EGraph::canonicalKey(const ENode &N) const {
+  Key K;
+  K.Op = N.Op;
+  K.ConstVal = N.ConstVal;
+  K.Children.reserve(N.Children.size());
+  for (ClassId C : N.Children)
+    K.Children.push_back(UF.find(C));
+  return K;
+}
+
+ENodeId EGraph::insertNode(ir::OpId Op, std::vector<ClassId> Children,
+                           uint64_t ConstVal, bool &WasNew) {
+  for (ClassId &C : Children)
+    C = UF.find(C);
+  Key K{Op, Children, ConstVal};
+  auto It = Hashcons.find(K);
+  if (It != Hashcons.end()) {
+    WasNew = false;
+    return It->second;
+  }
+  WasNew = true;
+  ENodeId NId = static_cast<ENodeId>(Nodes.size());
+  ClassId CId = UF.makeSet();
+  assert(CId == ClassStates.size() && "class table out of sync");
+  ClassStates.emplace_back();
+  Nodes.push_back(ENode{Op, Children, ConstVal, CId, true});
+  ++LiveNodeCount;
+  Hashcons.emplace(std::move(K), NId);
+  ClassStates[CId].Members.push_back(NId);
+  if (Ctx.Ops.isConst(Op))
+    ClassStates[CId].Constant = ConstVal;
+  for (ClassId C : Children)
+    ClassStates[C].Parents.push_back(NId);
+  OpIndex[Op].push_back(NId);
+  if (FoldConstants)
+    FoldQueue.push_back(NId);
+  ++Version;
+  return NId;
+}
+
+ClassId EGraph::addNode(ir::OpId Op, const std::vector<ClassId> &Children) {
+  assert(static_cast<size_t>(Ctx.Ops.info(Op).Arity) == Children.size() &&
+         "arity mismatch");
+  bool WasNew = false;
+  ENodeId N = insertNode(Op, Children, 0, WasNew);
+  ClassId C = classOf(N);
+  if (WasNew && !InRebuild)
+    rebuild();
+  return UF.find(C);
+}
+
+ClassId EGraph::addConst(uint64_t Value) {
+  bool WasNew = false;
+  ENodeId N =
+      insertNode(Ctx.Ops.builtin(Builtin::Const), {}, Value, WasNew);
+  return classOf(N);
+}
+
+ClassId EGraph::addTerm(ir::TermId Term) {
+  std::unordered_map<ir::TermId, ClassId> Memo;
+  std::vector<std::pair<ir::TermId, bool>> Stack;
+  Stack.push_back({Term, false});
+  while (!Stack.empty()) {
+    auto [Id, Expanded] = Stack.back();
+    Stack.pop_back();
+    if (Memo.count(Id))
+      continue;
+    const ir::TermNode &N = Ctx.Terms.node(Id);
+    if (!Expanded) {
+      if (Ctx.Ops.isConst(N.Op)) {
+        Memo[Id] = addConst(N.ConstVal);
+        continue;
+      }
+      if (N.Children.empty()) {
+        Memo[Id] = addNode(N.Op, {});
+        continue;
+      }
+      Stack.push_back({Id, true});
+      for (ir::TermId C : N.Children)
+        Stack.push_back({C, false});
+      continue;
+    }
+    std::vector<ClassId> Children;
+    Children.reserve(N.Children.size());
+    for (ir::TermId C : N.Children)
+      Children.push_back(Memo.at(C));
+    Memo[Id] = addNode(N.Op, Children);
+  }
+  return UF.find(Memo.at(Term));
+}
+
+void EGraph::conflict(const std::string &Msg) {
+  if (Inconsistent)
+    return;
+  Inconsistent = true;
+  ConflictMsg = Msg;
+}
+
+void EGraph::mergeInto(ClassId Root, ClassId Gone) {
+  ClassState &RS = ClassStates[Root];
+  ClassState &GS = ClassStates[Gone];
+  RS.Members.insert(RS.Members.end(), GS.Members.begin(), GS.Members.end());
+  GS.Members.clear();
+  bool ConstantArrived = false;
+  if (GS.Constant) {
+    if (RS.Constant) {
+      if (*RS.Constant != *GS.Constant)
+        conflict(strFormat("constant conflict: %llu vs %llu merged",
+                           static_cast<unsigned long long>(*RS.Constant),
+                           static_cast<unsigned long long>(*GS.Constant)));
+    } else {
+      RS.Constant = GS.Constant;
+      ConstantArrived = true;
+    }
+  }
+  RS.DistinctFrom.insert(RS.DistinctFrom.end(), GS.DistinctFrom.begin(),
+                         GS.DistinctFrom.end());
+  GS.DistinctFrom.clear();
+  // A newly known constant can enable folds in every parent.
+  if (FoldConstants && ConstantArrived)
+    for (ENodeId P : RS.Parents)
+      FoldQueue.push_back(P);
+  if (FoldConstants && ConstantArrived)
+    for (ENodeId P : GS.Parents)
+      FoldQueue.push_back(P);
+  RS.Parents.insert(RS.Parents.end(), GS.Parents.begin(), GS.Parents.end());
+  GS.Parents.clear();
+}
+
+bool EGraph::mergeClasses(ClassId A, ClassId B) {
+  A = UF.find(A);
+  B = UF.find(B);
+  if (A == B)
+    return false;
+  if (areDistinct(A, B)) {
+    conflict("merge of classes constrained distinct");
+    return false;
+  }
+  ClassId Root = UF.unite(A, B);
+  ClassId Gone = Root == A ? B : A;
+  mergeInto(Root, Gone);
+  Worklist.push_back(Root);
+  ++Version;
+  return true;
+}
+
+bool EGraph::assertEqual(ClassId A, ClassId B) {
+  bool Changed = mergeClasses(A, B);
+  if (Changed && !InRebuild)
+    rebuild();
+  return Changed;
+}
+
+bool EGraph::assertDistinct(ClassId A, ClassId B) {
+  A = UF.find(A);
+  B = UF.find(B);
+  if (A == B) {
+    conflict("distinctness asserted within one class");
+    return false;
+  }
+  if (areDistinct(A, B))
+    return false;
+  ClassStates[A].DistinctFrom.push_back(B);
+  ClassStates[B].DistinctFrom.push_back(A);
+  ++Version;
+  if (!InRebuild)
+    rebuild(); // Distinctness can make clause literals untenable.
+  return true;
+}
+
+void EGraph::addClause(std::vector<Literal> Lits) {
+  Clauses.push_back(Clause{std::move(Lits), false});
+  if (!InRebuild)
+    rebuild();
+}
+
+bool EGraph::areDistinct(ClassId A, ClassId B) const {
+  A = UF.find(A);
+  B = UF.find(B);
+  if (A == B)
+    return false;
+  const std::optional<uint64_t> &CA = ClassStates[A].Constant;
+  const std::optional<uint64_t> &CB = ClassStates[B].Constant;
+  if (CA && CB && *CA != *CB)
+    return true;
+  const std::vector<ClassId> &ListA = ClassStates[A].DistinctFrom;
+  const std::vector<ClassId> &ListB = ClassStates[B].DistinctFrom;
+  const std::vector<ClassId> &Shorter =
+      ListA.size() <= ListB.size() ? ListA : ListB;
+  ClassId Other = ListA.size() <= ListB.size() ? B : A;
+  for (ClassId D : Shorter)
+    if (UF.find(D) == Other)
+      return true;
+  return false;
+}
+
+std::optional<uint64_t> EGraph::classConstant(ClassId C) const {
+  return ClassStates[UF.find(C)].Constant;
+}
+
+std::vector<ENodeId> EGraph::classNodes(ClassId C) const {
+  std::vector<ENodeId> Out;
+  for (ENodeId N : ClassStates[UF.find(C)].Members)
+    if (Nodes[N].Alive)
+      Out.push_back(N);
+  return Out;
+}
+
+std::vector<ClassId> EGraph::canonicalClasses() const {
+  std::vector<ClassId> Out;
+  for (ClassId C = 0; C < ClassStates.size(); ++C)
+    if (UF.find(C) == C && !ClassStates[C].Members.empty())
+      Out.push_back(C);
+  return Out;
+}
+
+const std::vector<ENodeId> &EGraph::nodesWithOp(ir::OpId Op) const {
+  auto It = OpIndex.find(Op);
+  if (It == OpIndex.end())
+    return EmptyNodeList;
+  return It->second;
+}
+
+size_t EGraph::numClasses() const {
+  size_t Count = 0;
+  for (ClassId C = 0; C < ClassStates.size(); ++C)
+    if (UF.find(C) == C && !ClassStates[C].Members.empty())
+      ++Count;
+  return Count;
+}
+
+void EGraph::repair(ClassId C) {
+  // Take ownership of the parent list; surviving entries are re-added.
+  std::vector<ENodeId> Parents;
+  Parents.swap(ClassStates[C].Parents);
+  std::unordered_set<ENodeId> Seen;
+  std::vector<ENodeId> NewParents;
+  for (ENodeId NId : Parents) {
+    if (!Seen.insert(NId).second)
+      continue;
+    ENode &N = Nodes[NId];
+    if (!N.Alive)
+      continue;
+    // Erase the stale hashcons entry (keyed by the stored children).
+    Key OldKey{N.Op, N.Children, N.ConstVal};
+    auto OldIt = Hashcons.find(OldKey);
+    if (OldIt != Hashcons.end() && OldIt->second == NId)
+      Hashcons.erase(OldIt);
+    // Re-canonicalize and reinsert.
+    bool Changed = false;
+    for (ClassId &Child : N.Children) {
+      ClassId Canon = UF.find(Child);
+      Changed |= Canon != Child;
+      Child = Canon;
+    }
+    Key NewKey{N.Op, N.Children, N.ConstVal};
+    auto It = Hashcons.find(NewKey);
+    if (It != Hashcons.end() && It->second != NId) {
+      // Congruent twin: merge classes, retire this node.
+      mergeClasses(classOf(NId), classOf(It->second));
+      N.Alive = false;
+      --LiveNodeCount;
+    } else {
+      Hashcons[NewKey] = NId;
+      if (Changed && FoldConstants)
+        FoldQueue.push_back(NId);
+      NewParents.push_back(NId);
+    }
+  }
+  ClassStates[C].Parents.insert(ClassStates[C].Parents.end(),
+                                NewParents.begin(), NewParents.end());
+}
+
+void EGraph::processFoldQueue() {
+  while (!FoldQueue.empty()) {
+    ENodeId NId = FoldQueue.front();
+    FoldQueue.pop_front();
+    const ENode &N = Nodes[NId];
+    if (!N.Alive)
+      continue;
+    const ir::OpInfo &Info = Ctx.Ops.info(N.Op);
+    if (Info.Kind != ir::OpKind::Builtin)
+      continue;
+    Builtin B = Info.BuiltinOp;
+    if (B == Builtin::Const || B == Builtin::Select || B == Builtin::Store ||
+        N.Children.empty())
+      continue;
+    if (classConstant(classOf(NId)))
+      continue; // Already known constant.
+    std::vector<uint64_t> Args;
+    Args.reserve(N.Children.size());
+    bool AllConst = true;
+    for (ClassId C : N.Children) {
+      std::optional<uint64_t> V = classConstant(C);
+      if (!V) {
+        AllConst = false;
+        break;
+      }
+      Args.push_back(*V);
+    }
+    if (!AllConst)
+      continue;
+    uint64_t Val = ir::evalBuiltinInt(B, Args);
+    ClassId ConstClass = addConst(Val);
+    mergeClasses(classOf(NId), ConstClass);
+  }
+}
+
+bool EGraph::literalSatisfied(const Literal &L) const {
+  if (L.TheKind == Literal::Kind::Eq)
+    return sameClass(L.A, L.B);
+  return areDistinct(L.A, L.B);
+}
+
+bool EGraph::literalUntenable(const Literal &L) const {
+  if (L.TheKind == Literal::Kind::Eq)
+    return areDistinct(L.A, L.B);
+  return sameClass(L.A, L.B);
+}
+
+void EGraph::assertLiteral(const Literal &L) {
+  if (L.TheKind == Literal::Kind::Eq)
+    mergeClasses(L.A, L.B);
+  else
+    assertDistinct(L.A, L.B);
+}
+
+void EGraph::processClauses() {
+  for (Clause &C : Clauses) {
+    if (C.Done)
+      continue;
+    bool Satisfied = false;
+    for (const Literal &L : C.Lits)
+      if (literalSatisfied(L)) {
+        Satisfied = true;
+        break;
+      }
+    if (Satisfied) {
+      C.Done = true;
+      continue;
+    }
+    // Delete untenable literals (paper, section 5).
+    C.Lits.erase(std::remove_if(C.Lits.begin(), C.Lits.end(),
+                                [&](const Literal &L) {
+                                  return literalUntenable(L);
+                                }),
+                 C.Lits.end());
+    if (C.Lits.empty()) {
+      conflict("clause with all literals untenable");
+      C.Done = true;
+      continue;
+    }
+    if (C.Lits.size() == 1) {
+      assertLiteral(C.Lits.front());
+      C.Done = true;
+    }
+  }
+}
+
+void EGraph::rebuild() {
+  assert(!InRebuild && "reentrant rebuild");
+  InRebuild = true;
+  for (;;) {
+    if (!Worklist.empty()) {
+      std::vector<ClassId> Todo;
+      Todo.swap(Worklist);
+      std::sort(Todo.begin(), Todo.end());
+      Todo.erase(std::unique(Todo.begin(), Todo.end()), Todo.end());
+      for (ClassId C : Todo)
+        repair(UF.find(C));
+      continue;
+    }
+    if (FoldConstants && !FoldQueue.empty()) {
+      processFoldQueue();
+      continue;
+    }
+    uint64_t Before = Version;
+    processClauses();
+    if (Version == Before && Worklist.empty() && FoldQueue.empty())
+      break;
+  }
+  InRebuild = false;
+}
+
+std::string EGraph::nodeToString(ENodeId NId) const {
+  const ENode &N = Nodes[NId];
+  const ir::OpInfo &Info = Ctx.Ops.info(N.Op);
+  if (Ctx.Ops.isConst(N.Op))
+    return formatConstant(N.ConstVal);
+  if (N.Children.empty())
+    return Info.Name;
+  std::string Out = "(" + Info.Name;
+  for (ClassId C : N.Children)
+    Out += strFormat(" c%u", UF.find(C));
+  Out += ')';
+  return Out;
+}

@@ -1,0 +1,218 @@
+//===- egraph/EGraph.h - The E-graph ----------------------------*- C++ -*-===//
+///
+/// \file
+/// The E-graph (paper, section 5): a term DAG augmented with an equivalence
+/// relation on nodes. An E-graph of size O(n) can represent exponentially
+/// many ways of computing a term; Denali's matcher saturates it with axiom
+/// instances, and the constraint generator reads every machine-computable
+/// alternative out of it.
+///
+/// Beyond plain congruence closure this E-graph carries the three fact
+/// kinds the paper's matcher uses:
+///   * equalities  — assertEqual / merge;
+///   * distinctions — pairs of classes constrained *uncombinable*;
+///   * clauses     — disjunctions of equality/distinction literals, with
+///     untenable-literal deletion and unit propagation (section 5's
+///     select-store example).
+///
+/// The E-graph also runs a constant analysis: classes whose value is a
+/// known 64-bit constant fold through builtin operators (this is how
+/// `mskbl(0, i)` collapses to `0`, enabling further matches).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DENALI_EGRAPH_EGRAPH_H
+#define DENALI_EGRAPH_EGRAPH_H
+
+#include "egraph/UnionFind.h"
+#include "ir/Term.h"
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace denali {
+namespace egraph {
+
+using ClassId = uint32_t;
+using ENodeId = uint32_t;
+
+/// One E-node: an operator applied to equivalence classes.
+struct ENode {
+  ir::OpId Op = 0;
+  std::vector<ClassId> Children; ///< Canonical as of the last rebuild.
+  uint64_t ConstVal = 0;         ///< For Builtin::Const nodes.
+  ClassId Class = 0;             ///< May be stale; canonicalize via find().
+  bool Alive = true; ///< False once deduplicated against a congruent twin.
+};
+
+/// A literal of a recorded clause.
+struct Literal {
+  enum class Kind { Eq, Ne };
+  Kind TheKind = Kind::Eq;
+  ClassId A = 0;
+  ClassId B = 0;
+
+  static Literal eq(ClassId A, ClassId B) { return {Kind::Eq, A, B}; }
+  static Literal ne(ClassId A, ClassId B) { return {Kind::Ne, A, B}; }
+};
+
+class EGraph {
+public:
+  explicit EGraph(ir::Context &Ctx, bool FoldConstants = true);
+
+  //===--------------------------------------------------------------------===
+  // Construction
+  //===--------------------------------------------------------------------===
+
+  /// Adds (or finds) the node op(children...). \returns its class.
+  ClassId addNode(ir::OpId Op, const std::vector<ClassId> &Children);
+
+  /// Adds (or finds) the constant \p Value.
+  ClassId addConst(uint64_t Value);
+
+  /// Recursively adds an interned term (shares structure via the hashcons).
+  ClassId addTerm(ir::TermId Term);
+
+  //===--------------------------------------------------------------------===
+  // Facts
+  //===--------------------------------------------------------------------===
+
+  /// Asserts A = B and restores congruence closure. \returns true if the
+  /// graph changed.
+  bool assertEqual(ClassId A, ClassId B);
+
+  /// Asserts A != B (classes become uncombinable). \returns true if the
+  /// graph changed. Sets the inconsistent flag if A and B are already equal.
+  bool assertDistinct(ClassId A, ClassId B);
+
+  /// Records the clause L1 | ... | Ln. Untenable literals are deleted as
+  /// the graph evolves; a clause reduced to one literal asserts it.
+  void addClause(std::vector<Literal> Lits);
+
+  //===--------------------------------------------------------------------===
+  // Queries
+  //===--------------------------------------------------------------------===
+
+  ClassId find(ClassId C) const { return UF.find(C); }
+  bool sameClass(ClassId A, ClassId B) const { return UF.sameSet(A, B); }
+
+  /// True if A and B are constrained uncombinable, either explicitly or
+  /// because they hold different constants.
+  bool areDistinct(ClassId A, ClassId B) const;
+
+  /// The known constant value of class \p C, if any.
+  std::optional<uint64_t> classConstant(ClassId C) const;
+
+  /// Live nodes in the class of \p C.
+  std::vector<ENodeId> classNodes(ClassId C) const;
+
+  /// All canonical class representatives.
+  std::vector<ClassId> canonicalClasses() const;
+
+  /// Live nodes whose operator is \p Op (used by the e-matcher's root
+  /// indexing). May include nodes from many classes.
+  const std::vector<ENodeId> &nodesWithOp(ir::OpId Op) const;
+
+  const ENode &node(ENodeId N) const { return Nodes[N]; }
+  ClassId classOf(ENodeId N) const { return UF.find(Nodes[N].Class); }
+
+  size_t numNodes() const { return LiveNodeCount; }
+  size_t numClasses() const;
+  size_t numClauses() const { return Clauses.size(); }
+
+  /// True once contradictory facts were asserted (indicates unsound axioms
+  /// or a bug); the message describes the first conflict.
+  bool isInconsistent() const { return Inconsistent; }
+  const std::string &inconsistencyMessage() const { return ConflictMsg; }
+
+  /// Monotonically increasing counter bumped on every merge and node
+  /// addition; the matcher uses it to detect quiescence.
+  uint64_t version() const { return Version; }
+
+  /// Renders one node (with class annotations) for debugging.
+  std::string nodeToString(ENodeId N) const;
+
+  ir::Context &context() { return Ctx; }
+  const ir::Context &context() const { return Ctx; }
+
+private:
+  ir::Context &Ctx;
+  bool FoldConstants;
+
+  UnionFind UF;
+  std::vector<ENode> Nodes;
+  size_t LiveNodeCount = 0;
+
+  // Canonical-key hashcons.
+  struct Key {
+    ir::OpId Op;
+    std::vector<ClassId> Children;
+    uint64_t ConstVal;
+    bool operator==(const Key &O) const {
+      return Op == O.Op && ConstVal == O.ConstVal && Children == O.Children;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const {
+      size_t H = std::hash<uint64_t>()((static_cast<uint64_t>(K.Op) << 32) ^
+                                       K.ConstVal);
+      for (ClassId C : K.Children)
+        H = H * 1000003u ^ C;
+      return H;
+    }
+  };
+  std::unordered_map<Key, ENodeId, KeyHash> Hashcons;
+
+  // Per-class state, indexed by (possibly stale) class id; authoritative
+  // only at the canonical representative.
+  struct ClassState {
+    std::vector<ENodeId> Members;
+    std::vector<ENodeId> Parents; ///< Nodes using this class as a child.
+    std::optional<uint64_t> Constant;
+    std::vector<ClassId> DistinctFrom; ///< Canonicalize on use.
+  };
+  std::vector<ClassState> ClassStates;
+
+  // Root-op index for the matcher.
+  std::unordered_map<ir::OpId, std::vector<ENodeId>> OpIndex;
+  std::vector<ENodeId> EmptyNodeList;
+
+  // Pending congruence repairs (classes whose parents must be rehashed).
+  std::vector<ClassId> Worklist;
+  // Nodes whose constant-fold status should be (re)checked.
+  std::deque<ENodeId> FoldQueue;
+
+  struct Clause {
+    std::vector<Literal> Lits;
+    bool Done = false;
+  };
+  std::vector<Clause> Clauses;
+
+  bool Inconsistent = false;
+  std::string ConflictMsg;
+  uint64_t Version = 0;
+  bool InRebuild = false;
+
+  Key canonicalKey(const ENode &N) const;
+  ENodeId insertNode(ir::OpId Op, std::vector<ClassId> Children,
+                     uint64_t ConstVal, bool &WasNew);
+  void mergeInto(ClassId Root, ClassId Gone);
+  bool mergeClasses(ClassId A, ClassId B);
+  void repair(ClassId C);
+  void rebuild();
+  void processClauses();
+  void processFoldQueue();
+  void conflict(const std::string &Msg);
+  bool literalSatisfied(const Literal &L) const;
+  bool literalUntenable(const Literal &L) const;
+  void assertLiteral(const Literal &L);
+};
+
+} // namespace egraph
+} // namespace denali
+
+#endif // DENALI_EGRAPH_EGRAPH_H

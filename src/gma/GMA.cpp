@@ -1,0 +1,533 @@
+//===- gma/GMA.cpp --------------------------------------------------------===//
+
+#include "gma/GMA.h"
+
+#include "support/StringExtras.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace denali;
+using namespace denali::gma;
+using denali::ir::Builtin;
+using denali::lang::Expr;
+using denali::lang::Stmt;
+
+std::string GMA::toString(const ir::Context &Ctx) const {
+  std::string Out = Name + ": ";
+  if (Guard)
+    Out += Ctx.Terms.toString(*Guard) + " -> ";
+  Out += "(";
+  for (size_t I = 0; I < Targets.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += Targets[I];
+  }
+  Out += ") := (";
+  for (size_t I = 0; I < NewVals.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += Ctx.Terms.toString(NewVals[I]);
+  }
+  Out += ")";
+  return Out;
+}
+
+namespace {
+
+/// The symbolic composer: executes statements over terms, splitting the
+/// procedure into straight-line segments at loop boundaries.
+class Translator {
+public:
+  Translator(ir::Context &Ctx, const lang::Proc &P, std::string *ErrorOut)
+      : Ctx(Ctx), P(P), ErrorOut(ErrorOut) {}
+
+  std::optional<std::vector<GMA>> run() {
+    for (const auto &[Name, Ty] : P.Params) {
+      (void)Ty;
+      State[Name] = Ctx.Terms.makeVar(Name);
+      Known.insert(Name);
+    }
+    Mem = Ctx.Terms.makeVar("M");
+    MemChanged = false;
+    if (!execStmt(*P.Body))
+      return std::nullopt;
+    flushSegment(PendingGuard);
+    return std::move(Result);
+  }
+
+private:
+  ir::Context &Ctx;
+  const lang::Proc &P;
+  std::string *ErrorOut;
+
+  std::unordered_map<std::string, ir::TermId> State;
+  std::unordered_set<std::string> Known;
+  std::unordered_set<std::string> Changed;
+  ir::TermId Mem = 0;
+  bool MemChanged = false;
+  std::vector<ir::TermId> MissAddrs;
+  std::vector<GMA::Assumption> Assumes;
+  std::vector<GMA> Result;
+  unsigned SegmentCount = 0;
+  bool InLoop = false;
+  unsigned InIf = 0;
+
+  // Software pipelining (\pipeline): inside the loop, dereferences listed
+  // here read their pre-hoisted temporary instead of memory.
+  struct PipedLoad {
+    const Expr *Deref;    ///< The source dereference.
+    std::string TempName; ///< %pipeN.
+  };
+  std::vector<PipedLoad> PipeList;
+  std::unordered_map<std::string, std::string> PipeSubst; // key -> temp
+  bool PipelineActive = false;
+  unsigned PipeCounter = 0;
+
+  /// Renders an expression's syntactic identity (pipelining keys).
+  static std::string exprKey(const Expr &E) {
+    switch (E.TheKind) {
+    case Expr::Kind::Number:
+      return std::to_string(E.Number);
+    case Expr::Kind::Ident:
+      return E.Name;
+    case Expr::Kind::Apply: {
+      std::string Out = "(" + E.Name;
+      for (const lang::ExprPtr &A : E.Args)
+        Out += " " + exprKey(*A);
+      return Out + ")";
+    }
+    case Expr::Kind::Deref:
+      return "(*" + exprKey(*E.Args[0]) + ")";
+    case Expr::Kind::Cast:
+      return strFormat("(cast%d %s)", static_cast<int>(E.CastType.Kind),
+                       exprKey(*E.Args[0]).c_str());
+    case Expr::Kind::Ite:
+      return "(ite " + exprKey(*E.Args[0]) + " " + exprKey(*E.Args[1]) +
+             " " + exprKey(*E.Args[2]) + ")";
+    }
+    return "?";
+  }
+
+  static void collectDerefs(const Expr &E, std::vector<const Expr *> &Out) {
+    if (E.TheKind == Expr::Kind::Deref)
+      Out.push_back(&E);
+    for (const lang::ExprPtr &A : E.Args)
+      collectDerefs(*A, Out);
+  }
+
+  static void collectDerefs(const Stmt &S, std::vector<const Expr *> &Out) {
+    if (S.VarInit)
+      collectDerefs(*S.VarInit, Out);
+    for (const lang::ExprPtr &V : S.Values)
+      collectDerefs(*V, Out);
+    for (const lang::AssignTarget &T : S.Targets)
+      if (T.Addr)
+        collectDerefs(*T.Addr, Out);
+    if (S.Cond)
+      collectDerefs(*S.Cond, Out);
+    for (const lang::StmtPtr &Inner : S.Body)
+      collectDerefs(*Inner, Out);
+  }
+
+  bool fail(unsigned Line, const std::string &Msg) {
+    if (ErrorOut)
+      *ErrorOut = strFormat("%s:%u: %s", P.Name.c_str(), Line, Msg.c_str());
+    return false;
+  }
+
+  ir::TermId evalExpr(const Expr &E, bool &Ok) {
+    switch (E.TheKind) {
+    case Expr::Kind::Number:
+      return Ctx.Terms.makeConst(E.Number);
+    case Expr::Kind::Ident: {
+      auto It = State.find(E.Name);
+      if (It == State.end()) {
+        Ok = fail(E.Line, strFormat("unknown identifier '%s'",
+                                    E.Name.c_str()));
+        return 0;
+      }
+      return It->second;
+    }
+    case Expr::Kind::Apply: {
+      std::string Name = E.Name;
+      if (!Name.empty() && Name[0] == '\\')
+        Name = Name.substr(1);
+      std::optional<ir::OpId> Op = Ctx.Ops.lookup(Name);
+      if (!Op) {
+        Ok = fail(E.Line, strFormat("unknown operator '%s' (missing "
+                                    "\\opdecl?)", Name.c_str()));
+        return 0;
+      }
+      if (static_cast<size_t>(Ctx.Ops.info(*Op).Arity) != E.Args.size()) {
+        Ok = fail(E.Line, strFormat("operator '%s' takes %d arguments",
+                                    Name.c_str(), Ctx.Ops.info(*Op).Arity));
+        return 0;
+      }
+      std::vector<ir::TermId> Args;
+      for (const lang::ExprPtr &A : E.Args) {
+        ir::TermId T = evalExpr(*A, Ok);
+        if (!Ok)
+          return 0;
+        Args.push_back(T);
+      }
+      return Ctx.Terms.make(*Op, Args);
+    }
+    case Expr::Kind::Deref: {
+      if (PipelineActive) {
+        auto It = PipeSubst.find(exprKey(E));
+        if (It != PipeSubst.end())
+          return State.at(It->second); // Read the pipelined temporary.
+      }
+      ir::TermId Addr = evalExpr(*E.Args[0], Ok);
+      if (!Ok)
+        return 0;
+      if (E.Miss)
+        MissAddrs.push_back(Addr);
+      return Ctx.Terms.makeBuiltin(Builtin::Select, {Mem, Addr});
+    }
+    case Expr::Kind::Cast: {
+      ir::TermId V = evalExpr(*E.Args[0], Ok);
+      if (!Ok)
+        return 0;
+      switch (E.CastType.Kind) {
+      case lang::TypeKind::Short:
+        return Ctx.Terms.makeBuiltin(Builtin::Zext16, {V});
+      case lang::TypeKind::Byte:
+        return Ctx.Terms.makeBuiltin(Builtin::Zext8, {V});
+      case lang::TypeKind::Int:
+        return Ctx.Terms.makeBuiltin(Builtin::Sext32, {V});
+      case lang::TypeKind::Long:
+      case lang::TypeKind::Ptr:
+        return V;
+      }
+      return V;
+    }
+    case Expr::Kind::Ite: {
+      ir::TermId C = evalExpr(*E.Args[0], Ok);
+      ir::TermId A = Ok ? evalExpr(*E.Args[1], Ok) : 0;
+      ir::TermId B = Ok ? evalExpr(*E.Args[2], Ok) : 0;
+      if (!Ok)
+        return 0;
+      // ite(c, a, b) = cmovne(c, a, b): take a when c != 0.
+      return Ctx.Terms.makeBuiltin(Builtin::CmovNe, {C, A, B});
+    }
+    }
+    Ok = false;
+    return 0;
+  }
+
+  void flushSegment(std::optional<ir::TermId> Guard) {
+    if (Changed.empty() && !MemChanged && !Guard)
+      return;
+    GMA G;
+    G.Name = strFormat("%s.%u", P.Name.c_str(), SegmentCount++);
+    G.Guard = Guard;
+    G.MissAddrs = std::move(MissAddrs);
+    MissAddrs.clear();
+    G.Assumptions = std::move(Assumes);
+    Assumes.clear();
+    for (const std::string &Name : Changed) {
+      G.Targets.push_back(Name);
+      G.NewVals.push_back(State.at(Name));
+    }
+    if (MemChanged) {
+      G.Targets.push_back("M");
+      G.NewVals.push_back(Mem);
+    }
+    if (!G.Targets.empty())
+      Result.push_back(std::move(G));
+    Changed.clear();
+    // The flushed updates are the new baseline; memory reads through the
+    // existing symbolic memory term remain valid.
+    MemChanged = false;
+  }
+
+  /// Forgets the values of variables in \p Vars (and memory if \p DropMem):
+  /// they become fresh inputs named after themselves.
+  void resetState(const std::unordered_set<std::string> &Vars, bool DropMem) {
+    for (const std::string &Name : Vars)
+      State[Name] = Ctx.Terms.makeVar(Name);
+    if (DropMem) {
+      Mem = Ctx.Terms.makeVar("M");
+      MemChanged = false;
+    }
+  }
+
+  bool execStmt(const Stmt &S) {
+    bool Ok = true;
+    switch (S.TheKind) {
+    case Stmt::Kind::Assume: {
+      GMA::Assumption A;
+      A.IsEq = S.AssumeEq;
+      A.Lhs = evalExpr(*S.AssumeLhs, Ok);
+      if (!Ok)
+        return false;
+      A.Rhs = evalExpr(*S.AssumeRhs, Ok);
+      if (!Ok)
+        return false;
+      Assumes.push_back(A);
+      return true;
+    }
+    case Stmt::Kind::If: {
+      // If-conversion: both branches execute symbolically on copies of the
+      // state; differing variables merge through cmovne(cond, then, else).
+      // Memory writes cannot be if-converted (no conditional store on the
+      // EV6 model), and nested control in branches is not supported.
+      ir::TermId Cond = evalExpr(*S.Cond, Ok);
+      if (!Ok)
+        return false;
+      auto SavedState = State;
+      auto SavedChanged = Changed;
+      ir::TermId SavedMem = Mem;
+      bool SavedMemChanged = MemChanged;
+      ++InIf;
+      for (const lang::StmtPtr &Inner : S.Body)
+        if (!execStmt(*Inner)) {
+          --InIf;
+          return false;
+        }
+      auto ThenState = State;
+      auto ThenChanged = Changed;
+      ir::TermId ThenMem = Mem;
+      bool ThenMemChanged = MemChanged;
+      State = SavedState;
+      Changed = SavedChanged;
+      Mem = SavedMem;
+      MemChanged = SavedMemChanged;
+      for (const lang::StmtPtr &Inner : S.ElseBody)
+        if (!execStmt(*Inner)) {
+          --InIf;
+          return false;
+        }
+      --InIf;
+      if ((ThenMemChanged || MemChanged) && ThenMem != Mem)
+        return fail(S.Line, "memory writes under \\if cannot be "
+                            "if-converted; restructure with \\ite or "
+                            "separate procedures");
+      // Merge: vars touched by either branch.
+      std::unordered_set<std::string> Touched;
+      for (const auto &[Name, T] : ThenState) {
+        auto It = State.find(Name);
+        if (It == State.end() || It->second != T)
+          Touched.insert(Name);
+      }
+      for (const std::string &Name : Touched) {
+        ir::TermId ThenVal = ThenState.at(Name);
+        ir::TermId ElseVal = State.at(Name);
+        State[Name] = ThenVal == ElseVal
+                          ? ThenVal
+                          : Ctx.Terms.makeBuiltin(Builtin::CmovNe,
+                                                  {Cond, ThenVal, ElseVal});
+        Changed.insert(Name);
+      }
+      for (const std::string &Name : ThenChanged)
+        Changed.insert(Name);
+      return true;
+    }
+    case Stmt::Kind::VarDecl: {
+      if (InIf)
+        return fail(S.Line, "\\var inside \\if is not supported");
+      if (Known.count(S.VarName))
+        return fail(S.Line, strFormat("variable '%s' redeclared",
+                                      S.VarName.c_str()));
+      Known.insert(S.VarName);
+      if (S.VarInit) {
+        State[S.VarName] = evalExpr(*S.VarInit, Ok);
+        if (!Ok)
+          return false;
+        Changed.insert(S.VarName);
+      } else {
+        State[S.VarName] = Ctx.Terms.makeVar(S.VarName);
+      }
+      for (const lang::StmtPtr &Inner : S.Body)
+        if (!execStmt(*Inner))
+          return false;
+      return true;
+    }
+    case Stmt::Kind::Seq:
+      for (const lang::StmtPtr &Inner : S.Body)
+        if (!execStmt(*Inner))
+          return false;
+      return true;
+    case Stmt::Kind::Assign: {
+      // Simultaneous semantics: evaluate all values and addresses first.
+      std::vector<ir::TermId> Vals;
+      std::vector<std::optional<ir::TermId>> Addrs;
+      for (size_t I = 0; I < S.Values.size(); ++I) {
+        Vals.push_back(evalExpr(*S.Values[I], Ok));
+        if (!Ok)
+          return false;
+        if (S.Targets[I].IsDeref) {
+          Addrs.push_back(evalExpr(*S.Targets[I].Addr, Ok));
+          if (!Ok)
+            return false;
+        } else {
+          Addrs.push_back(std::nullopt);
+        }
+      }
+      for (size_t I = 0; I < S.Values.size(); ++I) {
+        const lang::AssignTarget &T = S.Targets[I];
+        if (T.IsDeref) {
+          Mem = Ctx.Terms.makeBuiltin(Builtin::Store,
+                                      {Mem, *Addrs[I], Vals[I]});
+          MemChanged = true;
+          continue;
+        }
+        if (T.Var == "\\res") {
+          State["\\res"] = Vals[I];
+          Known.insert("\\res");
+          Changed.insert("\\res");
+          continue;
+        }
+        if (!Known.count(T.Var))
+          return fail(S.Line, strFormat("assignment to undeclared '%s'",
+                                        T.Var.c_str()));
+        State[T.Var] = Vals[I];
+        Changed.insert(T.Var);
+      }
+      return true;
+    }
+    case Stmt::Kind::Do: {
+      if (InLoop)
+        return fail(S.Line, "nested loops are not supported");
+      if (InIf)
+        return fail(S.Line, "loops inside \\if are not supported");
+      // 0. \pipeline: hoist the body's memory reads into temporaries,
+      // loaded once before the loop (part of the pre-loop segment). The
+      // programmer asserts, as with hand pipelining, that the loop's
+      // stores do not feed its own loads.
+      if (S.Pipeline) {
+        std::vector<const Expr *> Derefs;
+        for (const lang::StmtPtr &Inner : S.Body)
+          collectDerefs(*Inner, Derefs);
+        for (const Expr *D : Derefs) {
+          std::string Key = exprKey(*D);
+          if (PipeSubst.count(Key))
+            continue;
+          std::string Temp = strFormat("%%pipe%u", PipeCounter++);
+          ir::TermId Addr = evalExpr(*D->Args[0], Ok);
+          if (!Ok)
+            return false;
+          if (D->Miss)
+            MissAddrs.push_back(Addr);
+          State[Temp] = Ctx.Terms.makeBuiltin(Builtin::Select, {Mem, Addr});
+          Known.insert(Temp);
+          Changed.insert(Temp);
+          PipeSubst.emplace(std::move(Key), Temp);
+          PipeList.push_back(PipedLoad{D, Temp});
+        }
+      }
+      // 1. Flush the straight-line segment before the loop (guarded by the
+      // previous loop's exit condition, if any).
+      flushSegment(PendingGuard);
+      PendingGuard.reset();
+      // 2. The loop body GMA: variables are fresh at the loop head.
+      std::unordered_set<std::string> Before = Known;
+      resetState(Known, /*DropMem=*/true);
+      ir::TermId Cond = evalExpr(*S.Cond, Ok);
+      if (!Ok)
+        return false;
+      InLoop = true;
+      PipelineActive = S.Pipeline;
+      for (unsigned Iter = 0; Iter < S.Unroll; ++Iter) {
+        for (const lang::StmtPtr &Inner : S.Body)
+          if (!execStmt(*Inner)) {
+            InLoop = false;
+            PipelineActive = false;
+            return false;
+          }
+        // Reload the pipelined temporaries for the next iteration, using
+        // the advanced address variables (the Figure 6 pattern).
+        if (S.Pipeline) {
+          PipelineActive = false; // Reloads read memory, not the temps.
+          for (const PipedLoad &PL : PipeList) {
+            ir::TermId Addr = evalExpr(*PL.Deref->Args[0], Ok);
+            if (!Ok) {
+              InLoop = false;
+              return false;
+            }
+            if (PL.Deref->Miss)
+              MissAddrs.push_back(Addr);
+            State[PL.TempName] =
+                Ctx.Terms.makeBuiltin(Builtin::Select, {Mem, Addr});
+            Changed.insert(PL.TempName);
+          }
+          PipelineActive = true;
+        }
+      }
+      InLoop = false;
+      PipelineActive = false;
+      PipeSubst.clear();
+      PipeList.clear();
+      std::unordered_set<std::string> LoopChanged = Changed;
+      bool LoopMemChanged = MemChanged;
+      flushSegment(Cond);
+      // 3. After the loop, everything the loop touched is unknown; the
+      // following segment is guarded by the loop's exit condition.
+      resetState(LoopChanged, LoopMemChanged);
+      PendingGuard = Ctx.Terms.makeBuiltin(
+          Builtin::CmpEq, {evalExpr(*S.Cond, Ok), Ctx.Terms.makeConst(0)});
+      return Ok;
+    }
+    }
+    return false;
+  }
+
+  /// Exit-condition guard for the segment after a loop (applied at the
+  /// next flush).
+  std::optional<ir::TermId> PendingGuard;
+};
+
+} // namespace
+
+std::optional<std::vector<GMA>>
+denali::gma::translateProc(ir::Context &Ctx, const lang::Proc &P,
+                           std::string *ErrorOut) {
+  Translator T(Ctx, P, ErrorOut);
+  return T.run();
+}
+
+std::vector<ir::OpId> denali::gma::gmaInputs(const ir::Context &Ctx,
+                                             const GMA &G) {
+  std::unordered_set<ir::OpId> Seen;
+  std::vector<ir::OpId> Out;
+  std::vector<ir::TermId> Work = G.NewVals;
+  if (G.Guard)
+    Work.push_back(*G.Guard);
+  std::unordered_set<ir::TermId> Visited;
+  while (!Work.empty()) {
+    ir::TermId T = Work.back();
+    Work.pop_back();
+    if (!Visited.insert(T).second)
+      continue;
+    const ir::TermNode &N = Ctx.Terms.node(T);
+    if (Ctx.Ops.isVariable(N.Op)) {
+      if (Seen.insert(N.Op).second)
+        Out.push_back(N.Op);
+      continue;
+    }
+    for (ir::TermId C : N.Children)
+      Work.push_back(C);
+  }
+  return Out;
+}
+
+std::optional<std::vector<std::pair<std::string, ir::Value>>>
+denali::gma::evalGMA(const ir::Context &Ctx, const GMA &G,
+                     const ir::Env &Bindings, const ir::Definitions *Defs,
+                     std::string *ErrorOut) {
+  std::vector<std::pair<std::string, ir::Value>> Out;
+  for (size_t I = 0; I < G.Targets.size(); ++I) {
+    std::string Err;
+    std::optional<ir::Value> V =
+        ir::evalTerm(Ctx.Terms, G.NewVals[I], Bindings, Defs, &Err);
+    if (!V) {
+      if (ErrorOut)
+        *ErrorOut = Err;
+      return std::nullopt;
+    }
+    Out.emplace_back(G.Targets[I], std::move(*V));
+  }
+  return Out;
+}

@@ -1,0 +1,73 @@
+//===- gma/GMA.h - Guarded multi-assignments --------------------*- C++ -*-===//
+///
+/// \file
+/// The guarded multi-assignment (paper, section 3): the unit of work of the
+/// crucial inner code-generation subroutine. A GMA
+///
+///     G -> (targets) := (newvals)
+///
+/// is produced from a procedure by symbolic composition: sequential
+/// statements compose by substitution, pointer writes become store()
+/// applications on the memory M, and loops contribute one GMA for their
+/// (possibly unrolled) body.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DENALI_GMA_GMA_H
+#define DENALI_GMA_GMA_H
+
+#include "ir/Eval.h"
+#include "ir/Term.h"
+#include "lang/AST.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace denali {
+namespace gma {
+
+struct GMA {
+  std::string Name;
+  /// The guard G; std::nullopt means "true".
+  std::optional<ir::TermId> Guard;
+  /// Parallel target/value lists. Target "M" with a store(...) value is a
+  /// memory update; target "\res" is the procedure result.
+  std::vector<std::string> Targets;
+  std::vector<ir::TermId> NewVals;
+  /// Address terms of loads annotated \miss in the source.
+  std::vector<ir::TermId> MissAddrs;
+  /// Trust facts (\assume, section 2's "trust the programmer" feature):
+  /// term pairs asserted equal (or distinct) in the E-graph before
+  /// matching. Unsound if the programmer lies — that is the contract.
+  struct Assumption {
+    bool IsEq = true;
+    ir::TermId Lhs = 0;
+    ir::TermId Rhs = 0;
+  };
+  std::vector<Assumption> Assumptions;
+
+  std::string toString(const ir::Context &Ctx) const;
+};
+
+/// Translates \p P into its GMAs (entry segment, one per loop, exit
+/// segment). \returns std::nullopt with \p ErrorOut on unknown identifiers
+/// or unsupported nesting (loops within loops).
+std::optional<std::vector<GMA>> translateProc(ir::Context &Ctx,
+                                              const lang::Proc &P,
+                                              std::string *ErrorOut);
+
+/// The variable operators a GMA reads (its inputs).
+std::vector<ir::OpId> gmaInputs(const ir::Context &Ctx, const GMA &G);
+
+/// Reference semantics: evaluates all newvals under \p Bindings.
+/// \returns target -> value, or std::nullopt (with \p ErrorOut) if some
+/// operator lacks semantics.
+std::optional<std::vector<std::pair<std::string, ir::Value>>>
+evalGMA(const ir::Context &Ctx, const GMA &G, const ir::Env &Bindings,
+        const ir::Definitions *Defs, std::string *ErrorOut);
+
+} // namespace gma
+} // namespace denali
+
+#endif // DENALI_GMA_GMA_H

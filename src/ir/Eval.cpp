@@ -1,0 +1,275 @@
+//===- ir/Eval.cpp --------------------------------------------------------===//
+
+#include "ir/Eval.h"
+
+#include "support/Error.h"
+#include "support/StringExtras.h"
+
+#include <cassert>
+
+using namespace denali;
+using namespace denali::ir;
+
+namespace {
+
+uint64_t byteField(uint64_t W, uint64_t I) { return (W >> (8 * (I & 7))); }
+
+uint64_t insertField(uint64_t W, uint64_t I, uint64_t X, uint64_t Mask) {
+  uint64_t Shift = 8 * (I & 7);
+  uint64_t Hole = ~(Mask << Shift);
+  return (W & Hole) | ((X & Mask) << Shift);
+}
+
+uint64_t zapnotImpl(uint64_t W, uint64_t M) {
+  uint64_t Out = 0;
+  for (unsigned ByteIdx = 0; ByteIdx < 8; ++ByteIdx)
+    if ((M >> ByteIdx) & 1)
+      Out |= W & (0xffULL << (8 * ByteIdx));
+  return Out;
+}
+
+uint64_t powImpl(uint64_t Base, uint64_t Exp) {
+  // The exponent is taken modulo 64, mirroring the shifter's count
+  // semantics: pow exists to state k * 2**n = k << n (Figure 2), and that
+  // identity must hold for every n under sll's mod-64 count.
+  uint64_t Out = 1;
+  uint64_t B = Base;
+  uint64_t E = Exp & 63;
+  while (E) {
+    if (E & 1)
+      Out *= B;
+    B *= B;
+    E >>= 1;
+  }
+  return Out;
+}
+
+int64_t asSigned(uint64_t V) { return static_cast<int64_t>(V); }
+
+} // namespace
+
+uint64_t denali::ir::evalBuiltinInt(Builtin B,
+                                    const std::vector<uint64_t> &Args) {
+  auto A = [&](size_t I) {
+    assert(I < Args.size() && "missing argument");
+    return Args[I];
+  };
+  switch (B) {
+  case Builtin::Add64:
+    return A(0) + A(1);
+  case Builtin::Sub64:
+    return A(0) - A(1);
+  case Builtin::Mul64:
+    return A(0) * A(1);
+  case Builtin::Neg64:
+    return 0 - A(0);
+  case Builtin::Umulh:
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(A(0)) * A(1)) >> 64);
+  case Builtin::And64:
+    return A(0) & A(1);
+  case Builtin::Or64:
+    return A(0) | A(1);
+  case Builtin::Xor64:
+    return A(0) ^ A(1);
+  case Builtin::Not64:
+    return ~A(0);
+  case Builtin::Bic64:
+    return A(0) & ~A(1);
+  case Builtin::Ornot64:
+    return A(0) | ~A(1);
+  case Builtin::Eqv64:
+    return ~(A(0) ^ A(1));
+  case Builtin::Shl64:
+    return A(0) << (A(1) & 63);
+  case Builtin::Shr64:
+    return A(0) >> (A(1) & 63);
+  case Builtin::Sar64:
+    return static_cast<uint64_t>(asSigned(A(0)) >> (A(1) & 63));
+  case Builtin::Pow:
+    return powImpl(A(0), A(1));
+  case Builtin::CmpEq:
+    return A(0) == A(1) ? 1 : 0;
+  case Builtin::CmpUlt:
+    return A(0) < A(1) ? 1 : 0;
+  case Builtin::CmpUle:
+    return A(0) <= A(1) ? 1 : 0;
+  case Builtin::CmpLt:
+    return asSigned(A(0)) < asSigned(A(1)) ? 1 : 0;
+  case Builtin::CmpLe:
+    return asSigned(A(0)) <= asSigned(A(1)) ? 1 : 0;
+  case Builtin::SelectB:
+    return byteField(A(0), A(1)) & 0xff;
+  case Builtin::StoreB:
+    return insertField(A(0), A(1), A(2), 0xff);
+  case Builtin::SelectW:
+    return byteField(A(0), A(1)) & 0xffff;
+  case Builtin::StoreW:
+    return insertField(A(0), A(1), A(2), 0xffff);
+  case Builtin::Zext8:
+    return A(0) & 0xff;
+  case Builtin::Zext16:
+    return A(0) & 0xffff;
+  case Builtin::Zext32:
+    return A(0) & 0xffffffffULL;
+  case Builtin::Sext8:
+    return static_cast<uint64_t>(static_cast<int64_t>(
+        static_cast<int8_t>(A(0) & 0xff)));
+  case Builtin::Sext16:
+    return static_cast<uint64_t>(static_cast<int64_t>(
+        static_cast<int16_t>(A(0) & 0xffff)));
+  case Builtin::Sext32:
+    return static_cast<uint64_t>(static_cast<int64_t>(
+        static_cast<int32_t>(A(0) & 0xffffffffULL)));
+  case Builtin::Extbl:
+    return byteField(A(0), A(1)) & 0xff;
+  case Builtin::Extwl:
+    return byteField(A(0), A(1)) & 0xffff;
+  case Builtin::Insbl:
+    return (A(0) & 0xff) << (8 * (A(1) & 7));
+  case Builtin::Inswl:
+    return (A(0) & 0xffff) << (8 * (A(1) & 7));
+  case Builtin::Mskbl:
+    return insertField(A(0), A(1), 0, 0xff);
+  case Builtin::Mskwl:
+    return insertField(A(0), A(1), 0, 0xffff);
+  case Builtin::Zapnot:
+    return zapnotImpl(A(0), A(1) & 0xff);
+  case Builtin::S4Addl:
+    return A(0) * 4 + A(1);
+  case Builtin::S8Addl:
+    return A(0) * 8 + A(1);
+  case Builtin::S4Subl:
+    return A(0) * 4 - A(1);
+  case Builtin::S8Subl:
+    return A(0) * 8 - A(1);
+  case Builtin::CmovEq:
+    return A(0) == 0 ? A(1) : A(2);
+  case Builtin::CmovNe:
+    return A(0) != 0 ? A(1) : A(2);
+  case Builtin::CmovLt:
+    return asSigned(A(0)) < 0 ? A(1) : A(2);
+  case Builtin::CmovGe:
+    return asSigned(A(0)) >= 0 ? A(1) : A(2);
+  case Builtin::None:
+  case Builtin::Const:
+  case Builtin::Select:
+  case Builtin::Store:
+  case Builtin::NumBuiltins:
+    break;
+  }
+  DENALI_UNREACHABLE("evalBuiltinInt: not an integer builtin");
+}
+
+std::optional<Value> denali::ir::evalBuiltin(Builtin B,
+                                             const std::vector<Value> &Args) {
+  switch (B) {
+  case Builtin::Select: {
+    if (Args.size() != 2 || !Args[0].isArray() || !Args[1].isInt())
+      return std::nullopt;
+    return Value::makeInt(Args[0].select(Args[1].asInt()));
+  }
+  case Builtin::Store: {
+    if (Args.size() != 3 || !Args[0].isArray() || !Args[1].isInt() ||
+        !Args[2].isInt())
+      return std::nullopt;
+    return Args[0].store(Args[1].asInt(), Args[2].asInt());
+  }
+  default: {
+    std::vector<uint64_t> Ints;
+    Ints.reserve(Args.size());
+    for (const Value &V : Args) {
+      if (!V.isInt())
+        return std::nullopt;
+      Ints.push_back(V.asInt());
+    }
+    return Value::makeInt(evalBuiltinInt(B, Ints));
+  }
+  }
+}
+
+namespace {
+
+class Evaluator {
+public:
+  Evaluator(const TermTable &Terms, const Env &Bindings,
+            const Definitions *Defs, std::string *ErrorOut)
+      : Terms(Terms), Bindings(Bindings), Defs(Defs), ErrorOut(ErrorOut) {}
+
+  std::optional<Value> eval(TermId Id) {
+    auto It = Memo.find(Id);
+    if (It != Memo.end())
+      return It->second;
+    std::optional<Value> Result = evalUncached(Id);
+    if (Result)
+      Memo.emplace(Id, *Result);
+    return Result;
+  }
+
+private:
+  const TermTable &Terms;
+  const Env &Bindings;
+  const Definitions *Defs;
+  std::string *ErrorOut;
+  std::unordered_map<TermId, Value> Memo;
+
+  std::optional<Value> fail(const std::string &Msg) {
+    if (ErrorOut && ErrorOut->empty())
+      *ErrorOut = Msg;
+    return std::nullopt;
+  }
+
+  std::optional<Value> evalUncached(TermId Id) {
+    const TermNode &N = Terms.node(Id);
+    const OpInfo &Info = Terms.ops().info(N.Op);
+    if (Info.BuiltinOp == Builtin::Const)
+      return Value::makeInt(N.ConstVal);
+    if (Info.Kind == OpKind::Variable) {
+      auto It = Bindings.find(N.Op);
+      if (It == Bindings.end())
+        return fail(strFormat("unbound variable '%s'", Info.Name.c_str()));
+      return It->second;
+    }
+    std::vector<Value> Args;
+    Args.reserve(N.Children.size());
+    for (TermId C : N.Children) {
+      std::optional<Value> V = eval(C);
+      if (!V)
+        return std::nullopt;
+      Args.push_back(std::move(*V));
+    }
+    if (Info.Kind == OpKind::Builtin) {
+      std::optional<Value> V = evalBuiltin(Info.BuiltinOp, Args);
+      if (!V)
+        return fail(strFormat("ill-typed application of '%s'",
+                              Info.Name.c_str()));
+      return V;
+    }
+    // Declared operator: expand a registered definition if there is one.
+    if (Defs) {
+      auto It = Defs->find(N.Op);
+      if (It != Defs->end()) {
+        const OpDefinition &Def = It->second;
+        assert(Def.Params.size() == Args.size() && "definition arity");
+        Env Inner = Bindings;
+        for (size_t I = 0; I < Args.size(); ++I)
+          Inner[Def.Params[I]] = Args[I];
+        // Definitions may reference other defined ops; reuse the machinery
+        // with a fresh memo (bindings differ).
+        Evaluator Sub(Terms, Inner, Defs, ErrorOut);
+        return Sub.eval(Def.Body);
+      }
+    }
+    return fail(strFormat("no semantics for declared operator '%s'",
+                          Info.Name.c_str()));
+  }
+};
+
+} // namespace
+
+std::optional<Value> denali::ir::evalTerm(const TermTable &Terms, TermId Term,
+                                          const Env &Bindings,
+                                          const Definitions *Defs,
+                                          std::string *ErrorOut) {
+  return Evaluator(Terms, Bindings, Defs, ErrorOut).eval(Term);
+}

@@ -1,0 +1,60 @@
+//===- ir/Eval.h - Reference evaluation of terms ----------------*- C++ -*-===//
+///
+/// \file
+/// The reference evaluator gives each term a meaning as a function of an
+/// environment binding the term's variables to Values. It is the semantic
+/// ground truth of the whole system: the matcher's constant folder, the
+/// soundness property tests, and the end-to-end differential tests all
+/// evaluate through it.
+///
+/// Declared operators (\opdecl) have no builtin semantics; if a program
+/// supplies a *definitional* axiom (f(x1..xn) = body over evaluable ops),
+/// it can be registered here so such terms remain evaluable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DENALI_IR_EVAL_H
+#define DENALI_IR_EVAL_H
+
+#include "ir/Term.h"
+#include "ir/Value.h"
+
+#include <optional>
+#include <unordered_map>
+
+namespace denali {
+namespace ir {
+
+/// Applies builtin \p B to integer arguments \p Args (all semantics are on
+/// 64-bit words). Array-typed builtins (select/store) are handled by
+/// evalBuiltin below; this entry point asserts on them.
+uint64_t evalBuiltinInt(Builtin B, const std::vector<uint64_t> &Args);
+
+/// Applies builtin \p B to \p Args. \returns std::nullopt on a kind error
+/// (e.g. selecting from an integer), which signals an ill-typed term.
+std::optional<Value> evalBuiltin(Builtin B, const std::vector<Value> &Args);
+
+/// An environment binds variable operators to values.
+using Env = std::unordered_map<OpId, Value>;
+
+/// A registered expansion for a declared operator: f(Params...) = Body.
+struct OpDefinition {
+  std::vector<OpId> Params; ///< Variable ops, in argument order.
+  TermId Body = 0;
+};
+
+/// Expansions for declared operators, harvested from definitional axioms.
+using Definitions = std::unordered_map<OpId, OpDefinition>;
+
+/// Evaluates \p Term under \p Bindings. \returns std::nullopt if the term
+/// mentions an unbound variable, an undefined declared operator, or is
+/// ill-typed; \p ErrorOut (if non-null) receives a description.
+std::optional<Value> evalTerm(const TermTable &Terms, TermId Term,
+                              const Env &Bindings,
+                              const Definitions *Defs = nullptr,
+                              std::string *ErrorOut = nullptr);
+
+} // namespace ir
+} // namespace denali
+
+#endif // DENALI_IR_EVAL_H

@@ -1,0 +1,95 @@
+//===- ir/Term.cpp --------------------------------------------------------===//
+
+#include "ir/Term.h"
+
+#include "support/Error.h"
+#include "support/StringExtras.h"
+
+#include <cassert>
+
+using namespace denali;
+using namespace denali::ir;
+
+TermId TermTable::intern(Key K) {
+  auto It = Interned.find(K);
+  if (It != Interned.end())
+    return It->second;
+  TermId Id = static_cast<TermId>(Nodes.size());
+  Nodes.push_back(TermNode{K.Op, K.Children, K.ConstVal});
+  Interned.emplace(std::move(K), Id);
+  return Id;
+}
+
+TermId TermTable::make(OpId Op, const std::vector<TermId> &Children) {
+  const OpInfo &Info = Ops.info(Op);
+  assert(static_cast<size_t>(Info.Arity) == Children.size() &&
+         "arity mismatch");
+  (void)Info;
+  return intern(Key{Op, Children, 0});
+}
+
+TermId TermTable::makeConst(uint64_t Value) {
+  return intern(Key{Ops.builtin(Builtin::Const), {}, Value});
+}
+
+TermId TermTable::makeVar(const std::string &Name) {
+  OpId Op = Ops.makeVariable(Name);
+  return intern(Key{Op, {}, 0});
+}
+
+const TermNode &TermTable::node(TermId Id) const {
+  assert(Id < Nodes.size() && "bad TermId");
+  return Nodes[Id];
+}
+
+TermId TermTable::substitute(TermId Root,
+                             const std::unordered_map<OpId, TermId> &Subst) {
+  std::unordered_map<TermId, TermId> Memo;
+  // Iterative post-order to avoid deep recursion on large unrolled terms.
+  std::vector<std::pair<TermId, bool>> Stack;
+  Stack.push_back({Root, false});
+  while (!Stack.empty()) {
+    auto [Id, Expanded] = Stack.back();
+    Stack.pop_back();
+    if (Memo.count(Id))
+      continue;
+    const TermNode &N = Nodes[Id];
+    if (!Expanded) {
+      if (N.Children.empty()) {
+        auto It = Subst.find(N.Op);
+        Memo[Id] = It == Subst.end() ? Id : It->second;
+        continue;
+      }
+      Stack.push_back({Id, true});
+      for (TermId C : N.Children)
+        Stack.push_back({C, false});
+      continue;
+    }
+    std::vector<TermId> NewChildren;
+    NewChildren.reserve(N.Children.size());
+    bool Changed = false;
+    for (TermId C : N.Children) {
+      TermId NC = Memo.at(C);
+      Changed |= NC != C;
+      NewChildren.push_back(NC);
+    }
+    Memo[Id] = Changed ? make(N.Op, NewChildren) : Id;
+  }
+  return Memo.at(Root);
+}
+
+std::string TermTable::toString(TermId Id) const {
+  const TermNode &N = node(Id);
+  const OpInfo &Info = Ops.info(N.Op);
+  if (Info.BuiltinOp == Builtin::Const)
+    return formatConstant(N.ConstVal);
+  if (N.Children.empty())
+    return Info.Name;
+  std::string Out = "(" + Info.Name;
+  for (TermId C : N.Children) {
+    Out += ' ';
+    Out += toString(C);
+  }
+  Out += ')';
+  return Out;
+}

@@ -1,0 +1,110 @@
+//===- ir/Term.h - Hash-consed term DAG -------------------------*- C++ -*-===//
+///
+/// \file
+/// Immutable, hash-consed terms. A TermId is an index into the owning
+/// Context's TermTable; structurally equal terms always receive the same
+/// TermId, so term DAGs share subterms maximally. The GMA composer builds
+/// goal terms here; the E-graph is seeded from them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DENALI_IR_TERM_H
+#define DENALI_IR_TERM_H
+
+#include "ir/Ops.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace denali {
+namespace ir {
+
+using TermId = uint32_t;
+
+/// One interned term: an operator applied to child terms, with a payload
+/// for constants.
+struct TermNode {
+  OpId Op = 0;
+  std::vector<TermId> Children;
+  uint64_t ConstVal = 0; ///< Meaningful only when Op is Builtin::Const.
+};
+
+/// The intern table for terms. Owned by Context.
+class TermTable {
+public:
+  explicit TermTable(OpTable &Ops) : Ops(Ops) {}
+
+  /// Interns op(children...). Asserts the arity matches.
+  TermId make(OpId Op, const std::vector<TermId> &Children);
+
+  /// Interns the constant \p Value.
+  TermId makeConst(uint64_t Value);
+
+  /// Interns (declaring if necessary) the variable \p Name.
+  TermId makeVar(const std::string &Name);
+
+  const TermNode &node(TermId Id) const;
+  size_t size() const { return Nodes.size(); }
+
+  bool isConst(TermId Id) const { return Ops.isConst(node(Id).Op); }
+  bool isVariable(TermId Id) const { return Ops.isVariable(node(Id).Op); }
+
+  /// Builtin convenience builders used throughout the translator.
+  TermId makeBuiltin(Builtin B, const std::vector<TermId> &Children) {
+    return make(Ops.builtin(B), Children);
+  }
+
+  /// Replaces every occurrence of variables per \p Subst (variable OpId ->
+  /// replacement term). Terms not mentioned map to themselves. Results are
+  /// interned; repeated subterms are rewritten once.
+  TermId substitute(TermId Root,
+                    const std::unordered_map<OpId, TermId> &Subst);
+
+  /// Renders \p Id as an S-expression-style string.
+  std::string toString(TermId Id) const;
+
+  OpTable &ops() { return Ops; }
+  const OpTable &ops() const { return Ops; }
+
+private:
+  OpTable &Ops;
+  std::vector<TermNode> Nodes;
+
+  struct Key {
+    OpId Op;
+    std::vector<TermId> Children;
+    uint64_t ConstVal;
+    bool operator==(const Key &O) const {
+      return Op == O.Op && ConstVal == O.ConstVal && Children == O.Children;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const {
+      size_t H = std::hash<uint64_t>()((static_cast<uint64_t>(K.Op) << 32) ^
+                                       K.ConstVal);
+      for (TermId C : K.Children)
+        H = H * 1000003u ^ C;
+      return H;
+    }
+  };
+  std::unordered_map<Key, TermId, KeyHash> Interned;
+
+  TermId intern(Key K);
+};
+
+/// A Context bundles the operator and term tables that all phases share.
+struct Context {
+  OpTable Ops;
+  TermTable Terms;
+
+  Context() : Terms(Ops) {}
+  Context(const Context &) = delete;
+  Context &operator=(const Context &) = delete;
+};
+
+} // namespace ir
+} // namespace denali
+
+#endif // DENALI_IR_TERM_H

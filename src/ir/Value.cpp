@@ -1,0 +1,76 @@
+//===- ir/Value.cpp -------------------------------------------------------===//
+
+#include "ir/Value.h"
+
+#include "support/StringExtras.h"
+
+#include <cassert>
+
+using namespace denali;
+using namespace denali::ir;
+
+uint64_t ArrayData::baseAt(uint64_t Index) const {
+  // splitmix64-style mix of (Seed, Index); deterministic and well spread.
+  uint64_t Z = Seed + 0x9e3779b97f4a7c15ULL * (Index + 1);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+Value Value::makeInt(uint64_t V) {
+  Value Out;
+  Out.TheKind = Kind::Int;
+  Out.Int = V;
+  return Out;
+}
+
+Value Value::makeArray(uint64_t Seed) {
+  Value Out;
+  Out.TheKind = Kind::Array;
+  auto Data = std::make_shared<ArrayData>();
+  Data->Seed = Seed;
+  Out.Arr = std::move(Data);
+  return Out;
+}
+
+uint64_t Value::asInt() const {
+  assert(isInt() && "not an integer value");
+  return Int;
+}
+
+uint64_t Value::select(uint64_t Index) const {
+  assert(isArray() && "not an array value");
+  auto It = Arr->Overlay.find(Index);
+  if (It != Arr->Overlay.end())
+    return It->second;
+  return Arr->baseAt(Index);
+}
+
+Value Value::store(uint64_t Index, uint64_t Elem) const {
+  assert(isArray() && "not an array value");
+  auto Data = std::make_shared<ArrayData>(*Arr);
+  if (Data->baseAt(Index) == Elem)
+    Data->Overlay.erase(Index);
+  else
+    Data->Overlay[Index] = Elem;
+  Value Out;
+  Out.TheKind = Kind::Array;
+  Out.Arr = std::move(Data);
+  return Out;
+}
+
+bool Value::equals(const Value &O) const {
+  if (TheKind != O.TheKind)
+    return false;
+  if (TheKind == Kind::Int)
+    return Int == O.Int;
+  return Arr->Seed == O.Arr->Seed && Arr->Overlay == O.Arr->Overlay;
+}
+
+std::string Value::toString() const {
+  if (isInt())
+    return formatConstant(Int);
+  return strFormat("array(seed=%llu, %zu writes)",
+                   static_cast<unsigned long long>(Arr->Seed),
+                   Arr->Overlay.size());
+}

@@ -1,0 +1,76 @@
+//===- ir/Value.h - Runtime values (ints, arrays-as-values) -----*- C++ -*-===//
+///
+/// \file
+/// Runtime values for the reference evaluator and the Alpha functional
+/// simulator. Following the paper (section 3), entire arrays are values:
+/// the memory M is an array value, and `store` produces a new array value.
+///
+/// An array value is a *base generator* (a seeded hash of the index, so
+/// reads at arbitrary addresses are defined, which matters for differential
+/// testing) plus a persistent overlay of explicit writes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DENALI_IR_VALUE_H
+#define DENALI_IR_VALUE_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+namespace denali {
+namespace ir {
+
+/// The contents of one array value. Immutable once shared; store() copies.
+struct ArrayData {
+  /// Seed of the base generator; two arrays with different seeds are
+  /// considered unequal even if no explicit writes differ.
+  uint64_t Seed = 0;
+  /// Explicit writes, keyed by index. Entries whose value equals the base
+  /// generator's value are erased to keep equality extensional.
+  std::map<uint64_t, uint64_t> Overlay;
+
+  /// The base (pre-write) contents at \p Index.
+  uint64_t baseAt(uint64_t Index) const;
+};
+
+/// A runtime value: a 64-bit integer or an array.
+class Value {
+public:
+  enum class Kind { Int, Array };
+
+  Value() : TheKind(Kind::Int), Int(0) {}
+  static Value makeInt(uint64_t V);
+  /// A fresh array whose base contents are generated from \p Seed.
+  static Value makeArray(uint64_t Seed);
+
+  Kind kind() const { return TheKind; }
+  bool isInt() const { return TheKind == Kind::Int; }
+  bool isArray() const { return TheKind == Kind::Array; }
+
+  /// Integer payload; asserts on arrays.
+  uint64_t asInt() const;
+
+  /// Array read; asserts on ints.
+  uint64_t select(uint64_t Index) const;
+
+  /// Functional array write; asserts on ints. \returns the new array value.
+  Value store(uint64_t Index, uint64_t Elem) const;
+
+  /// Extensional equality (same seed, same effective contents) for arrays;
+  /// numeric equality for ints; false across kinds.
+  bool equals(const Value &O) const;
+
+  std::string toString() const;
+
+private:
+  Kind TheKind;
+  uint64_t Int = 0;
+  std::shared_ptr<const ArrayData> Arr;
+};
+
+} // namespace ir
+} // namespace denali
+
+#endif // DENALI_IR_VALUE_H

@@ -1,0 +1,129 @@
+//===- lang/AST.h - Denali source language AST ------------------*- C++ -*-===//
+///
+/// \file
+/// The abstract syntax of Denali's input language (paper, section 2 and
+/// Figure 6): a low-level language of procedures over 64-bit words and
+/// pointers, with guarded loops, multi-assignments, pointer dereferences,
+/// cache-miss annotations, loop unrolling, and program-specific operator
+/// declarations and axioms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DENALI_LANG_AST_H
+#define DENALI_LANG_AST_H
+
+#include "sexpr/SExpr.h"
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace denali {
+namespace lang {
+
+/// Source types. The language is essentially untyped 64-bit words; types
+/// matter only for casts (short truncates to 16 bits) and documentation.
+enum class TypeKind : uint8_t { Long, Int, Short, Byte, Ptr };
+
+struct Type {
+  TypeKind Kind = TypeKind::Long;
+};
+
+/// Expressions.
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind {
+    Number,  ///< Integer literal.
+    Ident,   ///< Variable / parameter reference.
+    Apply,   ///< (op e1 e2 ...) — builtin or declared operator.
+    Deref,   ///< (\deref e [\miss]) — memory read, optional miss hint.
+    Cast,    ///< (\cast type e) — truncating cast.
+    Ite      ///< (\ite c a b) — conditional expression (maps to cmov).
+  };
+  Kind TheKind = Kind::Number;
+  uint64_t Number = 0;
+  std::string Name; ///< Ident name or Apply operator name.
+  std::vector<ExprPtr> Args;
+  bool Miss = false; ///< Deref: annotated likely cache miss.
+  Type CastType;
+  unsigned Line = 0;
+};
+
+/// One assignment target: a variable or a memory location.
+struct AssignTarget {
+  bool IsDeref = false;
+  std::string Var;  ///< When !IsDeref. "\res" names the result.
+  ExprPtr Addr;     ///< When IsDeref.
+};
+
+/// Statements.
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind {
+    VarDecl, ///< (\var (name type [init]) body)  — flattened by parsing.
+    Assign,  ///< (:= (t1 e1) (t2 e2) ...) — simultaneous multi-assignment.
+    Seq,     ///< (\semi s1 s2 ...)
+    Do,      ///< (\do [(\unroll n)] [(\pipeline)] (-> cond body))
+    Assume,  ///< (\assume (eq a b)) / (\assume (neq a b)) — trust facts.
+    If       ///< (\if cond then [else]) — if-converted to cmov.
+  };
+  Kind TheKind = Kind::Seq;
+  // VarDecl
+  std::string VarName;
+  Type VarType;
+  ExprPtr VarInit; ///< May be null.
+  // Assign
+  std::vector<AssignTarget> Targets;
+  std::vector<ExprPtr> Values;
+  // Seq / Do body
+  std::vector<StmtPtr> Body;
+  // Assume
+  bool AssumeEq = true;
+  ExprPtr AssumeLhs, AssumeRhs;
+  // If
+  std::vector<StmtPtr> ElseBody;
+  // Do / If
+  ExprPtr Cond;
+  unsigned Unroll = 1;
+  /// \pipeline: software-pipeline the loop automatically — memory reads
+  /// are hoisted into temporaries initialized before the loop and reloaded
+  /// at the end of each iteration (the paper's section 8 design, which its
+  /// prototype required the programmer to hand-specify). Note the
+  /// transformed loop prefetches one iteration ahead.
+  bool Pipeline = false;
+  unsigned Line = 0;
+};
+
+/// A procedure.
+struct Proc {
+  std::string Name;
+  std::vector<std::pair<std::string, Type>> Params;
+  Type ReturnType;
+  StmtPtr Body;
+};
+
+/// An operator declaration from \opdecl.
+struct OpDecl {
+  std::string Name;
+  unsigned Arity = 0;
+};
+
+/// A whole source module: declarations, program-specific axioms (kept as
+/// S-expressions; the driver parses them against the populated operator
+/// table), and procedures.
+struct Module {
+  std::vector<OpDecl> OpDecls;
+  std::vector<sexpr::SExpr> Axioms;
+  std::vector<Proc> Procs;
+};
+
+} // namespace lang
+} // namespace denali
+
+#endif // DENALI_LANG_AST_H

@@ -1,0 +1,365 @@
+//===- lang/Parser.cpp ----------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+#include "sexpr/Parser.h"
+#include "support/StringExtras.h"
+
+using namespace denali;
+using namespace denali::lang;
+using denali::sexpr::SExpr;
+
+namespace {
+
+class ModuleParser {
+public:
+  explicit ModuleParser(std::string *ErrorOut) : ErrorOut(ErrorOut) {}
+
+  std::optional<Module> run(const std::string &Text) {
+    sexpr::ParseResult Parsed = sexpr::parse(Text);
+    if (!Parsed.ok()) {
+      if (ErrorOut)
+        *ErrorOut = Parsed.Error->toString();
+      return std::nullopt;
+    }
+    Module M;
+    for (const SExpr &Form : Parsed.Forms) {
+      if (Form.isForm("\\opdecl")) {
+        if (!parseOpDecl(Form, M))
+          return std::nullopt;
+      } else if (Form.isForm("\\axiom")) {
+        M.Axioms.push_back(Form);
+      } else if (Form.isForm("\\procdecl")) {
+        if (!parseProc(Form, M))
+          return std::nullopt;
+      } else {
+        fail(Form, "expected \\opdecl, \\axiom or \\procdecl at top level");
+        return std::nullopt;
+      }
+    }
+    return M;
+  }
+
+private:
+  std::string *ErrorOut;
+
+  bool fail(const SExpr &Where, const std::string &Msg) {
+    if (ErrorOut)
+      *ErrorOut =
+          strFormat("%u:%u: %s", Where.line(), Where.column(), Msg.c_str());
+    return false;
+  }
+
+  std::optional<Type> parseType(const SExpr &Form) {
+    if (Form.isSymbol()) {
+      const std::string &Name = Form.symbol();
+      if (Name == "long")
+        return Type{TypeKind::Long};
+      if (Name == "int")
+        return Type{TypeKind::Int};
+      if (Name == "short")
+        return Type{TypeKind::Short};
+      if (Name == "byte")
+        return Type{TypeKind::Byte};
+    }
+    if (Form.isForm("\\ref") && Form.size() == 2)
+      return Type{TypeKind::Ptr};
+    fail(Form, "unknown type");
+    return std::nullopt;
+  }
+
+  bool parseOpDecl(const SExpr &Form, Module &M) {
+    // (\opdecl name (argtypes...) rettype)
+    if (Form.size() != 4 || !Form[1].isSymbol() || !Form[2].isList())
+      return fail(Form, "malformed \\opdecl");
+    OpDecl D;
+    D.Name = Form[1].symbol();
+    D.Arity = static_cast<unsigned>(Form[2].size());
+    for (const SExpr &T : Form[2].list())
+      if (!parseType(T))
+        return false;
+    if (!parseType(Form[3]))
+      return false;
+    M.OpDecls.push_back(std::move(D));
+    return true;
+  }
+
+  ExprPtr parseExpr(const SExpr &Form) {
+    auto E = std::make_unique<Expr>();
+    E->Line = Form.line();
+    if (Form.isInteger()) {
+      E->TheKind = Expr::Kind::Number;
+      E->Number = static_cast<uint64_t>(Form.integer());
+      return E;
+    }
+    if (Form.isSymbol()) {
+      E->TheKind = Expr::Kind::Ident;
+      E->Name = Form.symbol();
+      return E;
+    }
+    if (!Form.isList() || Form.size() == 0 || !Form[0].isSymbol()) {
+      fail(Form, "malformed expression");
+      return nullptr;
+    }
+    const std::string &Head = Form[0].symbol();
+    if (Head == "\\deref") {
+      if (Form.size() < 2 || Form.size() > 3) {
+        fail(Form, "\\deref takes one address (and optional \\miss)");
+        return nullptr;
+      }
+      E->TheKind = Expr::Kind::Deref;
+      if (Form.size() == 3) {
+        if (!Form[2].isSymbol("\\miss")) {
+          fail(Form[2], "expected \\miss annotation");
+          return nullptr;
+        }
+        E->Miss = true;
+      }
+      ExprPtr Addr = parseExpr(Form[1]);
+      if (!Addr)
+        return nullptr;
+      E->Args.push_back(std::move(Addr));
+      return E;
+    }
+    if (Head == "\\cast") {
+      // (\cast type e) or (\cast e type).
+      if (Form.size() != 3) {
+        fail(Form, "\\cast takes a type and an expression");
+        return nullptr;
+      }
+      E->TheKind = Expr::Kind::Cast;
+      const SExpr *TypeForm = &Form[1];
+      const SExpr *ValueForm = &Form[2];
+      if (!Form[1].isSymbol() ||
+          (!Form[1].isSymbol("long") && !Form[1].isSymbol("int") &&
+           !Form[1].isSymbol("short") && !Form[1].isSymbol("byte")))
+        std::swap(TypeForm, ValueForm);
+      std::optional<Type> T = parseType(*TypeForm);
+      if (!T)
+        return nullptr;
+      E->CastType = *T;
+      ExprPtr V = parseExpr(*ValueForm);
+      if (!V)
+        return nullptr;
+      E->Args.push_back(std::move(V));
+      return E;
+    }
+    if (Head == "\\ite") {
+      if (Form.size() != 4) {
+        fail(Form, "\\ite takes condition, then, else");
+        return nullptr;
+      }
+      E->TheKind = Expr::Kind::Ite;
+      for (size_t I = 1; I < 4; ++I) {
+        ExprPtr A = parseExpr(Form[I]);
+        if (!A)
+          return nullptr;
+        E->Args.push_back(std::move(A));
+      }
+      return E;
+    }
+    // Generic application.
+    E->TheKind = Expr::Kind::Apply;
+    E->Name = Head;
+    for (size_t I = 1; I < Form.size(); ++I) {
+      ExprPtr A = parseExpr(Form[I]);
+      if (!A)
+        return nullptr;
+      E->Args.push_back(std::move(A));
+    }
+    return E;
+  }
+
+  StmtPtr parseStmt(const SExpr &Form) {
+    auto S = std::make_unique<Stmt>();
+    S->Line = Form.line();
+    if (Form.isForm("\\var")) {
+      // (\var (name type [init]) body...)
+      if (Form.size() < 3 || !Form[1].isList() || Form[1].size() < 2 ||
+          !Form[1][0].isSymbol()) {
+        fail(Form, "malformed \\var");
+        return nullptr;
+      }
+      S->TheKind = Stmt::Kind::VarDecl;
+      S->VarName = Form[1][0].symbol();
+      std::optional<Type> T = parseType(Form[1][1]);
+      if (!T)
+        return nullptr;
+      S->VarType = *T;
+      if (Form[1].size() >= 3) {
+        S->VarInit = parseExpr(Form[1][2]);
+        if (!S->VarInit)
+          return nullptr;
+      }
+      for (size_t I = 2; I < Form.size(); ++I) {
+        StmtPtr Inner = parseStmt(Form[I]);
+        if (!Inner)
+          return nullptr;
+        S->Body.push_back(std::move(Inner));
+      }
+      return S;
+    }
+    if (Form.isForm("\\semi")) {
+      S->TheKind = Stmt::Kind::Seq;
+      for (size_t I = 1; I < Form.size(); ++I) {
+        StmtPtr Inner = parseStmt(Form[I]);
+        if (!Inner)
+          return nullptr;
+        S->Body.push_back(std::move(Inner));
+      }
+      return S;
+    }
+    if (Form.isForm(":=")) {
+      S->TheKind = Stmt::Kind::Assign;
+      for (size_t I = 1; I < Form.size(); ++I) {
+        const SExpr &Pair = Form[I];
+        if (!Pair.isList() || Pair.size() != 2) {
+          fail(Pair, "assignment element must be (target value)");
+          return nullptr;
+        }
+        AssignTarget T;
+        if (Pair[0].isSymbol()) {
+          T.Var = Pair[0].symbol();
+        } else if (Pair[0].isForm("\\deref")) {
+          T.IsDeref = true;
+          if (Pair[0].size() != 2) {
+            fail(Pair[0], "\\deref target takes one address");
+            return nullptr;
+          }
+          T.Addr = parseExpr(Pair[0][1]);
+          if (!T.Addr)
+            return nullptr;
+        } else {
+          fail(Pair[0], "assignment target must be a variable or \\deref");
+          return nullptr;
+        }
+        ExprPtr V = parseExpr(Pair[1]);
+        if (!V)
+          return nullptr;
+        S->Targets.push_back(std::move(T));
+        S->Values.push_back(std::move(V));
+      }
+      if (S->Targets.empty()) {
+        fail(Form, "empty assignment");
+        return nullptr;
+      }
+      return S;
+    }
+    if (Form.isForm("\\do")) {
+      // (\do [(\unroll n)] (-> cond body...))
+      S->TheKind = Stmt::Kind::Do;
+      size_t Idx = 1;
+      while (Idx < Form.size() && (Form[Idx].isForm("\\unroll") ||
+                                   Form[Idx].isForm("\\pipeline"))) {
+        if (Form[Idx].isForm("\\pipeline")) {
+          if (Form[Idx].size() != 1) {
+            fail(Form[Idx], "\\pipeline takes no arguments");
+            return nullptr;
+          }
+          S->Pipeline = true;
+          ++Idx;
+          continue;
+        }
+        if (Form[Idx].size() != 2 || !Form[Idx][1].isInteger() ||
+            Form[Idx][1].integer() < 1) {
+          fail(Form[Idx], "\\unroll takes a positive count");
+          return nullptr;
+        }
+        S->Unroll = static_cast<unsigned>(Form[Idx][1].integer());
+        ++Idx;
+      }
+      if (Idx >= Form.size() || !Form[Idx].isForm("->") ||
+          Form[Idx].size() < 3) {
+        fail(Form, "\\do needs (-> cond body...)");
+        return nullptr;
+      }
+      const SExpr &Arrow = Form[Idx];
+      S->Cond = parseExpr(Arrow[1]);
+      if (!S->Cond)
+        return nullptr;
+      for (size_t I = 2; I < Arrow.size(); ++I) {
+        StmtPtr Inner = parseStmt(Arrow[I]);
+        if (!Inner)
+          return nullptr;
+        S->Body.push_back(std::move(Inner));
+      }
+      return S;
+    }
+    if (Form.isForm("\\assume")) {
+      // (\assume (eq a b)) or (\assume (neq a b))
+      if (Form.size() != 2 || !Form[1].isList() || Form[1].size() != 3 ||
+          !Form[1][0].isSymbol()) {
+        fail(Form, "\\assume takes (eq a b) or (neq a b)");
+        return nullptr;
+      }
+      const std::string &Rel = Form[1][0].symbol();
+      if (Rel != "eq" && Rel != "neq" && Rel != "=" && Rel != "!=") {
+        fail(Form[1], "\\assume relation must be eq or neq");
+        return nullptr;
+      }
+      S->TheKind = Stmt::Kind::Assume;
+      S->AssumeEq = Rel == "eq" || Rel == "=";
+      S->AssumeLhs = parseExpr(Form[1][1]);
+      S->AssumeRhs = parseExpr(Form[1][2]);
+      if (!S->AssumeLhs || !S->AssumeRhs)
+        return nullptr;
+      return S;
+    }
+    if (Form.isForm("\\if")) {
+      // (\if cond then [else])
+      if (Form.size() != 3 && Form.size() != 4) {
+        fail(Form, "\\if takes condition, then-branch, optional else");
+        return nullptr;
+      }
+      S->TheKind = Stmt::Kind::If;
+      S->Cond = parseExpr(Form[1]);
+      if (!S->Cond)
+        return nullptr;
+      StmtPtr Then = parseStmt(Form[2]);
+      if (!Then)
+        return nullptr;
+      S->Body.push_back(std::move(Then));
+      if (Form.size() == 4) {
+        StmtPtr Else = parseStmt(Form[3]);
+        if (!Else)
+          return nullptr;
+        S->ElseBody.push_back(std::move(Else));
+      }
+      return S;
+    }
+    fail(Form, "unknown statement form");
+    return nullptr;
+  }
+
+  bool parseProc(const SExpr &Form, Module &M) {
+    // (\procdecl name ((param type)...) rettype body)
+    if (Form.size() != 5 || !Form[1].isSymbol() || !Form[2].isList())
+      return fail(Form, "malformed \\procdecl");
+    Proc P;
+    P.Name = Form[1].symbol();
+    for (const SExpr &Param : Form[2].list()) {
+      if (!Param.isList() || Param.size() != 2 || !Param[0].isSymbol())
+        return fail(Param, "parameter must be (name type)");
+      std::optional<Type> T = parseType(Param[1]);
+      if (!T)
+        return false;
+      P.Params.emplace_back(Param[0].symbol(), *T);
+    }
+    std::optional<Type> Ret = parseType(Form[3]);
+    if (!Ret)
+      return false;
+    P.ReturnType = *Ret;
+    P.Body = parseStmt(Form[4]);
+    if (!P.Body)
+      return false;
+    M.Procs.push_back(std::move(P));
+    return true;
+  }
+};
+
+} // namespace
+
+std::optional<Module> denali::lang::parseModule(const std::string &Text,
+                                                std::string *ErrorOut) {
+  return ModuleParser(ErrorOut).run(Text);
+}

@@ -1,0 +1,39 @@
+//===- lang/Parser.h - Denali source parser ---------------------*- C++ -*-===//
+///
+/// \file
+/// Parses Denali source text (the LISP-like syntax of Figure 6) into a
+/// lang::Module. Grammar, by example:
+///
+///   (\opdecl carry (long long) long)
+///   (\axiom (forall (a b) (pats (carry a b))
+///     (eq (carry a b) (\cmpult (\add64 a b) a))))
+///   (\procdecl checksum ((ptr (\ref long)) (ptrend (\ref long))) short
+///     (\var (sum long 0)
+///     (\semi
+///       (\do (-> (< ptr ptrend)
+///         (\semi (:= (sum (add sum (\deref ptr))))
+///                (:= (ptr (+ ptr 8))))))
+///       (:= (\res (\cast short sum))))))
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DENALI_LANG_PARSER_H
+#define DENALI_LANG_PARSER_H
+
+#include "lang/AST.h"
+
+#include <optional>
+#include <string>
+
+namespace denali {
+namespace lang {
+
+/// Parses source text. \returns std::nullopt with \p ErrorOut set on
+/// failure (syntax error, malformed form, unknown type).
+std::optional<Module> parseModule(const std::string &Text,
+                                  std::string *ErrorOut);
+
+} // namespace lang
+} // namespace denali
+
+#endif // DENALI_LANG_PARSER_H

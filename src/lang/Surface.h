@@ -1,0 +1,65 @@
+//===- lang/Surface.h - The envisioned surface syntax -----------*- C++ -*-===//
+///
+/// \file
+/// Parser for the *envisioned* Denali syntax of Figures 3 and 5 — the
+/// notation the paper says it would like instead of the prototype's
+/// parenthesized input. Example (Figure 3):
+///
+///   \proc byteswap4 : [ a : int ] -> int =
+///   \var r : int \in
+///   r := 0 ;
+///   r<0> := a<3> ;
+///   r<1> := a<2> ;
+///   r<2> := a<1> ;
+///   r<3> := a<0> ;
+///   \res := r
+///   \end
+///
+/// and (Figure 5 flavor):
+///
+///   \op add : [ long, long ] -> long ;
+///   \axiom \forall [ a, b ] add(a, b) = add(b, a) ;
+///   \proc checksum : [ ptr, ptrend : long* ] -> short =
+///   \var sum : long := 0 \in
+///   \do ptr < ptrend ->
+///     sum := add(sum, *ptr) ; ptr := ptr + 8
+///   \od ;
+///   \res := \cast(sum, short)
+///   \end
+///
+/// `w<i>` denotes byte i of w (selectb); as an assignment target it
+/// desugars to w := storeb(w, i, value). `*e` reads memory; `*e := v`
+/// writes it. Loops support `\do \unroll 4 cond -> ... \od` and
+/// `*p \miss` load annotations.
+///
+/// The parser produces the same lang::Module as the prototype syntax, so
+/// everything downstream (GMA translation, matching, codegen) is shared.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DENALI_LANG_SURFACE_H
+#define DENALI_LANG_SURFACE_H
+
+#include "lang/AST.h"
+
+#include <optional>
+#include <string>
+
+namespace denali {
+namespace lang {
+
+/// Parses the surface syntax. \returns std::nullopt with \p ErrorOut set
+/// on failure.
+std::optional<Module> parseSurfaceModule(const std::string &Text,
+                                         std::string *ErrorOut);
+
+/// Parses either syntax: the prototype's parenthesized form if the first
+/// non-comment character is '(', the surface form otherwise. Comments are
+/// ';' to end of line in both.
+std::optional<Module> parseAnyModule(const std::string &Text,
+                                     std::string *ErrorOut);
+
+} // namespace lang
+} // namespace denali
+
+#endif // DENALI_LANG_SURFACE_H

@@ -1,0 +1,94 @@
+//===- match/Axiom.h - Patterns and axioms ----------------------*- C++ -*-===//
+///
+/// \file
+/// Declarative facts in the paper's three forms (section 5): quantified
+/// equalities, distinctions, and clauses (disjunctions of literals), with
+/// optional explicit trigger patterns (the paper's suppressed "pats").
+///
+/// Concrete syntax (Figure 6 / section 8):
+///
+///   (\axiom (forall (a b) (pats (add a b))
+///     (eq (add a b) (add b a))))
+///   (\axiom (forall (a i j x) (pats (select (store a i x) j))
+///     (or (eq i j) (eq (select (store a i x) j) (select a j)))))
+///   (\axiom (eq reg7 0))                      ; unquantified
+///
+/// When (pats ...) is omitted, each App side of each literal that binds all
+/// quantified variables is used as a trigger.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DENALI_MATCH_AXIOM_H
+#define DENALI_MATCH_AXIOM_H
+
+#include "ir/Eval.h"
+#include "ir/Term.h"
+#include "sexpr/SExpr.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace denali {
+namespace match {
+
+using PatternId = uint32_t;
+
+/// One node of a pattern tree (stored in the owning axiom's pool).
+struct PatternNode {
+  enum class Kind { Var, Const, App };
+  Kind TheKind = Kind::App;
+  uint32_t VarIndex = 0;              ///< For Var.
+  uint64_t ConstVal = 0;              ///< For Const.
+  ir::OpId Op = 0;                    ///< For App.
+  std::vector<PatternId> Children;    ///< For App.
+};
+
+/// A literal of an axiom body: equality or distinction between patterns.
+struct AxiomLiteral {
+  bool IsEq = true;
+  PatternId Lhs = 0;
+  PatternId Rhs = 0;
+};
+
+/// A parsed axiom.
+struct Axiom {
+  std::string Name; ///< For diagnostics ("axiom@line 12").
+  std::vector<std::string> VarNames;
+  std::vector<PatternNode> Pool;
+  std::vector<PatternId> Triggers; ///< Each binds all variables.
+  std::vector<AxiomLiteral> Body;  ///< Size 1: plain literal; >1: clause.
+
+  const PatternNode &pattern(PatternId Id) const { return Pool[Id]; }
+
+  /// Variables mentioned by pattern \p Id (bitmask over VarNames).
+  uint64_t patternVarMask(PatternId Id) const;
+
+  /// Renders a pattern for diagnostics.
+  std::string patternToString(const ir::Context &Ctx, PatternId Id) const;
+};
+
+/// Parses one (\axiom ...) form. \returns std::nullopt and sets \p ErrorOut
+/// on malformed input (unknown operator, trigger not binding all vars, ...).
+/// Operator names may carry the \-prefix of builtin references (\add64).
+std::optional<Axiom> parseAxiom(ir::Context &Ctx, const sexpr::SExpr &Form,
+                                std::string *ErrorOut);
+
+/// If \p A is definitional — a single equality f(x1..xn) = rhs with f a
+/// declared operator and x1..xn exactly the distinct quantified variables —
+/// \returns the operator and an evaluator definition for it.
+std::optional<std::pair<ir::OpId, ir::OpDefinition>>
+extractDefinition(ir::Context &Ctx, const Axiom &A);
+
+/// Instantiates pattern \p Id of \p A as an interned term, mapping the
+/// axiom's variables through \p VarTerms (indexed by variable number).
+/// Used by the axiom-soundness tests to evaluate axiom instances directly.
+ir::TermId instantiatePatternTerm(ir::Context &Ctx, const Axiom &A,
+                                  PatternId Id,
+                                  const std::vector<ir::TermId> &VarTerms);
+
+} // namespace match
+} // namespace denali
+
+#endif // DENALI_MATCH_AXIOM_H

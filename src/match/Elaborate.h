@@ -1,0 +1,40 @@
+//===- match/Elaborate.h - Heuristic fact elaboration -----------*- C++ -*-===//
+///
+/// \file
+/// Elaborators inject the "heuristically relevant" ground facts that pure
+/// pattern matching cannot discover on its own (our concrete instance of
+/// the mechanisms the paper alludes to in section 5):
+///
+///  * powerOfTwoElaborator — for a constant 2^n used in a multiplication,
+///    asserts c = 2**n, enabling the k * 2**n = k << n axiom (Figure 2's
+///    first step, 4 = 2**2);
+///  * byteMaskElaborator — for an and64 with a byte-regular constant mask
+///    (every byte 0x00 or 0xff), adds the equivalent zapnot node;
+///  * offsetDisequalityElaborator — base+offset analysis over add64/sub64
+///    chains; classes with a common base and different constant offsets are
+///    asserted distinct (this is what deletes the p = p+8 literal of the
+///    select-store clause).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DENALI_MATCH_ELABORATE_H
+#define DENALI_MATCH_ELABORATE_H
+
+#include "match/Matcher.h"
+
+namespace denali {
+namespace match {
+
+Elaborator powerOfTwoElaborator();
+Elaborator byteMaskElaborator();
+Elaborator offsetDisequalityElaborator();
+
+/// For shl64 nodes whose constant shift amount is a multiple of 8 (< 64),
+/// asserts amount = 8 * (amount / 8), enabling the insbl/inswl axioms whose
+/// patterns shift by (mul64 8 i).
+Elaborator byteShiftElaborator();
+
+} // namespace match
+} // namespace denali
+
+#endif // DENALI_MATCH_ELABORATE_H

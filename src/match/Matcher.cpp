@@ -1,0 +1,211 @@
+//===- match/Matcher.cpp --------------------------------------------------===//
+
+#include "match/Matcher.h"
+
+#include "match/Elaborate.h"
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace denali;
+using namespace denali::match;
+using namespace denali::egraph;
+
+namespace {
+
+/// Backtracking e-matcher for one axiom. Matches are reported through
+/// OnMatch; the engine never mutates the graph (matches are collected and
+/// instantiated afterwards).
+class MatchEngine {
+public:
+  MatchEngine(const EGraph &G, const Axiom &A,
+              std::function<void(const std::vector<ClassId> &)> OnMatch)
+      : G(G), A(A), OnMatch(std::move(OnMatch)),
+        Bindings(A.VarNames.size(), 0), Bound(A.VarNames.size(), 0) {}
+
+  void run(PatternId Trigger) {
+    const PatternNode &Root = A.pattern(Trigger);
+    assert(Root.TheKind == PatternNode::Kind::App && "trigger must be App");
+    // Copy: instantiation later must not invalidate this scan; also the
+    // index may contain retired nodes, skipped here.
+    std::vector<ENodeId> Roots = G.nodesWithOp(Root.Op);
+    for (ENodeId N : Roots) {
+      if (!G.node(N).Alive)
+        continue;
+      matchChildren(Root, N, 0, [&] { OnMatch(Bindings); });
+    }
+  }
+
+private:
+  const EGraph &G;
+  const Axiom &A;
+  std::function<void(const std::vector<ClassId> &)> OnMatch;
+  std::vector<ClassId> Bindings;
+  std::vector<uint8_t> Bound;
+
+  using Cont = std::function<void()>;
+
+  void matchChildren(const PatternNode &P, ENodeId N, size_t Idx,
+                     const Cont &K) {
+    if (Idx == P.Children.size()) {
+      K();
+      return;
+    }
+    ClassId ChildClass = G.node(N).Children[Idx];
+    matchClass(P.Children[Idx], ChildClass,
+               [&] { matchChildren(P, N, Idx + 1, K); });
+  }
+
+  void matchClass(PatternId PId, ClassId C, const Cont &K) {
+    const PatternNode &P = A.pattern(PId);
+    C = G.find(C);
+    switch (P.TheKind) {
+    case PatternNode::Kind::Var: {
+      uint32_t V = P.VarIndex;
+      if (Bound[V]) {
+        if (G.find(Bindings[V]) == C)
+          K();
+        return;
+      }
+      Bound[V] = 1;
+      Bindings[V] = C;
+      K();
+      Bound[V] = 0;
+      return;
+    }
+    case PatternNode::Kind::Const: {
+      std::optional<uint64_t> K2 = G.classConstant(C);
+      if (K2 && *K2 == P.ConstVal)
+        K();
+      return;
+    }
+    case PatternNode::Kind::App: {
+      // E-matching proper: search the whole equivalence class for nodes
+      // with the right operator (Figure 2's 2**2 inside 4's class).
+      for (ENodeId N : G.classNodes(C))
+        if (G.node(N).Op == P.Op)
+          matchChildren(P, N, 0, K);
+      return;
+    }
+    }
+  }
+};
+
+} // namespace
+
+ClassId Matcher::instantiate(EGraph &G, const Axiom &A, PatternId PId,
+                             const std::vector<ClassId> &Bindings) {
+  const PatternNode &P = A.pattern(PId);
+  switch (P.TheKind) {
+  case PatternNode::Kind::Var:
+    return Bindings[P.VarIndex];
+  case PatternNode::Kind::Const:
+    return G.addConst(P.ConstVal);
+  case PatternNode::Kind::App: {
+    std::vector<ClassId> Children;
+    Children.reserve(P.Children.size());
+    for (PatternId C : P.Children)
+      Children.push_back(instantiate(G, A, C, Bindings));
+    return G.addNode(P.Op, Children);
+  }
+  }
+  DENALI_UNREACHABLE("bad pattern kind");
+}
+
+bool Matcher::assertInstance(EGraph &G, const Axiom &A,
+                             const std::vector<ClassId> &Bindings) {
+  uint64_t Before = G.version();
+  if (A.Body.size() == 1) {
+    const AxiomLiteral &L = A.Body[0];
+    ClassId Lhs = instantiate(G, A, L.Lhs, Bindings);
+    ClassId Rhs = instantiate(G, A, L.Rhs, Bindings);
+    if (L.IsEq)
+      G.assertEqual(Lhs, Rhs);
+    else
+      G.assertDistinct(Lhs, Rhs);
+    return G.version() != Before;
+  }
+  // Clause: skip if some literal is already satisfied; otherwise record.
+  std::vector<Literal> Lits;
+  Lits.reserve(A.Body.size());
+  bool Satisfied = false;
+  for (const AxiomLiteral &L : A.Body) {
+    ClassId Lhs = instantiate(G, A, L.Lhs, Bindings);
+    ClassId Rhs = instantiate(G, A, L.Rhs, Bindings);
+    if (L.IsEq ? G.sameClass(Lhs, Rhs) : G.areDistinct(Lhs, Rhs))
+      Satisfied = true;
+    Lits.push_back(L.IsEq ? Literal::eq(Lhs, Rhs) : Literal::ne(Lhs, Rhs));
+  }
+  if (!Satisfied)
+    G.addClause(std::move(Lits));
+  return G.version() != Before;
+}
+
+MatchStats Matcher::saturate(EGraph &G, const MatchLimits &Limits) {
+  MatchStats Stats;
+  for (unsigned Round = 0; Round < Limits.MaxRounds; ++Round) {
+    ++Stats.Rounds;
+    uint64_t RoundStart = G.version();
+
+    for (const Elaborator &E : Elaborators)
+      E(G);
+
+    // Collect matches first (the engine must not observe its own output),
+    // then instantiate.
+    struct PendingInstance {
+      uint32_t AxiomIdx;
+      std::vector<ClassId> Bindings;
+    };
+    std::vector<PendingInstance> Pending;
+    for (uint32_t AIdx = 0; AIdx < Axioms.size(); ++AIdx) {
+      const Axiom &A = Axioms[AIdx];
+      if (A.VarNames.empty()) {
+        // Ground fact: assert once.
+        DoneKey Key{AIdx, {}};
+        if (!Done.count(Key))
+          Pending.push_back(PendingInstance{AIdx, {}});
+        continue;
+      }
+      for (PatternId Trigger : A.Triggers) {
+        MatchEngine Engine(G, A, [&](const std::vector<ClassId> &Bs) {
+          ++Stats.MatchesFound;
+          if (Pending.size() >= Limits.MaxInstancesPerRound)
+            return;
+          std::vector<ClassId> Canon(Bs.size());
+          for (size_t I = 0; I < Bs.size(); ++I)
+            Canon[I] = G.find(Bs[I]);
+          DoneKey Key{AIdx, Canon};
+          if (Done.count(Key))
+            return;
+          Pending.push_back(PendingInstance{AIdx, std::move(Canon)});
+        });
+        Engine.run(Trigger);
+      }
+    }
+
+    for (PendingInstance &P : Pending) {
+      if (G.numNodes() >= Limits.MaxNodes)
+        break;
+      if (G.isInconsistent())
+        break;
+      Done.insert(DoneKey{P.AxiomIdx, P.Bindings});
+      if (assertInstance(G, Axioms[P.AxiomIdx], P.Bindings))
+        ++Stats.InstancesAsserted;
+    }
+
+    if (G.version() == RoundStart) {
+      Stats.Quiesced = true;
+      break;
+    }
+    if (G.numNodes() >= Limits.MaxNodes || G.isInconsistent())
+      break;
+  }
+  Stats.FinalNodes = G.numNodes();
+  Stats.FinalClasses = G.numClasses();
+  return Stats;
+}
+
+std::vector<Elaborator> denali::match::standardElaborators() {
+  return {powerOfTwoElaborator(), byteMaskElaborator(),
+          byteShiftElaborator(), offsetDisequalityElaborator()};
+}

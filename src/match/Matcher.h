@@ -1,0 +1,103 @@
+//===- match/Matcher.h - E-matching and saturation --------------*- C++ -*-===//
+///
+/// \file
+/// The matching phase (paper, section 5): repeatedly finds instances of the
+/// axioms in the E-graph and asserts them, until a quiescent state is
+/// reached (or fuel limits stop it — the paper's caveat about heuristics
+/// that keep the matcher from running forever, its first reason for saying
+/// "near-optimal").
+///
+/// E-matching searches whole equivalence classes: the pattern k * 2**n
+/// matches reg6 * 4 once 4's class also contains 2**2 — precisely the
+/// Figure 2 scenario.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DENALI_MATCH_MATCHER_H
+#define DENALI_MATCH_MATCHER_H
+
+#include "egraph/EGraph.h"
+#include "match/Axiom.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace denali {
+namespace match {
+
+/// Fuel limits for saturation.
+struct MatchLimits {
+  unsigned MaxRounds = 24;
+  size_t MaxNodes = 60000;          ///< Stop instantiating past this size.
+  size_t MaxInstancesPerRound = 200000;
+};
+
+/// Statistics of one saturation run.
+struct MatchStats {
+  unsigned Rounds = 0;
+  uint64_t MatchesFound = 0;
+  uint64_t InstancesAsserted = 0;
+  size_t FinalNodes = 0;
+  size_t FinalClasses = 0;
+  bool Quiesced = false; ///< True if a full round produced no change.
+};
+
+/// An elaboration hook run once per round before matching; used for
+/// "heuristically relevant" constant facts (4 = 2**2, byte-regular masks)
+/// and the base+offset disequality oracle.
+using Elaborator = std::function<void(egraph::EGraph &)>;
+
+class Matcher {
+public:
+  explicit Matcher(std::vector<Axiom> Axioms)
+      : Axioms(std::move(Axioms)) {}
+
+  /// Adds an elaboration hook.
+  void addElaborator(Elaborator E) { Elaborators.push_back(std::move(E)); }
+
+  const std::vector<Axiom> &axioms() const { return Axioms; }
+
+  /// Saturates \p G. \returns the run's statistics.
+  MatchStats saturate(egraph::EGraph &G,
+                      const MatchLimits &Limits = MatchLimits());
+
+private:
+  std::vector<Axiom> Axioms;
+  std::vector<Elaborator> Elaborators;
+
+  // Instantiation dedup: (axiom index, canonical bindings) already asserted.
+  struct DoneKey {
+    uint32_t AxiomIdx;
+    std::vector<egraph::ClassId> Bindings;
+    bool operator==(const DoneKey &O) const {
+      return AxiomIdx == O.AxiomIdx && Bindings == O.Bindings;
+    }
+  };
+  struct DoneKeyHash {
+    size_t operator()(const DoneKey &K) const {
+      size_t H = K.AxiomIdx;
+      for (egraph::ClassId C : K.Bindings)
+        H = H * 1000003u ^ C;
+      return H;
+    }
+  };
+  std::unordered_set<DoneKey, DoneKeyHash> Done;
+
+  egraph::ClassId instantiate(egraph::EGraph &G, const Axiom &A, PatternId P,
+                              const std::vector<egraph::ClassId> &Bindings);
+
+  /// Asserts one axiom instance. \returns true if anything changed.
+  bool assertInstance(egraph::EGraph &G, const Axiom &A,
+                      const std::vector<egraph::ClassId> &Bindings);
+};
+
+/// Returns the standard elaborators: powers of two (enables k*2**n matches)
+/// and byte-regular masks (enables zapnot), plus the base+offset
+/// disequality oracle for memory indices.
+std::vector<Elaborator> standardElaborators();
+
+} // namespace match
+} // namespace denali
+
+#endif // DENALI_MATCH_MATCHER_H

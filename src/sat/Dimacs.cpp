@@ -1,0 +1,79 @@
+//===- sat/Dimacs.cpp -----------------------------------------------------===//
+
+#include "sat/Dimacs.h"
+
+#include "sat/Solver.h"
+#include "support/StringExtras.h"
+
+#include <sstream>
+
+using namespace denali;
+using namespace denali::sat;
+
+std::string Cnf::toDimacs() const {
+  std::ostringstream Out;
+  Out << "p cnf " << NumVars << ' ' << Clauses.size() << '\n';
+  for (const ClauseLits &C : Clauses) {
+    for (Lit L : C)
+      Out << (L.negative() ? -(L.var() + 1) : (L.var() + 1)) << ' ';
+    Out << "0\n";
+  }
+  return Out.str();
+}
+
+bool Cnf::loadInto(Solver &S) const {
+  while (S.numVars() < NumVars)
+    S.newVar();
+  bool Ok = true;
+  for (const ClauseLits &C : Clauses)
+    Ok &= S.addClause(C);
+  return Ok;
+}
+
+bool denali::sat::parseDimacs(const std::string &Text, Cnf &Out,
+                              std::string *ErrorOut) {
+  std::istringstream In(Text);
+  std::string Line;
+  bool SawHeader = false;
+  ClauseLits Current;
+  Out = Cnf();
+  while (std::getline(In, Line)) {
+    if (Line.empty() || Line[0] == 'c')
+      continue;
+    if (Line[0] == 'p') {
+      std::istringstream Header(Line);
+      std::string P, Kind;
+      int Vars = 0, NumClauses = 0;
+      Header >> P >> Kind >> Vars >> NumClauses;
+      if (Kind != "cnf" || Vars < 0) {
+        if (ErrorOut)
+          *ErrorOut = "malformed problem line: " + Line;
+        return false;
+      }
+      Out.NumVars = Vars;
+      SawHeader = true;
+      continue;
+    }
+    std::istringstream Body(Line);
+    long LitVal;
+    while (Body >> LitVal) {
+      if (LitVal == 0) {
+        Out.Clauses.push_back(Current);
+        Current.clear();
+        continue;
+      }
+      long V = LitVal < 0 ? -LitVal : LitVal;
+      if (V > Out.NumVars)
+        Out.NumVars = static_cast<int>(V);
+      Current.push_back(Lit(static_cast<Var>(V - 1), LitVal < 0));
+    }
+  }
+  if (!Current.empty())
+    Out.Clauses.push_back(Current);
+  if (!SawHeader && Out.Clauses.empty()) {
+    if (ErrorOut)
+      *ErrorOut = "no problem line and no clauses";
+    return false;
+  }
+  return true;
+}

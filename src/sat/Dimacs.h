@@ -1,0 +1,43 @@
+//===- sat/Dimacs.h - DIMACS CNF I/O ----------------------------*- C++ -*-===//
+///
+/// \file
+/// DIMACS CNF reading and writing. Writing lets the constraint generator's
+/// output be cross-checked against any external solver; reading lets the
+/// solver be exercised on standard benchmark files.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DENALI_SAT_DIMACS_H
+#define DENALI_SAT_DIMACS_H
+
+#include "sat/SatTypes.h"
+
+#include <string>
+#include <vector>
+
+namespace denali {
+namespace sat {
+
+class Solver;
+
+/// A CNF formula in portable form.
+struct Cnf {
+  int NumVars = 0;
+  std::vector<ClauseLits> Clauses;
+
+  /// Renders in DIMACS format.
+  std::string toDimacs() const;
+
+  /// Loads every clause into \p S (creating variables as needed).
+  /// \returns false if the formula is trivially unsatisfiable.
+  bool loadInto(Solver &S) const;
+};
+
+/// Parses DIMACS text. \returns false (and sets \p ErrorOut) on malformed
+/// input.
+bool parseDimacs(const std::string &Text, Cnf &Out, std::string *ErrorOut);
+
+} // namespace sat
+} // namespace denali
+
+#endif // DENALI_SAT_DIMACS_H

@@ -1,0 +1,86 @@
+//===- sat/Encodings.cpp --------------------------------------------------===//
+
+#include "sat/Encodings.h"
+
+#include <cassert>
+
+using namespace denali;
+using namespace denali::sat;
+
+static void addPairwise(Solver &S, const ClauseLits &Lits) {
+  for (size_t I = 0; I < Lits.size(); ++I)
+    for (size_t J = I + 1; J < Lits.size(); ++J)
+      S.addClause(~Lits[I], ~Lits[J]);
+}
+
+static void addLadder(Solver &S, const ClauseLits &Lits) {
+  // Sequential encoding: Aux[i] == "some literal among Lits[0..i] is true".
+  // Clauses: Lits[i] -> Aux[i]; Aux[i-1] -> Aux[i]; Lits[i] & Aux[i-1] -> false.
+  size_t N = Lits.size();
+  if (N <= 4) { // Pairwise is smaller for tiny groups.
+    addPairwise(S, Lits);
+    return;
+  }
+  Lit Prev;
+  for (size_t I = 0; I < N; ++I) {
+    if (I + 1 == N) {
+      // The last element needs no new aux variable.
+      if (Prev.valid())
+        S.addClause(~Lits[I], ~Prev);
+      break;
+    }
+    Lit Aux = Lit::pos(S.newVar());
+    S.addClause(~Lits[I], Aux);
+    if (Prev.valid()) {
+      S.addClause(~Prev, Aux);
+      S.addClause(~Lits[I], ~Prev);
+    }
+    Prev = Aux;
+  }
+}
+
+void denali::sat::addAtMostOne(Solver &S, const ClauseLits &Lits,
+                               AtMostOneStyle Style) {
+  if (Lits.size() < 2)
+    return;
+  if (Style == AtMostOneStyle::Pairwise)
+    addPairwise(S, Lits);
+  else
+    addLadder(S, Lits);
+}
+
+void denali::sat::addExactlyOne(Solver &S, const ClauseLits &Lits,
+                                AtMostOneStyle Style) {
+  S.addClause(Lits);
+  addAtMostOne(S, Lits, Style);
+}
+
+void denali::sat::addAtMostK(Solver &S, const ClauseLits &Lits, unsigned K) {
+  assert(K >= 1 && "use addClause(~L) to forbid literals outright");
+  size_t N = Lits.size();
+  if (N <= K)
+    return;
+  if (K == 1) {
+    addAtMostOne(S, Lits);
+    return;
+  }
+  // Sequential counter: Count[i][j] == "at least j+1 of Lits[0..i] true".
+  std::vector<std::vector<Lit>> Count(N, std::vector<Lit>(K));
+  for (size_t I = 0; I < N; ++I)
+    for (unsigned J = 0; J < K; ++J)
+      Count[I][J] = Lit::pos(S.newVar());
+  S.addClause(~Lits[0], Count[0][0]);
+  for (unsigned J = 1; J < K; ++J)
+    S.addClause(~Count[0][J]);
+  for (size_t I = 1; I < N; ++I) {
+    S.addClause(~Lits[I], Count[I][0]);
+    S.addClause(~Count[I - 1][0], Count[I][0]);
+    for (unsigned J = 1; J < K; ++J) {
+      // Lits[I] & Count[I-1][J-1] -> Count[I][J]
+      S.addClause(~Lits[I], ~Count[I - 1][J - 1], Count[I][J]);
+      S.addClause(~Count[I - 1][J], Count[I][J]);
+    }
+    // Overflow: Lits[I] with K already true is forbidden.
+    S.addClause(~Lits[I], ~Count[I - 1][K - 1]);
+  }
+}

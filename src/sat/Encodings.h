@@ -1,0 +1,37 @@
+//===- sat/Encodings.h - Cardinality encodings ------------------*- C++ -*-===//
+///
+/// \file
+/// Helper encodings used by the constraint generator. The per-(cycle, unit)
+/// issue-exclusivity constraints (paper, section 6, fourth condition) are
+/// at-most-one constraints; we provide both the quadratic pairwise encoding
+/// and a linear "ladder" (sequential) encoding, selectable for the ablation
+/// study in bench_sat_scaling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DENALI_SAT_ENCODINGS_H
+#define DENALI_SAT_ENCODINGS_H
+
+#include "sat/Solver.h"
+
+namespace denali {
+namespace sat {
+
+enum class AtMostOneStyle { Pairwise, Ladder };
+
+/// Adds clauses forcing at most one of \p Lits to be true.
+void addAtMostOne(Solver &S, const ClauseLits &Lits,
+                  AtMostOneStyle Style = AtMostOneStyle::Ladder);
+
+/// Adds clauses forcing exactly one of \p Lits to be true.
+void addExactlyOne(Solver &S, const ClauseLits &Lits,
+                   AtMostOneStyle Style = AtMostOneStyle::Ladder);
+
+/// Adds clauses forcing at most \p K of \p Lits to be true (sequential
+/// counter encoding). K >= 1.
+void addAtMostK(Solver &S, const ClauseLits &Lits, unsigned K);
+
+} // namespace sat
+} // namespace denali
+
+#endif // DENALI_SAT_ENCODINGS_H

@@ -1,0 +1,168 @@
+//===- sat/RupChecker.cpp -------------------------------------------------===//
+
+#include "sat/RupChecker.h"
+
+#include "support/StringExtras.h"
+
+#include <algorithm>
+#include <deque>
+
+using namespace denali;
+using namespace denali::sat;
+
+namespace {
+
+/// A deliberately simple propagation engine: occurrence lists, full clause
+/// scans, assignment trail with rollback. Clarity over speed.
+class Propagator {
+public:
+  explicit Propagator(int NumVars)
+      : Assign(static_cast<size_t>(NumVars), LBool::Undef) {}
+
+  void addClause(const ClauseLits &Input) {
+    // Normalize like the solver does: dedup literals; drop tautologies
+    // (they can never propagate, and dropping only weakens the database,
+    // which is sound for RUP checking).
+    ClauseLits Lits = Input;
+    std::sort(Lits.begin(), Lits.end());
+    Lits.erase(std::unique(Lits.begin(), Lits.end()), Lits.end());
+    for (size_t I = 0; I + 1 < Lits.size(); ++I)
+      if (Lits[I + 1] == ~Lits[I])
+        return; // Tautology.
+    if (Lits.empty()) {
+      HasEmptyClause = true; // The database is already contradictory.
+      return;
+    }
+    int Id = static_cast<int>(Clauses.size());
+    Clauses.push_back(Lits);
+    for (Lit L : Clauses.back()) {
+      ensureVar(L.var());
+      Occurrences[L.index()].push_back(Id);
+    }
+    if (Clauses.back().size() == 1)
+      Units.push_back(Clauses.back()[0]); // Seeds every propagation.
+  }
+
+  void ensureVar(Var V) {
+    while (static_cast<size_t>(V) >= Assign.size())
+      Assign.push_back(LBool::Undef);
+    if (Occurrences.size() < Assign.size() * 2)
+      Occurrences.resize(Assign.size() * 2);
+  }
+
+  /// Assumes \p Lits false, propagates to fixpoint. \returns true if a
+  /// conflict arises. All assignments are rolled back before returning.
+  bool refutes(const ClauseLits &Negated) {
+    Trail.clear();
+    bool Conflict = HasEmptyClause;
+    for (Lit L : Negated) {
+      ensureVar(L.var());
+      if (value(L) == LBool::True) { // Conflicting assumption pair.
+        Conflict = true;
+        break;
+      }
+      if (value(L) == LBool::Undef)
+        assign(~L);
+    }
+    // Unit clauses of the database always propagate.
+    for (Lit U : Units) {
+      if (Conflict)
+        break;
+      if (value(U) == LBool::False)
+        Conflict = true;
+      else if (value(U) == LBool::Undef)
+        assign(U);
+    }
+    size_t Head = 0;
+    while (!Conflict && Head < Trail.size()) {
+      Lit P = Trail[Head++];
+      // Clauses containing ~P may have become unit or empty.
+      auto It = OccList(~P);
+      for (int ClauseId : It) {
+        const ClauseLits &C = Clauses[static_cast<size_t>(ClauseId)];
+        Lit Unit;
+        bool Satisfied = false;
+        unsigned Unassigned = 0;
+        for (Lit L : C) {
+          LBool V = value(L);
+          if (V == LBool::True) {
+            Satisfied = true;
+            break;
+          }
+          if (V == LBool::Undef) {
+            ++Unassigned;
+            Unit = L;
+          }
+        }
+        if (Satisfied)
+          continue;
+        if (Unassigned == 0) {
+          Conflict = true;
+          break;
+        }
+        if (Unassigned == 1)
+          assign(Unit);
+      }
+    }
+    for (Lit L : Trail)
+      Assign[L.var()] = LBool::Undef;
+    return Conflict;
+  }
+
+private:
+  std::vector<ClauseLits> Clauses;
+  std::vector<std::vector<int>> Occurrences; ///< By Lit::index().
+  std::vector<LBool> Assign;
+  std::vector<Lit> Trail;
+  std::vector<Lit> Units;
+  bool HasEmptyClause = false;
+
+  const std::vector<int> &OccList(Lit L) {
+    ensureVar(L.var());
+    return Occurrences[L.index()];
+  }
+
+  LBool value(Lit L) const {
+    LBool V = Assign[L.var()];
+    if (V == LBool::Undef)
+      return V;
+    return L.negative() ? lboolNot(V) : V;
+  }
+
+  void assign(Lit L) {
+    Assign[L.var()] = lboolFrom(!L.negative());
+    Trail.push_back(L);
+  }
+};
+
+} // namespace
+
+bool denali::sat::checkRupProof(const Cnf &Formula,
+                                const std::vector<ClauseLits> &Proof,
+                                std::string *ErrorOut) {
+  Propagator P(Formula.NumVars);
+  for (const ClauseLits &C : Formula.Clauses)
+    P.addClause(C);
+
+  bool SawEmpty = false;
+  for (size_t Step = 0; Step < Proof.size(); ++Step) {
+    const ClauseLits &C = Proof[Step];
+    if (!P.refutes(C)) {
+      if (ErrorOut)
+        *ErrorOut = strFormat("proof step %zu is not a RUP consequence",
+                              Step);
+      return false;
+    }
+    if (C.empty()) {
+      SawEmpty = true;
+      break; // Unsatisfiability established; later steps are irrelevant.
+    }
+    P.addClause(C);
+  }
+  if (!SawEmpty) {
+    if (ErrorOut)
+      *ErrorOut = "proof does not derive the empty clause";
+    return false;
+  }
+  return true;
+}

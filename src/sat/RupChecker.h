@@ -1,0 +1,37 @@
+//===- sat/RupChecker.h - Clausal proof checking ----------------*- C++ -*-===//
+///
+/// \file
+/// An independent checker for the solver's clausal proofs: each proof
+/// clause must be a *reverse unit propagation* (RUP) consequence of the
+/// formula plus the previously checked clauses — assuming the negation of
+/// the clause and unit-propagating must yield a conflict. A proof ending
+/// in the (RUP-valid) empty clause certifies unsatisfiability.
+///
+/// The checker shares no search code with the solver (it is a plain
+/// counter-free propagation loop over occurrence lists), so a bug in the
+/// CDCL machinery cannot silently certify itself.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DENALI_SAT_RUPCHECKER_H
+#define DENALI_SAT_RUPCHECKER_H
+
+#include "sat/Dimacs.h"
+
+#include <string>
+
+namespace denali {
+namespace sat {
+
+/// Validates \p Proof against \p Formula. \returns true if every proof
+/// clause is RUP and the proof ends with the empty clause (i.e. the
+/// formula is certified unsatisfiable). On failure \p ErrorOut (if
+/// non-null) describes the first offending step.
+bool checkRupProof(const Cnf &Formula,
+                   const std::vector<ClauseLits> &Proof,
+                   std::string *ErrorOut = nullptr);
+
+} // namespace sat
+} // namespace denali
+
+#endif // DENALI_SAT_RUPCHECKER_H

@@ -1,0 +1,75 @@
+//===- sat/SatTypes.h - Literals, variables, truth values -------*- C++ -*-===//
+///
+/// \file
+/// Basic types of the SAT subsystem. Variables are dense non-negative
+/// integers; a literal packs a variable and a sign (MiniSat-style 2v+sign
+/// encoding, sign bit set for negative literals).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DENALI_SAT_SATTYPES_H
+#define DENALI_SAT_SATTYPES_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace denali {
+namespace sat {
+
+using Var = int32_t;
+
+/// A literal: variable + sign.
+class Lit {
+public:
+  Lit() : Code(-2) {}
+  Lit(Var V, bool Negative) : Code(V * 2 + (Negative ? 1 : 0)) {
+    assert(V >= 0 && "negative variable");
+  }
+
+  static Lit pos(Var V) { return Lit(V, false); }
+  static Lit neg(Var V) { return Lit(V, true); }
+
+  Var var() const { return Code >> 1; }
+  bool negative() const { return Code & 1; }
+  Lit operator~() const {
+    Lit L;
+    L.Code = Code ^ 1;
+    return L;
+  }
+  bool operator==(const Lit &O) const { return Code == O.Code; }
+  bool operator!=(const Lit &O) const { return Code != O.Code; }
+  bool operator<(const Lit &O) const { return Code < O.Code; }
+
+  /// Dense index for watch lists and maps.
+  int32_t index() const { return Code; }
+  static Lit fromIndex(int32_t Index) {
+    Lit L;
+    L.Code = Index;
+    return L;
+  }
+
+  bool valid() const { return Code >= 0; }
+
+private:
+  int32_t Code;
+};
+
+/// Three-valued logic for assignments.
+enum class LBool : uint8_t { False = 0, True = 1, Undef = 2 };
+
+inline LBool lboolFrom(bool B) { return B ? LBool::True : LBool::False; }
+inline LBool lboolNot(LBool B) {
+  if (B == LBool::Undef)
+    return B;
+  return B == LBool::True ? LBool::False : LBool::True;
+}
+
+/// A clause as a plain literal vector (interface type; the solver stores
+/// clauses in its own arena).
+using ClauseLits = std::vector<Lit>;
+
+} // namespace sat
+} // namespace denali
+
+#endif // DENALI_SAT_SATTYPES_H

@@ -1,0 +1,527 @@
+//===- sat/Solver.cpp -----------------------------------------------------===//
+
+#include "sat/Solver.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+using namespace denali;
+using namespace denali::sat;
+
+Solver::Solver() = default;
+
+Var Solver::newVar() {
+  Var V = static_cast<Var>(Assigns.size());
+  Assigns.push_back(LBool::Undef);
+  SavedPhase.push_back(0);
+  Level.push_back(0);
+  Reason.push_back(InvalidCRef);
+  Activity.push_back(0.0);
+  HeapPos.push_back(-1);
+  SeenFlags.push_back(0);
+  Watches.emplace_back();
+  Watches.emplace_back();
+  heapInsert(V);
+  return V;
+}
+
+float Solver::clauseActivity(CRef C) const {
+  float A;
+  std::memcpy(&A, &Arena[C + 1], sizeof(float));
+  return A;
+}
+
+void Solver::setClauseActivity(CRef C, float A) {
+  std::memcpy(&Arena[C + 1], &A, sizeof(float));
+}
+
+Solver::CRef Solver::allocClause(const ClauseLits &Lits, bool Learnt) {
+  CRef C = static_cast<CRef>(Arena.size());
+  Arena.push_back(static_cast<uint32_t>(Lits.size()) |
+                  (Learnt ? LearntBit : 0));
+  Arena.push_back(0); // activity
+  for (Lit L : Lits)
+    Arena.push_back(static_cast<uint32_t>(L.index()));
+  return C;
+}
+
+void Solver::attachClause(CRef C) {
+  assert(clauseSize(C) >= 2 && "cannot watch short clause");
+  const Lit *Lits = clauseLits(C);
+  Watches[(~Lits[0]).index()].push_back(Watcher{C, Lits[1]});
+  Watches[(~Lits[1]).index()].push_back(Watcher{C, Lits[0]});
+}
+
+void Solver::detachClause(CRef C) {
+  const Lit *Lits = clauseLits(C);
+  for (int I = 0; I < 2; ++I) {
+    std::vector<Watcher> &WList = Watches[(~Lits[I]).index()];
+    for (size_t J = 0; J < WList.size(); ++J)
+      if (WList[J].Clause == C) {
+        WList[J] = WList.back();
+        WList.pop_back();
+        break;
+      }
+  }
+}
+
+bool Solver::addClause(const ClauseLits &Input) {
+  assert(decisionLevel() == 0 && "clauses must be added at level 0");
+  if (Unsatisfiable)
+    return false;
+  // Normalize: sort, dedup, drop false literals, detect tautologies and
+  // satisfied clauses.
+  ClauseLits Lits = Input;
+  std::sort(Lits.begin(), Lits.end());
+  Lits.erase(std::unique(Lits.begin(), Lits.end()), Lits.end());
+  ClauseLits Out;
+  for (size_t I = 0; I < Lits.size(); ++I) {
+    Lit L = Lits[I];
+    if (I + 1 < Lits.size() && Lits[I + 1] == ~L)
+      return true; // Tautology.
+    LBool V = value(L);
+    if (V == LBool::True)
+      return true; // Already satisfied at level 0.
+    if (V == LBool::False)
+      continue; // Falsified at level 0; drop.
+    Out.push_back(L);
+  }
+  ++ProblemClauses;
+  if (Out.empty()) {
+    Unsatisfiable = true;
+    return false;
+  }
+  if (Out.size() == 1) {
+    enqueue(Out[0], InvalidCRef);
+    if (propagate() != InvalidCRef) {
+      Unsatisfiable = true;
+      return false;
+    }
+    return true;
+  }
+  CRef C = allocClause(Out, /*Learnt=*/false);
+  Problems.push_back(C);
+  attachClause(C);
+  return true;
+}
+
+void Solver::enqueue(Lit L, CRef From) {
+  assert(value(L) == LBool::Undef && "enqueue of assigned literal");
+  Var V = L.var();
+  Assigns[V] = lboolFrom(!L.negative());
+  SavedPhase[V] = L.negative() ? 0 : 1;
+  Level[V] = decisionLevel();
+  Reason[V] = From;
+  Trail.push_back(L);
+}
+
+Solver::CRef Solver::propagate() {
+  while (PropagateHead < Trail.size()) {
+    Lit P = Trail[PropagateHead++];
+    ++Stats.Propagations;
+    std::vector<Watcher> &WList = Watches[P.index()];
+    size_t KeepIdx = 0;
+    for (size_t I = 0; I < WList.size(); ++I) {
+      Watcher W = WList[I];
+      if (value(W.Blocker) == LBool::True) {
+        WList[KeepIdx++] = W;
+        continue;
+      }
+      CRef C = W.Clause;
+      Lit *Lits = clauseLits(C);
+      uint32_t Size = clauseSize(C);
+      // Make sure the falsified literal is Lits[1].
+      Lit NotP = ~P;
+      if (Lits[0] == NotP)
+        std::swap(Lits[0], Lits[1]);
+      assert(Lits[1] == NotP && "watch list out of sync");
+      // If the first literal is true, the clause is satisfied.
+      if (value(Lits[0]) == LBool::True) {
+        WList[KeepIdx++] = Watcher{C, Lits[0]};
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool FoundWatch = false;
+      for (uint32_t J = 2; J < Size; ++J) {
+        if (value(Lits[J]) != LBool::False) {
+          std::swap(Lits[1], Lits[J]);
+          Watches[(~Lits[1]).index()].push_back(Watcher{C, Lits[0]});
+          FoundWatch = true;
+          break;
+        }
+      }
+      if (FoundWatch)
+        continue;
+      // Unit or conflicting.
+      WList[KeepIdx++] = W;
+      if (value(Lits[0]) == LBool::False) {
+        // Conflict: keep the remaining watchers and bail out.
+        for (size_t J = I + 1; J < WList.size(); ++J)
+          WList[KeepIdx++] = WList[J];
+        WList.resize(KeepIdx);
+        PropagateHead = Trail.size();
+        return C;
+      }
+      enqueue(Lits[0], C);
+    }
+    WList.resize(KeepIdx);
+  }
+  return InvalidCRef;
+}
+
+void Solver::varBumpActivity(Var V) {
+  Activity[V] += VarInc;
+  if (Activity[V] > 1e100) {
+    for (double &A : Activity)
+      A *= 1e-100;
+    VarInc *= 1e-100;
+  }
+  if (HeapPos[V] >= 0)
+    heapPercolateUp(HeapPos[V]);
+}
+
+void Solver::varDecayActivity() { VarInc /= VarDecay; }
+
+void Solver::claBumpActivity(CRef C) {
+  if (!clauseLearnt(C))
+    return;
+  float A = clauseActivity(C) + static_cast<float>(ClauseInc);
+  if (A > 1e20f) {
+    for (CRef L : Learnts)
+      setClauseActivity(L, clauseActivity(L) * 1e-20f);
+    ClauseInc *= 1e-20;
+    A = clauseActivity(C) + static_cast<float>(ClauseInc);
+  }
+  setClauseActivity(C, A);
+}
+
+void Solver::claDecayActivity() { ClauseInc /= ClauseDecay; }
+
+//===----------------------------------------------------------------------===
+// Binary max-heap on Activity, used as the VSIDS order.
+//===----------------------------------------------------------------------===
+
+void Solver::heapInsert(Var V) {
+  if (HeapPos[V] >= 0)
+    return;
+  HeapPos[V] = static_cast<int32_t>(Heap.size());
+  Heap.push_back(V);
+  heapPercolateUp(HeapPos[V]);
+}
+
+void Solver::heapPercolateUp(int Pos) {
+  Var V = Heap[Pos];
+  while (Pos > 0) {
+    int Parent = (Pos - 1) / 2;
+    if (Activity[Heap[Parent]] >= Activity[V])
+      break;
+    Heap[Pos] = Heap[Parent];
+    HeapPos[Heap[Pos]] = Pos;
+    Pos = Parent;
+  }
+  Heap[Pos] = V;
+  HeapPos[V] = Pos;
+}
+
+void Solver::heapPercolateDown(int Pos) {
+  Var V = Heap[Pos];
+  int Size = static_cast<int>(Heap.size());
+  for (;;) {
+    int Child = 2 * Pos + 1;
+    if (Child >= Size)
+      break;
+    if (Child + 1 < Size && Activity[Heap[Child + 1]] > Activity[Heap[Child]])
+      ++Child;
+    if (Activity[Heap[Child]] <= Activity[V])
+      break;
+    Heap[Pos] = Heap[Child];
+    HeapPos[Heap[Pos]] = Pos;
+    Pos = Child;
+  }
+  Heap[Pos] = V;
+  HeapPos[V] = Pos;
+}
+
+Var Solver::heapRemoveMax() {
+  Var V = Heap[0];
+  HeapPos[V] = -1;
+  Heap[0] = Heap.back();
+  Heap.pop_back();
+  if (!Heap.empty()) {
+    HeapPos[Heap[0]] = 0;
+    heapPercolateDown(0);
+  }
+  return V;
+}
+
+Lit Solver::pickBranchLit() {
+  while (!Heap.empty()) {
+    Var V = heapRemoveMax();
+    if (Assigns[V] == LBool::Undef)
+      return Lit(V, SavedPhase[V] == 0);
+  }
+  return Lit();
+}
+
+//===----------------------------------------------------------------------===
+// Conflict analysis (first UIP) with recursive clause minimization.
+//===----------------------------------------------------------------------===
+
+void Solver::analyze(CRef Confl, ClauseLits &Learnt, int &BacktrackLevel) {
+  Learnt.clear();
+  Learnt.push_back(Lit()); // Placeholder for the asserting literal.
+  int Counter = 0;
+  Lit P;
+  size_t TrailIdx = Trail.size();
+
+  CRef Cur = Confl;
+  do {
+    assert(Cur != InvalidCRef && "reached decision without UIP");
+    claBumpActivity(Cur);
+    const Lit *Lits = clauseLits(Cur);
+    uint32_t Size = clauseSize(Cur);
+    // Skip Lits[0] when Cur is a reason clause (it is P itself).
+    for (uint32_t J = (P.valid() ? 1 : 0); J < Size; ++J) {
+      Lit Q = Lits[J];
+      Var V = Q.var();
+      if (SeenFlags[V] || Level[V] == 0)
+        continue;
+      SeenFlags[V] = 1;
+      SeenToClear.push_back(V);
+      varBumpActivity(V);
+      if (Level[V] >= decisionLevel())
+        ++Counter;
+      else
+        Learnt.push_back(Q);
+    }
+    // Walk the trail backwards to the next marked literal.
+    while (!SeenFlags[Trail[TrailIdx - 1].var()])
+      --TrailIdx;
+    --TrailIdx;
+    P = Trail[TrailIdx];
+    Cur = Reason[P.var()];
+    SeenFlags[P.var()] = 0;
+    --Counter;
+  } while (Counter > 0);
+  Learnt[0] = ~P;
+
+  // Clause minimization: drop literals implied by the rest of the clause.
+  uint32_t AbstractLevels = 0;
+  for (size_t I = 1; I < Learnt.size(); ++I)
+    AbstractLevels |= 1u << (Level[Learnt[I].var()] & 31);
+  size_t Keep = 1;
+  for (size_t I = 1; I < Learnt.size(); ++I) {
+    if (Reason[Learnt[I].var()] == InvalidCRef ||
+        !litRedundant(Learnt[I], AbstractLevels))
+      Learnt[Keep++] = Learnt[I];
+  }
+  Learnt.resize(Keep);
+
+  // Compute backtrack level and move its literal to position 1.
+  BacktrackLevel = 0;
+  if (Learnt.size() > 1) {
+    size_t MaxIdx = 1;
+    for (size_t I = 2; I < Learnt.size(); ++I)
+      if (Level[Learnt[I].var()] > Level[Learnt[MaxIdx].var()])
+        MaxIdx = I;
+    std::swap(Learnt[1], Learnt[MaxIdx]);
+    BacktrackLevel = Level[Learnt[1].var()];
+  }
+
+  for (Var V : SeenToClear)
+    SeenFlags[V] = 0;
+  SeenToClear.clear();
+}
+
+bool Solver::litRedundant(Lit L, uint32_t AbstractLevels) {
+  // DFS over the implication graph; a literal is redundant if every path
+  // to decisions passes through literals already in the learnt clause.
+  std::vector<Var> Stack = {L.var()};
+  size_t ClearFrom = SeenToClear.size();
+  while (!Stack.empty()) {
+    Var V = Stack.back();
+    Stack.pop_back();
+    CRef R = Reason[V];
+    assert(R != InvalidCRef && "redundancy check reached a decision");
+    const Lit *Lits = clauseLits(R);
+    uint32_t Size = clauseSize(R);
+    for (uint32_t J = 1; J < Size; ++J) {
+      Var W = Lits[J].var();
+      if (SeenFlags[W] || Level[W] == 0)
+        continue;
+      if (Reason[W] == InvalidCRef ||
+          !(AbstractLevels & (1u << (Level[W] & 31)))) {
+        // Not provably redundant; undo marks made during this check.
+        for (size_t K = ClearFrom; K < SeenToClear.size(); ++K)
+          SeenFlags[SeenToClear[K]] = 0;
+        SeenToClear.resize(ClearFrom);
+        return false;
+      }
+      SeenFlags[W] = 1;
+      SeenToClear.push_back(W);
+      Stack.push_back(W);
+    }
+  }
+  return true;
+}
+
+void Solver::backtrack(int ToLevel) {
+  if (decisionLevel() <= ToLevel)
+    return;
+  size_t Bound = static_cast<size_t>(TrailLims[ToLevel]);
+  for (size_t I = Trail.size(); I > Bound; --I) {
+    Var V = Trail[I - 1].var();
+    Assigns[V] = LBool::Undef;
+    Reason[V] = InvalidCRef;
+    heapInsert(V);
+  }
+  Trail.resize(Bound);
+  TrailLims.resize(ToLevel);
+  PropagateHead = Trail.size();
+}
+
+void Solver::reduceDB() {
+  // Drop the less active half of the learnt clauses (never unit reasons).
+  std::sort(Learnts.begin(), Learnts.end(), [&](CRef A, CRef B) {
+    return clauseActivity(A) < clauseActivity(B);
+  });
+  size_t Keep = 0;
+  size_t Target = Learnts.size() / 2;
+  for (size_t I = 0; I < Learnts.size(); ++I) {
+    CRef C = Learnts[I];
+    bool IsReason = false;
+    const Lit *Lits = clauseLits(C);
+    if (value(Lits[0]) == LBool::True && Reason[Lits[0].var()] == C)
+      IsReason = true;
+    if (IsReason || I >= Target || clauseSize(C) == 2) {
+      Learnts[Keep++] = C;
+    } else {
+      detachClause(C);
+      ++Stats.DeletedClauses;
+    }
+  }
+  Learnts.resize(Keep);
+}
+
+uint64_t Solver::luby(uint64_t I) {
+  // Luby sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+  uint64_t K = 1;
+  while ((1ULL << (K + 1)) - 1 <= I + 1)
+    ++K;
+  while ((1ULL << K) - 1 != I + 1) {
+    I -= (1ULL << K) - 1;
+    K = 1;
+    while ((1ULL << (K + 1)) - 1 <= I + 1)
+      ++K;
+  }
+  return 1ULL << (K - 1);
+}
+
+SolveResult Solver::solve() {
+  if (Unsatisfiable) {
+    if (LogProof && (Proof.empty() || !Proof.back().empty()))
+      Proof.push_back(ClauseLits{});
+    return SolveResult::Unsat;
+  }
+  if (propagate() != InvalidCRef) {
+    Unsatisfiable = true;
+    if (LogProof)
+      Proof.push_back(ClauseLits{});
+    return SolveResult::Unsat;
+  }
+  MaxLearnts = std::max<uint64_t>(ProblemClauses / 3, 2000);
+  uint64_t RestartBase = 100;
+  uint64_t RestartCount = 0;
+  uint64_t ConflictsUntilRestart = RestartBase * luby(RestartCount);
+  uint64_t ConflictsThisRestart = 0;
+
+  ClauseLits Learnt;
+  for (;;) {
+    CRef Confl = propagate();
+    if (Confl != InvalidCRef) {
+      ++Stats.Conflicts;
+      ++ConflictsThisRestart;
+      if (decisionLevel() == 0) {
+        Unsatisfiable = true;
+        if (LogProof)
+          Proof.push_back(ClauseLits{}); // The empty clause.
+        return SolveResult::Unsat;
+      }
+      int BacktrackLevel;
+      analyze(Confl, Learnt, BacktrackLevel);
+      if (LogProof)
+        Proof.push_back(Learnt);
+      backtrack(BacktrackLevel);
+      if (Learnt.size() == 1) {
+        enqueue(Learnt[0], InvalidCRef);
+      } else {
+        CRef C = allocClause(Learnt, /*Learnt=*/true);
+        Learnts.push_back(C);
+        ++Stats.LearntClauses;
+        attachClause(C);
+        claBumpActivity(C);
+        enqueue(Learnt[0], C);
+      }
+      varDecayActivity();
+      claDecayActivity();
+      if (ConflictBudget && Stats.Conflicts >= ConflictBudget)
+        return SolveResult::Unknown;
+      continue;
+    }
+    // No conflict.
+    if (ConflictsThisRestart >= ConflictsUntilRestart) {
+      ++Stats.Restarts;
+      ++RestartCount;
+      ConflictsThisRestart = 0;
+      ConflictsUntilRestart = RestartBase * luby(RestartCount);
+      backtrack(0);
+      continue;
+    }
+    if (Learnts.size() >= MaxLearnts + Trail.size()) {
+      reduceDB();
+      MaxLearnts += MaxLearnts / 10;
+    }
+    Lit Next = pickBranchLit();
+    if (!Next.valid())
+      return SolveResult::Sat; // All variables assigned.
+    ++Stats.Decisions;
+    TrailLims.push_back(static_cast<int32_t>(Trail.size()));
+    enqueue(Next, InvalidCRef);
+  }
+}
+
+std::vector<ClauseLits> Solver::problemClauses() const {
+  std::vector<ClauseLits> Out;
+  if (Unsatisfiable) {
+    Out.push_back(ClauseLits{}); // The empty clause.
+    return Out;
+  }
+  // Level-0 facts (units enqueued by addClause before any decision).
+  size_t Level0End =
+      TrailLims.empty() ? Trail.size() : static_cast<size_t>(TrailLims[0]);
+  for (size_t I = 0; I < Level0End; ++I)
+    if (Reason[Trail[I].var()] == InvalidCRef)
+      Out.push_back(ClauseLits{Trail[I]});
+  for (CRef C : Problems) {
+    ClauseLits Lits;
+    const Lit *P = clauseLits(C);
+    for (uint32_t I = 0; I < clauseSize(C); ++I)
+      Lits.push_back(P[I]);
+    Out.push_back(std::move(Lits));
+  }
+  return Out;
+}
+
+bool Solver::modelValue(Var V) const {
+  assert(V >= 0 && V < numVars() && "bad variable");
+  return Assigns[V] == LBool::True;
+}
+
+bool Solver::modelValue(Lit L) const {
+  bool V = modelValue(L.var());
+  return L.negative() ? !V : V;
+}

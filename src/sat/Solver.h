@@ -1,0 +1,180 @@
+//===- sat/Solver.h - CDCL SAT solver ---------------------------*- C++ -*-===//
+///
+/// \file
+/// A conflict-driven clause-learning SAT solver: two-watched-literal
+/// propagation, first-UIP conflict analysis with clause minimization,
+/// VSIDS-style variable activities, phase saving, Luby restarts, and
+/// activity-based learnt-clause deletion.
+///
+/// This is the repository's stand-in for CHAFF (the solver the Denali
+/// prototype used); the paper emphasizes that the satisfiability solver is
+/// a pluggable black box behind a small interface, which this class keeps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DENALI_SAT_SOLVER_H
+#define DENALI_SAT_SOLVER_H
+
+#include "sat/SatTypes.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace denali {
+namespace sat {
+
+/// Outcome of a solve() call.
+enum class SolveResult { Sat, Unsat, Unknown /* budget exhausted */ };
+
+/// Running counters, reported by the driver and benchmarks.
+struct SolverStats {
+  uint64_t Decisions = 0;
+  uint64_t Propagations = 0;
+  uint64_t Conflicts = 0;
+  uint64_t LearntClauses = 0;
+  uint64_t Restarts = 0;
+  uint64_t DeletedClauses = 0;
+};
+
+class Solver {
+public:
+  Solver();
+
+  /// Creates a fresh variable and \returns it.
+  Var newVar();
+  int numVars() const { return static_cast<int>(Assigns.size()); }
+
+  /// Adds a clause. \returns false if the formula is already trivially
+  /// unsatisfiable (empty clause, or conflicting units at level 0).
+  bool addClause(const ClauseLits &Lits);
+  bool addClause(Lit A) { return addClause(ClauseLits{A}); }
+  bool addClause(Lit A, Lit B) { return addClause(ClauseLits{A, B}); }
+  bool addClause(Lit A, Lit B, Lit C) { return addClause(ClauseLits{A, B, C}); }
+
+  uint64_t numClauses() const { return ProblemClauses; }
+
+  /// The problem as added (post level-0 simplification): all non-learnt
+  /// clauses plus the level-0 unit facts. Suitable for DIMACS export and
+  /// cross-checking with external solvers.
+  std::vector<ClauseLits> problemClauses() const;
+
+  /// Limits the search effort; Unknown is returned when exceeded.
+  /// 0 means unlimited.
+  void setConflictBudget(uint64_t Budget) { ConflictBudget = Budget; }
+
+  /// Enables clausal proof logging: every learnt clause is recorded in
+  /// derivation order (a DRAT proof without deletions). After an Unsat
+  /// answer the proof ends with the empty clause and can be validated by
+  /// checkRupProof — making the budget search's "K cycles are impossible"
+  /// certificates independently checkable.
+  void enableProofLogging() { LogProof = true; }
+  const std::vector<ClauseLits> &proof() const { return Proof; }
+
+  /// Solves the formula.
+  SolveResult solve();
+
+  /// After Sat: the value assigned to \p V / \p L.
+  bool modelValue(Var V) const;
+  bool modelValue(Lit L) const;
+
+  const SolverStats &stats() const { return Stats; }
+
+private:
+  // Clause arena: all clauses live in one uint32 buffer. A clause reference
+  // is the offset of its header. Header layout:
+  //   [0] size | (learnt ? LearntBit : 0)
+  //   [1] activity (float bits, learnt only; problem clauses store 0)
+  //   [2..2+size) literal codes
+  using CRef = uint32_t;
+  static constexpr CRef InvalidCRef = 0xffffffffu;
+  static constexpr uint32_t LearntBit = 0x80000000u;
+
+  std::vector<uint32_t> Arena;
+
+  uint32_t clauseSize(CRef C) const { return Arena[C] & ~LearntBit; }
+  bool clauseLearnt(CRef C) const { return Arena[C] & LearntBit; }
+  Lit *clauseLits(CRef C) {
+    return reinterpret_cast<Lit *>(&Arena[C + 2]);
+  }
+  const Lit *clauseLits(CRef C) const {
+    return reinterpret_cast<const Lit *>(&Arena[C + 2]);
+  }
+  float clauseActivity(CRef C) const;
+  void setClauseActivity(CRef C, float A);
+
+  CRef allocClause(const ClauseLits &Lits, bool Learnt);
+
+  struct Watcher {
+    CRef Clause;
+    Lit Blocker;
+  };
+  std::vector<std::vector<Watcher>> Watches; ///< Indexed by Lit::index().
+
+  // Assignment trail.
+  std::vector<LBool> Assigns;       ///< Current value per var.
+  std::vector<uint8_t> SavedPhase;  ///< Phase saving per var.
+  std::vector<int32_t> Level;       ///< Decision level per var.
+  std::vector<CRef> Reason;         ///< Antecedent clause per var.
+  std::vector<Lit> Trail;
+  std::vector<int32_t> TrailLims;   ///< Trail index at each decision level.
+  size_t PropagateHead = 0;
+
+  // Decision heuristic (VSIDS with a binary heap).
+  std::vector<double> Activity;
+  std::vector<int32_t> HeapPos; ///< -1 when not in heap.
+  std::vector<Var> Heap;
+  double VarInc = 1.0;
+  static constexpr double VarDecay = 0.95;
+
+  // Learnt clause management.
+  std::vector<CRef> Learnts;
+  std::vector<CRef> Problems;
+  double ClauseInc = 1.0;
+  static constexpr double ClauseDecay = 0.999;
+  uint64_t MaxLearnts = 0;
+
+  uint64_t ProblemClauses = 0;
+  uint64_t ConflictBudget = 0;
+  bool Unsatisfiable = false;
+  SolverStats Stats;
+  bool LogProof = false;
+  std::vector<ClauseLits> Proof;
+
+  // Scratch for analyze().
+  std::vector<uint8_t> SeenFlags;
+  std::vector<Var> SeenToClear;
+
+  LBool value(Lit L) const {
+    LBool V = Assigns[L.var()];
+    return L.negative() ? lboolNot(V) : V;
+  }
+
+  int decisionLevel() const { return static_cast<int>(TrailLims.size()); }
+
+  void enqueue(Lit L, CRef From);
+  CRef propagate();
+  void attachClause(CRef C);
+  void detachClause(CRef C);
+  void analyze(CRef Confl, ClauseLits &Learnt, int &BacktrackLevel);
+  bool litRedundant(Lit L, uint32_t AbstractLevels);
+  void backtrack(int ToLevel);
+  Lit pickBranchLit();
+
+  void varBumpActivity(Var V);
+  void varDecayActivity();
+  void claBumpActivity(CRef C);
+  void claDecayActivity();
+  void heapInsert(Var V);
+  void heapPercolateUp(int Pos);
+  void heapPercolateDown(int Pos);
+  Var heapRemoveMax();
+  void reduceDB();
+
+  static uint64_t luby(uint64_t I);
+};
+
+} // namespace sat
+} // namespace denali
+
+#endif // DENALI_SAT_SOLVER_H

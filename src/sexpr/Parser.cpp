@@ -1,0 +1,142 @@
+//===- sexpr/Parser.cpp ---------------------------------------------------===//
+
+#include "sexpr/Parser.h"
+
+#include "support/StringExtras.h"
+
+#include <cctype>
+
+using namespace denali;
+using namespace denali::sexpr;
+
+std::string ParseError::toString() const {
+  return strFormat("%u:%u: %s", Line, Col, Message.c_str());
+}
+
+namespace {
+
+/// Recursive-descent reader over a character buffer.
+class Reader {
+public:
+  explicit Reader(const std::string &Text) : Text(Text) {}
+
+  ParseResult readAll() {
+    ParseResult Result;
+    for (;;) {
+      skipTrivia();
+      if (atEnd())
+        break;
+      SExpr E;
+      if (!readExpr(E, Result))
+        return Result;
+      Result.Forms.push_back(std::move(E));
+    }
+    return Result;
+  }
+
+private:
+  const std::string &Text;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Col = 1;
+
+  bool atEnd() const { return Pos >= Text.size(); }
+  char peek() const { return Text[Pos]; }
+
+  void advance() {
+    if (Text[Pos] == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    ++Pos;
+  }
+
+  void skipTrivia() {
+    while (!atEnd()) {
+      char C = peek();
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        advance();
+        continue;
+      }
+      if (C == ';') {
+        while (!atEnd() && peek() != '\n')
+          advance();
+        continue;
+      }
+      break;
+    }
+  }
+
+  static bool isDelimiter(char C) {
+    return C == '(' || C == ')' || C == ';' ||
+           std::isspace(static_cast<unsigned char>(C));
+  }
+
+  bool fail(ParseResult &Result, std::string Msg) {
+    Result.Error = ParseError{std::move(Msg), Line, Col};
+    return false;
+  }
+
+  bool readExpr(SExpr &Out, ParseResult &Result) {
+    skipTrivia();
+    if (atEnd())
+      return fail(Result, "unexpected end of input");
+    unsigned StartLine = Line, StartCol = Col;
+    char C = peek();
+    if (C == ')')
+      return fail(Result, "unexpected ')'");
+    if (C == '(') {
+      advance();
+      std::vector<SExpr> Elems;
+      for (;;) {
+        skipTrivia();
+        if (atEnd())
+          return fail(Result, "unterminated list (missing ')')");
+        if (peek() == ')') {
+          advance();
+          break;
+        }
+        SExpr Child;
+        if (!readExpr(Child, Result))
+          return false;
+        Elems.push_back(std::move(Child));
+      }
+      Out = SExpr::makeList(std::move(Elems), StartLine, StartCol);
+      return true;
+    }
+    // Atom: read to the next delimiter.
+    std::string Token;
+    while (!atEnd() && !isDelimiter(peek())) {
+      Token.push_back(peek());
+      advance();
+    }
+    int64_t IntVal;
+    if (parseIntegerLiteral(Token, IntVal)) {
+      Out = SExpr::makeInteger(IntVal, StartLine, StartCol);
+      return true;
+    }
+    Out = SExpr::makeSymbol(std::move(Token), StartLine, StartCol);
+    return true;
+  }
+};
+
+} // namespace
+
+ParseResult denali::sexpr::parse(const std::string &Text) {
+  return Reader(Text).readAll();
+}
+
+ParseResult denali::sexpr::parseOne(const std::string &Text) {
+  ParseResult Result = parse(Text);
+  if (!Result.ok())
+    return Result;
+  if (Result.Forms.size() != 1) {
+    Result.Error = ParseError{
+        strFormat("expected exactly one form, found %zu", Result.Forms.size()),
+        1, 1};
+    Result.Forms.clear();
+  }
+  return Result;
+}

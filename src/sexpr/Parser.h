@@ -1,0 +1,50 @@
+//===- sexpr/Parser.h - S-expression reader ---------------------*- C++ -*-===//
+///
+/// \file
+/// Parses Denali's parenthesized input syntax into SExpr trees. Comments run
+/// from ';' to end of line (as in the paper's Figure 6). Symbols may contain
+/// the characters used by Denali forms: backslash-prefixed keywords
+/// (\axiom, \procdecl, ...), operators (+, <, :=, ->), and identifiers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DENALI_SEXPR_PARSER_H
+#define DENALI_SEXPR_PARSER_H
+
+#include "sexpr/SExpr.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace denali {
+namespace sexpr {
+
+/// A parse failure, with 1-based source position.
+struct ParseError {
+  std::string Message;
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  std::string toString() const;
+};
+
+/// Result of parsing: either a vector of top-level forms or an error.
+struct ParseResult {
+  std::vector<SExpr> Forms;
+  std::optional<ParseError> Error;
+
+  bool ok() const { return !Error.has_value(); }
+};
+
+/// Parses all top-level S-expressions in \p Text.
+ParseResult parse(const std::string &Text);
+
+/// Parses exactly one S-expression; fails if there are zero or multiple
+/// top-level forms.
+ParseResult parseOne(const std::string &Text);
+
+} // namespace sexpr
+} // namespace denali
+
+#endif // DENALI_SEXPR_PARSER_H

@@ -1,0 +1,81 @@
+//===- sexpr/SExpr.cpp ----------------------------------------------------===//
+
+#include "sexpr/SExpr.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace denali;
+using namespace denali::sexpr;
+
+SExpr SExpr::makeSymbol(std::string Name, unsigned Line, unsigned Col) {
+  SExpr E;
+  E.TheKind = Kind::Symbol;
+  E.Sym = std::move(Name);
+  E.Line = Line;
+  E.Col = Col;
+  return E;
+}
+
+SExpr SExpr::makeInteger(int64_t Value, unsigned Line, unsigned Col) {
+  SExpr E;
+  E.TheKind = Kind::Integer;
+  E.Int = Value;
+  E.Line = Line;
+  E.Col = Col;
+  return E;
+}
+
+SExpr SExpr::makeList(std::vector<SExpr> Elems, unsigned Line, unsigned Col) {
+  SExpr E;
+  E.TheKind = Kind::List;
+  E.Elems = std::move(Elems);
+  E.Line = Line;
+  E.Col = Col;
+  return E;
+}
+
+const std::string &SExpr::symbol() const {
+  assert(isSymbol() && "not a symbol");
+  return Sym;
+}
+
+int64_t SExpr::integer() const {
+  assert(isInteger() && "not an integer");
+  return Int;
+}
+
+const std::vector<SExpr> &SExpr::list() const {
+  assert(isList() && "not a list");
+  return Elems;
+}
+
+const SExpr &SExpr::operator[](size_t I) const {
+  assert(isList() && I < Elems.size() && "index out of range");
+  return Elems[I];
+}
+
+bool SExpr::isForm(const std::string &Head) const {
+  return isList() && !Elems.empty() && Elems[0].isSymbol(Head);
+}
+
+std::string SExpr::toString() const {
+  switch (TheKind) {
+  case Kind::Symbol:
+    return Sym;
+  case Kind::Integer:
+    return std::to_string(Int);
+  case Kind::List: {
+    std::string Out = "(";
+    for (size_t I = 0; I < Elems.size(); ++I) {
+      if (I)
+        Out += ' ';
+      Out += Elems[I].toString();
+    }
+    Out += ')';
+    return Out;
+  }
+  }
+  DENALI_UNREACHABLE("bad SExpr kind");
+}

@@ -1,0 +1,81 @@
+//===- sexpr/SExpr.h - S-expression values ----------------------*- C++ -*-===//
+///
+/// \file
+/// The S-expression data structure used to represent Denali source programs
+/// and axiom files (the paper's "LISP-like parenthesized expressions",
+/// Figure 6). An SExpr is a symbol, an integer, or a list of SExprs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DENALI_SEXPR_SEXPR_H
+#define DENALI_SEXPR_SEXPR_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace denali {
+namespace sexpr {
+
+/// One node of an S-expression tree.
+///
+/// SExprs are immutable after parsing; they are held by value inside their
+/// parent list, so a whole file is a single tree owned by its root.
+class SExpr {
+public:
+  enum class Kind { Symbol, Integer, List };
+
+  static SExpr makeSymbol(std::string Name, unsigned Line = 0,
+                          unsigned Col = 0);
+  static SExpr makeInteger(int64_t Value, unsigned Line = 0, unsigned Col = 0);
+  static SExpr makeList(std::vector<SExpr> Elems, unsigned Line = 0,
+                        unsigned Col = 0);
+
+  Kind kind() const { return TheKind; }
+  bool isSymbol() const { return TheKind == Kind::Symbol; }
+  bool isInteger() const { return TheKind == Kind::Integer; }
+  bool isList() const { return TheKind == Kind::List; }
+
+  /// \returns true if this is the symbol \p Name.
+  bool isSymbol(const std::string &Name) const {
+    return isSymbol() && Sym == Name;
+  }
+
+  /// The symbol text. Asserts on non-symbols.
+  const std::string &symbol() const;
+
+  /// The integer value. Asserts on non-integers.
+  int64_t integer() const;
+
+  /// The list elements. Asserts on non-lists.
+  const std::vector<SExpr> &list() const;
+
+  /// Convenience accessors for lists.
+  size_t size() const { return list().size(); }
+  const SExpr &operator[](size_t I) const;
+
+  /// \returns true if this is a list whose first element is the symbol
+  /// \p Head (the standard "tagged form" test).
+  bool isForm(const std::string &Head) const;
+
+  /// Source position (1-based; 0 when synthesized).
+  unsigned line() const { return Line; }
+  unsigned column() const { return Col; }
+
+  /// Renders the expression back to text (single line).
+  std::string toString() const;
+
+private:
+  Kind TheKind = Kind::List;
+  std::string Sym;
+  int64_t Int = 0;
+  std::vector<SExpr> Elems;
+  unsigned Line = 0;
+  unsigned Col = 0;
+};
+
+} // namespace sexpr
+} // namespace denali
+
+#endif // DENALI_SEXPR_SEXPR_H

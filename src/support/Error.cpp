@@ -1,0 +1,19 @@
+//===- support/Error.cpp --------------------------------------------------===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace denali;
+
+void denali::reportFatalError(const std::string &Msg) {
+  std::fprintf(stderr, "denali fatal error: %s\n", Msg.c_str());
+  std::abort();
+}
+
+void denali::unreachableInternal(const char *Msg, const char *File,
+                                 unsigned Line) {
+  std::fprintf(stderr, "denali unreachable at %s:%u: %s\n", File, Line, Msg);
+  std::abort();
+}

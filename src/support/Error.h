@@ -1,0 +1,34 @@
+//===- support/Error.h - Fatal errors and unreachable markers -*- C++ -*-===//
+//
+// Part of the Denali superoptimizer reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal programmatic-error utilities in the spirit of LLVM's
+/// report_fatal_error / llvm_unreachable. The library does not use C++
+/// exceptions; invariant violations abort with a message.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DENALI_SUPPORT_ERROR_H
+#define DENALI_SUPPORT_ERROR_H
+
+#include <string>
+
+namespace denali {
+
+/// Prints \p Msg to stderr and aborts. Used for unrecoverable conditions
+/// (malformed built-in axiom files, broken internal invariants).
+[[noreturn]] void reportFatalError(const std::string &Msg);
+
+/// Marks a point in the code that must never be reached.
+[[noreturn]] void unreachableInternal(const char *Msg, const char *File,
+                                      unsigned Line);
+
+} // namespace denali
+
+#define DENALI_UNREACHABLE(MSG)                                               \
+  ::denali::unreachableInternal(MSG, __FILE__, __LINE__)
+
+#endif // DENALI_SUPPORT_ERROR_H

@@ -1,0 +1,36 @@
+//===- support/StringExtras.h - String helpers ------------------*- C++ -*-===//
+///
+/// \file
+/// printf-style formatting into std::string plus a few small string
+/// predicates used by the parsers and printers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DENALI_SUPPORT_STRINGEXTRAS_H
+#define DENALI_SUPPORT_STRINGEXTRAS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace denali {
+
+/// printf-style formatting that returns a std::string.
+std::string strFormat(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits \p S on any character from \p Seps, dropping empty pieces.
+std::vector<std::string> splitString(const std::string &S,
+                                     const std::string &Seps);
+
+/// \returns true if \p S parses as a (possibly negative, possibly 0x-prefixed)
+/// integer literal; the value is stored in \p Out.
+bool parseIntegerLiteral(const std::string &S, int64_t &Out);
+
+/// Renders \p V as a decimal if small, hexadecimal otherwise (readability of
+/// masks like 0xffff in printed terms).
+std::string formatConstant(uint64_t V);
+
+} // namespace denali
+
+#endif // DENALI_SUPPORT_STRINGEXTRAS_H

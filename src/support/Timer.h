@@ -1,0 +1,37 @@
+//===- support/Timer.h - Wall-clock timing ----------------------*- C++ -*-===//
+///
+/// \file
+/// A trivial wall-clock timer used by the driver and benchmarks to report
+/// per-phase times (matching, constraint generation, SAT solving).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DENALI_SUPPORT_TIMER_H
+#define DENALI_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace denali {
+
+/// Measures elapsed wall-clock time in seconds since construction or the
+/// last reset().
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Restarts the timer.
+  void reset() { Start = Clock::now(); }
+
+  /// \returns seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace denali
+
+#endif // DENALI_SUPPORT_TIMER_H

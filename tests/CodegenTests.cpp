@@ -1,0 +1,425 @@
+//===- tests/CodegenTests.cpp - encoder/extractor/search tests ------------===//
+
+#include "alpha/Simulator.h"
+#include "axioms/BuiltinAxioms.h"
+#include "codegen/Search.h"
+#include "match/Elaborate.h"
+#include "match/Matcher.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace denali;
+using namespace denali::codegen;
+using namespace denali::egraph;
+using denali::ir::Builtin;
+
+namespace {
+
+/// Shared fixture: e-graph + ISA + builtin-axiom matcher.
+class PipelineTest : public ::testing::Test {
+protected:
+  ir::Context Ctx;
+  EGraph G{Ctx};
+  alpha::ISA Isa{Ctx};
+
+  ClassId c(uint64_t V) { return G.addConst(V); }
+  ClassId v(const std::string &Name) {
+    return G.addNode(Ctx.Ops.makeVariable(Name), {});
+  }
+  ClassId app(Builtin B, std::vector<ClassId> Args) {
+    return G.addNode(Ctx.Ops.builtin(B), Args);
+  }
+
+  void saturate(size_t MaxNodes = 30000) {
+    match::Matcher M(axioms::loadBuiltinAxioms(Ctx));
+    for (match::Elaborator &E : match::standardElaborators())
+      M.addElaborator(std::move(E));
+    match::MatchLimits Limits;
+    Limits.MaxNodes = MaxNodes;
+    M.saturate(G, Limits);
+    ASSERT_FALSE(G.isInconsistent()) << G.inconsistencyMessage();
+  }
+
+  SearchResult superoptimize(const std::vector<NamedGoal> &Goals,
+                             SearchOptions Opts = SearchOptions()) {
+    Universe U;
+    std::string Err;
+    std::vector<ClassId> GoalClasses;
+    for (const NamedGoal &NG : Goals)
+      GoalClasses.push_back(NG.Class);
+    if (Opts.Encoding.GuardClass)
+      GoalClasses.push_back(*Opts.Encoding.GuardClass);
+    EXPECT_TRUE(U.build(G, Isa, GoalClasses, UniverseOptions(), &Err)) << Err;
+    return searchBudgets(G, Isa, U, Goals, Opts, "test");
+  }
+
+  /// Validates timing and functional equivalence against expected values.
+  void checkProgram(
+      const SearchResult &R,
+      const std::unordered_map<std::string, ir::Value> &Inputs,
+      const std::unordered_map<std::string, ir::Value> &Expected) {
+    ASSERT_TRUE(R.Found) << R.Error;
+    alpha::TimingReport TR = alpha::validateTiming(Isa, R.Program);
+    EXPECT_TRUE(TR.Ok) << TR.Error << "\n" << R.Program.toString();
+    alpha::RunResult Run = alpha::runProgram(Ctx, R.Program, Inputs);
+    ASSERT_TRUE(Run.Ok) << Run.Error << "\n" << R.Program.toString();
+    for (const auto &[Name, Want] : Expected) {
+      auto It = Run.Outputs.find(Name);
+      ASSERT_NE(It, Run.Outputs.end()) << "missing output " << Name;
+      EXPECT_TRUE(It->second.equals(Want))
+          << Name << ": got " << It->second.toString() << " want "
+          << Want.toString() << "\n"
+          << R.Program.toString();
+    }
+  }
+};
+
+TEST_F(PipelineTest, Figure2SingleInstruction) {
+  // reg6*4 + 1 must compile to one s4addq and one cycle.
+  ClassId Goal = app(Builtin::Add64, {app(Builtin::Mul64, {v("reg6"), c(4)}),
+                                      c(1)});
+  saturate();
+  SearchResult R = superoptimize({{"res", Goal, false}});
+  ASSERT_TRUE(R.Found) << R.Error;
+  EXPECT_EQ(R.Cycles, 1u);
+  ASSERT_EQ(R.Program.Instrs.size(), 1u);
+  EXPECT_EQ(R.Program.Instrs[0].Mnemonic, "s4addq");
+  checkProgram(R, {{"reg6", ir::Value::makeInt(11)}},
+               {{"res", ir::Value::makeInt(45)}});
+}
+
+TEST_F(PipelineTest, WithoutScaledAddTwoCycles) {
+  // x*8 has a 1-cycle shift; x*8+y+1 needs more work; just check the
+  // schedule is validated optimal-by-probes and correct.
+  ClassId Goal = app(
+      Builtin::Add64,
+      {app(Builtin::Add64, {app(Builtin::Mul64, {v("x"), c(16)}), v("y")}),
+       c(1)});
+  saturate();
+  SearchResult R = superoptimize({{"res", Goal, false}});
+  ASSERT_TRUE(R.Found) << R.Error;
+  EXPECT_LE(R.Cycles, 3u);
+  EXPECT_TRUE(R.LowerBoundProved);
+  uint64_t X = 0x123456, Y = 99;
+  checkProgram(R, {{"x", ir::Value::makeInt(X)}, {"y", ir::Value::makeInt(Y)}},
+               {{"res", ir::Value::makeInt(X * 16 + Y + 1)}});
+}
+
+TEST_F(PipelineTest, ImmediateOperand) {
+  // x + 5: one addq with an 8-bit literal, no ldiq.
+  ClassId Goal = app(Builtin::Add64, {v("x"), c(5)});
+  saturate();
+  SearchResult R = superoptimize({{"res", Goal, false}});
+  ASSERT_TRUE(R.Found) << R.Error;
+  EXPECT_EQ(R.Cycles, 1u);
+  checkProgram(R, {{"x", ir::Value::makeInt(7)}},
+               {{"res", ir::Value::makeInt(12)}});
+}
+
+TEST_F(PipelineTest, LargeConstantNeedsMaterialization) {
+  // x + 100000: the constant exceeds the 8-bit literal range, so a ldiq
+  // must precede the add: two cycles.
+  ClassId Goal = app(Builtin::Add64, {v("x"), c(100000)});
+  saturate();
+  SearchResult R = superoptimize({{"res", Goal, false}});
+  ASSERT_TRUE(R.Found) << R.Error;
+  EXPECT_EQ(R.Cycles, 2u);
+  EXPECT_TRUE(R.LowerBoundProved);
+  checkProgram(R, {{"x", ir::Value::makeInt(1)}},
+               {{"res", ir::Value::makeInt(100001)}});
+}
+
+TEST_F(PipelineTest, FreeGoalZeroCycles) {
+  ClassId Goal = v("x");
+  saturate();
+  SearchResult R = superoptimize({{"res", Goal, false}});
+  ASSERT_TRUE(R.Found) << R.Error;
+  EXPECT_EQ(R.Cycles, 0u);
+  EXPECT_TRUE(R.Program.Instrs.empty());
+  checkProgram(R, {{"x", ir::Value::makeInt(77)}},
+               {{"res", ir::Value::makeInt(77)}});
+}
+
+TEST_F(PipelineTest, MultiplyLatency) {
+  // x*y (no shift alternative): mulq has latency 7, so 7 cycles.
+  ClassId Goal = app(Builtin::Mul64, {v("x"), v("y")});
+  saturate();
+  SearchResult R = superoptimize({{"res", Goal, false}});
+  ASSERT_TRUE(R.Found) << R.Error;
+  EXPECT_EQ(R.Cycles, 7u);
+  checkProgram(R, {{"x", ir::Value::makeInt(6)}, {"y", ir::Value::makeInt(7)}},
+               {{"res", ir::Value::makeInt(42)}});
+}
+
+TEST_F(PipelineTest, ShiftBeatsMultiply) {
+  // x*16: the matcher's 16 = 2**4 fact turns a 7-cycle multiply into a
+  // 1-cycle shift.
+  ClassId Goal = app(Builtin::Mul64, {v("x"), c(16)});
+  saturate();
+  SearchResult R = superoptimize({{"res", Goal, false}});
+  ASSERT_TRUE(R.Found) << R.Error;
+  EXPECT_EQ(R.Cycles, 1u);
+  ASSERT_EQ(R.Program.Instrs.size(), 1u);
+  EXPECT_EQ(R.Program.Instrs[0].Mnemonic, "sll");
+}
+
+TEST_F(PipelineTest, LoadSimple) {
+  ClassId Goal = app(Builtin::Select, {v("M"), v("p")});
+  saturate();
+  SearchResult R = superoptimize({{"res", Goal, false}});
+  ASSERT_TRUE(R.Found) << R.Error;
+  EXPECT_EQ(R.Cycles, 3u); // ldq hit latency.
+  ir::Value Mem = ir::Value::makeArray(5).store(200, 4242);
+  checkProgram(R,
+               {{"M", Mem}, {"p", ir::Value::makeInt(200)}},
+               {{"res", ir::Value::makeInt(4242)}});
+}
+
+TEST_F(PipelineTest, LoadWithDisplacement) {
+  // select(M, p+16) folds the offset into the ldq displacement: still 3
+  // cycles, no addq.
+  ClassId Goal =
+      app(Builtin::Select, {v("M"), app(Builtin::Add64, {v("p"), c(16)})});
+  saturate();
+  SearchResult R = superoptimize({{"res", Goal, false}});
+  ASSERT_TRUE(R.Found) << R.Error;
+  EXPECT_EQ(R.Cycles, 3u);
+  ASSERT_EQ(R.Program.Instrs.size(), 1u);
+  EXPECT_EQ(R.Program.Instrs[0].Disp, 16);
+  ir::Value Mem = ir::Value::makeArray(9).store(116, 7);
+  checkProgram(R, {{"M", Mem}, {"p", ir::Value::makeInt(100)}},
+               {{"res", ir::Value::makeInt(7)}});
+}
+
+TEST_F(PipelineTest, StoreSimple) {
+  ClassId Goal = app(Builtin::Store, {v("M"), v("p"), v("x")});
+  saturate();
+  SearchResult R = superoptimize({{"M", Goal, true}});
+  ASSERT_TRUE(R.Found) << R.Error;
+  EXPECT_EQ(R.Cycles, 1u);
+  ir::Value Mem = ir::Value::makeArray(3);
+  checkProgram(R,
+               {{"M", Mem},
+                {"p", ir::Value::makeInt(64)},
+                {"x", ir::Value::makeInt(123)}},
+               {{"M", Mem.store(64, 123)}});
+}
+
+TEST_F(PipelineTest, StoreLoadReorderFreedom) {
+  // GMA: M := store(M, p, x); r := select(M, p+8). Matching proves the
+  // load may read the original memory; both goals complete in the load
+  // latency window (no serialization through the store).
+  ClassId MVar = v("M");
+  ClassId P = v("p");
+  ClassId StoreT = app(Builtin::Store, {MVar, P, v("x")});
+  ClassId LoadT =
+      app(Builtin::Select, {StoreT, app(Builtin::Add64, {P, c(8)})});
+  saturate();
+  SearchResult R =
+      superoptimize({{"M", StoreT, true}, {"r", LoadT, false}});
+  ASSERT_TRUE(R.Found) << R.Error;
+  EXPECT_EQ(R.Cycles, 3u) << R.Program.toString();
+  // Memory discipline: the ldq that reads the *initial* memory must not be
+  // scheduled after the stq that overwrites it.
+  unsigned StoreCycle = 0;
+  bool SawStore = false;
+  for (const alpha::Instruction &I : R.Program.Instrs)
+    if (I.Mem == alpha::MemKind::Store) {
+      StoreCycle = I.Cycle;
+      SawStore = true;
+    }
+  ASSERT_TRUE(SawStore);
+  uint32_t InitialMemReg = 0;
+  for (const alpha::ProgramInput &In : R.Program.Inputs)
+    if (In.IsMemory)
+      InitialMemReg = In.Reg;
+  for (const alpha::Instruction &I : R.Program.Instrs)
+    if (I.Mem == alpha::MemKind::Load && I.Srcs[0].isReg() &&
+        I.Srcs[0].Reg == InitialMemReg) {
+      EXPECT_LT(I.Cycle, StoreCycle + 1u) << R.Program.toString();
+    }
+  ir::Value Mem = ir::Value::makeArray(11);
+  uint64_t PV = 1000, XV = 55;
+  checkProgram(R,
+               {{"M", Mem},
+                {"p", ir::Value::makeInt(PV)},
+                {"x", ir::Value::makeInt(XV)}},
+               {{"M", Mem.store(PV, XV)},
+                {"r", ir::Value::makeInt(Mem.select(PV + 8))}});
+}
+
+TEST_F(PipelineTest, GuardOrdersMemoryOps) {
+  // With a guard class, loads may not launch before the guard's compare
+  // completes.
+  ClassId Guard = app(Builtin::CmpUlt, {v("p"), v("r")});
+  ClassId Load = app(Builtin::Select, {v("M"), v("p")});
+  saturate();
+  SearchOptions Opts;
+  Opts.Encoding.GuardClass = Guard;
+  SearchResult R = superoptimize({{"res", Load, false}}, Opts);
+  ASSERT_TRUE(R.Found) << R.Error;
+  EXPECT_EQ(R.Cycles, 4u); // cmpult (1) then ldq (3).
+  unsigned GuardDone = 0;
+  for (const alpha::Instruction &I : R.Program.Instrs)
+    if (I.Mnemonic == "cmpult")
+      GuardDone = I.Cycle + I.Latency;
+  for (const alpha::Instruction &I : R.Program.Instrs)
+    if (I.Mem == alpha::MemKind::Load) {
+      EXPECT_GE(I.Cycle, GuardDone);
+    }
+}
+
+TEST_F(PipelineTest, BinarySearchAgreesWithLinear) {
+  ClassId Goal = app(
+      Builtin::Add64,
+      {app(Builtin::Shl64, {v("x"), c(3)}),
+       app(Builtin::Xor64, {v("y"), app(Builtin::And64, {v("x"), v("y")})})});
+  saturate();
+  SearchOptions Lin;
+  Lin.Strategy = SearchStrategy::Linear;
+  SearchResult RL = superoptimize({{"res", Goal, false}}, Lin);
+  SearchOptions Bin;
+  Bin.Strategy = SearchStrategy::Binary;
+  SearchResult RB = superoptimize({{"res", Goal, false}}, Bin);
+  ASSERT_TRUE(RL.Found) << RL.Error;
+  ASSERT_TRUE(RB.Found) << RB.Error;
+  EXPECT_EQ(RL.Cycles, RB.Cycles);
+}
+
+TEST_F(PipelineTest, SingleClusterAblationNoWorse) {
+  // Removing the cross-cluster delay can only shorten schedules.
+  ClassId Goal = app(
+      Builtin::Or64,
+      {app(Builtin::Shl64, {v("a"), c(8)}), app(Builtin::Shr64, {v("b"), c(8)})});
+  saturate();
+  SearchResult RTwo = superoptimize({{"res", Goal, false}});
+  SearchOptions OptsOne;
+  OptsOne.Encoding.SingleCluster = true;
+  SearchResult ROne = superoptimize({{"res", Goal, false}}, OptsOne);
+  ASSERT_TRUE(RTwo.Found) << RTwo.Error;
+  ASSERT_TRUE(ROne.Found) << ROne.Error;
+  EXPECT_LE(ROne.Cycles, RTwo.Cycles);
+}
+
+TEST_F(PipelineTest, UncomputableGoalReportsError) {
+  ir::OpId Mystery = Ctx.Ops.declareOp("mystery", 1);
+  ClassId Goal = G.addNode(Mystery, {v("x")});
+  saturate();
+  Universe U;
+  std::string Err;
+  EXPECT_FALSE(U.build(G, Isa, {Goal}, UniverseOptions(), &Err));
+  EXPECT_NE(Err.find("no machine-computable"), std::string::npos);
+}
+
+TEST_F(PipelineTest, ProbeStatsRecorded) {
+  ClassId Goal = app(Builtin::Add64, {app(Builtin::Mul64, {v("x"), c(4)}),
+                                      v("y")});
+  saturate();
+  SearchResult R = superoptimize({{"res", Goal, false}});
+  ASSERT_TRUE(R.Found) << R.Error;
+  ASSERT_FALSE(R.Probes.empty());
+  for (const Probe &P : R.Probes) {
+    EXPECT_GT(P.Stats.Vars, 0);
+    EXPECT_GT(P.Stats.Clauses, 0u);
+    EXPECT_GT(P.Stats.MachineTerms, 0u);
+  }
+  EXPECT_EQ(R.Probes.back().Result, sat::SolveResult::Sat);
+}
+
+TEST_F(PipelineTest, MissAnnotatedLoadLatency) {
+  // A load annotated as missing the cache takes the miss latency.
+  ClassId Addr = v("p");
+  ClassId Goal = app(Builtin::Select, {v("M"), Addr});
+  saturate();
+  Universe U;
+  UniverseOptions UOpts;
+  UOpts.LoadLatencyByAddr[G.find(Addr)] = Isa.loadMissLatency();
+  std::string Err;
+  ASSERT_TRUE(U.build(G, Isa, {G.find(Goal)}, UOpts, &Err)) << Err;
+  SearchOptions SOpts;
+  SOpts.MaxCycles = 20;
+  SearchResult R = searchBudgets(G, Isa, U, {{"res", Goal, false}}, SOpts,
+                                 "miss");
+  ASSERT_TRUE(R.Found) << R.Error;
+  EXPECT_EQ(R.Cycles, Isa.loadMissLatency());
+}
+
+//===----------------------------------------------------------------------===
+// Differential sweep: random expression DAGs through the whole pipeline;
+// simulated machine output must equal the reference evaluation.
+//===----------------------------------------------------------------------===
+
+class PipelineDifferential : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PipelineDifferential, RandomTerms) {
+  std::mt19937 Rng(GetParam() * 48271u + 7);
+  ir::Context Ctx;
+  alpha::ISA Isa(Ctx);
+
+  // Random term over three variables and small constants.
+  std::vector<ir::TermId> Pool;
+  for (const char *Name : {"x", "y", "z"})
+    Pool.push_back(Ctx.Terms.makeVar(Name));
+  Pool.push_back(Ctx.Terms.makeConst(Rng() & 0xff));
+  Pool.push_back(Ctx.Terms.makeConst(4));
+  const Builtin Ops[] = {Builtin::Add64, Builtin::Sub64, Builtin::And64,
+                         Builtin::Or64,  Builtin::Xor64, Builtin::Shl64,
+                         Builtin::Mul64, Builtin::CmpUlt, Builtin::Zapnot,
+                         Builtin::Extbl};
+  for (int Step = 0; Step < 5; ++Step) {
+    Builtin B = Ops[Rng() % std::size(Ops)];
+    ir::TermId A = Pool[Rng() % Pool.size()];
+    ir::TermId C = Pool[Rng() % Pool.size()];
+    Pool.push_back(Ctx.Terms.makeBuiltin(B, {A, C}));
+  }
+  ir::TermId GoalTerm = Pool.back();
+
+  EGraph G(Ctx);
+  ClassId Goal = G.addTerm(GoalTerm);
+  match::Matcher M(axioms::loadBuiltinAxioms(Ctx));
+  for (match::Elaborator &E : match::standardElaborators())
+    M.addElaborator(std::move(E));
+  match::MatchLimits Limits;
+  Limits.MaxNodes = 20000;
+  M.saturate(G, Limits);
+  ASSERT_FALSE(G.isInconsistent()) << G.inconsistencyMessage();
+
+  Universe U;
+  std::string Err;
+  ASSERT_TRUE(U.build(G, Isa, {G.find(Goal)}, UniverseOptions(), &Err))
+      << Err;
+  SearchOptions Opts;
+  Opts.MaxCycles = 20;
+  SearchResult R =
+      searchBudgets(G, Isa, U, {{"res", Goal, false}}, Opts, "rand");
+  ASSERT_TRUE(R.Found) << R.Error << "\ngoal: "
+                       << Ctx.Terms.toString(GoalTerm);
+
+  alpha::TimingReport TR = alpha::validateTiming(Isa, R.Program);
+  ASSERT_TRUE(TR.Ok) << TR.Error << "\n" << R.Program.toString();
+
+  for (int Trial = 0; Trial < 4; ++Trial) {
+    std::unordered_map<std::string, ir::Value> Inputs;
+    ir::Env E;
+    for (const char *Name : {"x", "y", "z"}) {
+      uint64_t V = (static_cast<uint64_t>(Rng()) << 32) | Rng();
+      Inputs[Name] = ir::Value::makeInt(V);
+      E[Ctx.Ops.makeVariable(Name)] = ir::Value::makeInt(V);
+    }
+    auto Want = ir::evalTerm(Ctx.Terms, GoalTerm, E);
+    ASSERT_TRUE(Want.has_value());
+    alpha::RunResult Run = alpha::runProgram(Ctx, R.Program, Inputs);
+    ASSERT_TRUE(Run.Ok) << Run.Error;
+    EXPECT_TRUE(Run.Outputs.at("res").equals(*Want))
+        << "seed " << GetParam() << " goal "
+        << Ctx.Terms.toString(GoalTerm) << "\n"
+        << R.Program.toString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineDifferential,
+                         ::testing::Range(0u, 20u));
+
+} // namespace

@@ -1,0 +1,164 @@
+//===- tests/ElaborateTests.cpp - elaborator unit tests -------------------===//
+//
+// Direct tests of the "heuristically relevant instances" machinery
+// (section 5): each elaborator in isolation, without the full axiom sets.
+//
+//===----------------------------------------------------------------------===//
+
+#include "match/Elaborate.h"
+
+#include <gtest/gtest.h>
+
+using namespace denali;
+using namespace denali::match;
+using namespace denali::egraph;
+using denali::ir::Builtin;
+
+namespace {
+
+class ElaborateTest : public ::testing::Test {
+protected:
+  ir::Context Ctx;
+  EGraph G{Ctx};
+
+  ClassId c(uint64_t V) { return G.addConst(V); }
+  ClassId v(const std::string &N) {
+    return G.addNode(Ctx.Ops.makeVariable(N), {});
+  }
+  ClassId app(Builtin B, std::vector<ClassId> Args) {
+    return G.addNode(Ctx.Ops.builtin(B), Args);
+  }
+
+  bool classHasOp(ClassId C, Builtin B) {
+    for (ENodeId N : G.classNodes(C))
+      if (G.node(N).Op == Ctx.Ops.builtin(B))
+        return true;
+    return false;
+  }
+};
+
+TEST_F(ElaborateTest, PowerOfTwoInMultiplyContext) {
+  ClassId Four = c(4);
+  app(Builtin::Mul64, {v("x"), Four});
+  powerOfTwoElaborator()(G);
+  // 4 = 2**2 was asserted: the constant's class gained a pow node.
+  EXPECT_TRUE(classHasOp(Four, Builtin::Pow));
+}
+
+TEST_F(ElaborateTest, PowerOfTwoIgnoresNonMultiplyConstants) {
+  ClassId Four = c(4);
+  app(Builtin::Add64, {v("x"), Four}); // Additive use only.
+  powerOfTwoElaborator()(G);
+  EXPECT_FALSE(classHasOp(Four, Builtin::Pow));
+}
+
+TEST_F(ElaborateTest, PowerOfTwoIgnoresNonPowers) {
+  ClassId Six = c(6);
+  app(Builtin::Mul64, {v("x"), Six});
+  powerOfTwoElaborator()(G);
+  EXPECT_FALSE(classHasOp(Six, Builtin::Pow));
+}
+
+TEST_F(ElaborateTest, ByteMaskToZapnot) {
+  ClassId T = app(Builtin::And64, {v("x"), c(0x00ff00ff)});
+  byteMaskElaborator()(G);
+  EXPECT_TRUE(classHasOp(T, Builtin::Zapnot));
+}
+
+TEST_F(ElaborateTest, NonByteRegularMaskIgnored) {
+  ClassId T = app(Builtin::And64, {v("x"), c(0x00ff00f0)});
+  byteMaskElaborator()(G);
+  EXPECT_FALSE(classHasOp(T, Builtin::Zapnot));
+}
+
+TEST_F(ElaborateTest, ByteShiftDecomposition) {
+  ClassId Sixteen = c(16);
+  app(Builtin::Shl64, {v("x"), Sixteen});
+  byteShiftElaborator()(G);
+  // 16 = 8 * 2 was asserted, enabling the insbl axioms.
+  EXPECT_TRUE(classHasOp(Sixteen, Builtin::Mul64));
+}
+
+TEST_F(ElaborateTest, NonByteShiftIgnored) {
+  ClassId Nine = c(9);
+  app(Builtin::Shl64, {v("x"), Nine});
+  byteShiftElaborator()(G);
+  EXPECT_FALSE(classHasOp(Nine, Builtin::Mul64));
+}
+
+TEST_F(ElaborateTest, OffsetDisequality) {
+  ClassId MVar = v("M");
+  ClassId P = v("p");
+  ClassId P8 = app(Builtin::Add64, {P, c(8)});
+  app(Builtin::Select, {MVar, P});
+  app(Builtin::Select, {MVar, P8});
+  EXPECT_FALSE(G.areDistinct(P, P8));
+  offsetDisequalityElaborator()(G);
+  EXPECT_TRUE(G.areDistinct(P, P8));
+}
+
+TEST_F(ElaborateTest, OffsetDisequalityThroughSub) {
+  ClassId MVar = v("M");
+  ClassId P = v("p");
+  ClassId PM8 = app(Builtin::Sub64, {P, c(8)});
+  ClassId P8 = app(Builtin::Add64, {P, c(8)});
+  app(Builtin::Select, {MVar, PM8});
+  app(Builtin::Select, {MVar, P8});
+  offsetDisequalityElaborator()(G);
+  EXPECT_TRUE(G.areDistinct(PM8, P8)); // p-8 != p+8.
+}
+
+TEST_F(ElaborateTest, DifferentBasesNotRelated) {
+  ClassId MVar = v("M");
+  ClassId P = app(Builtin::Add64, {v("p"), c(8)});
+  ClassId Q = app(Builtin::Add64, {v("q"), c(16)});
+  app(Builtin::Select, {MVar, P});
+  app(Builtin::Select, {MVar, Q});
+  offsetDisequalityElaborator()(G);
+  // p+8 vs q+16: different bases, may alias — must NOT be distinct.
+  EXPECT_FALSE(G.areDistinct(P, Q));
+}
+
+TEST_F(ElaborateTest, SameOffsetNotDistinct) {
+  ClassId MVar = v("M");
+  ClassId A = app(Builtin::Add64, {v("p"), c(8)});
+  ClassId B = app(Builtin::Add64, {v("p"), c(8)});
+  app(Builtin::Select, {MVar, A});
+  app(Builtin::Select, {MVar, B});
+  offsetDisequalityElaborator()(G);
+  EXPECT_TRUE(G.sameClass(A, B)); // Hashconsed to one class anyway.
+  EXPECT_FALSE(G.areDistinct(A, B));
+}
+
+TEST_F(ElaborateTest, ChainedOffsets) {
+  // (p + 8) + 8 vs p + 8: offsets 16 vs 8 from the same base.
+  ClassId MVar = v("M");
+  ClassId P8 = app(Builtin::Add64, {v("p"), c(8)});
+  ClassId P16 = app(Builtin::Add64, {P8, c(8)});
+  app(Builtin::Select, {MVar, P8});
+  app(Builtin::Select, {MVar, P16});
+  offsetDisequalityElaborator()(G);
+  EXPECT_TRUE(G.areDistinct(P8, P16));
+}
+
+TEST_F(ElaborateTest, ConstantAddressesGroup) {
+  // Absolute addresses 100 and 108 are provably different.
+  ClassId MVar = v("M");
+  ClassId A = c(100);
+  ClassId B = c(108);
+  app(Builtin::Select, {MVar, A});
+  app(Builtin::Select, {MVar, B});
+  offsetDisequalityElaborator()(G);
+  EXPECT_TRUE(G.areDistinct(A, B)); // Also via constant distinctness.
+}
+
+TEST_F(ElaborateTest, ElaboratorsAreIdempotent) {
+  ClassId Four = c(4);
+  app(Builtin::Mul64, {v("x"), Four});
+  powerOfTwoElaborator()(G);
+  uint64_t V1 = G.version();
+  powerOfTwoElaborator()(G);
+  EXPECT_EQ(G.version(), V1); // Second run changes nothing.
+}
+
+} // namespace

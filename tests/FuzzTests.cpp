@@ -1,0 +1,183 @@
+//===- tests/FuzzTests.cpp - randomized end-to-end program fuzzing --------===//
+//
+// Generates random Denali source programs (straight-line code, loops,
+// memory traffic at distinct constant offsets, casts, byte operations),
+// compiles each through the full pipeline, and differentially verifies the
+// generated EV6 code against the reference semantics — the strongest
+// whole-system property test in the suite: any unsound axiom, matcher bug,
+// encoder bug, extraction bug, or simulator bug shows up as a verification
+// failure.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Superoptimizer.h"
+#include "support/StringExtras.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace denali;
+
+namespace {
+
+/// Random expression over the in-scope variables (depth-bounded).
+class ProgramGenerator {
+public:
+  explicit ProgramGenerator(unsigned Seed) : Rng(Seed * 6364136223846793005ULL + 1442695040888963407ULL) {}
+
+  std::string generate() {
+    Vars = {"a", "b", "c"};
+    std::string Body;
+    unsigned NumStmts = 2 + Rng() % 4;
+    unsigned Temps = 0;
+    std::string Stmts;
+    for (unsigned I = 0; I < NumStmts; ++I) {
+      switch (Rng() % 5) {
+      case 0: { // Fresh temp.
+        std::string Name = strFormat("t%u", Temps++);
+        Stmts += strFormat("    (:= (%s %s))\n", Name.c_str(),
+                           expr(2).c_str());
+        // Declared below; collect for the \var wrapper.
+        NewVars.push_back(Name);
+        Vars.push_back(Name);
+        break;
+      }
+      case 1: // Reassign an existing variable.
+        Stmts += strFormat("    (:= (%s %s))\n", pick(Vars).c_str(),
+                           expr(2).c_str());
+        break;
+      case 2: // Store to a distinct slot.
+        Stmts += strFormat("    (:= ((\\deref (+ p %u)) %s))\n",
+                           static_cast<unsigned>(8 * (Rng() % 4)),
+                           expr(1).c_str());
+        break;
+      case 3: // Multi-assign (simultaneous).
+        Stmts += strFormat("    (:= (%s %s) (%s %s))\n", "a",
+                           expr(1).c_str(), "b", expr(1).c_str());
+        break;
+      default: // Result contribution.
+        Stmts += strFormat("    (:= (\\res %s))\n", expr(2).c_str());
+        break;
+      }
+    }
+    Stmts += strFormat("    (:= (\\res %s))\n", expr(2).c_str());
+
+    std::string Prog = "(\\procdecl fuzz ((a long) (b long) (c long) "
+                       "(p (\\ref long))) long\n";
+    std::string Close = ")";
+    for (const std::string &V : NewVars) {
+      Prog += strFormat("  (\\var (%s long 0)\n", V.c_str());
+      Close += ")";
+    }
+    Prog += "  (\\semi\n" + Stmts + "  )" + Close;
+    return Prog;
+  }
+
+private:
+  std::mt19937_64 Rng;
+  std::vector<std::string> Vars;
+  std::vector<std::string> NewVars;
+
+  std::string pick(const std::vector<std::string> &From) {
+    return From[Rng() % From.size()];
+  }
+
+  std::string expr(unsigned Depth) {
+    if (Depth == 0 || Rng() % 3 == 0) {
+      switch (Rng() % 3) {
+      case 0:
+        return pick(Vars);
+      case 1:
+        return std::to_string(Rng() % 256);
+      default:
+        return strFormat("(\\deref (+ p %u))",
+                         static_cast<unsigned>(8 * (Rng() % 4)));
+      }
+    }
+    static const char *BinOps[] = {"\\add64", "\\sub64",  "\\and64",
+                                   "\\or64",  "\\xor64",  "\\mul64",
+                                   "\\cmpult", "\\shl64"};
+    static const char *UnOps[] = {"\\not64", "\\neg64", "\\zext16",
+                                  "\\zext8"};
+    if (Rng() % 4 == 0)
+      return strFormat("(%s %s)", UnOps[Rng() % std::size(UnOps)],
+                       expr(Depth - 1).c_str());
+    if (Rng() % 8 == 0)
+      return strFormat("(\\selectb %s %u)", expr(Depth - 1).c_str(),
+                       static_cast<unsigned>(Rng() % 8));
+    const char *Op = BinOps[Rng() % std::size(BinOps)];
+    // Shift amounts are kept literal to avoid huge-variance shifts
+    // (semantically fine, but they make every alternative equal-cost).
+    if (std::string(Op) == "\\shl64")
+      return strFormat("(%s %s %u)", Op, expr(Depth - 1).c_str(),
+                       static_cast<unsigned>(1 + Rng() % 8));
+    return strFormat("(%s %s %s)", Op, expr(Depth - 1).c_str(),
+                     expr(Depth - 1).c_str());
+  }
+};
+
+class FuzzEndToEnd : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FuzzEndToEnd, CompileAndVerify) {
+  ProgramGenerator Gen(GetParam());
+  std::string Source = Gen.generate();
+  SCOPED_TRACE(Source);
+
+  driver::Superoptimizer Opt;
+  Opt.options().Search.MaxCycles = 24;
+  Opt.options().Matching.MaxNodes = 20000;
+  Opt.options().Matching.MaxRounds = 12;
+  driver::CompileResult R = Opt.compileSource(Source);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  for (driver::GmaResult &G : R.Gmas) {
+    // Some random programs exceed the budget (e.g. chained multiplies);
+    // that is a legitimate "no program within N cycles" outcome.
+    if (!G.ok()) {
+      EXPECT_NE(G.Error.find("no program within"), std::string::npos)
+          << G.Error;
+      continue;
+    }
+    EXPECT_EQ(Opt.verify(G, /*Trials=*/8), std::nullopt)
+        << G.Gma.toString(Opt.context()) << "\n"
+        << G.Search.Program.toString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEndToEnd, ::testing::Range(0u, 30u));
+
+//===----------------------------------------------------------------------===
+// Loop-program fuzzing: random loop bodies with pointer advance, optional
+// unrolling and pipelining.
+//===----------------------------------------------------------------------===
+
+class FuzzLoops : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FuzzLoops, CompileAndVerify) {
+  std::mt19937_64 Rng(GetParam() * 2862933555777941757ULL + 3037000493ULL);
+  unsigned Unroll = 1 + Rng() % 2;
+  bool Pipeline = Rng() & 1;
+  unsigned Stride = 8 * (1 + Rng() % 3);
+  const char *Op = (Rng() & 1) ? "\\add64" : "\\xor64";
+  std::string Source = strFormat(R"(
+(\procdecl floop ((ptr (\ref long)) (ptrend (\ref long)) (acc long)) long
+  (\do %s (\unroll %u) (-> (\cmpult ptr ptrend)
+    (\semi (:= (acc (%s acc (\deref ptr))))
+           (:= (ptr (+ ptr %u)))))))
+)", Pipeline ? "(\\pipeline)" : "", Unroll, Op, Stride);
+  SCOPED_TRACE(Source);
+
+  driver::Superoptimizer Opt;
+  Opt.options().Search.MaxCycles = 16;
+  driver::CompileResult R = Opt.compileSource(Source);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  for (driver::GmaResult &G : R.Gmas) {
+    ASSERT_TRUE(G.ok()) << G.Error;
+    EXPECT_EQ(Opt.verify(G, /*Trials=*/8), std::nullopt)
+        << G.Search.Program.toString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzLoops, ::testing::Range(0u, 12u));
+
+} // namespace

@@ -1,0 +1,241 @@
+//===- tests/GmaTests.cpp - GMA translation tests -------------------------===//
+
+#include "gma/GMA.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace denali;
+using namespace denali::gma;
+
+namespace {
+
+class GmaTest : public ::testing::Test {
+protected:
+  ir::Context Ctx;
+
+  std::vector<GMA> translate(const std::string &Source) {
+    std::string Err;
+    std::optional<lang::Module> M = lang::parseModule(Source, &Err);
+    EXPECT_TRUE(M.has_value()) << Err;
+    if (!M)
+      return {};
+    for (const lang::OpDecl &D : M->OpDecls)
+      Ctx.Ops.declareOp(D.Name, static_cast<int>(D.Arity));
+    EXPECT_EQ(M->Procs.size(), 1u);
+    std::optional<std::vector<GMA>> Gmas =
+        translateProc(Ctx, M->Procs[0], &Err);
+    EXPECT_TRUE(Gmas.has_value()) << Err;
+    return Gmas ? std::move(*Gmas) : std::vector<GMA>();
+  }
+
+  std::string translateError(const std::string &Source) {
+    std::string Err;
+    std::optional<lang::Module> M = lang::parseModule(Source, &Err);
+    EXPECT_TRUE(M.has_value()) << Err;
+    if (!M)
+      return Err;
+    std::optional<std::vector<GMA>> Gmas =
+        translateProc(Ctx, M->Procs[0], &Err);
+    EXPECT_FALSE(Gmas.has_value());
+    return Err;
+  }
+
+  /// The value term assigned to \p Target in \p G; 0 when absent.
+  ir::TermId valueOf(const GMA &G, const std::string &Target) {
+    for (size_t I = 0; I < G.Targets.size(); ++I)
+      if (G.Targets[I] == Target)
+        return G.NewVals[I];
+    return 0;
+  }
+};
+
+TEST_F(GmaTest, StraightLineComposition) {
+  // Sequential assignments compose by substitution (paper, section 3).
+  auto Gmas = translate(R"(
+    (\procdecl f ((x long)) long
+      (\var (t long (\add64 x 1))
+      (\semi
+        (:= (t (\mul64 t t)))
+        (:= (\res t)))))
+  )");
+  ASSERT_EQ(Gmas.size(), 1u);
+  ir::TermId Res = valueOf(Gmas[0], "\\res");
+  ASSERT_NE(Res, 0u);
+  EXPECT_EQ(Ctx.Terms.toString(Res),
+            "(mul64 (add64 x 1) (add64 x 1))");
+}
+
+TEST_F(GmaTest, SimultaneousMultiAssign) {
+  // (a, b) := (b, a): both right sides read the pre-state.
+  auto Gmas = translate(R"(
+    (\procdecl swap ((a long) (b long)) long
+      (\semi (:= (a b) (b a)) (:= (\res a))))
+  )");
+  ASSERT_EQ(Gmas.size(), 1u);
+  EXPECT_EQ(Ctx.Terms.toString(valueOf(Gmas[0], "a")), "b");
+  EXPECT_EQ(Ctx.Terms.toString(valueOf(Gmas[0], "b")), "a");
+  EXPECT_EQ(Ctx.Terms.toString(valueOf(Gmas[0], "\\res")), "b");
+}
+
+TEST_F(GmaTest, PointerWritesBecomeStores) {
+  // The paper's copy-loop example: *p := *q becomes
+  // M := store(M, p, select(M, q)).
+  auto Gmas = translate(R"(
+    (\procdecl copy ((p (\ref long)) (q (\ref long)) (r (\ref long))) long
+      (\do (-> (\cmpult p r)
+        (\semi
+          (:= ((\deref p) (\deref q)))
+          (:= (p (+ p 8)) (q (+ q 8)))))))
+  )");
+  ASSERT_EQ(Gmas.size(), 1u);
+  const GMA &Loop = Gmas[0];
+  ASSERT_TRUE(Loop.Guard.has_value());
+  EXPECT_EQ(Ctx.Terms.toString(*Loop.Guard), "(cmpult p r)");
+  ir::TermId MemVal = valueOf(Loop, "M");
+  ASSERT_NE(MemVal, 0u);
+  EXPECT_EQ(Ctx.Terms.toString(MemVal), "(store M p (select M q))");
+  EXPECT_EQ(Ctx.Terms.toString(valueOf(Loop, "p")), "(add64 p 8)");
+}
+
+TEST_F(GmaTest, LoopBodyUsesFreshState) {
+  // Inside the loop, `sum` refers to the value at the loop head, not the
+  // pre-loop constant.
+  auto Gmas = translate(R"(
+    (\procdecl f ((p (\ref long)) (r (\ref long))) long
+      (\var (sum long 0)
+      (\semi
+        (\do (-> (\cmpult p r)
+          (\semi (:= (sum (\add64 sum (\deref p))))
+                 (:= (p (+ p 8))))))
+        (:= (\res sum)))))
+  )");
+  // Segment 0: sum := 0. Segment 1: loop body. Segment 2: result.
+  ASSERT_EQ(Gmas.size(), 3u);
+  EXPECT_EQ(Ctx.Terms.toString(valueOf(Gmas[0], "sum")), "0");
+  EXPECT_EQ(Ctx.Terms.toString(valueOf(Gmas[1], "sum")),
+            "(add64 sum (select M p))");
+  // The exit segment is guarded by the negated loop condition.
+  ASSERT_TRUE(Gmas[2].Guard.has_value());
+  EXPECT_EQ(Ctx.Terms.toString(*Gmas[2].Guard), "(cmpeq (cmpult p r) 0)");
+  EXPECT_EQ(Ctx.Terms.toString(valueOf(Gmas[2], "\\res")), "sum");
+}
+
+TEST_F(GmaTest, UnrollComposesBody) {
+  auto Gmas = translate(R"(
+    (\procdecl f ((p (\ref long)) (r (\ref long))) long
+      (\do (\unroll 3) (-> (\cmpult p r)
+        (:= (p (+ p 8))))))
+  )");
+  ASSERT_EQ(Gmas.size(), 1u);
+  EXPECT_EQ(Ctx.Terms.toString(valueOf(Gmas[0], "p")),
+            "(add64 (add64 (add64 p 8) 8) 8)");
+}
+
+TEST_F(GmaTest, MissAnnotationCollected) {
+  auto Gmas = translate(R"(
+    (\procdecl f ((p (\ref long))) long
+      (:= (\res (\deref (+ p 16) \miss))))
+  )");
+  ASSERT_EQ(Gmas.size(), 1u);
+  ASSERT_EQ(Gmas[0].MissAddrs.size(), 1u);
+  EXPECT_EQ(Ctx.Terms.toString(Gmas[0].MissAddrs[0]), "(add64 p 16)");
+}
+
+TEST_F(GmaTest, CastsLowered) {
+  auto Gmas = translate(R"(
+    (\procdecl f ((x long)) short
+      (:= (\res (\cast short x))))
+  )");
+  EXPECT_EQ(Ctx.Terms.toString(valueOf(Gmas[0], "\\res")), "(zext16 x)");
+}
+
+TEST_F(GmaTest, IteLoweredToCmov) {
+  auto Gmas = translate(R"(
+    (\procdecl max ((a long) (b long)) long
+      (:= (\res (\ite (\cmpult a b) b a))))
+  )");
+  EXPECT_EQ(Ctx.Terms.toString(valueOf(Gmas[0], "\\res")),
+            "(cmovne (cmpult a b) b a)");
+}
+
+TEST_F(GmaTest, DeclaredOpsInExpressions) {
+  auto Gmas = translate(R"(
+    (\opdecl add (long long) long)
+    (\procdecl f ((a long) (b long)) long
+      (:= (\res (add a b))))
+  )");
+  EXPECT_EQ(Ctx.Terms.toString(valueOf(Gmas[0], "\\res")), "(add a b)");
+}
+
+TEST_F(GmaTest, MultipleStoresChain) {
+  auto Gmas = translate(R"(
+    (\procdecl f ((p (\ref long)) (x long)) long
+      (\semi
+        (:= ((\deref p) x))
+        (:= ((\deref (+ p 8)) x))))
+  )");
+  ASSERT_EQ(Gmas.size(), 1u);
+  EXPECT_EQ(Ctx.Terms.toString(valueOf(Gmas[0], "M")),
+            "(store (store M p x) (add64 p 8) x)");
+}
+
+TEST_F(GmaTest, GmaInputs) {
+  auto Gmas = translate(R"(
+    (\procdecl f ((a long) (b long) (p (\ref long))) long
+      (:= (\res (\add64 a (\deref p)))))
+  )");
+  std::vector<ir::OpId> Inputs = gmaInputs(Ctx, Gmas[0]);
+  std::vector<std::string> Names;
+  for (ir::OpId Op : Inputs)
+    Names.push_back(Ctx.Ops.info(Op).Name);
+  std::sort(Names.begin(), Names.end());
+  EXPECT_EQ(Names, (std::vector<std::string>{"M", "a", "p"}));
+}
+
+TEST_F(GmaTest, EvalGMA) {
+  auto Gmas = translate(R"(
+    (\procdecl f ((x long)) long
+      (:= (\res (\add64 (\mul64 x 4) 1))))
+  )");
+  ir::Env E;
+  E[Ctx.Ops.makeVariable("x")] = ir::Value::makeInt(10);
+  std::string Err;
+  auto Vals = evalGMA(Ctx, Gmas[0], E, nullptr, &Err);
+  ASSERT_TRUE(Vals.has_value()) << Err;
+  ASSERT_EQ(Vals->size(), 1u);
+  EXPECT_EQ((*Vals)[0].second.asInt(), 41u);
+}
+
+TEST_F(GmaTest, Errors) {
+  EXPECT_NE(translateError(R"(
+    (\procdecl f ((x long)) long (:= (\res nowhere)))
+  )").find("unknown identifier"), std::string::npos);
+  EXPECT_NE(translateError(R"(
+    (\procdecl f ((x long)) long (:= (\res (frob x))))
+  )").find("unknown operator"), std::string::npos);
+  EXPECT_NE(translateError(R"(
+    (\procdecl f ((x long)) long (:= (y x)))
+  )").find("undeclared"), std::string::npos);
+  EXPECT_NE(translateError(R"(
+    (\procdecl f ((p (\ref long)) (r (\ref long))) long
+      (\do (-> (\cmpult p r)
+        (\do (-> (\cmpult p r) (:= (p (+ p 8))))))))
+  )").find("nested"), std::string::npos);
+  EXPECT_NE(translateError(R"(
+    (\procdecl f ((x long)) long
+      (\var (x long 0) (:= (\res x))))
+  )").find("redeclared"), std::string::npos);
+}
+
+TEST_F(GmaTest, ToStringReadable) {
+  auto Gmas = translate(R"(
+    (\procdecl f ((p (\ref long)) (r (\ref long))) long
+      (\do (-> (\cmpult p r) (:= (p (+ p 8))))))
+  )");
+  std::string S = Gmas[0].toString(Ctx);
+  EXPECT_NE(S.find("(cmpult p r) ->"), std::string::npos);
+  EXPECT_NE(S.find("(add64 p 8)"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,319 @@
+//===- tests/IrTests.cpp - term/value/evaluator unit tests ----------------===//
+
+#include "ir/Eval.h"
+#include "ir/Term.h"
+#include "ir/Value.h"
+
+#include <gtest/gtest.h>
+
+using namespace denali;
+using namespace denali::ir;
+
+namespace {
+
+class IrTest : public ::testing::Test {
+protected:
+  Context Ctx;
+
+  TermId c(uint64_t V) { return Ctx.Terms.makeConst(V); }
+  TermId v(const std::string &Name) { return Ctx.Terms.makeVar(Name); }
+  TermId app(Builtin B, std::vector<TermId> Args) {
+    return Ctx.Terms.makeBuiltin(B, Args);
+  }
+  uint64_t evalInt(TermId T, const Env &E = {}) {
+    std::string Err;
+    auto V = evalTerm(Ctx.Terms, T, E, nullptr, &Err);
+    EXPECT_TRUE(V.has_value()) << Err;
+    return V ? V->asInt() : 0;
+  }
+};
+
+TEST_F(IrTest, HashConsing) {
+  TermId A = app(Builtin::Add64, {v("x"), c(1)});
+  TermId B = app(Builtin::Add64, {v("x"), c(1)});
+  EXPECT_EQ(A, B);
+  TermId C = app(Builtin::Add64, {v("x"), c(2)});
+  EXPECT_NE(A, C);
+}
+
+TEST_F(IrTest, OpAliases) {
+  auto Plus = Ctx.Ops.lookup("+");
+  ASSERT_TRUE(Plus.has_value());
+  EXPECT_EQ(*Plus, Ctx.Ops.builtin(Builtin::Add64));
+  EXPECT_EQ(*Ctx.Ops.lookup("bis"), Ctx.Ops.builtin(Builtin::Or64));
+  EXPECT_EQ(*Ctx.Ops.lookup("sll"), Ctx.Ops.builtin(Builtin::Shl64));
+}
+
+TEST_F(IrTest, DeclaredOps) {
+  OpId Add = Ctx.Ops.declareOp("add", 2);
+  EXPECT_EQ(Ctx.Ops.info(Add).Kind, OpKind::Declared);
+  // Redeclaration with the same arity is idempotent.
+  EXPECT_EQ(Ctx.Ops.declareOp("add", 2), Add);
+}
+
+TEST_F(IrTest, Substitute) {
+  OpId X = Ctx.Ops.makeVariable("x");
+  TermId Body = app(Builtin::Add64, {v("x"), app(Builtin::Mul64, {v("x"), c(4)})});
+  std::unordered_map<OpId, TermId> Subst{{X, c(10)}};
+  TermId Result = Ctx.Terms.substitute(Body, Subst);
+  EXPECT_EQ(evalInt(Result), 50u);
+}
+
+TEST_F(IrTest, SubstituteSharesStructure) {
+  OpId X = Ctx.Ops.makeVariable("x");
+  TermId T = app(Builtin::Add64, {v("x"), v("y")});
+  std::unordered_map<OpId, TermId> Identity{{X, v("x")}};
+  EXPECT_EQ(Ctx.Terms.substitute(T, Identity), T);
+}
+
+TEST_F(IrTest, ToString) {
+  TermId T = app(Builtin::Add64, {app(Builtin::Mul64, {v("reg6"), c(4)}), c(1)});
+  EXPECT_EQ(Ctx.Terms.toString(T), "(add64 (mul64 reg6 4) 1)");
+}
+
+//===----------------------------------------------------------------------===
+// Builtin semantics.
+//===----------------------------------------------------------------------===
+
+TEST_F(IrTest, Arithmetic) {
+  EXPECT_EQ(evalInt(app(Builtin::Add64, {c(3), c(4)})), 7u);
+  EXPECT_EQ(evalInt(app(Builtin::Sub64, {c(3), c(4)})), ~0ULL);
+  EXPECT_EQ(evalInt(app(Builtin::Mul64, {c(1ULL << 63), c(2)})), 0u);
+  EXPECT_EQ(evalInt(app(Builtin::Neg64, {c(1)})), ~0ULL);
+}
+
+TEST_F(IrTest, Umulh) {
+  EXPECT_EQ(evalInt(app(Builtin::Umulh, {c(1ULL << 63), c(4)})), 2u);
+}
+
+TEST_F(IrTest, Logic) {
+  EXPECT_EQ(evalInt(app(Builtin::And64, {c(0xf0f0), c(0xff00)})), 0xf000u);
+  EXPECT_EQ(evalInt(app(Builtin::Or64, {c(0xf0), c(0x0f)})), 0xffu);
+  EXPECT_EQ(evalInt(app(Builtin::Xor64, {c(0xff), c(0x0f)})), 0xf0u);
+  EXPECT_EQ(evalInt(app(Builtin::Bic64, {c(0xff), c(0x0f)})), 0xf0u);
+  EXPECT_EQ(evalInt(app(Builtin::Ornot64, {c(0), c(~0ULL)})), 0u);
+  EXPECT_EQ(evalInt(app(Builtin::Eqv64, {c(5), c(5)})), ~0ULL);
+}
+
+TEST_F(IrTest, ShiftsMask63) {
+  EXPECT_EQ(evalInt(app(Builtin::Shl64, {c(1), c(64)})), 1u);
+  EXPECT_EQ(evalInt(app(Builtin::Shl64, {c(1), c(65)})), 2u);
+  EXPECT_EQ(evalInt(app(Builtin::Shr64, {c(0x100), c(4)})), 0x10u);
+  EXPECT_EQ(evalInt(app(Builtin::Sar64, {c(~0ULL), c(8)})), ~0ULL);
+}
+
+TEST_F(IrTest, Pow) {
+  EXPECT_EQ(evalInt(app(Builtin::Pow, {c(2), c(10)})), 1024u);
+  EXPECT_EQ(evalInt(app(Builtin::Pow, {c(3), c(0)})), 1u);
+  // The exponent acts modulo 64, mirroring the shifter's count semantics
+  // (keeps k * 2**n = k << n universally valid).
+  EXPECT_EQ(evalInt(app(Builtin::Pow, {c(2), c(64)})), 1u);
+  EXPECT_EQ(evalInt(app(Builtin::Pow, {c(2), c(65)})), 2u);
+}
+
+TEST_F(IrTest, Comparisons) {
+  EXPECT_EQ(evalInt(app(Builtin::CmpUlt, {c(1), c(2)})), 1u);
+  EXPECT_EQ(evalInt(app(Builtin::CmpUlt, {c(~0ULL), c(0)})), 0u);
+  EXPECT_EQ(evalInt(app(Builtin::CmpLt, {c(~0ULL), c(0)})), 1u); // signed
+  EXPECT_EQ(evalInt(app(Builtin::CmpLe, {c(5), c(5)})), 1u);
+  EXPECT_EQ(evalInt(app(Builtin::CmpEq, {c(5), c(6)})), 0u);
+  EXPECT_EQ(evalInt(app(Builtin::CmpUle, {c(5), c(4)})), 0u);
+}
+
+TEST_F(IrTest, ByteFields) {
+  // w = 0x...wxyz layout: byte 0 is least significant.
+  uint64_t W = 0x8877665544332211ULL;
+  EXPECT_EQ(evalInt(app(Builtin::SelectB, {c(W), c(0)})), 0x11u);
+  EXPECT_EQ(evalInt(app(Builtin::SelectB, {c(W), c(7)})), 0x88u);
+  EXPECT_EQ(evalInt(app(Builtin::SelectB, {c(W), c(9)})), 0x22u); // i & 7
+  EXPECT_EQ(evalInt(app(Builtin::StoreB, {c(W), c(0), c(0xaa)})),
+            0x88776655443322aaULL);
+  EXPECT_EQ(evalInt(app(Builtin::SelectW, {c(W), c(2)})), 0x4433u);
+  EXPECT_EQ(evalInt(app(Builtin::StoreW, {c(0), c(2), c(0xbeef)})),
+            0xbeef0000ULL);
+}
+
+TEST_F(IrTest, AlphaByteOps) {
+  uint64_t W = 0x8877665544332211ULL;
+  EXPECT_EQ(evalInt(app(Builtin::Extbl, {c(W), c(3)})), 0x44u);
+  EXPECT_EQ(evalInt(app(Builtin::Extwl, {c(W), c(1)})), 0x3322u);
+  EXPECT_EQ(evalInt(app(Builtin::Insbl, {c(0xabcd), c(2)})), 0xcd0000u);
+  EXPECT_EQ(evalInt(app(Builtin::Mskbl, {c(W), c(1)})),
+            0x8877665544330011ULL);
+  EXPECT_EQ(evalInt(app(Builtin::Zapnot, {c(W), c(0x3)})), 0x2211u);
+  EXPECT_EQ(evalInt(app(Builtin::Zapnot, {c(W), c(0xff)})), W);
+}
+
+TEST_F(IrTest, Extensions) {
+  EXPECT_EQ(evalInt(app(Builtin::Zext16, {c(0x12345)})), 0x2345u);
+  EXPECT_EQ(evalInt(app(Builtin::Sext8, {c(0x80)})), 0xffffffffffffff80ULL);
+  EXPECT_EQ(evalInt(app(Builtin::Sext16, {c(0x8000)})),
+            0xffffffffffff8000ULL);
+  EXPECT_EQ(evalInt(app(Builtin::Sext32, {c(0x80000000ULL)})),
+            0xffffffff80000000ULL);
+  EXPECT_EQ(evalInt(app(Builtin::Zext32, {c(~0ULL)})), 0xffffffffULL);
+}
+
+TEST_F(IrTest, ScaledAdds) {
+  EXPECT_EQ(evalInt(app(Builtin::S4Addl, {c(10), c(1)})), 41u);
+  EXPECT_EQ(evalInt(app(Builtin::S8Addl, {c(10), c(1)})), 81u);
+  EXPECT_EQ(evalInt(app(Builtin::S4Subl, {c(10), c(1)})), 39u);
+}
+
+TEST_F(IrTest, Cmov) {
+  EXPECT_EQ(evalInt(app(Builtin::CmovEq, {c(0), c(1), c(2)})), 1u);
+  EXPECT_EQ(evalInt(app(Builtin::CmovEq, {c(9), c(1), c(2)})), 2u);
+  EXPECT_EQ(evalInt(app(Builtin::CmovNe, {c(9), c(1), c(2)})), 1u);
+  EXPECT_EQ(evalInt(app(Builtin::CmovLt, {c(~0ULL), c(1), c(2)})), 1u);
+  EXPECT_EQ(evalInt(app(Builtin::CmovGe, {c(0), c(1), c(2)})), 1u);
+}
+
+//===----------------------------------------------------------------------===
+// Arrays as values.
+//===----------------------------------------------------------------------===
+
+TEST(ValueTest, ArrayStoreSelect) {
+  Value M = Value::makeArray(7);
+  Value M2 = M.store(100, 42);
+  EXPECT_EQ(M2.select(100), 42u);
+  EXPECT_EQ(M2.select(108), M.select(108)); // Other cells unchanged.
+  EXPECT_FALSE(M.equals(M2));
+}
+
+TEST(ValueTest, StoreSameValueIsIdentity) {
+  Value M = Value::makeArray(7);
+  uint64_t Orig = M.select(64);
+  Value M2 = M.store(64, Orig);
+  EXPECT_TRUE(M.equals(M2)); // Extensional equality.
+}
+
+TEST(ValueTest, StoreOverwrite) {
+  Value M = Value::makeArray(1).store(8, 1).store(8, 2);
+  EXPECT_EQ(M.select(8), 2u);
+}
+
+TEST(ValueTest, KindMismatch) {
+  Value I = Value::makeInt(5);
+  Value M = Value::makeArray(5);
+  EXPECT_FALSE(I.equals(M));
+}
+
+TEST(ValueTest, SeedsDiffer) {
+  Value A = Value::makeArray(1);
+  Value B = Value::makeArray(2);
+  EXPECT_FALSE(A.equals(B));
+}
+
+TEST_F(IrTest, EvalSelectStore) {
+  TermId M = v("M");
+  TermId P = v("p");
+  TermId StoreT = app(Builtin::Store, {M, P, c(99)});
+  TermId LoadSame = app(Builtin::Select, {StoreT, P});
+  TermId LoadOther =
+      app(Builtin::Select, {StoreT, app(Builtin::Add64, {P, c(8)})});
+  Env E;
+  E[Ctx.Ops.makeVariable("M")] = Value::makeArray(3);
+  E[Ctx.Ops.makeVariable("p")] = Value::makeInt(200);
+  auto V1 = evalTerm(Ctx.Terms, LoadSame, E);
+  ASSERT_TRUE(V1.has_value());
+  EXPECT_EQ(V1->asInt(), 99u);
+  auto V2 = evalTerm(Ctx.Terms, LoadOther, E);
+  ASSERT_TRUE(V2.has_value());
+  EXPECT_EQ(V2->asInt(), Value::makeArray(3).select(208));
+}
+
+//===----------------------------------------------------------------------===
+// Evaluator error paths and definitional expansion.
+//===----------------------------------------------------------------------===
+
+TEST_F(IrTest, UnboundVariable) {
+  std::string Err;
+  auto V = evalTerm(Ctx.Terms, v("nowhere"), {}, nullptr, &Err);
+  EXPECT_FALSE(V.has_value());
+  EXPECT_NE(Err.find("unbound"), std::string::npos);
+}
+
+TEST_F(IrTest, IllTypedApplication) {
+  Env E;
+  E[Ctx.Ops.makeVariable("M")] = Value::makeArray(3);
+  TermId Bad = app(Builtin::Add64, {v("M"), c(1)});
+  std::string Err;
+  auto V = evalTerm(Ctx.Terms, Bad, E, nullptr, &Err);
+  EXPECT_FALSE(V.has_value());
+}
+
+TEST_F(IrTest, DefinedOpExpansion) {
+  // carry(a, b) = cmpult(add64(a, b), a)
+  OpId Carry = Ctx.Ops.declareOp("carry", 2);
+  OpId VA = Ctx.Ops.makeVariable("%a");
+  OpId VB = Ctx.Ops.makeVariable("%b");
+  Definitions Defs;
+  Defs[Carry] = OpDefinition{
+      {VA, VB},
+      app(Builtin::CmpUlt,
+          {app(Builtin::Add64, {v("%a"), v("%b")}), v("%a")})};
+  TermId T = Ctx.Terms.make(Carry, {c(~0ULL), c(1)});
+  std::string Err;
+  auto V = evalTerm(Ctx.Terms, T, {}, &Defs, &Err);
+  ASSERT_TRUE(V.has_value()) << Err;
+  EXPECT_EQ(V->asInt(), 1u); // Overflow -> carry set.
+}
+
+TEST_F(IrTest, UndefinedDeclaredOpFails) {
+  OpId Mystery = Ctx.Ops.declareOp("mystery", 1);
+  TermId T = Ctx.Terms.make(Mystery, {c(1)});
+  std::string Err;
+  auto V = evalTerm(Ctx.Terms, T, {}, nullptr, &Err);
+  EXPECT_FALSE(V.has_value());
+  EXPECT_NE(Err.find("mystery"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===
+// Property sweep: algebraic identities the axioms assert must hold of the
+// evaluator (the axioms are sound for these semantics).
+//===----------------------------------------------------------------------===
+
+class AlgebraicIdentity : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AlgebraicIdentity, Holds) {
+  uint64_t X = GetParam();
+  uint64_t Y = X * 0x9e3779b97f4a7c15ULL + 12345;
+  std::vector<uint64_t> A{X, Y};
+  // add/mul commutativity.
+  EXPECT_EQ(X + Y, Y + X);
+  EXPECT_EQ(evalBuiltinInt(Builtin::Add64, {X, Y}),
+            evalBuiltinInt(Builtin::Add64, {Y, X}));
+  // x * 4 = x << 2 (the Figure 2 chain).
+  EXPECT_EQ(evalBuiltinInt(Builtin::Mul64, {X, 4}),
+            evalBuiltinInt(Builtin::Shl64, {X, 2}));
+  // s4addl(x, y) = x * 4 + y.
+  EXPECT_EQ(evalBuiltinInt(Builtin::S4Addl, {X, Y}), X * 4 + Y);
+  // extbl = selectb.
+  for (uint64_t I = 0; I < 8; ++I)
+    EXPECT_EQ(evalBuiltinInt(Builtin::Extbl, {X, I}),
+              evalBuiltinInt(Builtin::SelectB, {X, I}));
+  // mskbl(w, i) = storeb(w, i, 0).
+  for (uint64_t I = 0; I < 8; ++I)
+    EXPECT_EQ(evalBuiltinInt(Builtin::Mskbl, {X, I}),
+              evalBuiltinInt(Builtin::StoreB, {X, I, 0}));
+  // insbl(w, i) = selectb(w, 0) << 8i.
+  for (uint64_t I = 0; I < 8; ++I)
+    EXPECT_EQ(evalBuiltinInt(Builtin::Insbl, {X, I}),
+              (X & 0xff) << (8 * I));
+  // storeb(w,i,x) = bis(mskbl(w,i), insbl(x,i)).
+  for (uint64_t I = 0; I < 8; ++I)
+    EXPECT_EQ(evalBuiltinInt(Builtin::StoreB, {X, I, Y}),
+              evalBuiltinInt(Builtin::Mskbl, {X, I}) |
+                  evalBuiltinInt(Builtin::Insbl, {Y, I}));
+  // zapnot identities used for casts.
+  EXPECT_EQ(evalBuiltinInt(Builtin::Zapnot, {X, 0x3}), X & 0xffff);
+  EXPECT_EQ(evalBuiltinInt(Builtin::Zapnot, {X, 0xf}), X & 0xffffffffULL);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AlgebraicIdentity,
+                         ::testing::Values(0ULL, 1ULL, 0xffULL, 0xff00ULL,
+                                           0x8877665544332211ULL, ~0ULL,
+                                           0x8000000000000000ULL,
+                                           0x0123456789abcdefULL));
+
+} // namespace

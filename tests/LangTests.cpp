@@ -1,0 +1,181 @@
+//===- tests/LangTests.cpp - source language parser tests -----------------===//
+
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace denali;
+using namespace denali::lang;
+
+namespace {
+
+Module parseOk(const std::string &Text) {
+  std::string Err;
+  std::optional<Module> M = parseModule(Text, &Err);
+  EXPECT_TRUE(M.has_value()) << Err;
+  return M ? std::move(*M) : Module();
+}
+
+void parseFail(const std::string &Text, const std::string &ExpectInError) {
+  std::string Err;
+  std::optional<Module> M = parseModule(Text, &Err);
+  EXPECT_FALSE(M.has_value());
+  EXPECT_NE(Err.find(ExpectInError), std::string::npos) << Err;
+}
+
+TEST(LangParser, OpDecl) {
+  Module M = parseOk(R"((\opdecl carry (long long) long))");
+  ASSERT_EQ(M.OpDecls.size(), 1u);
+  EXPECT_EQ(M.OpDecls[0].Name, "carry");
+  EXPECT_EQ(M.OpDecls[0].Arity, 2u);
+}
+
+TEST(LangParser, AxiomsKeptVerbatim) {
+  Module M = parseOk(R"(
+    (\opdecl carry (long long) long)
+    (\axiom (forall (a b) (pats (carry a b))
+      (eq (carry a b) (\cmpult (\add64 a b) a))))
+  )");
+  ASSERT_EQ(M.Axioms.size(), 1u);
+  EXPECT_TRUE(M.Axioms[0].isForm("\\axiom"));
+}
+
+TEST(LangParser, SimpleProc) {
+  Module M = parseOk(R"(
+    (\procdecl double ((x long)) long
+      (:= (\res (+ x x))))
+  )");
+  ASSERT_EQ(M.Procs.size(), 1u);
+  const Proc &P = M.Procs[0];
+  EXPECT_EQ(P.Name, "double");
+  ASSERT_EQ(P.Params.size(), 1u);
+  EXPECT_EQ(P.Params[0].first, "x");
+  ASSERT_EQ(P.Body->TheKind, Stmt::Kind::Assign);
+  EXPECT_EQ(P.Body->Targets[0].Var, "\\res");
+  EXPECT_EQ(P.Body->Values[0]->TheKind, Expr::Kind::Apply);
+  EXPECT_EQ(P.Body->Values[0]->Name, "+");
+}
+
+TEST(LangParser, VarWithInitAndBody) {
+  Module M = parseOk(R"(
+    (\procdecl f ((a long)) long
+      (\var (r long 0)
+        (:= (r (+ r a)))
+        (:= (\res r))))
+  )");
+  const Stmt &S = *M.Procs[0].Body;
+  ASSERT_EQ(S.TheKind, Stmt::Kind::VarDecl);
+  EXPECT_EQ(S.VarName, "r");
+  ASSERT_TRUE(S.VarInit != nullptr);
+  EXPECT_EQ(S.Body.size(), 2u);
+}
+
+TEST(LangParser, UninitializedVar) {
+  Module M = parseOk(R"(
+    (\procdecl f ((a long)) long
+      (\var (t long)
+        (:= (\res (+ t a)))))
+  )");
+  EXPECT_EQ(M.Procs[0].Body->VarInit, nullptr);
+}
+
+TEST(LangParser, MultiAssign) {
+  Module M = parseOk(R"(
+    (\procdecl swap ((a long) (b long)) long
+      (:= (a b) (b a)))
+  )");
+  const Stmt &S = *M.Procs[0].Body;
+  ASSERT_EQ(S.Targets.size(), 2u);
+  EXPECT_EQ(S.Targets[0].Var, "a");
+  EXPECT_EQ(S.Values[0]->Name, "b");
+}
+
+TEST(LangParser, DerefExprAndTarget) {
+  Module M = parseOk(R"(
+    (\procdecl copy ((p (\ref long)) (q (\ref long))) long
+      (:= ((\deref p) (\deref q))))
+  )");
+  const Stmt &S = *M.Procs[0].Body;
+  ASSERT_TRUE(S.Targets[0].IsDeref);
+  EXPECT_EQ(S.Values[0]->TheKind, Expr::Kind::Deref);
+}
+
+TEST(LangParser, MissAnnotation) {
+  Module M = parseOk(R"(
+    (\procdecl f ((p (\ref long))) long
+      (:= (\res (\deref p \miss))))
+  )");
+  EXPECT_TRUE(M.Procs[0].Body->Values[0]->Miss);
+}
+
+TEST(LangParser, DoLoopWithUnroll) {
+  Module M = parseOk(R"(
+    (\procdecl f ((p (\ref long)) (r (\ref long))) long
+      (\do (\unroll 4) (-> (< p r)
+        (:= (p (+ p 8))))))
+  )");
+  const Stmt &S = *M.Procs[0].Body;
+  ASSERT_EQ(S.TheKind, Stmt::Kind::Do);
+  EXPECT_EQ(S.Unroll, 4u);
+  ASSERT_TRUE(S.Cond != nullptr);
+  EXPECT_EQ(S.Body.size(), 1u);
+}
+
+TEST(LangParser, CastBothArgOrders) {
+  Module M = parseOk(R"(
+    (\procdecl f ((x long)) short
+      (\semi (:= (\res (\cast short x)))
+             (:= (\res (\cast x short)))))
+  )");
+  const Stmt &S = *M.Procs[0].Body;
+  EXPECT_EQ(S.Body[0]->Values[0]->CastType.Kind, TypeKind::Short);
+  EXPECT_EQ(S.Body[1]->Values[0]->CastType.Kind, TypeKind::Short);
+}
+
+TEST(LangParser, IteExpression) {
+  Module M = parseOk(R"(
+    (\procdecl max ((a long) (b long)) long
+      (:= (\res (\ite (\cmpult a b) b a))))
+  )");
+  EXPECT_EQ(M.Procs[0].Body->Values[0]->TheKind, Expr::Kind::Ite);
+}
+
+TEST(LangParser, Figure6ChecksumParses) {
+  Module M = parseOk(R"(
+    (\opdecl carry (long long) long)
+    (\axiom (forall (a b) (pats (carry a b))
+      (eq (carry a b) (\cmpult (\add64 a b) a))))
+    (\opdecl add (long long) long)
+    (\axiom (forall (a b) (pats (add a b))
+      (eq (add a b) (\add64 (\add64 a b) (carry a b)))))
+    (\procdecl checksum ((ptr (\ref long)) (ptrend (\ref long))) short
+      (\var (sum long 0)
+      (\var (v1 long (\deref ptr))
+      (\semi
+        (\do (-> (< ptr ptrend)
+          (\semi (:= (sum (add sum v1)))
+                 (:= (ptr (+ ptr 8)))
+                 (:= (v1 (\deref ptr))))))
+        (:= (\res (\cast short sum)))))))
+  )");
+  EXPECT_EQ(M.OpDecls.size(), 2u);
+  EXPECT_EQ(M.Axioms.size(), 2u);
+  EXPECT_EQ(M.Procs.size(), 1u);
+}
+
+TEST(LangParser, Errors) {
+  parseFail("(\\frobnicate)", "expected");
+  parseFail(R"((\opdecl f long))", "malformed");
+  parseFail(R"((\procdecl f ((x unknown)) long (:= (\res x))))",
+            "unknown type");
+  parseFail(R"((\procdecl f ((x long)) long (\wat x)))",
+            "unknown statement");
+  parseFail(R"((\procdecl f ((x long)) long (:= ((+ x 1) 2))))", "target");
+  parseFail(R"((\procdecl f ((x long)) long
+                  (\do (\unroll 0) (-> x (:= (x 1))))))", "positive");
+  parseFail(R"((\procdecl f ((x long)) long (\do (-> x))))", "needs");
+  parseFail(R"((\procdecl f ((x long)) long (:= (\res (\deref)))))",
+            "address");
+}
+
+} // namespace

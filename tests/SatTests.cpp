@@ -1,0 +1,502 @@
+//===- tests/SatTests.cpp - CDCL solver unit & property tests -------------===//
+
+#include "sat/Dimacs.h"
+#include "sat/Encodings.h"
+#include "sat/Solver.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace denali;
+using namespace denali::sat;
+
+namespace {
+
+Lit P(Solver &S, int V) {
+  while (S.numVars() <= V)
+    S.newVar();
+  return Lit::pos(V);
+}
+Lit N(Solver &S, int V) { return ~P(S, V); }
+
+TEST(Solver, TrivialSat) {
+  Solver S;
+  S.addClause(P(S, 0));
+  EXPECT_EQ(S.solve(), SolveResult::Sat);
+  EXPECT_TRUE(S.modelValue(0));
+}
+
+TEST(Solver, TrivialUnsat) {
+  Solver S;
+  S.addClause(P(S, 0));
+  EXPECT_FALSE(S.addClause(N(S, 0)));
+  EXPECT_EQ(S.solve(), SolveResult::Unsat);
+}
+
+TEST(Solver, EmptyClauseUnsat) {
+  Solver S;
+  EXPECT_FALSE(S.addClause(ClauseLits{}));
+  EXPECT_EQ(S.solve(), SolveResult::Unsat);
+}
+
+TEST(Solver, NoClausesSat) {
+  Solver S;
+  S.newVar();
+  EXPECT_EQ(S.solve(), SolveResult::Sat);
+}
+
+TEST(Solver, TautologyIgnored) {
+  Solver S;
+  S.addClause(ClauseLits{P(S, 0), N(S, 0)});
+  S.addClause(N(S, 0));
+  EXPECT_EQ(S.solve(), SolveResult::Sat);
+  EXPECT_FALSE(S.modelValue(0));
+}
+
+TEST(Solver, DuplicateLiteralsNormalized) {
+  Solver S;
+  S.addClause(ClauseLits{P(S, 0), P(S, 0), P(S, 0)});
+  EXPECT_EQ(S.solve(), SolveResult::Sat);
+  EXPECT_TRUE(S.modelValue(0));
+}
+
+TEST(Solver, UnitChain) {
+  // x0 & (x0->x1) & (x1->x2) ... forces a long implication chain.
+  Solver S;
+  S.addClause(P(S, 0));
+  for (int I = 0; I < 50; ++I)
+    S.addClause(N(S, I), P(S, I + 1));
+  EXPECT_EQ(S.solve(), SolveResult::Sat);
+  for (int I = 0; I <= 50; ++I)
+    EXPECT_TRUE(S.modelValue(I)) << "var " << I;
+}
+
+TEST(Solver, ImplicationChainUnsat) {
+  Solver S;
+  S.addClause(P(S, 0));
+  for (int I = 0; I < 20; ++I)
+    S.addClause(N(S, I), P(S, I + 1));
+  S.addClause(N(S, 20));
+  EXPECT_EQ(S.solve(), SolveResult::Unsat);
+}
+
+TEST(Solver, PigeonHole32) {
+  // 3 pigeons, 2 holes: classic small UNSAT requiring real search.
+  Solver S;
+  auto VarOf = [&](int Pigeon, int Hole) { return Pigeon * 2 + Hole; };
+  for (int Pigeon = 0; Pigeon < 3; ++Pigeon)
+    S.addClause(P(S, VarOf(Pigeon, 0)), P(S, VarOf(Pigeon, 1)));
+  for (int Hole = 0; Hole < 2; ++Hole)
+    for (int P1 = 0; P1 < 3; ++P1)
+      for (int P2 = P1 + 1; P2 < 3; ++P2)
+        S.addClause(N(S, VarOf(P1, Hole)), N(S, VarOf(P2, Hole)));
+  EXPECT_EQ(S.solve(), SolveResult::Unsat);
+}
+
+TEST(Solver, PigeonHole54) {
+  // 5 pigeons, 4 holes: forces clause learning through deeper search.
+  Solver S;
+  const int Holes = 4, Pigeons = 5;
+  auto VarOf = [&](int Pigeon, int Hole) { return Pigeon * Holes + Hole; };
+  for (int Pigeon = 0; Pigeon < Pigeons; ++Pigeon) {
+    ClauseLits Row;
+    for (int Hole = 0; Hole < Holes; ++Hole)
+      Row.push_back(P(S, VarOf(Pigeon, Hole)));
+    S.addClause(Row);
+  }
+  for (int Hole = 0; Hole < Holes; ++Hole)
+    for (int P1 = 0; P1 < Pigeons; ++P1)
+      for (int P2 = P1 + 1; P2 < Pigeons; ++P2)
+        S.addClause(N(S, VarOf(P1, Hole)), N(S, VarOf(P2, Hole)));
+  EXPECT_EQ(S.solve(), SolveResult::Unsat);
+  EXPECT_GT(S.stats().Conflicts, 0u);
+}
+
+TEST(Solver, XorChainSat) {
+  // Parity constraints encoded as CNF over a chain; satisfiable.
+  Solver S;
+  const int Chain = 12;
+  for (int I = 0; I < Chain; ++I) {
+    // x(I) xor x(I+1) = aux(I), with aux all forced true.
+    int A = I, B = I + 1, X = Chain + 1 + I;
+    S.addClause(N(S, A), N(S, B), N(S, X));
+    S.addClause(P(S, A), P(S, B), N(S, X));
+    S.addClause(P(S, A), N(S, B), P(S, X));
+    S.addClause(N(S, A), P(S, B), P(S, X));
+    S.addClause(P(S, X));
+  }
+  EXPECT_EQ(S.solve(), SolveResult::Sat);
+  // Verify the parity relation in the model.
+  for (int I = 0; I < Chain; ++I)
+    EXPECT_NE(S.modelValue(I), S.modelValue(I + 1));
+}
+
+TEST(Solver, ConflictBudgetReturnsUnknown) {
+  // A hard pigeonhole with a tiny budget must report Unknown.
+  Solver S;
+  const int Holes = 8, Pigeons = 9;
+  auto VarOf = [&](int Pigeon, int Hole) { return Pigeon * Holes + Hole; };
+  for (int Pigeon = 0; Pigeon < Pigeons; ++Pigeon) {
+    ClauseLits Row;
+    for (int Hole = 0; Hole < Holes; ++Hole)
+      Row.push_back(P(S, VarOf(Pigeon, Hole)));
+    S.addClause(Row);
+  }
+  for (int Hole = 0; Hole < Holes; ++Hole)
+    for (int P1 = 0; P1 < Pigeons; ++P1)
+      for (int P2 = P1 + 1; P2 < Pigeons; ++P2)
+        S.addClause(N(S, VarOf(P1, Hole)), N(S, VarOf(P2, Hole)));
+  S.setConflictBudget(5);
+  EXPECT_EQ(S.solve(), SolveResult::Unknown);
+}
+
+//===----------------------------------------------------------------------===
+// Model validity: every Sat answer must actually satisfy all clauses.
+//===----------------------------------------------------------------------===
+
+bool modelSatisfies(const Solver &S, const std::vector<ClauseLits> &Clauses) {
+  for (const ClauseLits &C : Clauses) {
+    bool Any = false;
+    for (Lit L : C)
+      Any |= S.modelValue(L);
+    if (!Any)
+      return false;
+  }
+  return true;
+}
+
+/// Brute-force SAT check for up to ~20 variables.
+bool bruteForceSat(int NumVars, const std::vector<ClauseLits> &Clauses) {
+  for (uint64_t Mask = 0; Mask < (1ULL << NumVars); ++Mask) {
+    bool AllSat = true;
+    for (const ClauseLits &C : Clauses) {
+      bool Any = false;
+      for (Lit L : C) {
+        bool V = (Mask >> L.var()) & 1;
+        Any |= L.negative() ? !V : V;
+      }
+      if (!Any) {
+        AllSat = false;
+        break;
+      }
+    }
+    if (AllSat)
+      return true;
+  }
+  return false;
+}
+
+class RandomCnf : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RandomCnf, AgreesWithBruteForce) {
+  std::mt19937 Rng(GetParam() * 7919 + 13);
+  const int NumVars = 12;
+  // Near the 3-SAT phase transition (~4.26 clauses/var) both outcomes occur.
+  const int NumClauses = 51;
+  std::vector<ClauseLits> Clauses;
+  for (int I = 0; I < NumClauses; ++I) {
+    ClauseLits C;
+    for (int J = 0; J < 3; ++J)
+      C.push_back(Lit(static_cast<Var>(Rng() % NumVars), Rng() & 1));
+    Clauses.push_back(C);
+  }
+  Solver S;
+  for (int I = 0; I < NumVars; ++I)
+    S.newVar();
+  for (const ClauseLits &C : Clauses)
+    S.addClause(C);
+  SolveResult R = S.solve();
+  bool Expected = bruteForceSat(NumVars, Clauses);
+  EXPECT_EQ(R, Expected ? SolveResult::Sat : SolveResult::Unsat);
+  if (R == SolveResult::Sat) {
+    EXPECT_TRUE(modelSatisfies(S, Clauses));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCnf, ::testing::Range(0u, 40u));
+
+//===----------------------------------------------------------------------===
+// Cardinality encodings.
+//===----------------------------------------------------------------------===
+
+class AtMostOneTest
+    : public ::testing::TestWithParam<std::tuple<int, AtMostOneStyle>> {};
+
+TEST_P(AtMostOneTest, ForbidsPairsAllowsSingles) {
+  auto [Width, Style] = GetParam();
+  // Allowed: exactly one true (and none true).
+  for (int True1 = -1; True1 < Width; ++True1) {
+    Solver S;
+    ClauseLits Group;
+    for (int I = 0; I < Width; ++I)
+      Group.push_back(P(S, I));
+    addAtMostOne(S, Group, Style);
+    for (int I = 0; I < Width; ++I)
+      S.addClause(I == True1 ? P(S, I) : N(S, I));
+    EXPECT_EQ(S.solve(), SolveResult::Sat) << "single " << True1;
+  }
+  // Forbidden: any pair.
+  for (int A = 0; A < Width; ++A) {
+    for (int B = A + 1; B < Width; ++B) {
+      Solver S;
+      ClauseLits Group;
+      for (int I = 0; I < Width; ++I)
+        Group.push_back(P(S, I));
+      addAtMostOne(S, Group, Style);
+      S.addClause(P(S, A));
+      S.addClause(P(S, B));
+      EXPECT_EQ(S.solve(), SolveResult::Unsat) << "pair " << A << "," << B;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AtMostOneTest,
+    ::testing::Combine(::testing::Values(2, 3, 5, 9),
+                       ::testing::Values(AtMostOneStyle::Pairwise,
+                                         AtMostOneStyle::Ladder)));
+
+TEST(Encodings, ExactlyOneRequiresOne) {
+  Solver S;
+  ClauseLits Group{P(S, 0), P(S, 1), P(S, 2)};
+  addExactlyOne(S, Group);
+  S.addClause(N(S, 0));
+  S.addClause(N(S, 1));
+  ASSERT_EQ(S.solve(), SolveResult::Sat);
+  EXPECT_TRUE(S.modelValue(2));
+}
+
+TEST(Encodings, AtMostKBoundary) {
+  for (unsigned K = 1; K <= 3; ++K) {
+    for (unsigned ForceTrue = 0; ForceTrue <= 5; ++ForceTrue) {
+      Solver S;
+      ClauseLits Group;
+      for (int I = 0; I < 5; ++I)
+        Group.push_back(P(S, I));
+      addAtMostK(S, Group, K);
+      for (unsigned I = 0; I < ForceTrue; ++I)
+        S.addClause(P(S, static_cast<int>(I)));
+      SolveResult R = S.solve();
+      EXPECT_EQ(R, ForceTrue <= K ? SolveResult::Sat : SolveResult::Unsat)
+          << "K=" << K << " forced=" << ForceTrue;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===
+// DIMACS round trip.
+//===----------------------------------------------------------------------===
+
+TEST(Dimacs, RoundTrip) {
+  Cnf F;
+  F.NumVars = 3;
+  F.Clauses = {{Lit::pos(0), Lit::neg(1)}, {Lit::pos(2)}};
+  std::string Text = F.toDimacs();
+  Cnf G;
+  std::string Err;
+  ASSERT_TRUE(parseDimacs(Text, G, &Err)) << Err;
+  EXPECT_EQ(G.NumVars, 3);
+  ASSERT_EQ(G.Clauses.size(), 2u);
+  EXPECT_EQ(G.Clauses[0], F.Clauses[0]);
+  EXPECT_EQ(G.Clauses[1], F.Clauses[1]);
+}
+
+TEST(Dimacs, ParseWithComments) {
+  Cnf F;
+  std::string Err;
+  ASSERT_TRUE(parseDimacs("c comment\np cnf 2 2\n1 -2 0\n2 0\n", F, &Err));
+  Solver S;
+  EXPECT_TRUE(F.loadInto(S));
+  EXPECT_EQ(S.solve(), SolveResult::Sat);
+  EXPECT_TRUE(S.modelValue(1));
+}
+
+TEST(Dimacs, RejectsGarbage) {
+  Cnf F;
+  std::string Err;
+  EXPECT_FALSE(parseDimacs("p dnf 1 1\n1 0\n", F, &Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(Dimacs, LoadUnsat) {
+  Cnf F;
+  std::string Err;
+  ASSERT_TRUE(parseDimacs("p cnf 1 2\n1 0\n-1 0\n", F, &Err));
+  Solver S;
+  F.loadInto(S);
+  EXPECT_EQ(S.solve(), SolveResult::Unsat);
+}
+
+} // namespace
+
+TEST(Dimacs, ExportedProblemIsEquisatisfiable) {
+  // Export through problemClauses and re-solve with a fresh solver; the
+  // answers must agree (this is the paper's swap-the-solver workflow).
+  std::mt19937 Rng(99);
+  for (int Trial = 0; Trial < 10; ++Trial) {
+    Solver S;
+    const int NumVars = 10;
+    for (int I = 0; I < NumVars; ++I)
+      S.newVar();
+    std::vector<ClauseLits> Clauses;
+    for (int I = 0; I < 43; ++I) {
+      ClauseLits C;
+      for (int J = 0; J < 3; ++J)
+        C.push_back(Lit(static_cast<Var>(Rng() % NumVars), Rng() & 1));
+      Clauses.push_back(C);
+      S.addClause(C);
+    }
+    Cnf F;
+    F.NumVars = S.numVars();
+    F.Clauses = S.problemClauses();
+    std::string Text = F.toDimacs();
+    Cnf Parsed;
+    std::string Err;
+    ASSERT_TRUE(parseDimacs(Text, Parsed, &Err)) << Err;
+    Solver S2;
+    Parsed.loadInto(S2);
+    EXPECT_EQ(S.solve(), S2.solve()) << "trial " << Trial;
+  }
+}
+
+TEST(Dimacs, ExportUnsatProblem) {
+  Solver S;
+  S.addClause(Lit::pos(S.newVar()));
+  S.addClause(Lit::neg(0));
+  auto Clauses = S.problemClauses();
+  ASSERT_EQ(Clauses.size(), 1u);
+  EXPECT_TRUE(Clauses[0].empty()); // The empty clause.
+}
+
+//===----------------------------------------------------------------------===
+// Proof logging and RUP checking.
+//===----------------------------------------------------------------------===
+
+#include "sat/RupChecker.h"
+
+namespace {
+
+Cnf collectFormula(const std::vector<ClauseLits> &Clauses, int NumVars) {
+  Cnf F;
+  F.NumVars = NumVars;
+  F.Clauses = Clauses;
+  return F;
+}
+
+TEST(RupProof, PigeonholeCertified) {
+  // Refute pigeonhole(5, 4) and check the proof independently.
+  Solver S;
+  const int Holes = 4, Pigeons = 5;
+  std::vector<ClauseLits> Formula;
+  auto VarOf = [&](int Pg, int H) { return Pg * Holes + H; };
+  for (int I = 0; I < Pigeons * Holes; ++I)
+    S.newVar();
+  S.enableProofLogging();
+  for (int Pg = 0; Pg < Pigeons; ++Pg) {
+    ClauseLits Row;
+    for (int H = 0; H < Holes; ++H)
+      Row.push_back(Lit::pos(VarOf(Pg, H)));
+    Formula.push_back(Row);
+    S.addClause(Row);
+  }
+  for (int H = 0; H < Holes; ++H)
+    for (int P1 = 0; P1 < Pigeons; ++P1)
+      for (int P2 = P1 + 1; P2 < Pigeons; ++P2) {
+        ClauseLits C{Lit::neg(VarOf(P1, H)), Lit::neg(VarOf(P2, H))};
+        Formula.push_back(C);
+        S.addClause(C);
+      }
+  ASSERT_EQ(S.solve(), SolveResult::Unsat);
+  ASSERT_FALSE(S.proof().empty());
+  EXPECT_TRUE(S.proof().back().empty());
+  std::string Err;
+  EXPECT_TRUE(checkRupProof(collectFormula(Formula, S.numVars()), S.proof(),
+                            &Err))
+      << Err;
+}
+
+TEST(RupProof, TamperedProofRejected) {
+  Solver S;
+  std::vector<ClauseLits> Formula;
+  for (int I = 0; I < 6; ++I)
+    S.newVar();
+  S.enableProofLogging();
+  // An unsatisfiable chain: x0, x_i -> x_{i+1}, ~x5.
+  auto add = [&](ClauseLits C) {
+    Formula.push_back(C);
+    S.addClause(C);
+  };
+  add({Lit::pos(0)});
+  for (int I = 0; I < 5; ++I)
+    add({Lit::neg(I), Lit::pos(I + 1)});
+  add({Lit::neg(5)});
+  ASSERT_EQ(S.solve(), SolveResult::Unsat);
+  // The genuine proof checks...
+  std::string Err;
+  EXPECT_TRUE(checkRupProof(collectFormula(Formula, 6), S.proof(), &Err))
+      << Err;
+  // ...a fabricated lemma does not.
+  std::vector<ClauseLits> Tampered = {{Lit::pos(3), Lit::pos(4)},
+                                      ClauseLits{}};
+  Cnf Satisfiable;
+  Satisfiable.NumVars = 6;
+  Satisfiable.Clauses = {{Lit::pos(0), Lit::pos(1)}};
+  EXPECT_FALSE(checkRupProof(Satisfiable, Tampered, &Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(RupProof, MissingEmptyClauseRejected) {
+  Cnf F;
+  F.NumVars = 2;
+  F.Clauses = {{Lit::pos(0)}, {Lit::neg(0), Lit::pos(1)}};
+  std::vector<ClauseLits> Proof = {{Lit::pos(1)}}; // Valid RUP, no bottom.
+  std::string Err;
+  EXPECT_FALSE(checkRupProof(F, Proof, &Err));
+  EXPECT_NE(Err.find("empty clause"), std::string::npos);
+}
+
+TEST(RupProof, TrivialUnsatAtAddTime) {
+  Solver S;
+  S.newVar();
+  S.enableProofLogging();
+  std::vector<ClauseLits> Formula = {{Lit::pos(0)}, {Lit::neg(0)}};
+  for (const ClauseLits &C : Formula)
+    S.addClause(C);
+  ASSERT_EQ(S.solve(), SolveResult::Unsat);
+  std::string Err;
+  EXPECT_TRUE(checkRupProof(collectFormula(Formula, 1), S.proof(), &Err))
+      << Err;
+}
+
+class RandomUnsatProofs : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RandomUnsatProofs, AllCertified) {
+  // Random over-constrained 3-SAT instances: every Unsat answer must come
+  // with a checkable proof.
+  std::mt19937 Rng(GetParam() * 7717 + 3);
+  const int NumVars = 10;
+  const int NumClauses = 70; // Far past the phase transition.
+  Solver S;
+  for (int I = 0; I < NumVars; ++I)
+    S.newVar();
+  S.enableProofLogging();
+  std::vector<ClauseLits> Formula;
+  for (int I = 0; I < NumClauses; ++I) {
+    ClauseLits C;
+    for (int J = 0; J < 3; ++J)
+      C.push_back(Lit(static_cast<Var>(Rng() % NumVars), Rng() & 1));
+    Formula.push_back(C);
+    S.addClause(C);
+  }
+  if (S.solve() != SolveResult::Unsat)
+    GTEST_SKIP() << "instance happened to be satisfiable";
+  std::string Err;
+  EXPECT_TRUE(checkRupProof(collectFormula(Formula, NumVars), S.proof(),
+                            &Err))
+      << Err;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomUnsatProofs, ::testing::Range(0u, 15u));
+
+} // namespace

@@ -1,0 +1,80 @@
+//===- tests/SupportTests.cpp - support library unit tests ---------------===//
+
+#include "support/StringExtras.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+using namespace denali;
+
+TEST(StrFormat, Basic) {
+  EXPECT_EQ(strFormat("x=%d", 42), "x=42");
+  EXPECT_EQ(strFormat("%s-%s", "a", "b"), "a-b");
+  EXPECT_EQ(strFormat("empty"), "empty");
+}
+
+TEST(StrFormat, LongOutput) {
+  std::string Long(500, 'y');
+  EXPECT_EQ(strFormat("%s", Long.c_str()), Long);
+}
+
+TEST(SplitString, Basic) {
+  auto Pieces = splitString("a,b,,c", ",");
+  ASSERT_EQ(Pieces.size(), 3u);
+  EXPECT_EQ(Pieces[0], "a");
+  EXPECT_EQ(Pieces[1], "b");
+  EXPECT_EQ(Pieces[2], "c");
+}
+
+TEST(SplitString, MultipleSeparators) {
+  auto Pieces = splitString("a b\tc", " \t");
+  ASSERT_EQ(Pieces.size(), 3u);
+  EXPECT_EQ(Pieces[2], "c");
+}
+
+TEST(SplitString, Empty) {
+  EXPECT_TRUE(splitString("", ",").empty());
+  EXPECT_TRUE(splitString(",,,", ",").empty());
+}
+
+TEST(ParseIntegerLiteral, Decimal) {
+  int64_t V = 0;
+  EXPECT_TRUE(parseIntegerLiteral("123", V));
+  EXPECT_EQ(V, 123);
+  EXPECT_TRUE(parseIntegerLiteral("-7", V));
+  EXPECT_EQ(V, -7);
+  EXPECT_TRUE(parseIntegerLiteral("+9", V));
+  EXPECT_EQ(V, 9);
+}
+
+TEST(ParseIntegerLiteral, Hex) {
+  int64_t V = 0;
+  EXPECT_TRUE(parseIntegerLiteral("0xff", V));
+  EXPECT_EQ(V, 255);
+  EXPECT_TRUE(parseIntegerLiteral("0XAB", V));
+  EXPECT_EQ(V, 0xab);
+}
+
+TEST(ParseIntegerLiteral, Rejects) {
+  int64_t V = 0;
+  EXPECT_FALSE(parseIntegerLiteral("", V));
+  EXPECT_FALSE(parseIntegerLiteral("-", V));
+  EXPECT_FALSE(parseIntegerLiteral("12a", V));
+  EXPECT_FALSE(parseIntegerLiteral("0x", V));
+  EXPECT_FALSE(parseIntegerLiteral("abc", V));
+}
+
+TEST(FormatConstant, SmallDecimalLargeHex) {
+  EXPECT_EQ(formatConstant(7), "7");
+  EXPECT_EQ(formatConstant(1023), "1023");
+  EXPECT_EQ(formatConstant(0xffff), "0xffff");
+}
+
+TEST(Timer, Monotonic) {
+  Timer T;
+  double A = T.seconds();
+  double B = T.seconds();
+  EXPECT_GE(B, A);
+  T.reset();
+  EXPECT_GE(T.seconds(), 0.0);
+}
