@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bruteforce.dir/bench_bruteforce.cpp.o"
+  "CMakeFiles/bench_bruteforce.dir/bench_bruteforce.cpp.o.d"
+  "bench_bruteforce"
+  "bench_bruteforce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bruteforce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_byteswap.dir/bench_byteswap.cpp.o"
+  "CMakeFiles/bench_byteswap.dir/bench_byteswap.cpp.o.d"
+  "bench_byteswap"
+  "bench_byteswap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_byteswap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

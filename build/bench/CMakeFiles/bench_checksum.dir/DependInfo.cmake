@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_checksum.cpp" "bench/CMakeFiles/bench_checksum.dir/bench_checksum.cpp.o" "gcc" "bench/CMakeFiles/bench_checksum.dir/bench_checksum.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/denali_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/denali_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/denali_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/denali_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/axioms/CMakeFiles/denali_axioms.dir/DependInfo.cmake"
+  "/root/repo/build/src/match/CMakeFiles/denali_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/gma/CMakeFiles/denali_gma.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/denali_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/sexpr/CMakeFiles/denali_sexpr.dir/DependInfo.cmake"
+  "/root/repo/build/src/alpha/CMakeFiles/denali_alpha.dir/DependInfo.cmake"
+  "/root/repo/build/src/egraph/CMakeFiles/denali_egraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/denali_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/denali_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_checksum.dir/bench_checksum.cpp.o"
+  "CMakeFiles/bench_checksum.dir/bench_checksum.cpp.o.d"
+  "bench_checksum"
+  "bench_checksum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_checksum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_egraph.dir/bench_egraph.cpp.o"
+  "CMakeFiles/bench_egraph.dir/bench_egraph.cpp.o.d"
+  "bench_egraph"
+  "bench_egraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_egraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_misc.dir/bench_misc.cpp.o"
+  "CMakeFiles/bench_misc.dir/bench_misc.cpp.o.d"
+  "bench_misc"
+  "bench_misc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

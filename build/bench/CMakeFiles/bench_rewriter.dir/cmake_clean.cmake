@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rewriter.dir/bench_rewriter.cpp.o"
+  "CMakeFiles/bench_rewriter.dir/bench_rewriter.cpp.o.d"
+  "bench_rewriter"
+  "bench_rewriter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rewriter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sat_scaling.dir/bench_sat_scaling.cpp.o"
+  "CMakeFiles/bench_sat_scaling.dir/bench_sat_scaling.cpp.o.d"
+  "bench_sat_scaling"
+  "bench_sat_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sat_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/byteswap.dir/byteswap.cpp.o"
+  "CMakeFiles/byteswap.dir/byteswap.cpp.o.d"
+  "byteswap"
+  "byteswap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/byteswap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checksum.dir/checksum.cpp.o"
+  "CMakeFiles/checksum.dir/checksum.cpp.o.d"
+  "checksum"
+  "checksum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checksum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

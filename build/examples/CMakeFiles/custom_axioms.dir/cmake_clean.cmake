@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_axioms.dir/custom_axioms.cpp.o"
+  "CMakeFiles/custom_axioms.dir/custom_axioms.cpp.o.d"
+  "custom_axioms"
+  "custom_axioms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_axioms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

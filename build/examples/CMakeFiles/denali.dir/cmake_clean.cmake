@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/denali.dir/denali.cpp.o"
+  "CMakeFiles/denali.dir/denali.cpp.o.d"
+  "denali"
+  "denali.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/denali.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

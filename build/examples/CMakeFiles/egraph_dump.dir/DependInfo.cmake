@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/egraph_dump.cpp" "examples/CMakeFiles/egraph_dump.dir/egraph_dump.cpp.o" "gcc" "examples/CMakeFiles/egraph_dump.dir/egraph_dump.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/match/CMakeFiles/denali_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/axioms/CMakeFiles/denali_axioms.dir/DependInfo.cmake"
+  "/root/repo/build/src/egraph/CMakeFiles/denali_egraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/denali_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sexpr/CMakeFiles/denali_sexpr.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/denali_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

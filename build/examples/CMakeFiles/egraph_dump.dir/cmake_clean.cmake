@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/egraph_dump.dir/egraph_dump.cpp.o"
+  "CMakeFiles/egraph_dump.dir/egraph_dump.cpp.o.d"
+  "egraph_dump"
+  "egraph_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/egraph_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

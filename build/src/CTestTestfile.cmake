@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("sexpr")
+subdirs("ir")
+subdirs("egraph")
+subdirs("sat")
+subdirs("match")
+subdirs("axioms")
+subdirs("alpha")
+subdirs("lang")
+subdirs("gma")
+subdirs("codegen")
+subdirs("driver")
+subdirs("baseline")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alpha/Assembly.cpp" "src/alpha/CMakeFiles/denali_alpha.dir/Assembly.cpp.o" "gcc" "src/alpha/CMakeFiles/denali_alpha.dir/Assembly.cpp.o.d"
+  "/root/repo/src/alpha/ISA.cpp" "src/alpha/CMakeFiles/denali_alpha.dir/ISA.cpp.o" "gcc" "src/alpha/CMakeFiles/denali_alpha.dir/ISA.cpp.o.d"
+  "/root/repo/src/alpha/Simulator.cpp" "src/alpha/CMakeFiles/denali_alpha.dir/Simulator.cpp.o" "gcc" "src/alpha/CMakeFiles/denali_alpha.dir/Simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/denali_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/denali_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/denali_alpha.dir/Assembly.cpp.o"
+  "CMakeFiles/denali_alpha.dir/Assembly.cpp.o.d"
+  "CMakeFiles/denali_alpha.dir/ISA.cpp.o"
+  "CMakeFiles/denali_alpha.dir/ISA.cpp.o.d"
+  "CMakeFiles/denali_alpha.dir/Simulator.cpp.o"
+  "CMakeFiles/denali_alpha.dir/Simulator.cpp.o.d"
+  "libdenali_alpha.a"
+  "libdenali_alpha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/denali_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for denali_alpha.
+# This may be replaced when dependencies are built.

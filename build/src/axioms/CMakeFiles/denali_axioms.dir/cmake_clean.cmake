@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/denali_axioms.dir/BuiltinAxioms.cpp.o"
+  "CMakeFiles/denali_axioms.dir/BuiltinAxioms.cpp.o.d"
+  "libdenali_axioms.a"
+  "libdenali_axioms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/denali_axioms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

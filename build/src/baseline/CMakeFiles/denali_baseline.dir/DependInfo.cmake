@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/BruteForce.cpp" "src/baseline/CMakeFiles/denali_baseline.dir/BruteForce.cpp.o" "gcc" "src/baseline/CMakeFiles/denali_baseline.dir/BruteForce.cpp.o.d"
+  "/root/repo/src/baseline/EGraphExtract.cpp" "src/baseline/CMakeFiles/denali_baseline.dir/EGraphExtract.cpp.o" "gcc" "src/baseline/CMakeFiles/denali_baseline.dir/EGraphExtract.cpp.o.d"
+  "/root/repo/src/baseline/Rewriter.cpp" "src/baseline/CMakeFiles/denali_baseline.dir/Rewriter.cpp.o" "gcc" "src/baseline/CMakeFiles/denali_baseline.dir/Rewriter.cpp.o.d"
+  "/root/repo/src/baseline/TreeCodegen.cpp" "src/baseline/CMakeFiles/denali_baseline.dir/TreeCodegen.cpp.o" "gcc" "src/baseline/CMakeFiles/denali_baseline.dir/TreeCodegen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/alpha/CMakeFiles/denali_alpha.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/denali_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/egraph/CMakeFiles/denali_egraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/denali_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

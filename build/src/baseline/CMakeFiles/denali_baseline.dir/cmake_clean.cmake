@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/denali_baseline.dir/BruteForce.cpp.o"
+  "CMakeFiles/denali_baseline.dir/BruteForce.cpp.o.d"
+  "CMakeFiles/denali_baseline.dir/EGraphExtract.cpp.o"
+  "CMakeFiles/denali_baseline.dir/EGraphExtract.cpp.o.d"
+  "CMakeFiles/denali_baseline.dir/Rewriter.cpp.o"
+  "CMakeFiles/denali_baseline.dir/Rewriter.cpp.o.d"
+  "CMakeFiles/denali_baseline.dir/TreeCodegen.cpp.o"
+  "CMakeFiles/denali_baseline.dir/TreeCodegen.cpp.o.d"
+  "libdenali_baseline.a"
+  "libdenali_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/denali_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

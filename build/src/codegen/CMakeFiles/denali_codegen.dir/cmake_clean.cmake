@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/denali_codegen.dir/Encoder.cpp.o"
+  "CMakeFiles/denali_codegen.dir/Encoder.cpp.o.d"
+  "CMakeFiles/denali_codegen.dir/Search.cpp.o"
+  "CMakeFiles/denali_codegen.dir/Search.cpp.o.d"
+  "CMakeFiles/denali_codegen.dir/Universe.cpp.o"
+  "CMakeFiles/denali_codegen.dir/Universe.cpp.o.d"
+  "libdenali_codegen.a"
+  "libdenali_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/denali_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

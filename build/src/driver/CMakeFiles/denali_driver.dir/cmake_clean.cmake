@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/denali_driver.dir/Superoptimizer.cpp.o"
+  "CMakeFiles/denali_driver.dir/Superoptimizer.cpp.o.d"
+  "libdenali_driver.a"
+  "libdenali_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/denali_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

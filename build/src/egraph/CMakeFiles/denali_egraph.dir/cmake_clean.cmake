@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/denali_egraph.dir/Analysis.cpp.o"
+  "CMakeFiles/denali_egraph.dir/Analysis.cpp.o.d"
+  "CMakeFiles/denali_egraph.dir/EGraph.cpp.o"
+  "CMakeFiles/denali_egraph.dir/EGraph.cpp.o.d"
+  "libdenali_egraph.a"
+  "libdenali_egraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/denali_egraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gma/GMA.cpp" "src/gma/CMakeFiles/denali_gma.dir/GMA.cpp.o" "gcc" "src/gma/CMakeFiles/denali_gma.dir/GMA.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/denali_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/denali_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/sexpr/CMakeFiles/denali_sexpr.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/denali_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

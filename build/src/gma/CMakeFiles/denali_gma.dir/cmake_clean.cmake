@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/denali_gma.dir/GMA.cpp.o"
+  "CMakeFiles/denali_gma.dir/GMA.cpp.o.d"
+  "libdenali_gma.a"
+  "libdenali_gma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/denali_gma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

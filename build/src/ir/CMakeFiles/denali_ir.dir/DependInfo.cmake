@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/Eval.cpp" "src/ir/CMakeFiles/denali_ir.dir/Eval.cpp.o" "gcc" "src/ir/CMakeFiles/denali_ir.dir/Eval.cpp.o.d"
+  "/root/repo/src/ir/Ops.cpp" "src/ir/CMakeFiles/denali_ir.dir/Ops.cpp.o" "gcc" "src/ir/CMakeFiles/denali_ir.dir/Ops.cpp.o.d"
+  "/root/repo/src/ir/Term.cpp" "src/ir/CMakeFiles/denali_ir.dir/Term.cpp.o" "gcc" "src/ir/CMakeFiles/denali_ir.dir/Term.cpp.o.d"
+  "/root/repo/src/ir/Value.cpp" "src/ir/CMakeFiles/denali_ir.dir/Value.cpp.o" "gcc" "src/ir/CMakeFiles/denali_ir.dir/Value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/denali_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

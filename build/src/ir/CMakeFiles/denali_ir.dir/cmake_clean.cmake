@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/denali_ir.dir/Eval.cpp.o"
+  "CMakeFiles/denali_ir.dir/Eval.cpp.o.d"
+  "CMakeFiles/denali_ir.dir/Ops.cpp.o"
+  "CMakeFiles/denali_ir.dir/Ops.cpp.o.d"
+  "CMakeFiles/denali_ir.dir/Term.cpp.o"
+  "CMakeFiles/denali_ir.dir/Term.cpp.o.d"
+  "CMakeFiles/denali_ir.dir/Value.cpp.o"
+  "CMakeFiles/denali_ir.dir/Value.cpp.o.d"
+  "libdenali_ir.a"
+  "libdenali_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/denali_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

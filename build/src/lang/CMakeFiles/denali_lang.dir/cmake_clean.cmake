@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/denali_lang.dir/Parser.cpp.o"
+  "CMakeFiles/denali_lang.dir/Parser.cpp.o.d"
+  "CMakeFiles/denali_lang.dir/Surface.cpp.o"
+  "CMakeFiles/denali_lang.dir/Surface.cpp.o.d"
+  "libdenali_lang.a"
+  "libdenali_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/denali_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/denali_match.dir/Axiom.cpp.o"
+  "CMakeFiles/denali_match.dir/Axiom.cpp.o.d"
+  "CMakeFiles/denali_match.dir/Elaborate.cpp.o"
+  "CMakeFiles/denali_match.dir/Elaborate.cpp.o.d"
+  "CMakeFiles/denali_match.dir/Matcher.cpp.o"
+  "CMakeFiles/denali_match.dir/Matcher.cpp.o.d"
+  "libdenali_match.a"
+  "libdenali_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/denali_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdenali_match.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/denali_sat.dir/Dimacs.cpp.o"
+  "CMakeFiles/denali_sat.dir/Dimacs.cpp.o.d"
+  "CMakeFiles/denali_sat.dir/Encodings.cpp.o"
+  "CMakeFiles/denali_sat.dir/Encodings.cpp.o.d"
+  "CMakeFiles/denali_sat.dir/RupChecker.cpp.o"
+  "CMakeFiles/denali_sat.dir/RupChecker.cpp.o.d"
+  "CMakeFiles/denali_sat.dir/Solver.cpp.o"
+  "CMakeFiles/denali_sat.dir/Solver.cpp.o.d"
+  "libdenali_sat.a"
+  "libdenali_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/denali_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/denali_sexpr.dir/Parser.cpp.o"
+  "CMakeFiles/denali_sexpr.dir/Parser.cpp.o.d"
+  "CMakeFiles/denali_sexpr.dir/SExpr.cpp.o"
+  "CMakeFiles/denali_sexpr.dir/SExpr.cpp.o.d"
+  "libdenali_sexpr.a"
+  "libdenali_sexpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/denali_sexpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

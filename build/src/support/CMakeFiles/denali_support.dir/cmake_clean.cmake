@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/denali_support.dir/Error.cpp.o"
+  "CMakeFiles/denali_support.dir/Error.cpp.o.d"
+  "CMakeFiles/denali_support.dir/StringExtras.cpp.o"
+  "CMakeFiles/denali_support.dir/StringExtras.cpp.o.d"
+  "libdenali_support.a"
+  "libdenali_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/denali_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

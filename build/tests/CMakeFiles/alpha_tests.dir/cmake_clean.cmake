@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alpha_tests.dir/AlphaTests.cpp.o"
+  "CMakeFiles/alpha_tests.dir/AlphaTests.cpp.o.d"
+  "alpha_tests"
+  "alpha_tests.pdb"
+  "alpha_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alpha_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axiom_soundness_tests.dir/AxiomSoundnessTests.cpp.o"
+  "CMakeFiles/axiom_soundness_tests.dir/AxiomSoundnessTests.cpp.o.d"
+  "axiom_soundness_tests"
+  "axiom_soundness_tests.pdb"
+  "axiom_soundness_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axiom_soundness_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/driver_tests.dir/DriverTests.cpp.o"
+  "CMakeFiles/driver_tests.dir/DriverTests.cpp.o.d"
+  "driver_tests"
+  "driver_tests.pdb"
+  "driver_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/driver_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/egraph_tests.dir/EGraphTests.cpp.o"
+  "CMakeFiles/egraph_tests.dir/EGraphTests.cpp.o.d"
+  "egraph_tests"
+  "egraph_tests.pdb"
+  "egraph_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/egraph_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elaborate_tests.dir/ElaborateTests.cpp.o"
+  "CMakeFiles/elaborate_tests.dir/ElaborateTests.cpp.o.d"
+  "elaborate_tests"
+  "elaborate_tests.pdb"
+  "elaborate_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elaborate_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

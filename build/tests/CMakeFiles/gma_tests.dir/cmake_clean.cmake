@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gma_tests.dir/GmaTests.cpp.o"
+  "CMakeFiles/gma_tests.dir/GmaTests.cpp.o.d"
+  "gma_tests"
+  "gma_tests.pdb"
+  "gma_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gma_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/match_tests.dir/MatchTests.cpp.o"
+  "CMakeFiles/match_tests.dir/MatchTests.cpp.o.d"
+  "match_tests"
+  "match_tests.pdb"
+  "match_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/match_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

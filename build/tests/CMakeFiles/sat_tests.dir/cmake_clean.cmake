@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_tests.dir/SatTests.cpp.o"
+  "CMakeFiles/sat_tests.dir/SatTests.cpp.o.d"
+  "sat_tests"
+  "sat_tests.pdb"
+  "sat_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

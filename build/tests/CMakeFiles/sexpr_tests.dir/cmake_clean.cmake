@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sexpr_tests.dir/SExprTests.cpp.o"
+  "CMakeFiles/sexpr_tests.dir/SExprTests.cpp.o.d"
+  "sexpr_tests"
+  "sexpr_tests.pdb"
+  "sexpr_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sexpr_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surface_tests.dir/SurfaceTests.cpp.o"
+  "CMakeFiles/surface_tests.dir/SurfaceTests.cpp.o.d"
+  "surface_tests"
+  "surface_tests.pdb"
+  "surface_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surface_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

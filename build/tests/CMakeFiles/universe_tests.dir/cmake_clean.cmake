@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/universe_tests.dir/UniverseTests.cpp.o"
+  "CMakeFiles/universe_tests.dir/UniverseTests.cpp.o.d"
+  "universe_tests"
+  "universe_tests.pdb"
+  "universe_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/universe_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
