@@ -1,0 +1,153 @@
+//===- bench/bench_portfolio.cpp - E11: parallel portfolio budget search --===//
+//
+// Wall-clock comparison of the three budget-search strategies on the
+// byteswap family (Figure 3). Probes at different budgets are independent
+// SAT instances; the portfolio runs a window of them concurrently and
+// cancels the ones a SAT answer makes irrelevant, so its wall time should
+// approach the cost of the most expensive relevant probe while its CPU
+// time stays comparable to the sequential strategies.
+//
+//   bench_portfolio [--smoke] [--threads N]
+//     --smoke     tiny problems/budgets (CI perf-smoke gate)
+//     --threads N portfolio worker count (default: hardware concurrency)
+//
+// Emits BENCH_portfolio.json (one record per problem x strategy) in the
+// working directory for trend tracking.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "driver/Superoptimizer.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace denali;
+using namespace denali::bench;
+
+namespace {
+
+struct Row {
+  std::string Problem;
+  const char *Strategy;
+  unsigned Threads;
+  unsigned Cycles;
+  bool LowerBoundProved;
+  double WallSeconds;
+  double CpuSeconds;
+  size_t CancelledProbes;
+};
+
+codegen::SearchResult runOne(const std::string &Source, unsigned MaxCycles,
+                             codegen::SearchStrategy Strategy,
+                             unsigned Threads, bool *Ok) {
+  driver::Superoptimizer Opt;
+  Opt.options().Search.MaxCycles = MaxCycles;
+  Opt.options().Search.Strategy = Strategy;
+  Opt.options().Search.Threads = Threads;
+  driver::CompileResult R = Opt.compileSource(Source);
+  *Ok = R.ok() && !R.Gmas.empty() && R.Gmas[0].ok();
+  if (!*Ok) {
+    std::printf("FAILED: %s\n",
+                (R.ok() && !R.Gmas.empty() ? R.Gmas[0].Error : R.Error)
+                    .c_str());
+    return {};
+  }
+  return R.Gmas[0].Search;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Smoke = false;
+  unsigned Threads = std::thread::hardware_concurrency();
+  for (int I = 1; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--smoke"))
+      Smoke = true;
+    else if (!std::strcmp(argv[I], "--threads") && I + 1 < argc)
+      Threads = static_cast<unsigned>(std::atoi(argv[++I]));
+  }
+  if (Threads == 0)
+    Threads = 1;
+
+  struct Problem {
+    unsigned Bytes;
+    unsigned MaxCycles;
+  };
+  std::vector<Problem> Problems =
+      Smoke ? std::vector<Problem>{{2, 6}, {3, 8}}
+            : std::vector<Problem>{{3, 8}, {4, 10}};
+
+  banner("E11", Smoke ? "portfolio budget search (smoke)"
+                     : "portfolio budget search: wall vs cpu time");
+  std::printf("%u portfolio worker(s)\n", Threads);
+  std::printf("%-12s %-10s %-8s %-10s %-10s %-10s\n", "problem", "strategy",
+              "cycles", "wall-s", "cpu-s", "cancelled");
+
+  const struct {
+    codegen::SearchStrategy S;
+    const char *Name;
+  } Strategies[] = {{codegen::SearchStrategy::Linear, "linear"},
+                    {codegen::SearchStrategy::Binary, "binary"},
+                    {codegen::SearchStrategy::Portfolio, "portfolio"}};
+
+  std::vector<Row> Rows;
+  bool AllOk = true;
+  for (const Problem &P : Problems) {
+    std::string Source = byteswapSource(P.Bytes);
+    std::string Name = strFormat("byteswap%u", P.Bytes);
+    unsigned LinearCycles = 0;
+    double LinearWall = 0;
+    for (const auto &S : Strategies) {
+      bool Ok = false;
+      codegen::SearchResult R = runOne(Source, P.MaxCycles, S.S, Threads, &Ok);
+      if (!Ok) {
+        AllOk = false;
+        continue;
+      }
+      if (S.S == codegen::SearchStrategy::Linear) {
+        LinearCycles = R.Cycles;
+        LinearWall = R.WallSeconds;
+      } else if (R.Cycles != LinearCycles) {
+        std::printf("MISMATCH: %s %s found %u cycles, linear found %u\n",
+                    Name.c_str(), S.Name, R.Cycles, LinearCycles);
+        AllOk = false;
+      }
+      std::printf("%-12s %-10s %-8u %-10.3f %-10.3f %-10zu\n", Name.c_str(),
+                  S.Name, R.Cycles, R.WallSeconds, R.CpuSeconds,
+                  R.CancelledProbes);
+      if (S.S == codegen::SearchStrategy::Portfolio && R.WallSeconds > 0)
+        std::printf("  speedup vs linear: %.2fx\n",
+                    LinearWall / R.WallSeconds);
+      Rows.push_back(Row{Name, S.Name, Threads, R.Cycles, R.LowerBoundProved,
+                         R.WallSeconds, R.CpuSeconds, R.CancelledProbes});
+    }
+  }
+
+  // JSON trend record.
+  std::FILE *Out = std::fopen("BENCH_portfolio.json", "w");
+  if (Out) {
+    std::fprintf(Out, "[\n");
+    for (size_t I = 0; I < Rows.size(); ++I) {
+      const Row &R = Rows[I];
+      std::fprintf(Out,
+                   "  {\"problem\": \"%s\", \"strategy\": \"%s\", "
+                   "\"threads\": %u, \"cycles\": %u, "
+                   "\"lower_bound_proved\": %s, \"wall_s\": %.6f, "
+                   "\"cpu_s\": %.6f, \"cancelled_probes\": %zu}%s\n",
+                   R.Problem.c_str(), R.Strategy, R.Threads, R.Cycles,
+                   R.LowerBoundProved ? "true" : "false", R.WallSeconds,
+                   R.CpuSeconds, R.CancelledProbes,
+                   I + 1 < Rows.size() ? "," : "");
+    }
+    std::fprintf(Out, "]\n");
+    std::fclose(Out);
+    std::printf("\nwrote BENCH_portfolio.json (%zu records)\n", Rows.size());
+  } else {
+    std::printf("\ncould not write BENCH_portfolio.json\n");
+  }
+  return AllOk ? 0 : 1;
+}

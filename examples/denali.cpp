@@ -6,6 +6,10 @@
 //   denali [options] file.dnl
 //     --max-cycles N     budget ceiling (default 16)
 //     --binary-search    probe budgets by binary search (default linear)
+//     --portfolio        probe a window of budgets concurrently, cancelling
+//                        probes made irrelevant by a SAT answer
+//     --threads N        portfolio worker count / window width
+//                        (default: hardware concurrency)
 //     --show-nops        print nops in unfilled issue slots (Figure 4 style)
 //     --no-verify        skip differential verification
 //     --stats            print matcher/SAT statistics per GMA
@@ -33,6 +37,10 @@ int main(int argc, char **argv) {
       Opts.Search.MaxCycles = static_cast<unsigned>(std::atoi(argv[++I]));
     } else if (!std::strcmp(argv[I], "--binary-search")) {
       Opts.Search.Strategy = codegen::SearchStrategy::Binary;
+    } else if (!std::strcmp(argv[I], "--portfolio")) {
+      Opts.Search.Strategy = codegen::SearchStrategy::Portfolio;
+    } else if (!std::strcmp(argv[I], "--threads") && I + 1 < argc) {
+      Opts.Search.Threads = static_cast<unsigned>(std::atoi(argv[++I]));
     } else if (!std::strcmp(argv[I], "--show-nops")) {
       ShowNops = true;
     } else if (!std::strcmp(argv[I], "--no-verify")) {
@@ -51,8 +59,8 @@ int main(int argc, char **argv) {
   if (!Path) {
     std::fprintf(stderr,
                  "usage: denali [--max-cycles N] [--binary-search] "
-                 "[--show-nops] [--no-verify] [--stats] [--dump-cnf DIR] "
-                 "file.dnl\n");
+                 "[--portfolio] [--threads N] [--show-nops] [--no-verify] "
+                 "[--stats] [--dump-cnf DIR] file.dnl\n");
     return 2;
   }
 
@@ -87,7 +95,14 @@ int main(int argc, char **argv) {
       for (const codegen::Probe &P : G.Search.Probes)
         std::printf(" K=%u[%dv/%lluc/%s]", P.Cycles, P.Stats.Vars,
                     static_cast<unsigned long long>(P.Stats.Clauses),
-                    P.Result == sat::SolveResult::Sat ? "sat" : "unsat");
+                    P.Result == sat::SolveResult::Sat     ? "sat"
+                    : P.Result == sat::SolveResult::Unsat ? "unsat"
+                    : P.Cancelled                         ? "cancelled"
+                                                          : "unknown");
+      if (G.Search.CancelledProbes)
+        std::printf(" (%zu cancelled, wall %.2fs, cpu %.2fs)",
+                    G.Search.CancelledProbes, G.Search.WallSeconds,
+                    G.Search.CpuSeconds);
       std::printf("\n");
     }
     std::printf("%s\n", G.Search.Program.toString(ShowNops).c_str());

@@ -5,9 +5,14 @@
 #include "sat/Dimacs.h"
 #include "sat/RupChecker.h"
 #include "support/StringExtras.h"
+#include "support/ThreadPool.h"
 #include "support/Timer.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <future>
+#include <mutex>
+#include <thread>
 
 using namespace denali;
 using namespace denali::codegen;
@@ -15,16 +20,22 @@ using denali::sat::SolveResult;
 
 namespace {
 
-/// Runs one probe at budget K; on Sat, fills \p ProgramOut.
+/// Runs one probe at budget K; on Sat, fills \p ProgramOut. With a nonnull
+/// \p CancelFlag the solver winds down cooperatively once it reads true,
+/// and the probe is marked Cancelled instead of producing evidence.
 Probe runProbe(Encoder &Enc, const std::vector<NamedGoal> &Goals,
                const SearchOptions &Opts, unsigned K,
                std::optional<alpha::Program> &ProgramOut,
-               const std::string &Name) {
+               const std::string &Name,
+               const std::atomic<bool> *CancelFlag = nullptr) {
   Probe P;
   P.Cycles = K;
+  P.Worker = support::ThreadPool::currentWorkerId();
   sat::Solver S;
   if (Opts.ConflictBudget)
     S.setConflictBudget(Opts.ConflictBudget);
+  if (CancelFlag)
+    S.setInterrupt(CancelFlag);
   if (Opts.CertifyRefutations)
     S.enableProofLogging();
   EncoderOptions EncOpts = Opts.Encoding;
@@ -48,6 +59,7 @@ Probe runProbe(Encoder &Enc, const std::vector<NamedGoal> &Goals,
   P.Result = S.solve();
   P.SolveSeconds = T.seconds();
   P.Conflicts = S.stats().Conflicts;
+  P.Cancelled = S.interrupted();
   if (P.Result == SolveResult::Sat) {
     ProgramOut = Enc.extract(S, Goals, EncOpts, Name);
   } else if (P.Result == SolveResult::Unsat && Opts.CertifyRefutations) {
@@ -62,12 +74,126 @@ Probe runProbe(Encoder &Enc, const std::vector<NamedGoal> &Goals,
   return P;
 }
 
-} // namespace
+/// The portfolio outer loop: probes a window of budgets [Base, Base+W)
+/// concurrently, advancing the window only when every budget in it is
+/// proved infeasible — so, like linear search, it accumulates an UNSAT
+/// certificate for every budget below the answer. A SAT answer at K
+/// cancels in-flight probes at K' > K (their results cannot matter:
+/// feasibility is monotone in K); an UNSAT answer cancels nothing, it
+/// only contributes to advancing the window's lower bound.
+SearchResult searchPortfolio(const egraph::EGraph &G, const alpha::ISA &Isa,
+                             const Universe &U,
+                             const std::vector<NamedGoal> &Goals,
+                             const SearchOptions &Opts,
+                             const std::string &Name) {
+  SearchResult Result;
+  unsigned Threads = Opts.Threads;
+  if (Threads == 0) {
+    Threads = std::thread::hardware_concurrency();
+    if (Threads == 0)
+      Threads = 1;
+  }
+  const unsigned Window = Threads;
 
-SearchResult denali::codegen::searchBudgets(
-    const egraph::EGraph &G, const alpha::ISA &Isa, const Universe &U,
-    const std::vector<NamedGoal> &Goals, const SearchOptions &Opts,
-    const std::string &Name) {
+  // Freeze the E-graph's union-find: after full path compression the
+  // const query interface is write-free, so probe workers may share it.
+  G.compressPaths();
+  support::ThreadPool Pool(Threads);
+
+  struct Slot {
+    support::CancellationToken Cancel;
+    Probe P;
+    std::optional<alpha::Program> Prog;
+    bool Done = false;
+  };
+
+  for (unsigned Base = Opts.MinCycles; Base <= Opts.MaxCycles;) {
+    const unsigned End = std::min(Opts.MaxCycles + 1, Base + Window);
+    const unsigned N = End - Base;
+    std::vector<Slot> Slots(N);
+    std::mutex Mutex; // Guards Slots[*].Done and the cancellation sweep.
+    std::vector<std::future<void>> Futures;
+    Futures.reserve(N);
+
+    for (unsigned I = 0; I < N; ++I) {
+      const unsigned K = Base + I;
+      Futures.push_back(Pool.submit([&, I, K] {
+        Slot &Mine = Slots[I];
+        std::optional<alpha::Program> Prog;
+        Probe P;
+        if (Mine.Cancel.isCancelled()) {
+          // Cancelled before starting: skip the encode entirely.
+          P.Cycles = K;
+          P.Worker = support::ThreadPool::currentWorkerId();
+          P.Cancelled = true;
+        } else {
+          // One Encoder per probe: encode() builds per-run variable maps,
+          // so workers must not share an instance.
+          Encoder Enc(G, Isa, U);
+          P = runProbe(Enc, Goals, Opts, K, Prog, Name, Mine.Cancel.flag());
+        }
+        std::lock_guard<std::mutex> Lock(Mutex);
+        Mine.P = std::move(P);
+        Mine.Prog = std::move(Prog);
+        Mine.Done = true;
+        // A SAT answer makes every larger budget irrelevant.
+        if (Mine.P.Result == SolveResult::Sat)
+          for (unsigned J = I + 1; J < N; ++J)
+            if (!Slots[J].Done)
+              Slots[J].Cancel.requestCancel();
+      }));
+    }
+    for (std::future<void> &F : Futures)
+      F.get(); // Joins the window; rethrows worker exceptions.
+
+    // Record the window's probes in budget order (reports stay
+    // deterministic regardless of completion order).
+    std::optional<unsigned> SatIdx;
+    for (unsigned I = 0; I < N; ++I) {
+      Slot &S = Slots[I];
+      if (S.P.Cancelled)
+        ++Result.CancelledProbes;
+      if (S.P.Result == SolveResult::Sat && !SatIdx)
+        SatIdx = I; // Smallest SAT budget in the window.
+      Result.Probes.push_back(S.P);
+    }
+
+    const unsigned Evidence = SatIdx ? *SatIdx : N;
+    for (unsigned I = 0; I < Evidence; ++I) {
+      // Budgets below the smallest SAT answer are never cancelled (only
+      // larger budgets are), so Unknown here means the conflict budget
+      // ran out — the same error the sequential strategies report.
+      if (Slots[I].P.Result == SolveResult::Unknown) {
+        Result.Error = strFormat(
+            "probe at %u cycles exceeded the conflict budget", Base + I);
+        return Result;
+      }
+    }
+    if (SatIdx) {
+      const unsigned K = Base + *SatIdx;
+      Result.Found = true;
+      Result.Cycles = K;
+      Result.Program = std::move(*Slots[*SatIdx].Prog);
+      // Every budget in [MinCycles, K) carries an UNSAT answer: earlier
+      // windows advanced only when fully refuted, and this window's
+      // budgets below K were just checked.
+      Result.LowerBoundProved = K > Opts.MinCycles;
+      Result.WinningProbe =
+          static_cast<int>(Result.Probes.size() - N + *SatIdx);
+      return Result;
+    }
+    Base = End; // Whole window UNSAT: the lower bound advances past it.
+  }
+  Result.Error = strFormat("no program within %u cycles", Opts.MaxCycles);
+  return Result;
+}
+
+/// Dispatches on strategy; the wrapper adds the timing summary.
+SearchResult searchBudgetsImpl(const egraph::EGraph &G, const alpha::ISA &Isa,
+                               const Universe &U,
+                               const std::vector<NamedGoal> &Goals,
+                               const SearchOptions &Opts,
+                               const std::string &Name) {
   SearchResult Result;
   Encoder Enc(G, Isa, U);
 
@@ -90,6 +216,9 @@ SearchResult denali::codegen::searchBudgets(
     }
   }
 
+  if (Opts.Strategy == SearchStrategy::Portfolio)
+    return searchPortfolio(G, Isa, U, Goals, Opts, Name);
+
   auto probe = [&](unsigned K, std::optional<alpha::Program> &Prog) {
     Probe P = runProbe(Enc, Goals, Opts, K, Prog, Name);
     Result.Probes.push_back(P);
@@ -105,6 +234,7 @@ SearchResult denali::codegen::searchBudgets(
         Result.Cycles = K;
         Result.Program = std::move(*Prog);
         Result.LowerBoundProved = K > Opts.MinCycles;
+        Result.WinningProbe = static_cast<int>(Result.Probes.size()) - 1;
         return Result;
       }
       if (R == SolveResult::Unknown) {
@@ -123,6 +253,7 @@ SearchResult denali::codegen::searchBudgets(
   unsigned Hi = Opts.MinCycles;
   std::optional<alpha::Program> BestProg;
   unsigned BestK = 0;
+  int BestIdx = -1;
   bool AnyUnsat = false;
   for (;;) {
     std::optional<alpha::Program> Prog;
@@ -130,6 +261,7 @@ SearchResult denali::codegen::searchBudgets(
     if (R == SolveResult::Sat) {
       BestProg = std::move(Prog);
       BestK = Hi;
+      BestIdx = static_cast<int>(Result.Probes.size()) - 1;
       break;
     }
     if (R == SolveResult::Unknown) {
@@ -152,6 +284,7 @@ SearchResult denali::codegen::searchBudgets(
     if (R == SolveResult::Sat) {
       BestProg = std::move(Prog);
       BestK = Mid;
+      BestIdx = static_cast<int>(Result.Probes.size()) - 1;
     } else if (R == SolveResult::Unsat) {
       AnyUnsat = true;
       Lo = Mid + 1;
@@ -165,5 +298,21 @@ SearchResult denali::codegen::searchBudgets(
   Result.Cycles = BestK;
   Result.Program = std::move(*BestProg);
   Result.LowerBoundProved = AnyUnsat && BestK > Opts.MinCycles;
+  Result.WinningProbe = BestIdx;
+  return Result;
+}
+
+} // namespace
+
+SearchResult denali::codegen::searchBudgets(
+    const egraph::EGraph &G, const alpha::ISA &Isa, const Universe &U,
+    const std::vector<NamedGoal> &Goals, const SearchOptions &Opts,
+    const std::string &Name) {
+  Timer Wall;
+  SearchResult Result = searchBudgetsImpl(G, Isa, U, Goals, Opts, Name);
+  Result.WallSeconds = Wall.seconds();
+  for (const Probe &P : Result.Probes)
+    Result.CpuSeconds +=
+        P.EncodeSeconds + P.SolveSeconds + P.ProofCheckSeconds;
   return Result;
 }

@@ -5,7 +5,12 @@
 /// budgets K, submitting "no K-cycle program computes the goals" to the SAT
 /// solver. UNSAT proves the lower bound K+1; SAT yields the program. The
 /// paper uses binary search but notes probe costs are far from constant;
-/// both strategies are provided, every probe is recorded.
+/// that observation is exactly why a third, parallel-portfolio strategy is
+/// provided: probes are independent SAT instances, so a window of budgets
+/// [K, K+W) runs concurrently on a worker pool, with probes made irrelevant
+/// by a SAT answer at a smaller budget cancelled cooperatively. All three
+/// strategies pin the same minimal K with the same SAT/UNSAT evidence;
+/// every probe — cancelled ones included — is recorded.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,12 +24,15 @@
 namespace denali {
 namespace codegen {
 
-enum class SearchStrategy { Linear, Binary };
+enum class SearchStrategy { Linear, Binary, Portfolio };
 
 struct SearchOptions {
   SearchStrategy Strategy = SearchStrategy::Linear;
   unsigned MinCycles = 1;
   unsigned MaxCycles = 24;
+  /// Portfolio strategy: number of worker threads (and the width of the
+  /// concurrently probed budget window). 0 = hardware concurrency.
+  unsigned Threads = 0;
   /// Per-probe conflict budget (0 = unlimited).
   uint64_t ConflictBudget = 0;
   /// If nonempty, each probe's CNF is written to
@@ -51,6 +59,12 @@ struct Probe {
   size_t ProofSteps = 0;
   bool ProofChecked = false;
   double ProofCheckSeconds = 0;
+  /// Portfolio strategy: true if this probe was cooperatively cancelled
+  /// (its Result is Unknown but does not count as evidence or an error —
+  /// a SAT answer at a smaller budget made it irrelevant).
+  bool Cancelled = false;
+  /// Pool worker that ran the probe (-1 outside the portfolio strategy).
+  int Worker = -1;
 };
 
 /// The search outcome.
@@ -64,6 +78,19 @@ struct SearchResult {
   /// immediately or a probe was inconclusive.
   bool LowerBoundProved = false;
   std::vector<Probe> Probes;
+  /// Wall-clock duration of the whole budget search. Under the portfolio
+  /// strategy this is what shrinks; CpuSeconds stays comparable to the
+  /// sequential strategies (total probe work performed).
+  double WallSeconds = 0;
+  /// Sum of every probe's encode + solve + proof-check time across all
+  /// workers (== WallSeconds for the sequential strategies, up to
+  /// bookkeeping noise).
+  double CpuSeconds = 0;
+  /// Number of probes that were cooperatively cancelled (portfolio only).
+  size_t CancelledProbes = 0;
+  /// Index into Probes of the probe whose model became Program (-1 when
+  /// !Found); Probes[WinningProbe].Worker is the winning thread.
+  int WinningProbe = -1;
 };
 
 /// Finds the minimal-cycle program for \p Goals.

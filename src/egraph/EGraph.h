@@ -26,6 +26,7 @@
 
 #include "egraph/UnionFind.h"
 #include "ir/Term.h"
+#include "support/FunctionRef.h"
 
 #include <deque>
 #include <optional>
@@ -100,6 +101,13 @@ public:
   ClassId find(ClassId C) const { return UF.find(C); }
   bool sameClass(ClassId A, ClassId B) const { return UF.sameSet(A, B); }
 
+  /// Fully compresses the union-find so subsequent find() calls are pure
+  /// reads. Until the next merge, the const query interface (find,
+  /// classConstant, classNodes, areDistinct, ...) is then safe to call
+  /// concurrently from many threads — required by the portfolio budget
+  /// search, whose probe workers all read one frozen E-graph.
+  void compressPaths() const { UF.compressAll(); }
+
   /// True if A and B are constrained uncombinable, either explicitly or
   /// because they hold different constants.
   bool areDistinct(ClassId A, ClassId B) const;
@@ -109,6 +117,15 @@ public:
 
   /// Live nodes in the class of \p C.
   std::vector<ENodeId> classNodes(ClassId C) const;
+
+  /// Applies \p Fn to every live node in the class of \p C. Allocation-free
+  /// variant of classNodes() for the e-matcher's inner loop; \p Fn must not
+  /// mutate the graph.
+  void forEachClassNode(ClassId C, FunctionRef<void(ENodeId)> Fn) const {
+    for (ENodeId N : ClassStates[UF.find(C)].Members)
+      if (Nodes[N].Alive)
+        Fn(N);
+  }
 
   /// All canonical class representatives.
   std::vector<ClassId> canonicalClasses() const;

@@ -32,11 +32,25 @@ public:
     assert(X < Parent.size() && "bad id");
     while (Parent[X] != X) {
       // Path halving (works with a const table since we only ever shortcut
-      // to an ancestor; Parent is mutable).
-      Parent[X] = Parent[Parent[X]];
-      X = Parent[X];
+      // to an ancestor; Parent is mutable). The write is skipped when it
+      // would not shorten the path, so after compressAll() a find() is
+      // purely a read — the property concurrent readers rely on.
+      uint32_t P = Parent[X];
+      uint32_t GP = Parent[P];
+      if (GP != P)
+        Parent[X] = GP;
+      X = GP;
     }
     return X;
+  }
+
+  /// Fully compresses every path: afterwards (and until the next unite)
+  /// find() performs no writes, making concurrent find() calls from many
+  /// threads safe. The portfolio budget search runs this before handing a
+  /// const E-graph to worker threads.
+  void compressAll() const {
+    for (size_t I = 0; I < Parent.size(); ++I)
+      Parent[I] = find(static_cast<uint32_t>(I));
   }
 
   /// Unions the sets of \p A and \p B; \returns the surviving root

@@ -4,6 +4,7 @@
 
 #include "match/Elaborate.h"
 #include "support/Error.h"
+#include "support/FunctionRef.h"
 
 #include <cassert>
 
@@ -16,47 +17,54 @@ namespace {
 /// Backtracking e-matcher for one axiom. Matches are reported through
 /// OnMatch; the engine never mutates the graph (matches are collected and
 /// instantiated afterwards).
+///
+/// The backtracking search is continuation-passing, but the continuations
+/// are non-owning FunctionRefs into stack frames of the search itself —
+/// the inner loop of saturation performs no heap allocation (a
+/// std::function per pattern node per candidate used to dominate the
+/// matcher's profile).
 class MatchEngine {
 public:
   MatchEngine(const EGraph &G, const Axiom &A,
-              std::function<void(const std::vector<ClassId> &)> OnMatch)
-      : G(G), A(A), OnMatch(std::move(OnMatch)),
-        Bindings(A.VarNames.size(), 0), Bound(A.VarNames.size(), 0) {}
+              FunctionRef<void(const std::vector<ClassId> &)> OnMatch)
+      : G(G), A(A), OnMatch(OnMatch), Bindings(A.VarNames.size(), 0),
+        Bound(A.VarNames.size(), 0) {}
 
   void run(PatternId Trigger) {
     const PatternNode &Root = A.pattern(Trigger);
     assert(Root.TheKind == PatternNode::Kind::App && "trigger must be App");
-    // Copy: instantiation later must not invalidate this scan; also the
-    // index may contain retired nodes, skipped here.
-    std::vector<ENodeId> Roots = G.nodesWithOp(Root.Op);
-    for (ENodeId N : Roots) {
+    // The engine only reads the graph and the match callback only collects
+    // (instantiation happens after every trigger has been scanned), so the
+    // op index is stable here — no defensive copy. Retired nodes in the
+    // index are skipped.
+    auto Report = [&] { OnMatch(Bindings); };
+    for (ENodeId N : G.nodesWithOp(Root.Op)) {
       if (!G.node(N).Alive)
         continue;
-      matchChildren(Root, N, 0, [&] { OnMatch(Bindings); });
+      matchChildren(Root, N, 0, Report);
     }
   }
 
 private:
   const EGraph &G;
   const Axiom &A;
-  std::function<void(const std::vector<ClassId> &)> OnMatch;
+  FunctionRef<void(const std::vector<ClassId> &)> OnMatch;
   std::vector<ClassId> Bindings;
   std::vector<uint8_t> Bound;
 
-  using Cont = std::function<void()>;
+  using Cont = FunctionRef<void()>;
 
-  void matchChildren(const PatternNode &P, ENodeId N, size_t Idx,
-                     const Cont &K) {
+  void matchChildren(const PatternNode &P, ENodeId N, size_t Idx, Cont K) {
     if (Idx == P.Children.size()) {
       K();
       return;
     }
     ClassId ChildClass = G.node(N).Children[Idx];
-    matchClass(P.Children[Idx], ChildClass,
-               [&] { matchChildren(P, N, Idx + 1, K); });
+    auto Rest = [&, Idx] { matchChildren(P, N, Idx + 1, K); };
+    matchClass(P.Children[Idx], ChildClass, Rest);
   }
 
-  void matchClass(PatternId PId, ClassId C, const Cont &K) {
+  void matchClass(PatternId PId, ClassId C, Cont K) {
     const PatternNode &P = A.pattern(PId);
     C = G.find(C);
     switch (P.TheKind) {
@@ -82,9 +90,10 @@ private:
     case PatternNode::Kind::App: {
       // E-matching proper: search the whole equivalence class for nodes
       // with the right operator (Figure 2's 2**2 inside 4's class).
-      for (ENodeId N : G.classNodes(C))
+      G.forEachClassNode(C, [&](ENodeId N) {
         if (G.node(N).Op == P.Op)
           matchChildren(P, N, 0, K);
+      });
       return;
     }
     }
@@ -157,6 +166,11 @@ MatchStats Matcher::saturate(EGraph &G, const MatchLimits &Limits) {
       std::vector<ClassId> Bindings;
     };
     std::vector<PendingInstance> Pending;
+    // Round-local dedup: two triggers of one axiom (or two e-nodes of one
+    // class) can report the same (axiom, bindings) instance within a
+    // round, before anything is in Done. The per-round cap applies after
+    // dedup so duplicates cannot burn the instance budget.
+    std::unordered_set<DoneKey, DoneKeyHash> SeenThisRound;
     for (uint32_t AIdx = 0; AIdx < Axioms.size(); ++AIdx) {
       const Axiom &A = Axioms[AIdx];
       if (A.VarNames.empty()) {
@@ -166,19 +180,22 @@ MatchStats Matcher::saturate(EGraph &G, const MatchLimits &Limits) {
           Pending.push_back(PendingInstance{AIdx, {}});
         continue;
       }
+      // Named local: the engine keeps a non-owning reference to it.
+      auto OnMatch = [&](const std::vector<ClassId> &Bs) {
+        ++Stats.MatchesFound;
+        std::vector<ClassId> Canon(Bs.size());
+        for (size_t I = 0; I < Bs.size(); ++I)
+          Canon[I] = G.find(Bs[I]);
+        DoneKey Key{AIdx, std::move(Canon)};
+        if (Done.count(Key) || SeenThisRound.count(Key))
+          return;
+        if (Pending.size() >= Limits.MaxInstancesPerRound)
+          return;
+        Pending.push_back(PendingInstance{AIdx, Key.Bindings});
+        SeenThisRound.insert(std::move(Key));
+      };
       for (PatternId Trigger : A.Triggers) {
-        MatchEngine Engine(G, A, [&](const std::vector<ClassId> &Bs) {
-          ++Stats.MatchesFound;
-          if (Pending.size() >= Limits.MaxInstancesPerRound)
-            return;
-          std::vector<ClassId> Canon(Bs.size());
-          for (size_t I = 0; I < Bs.size(); ++I)
-            Canon[I] = G.find(Bs[I]);
-          DoneKey Key{AIdx, Canon};
-          if (Done.count(Key))
-            return;
-          Pending.push_back(PendingInstance{AIdx, std::move(Canon)});
-        });
+        MatchEngine Engine(G, A, OnMatch);
         Engine.run(Trigger);
       }
     }

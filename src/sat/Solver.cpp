@@ -422,6 +422,7 @@ uint64_t Solver::luby(uint64_t I) {
 }
 
 SolveResult Solver::solve() {
+  WasInterrupted = false;
   if (Unsatisfiable) {
     if (LogProof && (Proof.empty() || !Proof.back().empty()))
       Proof.push_back(ClauseLits{});
@@ -441,6 +442,12 @@ SolveResult Solver::solve() {
 
   ClauseLits Learnt;
   for (;;) {
+    // Each iteration is one conflict, restart, or decision boundary — the
+    // granularity at which cancellation and the conflict budget act.
+    if (Interrupt && Interrupt->load(std::memory_order_relaxed)) {
+      WasInterrupted = true;
+      return SolveResult::Unknown;
+    }
     CRef Confl = propagate();
     if (Confl != InvalidCRef) {
       ++Stats.Conflicts;

@@ -17,6 +17,7 @@
 
 #include "sat/SatTypes.h"
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -62,6 +63,18 @@ public:
   /// Limits the search effort; Unknown is returned when exceeded.
   /// 0 means unlimited.
   void setConflictBudget(uint64_t Budget) { ConflictBudget = Budget; }
+
+  /// Cooperative cancellation: solve() polls \p Flag (relaxed) at its
+  /// conflict/decision/restart boundaries — the same places the conflict
+  /// budget is enforced — and returns Unknown once it reads true. The flag
+  /// must outlive the solve() call; pass nullptr to detach. Used by the
+  /// portfolio budget search to abandon probes a SAT result at a smaller
+  /// budget has made irrelevant.
+  void setInterrupt(const std::atomic<bool> *Flag) { Interrupt = Flag; }
+
+  /// True if the last solve() returned Unknown because the interrupt flag
+  /// fired (as opposed to exhausting the conflict budget).
+  bool interrupted() const { return WasInterrupted; }
 
   /// Enables clausal proof logging: every learnt clause is recorded in
   /// derivation order (a DRAT proof without deletions). After an Unsat
@@ -136,6 +149,8 @@ private:
 
   uint64_t ProblemClauses = 0;
   uint64_t ConflictBudget = 0;
+  const std::atomic<bool> *Interrupt = nullptr;
+  bool WasInterrupted = false;
   bool Unsatisfiable = false;
   SolverStats Stats;
   bool LogProof = false;

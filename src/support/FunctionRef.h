@@ -1,0 +1,54 @@
+//===- support/FunctionRef.h - Non-owning callable reference ----*- C++ -*-===//
+///
+/// \file
+/// A lightweight, non-owning reference to a callable (two pointers, no heap
+/// allocation), in the spirit of llvm::function_ref. Used on hot paths —
+/// notably the e-matcher's continuation-passing search — where a
+/// std::function per call would allocate.
+///
+/// A FunctionRef must not outlive the callable it was constructed from; it
+/// is intended for parameters invoked within the callee's dynamic extent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DENALI_SUPPORT_FUNCTIONREF_H
+#define DENALI_SUPPORT_FUNCTIONREF_H
+
+#include <type_traits>
+#include <utility>
+
+namespace denali {
+
+template <typename Fn> class FunctionRef;
+
+template <typename Ret, typename... Params> class FunctionRef<Ret(Params...)> {
+  Ret (*Callback)(void *Callable, Params... Ps) = nullptr;
+  void *Callable = nullptr;
+
+  template <typename Callee>
+  static Ret callbackFn(void *C, Params... Ps) {
+    return (*reinterpret_cast<Callee *>(C))(std::forward<Params>(Ps)...);
+  }
+
+public:
+  FunctionRef() = default;
+
+  template <typename Callee,
+            typename = std::enable_if_t<!std::is_same_v<
+                std::remove_cv_t<std::remove_reference_t<Callee>>,
+                FunctionRef>>>
+  FunctionRef(Callee &&Fn) // NOLINT: implicit by design, like llvm's.
+      : Callback(callbackFn<std::remove_reference_t<Callee>>),
+        Callable(const_cast<void *>(
+            static_cast<const void *>(std::addressof(Fn)))) {}
+
+  Ret operator()(Params... Ps) const {
+    return Callback(Callable, std::forward<Params>(Ps)...);
+  }
+
+  explicit operator bool() const { return Callback != nullptr; }
+};
+
+} // namespace denali
+
+#endif // DENALI_SUPPORT_FUNCTIONREF_H

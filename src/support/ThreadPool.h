@@ -1,0 +1,104 @@
+//===- support/ThreadPool.h - Worker pool + cancellation --------*- C++ -*-===//
+///
+/// \file
+/// A reusable fixed-size worker pool and a cooperative cancellation token,
+/// used by the portfolio budget search (codegen/Search.cpp) to run SAT
+/// probes for several cycle budgets concurrently and to abandon probes a
+/// completed probe has made irrelevant.
+///
+/// Tasks are arbitrary callables; submit() returns a std::future carrying
+/// the task's result or, if it threw, its exception. Cancellation is
+/// cooperative: cancelling a token never interrupts a thread — long-running
+/// work (the SAT solver's CDCL loop) polls the token's flag at safe
+/// boundaries and winds down on its own.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DENALI_SUPPORT_THREADPOOL_H
+#define DENALI_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace denali {
+namespace support {
+
+/// A shareable cancellation flag. Copies refer to the same flag; any copy
+/// may request cancellation and any may poll it. The raw atomic can be
+/// handed to code (sat::Solver::setInterrupt) that should poll without
+/// owning the token.
+class CancellationToken {
+public:
+  CancellationToken() : Flag(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Requests cancellation. Idempotent, thread-safe.
+  void requestCancel() { Flag->store(true, std::memory_order_relaxed); }
+
+  /// True once cancellation was requested.
+  bool isCancelled() const { return Flag->load(std::memory_order_relaxed); }
+
+  /// The underlying flag, for pollers that only need to read it. Valid as
+  /// long as any token copy is alive.
+  const std::atomic<bool> *flag() const { return Flag.get(); }
+
+private:
+  std::shared_ptr<std::atomic<bool>> Flag;
+};
+
+/// A fixed-size pool of worker threads draining a FIFO task queue.
+/// Destruction drains nothing: queued-but-unstarted tasks are discarded
+/// (their futures are abandoned as broken promises), running tasks are
+/// joined. Keep the pool alive until every future you care about is ready.
+class ThreadPool {
+public:
+  /// Spawns \p Threads workers (at least one).
+  explicit ThreadPool(unsigned Threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned numThreads() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Enqueues \p Fn; the returned future delivers its result or exception.
+  template <typename Fn>
+  auto submit(Fn &&Work) -> std::future<std::invoke_result_t<Fn>> {
+    using Ret = std::invoke_result_t<Fn>;
+    auto Task =
+        std::make_shared<std::packaged_task<Ret()>>(std::forward<Fn>(Work));
+    std::future<Ret> Result = Task->get_future();
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Queue.emplace_back([Task] { (*Task)(); });
+    }
+    WorkAvailable.notify_one();
+    return Result;
+  }
+
+  /// The index of the pool worker running the calling thread, or -1 when
+  /// called from a non-pool thread. Probes report it so portfolio runs can
+  /// attribute the winning schedule to a thread.
+  static int currentWorkerId();
+
+private:
+  void workerLoop(unsigned Index);
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Queue;
+  std::mutex Mutex;
+  std::condition_variable WorkAvailable;
+  bool Stopping = false;
+};
+
+} // namespace support
+} // namespace denali
+
+#endif // DENALI_SUPPORT_THREADPOOL_H
