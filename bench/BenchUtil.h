@@ -28,6 +28,38 @@ inline std::string byteswapSource(unsigned N) {
                    Body.c_str());
 }
 
+/// The packet-checksum loop body for \p Lanes lanes, with the
+/// program-specific ones-complement add/carry axioms (E5/E12).
+inline std::string checksumSource(unsigned Lanes) {
+  std::string Src = R"(
+(\opdecl carry (long long) long)
+(\axiom (forall (a b) (pats (carry a b))
+  (eq (carry a b) (\cmpult (\add64 a b) a))))
+(\axiom (forall (a b) (pats (carry a b))
+  (eq (carry a b) (\cmpult (\add64 a b) b))))
+(\opdecl add (long long) long)
+(\axiom (forall (a b c) (pats (add a (add b c)))
+  (eq (add a (add b c)) (add (add a b) c))))
+(\axiom (forall (a b c) (pats (add (add a b) c))
+  (eq (add a (add b c)) (add (add a b) c))))
+(\axiom (forall (a b) (pats (add a b)) (eq (add a b) (add b a))))
+(\axiom (forall (a b) (pats (add a b))
+  (eq (add a b) (\add64 (\add64 a b) (carry a b)))))
+(\procdecl checksum_loop ((ptr (\ref long)) (ptrend (\ref long))
+)";
+  for (unsigned L = 1; L <= Lanes; ++L)
+    Src += strFormat("  (sum%u long) (v%u long)\n", L, L);
+  Src += ") long\n  (\\do (-> (< ptr ptrend)\n    (\\semi\n      (:=";
+  for (unsigned L = 1; L <= Lanes; ++L)
+    Src += strFormat(" (sum%u (add sum%u v%u))", L, L, L);
+  Src += strFormat(")\n      (:= (ptr (+ ptr %u)))\n", 8 * Lanes);
+  for (unsigned L = 1; L <= Lanes; ++L)
+    Src += strFormat("      (:= (v%u (\\deref (+ ptr %u))))\n", L,
+                     8 * (L - 1));
+  Src += "))))"; // \semi, ->, \do, \procdecl.
+  return Src;
+}
+
 inline void banner(const char *Id, const char *Title) {
   std::printf("\n=== %s: %s ===\n", Id, Title);
 }

@@ -21,36 +21,6 @@
 using namespace denali;
 using namespace denali::bench;
 
-static std::string checksumSource(unsigned Lanes) {
-  std::string Src = R"(
-(\opdecl carry (long long) long)
-(\axiom (forall (a b) (pats (carry a b))
-  (eq (carry a b) (\cmpult (\add64 a b) a))))
-(\axiom (forall (a b) (pats (carry a b))
-  (eq (carry a b) (\cmpult (\add64 a b) b))))
-(\opdecl add (long long) long)
-(\axiom (forall (a b c) (pats (add a (add b c)))
-  (eq (add a (add b c)) (add (add a b) c))))
-(\axiom (forall (a b c) (pats (add (add a b) c))
-  (eq (add a (add b c)) (add (add a b) c))))
-(\axiom (forall (a b) (pats (add a b)) (eq (add a b) (add b a))))
-(\axiom (forall (a b) (pats (add a b))
-  (eq (add a b) (\add64 (\add64 a b) (carry a b)))))
-(\procdecl checksum_loop ((ptr (\ref long)) (ptrend (\ref long))
-)";
-  for (unsigned L = 1; L <= Lanes; ++L)
-    Src += strFormat("  (sum%u long) (v%u long)\n", L, L);
-  Src += ") long\n  (\\do (-> (< ptr ptrend)\n    (\\semi\n      (:=";
-  for (unsigned L = 1; L <= Lanes; ++L)
-    Src += strFormat(" (sum%u (add sum%u v%u))", L, L, L);
-  Src += strFormat(")\n      (:= (ptr (+ ptr %u)))\n", 8 * Lanes);
-  for (unsigned L = 1; L <= Lanes; ++L)
-    Src += strFormat("      (:= (v%u (\\deref (+ ptr %u))))\n", L,
-                     8 * (L - 1));
-  Src += "))))"; // \semi, ->, \do, \procdecl.
-  return Src;
-}
-
 int main() {
   banner("E5", "checksum loop body vs unroll factor (lanes)");
   std::printf("paper: 4-lane loop body = 10 cycles, 31 instructions "

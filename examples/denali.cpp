@@ -10,6 +10,10 @@
 //                        probes made irrelevant by a SAT answer
 //     --threads N        portfolio worker count / window width
 //                        (default: hardware concurrency)
+//     --incremental      reuse one SAT solver across the budget ladder
+//                        (monotone encoding + assumption per budget);
+//                        composes with --binary-search, alone it runs
+//                        the linear ladder incrementally
 //     --show-nops        print nops in unfilled issue slots (Figure 4 style)
 //     --no-verify        skip differential verification
 //     --stats            print matcher/SAT statistics per GMA
@@ -41,6 +45,8 @@ int main(int argc, char **argv) {
       Opts.Search.Strategy = codegen::SearchStrategy::Portfolio;
     } else if (!std::strcmp(argv[I], "--threads") && I + 1 < argc) {
       Opts.Search.Threads = static_cast<unsigned>(std::atoi(argv[++I]));
+    } else if (!std::strcmp(argv[I], "--incremental")) {
+      Opts.Search.Incremental = true;
     } else if (!std::strcmp(argv[I], "--show-nops")) {
       ShowNops = true;
     } else if (!std::strcmp(argv[I], "--no-verify")) {
@@ -59,8 +65,8 @@ int main(int argc, char **argv) {
   if (!Path) {
     std::fprintf(stderr,
                  "usage: denali [--max-cycles N] [--binary-search] "
-                 "[--portfolio] [--threads N] [--show-nops] [--no-verify] "
-                 "[--stats] [--dump-cnf DIR] file.dnl\n");
+                 "[--portfolio] [--threads N] [--incremental] [--show-nops] "
+                 "[--no-verify] [--stats] [--dump-cnf DIR] file.dnl\n");
     return 2;
   }
 

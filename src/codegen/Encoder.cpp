@@ -18,30 +18,43 @@ EncodingStats Encoder::encode(Solver &S, const std::vector<NamedGoal> &Goals,
                               const EncoderOptions &Opts) {
   const unsigned K = Opts.Cycles;
   const unsigned NC = numClusters(Opts);
-  LVars.clear();
-  BVars.clear();
+  LastCycles = K;
+  LastClusters = NC;
 
   const std::vector<MachineTerm> &Terms = U.terms();
+  const std::vector<ClassId> &Needed = U.neededClasses();
 
   // --- Variables -----------------------------------------------------------
+  // Dense tables; creation order (all L's, then all B's) matches the
+  // variable numbering the tree-map encoder produced.
+  LDense.assign(Terms.size() * alpha::NumUnits * K, -1);
   for (size_t T = 0; T < Terms.size(); ++T)
     for (alpha::Unit Un : Terms[T].Units)
       for (unsigned I = 0; I < K; ++I)
-        LVars[{T, alpha::unitIndex(Un), I}] = S.newVar();
-  for (ClassId Q : U.neededClasses())
+        LDense[lIndex(T, alpha::unitIndex(Un), I)] = S.newVar();
+  BDense.assign(Needed.size() * NC * K, -1);
+  BClassRow.clear();
+  BClassRow.reserve(Needed.size() * 2);
+  for (size_t R = 0; R < Needed.size(); ++R) {
+    if (!BClassRow.emplace(G.find(Needed[R]), static_cast<uint32_t>(R))
+             .second)
+      continue; // Duplicate canonical class; first row wins.
     for (unsigned C = 0; C < NC; ++C)
       for (unsigned I = 0; I < K; ++I)
-        BVars[{Q, C, I}] = S.newVar();
+        BDense[bIndex(static_cast<uint32_t>(R), C, I)] = S.newVar();
+  }
 
   auto LVar = [&](size_t T, alpha::Unit Un, unsigned I) {
-    auto It = LVars.find({T, alpha::unitIndex(Un), I});
-    assert(It != LVars.end() && "missing L variable");
-    return Lit::pos(It->second);
+    sat::Var V = LDense[lIndex(T, alpha::unitIndex(Un), I)];
+    assert(V >= 0 && "missing L variable");
+    return Lit::pos(V);
   };
   auto BVar = [&](ClassId Q, unsigned C, unsigned I) {
-    auto It = BVars.find({G.find(Q), C, I});
-    assert(It != BVars.end() && "missing B variable");
-    return Lit::pos(It->second);
+    auto It = BClassRow.find(G.find(Q));
+    assert(It != BClassRow.end() && "missing B class");
+    sat::Var V = BDense[bIndex(It->second, C, I)];
+    assert(V >= 0 && "missing B variable");
+    return Lit::pos(V);
   };
 
   // Extra cycles before term T's result (launched on unit Un) is usable on
@@ -111,23 +124,27 @@ EncodingStats Encoder::encode(Solver &S, const std::vector<NamedGoal> &Goals,
     for (unsigned I = 0; I < K; ++I) {
       sat::ClauseLits Group;
       for (size_t T = 0; T < Terms.size(); ++T) {
-        auto It = LVars.find({T, UIdx, I});
-        if (It != LVars.end())
-          Group.push_back(Lit::pos(It->second));
+        sat::Var V = LDense[lIndex(T, UIdx, I)];
+        if (V >= 0)
+          Group.push_back(Lit::pos(V));
       }
       sat::addAtMostOne(S, Group, Opts.AmoStyle);
     }
   }
 
   // --- Condition 5: goals computed within K cycles. ------------------------
-  for (const NamedGoal &Goal : Goals) {
-    ClassId Q = G.find(Goal.Class);
-    if (U.isFree(Q))
-      continue;
-    sat::ClauseLits Clause;
-    for (unsigned C = 0; C < NC; ++C)
-      Clause.push_back(BVar(Q, C, K - 1));
-    S.addClause(Clause);
+  // In monotone mode every budget's deadline is gated by its activation
+  // literal instead (below), so no unconditional deadline is emitted.
+  if (!Opts.Monotone) {
+    for (const NamedGoal &Goal : Goals) {
+      ClassId Q = G.find(Goal.Class);
+      if (U.isFree(Q))
+        continue;
+      sat::ClauseLits Clause;
+      for (unsigned C = 0; C < NC; ++C)
+        Clause.push_back(BVar(Q, C, K - 1));
+      S.addClause(Clause);
+    }
   }
 
   // --- Section 7: guard before unsafe (memory) operations. -----------------
@@ -185,6 +202,39 @@ EncodingStats Encoder::encode(Solver &S, const std::vector<NamedGoal> &Goals,
     }
   }
 
+  // --- Monotone budget ladder (incremental search). -------------------------
+  // One activation literal per budget B: E_B means "some launch at cycle
+  // >= B". Solving under the assumption ¬E_B therefore (a) forbids every
+  // launch at cycle B or later (via the chain E_{B+1} -> E_B and the
+  // per-launch clauses L(t,u,i) -> E_i), and (b) activates the budget-B
+  // goal deadline (E_B ∨ ⋁_c B(goal, c, B-1)). Restricted to cycles < B
+  // the constraint set is exactly the fresh budget-B encoding, so each
+  // probe keeps the paper's SAT/UNSAT evidence while one solver carries
+  // learnt clauses across the whole ladder.
+  ExceedVars.clear();
+  if (Opts.Monotone) {
+    ExceedVars.assign(K + 1, -1);
+    for (unsigned B = 1; B <= K; ++B)
+      ExceedVars[B] = S.newVar();
+    for (unsigned B = 1; B < K; ++B)
+      S.addClause(Lit::neg(ExceedVars[B + 1]), Lit::pos(ExceedVars[B]));
+    for (size_t T = 0; T < Terms.size(); ++T)
+      for (alpha::Unit Un : Terms[T].Units)
+        for (unsigned I = 1; I < K; ++I)
+          S.addClause(~LVar(T, Un, I), Lit::pos(ExceedVars[I]));
+    for (unsigned B = 1; B <= K; ++B) {
+      for (const NamedGoal &Goal : Goals) {
+        ClassId Q = G.find(Goal.Class);
+        if (U.isFree(Q))
+          continue;
+        sat::ClauseLits Clause{Lit::pos(ExceedVars[B])};
+        for (unsigned C = 0; C < NC; ++C)
+          Clause.push_back(BVar(Q, C, B - 1));
+        S.addClause(Clause);
+      }
+    }
+  }
+
   EncodingStats Stats;
   Stats.Cycles = K;
   Stats.Vars = S.numVars();
@@ -192,6 +242,12 @@ EncodingStats Encoder::encode(Solver &S, const std::vector<NamedGoal> &Goals,
   Stats.MachineTerms = Terms.size();
   Stats.Classes = U.neededClasses().size();
   return Stats;
+}
+
+sat::Lit Encoder::budgetAssumption(unsigned K) const {
+  assert(K >= 1 && K < ExceedVars.size() && ExceedVars[K] >= 0 &&
+         "budget outside the monotone encode's range");
+  return Lit::neg(ExceedVars[K]);
 }
 
 alpha::Program Encoder::extract(const Solver &S,
@@ -217,12 +273,21 @@ alpha::Program Encoder::extract(const Solver &S,
     unsigned Cycle;
     uint32_t VReg;
   };
+  // Dense scan in (term, unit, cycle) order — the same deterministic order
+  // the old tree-map iteration produced. In monotone mode launches beyond
+  // the SAT budget are false in the model (forced by the assumption), so
+  // scanning all encoded cycles is still exact.
   std::vector<Launch> Launches;
-  for (const auto &[Key, V] : LVars) {
-    if (!S.modelValue(V))
-      continue;
-    Launches.push_back(Launch{Key.Term, alpha::unitFromIndex(Key.Unit),
-                              Key.Cycle, NextReg++});
+  for (size_t T = 0; T < Terms.size(); ++T) {
+    for (unsigned UIdx = 0; UIdx < alpha::NumUnits; ++UIdx) {
+      for (unsigned I = 0; I < LastCycles; ++I) {
+        sat::Var V = LDense[lIndex(T, UIdx, I)];
+        if (V < 0 || !S.modelValue(V))
+          continue;
+        Launches.push_back(
+            Launch{T, alpha::unitFromIndex(UIdx), I, NextReg++});
+      }
+    }
   }
 
   // Producer lookup: the launch of a term in class Q whose result is usable

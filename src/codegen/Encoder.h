@@ -32,15 +32,15 @@
 #include "sat/Encodings.h"
 #include "sat/Solver.h"
 
-#include <map>
 #include <optional>
+#include <unordered_map>
 
 namespace denali {
 namespace codegen {
 
 /// Options of one encoding run.
 struct EncoderOptions {
-  unsigned Cycles = 4; ///< The budget K.
+  unsigned Cycles = 4; ///< The budget K (the ceiling MaxCycles if Monotone).
   sat::AtMostOneStyle AmoStyle = sat::AtMostOneStyle::Ladder;
   /// Ablation: model a single cluster (no cross-cluster delay, B indexed
   /// by one cluster).
@@ -48,6 +48,12 @@ struct EncoderOptions {
   /// If set, loads and stores may only launch after this class (the GMA
   /// guard) has been computed.
   std::optional<egraph::ClassId> GuardClass;
+  /// Monotone mode: encode once up to Cycles with one activation literal
+  /// per budget K in [1, Cycles] (see budgetAssumption), so a single
+  /// incremental solver serves the whole probe ladder. Without an
+  /// assumption the instance is trivially satisfiable (every budget
+  /// deadline is gated), so it only makes sense with solve(assumptions).
+  bool Monotone = false;
 };
 
 /// Size statistics of one encoding (reported like the paper's "1639
@@ -80,37 +86,44 @@ public:
 
   /// After encode() and a Sat solve() on the same solver: reads the
   /// schedule off the model (the L's assigned true determine the machine
-  /// program, section 6) and wires operands into a Program.
+  /// program, section 6) and wires operands into a Program. In monotone
+  /// mode pass Opts.Cycles = the SAT budget K (the model was produced
+  /// under budgetAssumption(K), so no launch at a later cycle is true).
   alpha::Program extract(const sat::Solver &S,
                          const std::vector<NamedGoal> &Goals,
                          const EncoderOptions &Opts,
                          const std::string &Name) const;
+
+  /// After a Monotone encode(): the assumption literal meaning "no program
+  /// longer than \p K cycles" (¬E_K — it forbids every launch at cycle
+  /// >= K and activates the budget-K goal deadline). Valid for K in
+  /// [1, Cycles of the encode].
+  sat::Lit budgetAssumption(unsigned K) const;
 
 private:
   const egraph::EGraph &G;
   const alpha::ISA &Isa;
   const Universe &U;
 
-  // Variable maps of the most recent encode().
-  struct LKey {
-    size_t Term;
-    unsigned Unit;
-    unsigned Cycle;
-    bool operator<(const LKey &O) const {
-      return std::tie(Term, Unit, Cycle) < std::tie(O.Term, O.Unit, O.Cycle);
-    }
-  };
-  std::map<LKey, sat::Var> LVars;
-  struct BKey {
-    egraph::ClassId Class;
-    unsigned Cluster;
-    unsigned Cycle;
-    bool operator<(const BKey &O) const {
-      return std::tie(Class, Cluster, Cycle) <
-             std::tie(O.Class, O.Cluster, O.Cycle);
-    }
-  };
-  std::map<BKey, sat::Var> BVars;
+  // Variable maps of the most recent encode(). Dense per-key vectors (L:
+  // term x unit x cycle; B: needed-class row x cluster x cycle) — these
+  // lookups are the hot path of every encode, and tree maps were measurable
+  // there. -1 marks an absent variable.
+  std::vector<sat::Var> LDense;
+  std::vector<sat::Var> BDense;
+  std::unordered_map<egraph::ClassId, uint32_t> BClassRow;
+  unsigned LastCycles = 0;   ///< K of the most recent encode.
+  unsigned LastClusters = 0; ///< NC of the most recent encode.
+  /// Monotone mode: E_K ("some launch at cycle >= K") per budget K; index
+  /// 0 unused.
+  std::vector<sat::Var> ExceedVars;
+
+  size_t lIndex(size_t Term, unsigned UnitIdx, unsigned Cycle) const {
+    return (Term * alpha::NumUnits + UnitIdx) * LastCycles + Cycle;
+  }
+  size_t bIndex(uint32_t Row, unsigned Cluster, unsigned Cycle) const {
+    return (Row * LastClusters + Cluster) * LastCycles + Cycle;
+  }
 
   unsigned numClusters(const EncoderOptions &Opts) const {
     return Opts.SingleCluster ? 1 : alpha::NumClusters;

@@ -20,6 +20,18 @@ using denali::sat::SolveResult;
 
 namespace {
 
+/// Writes one probe's CNF to <DumpCnfDir>/<name>.K<cycles>.cnf.
+void dumpProbeCnf(const SearchOptions &Opts, const std::string &Name,
+                  unsigned K, const sat::Cnf &F) {
+  std::string Path = strFormat("%s/%s.K%u.cnf", Opts.DumpCnfDir.c_str(),
+                               Name.empty() ? "gma" : Name.c_str(), K);
+  if (FILE *Out = std::fopen(Path.c_str(), "w")) {
+    std::string Text = F.toDimacs();
+    std::fwrite(Text.data(), 1, Text.size(), Out);
+    std::fclose(Out);
+  }
+}
+
 /// Runs one probe at budget K; on Sat, fills \p ProgramOut. With a nonnull
 /// \p CancelFlag the solver winds down cooperatively once it reads true,
 /// and the probe is marked Cancelled instead of producing evidence.
@@ -47,13 +59,7 @@ Probe runProbe(Encoder &Enc, const std::vector<NamedGoal> &Goals,
     sat::Cnf F;
     F.NumVars = S.numVars();
     F.Clauses = S.problemClauses();
-    std::string Path = strFormat("%s/%s.K%u.cnf", Opts.DumpCnfDir.c_str(),
-                                 Name.empty() ? "gma" : Name.c_str(), K);
-    if (FILE *Out = std::fopen(Path.c_str(), "w")) {
-      std::string Text = F.toDimacs();
-      std::fwrite(Text.data(), 1, Text.size(), Out);
-      std::fclose(Out);
-    }
+    dumpProbeCnf(Opts, Name, K, F);
   }
   T.reset();
   P.Result = S.solve();
@@ -72,6 +78,174 @@ Probe runProbe(Encoder &Enc, const std::vector<NamedGoal> &Goals,
     P.ProofCheckSeconds = T.seconds();
   }
   return P;
+}
+
+/// Drives the Linear budget ladder through \p ProbeK — a callable probing
+/// one budget (recording the probe in Result) and returning its
+/// SolveResult, with the program filled on Sat. Shared by the fresh-solver
+/// and incremental paths, so both report identical evidence.
+template <typename ProbeFn>
+SearchResult &runLinearLadder(SearchResult &Result, const SearchOptions &Opts,
+                              ProbeFn &&ProbeK) {
+  for (unsigned K = Opts.MinCycles; K <= Opts.MaxCycles; ++K) {
+    std::optional<alpha::Program> Prog;
+    SolveResult R = ProbeK(K, Prog);
+    if (R == SolveResult::Sat) {
+      Result.Found = true;
+      Result.Cycles = K;
+      Result.Program = std::move(*Prog);
+      Result.LowerBoundProved = K > Opts.MinCycles;
+      Result.WinningProbe = static_cast<int>(Result.Probes.size()) - 1;
+      return Result;
+    }
+    if (R == SolveResult::Unknown) {
+      Result.Error =
+          strFormat("probe at %u cycles exceeded the conflict budget", K);
+      return Result;
+    }
+  }
+  Result.Error = strFormat("no program within %u cycles", Opts.MaxCycles);
+  return Result;
+}
+
+/// Binary search: find a feasible Hi by doubling, then bisect
+/// [Lo = largest proved-infeasible + 1, Hi = smallest known-feasible].
+template <typename ProbeFn>
+SearchResult &runBinaryLadder(SearchResult &Result, const SearchOptions &Opts,
+                              ProbeFn &&ProbeK) {
+  unsigned Lo = Opts.MinCycles;
+  unsigned Hi = Opts.MinCycles;
+  std::optional<alpha::Program> BestProg;
+  unsigned BestK = 0;
+  int BestIdx = -1;
+  bool AnyUnsat = false;
+  for (;;) {
+    std::optional<alpha::Program> Prog;
+    SolveResult R = ProbeK(Hi, Prog);
+    if (R == SolveResult::Sat) {
+      BestProg = std::move(Prog);
+      BestK = Hi;
+      BestIdx = static_cast<int>(Result.Probes.size()) - 1;
+      break;
+    }
+    if (R == SolveResult::Unknown) {
+      Result.Error =
+          strFormat("probe at %u cycles exceeded the conflict budget", Hi);
+      return Result;
+    }
+    AnyUnsat = true;
+    Lo = Hi + 1;
+    if (Hi >= Opts.MaxCycles) {
+      Result.Error = strFormat("no program within %u cycles", Opts.MaxCycles);
+      return Result;
+    }
+    Hi = std::min(Opts.MaxCycles, Hi * 2);
+  }
+  while (Lo < BestK) {
+    unsigned Mid = Lo + (BestK - Lo) / 2;
+    std::optional<alpha::Program> Prog;
+    SolveResult R = ProbeK(Mid, Prog);
+    if (R == SolveResult::Sat) {
+      BestProg = std::move(Prog);
+      BestK = Mid;
+      BestIdx = static_cast<int>(Result.Probes.size()) - 1;
+    } else if (R == SolveResult::Unsat) {
+      AnyUnsat = true;
+      Lo = Mid + 1;
+    } else {
+      Result.Error =
+          strFormat("probe at %u cycles exceeded the conflict budget", Mid);
+      return Result;
+    }
+  }
+  Result.Found = true;
+  Result.Cycles = BestK;
+  Result.Program = std::move(*BestProg);
+  Result.LowerBoundProved = AnyUnsat && BestK > Opts.MinCycles;
+  Result.WinningProbe = BestIdx;
+  return Result;
+}
+
+/// The incremental budget search: encode once (monotone, up to MaxCycles),
+/// then drive the Linear or Binary ladder with assumption-based probes on
+/// a single long-lived solver. Learnt clauses, VSIDS activities, and saved
+/// phases persist across probes; UNSAT-at-K still means exactly "no
+/// K-cycle program computes the goals" because the assumption ¬E_K
+/// restricts the monotone instance to the fresh budget-K encoding.
+SearchResult searchIncremental(const egraph::EGraph &G, const alpha::ISA &Isa,
+                               const Universe &U,
+                               const std::vector<NamedGoal> &Goals,
+                               const SearchOptions &Opts,
+                               const std::string &Name, bool Binary) {
+  SearchResult Result;
+  Encoder Enc(G, Isa, U);
+  sat::Solver S;
+  if (Opts.ConflictBudget)
+    S.setConflictBudget(Opts.ConflictBudget);
+  if (Opts.CertifyRefutations)
+    S.enableProofLogging();
+  EncoderOptions EncOpts = Opts.Encoding;
+  EncOpts.Cycles = std::max(Opts.MaxCycles, 1u);
+  EncOpts.Monotone = true;
+  Timer T;
+  EncodingStats EncStats = Enc.encode(S, Goals, EncOpts);
+  double EncodeSeconds = T.seconds();
+  bool FirstProbe = true;
+
+  auto ProbeK = [&](unsigned K, std::optional<alpha::Program> &Prog) {
+    sat::Lit Assumption = Enc.budgetAssumption(K);
+    Probe P;
+    P.Cycles = K;
+    P.Stats = EncStats;
+    P.Stats.Cycles = K;
+    if (FirstProbe) {
+      P.EncodeSeconds = EncodeSeconds;
+      FirstProbe = false;
+    }
+    if (!Opts.DumpCnfDir.empty()) {
+      // The probe instance is the shared CNF plus the budget assumption
+      // as a unit clause (learnt level-0 facts from earlier probes are
+      // included; they are implied, so the dump stays equisatisfiable
+      // with the fresh budget-K encoding).
+      sat::Cnf F;
+      F.NumVars = S.numVars();
+      F.Clauses = S.problemClauses();
+      F.Clauses.push_back(sat::ClauseLits{Assumption});
+      dumpProbeCnf(Opts, Name, K, F);
+    }
+    uint64_t ConflictsBefore = S.stats().Conflicts;
+    Timer ProbeTimer;
+    P.Result = S.solve({Assumption});
+    P.SolveSeconds = ProbeTimer.seconds();
+    P.Conflicts = S.stats().Conflicts - ConflictsBefore;
+    P.Cancelled = S.interrupted();
+    if (P.Result == SolveResult::Sat) {
+      EncoderOptions ExtractOpts = EncOpts;
+      ExtractOpts.Cycles = K;
+      Prog = Enc.extract(S, Goals, ExtractOpts, Name);
+    } else if (P.Result == SolveResult::Unsat && Opts.CertifyRefutations) {
+      // Certificate: against the shared CNF plus the assumption as a unit,
+      // the cumulative learnt-clause log ends with the final assumption
+      // conflict (E_K), so the empty clause follows by unit propagation.
+      ProbeTimer.reset();
+      sat::Cnf F;
+      F.NumVars = S.numVars();
+      F.Clauses = S.problemClauses();
+      F.Clauses.push_back(sat::ClauseLits{Assumption});
+      std::vector<sat::ClauseLits> Proof = S.proof();
+      if (Proof.empty() || !Proof.back().empty())
+        Proof.push_back(sat::ClauseLits{});
+      P.ProofSteps = Proof.size();
+      P.ProofChecked = sat::checkRupProof(F, Proof);
+      P.ProofCheckSeconds = ProbeTimer.seconds();
+    }
+    Result.Probes.push_back(std::move(P));
+    return Result.Probes.back().Result;
+  };
+
+  if (Binary)
+    return runBinaryLadder(Result, Opts, ProbeK);
+  return runLinearLadder(Result, Opts, ProbeK);
 }
 
 /// The portfolio outer loop: probes a window of budgets [Base, Base+W)
@@ -219,87 +393,20 @@ SearchResult searchBudgetsImpl(const egraph::EGraph &G, const alpha::ISA &Isa,
   if (Opts.Strategy == SearchStrategy::Portfolio)
     return searchPortfolio(G, Isa, U, Goals, Opts, Name);
 
-  auto probe = [&](unsigned K, std::optional<alpha::Program> &Prog) {
+  if (Opts.Strategy == SearchStrategy::Incremental || Opts.Incremental)
+    return searchIncremental(G, Isa, U, Goals, Opts, Name,
+                             /*Binary=*/Opts.Strategy ==
+                                 SearchStrategy::Binary);
+
+  auto ProbeK = [&](unsigned K, std::optional<alpha::Program> &Prog) {
     Probe P = runProbe(Enc, Goals, Opts, K, Prog, Name);
     Result.Probes.push_back(P);
     return P.Result;
   };
 
-  if (Opts.Strategy == SearchStrategy::Linear) {
-    for (unsigned K = Opts.MinCycles; K <= Opts.MaxCycles; ++K) {
-      std::optional<alpha::Program> Prog;
-      SolveResult R = probe(K, Prog);
-      if (R == SolveResult::Sat) {
-        Result.Found = true;
-        Result.Cycles = K;
-        Result.Program = std::move(*Prog);
-        Result.LowerBoundProved = K > Opts.MinCycles;
-        Result.WinningProbe = static_cast<int>(Result.Probes.size()) - 1;
-        return Result;
-      }
-      if (R == SolveResult::Unknown) {
-        Result.Error = strFormat("probe at %u cycles exceeded the conflict "
-                                 "budget", K);
-        return Result;
-      }
-    }
-    Result.Error = strFormat("no program within %u cycles", Opts.MaxCycles);
-    return Result;
-  }
-
-  // Binary search: find a feasible Hi by doubling, then bisect
-  // [Lo = largest proved-infeasible + 1, Hi = smallest known-feasible].
-  unsigned Lo = Opts.MinCycles;
-  unsigned Hi = Opts.MinCycles;
-  std::optional<alpha::Program> BestProg;
-  unsigned BestK = 0;
-  int BestIdx = -1;
-  bool AnyUnsat = false;
-  for (;;) {
-    std::optional<alpha::Program> Prog;
-    SolveResult R = probe(Hi, Prog);
-    if (R == SolveResult::Sat) {
-      BestProg = std::move(Prog);
-      BestK = Hi;
-      BestIdx = static_cast<int>(Result.Probes.size()) - 1;
-      break;
-    }
-    if (R == SolveResult::Unknown) {
-      Result.Error = strFormat("probe at %u cycles exceeded the conflict "
-                               "budget", Hi);
-      return Result;
-    }
-    AnyUnsat = true;
-    Lo = Hi + 1;
-    if (Hi >= Opts.MaxCycles) {
-      Result.Error = strFormat("no program within %u cycles", Opts.MaxCycles);
-      return Result;
-    }
-    Hi = std::min(Opts.MaxCycles, Hi * 2);
-  }
-  while (Lo < BestK) {
-    unsigned Mid = Lo + (BestK - Lo) / 2;
-    std::optional<alpha::Program> Prog;
-    SolveResult R = probe(Mid, Prog);
-    if (R == SolveResult::Sat) {
-      BestProg = std::move(Prog);
-      BestK = Mid;
-      BestIdx = static_cast<int>(Result.Probes.size()) - 1;
-    } else if (R == SolveResult::Unsat) {
-      AnyUnsat = true;
-      Lo = Mid + 1;
-    } else {
-      Result.Error = strFormat("probe at %u cycles exceeded the conflict "
-                               "budget", Mid);
-      return Result;
-    }
-  }
-  Result.Found = true;
-  Result.Cycles = BestK;
-  Result.Program = std::move(*BestProg);
-  Result.LowerBoundProved = AnyUnsat && BestK > Opts.MinCycles;
-  Result.WinningProbe = BestIdx;
-  return Result;
+  if (Opts.Strategy == SearchStrategy::Linear)
+    return runLinearLadder(Result, Opts, ProbeK);
+  return runBinaryLadder(Result, Opts, ProbeK);
 }
 
 } // namespace

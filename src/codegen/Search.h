@@ -24,12 +24,23 @@
 namespace denali {
 namespace codegen {
 
-enum class SearchStrategy { Linear, Binary, Portfolio };
+/// Incremental probes every budget like Linear but reuses one SAT solver
+/// across the whole ladder: the universe is encoded once up to MaxCycles
+/// (monotone mode) and each budget K is a solve under the assumption "no
+/// program longer than K cycles", so learnt clauses, variable activities,
+/// and saved phases carry from probe to probe.
+enum class SearchStrategy { Linear, Binary, Portfolio, Incremental };
 
 struct SearchOptions {
   SearchStrategy Strategy = SearchStrategy::Linear;
   unsigned MinCycles = 1;
   unsigned MaxCycles = 24;
+  /// Run Linear or Binary on the shared incremental solver instead of a
+  /// fresh solver per probe (Linear + Incremental ≡ the Incremental
+  /// strategy; Binary bisects the same assumption ladder). Portfolio
+  /// ignores this flag — its probes are concurrent and need one solver
+  /// each.
+  bool Incremental = false;
   /// Portfolio strategy: number of worker threads (and the width of the
   /// concurrently probed budget window). 0 = hardware concurrency.
   unsigned Threads = 0;
@@ -41,7 +52,11 @@ struct SearchOptions {
   std::string DumpCnfDir;
   /// Certify refutations: every UNSAT probe logs a clausal proof which is
   /// re-validated by the independent RUP checker, upgrading "the solver
-  /// said K cycles are impossible" to a machine-checked certificate.
+  /// said K cycles are impossible" to a machine-checked certificate. Works
+  /// with the incremental solver too: the probe's certificate is checked
+  /// against the monotone CNF plus the budget assumption as a unit clause,
+  /// with the cumulative learnt-clause log plus the final assumption
+  /// conflict as the derivation.
   bool CertifyRefutations = false;
   EncoderOptions Encoding; ///< Cycles field is overwritten per probe.
 };
@@ -50,9 +65,14 @@ struct SearchOptions {
 struct Probe {
   unsigned Cycles = 0;
   sat::SolveResult Result = sat::SolveResult::Unknown;
+  /// Under the incremental solver all probes share one monotone encoding,
+  /// so Stats repeats the shared instance size and EncodeSeconds is
+  /// charged to the ladder's first probe only.
   EncodingStats Stats;
   double EncodeSeconds = 0;
   double SolveSeconds = 0;
+  /// Conflicts spent on this probe (a per-call delta under the
+  /// incremental solver, whose counters are cumulative).
   uint64_t Conflicts = 0;
   /// With CertifyRefutations, for UNSAT probes: proof length and whether
   /// the RUP checker accepted it.

@@ -401,10 +401,51 @@ void Solver::reduceDB() {
       Learnts[Keep++] = C;
     } else {
       detachClause(C);
+      WastedArenaWords += 2 + clauseSize(C);
       ++Stats.DeletedClauses;
     }
   }
   Learnts.resize(Keep);
+  // Deleted clauses leave dead words in the arena. A per-probe solver never
+  // notices, but an incremental solver lives for a whole budget ladder;
+  // compact once the holes dominate.
+  if (WastedArenaWords > Arena.size() / 3)
+    compactArena();
+}
+
+void Solver::compactArena() {
+  // Copy live clauses into a fresh arena, leaving a forwarding pointer in
+  // each old header, then remap every outstanding CRef (clause lists,
+  // reasons of assigned variables, watchers). Safe at the point reduceDB
+  // runs: no conflict in flight and the propagation queue is drained.
+  std::vector<uint32_t> NewArena;
+  NewArena.reserve(Arena.size() > WastedArenaWords
+                       ? Arena.size() - WastedArenaWords
+                       : 0);
+  auto moveClause = [&](CRef C) {
+    CRef N = static_cast<CRef>(NewArena.size());
+    uint32_t Words = 2 + clauseSize(C);
+    for (uint32_t I = 0; I < Words; ++I)
+      NewArena.push_back(Arena[C + I]);
+    Arena[C] = N; // Forwarding pointer (the old header is dead now).
+    return N;
+  };
+  // Every live clause is in exactly one of Problems/Learnts, so each moves
+  // exactly once; Reason/Watcher references are then pure lookups.
+  for (CRef &C : Problems)
+    C = moveClause(C);
+  for (CRef &C : Learnts)
+    C = moveClause(C);
+  for (size_t V = 0; V < Assigns.size(); ++V)
+    if (Assigns[V] != LBool::Undef && Reason[V] != InvalidCRef)
+      Reason[V] = Arena[Reason[V]];
+  for (std::vector<Watcher> &WList : Watches)
+    for (Watcher &W : WList)
+      W.Clause = Arena[W.Clause];
+  ++Stats.ArenaCollections;
+  Stats.ArenaWordsReclaimed += Arena.size() - NewArena.size();
+  Arena = std::move(NewArena);
+  WastedArenaWords = 0;
 }
 
 uint64_t Solver::luby(uint64_t I) {
@@ -421,13 +462,57 @@ uint64_t Solver::luby(uint64_t I) {
   return 1ULL << (K - 1);
 }
 
-SolveResult Solver::solve() {
+void Solver::analyzeFinal(Lit P) {
+  // Which assumptions forced ~P? Walk the trail top-down from P's seen
+  // set: decisions (= assumptions; nothing else is decided below the
+  // assumption prefix when this runs) join the conflict clause negated,
+  // propagated literals expand to their reason clauses (MiniSat's
+  // analyzeFinal). The result is a clause over negated assumptions that
+  // the formula implies — the probe ladder's "budget K is infeasible"
+  // certificate head.
+  FinalConflict.clear();
+  FinalConflict.push_back(P);
+  if (decisionLevel() == 0)
+    return;
+  SeenFlags[P.var()] = 1;
+  size_t Level0End = static_cast<size_t>(TrailLims[0]);
+  for (size_t I = Trail.size(); I > Level0End; --I) {
+    Var V = Trail[I - 1].var();
+    if (!SeenFlags[V])
+      continue;
+    if (Reason[V] == InvalidCRef) {
+      assert(Level[V] > 0 && "decision below level 1");
+      FinalConflict.push_back(~Trail[I - 1]);
+    } else {
+      const Lit *Lits = clauseLits(Reason[V]);
+      uint32_t Size = clauseSize(Reason[V]);
+      for (uint32_t J = 1; J < Size; ++J)
+        if (Level[Lits[J].var()] > 0)
+          SeenFlags[Lits[J].var()] = 1;
+    }
+    SeenFlags[V] = 0;
+  }
+  SeenFlags[P.var()] = 0;
+}
+
+void Solver::captureModel() {
+  Model.assign(Assigns.size(), 0);
+  for (size_t V = 0; V < Assigns.size(); ++V)
+    Model[V] = Assigns[V] == LBool::True ? 1 : 0;
+}
+
+SolveResult Solver::solve() { return solve(std::vector<Lit>{}); }
+
+SolveResult Solver::solve(const std::vector<Lit> &Assumptions) {
   WasInterrupted = false;
+  FinalConflict.clear();
+  ++Stats.SolveCalls;
   if (Unsatisfiable) {
     if (LogProof && (Proof.empty() || !Proof.back().empty()))
       Proof.push_back(ClauseLits{});
     return SolveResult::Unsat;
   }
+  assert(decisionLevel() == 0 && "solve() must start at level 0");
   if (propagate() != InvalidCRef) {
     Unsatisfiable = true;
     if (LogProof)
@@ -435,18 +520,20 @@ SolveResult Solver::solve() {
     return SolveResult::Unsat;
   }
   MaxLearnts = std::max<uint64_t>(ProblemClauses / 3, 2000);
+  const uint64_t ConflictsAtStart = Stats.Conflicts;
   uint64_t RestartBase = 100;
   uint64_t RestartCount = 0;
   uint64_t ConflictsUntilRestart = RestartBase * luby(RestartCount);
   uint64_t ConflictsThisRestart = 0;
 
+  SolveResult Res = SolveResult::Unknown;
   ClauseLits Learnt;
   for (;;) {
     // Each iteration is one conflict, restart, or decision boundary — the
     // granularity at which cancellation and the conflict budget act.
     if (Interrupt && Interrupt->load(std::memory_order_relaxed)) {
       WasInterrupted = true;
-      return SolveResult::Unknown;
+      break; // Unknown.
     }
     CRef Confl = propagate();
     if (Confl != InvalidCRef) {
@@ -456,7 +543,8 @@ SolveResult Solver::solve() {
         Unsatisfiable = true;
         if (LogProof)
           Proof.push_back(ClauseLits{}); // The empty clause.
-        return SolveResult::Unsat;
+        Res = SolveResult::Unsat;
+        break;
       }
       int BacktrackLevel;
       analyze(Confl, Learnt, BacktrackLevel);
@@ -475,8 +563,9 @@ SolveResult Solver::solve() {
       }
       varDecayActivity();
       claDecayActivity();
-      if (ConflictBudget && Stats.Conflicts >= ConflictBudget)
-        return SolveResult::Unknown;
+      if (ConflictBudget &&
+          Stats.Conflicts - ConflictsAtStart >= ConflictBudget)
+        break; // Unknown.
       continue;
     }
     // No conflict.
@@ -492,13 +581,44 @@ SolveResult Solver::solve() {
       reduceDB();
       MaxLearnts += MaxLearnts / 10;
     }
-    Lit Next = pickBranchLit();
-    if (!Next.valid())
-      return SolveResult::Sat; // All variables assigned.
-    ++Stats.Decisions;
+    // Assumptions occupy the first decision levels (one each, re-asserted
+    // after every restart); real decisions only happen above them.
+    Lit Next;
+    while (decisionLevel() < static_cast<int>(Assumptions.size())) {
+      Lit A = Assumptions[decisionLevel()];
+      assert(A.var() < numVars() && "assumption over unknown variable");
+      LBool V = value(A);
+      if (V == LBool::True) {
+        // Already implied: open a dummy level to keep indices aligned.
+        TrailLims.push_back(static_cast<int32_t>(Trail.size()));
+        continue;
+      }
+      if (V == LBool::False) {
+        // The formula plus earlier assumptions refutes this one.
+        analyzeFinal(~A);
+        if (LogProof)
+          Proof.push_back(FinalConflict);
+        Res = SolveResult::Unsat;
+        goto done;
+      }
+      Next = A;
+      break;
+    }
+    if (!Next.valid()) {
+      Next = pickBranchLit();
+      if (!Next.valid()) {
+        captureModel();
+        Res = SolveResult::Sat; // All variables assigned.
+        break;
+      }
+      ++Stats.Decisions;
+    }
     TrailLims.push_back(static_cast<int32_t>(Trail.size()));
     enqueue(Next, InvalidCRef);
   }
+done:
+  backtrack(0);
+  return Res;
 }
 
 std::vector<ClauseLits> Solver::problemClauses() const {
@@ -524,8 +644,9 @@ std::vector<ClauseLits> Solver::problemClauses() const {
 }
 
 bool Solver::modelValue(Var V) const {
-  assert(V >= 0 && V < numVars() && "bad variable");
-  return Assigns[V] == LBool::True;
+  assert(V >= 0 && static_cast<size_t>(V) < Model.size() &&
+         "no model for variable (no Sat answer yet?)");
+  return Model[V] != 0;
 }
 
 bool Solver::modelValue(Lit L) const {

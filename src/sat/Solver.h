@@ -6,6 +6,15 @@
 /// VSIDS-style variable activities, phase saving, Luby restarts, and
 /// activity-based learnt-clause deletion.
 ///
+/// The solver is *incremental* in the MiniSat sense: solve() may be called
+/// repeatedly (optionally under a set of assumption literals that hold for
+/// that call only), clauses may be added between calls, and learnt clauses,
+/// variable activities, and saved phases all persist across calls. An
+/// Unsat answer under assumptions comes with the failed-assumption subset
+/// (the final conflict clause), which the budget search uses to keep the
+/// paper's lower-bound evidence while solving the whole probe ladder on
+/// one solver instance.
+///
 /// This is the repository's stand-in for CHAFF (the solver the Denali
 /// prototype used); the paper emphasizes that the satisfiability solver is
 /// a pluggable black box behind a small interface, which this class keeps.
@@ -36,6 +45,12 @@ struct SolverStats {
   uint64_t LearntClauses = 0;
   uint64_t Restarts = 0;
   uint64_t DeletedClauses = 0;
+  uint64_t SolveCalls = 0;
+  /// Learnt-arena garbage collections and total words reclaimed by them
+  /// (deleted learnt clauses leave holes; a long-lived incremental solver
+  /// compacts them away after reduceDB).
+  uint64_t ArenaCollections = 0;
+  uint64_t ArenaWordsReclaimed = 0;
 };
 
 class Solver {
@@ -60,8 +75,8 @@ public:
   /// cross-checking with external solvers.
   std::vector<ClauseLits> problemClauses() const;
 
-  /// Limits the search effort; Unknown is returned when exceeded.
-  /// 0 means unlimited.
+  /// Limits the search effort *per solve() call*; Unknown is returned when
+  /// exceeded. 0 means unlimited.
   void setConflictBudget(uint64_t Budget) { ConflictBudget = Budget; }
 
   /// Cooperative cancellation: solve() polls \p Flag (relaxed) at its
@@ -84,10 +99,26 @@ public:
   void enableProofLogging() { LogProof = true; }
   const std::vector<ClauseLits> &proof() const { return Proof; }
 
-  /// Solves the formula.
+  /// Solves the formula. Repeated calls are allowed (the solver backtracks
+  /// to level 0 on return); learnt clauses, activities, and saved phases
+  /// carry over, and clauses may be added between calls.
   SolveResult solve();
 
-  /// After Sat: the value assigned to \p V / \p L.
+  /// Solves the formula under \p Assumptions: each literal is treated as a
+  /// decision that must hold for this call only (no clause is added). On
+  /// Unsat, conflict() holds the failed-assumption subset; if conflict()
+  /// is empty the formula is unsatisfiable regardless of assumptions.
+  SolveResult solve(const std::vector<Lit> &Assumptions);
+
+  /// After an Unsat answer from solve(Assumptions): the final conflict
+  /// clause, a subset of the *negated* assumptions whose disjunction is
+  /// implied by the formula (MiniSat's analyzeFinal output). Empty when
+  /// the formula is unsatisfiable without any assumption.
+  const ClauseLits &conflict() const { return FinalConflict; }
+
+  /// After Sat: the value assigned to \p V / \p L in the captured model
+  /// (the model survives the end-of-solve backtrack and later calls until
+  /// the next Sat answer overwrites it).
   bool modelValue(Var V) const;
   bool modelValue(Lit L) const;
 
@@ -155,6 +186,9 @@ private:
   SolverStats Stats;
   bool LogProof = false;
   std::vector<ClauseLits> Proof;
+  std::vector<uint8_t> Model;   ///< Snapshot of the last Sat assignment.
+  ClauseLits FinalConflict;     ///< Failed assumptions of the last Unsat.
+  uint64_t WastedArenaWords = 0; ///< Holes left by deleted learnt clauses.
 
   // Scratch for analyze().
   std::vector<uint8_t> SeenFlags;
@@ -172,6 +206,8 @@ private:
   void attachClause(CRef C);
   void detachClause(CRef C);
   void analyze(CRef Confl, ClauseLits &Learnt, int &BacktrackLevel);
+  void analyzeFinal(Lit P);
+  void captureModel();
   bool litRedundant(Lit L, uint32_t AbstractLevels);
   void backtrack(int ToLevel);
   Lit pickBranchLit();
@@ -185,6 +221,7 @@ private:
   void heapPercolateDown(int Pos);
   Var heapRemoveMax();
   void reduceDB();
+  void compactArena();
 
   static uint64_t luby(uint64_t I);
 };

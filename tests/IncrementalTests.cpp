@@ -1,0 +1,246 @@
+//===- tests/IncrementalTests.cpp - incremental budget-search tests -------===//
+//
+// The incremental strategy reuses one SAT solver across the whole budget
+// ladder (monotone encoding + one assumption per budget). These tests pin
+// the evidence contract: the incremental ladder must report the same
+// minimal K, the same per-budget SAT/UNSAT answers, and the same optimality
+// certificate as the fresh-solver strategies — solver reuse is a pure
+// performance change.
+//
+//===----------------------------------------------------------------------===//
+
+#include "axioms/BuiltinAxioms.h"
+#include "codegen/Search.h"
+#include "driver/Superoptimizer.h"
+#include "match/Elaborate.h"
+#include "match/Matcher.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace denali;
+using namespace denali::codegen;
+using namespace denali::egraph;
+using denali::ir::Builtin;
+
+namespace {
+
+class IncrementalTest : public ::testing::Test {
+protected:
+  ir::Context Ctx;
+  EGraph G{Ctx};
+  alpha::ISA Isa{Ctx};
+
+  ClassId c(uint64_t V) { return G.addConst(V); }
+  ClassId v(const std::string &Name) {
+    return G.addNode(Ctx.Ops.makeVariable(Name), {});
+  }
+  ClassId app(Builtin B, std::vector<ClassId> Args) {
+    return G.addNode(Ctx.Ops.builtin(B), Args);
+  }
+
+  void saturate(size_t MaxNodes = 30000) {
+    match::Matcher M(axioms::loadBuiltinAxioms(Ctx));
+    for (match::Elaborator &E : match::standardElaborators())
+      M.addElaborator(std::move(E));
+    match::MatchLimits Limits;
+    Limits.MaxNodes = MaxNodes;
+    M.saturate(G, Limits);
+    ASSERT_FALSE(G.isInconsistent()) << G.inconsistencyMessage();
+  }
+
+  SearchResult search(ClassId Goal, SearchStrategy Strategy,
+                      bool Incremental = false, bool Certify = false) {
+    SearchOptions Opts;
+    Opts.Strategy = Strategy;
+    Opts.Incremental = Incremental;
+    Opts.CertifyRefutations = Certify;
+    Universe U;
+    std::string Err;
+    EXPECT_TRUE(U.build(G, Isa, {G.find(Goal)}, UniverseOptions(), &Err))
+        << Err;
+    return searchBudgets(G, Isa, U, {{"res", Goal, false}}, Opts, "test");
+  }
+
+  /// The cross-strategy contract: all fresh and incremental variants pin
+  /// the same minimal K, the same program cost, and the same certificate.
+  void expectAllStrategiesAgree(ClassId Goal) {
+    SearchResult RL = search(Goal, SearchStrategy::Linear);
+    SearchResult RB = search(Goal, SearchStrategy::Binary);
+    SearchResult RP = search(Goal, SearchStrategy::Portfolio);
+    SearchResult RI = search(Goal, SearchStrategy::Incremental);
+    SearchResult RLI = search(Goal, SearchStrategy::Linear, true);
+    SearchResult RBI = search(Goal, SearchStrategy::Binary, true);
+    ASSERT_TRUE(RL.Found) << RL.Error;
+    ASSERT_TRUE(RB.Found) << RB.Error;
+    ASSERT_TRUE(RP.Found) << RP.Error;
+    ASSERT_TRUE(RI.Found) << RI.Error;
+    ASSERT_TRUE(RLI.Found) << RLI.Error;
+    ASSERT_TRUE(RBI.Found) << RBI.Error;
+    EXPECT_EQ(RI.Cycles, RL.Cycles);
+    EXPECT_EQ(RLI.Cycles, RL.Cycles);
+    EXPECT_EQ(RBI.Cycles, RL.Cycles);
+    EXPECT_EQ(RB.Cycles, RL.Cycles);
+    EXPECT_EQ(RP.Cycles, RL.Cycles);
+    EXPECT_EQ(RI.LowerBoundProved, RL.LowerBoundProved);
+    EXPECT_EQ(RBI.LowerBoundProved, RB.LowerBoundProved);
+    // Program cost (the objective) matches; the schedules themselves may
+    // differ — any minimal-K model is a correct answer.
+    EXPECT_EQ(RI.Program.Cycles, RL.Program.Cycles);
+    EXPECT_EQ(RI.Program.Instrs.size(), RL.Program.Instrs.size());
+  }
+};
+
+TEST_F(IncrementalTest, AgreesOnScaledAdd) {
+  ClassId Goal = app(Builtin::Add64, {app(Builtin::Mul64, {v("reg6"), c(4)}),
+                                      c(1)});
+  saturate();
+  expectAllStrategiesAgree(Goal);
+}
+
+TEST_F(IncrementalTest, AgreesOnByteswap2) {
+  ClassId X = v("x");
+  ClassId Lo = app(Builtin::Shl64, {app(Builtin::And64, {X, c(0xff)}), c(8)});
+  ClassId Hi = app(Builtin::And64, {app(Builtin::Shr64, {X, c(8)}), c(0xff)});
+  ClassId Goal = app(Builtin::Or64, {Lo, Hi});
+  saturate();
+  expectAllStrategiesAgree(Goal);
+}
+
+TEST_F(IncrementalTest, AgreesOnMultiCycleMix) {
+  ClassId Goal = app(
+      Builtin::Add64,
+      {app(Builtin::Shl64, {v("x"), c(3)}),
+       app(Builtin::Xor64, {v("y"), app(Builtin::And64, {v("x"), v("y")})})});
+  saturate();
+  expectAllStrategiesAgree(Goal);
+}
+
+TEST_F(IncrementalTest, EvidenceContractPerProbe) {
+  // x + 100000 needs a ldiq first: minimal budget 2, so the incremental
+  // ladder must record a real UNSAT at K=1 — an optimality certificate,
+  // not a skipped budget.
+  ClassId Goal = app(Builtin::Add64, {v("x"), c(100000)});
+  saturate();
+  SearchResult RL = search(Goal, SearchStrategy::Linear);
+  SearchResult RI = search(Goal, SearchStrategy::Incremental);
+  ASSERT_TRUE(RL.Found) << RL.Error;
+  ASSERT_TRUE(RI.Found) << RI.Error;
+  EXPECT_EQ(RI.Cycles, 2u);
+  EXPECT_TRUE(RI.LowerBoundProved);
+
+  // Identical probe ladder: same budgets in the same order with the same
+  // answers as the fresh-solver linear search.
+  ASSERT_EQ(RI.Probes.size(), RL.Probes.size());
+  for (size_t I = 0; I < RI.Probes.size(); ++I) {
+    EXPECT_EQ(RI.Probes[I].Cycles, RL.Probes[I].Cycles);
+    EXPECT_EQ(RI.Probes[I].Result, RL.Probes[I].Result);
+    EXPECT_FALSE(RI.Probes[I].Cancelled);
+  }
+
+  // The shared encoding is charged to the first probe only.
+  ASSERT_GE(RI.Probes.size(), 2u);
+  EXPECT_GT(RI.Probes[0].EncodeSeconds, 0.0);
+  for (size_t I = 1; I < RI.Probes.size(); ++I)
+    EXPECT_EQ(RI.Probes[I].EncodeSeconds, 0.0);
+
+  ASSERT_GE(RI.WinningProbe, 0);
+  EXPECT_EQ(RI.Probes[RI.WinningProbe].Result, sat::SolveResult::Sat);
+  EXPECT_EQ(RI.Probes[RI.WinningProbe].Cycles, RI.Cycles);
+}
+
+TEST_F(IncrementalTest, RefutationsCertifiedUnderAssumptions) {
+  // Every UNSAT probe of the incremental ladder carries a machine-checked
+  // RUP certificate (cumulative proof log + final assumption conflict
+  // against the monotone CNF + budget-assumption unit).
+  ClassId Goal = app(
+      Builtin::Add64,
+      {app(Builtin::Shl64, {v("x"), c(3)}),
+       app(Builtin::Xor64, {v("y"), app(Builtin::And64, {v("x"), v("y")})})});
+  saturate();
+  SearchResult RI =
+      search(Goal, SearchStrategy::Incremental, false, /*Certify=*/true);
+  ASSERT_TRUE(RI.Found) << RI.Error;
+  EXPECT_TRUE(RI.LowerBoundProved);
+  size_t UnsatProbes = 0;
+  for (const Probe &P : RI.Probes)
+    if (P.Result == sat::SolveResult::Unsat) {
+      ++UnsatProbes;
+      EXPECT_TRUE(P.ProofChecked) << "budget " << P.Cycles;
+      EXPECT_GT(P.ProofSteps, 0u) << "budget " << P.Cycles;
+    }
+  EXPECT_GT(UnsatProbes, 0u);
+}
+
+TEST_F(IncrementalTest, BinaryLadderSharesTheSolver) {
+  // Binary + Incremental bisects the same assumption ladder: probes may
+  // come in bisection order, but the answer and the per-budget evidence
+  // map must match the fresh binary search.
+  ClassId Goal = app(
+      Builtin::Add64,
+      {app(Builtin::Shl64, {v("x"), c(3)}),
+       app(Builtin::Xor64, {v("y"), app(Builtin::And64, {v("x"), v("y")})})});
+  saturate();
+  SearchResult RB = search(Goal, SearchStrategy::Binary);
+  SearchResult RBI = search(Goal, SearchStrategy::Binary, true);
+  ASSERT_TRUE(RB.Found) << RB.Error;
+  ASSERT_TRUE(RBI.Found) << RBI.Error;
+  EXPECT_EQ(RBI.Cycles, RB.Cycles);
+  std::map<unsigned, sat::SolveResult> Fresh, Shared;
+  for (const Probe &P : RB.Probes)
+    Fresh[P.Cycles] = P.Result;
+  for (const Probe &P : RBI.Probes)
+    Shared[P.Cycles] = P.Result;
+  EXPECT_EQ(Shared, Fresh);
+}
+
+TEST_F(IncrementalTest, FreeGoalShortCircuits) {
+  ClassId Goal = v("x");
+  saturate();
+  SearchResult R = search(Goal, SearchStrategy::Incremental);
+  ASSERT_TRUE(R.Found) << R.Error;
+  EXPECT_EQ(R.Cycles, 0u);
+  EXPECT_TRUE(R.Program.Instrs.empty());
+}
+
+//===----------------------------------------------------------------------===
+// Driver-level equivalence on goal terms (the library entry point the
+// example programs use), with differential verification of the produced
+// program.
+//===----------------------------------------------------------------------===
+
+driver::GmaResult compileMix(SearchStrategy Strategy, bool Incremental) {
+  driver::Options Opts;
+  Opts.Search.Strategy = Strategy;
+  Opts.Search.Incremental = Incremental;
+  Opts.Search.MaxCycles = 12;
+  driver::Superoptimizer Opt(Opts);
+  ir::Context &Ctx = Opt.context();
+  ir::TermId X = Ctx.Terms.makeVar("x");
+  ir::TermId Y = Ctx.Terms.makeVar("y");
+  ir::TermId Mul = Ctx.Terms.makeBuiltin(Builtin::Mul64,
+                                         {X, Ctx.Terms.makeConst(8)});
+  ir::TermId Sum = Ctx.Terms.makeBuiltin(Builtin::Add64, {Mul, Y});
+  ir::TermId Goal = Ctx.Terms.makeBuiltin(Builtin::Xor64,
+                                          {Sum, Ctx.Terms.makeConst(0x5a)});
+  driver::GmaResult R = Opt.compileGoals("mix", {{"res", Goal}});
+  EXPECT_TRUE(R.ok()) << R.Error << R.Search.Error;
+  if (R.ok()) {
+    auto Err = Opt.verify(R);
+    EXPECT_FALSE(Err) << (Err ? *Err : "");
+  }
+  return R;
+}
+
+TEST(IncrementalDriver, VerifiedAndAgreesOnGoalTerms) {
+  driver::GmaResult RL = compileMix(SearchStrategy::Linear, false);
+  driver::GmaResult RI = compileMix(SearchStrategy::Incremental, false);
+  driver::GmaResult RBI = compileMix(SearchStrategy::Binary, true);
+  ASSERT_TRUE(RL.ok() && RI.ok() && RBI.ok());
+  EXPECT_EQ(RI.Search.Cycles, RL.Search.Cycles);
+  EXPECT_EQ(RBI.Search.Cycles, RL.Search.Cycles);
+  EXPECT_EQ(RI.Search.LowerBoundProved, RL.Search.LowerBoundProved);
+}
+
+} // namespace

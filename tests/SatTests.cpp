@@ -152,6 +152,186 @@ TEST(Solver, ConflictBudgetReturnsUnknown) {
 }
 
 //===----------------------------------------------------------------------===
+// Incremental solving under assumptions.
+//===----------------------------------------------------------------------===
+
+TEST(Assumptions, SatAndUnsatOnOneSolver) {
+  Solver S;
+  S.addClause(P(S, 0), P(S, 1)); // x0 v x1
+  EXPECT_EQ(S.solve({N(S, 0)}), SolveResult::Sat);
+  EXPECT_TRUE(S.modelValue(1));
+  EXPECT_EQ(S.solve({N(S, 0), N(S, 1)}), SolveResult::Unsat);
+  // The same solver keeps working after an assumption refutation.
+  EXPECT_EQ(S.solve({P(S, 0)}), SolveResult::Sat);
+  EXPECT_TRUE(S.modelValue(0));
+  EXPECT_EQ(S.solve(), SolveResult::Sat);
+}
+
+TEST(Assumptions, FailedAssumptionSetIsRelevantSubset) {
+  // x0 -> x1 -> x2; assuming {x0, ~x2, x3} fails because of x0 and ~x2
+  // only — x3 is irrelevant and must not appear in the final conflict.
+  Solver S;
+  S.addClause(N(S, 0), P(S, 1));
+  S.addClause(N(S, 1), P(S, 2));
+  (void)P(S, 3);
+  ASSERT_EQ(S.solve({Lit::pos(0), Lit::neg(2), Lit::pos(3)}),
+            SolveResult::Unsat);
+  const ClauseLits &Conflict = S.conflict();
+  ASSERT_FALSE(Conflict.empty());
+  for (Lit L : Conflict) {
+    // Every literal is the negation of a responsible assumption.
+    EXPECT_TRUE(L == Lit::neg(0) || L == Lit::pos(2));
+  }
+  // Both responsible assumptions are reported.
+  EXPECT_EQ(Conflict.size(), 2u);
+}
+
+TEST(Assumptions, ContradictoryAssumptions) {
+  Solver S;
+  (void)P(S, 0);
+  EXPECT_EQ(S.solve({Lit::pos(0), Lit::neg(0)}), SolveResult::Unsat);
+  for (Lit L : S.conflict())
+    EXPECT_EQ(L.var(), 0);
+}
+
+TEST(Assumptions, RepeatedSolvesKeepModels) {
+  // An 8-var ring of implications; assumptions flip the whole ring.
+  Solver S;
+  const int NumVars = 8;
+  for (int I = 0; I < NumVars; ++I) {
+    S.addClause(N(S, I), P(S, (I + 1) % NumVars));
+    S.addClause(P(S, I), N(S, (I + 1) % NumVars));
+  }
+  for (int Round = 0; Round < 4; ++Round) {
+    bool Phase = Round & 1;
+    ASSERT_EQ(S.solve({Lit(0, /*Negative=*/!Phase)}), SolveResult::Sat);
+    for (int I = 0; I < NumVars; ++I)
+      EXPECT_EQ(S.modelValue(I), Phase) << "round " << Round << " var " << I;
+  }
+  EXPECT_EQ(S.solve({Lit::pos(0), Lit::neg(4)}), SolveResult::Unsat);
+}
+
+TEST(Assumptions, AddClausesBetweenSolves) {
+  Solver S;
+  S.addClause(P(S, 0), P(S, 1), P(S, 2));
+  ASSERT_EQ(S.solve(), SolveResult::Sat);
+  S.addClause(N(S, 0));
+  ASSERT_EQ(S.solve({Lit::neg(1)}), SolveResult::Sat);
+  EXPECT_TRUE(S.modelValue(2));
+  S.addClause(N(S, 2));
+  EXPECT_EQ(S.solve({Lit::neg(1)}), SolveResult::Unsat);
+  EXPECT_EQ(S.solve(), SolveResult::Sat);
+  EXPECT_TRUE(S.modelValue(1));
+}
+
+TEST(Assumptions, ConflictBudgetIsPerCall) {
+  // A hard pigeonhole: each tiny-budget call must give up on its own
+  // budget (the counter resets per call, it is not a lifetime cap), and
+  // an unlimited call on the same solver still finishes the refutation.
+  Solver S;
+  const int Holes = 8, Pigeons = 9;
+  auto VarOf = [&](int Pigeon, int Hole) { return Pigeon * Holes + Hole; };
+  for (int Pigeon = 0; Pigeon < Pigeons; ++Pigeon) {
+    ClauseLits Row;
+    for (int Hole = 0; Hole < Holes; ++Hole)
+      Row.push_back(P(S, VarOf(Pigeon, Hole)));
+    S.addClause(Row);
+  }
+  for (int Hole = 0; Hole < Holes; ++Hole)
+    for (int P1 = 0; P1 < Pigeons; ++P1)
+      for (int P2 = P1 + 1; P2 < Pigeons; ++P2)
+        S.addClause(N(S, VarOf(P1, Hole)), N(S, VarOf(P2, Hole)));
+  S.setConflictBudget(5);
+  EXPECT_EQ(S.solve({Lit::pos(VarOf(0, 0))}), SolveResult::Unknown);
+  EXPECT_EQ(S.solve({Lit::pos(VarOf(0, 1))}), SolveResult::Unknown);
+  S.setConflictBudget(0);
+  EXPECT_EQ(S.solve({Lit::pos(VarOf(0, 0))}), SolveResult::Unsat);
+}
+
+TEST(Assumptions, InterruptWindsDownSolve) {
+  Solver S;
+  const int Holes = 8, Pigeons = 9;
+  auto VarOf = [&](int Pigeon, int Hole) { return Pigeon * Holes + Hole; };
+  for (int Pigeon = 0; Pigeon < Pigeons; ++Pigeon) {
+    ClauseLits Row;
+    for (int Hole = 0; Hole < Holes; ++Hole)
+      Row.push_back(P(S, VarOf(Pigeon, Hole)));
+    S.addClause(Row);
+  }
+  for (int Hole = 0; Hole < Holes; ++Hole)
+    for (int P1 = 0; P1 < Pigeons; ++P1)
+      for (int P2 = P1 + 1; P2 < Pigeons; ++P2)
+        S.addClause(N(S, VarOf(P1, Hole)), N(S, VarOf(P2, Hole)));
+  std::atomic<bool> Cancel(true); // Cancelled before the call even starts.
+  S.setInterrupt(&Cancel);
+  EXPECT_EQ(S.solve({Lit::pos(VarOf(0, 0))}), SolveResult::Unknown);
+  EXPECT_TRUE(S.interrupted());
+  Cancel = false;
+  EXPECT_EQ(S.solve({Lit::pos(VarOf(0, 0))}), SolveResult::Unsat);
+  EXPECT_FALSE(S.interrupted());
+}
+
+TEST(Solver, ArenaCompactionKeepsRefutation) {
+  // Pigeonhole 9-into-8 takes ~17k conflicts, enough for reduceDB to free
+  // learnt clauses worth more than a third of the arena several times —
+  // each time the arena is compacted in place (watcher and reason cross
+  // references remapped) and the refutation must still come out.
+  Solver S;
+  const int Holes = 8, Pigeons = 9;
+  auto VarOf = [&](int Pigeon, int Hole) { return Pigeon * Holes + Hole; };
+  for (int Pigeon = 0; Pigeon < Pigeons; ++Pigeon) {
+    ClauseLits Row;
+    for (int Hole = 0; Hole < Holes; ++Hole)
+      Row.push_back(P(S, VarOf(Pigeon, Hole)));
+    S.addClause(Row);
+  }
+  for (int Hole = 0; Hole < Holes; ++Hole)
+    for (int P1 = 0; P1 < Pigeons; ++P1)
+      for (int P2 = P1 + 1; P2 < Pigeons; ++P2)
+        S.addClause(N(S, VarOf(P1, Hole)), N(S, VarOf(P2, Hole)));
+  EXPECT_EQ(S.solve(), SolveResult::Unsat);
+  EXPECT_GT(S.stats().ArenaCollections, 0u);
+  EXPECT_GT(S.stats().ArenaWordsReclaimed, 0u);
+}
+
+TEST(Assumptions, AgreesWithFreshSolverOnRandomCnf) {
+  // Property: solve(assumptions) equals a fresh solve of CNF + assumption
+  // units, across a ladder of assumption sets on one long-lived solver.
+  for (unsigned Seed = 0; Seed < 20; ++Seed) {
+    std::mt19937 Rng(Seed * 7919 + 13);
+    const int NumVars = 12;
+    const int NumClauses = 51;
+    std::vector<ClauseLits> Clauses;
+    for (int I = 0; I < NumClauses; ++I) {
+      ClauseLits C;
+      for (int J = 0; J < 3; ++J)
+        C.push_back(Lit(static_cast<Var>(Rng() % NumVars), Rng() & 1));
+      Clauses.push_back(C);
+    }
+    Solver Inc;
+    for (int I = 0; I < NumVars; ++I)
+      Inc.newVar();
+    for (const ClauseLits &C : Clauses)
+      Inc.addClause(C);
+    for (int Probe = 0; Probe < 6; ++Probe) {
+      std::vector<Lit> Assumptions;
+      for (int J = 0; J < 1 + Probe % 3; ++J)
+        Assumptions.push_back(
+            Lit(static_cast<Var>(Rng() % NumVars), Rng() & 1));
+      Solver Fresh;
+      for (int I = 0; I < NumVars; ++I)
+        Fresh.newVar();
+      for (const ClauseLits &C : Clauses)
+        Fresh.addClause(C);
+      for (Lit A : Assumptions)
+        Fresh.addClause(A);
+      EXPECT_EQ(Inc.solve(Assumptions), Fresh.solve())
+          << "seed " << Seed << " probe " << Probe;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===
 // Model validity: every Sat answer must actually satisfy all clauses.
 //===----------------------------------------------------------------------===
 
