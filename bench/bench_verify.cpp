@@ -1,0 +1,150 @@
+//===- bench/bench_verify.cpp - E13: differential-harness throughput ------===//
+//
+// The EXPERIMENTS.md E13 harness: measures how fast the randomized
+// differential-verification loop (GmaGen -> pipeline -> oracle) iterates
+// under each search strategy, and how quickly the oracle catches the
+// planted encoder-latency bug (UniverseOptions::TestLatencyDelta = -2).
+//
+//   bench_verify [--smoke]
+//     --smoke  fewer GMAs per strategy (CI perf-smoke gate)
+//
+// Gates correctness as well as reporting numbers: any non-benign oracle
+// verdict in the clean runs, or a fault run that completes *without* a
+// detection, exits nonzero. Emits BENCH_verify.json for trend tracking.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "driver/Superoptimizer.h"
+#include "support/Timer.h"
+#include "verify/GmaGen.h"
+#include "verify/Oracle.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace denali;
+using namespace denali::bench;
+
+namespace {
+
+struct Row {
+  std::string Strategy;
+  unsigned Gmas = 0;
+  unsigned Compiled = 0;
+  unsigned Exhausted = 0;
+  unsigned Failures = 0;
+  double WallSeconds = 0;
+};
+
+driver::Superoptimizer makeOpt(codegen::SearchStrategy S, int LatencyDelta) {
+  driver::Options Opts;
+  Opts.Search.Strategy = S;
+  Opts.Search.MaxCycles = 12;
+  Opts.Search.Threads = 4;
+  Opts.Matching.MaxNodes = 8000;
+  Opts.Matching.MaxRounds = 8;
+  Opts.Universe.TestLatencyDelta = LatencyDelta;
+  return driver::Superoptimizer(Opts);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Smoke = false;
+  for (int I = 1; I < argc; ++I)
+    if (!std::strcmp(argv[I], "--smoke"))
+      Smoke = true;
+
+  const uint64_t Seed = 1;
+  const unsigned Count = Smoke ? 40 : 150;
+  const std::pair<const char *, codegen::SearchStrategy> Strategies[] = {
+      {"linear", codegen::SearchStrategy::Linear},
+      {"binary", codegen::SearchStrategy::Binary},
+      {"portfolio", codegen::SearchStrategy::Portfolio},
+      {"incremental", codegen::SearchStrategy::Incremental},
+  };
+
+  banner("E13", Smoke ? "differential harness throughput (smoke)"
+                      : "differential harness throughput");
+  std::printf("%-12s %-8s %-10s %-11s %-10s %-10s\n", "strategy", "gmas",
+              "compiled", "exhausted", "wall-s", "GMA/s");
+
+  bool AllOk = true;
+  std::vector<Row> Rows;
+  for (auto [Name, S] : Strategies) {
+    driver::Superoptimizer Opt = makeOpt(S, 0);
+    verify::GmaGen Gen(Opt.context(), Seed);
+    Row R;
+    R.Strategy = Name;
+    R.Gmas = Count;
+    Timer T;
+    for (unsigned I = 0; I < Count; ++I) {
+      verify::OracleVerdict V = verify::compileAndCheck(Opt, Gen.next());
+      if (V.Status == verify::OracleStatus::Pass)
+        ++R.Compiled;
+      else if (V.Status == verify::OracleStatus::BudgetExhausted)
+        ++R.Exhausted;
+      else {
+        ++R.Failures;
+        std::printf("ORACLE FAILURE (%s): %s\n", Name,
+                    V.toString().c_str());
+        AllOk = false;
+      }
+    }
+    R.WallSeconds = T.seconds();
+    std::printf("%-12s %-8u %-10u %-11u %-10.3f %-10.1f\n", Name, R.Gmas,
+                R.Compiled, R.Exhausted, R.WallSeconds,
+                R.Gmas / R.WallSeconds);
+    Rows.push_back(std::move(R));
+  }
+
+  // Planted-bug detection: latencies understated by 2 cycles; the oracle
+  // must object within the smoke budget (it typically objects to the
+  // first emitted load or multiply).
+  unsigned DetectedAfter = 0;
+  {
+    driver::Superoptimizer Opt =
+        makeOpt(codegen::SearchStrategy::Linear, -2);
+    verify::GmaGen Gen(Opt.context(), Seed);
+    for (unsigned I = 0; I < Count; ++I) {
+      verify::OracleVerdict V = verify::compileAndCheck(Opt, Gen.next());
+      if (!V.benign()) {
+        DetectedAfter = I + 1;
+        break;
+      }
+    }
+    if (DetectedAfter == 0) {
+      std::printf("planted latency bug NOT detected in %u GMAs\n", Count);
+      AllOk = false;
+    } else {
+      std::printf("planted latency bug detected after %u GMA(s)\n",
+                  DetectedAfter);
+    }
+  }
+
+  std::FILE *Out = std::fopen("BENCH_verify.json", "w");
+  if (Out) {
+    std::fprintf(Out, "[\n");
+    for (const Row &R : Rows)
+      std::fprintf(Out,
+                   "  {\"strategy\": \"%s\", \"gmas\": %u, "
+                   "\"compiled\": %u, \"exhausted\": %u, "
+                   "\"failures\": %u, \"wall_s\": %.6f, "
+                   "\"gma_per_s\": %.2f},\n",
+                   R.Strategy.c_str(), R.Gmas, R.Compiled, R.Exhausted,
+                   R.Failures, R.WallSeconds, R.Gmas / R.WallSeconds);
+    std::fprintf(Out,
+                 "  {\"fault\": \"latency-delta-minus-2\", "
+                 "\"detected_after_gmas\": %u}\n]\n",
+                 DetectedAfter);
+    std::fclose(Out);
+    std::printf("\nwrote BENCH_verify.json (%zu records)\n",
+                Rows.size() + 1);
+  } else {
+    std::printf("\ncould not write BENCH_verify.json\n");
+  }
+  return AllOk ? 0 : 1;
+}

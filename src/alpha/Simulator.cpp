@@ -11,23 +11,66 @@
 using namespace denali;
 using namespace denali::alpha;
 
+const char *denali::alpha::trapKindName(Trap::Kind K) {
+  switch (K) {
+  case Trap::Kind::UninitializedRead:
+    return "uninitialized-read";
+  case Trap::Kind::OutOfBounds:
+    return "out-of-bounds";
+  case Trap::Kind::KindMismatch:
+    return "kind-mismatch";
+  case Trap::Kind::DoubleWrite:
+    return "double-write";
+  case Trap::Kind::Stuck:
+    return "stuck";
+  }
+  return "unknown";
+}
+
+std::string Trap::toString() const {
+  switch (TheKind) {
+  case Kind::UninitializedRead:
+    return strFormat("trap[%s]: v%u read by '%s' but never written",
+                     trapKindName(TheKind), Reg, Mnemonic.c_str());
+  case Kind::OutOfBounds:
+    return strFormat("trap[%s]: '%s' accesses address 0x%llx beyond the "
+                     "address limit",
+                     trapKindName(TheKind), Mnemonic.c_str(),
+                     static_cast<unsigned long long>(Addr));
+  case Kind::KindMismatch:
+    return strFormat("trap[%s]: '%s' applied to operands of the wrong kind",
+                     trapKindName(TheKind), Mnemonic.c_str());
+  case Kind::DoubleWrite:
+    return strFormat("trap[%s]: register v%u written twice (by '%s')",
+                     trapKindName(TheKind), Reg, Mnemonic.c_str());
+  case Kind::Stuck:
+    return strFormat("trap[%s]: dataflow cycle, instructions never became "
+                     "ready", trapKindName(TheKind));
+  }
+  return "trap[unknown]";
+}
+
 namespace {
 
 /// Computes the dataflow value of every register (inputs + instruction
-/// results). Returns false with \p Error set on failure.
+/// results). Returns false with \p Error set on failure; classified
+/// failures also set \p TrapOut (when non-null).
 bool computeRegValues(const ir::Context &Ctx, const Program &P,
                       const std::unordered_map<std::string, ir::Value> &Inputs,
+                      const RunOptions &Opts,
                       std::unordered_map<uint32_t, ir::Value> &Regs,
-                      std::string &Error);
+                      std::string &Error, std::optional<Trap> *TrapOut);
 
 } // namespace
 
 RunResult denali::alpha::runProgram(
     const ir::Context &Ctx, const Program &P,
-    const std::unordered_map<std::string, ir::Value> &Inputs) {
+    const std::unordered_map<std::string, ir::Value> &Inputs,
+    const RunOptions &Opts) {
   RunResult Result;
   std::unordered_map<uint32_t, ir::Value> Regs;
-  if (!computeRegValues(Ctx, P, Inputs, Regs, Result.Error))
+  if (!computeRegValues(Ctx, P, Inputs, Opts, Regs, Result.Error,
+                        &Result.TheTrap))
     return Result;
 
   for (const auto &[Name, VReg] : P.Outputs) {
@@ -47,8 +90,15 @@ namespace {
 
 bool computeRegValues(const ir::Context &Ctx, const Program &P,
                       const std::unordered_map<std::string, ir::Value> &Inputs,
+                      const RunOptions &Opts,
                       std::unordered_map<uint32_t, ir::Value> &Regs,
-                      std::string &Error) {
+                      std::string &Error, std::optional<Trap> *TrapOut) {
+  auto RaiseTrap = [&](Trap T) {
+    Error = T.toString();
+    if (TrapOut)
+      *TrapOut = std::move(T);
+    return false;
+  };
   for (const ProgramInput &In : P.Inputs) {
     auto It = Inputs.find(In.Name);
     if (It == Inputs.end()) {
@@ -57,6 +107,15 @@ bool computeRegValues(const ir::Context &Ctx, const Program &P,
     }
     Regs.emplace(In.Reg, It->second);
   }
+
+  // Writer set for trap classification: a register with no writer at all is
+  // an uninitialized read; a register whose writer simply has not executed
+  // yet participates in a dataflow cycle.
+  std::unordered_map<uint32_t, unsigned> Writers;
+  for (const ProgramInput &In : P.Inputs)
+    ++Writers[In.Reg];
+  for (const Instruction &I : P.Instrs)
+    ++Writers[I.Dest];
 
   // Execute in dependency order: repeat sweeps until all writes land (a
   // valid program is acyclic, so this terminates in <= N sweeps; schedule
@@ -89,42 +148,48 @@ bool computeRegValues(const ir::Context &Ctx, const Program &P,
       }
       const ir::OpInfo &Info = Ctx.Ops.info(I->Op);
       std::optional<ir::Value> V;
-      if (I->Mem == MemKind::Load) {
-        if (Args.size() == 2 && Args[0].isArray() && Args[1].isInt())
-          V = ir::Value::makeInt(
-              Args[0].select(Args[1].asInt() + static_cast<uint64_t>(I->Disp)));
-      } else if (I->Mem == MemKind::Store) {
-        if (Args.size() == 3 && Args[0].isArray() && Args[1].isInt() &&
-            Args[2].isInt())
-          V = Args[0].store(Args[1].asInt() + static_cast<uint64_t>(I->Disp),
-                            Args[2].asInt());
+      if (I->Mem == MemKind::Load || I->Mem == MemKind::Store) {
+        bool IsLoad = I->Mem == MemKind::Load;
+        size_t WantArgs = IsLoad ? 2 : 3;
+        if (Args.size() != WantArgs || !Args[0].isArray() ||
+            !Args[1].isInt() || (!IsLoad && !Args[2].isInt()))
+          return RaiseTrap(
+              Trap{Trap::Kind::KindMismatch, I->Dest, 0, I->Mnemonic});
+        uint64_t Addr = Args[1].asInt() + static_cast<uint64_t>(I->Disp);
+        if (Opts.AddressLimit && Addr >= *Opts.AddressLimit)
+          return RaiseTrap(
+              Trap{Trap::Kind::OutOfBounds, I->Dest, Addr, I->Mnemonic});
+        V = IsLoad ? ir::Value::makeInt(Args[0].select(Addr))
+                   : Args[0].store(Addr, Args[2].asInt());
       } else if (Info.BuiltinOp == ir::Builtin::Const) {
         // ldiq: materialize the immediate.
-        if (Args.size() != 1 || !Args[0].isInt()) {
-          Error = "malformed ldiq";
-          return false;
-        }
+        if (Args.size() != 1 || !Args[0].isInt())
+          return RaiseTrap(
+              Trap{Trap::Kind::KindMismatch, I->Dest, 0, I->Mnemonic});
         V = Args[0];
       } else if (Info.Kind == ir::OpKind::Builtin) {
         V = ir::evalBuiltin(Info.BuiltinOp, Args);
       }
-      if (!V) {
-        Error = strFormat("cannot execute '%s'", I->Mnemonic.c_str());
-        return false;
-      }
-      if (Regs.count(I->Dest)) {
-        Error = strFormat("register v%u written twice", I->Dest);
-        return false;
-      }
+      if (!V)
+        return RaiseTrap(
+            Trap{Trap::Kind::KindMismatch, I->Dest, 0, I->Mnemonic});
+      if (Regs.count(I->Dest))
+        return RaiseTrap(
+            Trap{Trap::Kind::DoubleWrite, I->Dest, 0, I->Mnemonic});
       Regs.emplace(I->Dest, std::move(*V));
     }
     PendingInstrs = std::move(Next);
   }
   if (!PendingInstrs.empty()) {
-    Error = strFormat(
-        "%zu instructions never became ready (dataflow cycle or missing "
-        "producer)", PendingInstrs.size());
-    return false;
+    // Classify: a pending instruction reading a register nobody writes is
+    // an uninitialized read; otherwise the writers form a cycle.
+    for (const Instruction *I : PendingInstrs)
+      for (const Operand &S : I->Srcs)
+        if (S.isReg() && !Writers.count(S.Reg))
+          return RaiseTrap(Trap{Trap::Kind::UninitializedRead, S.Reg, 0,
+                                I->Mnemonic});
+    return RaiseTrap(Trap{Trap::Kind::Stuck, 0, 0,
+                          PendingInstrs.front()->Mnemonic});
   }
   return true;
 }
@@ -137,7 +202,7 @@ std::optional<std::string> denali::alpha::validateMemoryDiscipline(
   // Dataflow ("promised") values per register.
   std::unordered_map<uint32_t, ir::Value> Regs;
   std::string Error;
-  if (!computeRegValues(Ctx, P, Inputs, Regs, Error))
+  if (!computeRegValues(Ctx, P, Inputs, RunOptions(), Regs, Error, nullptr))
     return Error;
 
   // The machine's one real memory: the (sole) memory input's contents.

@@ -28,10 +28,44 @@
 namespace denali {
 namespace alpha {
 
+/// A structured trap raised by the functional simulator. Unlike a bare
+/// error string, a trap carries a machine-readable classification so the
+/// differential-verification oracle (src/verify) can distinguish "the
+/// generated program is garbage" (uninitialized read, double write) from
+/// "the program computed an illegal access on this input" (out of bounds)
+/// from harness bugs.
+struct Trap {
+  enum class Kind : uint8_t {
+    UninitializedRead, ///< A source register with no writer (input or instr).
+    OutOfBounds,       ///< Memory access at/above RunOptions::AddressLimit.
+    KindMismatch,      ///< Array/int kind error (e.g. load from an integer).
+    DoubleWrite,       ///< A virtual register assigned more than once.
+    Stuck,             ///< Dataflow cycle: instructions never became ready.
+  };
+  Kind TheKind = Kind::Stuck;
+  uint32_t Reg = 0;     ///< Offending register (UninitializedRead/DoubleWrite).
+  uint64_t Addr = 0;    ///< Offending address (OutOfBounds).
+  std::string Mnemonic; ///< Trapping instruction, when attributable.
+
+  std::string toString() const;
+};
+
+const char *trapKindName(Trap::Kind K);
+
+/// Knobs of a functional run.
+struct RunOptions {
+  /// If set, loads and stores whose effective address is >= this limit trap
+  /// with Trap::Kind::OutOfBounds instead of reading the base generator.
+  /// Unset preserves the arrays-as-values fiction (every address defined).
+  std::optional<uint64_t> AddressLimit;
+};
+
 /// Result of a functional run.
 struct RunResult {
   bool Ok = false;
   std::string Error;
+  /// Set when the failure is a classified trap; Error repeats its rendering.
+  std::optional<Trap> TheTrap;
   /// Final value per output name (from Program::Outputs).
   std::unordered_map<std::string, ir::Value> Outputs;
 };
@@ -40,7 +74,8 @@ struct RunResult {
 /// Instructions execute in dataflow order; each virtual register is
 /// assigned once, so schedule order does not affect values.
 RunResult runProgram(const ir::Context &Ctx, const Program &P,
-                     const std::unordered_map<std::string, ir::Value> &Inputs);
+                     const std::unordered_map<std::string, ir::Value> &Inputs,
+                     const RunOptions &Opts = RunOptions());
 
 /// Result of a timing validation.
 struct TimingReport {

@@ -4,6 +4,7 @@
 
 #include "support/StringExtras.h"
 
+#include <algorithm>
 #include <deque>
 
 using namespace denali;
@@ -71,6 +72,13 @@ bool Universe::build(const EGraph &G, const alpha::ISA &Isa,
   }
 
   auto addTerm = [&](MachineTerm T) {
+    // Harness fault injection: perturb the modeled latency (clamped at 1).
+    // The emitted Program still carries this wrong latency, so only a
+    // validator that recomputes latencies from the ISA tables can tell.
+    if (Opts.TestLatencyDelta) {
+      int64_t L = static_cast<int64_t>(T.Latency) + Opts.TestLatencyDelta;
+      T.Latency = static_cast<unsigned>(std::max<int64_t>(1, L));
+    }
     size_t Idx = Terms.size();
     for (ClassId A : T.Args)
       Work.push_back(A);

@@ -57,6 +57,14 @@ struct UniverseOptions {
   std::unordered_map<egraph::ClassId, unsigned> LoadLatencyByAddr;
   /// Displacement range for ldq/stq address folding.
   int64_t MaxDisp = 32767;
+  /// FAULT INJECTION (verification harness only — leave 0 in real use):
+  /// added to every machine term's modeled latency, clamped at 1 cycle. A
+  /// negative delta makes the encoder believe results arrive earlier than
+  /// the machine delivers them, so the SAT model schedules consumers too
+  /// early; the independent ScheduleValidator (src/verify), which recomputes
+  /// latencies from the ISA tables, must flag every such schedule. This is
+  /// the planted-bug self-test of the harness (EXPERIMENTS.md E13).
+  int TestLatencyDelta = 0;
 };
 
 /// The collected universe.

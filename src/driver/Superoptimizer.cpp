@@ -51,7 +51,7 @@ GmaResult Superoptimizer::compileGMA(const gma::GMA &G) {
     GuardClass = Graph.addTerm(*G.Guard);
     GoalClasses.push_back(*GuardClass);
   }
-  codegen::UniverseOptions UOpts;
+  codegen::UniverseOptions UOpts = Opts.Universe;
   for (ir::TermId Addr : G.MissAddrs) {
     egraph::ClassId C = Graph.addTerm(Addr);
     UOpts.LoadLatencyByAddr[Graph.find(C)] = Isa.loadMissLatency();
@@ -85,7 +85,8 @@ GmaResult Superoptimizer::compileGMA(const gma::GMA &G) {
     return Result;
   }
   // Miss annotations may have moved classes during saturation.
-  codegen::UniverseOptions UOpts2;
+  codegen::UniverseOptions UOpts2 = Opts.Universe;
+  UOpts2.LoadLatencyByAddr.clear();
   for (auto &[C, L] : UOpts.LoadLatencyByAddr)
     UOpts2.LoadLatencyByAddr[Graph.find(C)] = L;
 
@@ -224,7 +225,9 @@ std::optional<std::string> Superoptimizer::verify(const GmaResult &R,
       return "reference evaluation failed: " + Err;
     alpha::RunResult Run = alpha::runProgram(Ctx, P, SimInputs);
     if (!Run.Ok)
-      return "simulation failed: " + Run.Error;
+      return std::string(Run.TheTrap ? "simulation trap: "
+                                     : "simulation failed: ") +
+             Run.Error;
     // Replay loads/stores against one real shared memory: catches
     // discipline bugs the value semantics cannot.
     if (auto MemErr = alpha::validateMemoryDiscipline(Ctx, P, SimInputs))

@@ -42,6 +42,10 @@ struct Options {
   alpha::Machine Model = alpha::Machine::EV6;
   match::MatchLimits Matching;
   codegen::SearchOptions Search;
+  /// Universe-construction knobs (displacement folding range, and the
+  /// verification harness's latency fault injection). The per-GMA \miss
+  /// latency overrides are merged in by compileGMA.
+  codegen::UniverseOptions Universe;
   /// Enforce guard-before-memory-operation ordering when a GMA has a
   /// nontrivial guard (paper, section 7).
   bool EnforceGuard = true;

@@ -1,0 +1,150 @@
+//===- verify/GmaGen.cpp --------------------------------------------------===//
+
+#include "verify/GmaGen.h"
+
+#include "support/StringExtras.h"
+
+using namespace denali;
+using namespace denali::verify;
+using denali::ir::Builtin;
+using denali::ir::TermId;
+
+GmaGen::GmaGen(ir::Context &Ctx, uint64_t S, GmaGenOptions O)
+    : Ctx(Ctx), Seed(S), Opts(O),
+      Rng(S * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL) {
+  if (Opts.NumScalars == 0)
+    Opts.NumScalars = 1;
+  if (Opts.MaxTargets == 0)
+    Opts.MaxTargets = 1;
+  if (Opts.MemorySlots == 0)
+    Opts.MemorySlots = 1;
+}
+
+ir::TermId GmaGen::scalar() {
+  unsigned I = static_cast<unsigned>(below(Opts.NumScalars));
+  return Ctx.Terms.makeVar(std::string(1, static_cast<char>('a' + I)));
+}
+
+ir::TermId GmaGen::literal() {
+  return Ctx.Terms.makeConst(below(std::max(1u, Opts.ConstRange)));
+}
+
+/// Address p + 8k of a random slot (k possibly 0: the bare base).
+ir::TermId GmaGen::slotAddr() {
+  uint64_t SlotByte = 8 * below(Opts.MemorySlots);
+  if (SlotByte == 0)
+    return BaseVar;
+  return Ctx.Terms.makeBuiltin(
+      Builtin::Add64, {BaseVar, Ctx.Terms.makeConst(SlotByte)});
+}
+
+ir::TermId GmaGen::intExpr(unsigned Depth) {
+  // Leaves: scalars, literals, loads from the *initial* memory (GMA
+  // newvals are all evaluated in the pre-state, so the chain input is M).
+  if (Depth == 0 || below(3) == 0) {
+    if (UseMemory && below(3) == 0)
+      return Ctx.Terms.makeBuiltin(Builtin::Select, {MemVar, slotAddr()});
+    return below(4) == 0 ? literal() : scalar();
+  }
+
+  // Occasionally a non-machine operator only the axioms can lower.
+  if (percent(Opts.NonMachinePercent)) {
+    switch (below(3)) {
+    case 0:
+      return Ctx.Terms.makeBuiltin(
+          Builtin::SelectB, {intExpr(Depth - 1), Ctx.Terms.makeConst(below(8))});
+    case 1:
+      return Ctx.Terms.makeBuiltin(Builtin::Zext8, {intExpr(Depth - 1)});
+    default:
+      return Ctx.Terms.makeBuiltin(Builtin::Zext16, {intExpr(Depth - 1)});
+    }
+  }
+
+  if (below(5) == 0) { // Unary machine ops.
+    static const Builtin UnOps[] = {Builtin::Not64, Builtin::Neg64};
+    return Ctx.Terms.makeBuiltin(UnOps[below(std::size(UnOps))],
+                                 {intExpr(Depth - 1)});
+  }
+  if (below(8) == 0) { // Shifts keep a literal count (as in FuzzTests).
+    static const Builtin Shifts[] = {Builtin::Shl64, Builtin::Shr64,
+                                     Builtin::Sar64};
+    return Ctx.Terms.makeBuiltin(
+        Shifts[below(std::size(Shifts))],
+        {intExpr(Depth - 1), Ctx.Terms.makeConst(1 + below(8))});
+  }
+  if (below(10) == 0) { // Byte surgery with a literal index.
+    static const Builtin ByteOps[] = {Builtin::Extbl, Builtin::Mskbl,
+                                      Builtin::Insbl};
+    return Ctx.Terms.makeBuiltin(
+        ByteOps[below(std::size(ByteOps))],
+        {intExpr(Depth - 1), Ctx.Terms.makeConst(below(8))});
+  }
+  if (percent(Opts.MulPercent))
+    return Ctx.Terms.makeBuiltin(Builtin::Mul64,
+                                 {intExpr(Depth - 1), intExpr(Depth - 1)});
+
+  static const Builtin BinOps[] = {Builtin::Add64, Builtin::Sub64,
+                                   Builtin::And64, Builtin::Or64,
+                                   Builtin::Xor64, Builtin::Bic64,
+                                   Builtin::Ornot64, Builtin::CmpUlt,
+                                   Builtin::CmpEq};
+  return Ctx.Terms.makeBuiltin(BinOps[below(std::size(BinOps))],
+                               {intExpr(Depth - 1), intExpr(Depth - 1)});
+}
+
+ir::TermId GmaGen::guardExpr() {
+  static const Builtin Cmps[] = {Builtin::CmpUlt, Builtin::CmpEq,
+                                 Builtin::CmpLt, Builtin::CmpUle};
+  TermId L = scalar();
+  TermId R = below(2) ? scalar() : literal();
+  return Ctx.Terms.makeBuiltin(Cmps[below(std::size(Cmps))], {L, R});
+}
+
+/// One or two chained stores at distinct slots: store(store(M, p+8i, v),
+/// p+8j, w). Distinct offsets keep the addresses provably different, so
+/// the select-of-store axioms stay applicable.
+ir::TermId GmaGen::storeChain() {
+  unsigned NumStores = 1 + static_cast<unsigned>(below(2));
+  NumStores = std::min(NumStores, Opts.MemorySlots);
+  std::vector<uint64_t> Slots;
+  for (unsigned K = 0; K < Opts.MemorySlots && Slots.size() < NumStores; ++K)
+    if (below(2) || Opts.MemorySlots - K <= NumStores - Slots.size())
+      Slots.push_back(8 * K);
+  TermId Chain = MemVar;
+  for (uint64_t SlotByte : Slots) {
+    TermId Addr = SlotByte == 0
+                      ? BaseVar
+                      : Ctx.Terms.makeBuiltin(
+                            Builtin::Add64,
+                            {BaseVar, Ctx.Terms.makeConst(SlotByte)});
+    Chain = Ctx.Terms.makeBuiltin(
+        Builtin::Store,
+        {Chain, Addr, intExpr(1 + static_cast<unsigned>(below(2)))});
+  }
+  return Chain;
+}
+
+gma::GMA GmaGen::next() {
+  gma::GMA G;
+  G.Name = strFormat("gen%llu_%u", static_cast<unsigned long long>(Seed),
+                     Count);
+  ++Count;
+
+  UseMemory = percent(Opts.MemoryPercent);
+  MemVar = Ctx.Terms.makeVar("M");
+  BaseVar = Ctx.Terms.makeVar("p");
+
+  unsigned NumTargets = 1 + static_cast<unsigned>(below(Opts.MaxTargets));
+  for (unsigned T = 0; T < NumTargets; ++T) {
+    G.Targets.push_back(strFormat("res%u", T));
+    unsigned Depth = 1 + static_cast<unsigned>(below(Opts.MaxDepth));
+    G.NewVals.push_back(intExpr(Depth));
+  }
+  if (UseMemory && percent(Opts.StorePercent)) {
+    G.Targets.push_back("M");
+    G.NewVals.push_back(storeChain());
+  }
+  if (percent(Opts.GuardPercent))
+    G.Guard = guardExpr();
+  return G;
+}

@@ -1,0 +1,101 @@
+//===- verify/GmaGen.h - Seeded random GMA generator ------------*- C++ -*-===//
+///
+/// \file
+/// The randomized input side of the differential-verification harness: a
+/// seeded generator of well-typed guarded multi-assignments over the
+/// supported operators. Every GMA it emits is valid by construction —
+/// integer expressions over the scalar inputs, loads from the initial
+/// memory at base+offset addresses, a store chain for the memory target,
+/// and an optional comparison guard — so any downstream failure is a
+/// pipeline bug, not a generator artifact.
+///
+/// Generation is a pure function of (seed, index): GmaGen(Ctx, S).next()
+/// called N times always yields the same N GMAs for the same seed and
+/// options, which is what makes fuzzer findings replayable (`--seed`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DENALI_VERIFY_GMAGEN_H
+#define DENALI_VERIFY_GMAGEN_H
+
+#include "gma/GMA.h"
+#include "ir/Term.h"
+
+#include <random>
+
+namespace denali {
+namespace verify {
+
+/// Shape knobs of the generated GMAs.
+struct GmaGenOptions {
+  /// Integer result targets per GMA (1 .. MaxTargets, chosen per GMA).
+  unsigned MaxTargets = 2;
+  /// Expression depth bound. Depth d costs at most 2^d operators; keep
+  /// small so minimal budgets stay within the smoke search ceiling.
+  unsigned MaxDepth = 3;
+  /// Scalar input variables (named a, b, c, ...).
+  unsigned NumScalars = 3;
+  /// Percentage of GMAs that traffic memory at all (loads from the initial
+  /// memory M at p + 8k; possibly a store-chain target for M).
+  unsigned MemoryPercent = 40;
+  /// Distinct 8-byte slots addressable off the base pointer p.
+  unsigned MemorySlots = 4;
+  /// Of the memory GMAs, percentage that also update M (1-2 chained
+  /// stores as the "M" target).
+  unsigned StorePercent = 60;
+  /// Percentage of GMAs guarded by a scalar comparison (exercises the
+  /// guard-before-memory-operation constraints, paper section 7).
+  unsigned GuardPercent = 25;
+  /// Percentage of binary-operator picks that draw a long-latency
+  /// multiply (latency 7 — quickly dominates small budgets, so rare).
+  unsigned MulPercent = 5;
+  /// Percentage of expression nodes drawn from the *non-machine* pool
+  /// (selectb, zext8/16) that only axioms can rewrite into instructions.
+  /// The smoke gate keeps this small but nonzero so a matcher regression
+  /// surfaces as a verification failure, not silent shrinkage.
+  unsigned NonMachinePercent = 10;
+  /// Range of generated integer literals (0 .. ConstRange-1).
+  unsigned ConstRange = 256;
+};
+
+/// Emits a deterministic stream of well-typed GMAs into \p Ctx.
+class GmaGen {
+public:
+  GmaGen(ir::Context &Ctx, uint64_t Seed,
+         GmaGenOptions Opts = GmaGenOptions());
+
+  /// The next GMA of the stream (deterministic per (seed, call index)).
+  gma::GMA next();
+
+  /// Number of GMAs emitted so far.
+  unsigned count() const { return Count; }
+  uint64_t seed() const { return Seed; }
+  const GmaGenOptions &options() const { return Opts; }
+
+private:
+  ir::Context &Ctx;
+  uint64_t Seed;
+  GmaGenOptions Opts;
+  unsigned Count = 0;
+  std::mt19937_64 Rng;
+
+  // Per-GMA state.
+  bool UseMemory = false;
+  ir::TermId MemVar = 0;
+  ir::TermId BaseVar = 0;
+
+  bool percent(unsigned P) { return Rng() % 100 < P; }
+  uint64_t below(uint64_t N) { return Rng() % N; }
+
+  ir::TermId scalar();
+  ir::TermId literal();
+  ir::TermId slotAddr();
+  ir::TermId intExpr(unsigned Depth);
+  ir::TermId guardExpr();
+  ir::TermId storeChain();
+};
+
+} // namespace verify
+} // namespace denali
+
+#endif // DENALI_VERIFY_GMAGEN_H

@@ -1,0 +1,158 @@
+//===- verify/GmaText.cpp -------------------------------------------------===//
+
+#include "verify/GmaText.h"
+
+#include "sexpr/Parser.h"
+#include "support/StringExtras.h"
+
+using namespace denali;
+using namespace denali::verify;
+using sexpr::SExpr;
+
+std::string denali::verify::printTerm(const ir::Context &Ctx, ir::TermId T) {
+  const ir::TermNode &N = Ctx.Terms.node(T);
+  const ir::OpInfo &Info = Ctx.Ops.info(N.Op);
+  if (Ctx.Ops.isConst(N.Op))
+    return strFormat("%llu", (unsigned long long)N.ConstVal);
+  if (N.Children.empty())
+    return Info.Name;
+  std::string Out = "(" + Info.Name;
+  for (ir::TermId C : N.Children)
+    Out += " " + printTerm(Ctx, C);
+  return Out + ")";
+}
+
+std::string denali::verify::printGma(const ir::Context &Ctx,
+                                     const gma::GMA &G) {
+  std::string Out =
+      "(gma " + (G.Name.empty() ? std::string("unnamed") : G.Name);
+  for (size_t I = 0; I < G.Targets.size(); ++I)
+    Out += strFormat("\n  (assign %s %s)", G.Targets[I].c_str(),
+                     printTerm(Ctx, G.NewVals[I]).c_str());
+  if (G.Guard)
+    Out += "\n  (guard " + printTerm(Ctx, *G.Guard) + ")";
+  for (ir::TermId A : G.MissAddrs)
+    Out += "\n  (miss " + printTerm(Ctx, A) + ")";
+  for (const gma::GMA::Assumption &A : G.Assumptions)
+    Out += strFormat("\n  (assume %s %s %s)", A.IsEq ? "eq" : "neq",
+                     printTerm(Ctx, A.Lhs).c_str(),
+                     printTerm(Ctx, A.Rhs).c_str());
+  return Out + ")";
+}
+
+static std::optional<ir::TermId> termFromSExpr(ir::Context &Ctx,
+                                               const SExpr &E,
+                                               std::string *ErrorOut) {
+  auto Fail = [&](std::string Msg) -> std::optional<ir::TermId> {
+    if (ErrorOut)
+      *ErrorOut = std::move(Msg);
+    return std::nullopt;
+  };
+  if (E.isInteger())
+    return Ctx.Terms.makeConst(static_cast<uint64_t>(E.integer()));
+  if (E.isSymbol()) {
+    // Bare symbols are variables, unless they name a known nullary
+    // operator (a declared constant-like op).
+    if (auto Op = Ctx.Ops.lookup(E.symbol()))
+      if (!Ctx.Ops.isVariable(*Op) && !Ctx.Ops.isConst(*Op)) {
+        if (Ctx.Ops.info(*Op).Arity != 0)
+          return Fail(strFormat("operator '%s' used without arguments",
+                                E.symbol().c_str()));
+        return Ctx.Terms.make(*Op, {});
+      }
+    return Ctx.Terms.makeVar(E.symbol());
+  }
+  if (E.size() == 0 || !E[0].isSymbol())
+    return Fail("term list must start with an operator name");
+  std::optional<ir::OpId> Op = Ctx.Ops.lookup(E[0].symbol());
+  if (!Op || Ctx.Ops.isVariable(*Op))
+    return Fail(strFormat("unknown operator '%s'", E[0].symbol().c_str()));
+  const ir::OpInfo &Info = Ctx.Ops.info(*Op);
+  if (static_cast<size_t>(Info.Arity) != E.size() - 1)
+    return Fail(strFormat("operator '%s' expects %d argument(s), got %zu",
+                          Info.Name.c_str(), Info.Arity, E.size() - 1));
+  std::vector<ir::TermId> Kids;
+  for (size_t I = 1; I < E.size(); ++I) {
+    auto K = termFromSExpr(Ctx, E[I], ErrorOut);
+    if (!K)
+      return std::nullopt;
+    Kids.push_back(*K);
+  }
+  return Ctx.Terms.make(*Op, Kids);
+}
+
+std::optional<ir::TermId>
+denali::verify::parseTerm(ir::Context &Ctx, const std::string &Text,
+                          std::string *ErrorOut) {
+  sexpr::ParseResult P = sexpr::parseOne(Text);
+  if (!P.ok()) {
+    if (ErrorOut)
+      *ErrorOut = P.Error->toString();
+    return std::nullopt;
+  }
+  return termFromSExpr(Ctx, P.Forms[0], ErrorOut);
+}
+
+std::optional<gma::GMA> denali::verify::parseGma(ir::Context &Ctx,
+                                                 const std::string &Text,
+                                                 std::string *ErrorOut) {
+  auto Fail = [&](std::string Msg) -> std::optional<gma::GMA> {
+    if (ErrorOut)
+      *ErrorOut = std::move(Msg);
+    return std::nullopt;
+  };
+  sexpr::ParseResult P = sexpr::parseOne(Text);
+  if (!P.ok())
+    return Fail(P.Error->toString());
+  const SExpr &E = P.Forms[0];
+  if (!E.isForm("gma") || E.size() < 2 || !E[1].isSymbol())
+    return Fail("expected (gma <name> <clause>...)");
+
+  gma::GMA G;
+  G.Name = E[1].symbol();
+  for (size_t I = 2; I < E.size(); ++I) {
+    const SExpr &Clause = E[I];
+    if (Clause.isForm("assign") && Clause.size() == 3 &&
+        Clause[1].isSymbol()) {
+      auto T = termFromSExpr(Ctx, Clause[2], ErrorOut);
+      if (!T)
+        return std::nullopt;
+      G.Targets.push_back(Clause[1].symbol());
+      G.NewVals.push_back(*T);
+    } else if (Clause.isForm("guard") && Clause.size() == 2) {
+      auto T = termFromSExpr(Ctx, Clause[1], ErrorOut);
+      if (!T)
+        return std::nullopt;
+      G.Guard = *T;
+    } else if (Clause.isForm("miss") && Clause.size() == 2) {
+      auto T = termFromSExpr(Ctx, Clause[1], ErrorOut);
+      if (!T)
+        return std::nullopt;
+      G.MissAddrs.push_back(*T);
+    } else if (Clause.isForm("assume") && Clause.size() == 4 &&
+               Clause[1].isSymbol()) {
+      gma::GMA::Assumption A;
+      if (Clause[1].isSymbol("eq"))
+        A.IsEq = true;
+      else if (Clause[1].isSymbol("neq"))
+        A.IsEq = false;
+      else
+        return Fail("assume clause must be eq or neq");
+      auto L = termFromSExpr(Ctx, Clause[2], ErrorOut);
+      if (!L)
+        return std::nullopt;
+      auto R = termFromSExpr(Ctx, Clause[3], ErrorOut);
+      if (!R)
+        return std::nullopt;
+      A.Lhs = *L;
+      A.Rhs = *R;
+      G.Assumptions.push_back(A);
+    } else {
+      return Fail(strFormat("unrecognized clause: %s",
+                            Clause.toString().c_str()));
+    }
+  }
+  if (G.Targets.empty())
+    return Fail("gma has no assign clause");
+  return G;
+}

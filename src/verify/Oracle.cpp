@@ -1,0 +1,112 @@
+//===- verify/Oracle.cpp --------------------------------------------------===//
+
+#include "verify/Oracle.h"
+
+#include "support/StringExtras.h"
+#include "verify/ScheduleValidator.h"
+
+using namespace denali;
+using namespace denali::verify;
+
+const char *denali::verify::oracleStatusName(OracleStatus S) {
+  switch (S) {
+  case OracleStatus::Pass:
+    return "pass";
+  case OracleStatus::BudgetExhausted:
+    return "budget-exhausted";
+  case OracleStatus::CompileError:
+    return "compile-error";
+  case OracleStatus::ScheduleBad:
+    return "schedule-bad";
+  case OracleStatus::TimingBad:
+    return "timing-bad";
+  case OracleStatus::FunctionalBad:
+    return "functional-bad";
+  }
+  return "unknown";
+}
+
+std::string OracleVerdict::toString() const {
+  std::string Out = oracleStatusName(Status);
+  if (Status == OracleStatus::Pass)
+    Out += strFormat(" (%u cycles)", Cycles);
+  if (!Detail.empty())
+    Out += ": " + Detail;
+  return Out;
+}
+
+OracleVerdict denali::verify::checkCompiled(driver::Superoptimizer &Opt,
+                                            const driver::GmaResult &R,
+                                            const OracleOptions &O) {
+  OracleVerdict V;
+  if (!R.ok()) {
+    // The honest "no K-cycle program exists up to the ceiling" answer is
+    // not a bug; a generated GMA may simply need more cycles than the
+    // smoke ceiling allows.
+    bool Exhausted = R.Error.find("no program within") != std::string::npos;
+    V.Status = Exhausted ? OracleStatus::BudgetExhausted
+                         : OracleStatus::CompileError;
+    V.Detail = R.Error;
+    return V;
+  }
+  V.Cycles = R.Search.Cycles;
+
+  // Independent schedule replay, including the certified budget: the
+  // emitted program must fit the cycle count the SAT search claims.
+  ScheduleReport SR =
+      validateSchedule(Opt.isa(), R.Search.Program, R.Search.Cycles);
+  if (!SR.Ok) {
+    V.Status = OracleStatus::ScheduleBad;
+    V.Detail = SR.toString();
+    return V;
+  }
+
+  // Functional differential run (reference evaluator vs simulator vs the
+  // shared-memory replay) plus the annotation-trusting timing check.
+  if (auto Err = Opt.verify(R, O.Trials, O.InputSeed)) {
+    V.Status = Err->rfind("timing:", 0) == 0 ? OracleStatus::TimingBad
+                                             : OracleStatus::FunctionalBad;
+    V.Detail = *Err;
+    return V;
+  }
+  return V;
+}
+
+OracleVerdict denali::verify::compileAndCheck(driver::Superoptimizer &Opt,
+                                              const gma::GMA &G,
+                                              const OracleOptions &O) {
+  return checkCompiled(Opt, Opt.compileGMA(G), O);
+}
+
+std::optional<std::string> denali::verify::crossCheckStrategies(
+    driver::Superoptimizer &Opt, const gma::GMA &G,
+    const std::vector<codegen::SearchStrategy> &Strategies,
+    const OracleOptions &O, OracleVerdict *AgreedOut) {
+  codegen::SearchStrategy Saved = Opt.options().Search.Strategy;
+  std::optional<OracleVerdict> First;
+  std::optional<std::string> Err;
+  for (codegen::SearchStrategy S : Strategies) {
+    Opt.options().Search.Strategy = S;
+    OracleVerdict V = compileAndCheck(Opt, G, O);
+    if (!V.benign()) {
+      Err = strFormat("%s: strategy %u failed: %s", G.Name.c_str(),
+                      static_cast<unsigned>(S), V.toString().c_str());
+      break;
+    }
+    if (!First) {
+      First = V;
+      continue;
+    }
+    if (V.Status != First->Status || V.Cycles != First->Cycles) {
+      Err = strFormat("%s: strategy %u found %s but strategy %u found %s",
+                      G.Name.c_str(), static_cast<unsigned>(Strategies[0]),
+                      First->toString().c_str(), static_cast<unsigned>(S),
+                      V.toString().c_str());
+      break;
+    }
+  }
+  Opt.options().Search.Strategy = Saved;
+  if (!Err && AgreedOut && First)
+    *AgreedOut = *First;
+  return Err;
+}

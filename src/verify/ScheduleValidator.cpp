@@ -1,0 +1,185 @@
+//===- verify/ScheduleValidator.cpp ---------------------------------------===//
+
+#include "verify/ScheduleValidator.h"
+
+#include "support/StringExtras.h"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <unordered_map>
+
+using namespace denali;
+using namespace denali::verify;
+using alpha::Instruction;
+using alpha::MemKind;
+using alpha::Operand;
+
+const char *denali::verify::violationKindName(ScheduleViolation::Kind K) {
+  switch (K) {
+  case ScheduleViolation::Kind::NotMachineInstruction:
+    return "not-machine-instruction";
+  case ScheduleViolation::Kind::IllegalUnit:
+    return "illegal-unit";
+  case ScheduleViolation::Kind::SlotConflict:
+    return "slot-conflict";
+  case ScheduleViolation::Kind::LatencyUnderstated:
+    return "latency-understated";
+  case ScheduleViolation::Kind::UninitializedOperand:
+    return "uninitialized-operand";
+  case ScheduleViolation::Kind::OperandNotReady:
+    return "operand-not-ready";
+  case ScheduleViolation::Kind::DeadlineExceeded:
+    return "deadline-exceeded";
+  case ScheduleViolation::Kind::StoreReplayed:
+    return "store-replayed";
+  case ScheduleViolation::Kind::LoadAfterOverwrite:
+    return "load-after-overwrite";
+  }
+  return "unknown";
+}
+
+bool ScheduleReport::has(ScheduleViolation::Kind K) const {
+  for (const ScheduleViolation &V : Violations)
+    if (V.TheKind == K)
+      return true;
+  return false;
+}
+
+std::string ScheduleReport::toString() const {
+  if (Ok)
+    return strFormat("schedule ok (makespan %u)", Makespan);
+  std::string Out = strFormat("%zu schedule violation(s):", Violations.size());
+  for (const ScheduleViolation &V : Violations) {
+    Out += strFormat("\n  [%s] ", violationKindName(V.TheKind));
+    Out += V.Message;
+  }
+  return Out;
+}
+
+ScheduleReport denali::verify::validateSchedule(const alpha::ISA &Isa,
+                                                const alpha::Program &P,
+                                                unsigned BudgetCycles) {
+  ScheduleReport Report;
+  auto Violate = [&](ScheduleViolation::Kind K, std::string Msg) {
+    Report.Violations.push_back(ScheduleViolation{K, std::move(Msg)});
+  };
+
+  // The latency the machine actually takes. The annotation may honestly
+  // model *more* cycles than the table (a \miss load), never fewer.
+  auto trueLatency = [&](const Instruction &I,
+                         const alpha::InstrDesc &D) -> unsigned {
+    return std::max(I.Latency, D.Latency);
+  };
+
+  // Pass 1: descriptors, unit legality, slot occupancy, result readiness.
+  std::unordered_map<uint32_t, std::array<unsigned, alpha::NumClusters>>
+      ReadyAt;
+  for (const alpha::ProgramInput &In : P.Inputs)
+    ReadyAt[In.Reg] = {0, 0};
+
+  std::map<std::pair<unsigned, unsigned>, const Instruction *> Slots;
+  std::unordered_map<const Instruction *, const alpha::InstrDesc *> Descs;
+  for (const Instruction &I : P.Instrs) {
+    const alpha::InstrDesc *D = I.Op == Isa.constMaterialize().Op
+                                    ? &Isa.constMaterialize()
+                                    : Isa.descFor(I.Op);
+    if (!D) {
+      Violate(ScheduleViolation::Kind::NotMachineInstruction,
+              strFormat("'%s' is not in the ISA tables", I.Mnemonic.c_str()));
+      continue;
+    }
+    Descs[&I] = D;
+    unsigned UIdx = alpha::unitIndex(I.IssueUnit);
+    if (!(D->UnitMask & (1u << UIdx)))
+      Violate(ScheduleViolation::Kind::IllegalUnit,
+              strFormat("'%s' issued on %s which its descriptor forbids",
+                        I.Mnemonic.c_str(), alpha::unitName(I.IssueUnit)));
+    if (I.Latency < D->Latency)
+      Violate(ScheduleViolation::Kind::LatencyUnderstated,
+              strFormat("'%s' annotated with latency %u but the ISA needs "
+                        "%u cycles",
+                        I.Mnemonic.c_str(), I.Latency, D->Latency));
+    auto Key = std::make_pair(I.Cycle, UIdx);
+    auto [It, Fresh] = Slots.emplace(Key, &I);
+    if (!Fresh)
+      Violate(ScheduleViolation::Kind::SlotConflict,
+              strFormat("'%s' and '%s' both issue at cycle %u on %s",
+                        It->second->Mnemonic.c_str(), I.Mnemonic.c_str(),
+                        I.Cycle, alpha::unitName(I.IssueUnit)));
+
+    unsigned OwnCluster = alpha::clusterOf(I.IssueUnit);
+    unsigned Done = I.Cycle + trueLatency(I, *D);
+    auto &Entry = ReadyAt[I.Dest];
+    Entry[OwnCluster] = Done;
+    // Stores update the shared memory state; everything else pays the
+    // cross-cluster forwarding delay.
+    Entry[1 - OwnCluster] = I.Mem == MemKind::Store
+                                ? Done
+                                : Done + Isa.crossClusterDelay();
+  }
+
+  // Pass 2: operand readiness and the certified deadline, both under the
+  // ISA's latencies.
+  for (const Instruction &I : P.Instrs) {
+    auto DIt = Descs.find(&I);
+    if (DIt == Descs.end())
+      continue;
+    unsigned Cluster = alpha::clusterOf(I.IssueUnit);
+    for (const Operand &S : I.Srcs) {
+      if (!S.isReg())
+        continue;
+      auto It = ReadyAt.find(S.Reg);
+      if (It == ReadyAt.end()) {
+        Violate(ScheduleViolation::Kind::UninitializedOperand,
+                strFormat("v%u consumed by '%s' but never produced", S.Reg,
+                          I.Mnemonic.c_str()));
+        continue;
+      }
+      if (It->second[Cluster] > I.Cycle)
+        Violate(ScheduleViolation::Kind::OperandNotReady,
+                strFormat("v%u consumed by '%s' at cycle %u on cluster %u "
+                          "but the machine delivers it at cycle %u",
+                          S.Reg, I.Mnemonic.c_str(), I.Cycle, Cluster,
+                          It->second[Cluster]));
+    }
+    unsigned Finish = I.Cycle + trueLatency(I, *DIt->second);
+    Report.Makespan = std::max(Report.Makespan, Finish);
+    if (Finish > BudgetCycles)
+      Violate(ScheduleViolation::Kind::DeadlineExceeded,
+              strFormat("'%s' finishes at cycle %u, past the certified "
+                        "budget of %u",
+                        I.Mnemonic.c_str(), Finish, BudgetCycles));
+  }
+
+  // Pass 3: memory discipline. Each memory state feeds at most one store
+  // (states form a chain), and no load of a state launches after the store
+  // that overwrites it (loads read early, stores write at end of cycle).
+  std::unordered_map<uint32_t, const Instruction *> OverwrittenBy;
+  for (const Instruction &I : P.Instrs) {
+    if (I.Mem != MemKind::Store || I.Srcs.empty() || !I.Srcs[0].isReg())
+      continue;
+    uint32_t Mem = I.Srcs[0].Reg;
+    auto [It, Fresh] = OverwrittenBy.emplace(Mem, &I);
+    if (!Fresh)
+      Violate(ScheduleViolation::Kind::StoreReplayed,
+              strFormat("memory state v%u overwritten by both '%s' (cycle "
+                        "%u) and '%s' (cycle %u)",
+                        Mem, It->second->Mnemonic.c_str(), It->second->Cycle,
+                        I.Mnemonic.c_str(), I.Cycle));
+  }
+  for (const Instruction &I : P.Instrs) {
+    if (I.Mem != MemKind::Load || I.Srcs.empty() || !I.Srcs[0].isReg())
+      continue;
+    auto It = OverwrittenBy.find(I.Srcs[0].Reg);
+    if (It != OverwrittenBy.end() && I.Cycle > It->second->Cycle)
+      Violate(ScheduleViolation::Kind::LoadAfterOverwrite,
+              strFormat("load '%s' at cycle %u reads memory state v%u "
+                        "which '%s' overwrote at cycle %u",
+                        I.Mnemonic.c_str(), I.Cycle, I.Srcs[0].Reg,
+                        It->second->Mnemonic.c_str(), It->second->Cycle));
+  }
+
+  Report.Ok = Report.Violations.empty();
+  return Report;
+}

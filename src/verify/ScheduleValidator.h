@@ -1,0 +1,77 @@
+//===- verify/ScheduleValidator.h - Independent schedule replay -*- C++ -*-===//
+///
+/// \file
+/// A standalone validator that replays an extracted program against the
+/// machine description the Encoder claims to have enforced: functional-unit
+/// legality, issue-slot exclusivity, operand readiness under the *ISA's*
+/// latencies (not the latency annotations the encoder wrote into the
+/// program — those carry the encoder's own beliefs and would make the check
+/// circular), cross-cluster forwarding delays, the certified cycle budget,
+/// and the memory-discipline side conditions (single launch per store,
+/// loads not scheduled after the store that overwrites their memory state).
+///
+/// This is the third, mutually independent implementation of the EV6
+/// timing model (after codegen::Encoder and alpha::validateTiming), which
+/// is the point: the encoder and the simulator check *each other* through
+/// it. An encoder that under-models a latency produces programs whose
+/// annotations agree with the encoder's belief — only a validator that
+/// recomputes latencies from the ISA tables can flag them (this is exactly
+/// the planted-bug experiment of EXPERIMENTS.md E13).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DENALI_VERIFY_SCHEDULEVALIDATOR_H
+#define DENALI_VERIFY_SCHEDULEVALIDATOR_H
+
+#include "alpha/Assembly.h"
+#include "alpha/ISA.h"
+
+#include <string>
+#include <vector>
+
+namespace denali {
+namespace verify {
+
+/// One violated constraint.
+struct ScheduleViolation {
+  enum class Kind : uint8_t {
+    NotMachineInstruction, ///< Opcode absent from the ISA tables.
+    IllegalUnit,           ///< Issued on a unit its descriptor forbids.
+    SlotConflict,          ///< Two launches share a (cycle, unit) slot.
+    LatencyUnderstated,    ///< Annotation claims fewer cycles than the ISA.
+    UninitializedOperand,  ///< Source register with no producer.
+    OperandNotReady,       ///< Consumed before the producing unit delivers.
+    DeadlineExceeded,      ///< Completes after the certified budget.
+    StoreReplayed,         ///< A memory state overwritten by two stores.
+    LoadAfterOverwrite,    ///< Load scheduled after its state is overwritten.
+  };
+  Kind TheKind;
+  std::string Message;
+};
+
+const char *violationKindName(ScheduleViolation::Kind K);
+
+/// The replay outcome. Unlike alpha::validateTiming (first violation only),
+/// all violations are collected, which is what a fuzzer wants to minimize
+/// against.
+struct ScheduleReport {
+  bool Ok = false;
+  /// Cycles actually needed under ISA latencies.
+  unsigned Makespan = 0;
+  std::vector<ScheduleViolation> Violations;
+
+  bool has(ScheduleViolation::Kind K) const;
+  std::string toString() const;
+};
+
+/// Replays \p P's schedule against \p Isa. \p BudgetCycles is the
+/// SAT-certified budget to check the deadline against (pass P.Cycles to
+/// check the program's own claim).
+ScheduleReport validateSchedule(const alpha::ISA &Isa,
+                                const alpha::Program &P,
+                                unsigned BudgetCycles);
+
+} // namespace verify
+} // namespace denali
+
+#endif // DENALI_VERIFY_SCHEDULEVALIDATOR_H

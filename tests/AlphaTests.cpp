@@ -178,6 +178,110 @@ TEST_F(AlphaTest, RunDetectsMissingProducer) {
   EXPECT_FALSE(R.Ok);
 }
 
+//===----------------------------------------------------------------------===
+// Structured traps: the functional simulator classifies failures so the
+// differential oracle can tell a garbage program from an illegal access.
+//===----------------------------------------------------------------------===
+
+TEST_F(AlphaTest, TrapUninitializedRead) {
+  Program P;
+  P.Cycles = 1;
+  P.Inputs = {{0, "x", false}};
+  // v42 has no writer at all: a structured uninitialized-read trap, not a
+  // generic "never became ready" failure (and not an assert).
+  P.Instrs = {instr(Builtin::Add64, {Operand::reg(42), Operand::imm(1)}, 1,
+                    0, Unit::U0)};
+  RunResult R = runProgram(Ctx, P, {{"x", ir::Value::makeInt(0)}});
+  ASSERT_FALSE(R.Ok);
+  ASSERT_TRUE(R.TheTrap.has_value());
+  EXPECT_EQ(R.TheTrap->TheKind, Trap::Kind::UninitializedRead);
+  EXPECT_EQ(R.TheTrap->Reg, 42u);
+  EXPECT_EQ(R.Error, R.TheTrap->toString());
+}
+
+TEST_F(AlphaTest, TrapOutOfBoundsLoad) {
+  Program P;
+  P.Cycles = 4;
+  P.Inputs = {{0, "M", true}, {1, "p", false}};
+  Instruction Ld = instr(Builtin::Select, {Operand::reg(0), Operand::reg(1)},
+                         2, 0, Unit::L0);
+  Ld.Disp = 16;
+  P.Instrs = {Ld};
+  P.Outputs = {{"res", 2}};
+  RunOptions Opts;
+  Opts.AddressLimit = 0x100;
+  RunResult R = runProgram(
+      Ctx, P,
+      {{"M", ir::Value::makeArray(7)}, {"p", ir::Value::makeInt(0xf8)}},
+      Opts);
+  ASSERT_FALSE(R.Ok);
+  ASSERT_TRUE(R.TheTrap.has_value());
+  EXPECT_EQ(R.TheTrap->TheKind, Trap::Kind::OutOfBounds);
+  EXPECT_EQ(R.TheTrap->Addr, 0x108u); // p + disp crosses the limit.
+
+  // The same access under the limit is fine.
+  RunResult Ok = runProgram(
+      Ctx, P,
+      {{"M", ir::Value::makeArray(7)}, {"p", ir::Value::makeInt(0x40)}},
+      Opts);
+  EXPECT_TRUE(Ok.Ok) << Ok.Error;
+  // And with no limit the arrays-as-values fiction covers every address.
+  RunResult Unlimited = runProgram(
+      Ctx, P,
+      {{"M", ir::Value::makeArray(7)}, {"p", ir::Value::makeInt(0xf8)}});
+  EXPECT_TRUE(Unlimited.Ok) << Unlimited.Error;
+}
+
+TEST_F(AlphaTest, TrapOutOfBoundsStore) {
+  Program P;
+  P.Cycles = 4;
+  P.Inputs = {{0, "M", true}, {1, "p", false}, {2, "x", false}};
+  P.Instrs = {instr(Builtin::Store,
+                    {Operand::reg(0), Operand::reg(1), Operand::reg(2)}, 3,
+                    0, Unit::L0)};
+  P.Outputs = {{"M", 3}};
+  RunOptions Opts;
+  Opts.AddressLimit = 64;
+  RunResult R = runProgram(Ctx, P,
+                           {{"M", ir::Value::makeArray(1)},
+                            {"p", ir::Value::makeInt(64)},
+                            {"x", ir::Value::makeInt(5)}},
+                           Opts);
+  ASSERT_FALSE(R.Ok);
+  ASSERT_TRUE(R.TheTrap.has_value());
+  EXPECT_EQ(R.TheTrap->TheKind, Trap::Kind::OutOfBounds);
+  EXPECT_EQ(R.TheTrap->Addr, 64u);
+}
+
+TEST_F(AlphaTest, TrapKindMismatch) {
+  Program P;
+  P.Cycles = 4;
+  P.Inputs = {{0, "x", false}, {1, "p", false}};
+  // Load whose "memory" operand is an integer: a kind trap, not an assert.
+  P.Instrs = {instr(Builtin::Select, {Operand::reg(0), Operand::reg(1)}, 2,
+                    0, Unit::L0)};
+  RunResult R = runProgram(
+      Ctx, P, {{"x", ir::Value::makeInt(3)}, {"p", ir::Value::makeInt(0)}});
+  ASSERT_FALSE(R.Ok);
+  ASSERT_TRUE(R.TheTrap.has_value());
+  EXPECT_EQ(R.TheTrap->TheKind, Trap::Kind::KindMismatch);
+}
+
+TEST_F(AlphaTest, TrapDoubleWrite) {
+  Program P;
+  P.Cycles = 2;
+  P.Inputs = {{0, "x", false}};
+  P.Instrs = {instr(Builtin::Add64, {Operand::reg(0), Operand::imm(1)}, 1,
+                    0, Unit::U0),
+              instr(Builtin::Sub64, {Operand::reg(0), Operand::imm(2)}, 1,
+                    0, Unit::U1)};
+  RunResult R = runProgram(Ctx, P, {{"x", ir::Value::makeInt(0)}});
+  ASSERT_FALSE(R.Ok);
+  ASSERT_TRUE(R.TheTrap.has_value());
+  EXPECT_EQ(R.TheTrap->TheKind, Trap::Kind::DoubleWrite);
+  EXPECT_EQ(R.TheTrap->Reg, 1u);
+}
+
 TEST_F(AlphaTest, RunOutputNeverWritten) {
   Program P;
   P.Cycles = 1;

@@ -1,0 +1,116 @@
+//===- tests/CorpusTests.cpp - regression-corpus replay -------------------===//
+//
+// Replays everything under tests/corpus/ (path baked in via
+// DENALI_CORPUS_DIR):
+//
+//   corpus/gma/*.gma    — GmaText forms through parse -> print round trip
+//                         and the full pipeline under the differential
+//                         oracle (benign outcomes only);
+//   corpus/sexpr/*      — raw bytes through the S-expression reader (must
+//                         parse or error, and round-trip when parsed);
+//   corpus/lang/*       — raw bytes through lang::parseAnyModule.
+//
+// The corpus holds the fuzzers' seeds and any minimized crashers; see
+// tests/corpus/README.md for the regeneration/minimization workflow.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Superoptimizer.h"
+#include "lang/Surface.h"
+#include "sexpr/Parser.h"
+#include "verify/GmaText.h"
+#include "verify/Oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace denali;
+namespace fs = std::filesystem;
+
+namespace {
+
+std::vector<std::string> corpusFiles(const std::string &Subdir,
+                                     const std::string &Ext = "") {
+  std::vector<std::string> Files;
+  fs::path Dir = fs::path(DENALI_CORPUS_DIR) / Subdir;
+  if (!fs::exists(Dir))
+    return Files;
+  for (const fs::directory_entry &E : fs::directory_iterator(Dir)) {
+    if (!E.is_regular_file())
+      continue;
+    if (!Ext.empty() && E.path().extension() != Ext)
+      continue;
+    Files.push_back(E.path().string());
+  }
+  std::sort(Files.begin(), Files.end());
+  return Files;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream Out;
+  Out << In.rdbuf();
+  return Out.str();
+}
+
+TEST(Corpus, GmaRoundTripAndPipeline) {
+  std::vector<std::string> Files = corpusFiles("gma", ".gma");
+  ASSERT_FALSE(Files.empty()) << "tests/corpus/gma is empty";
+
+  driver::Superoptimizer Opt;
+  Opt.options().Search.MaxCycles = 12;
+  Opt.options().Matching.MaxNodes = 8000;
+  Opt.options().Matching.MaxRounds = 8;
+
+  for (const std::string &Path : Files) {
+    SCOPED_TRACE(Path);
+    std::string Text = slurp(Path);
+    std::string Err;
+    std::optional<gma::GMA> G = verify::parseGma(Opt.context(), Text, &Err);
+    ASSERT_TRUE(G) << Err;
+
+    // Print -> re-parse must rebuild the identical terms (hashconsing
+    // makes TermId equality the strongest possible round-trip check).
+    std::string Printed = verify::printGma(Opt.context(), *G);
+    std::optional<gma::GMA> G2 =
+        verify::parseGma(Opt.context(), Printed, &Err);
+    ASSERT_TRUE(G2) << Err << "\n" << Printed;
+    EXPECT_EQ(G->Targets, G2->Targets);
+    EXPECT_EQ(G->NewVals, G2->NewVals);
+    EXPECT_EQ(G->Guard, G2->Guard);
+
+    verify::OracleVerdict V = verify::compileAndCheck(Opt, *G);
+    EXPECT_TRUE(V.benign()) << V.toString() << "\n" << Printed;
+  }
+}
+
+TEST(Corpus, SexprSeeds) {
+  std::vector<std::string> Files = corpusFiles("sexpr");
+  ASSERT_FALSE(Files.empty()) << "tests/corpus/sexpr is empty";
+  for (const std::string &Path : Files) {
+    SCOPED_TRACE(Path);
+    sexpr::ParseResult R = sexpr::parse(slurp(Path));
+    if (!R.ok())
+      continue; // Error inputs are corpus members too; no-crash is the bar.
+    for (const sexpr::SExpr &E : R.Forms) {
+      sexpr::ParseResult R2 = sexpr::parseOne(E.toString());
+      ASSERT_TRUE(R2.ok()) << E.toString();
+      EXPECT_EQ(R2.Forms[0].toString(), E.toString());
+    }
+  }
+}
+
+TEST(Corpus, LangSeeds) {
+  std::vector<std::string> Files = corpusFiles("lang");
+  ASSERT_FALSE(Files.empty()) << "tests/corpus/lang is empty";
+  for (const std::string &Path : Files) {
+    SCOPED_TRACE(Path);
+    std::string Err;
+    lang::parseAnyModule(slurp(Path), &Err); // Must not crash.
+  }
+}
+
+} // namespace

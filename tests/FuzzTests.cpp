@@ -10,8 +10,14 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "axioms/BuiltinAxioms.h"
 #include "driver/Superoptimizer.h"
+#include "match/Elaborate.h"
+#include "match/Matcher.h"
 #include "support/StringExtras.h"
+#include "verify/EGraphInvariants.h"
+#include "verify/GmaGen.h"
+#include "verify/Oracle.h"
 
 #include <gtest/gtest.h>
 
@@ -179,5 +185,46 @@ TEST_P(FuzzLoops, CompileAndVerify) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzLoops, ::testing::Range(0u, 12u));
+
+//===----------------------------------------------------------------------===
+// GmaGen saturation fuzzing: random GMA goal terms through matcher
+// saturation, with the structural E-graph audit (membership, congruence,
+// constant analysis — verify::checkEGraphInvariants) after every round.
+// saturate() is one-shot, so "after round R" is reproduced by rerunning
+// with MaxRounds = R on a fresh graph over the same seeded GMA.
+//===----------------------------------------------------------------------===
+
+class FuzzSaturation : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FuzzSaturation, InvariantsHoldAfterEachRound) {
+  ir::Context Ctx;
+  verify::GmaGen Gen(Ctx, GetParam());
+  gma::GMA G = Gen.next();
+  SCOPED_TRACE(G.toString(Ctx));
+
+  std::vector<match::Axiom> Axioms = axioms::loadBuiltinAxioms(Ctx);
+  for (unsigned Rounds = 1; Rounds <= 4; ++Rounds) {
+    egraph::EGraph Graph(Ctx);
+    for (ir::TermId T : G.NewVals)
+      Graph.addTerm(T);
+    if (G.Guard)
+      Graph.addTerm(*G.Guard);
+
+    match::Matcher M(Axioms);
+    for (match::Elaborator &E : match::standardElaborators())
+      M.addElaborator(std::move(E));
+    match::MatchLimits Limits;
+    Limits.MaxRounds = Rounds;
+    Limits.MaxNodes = 4000;
+    match::MatchStats Stats = M.saturate(Graph, Limits);
+    ASSERT_FALSE(Graph.isInconsistent()) << Graph.inconsistencyMessage();
+
+    verify::InvariantReport R = verify::checkEGraphInvariants(Graph);
+    EXPECT_TRUE(R.Ok) << "after " << Stats.Rounds << " round(s): "
+                      << R.toString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSaturation, ::testing::Range(0u, 12u));
 
 } // namespace

@@ -14,6 +14,8 @@
 #include "driver/Superoptimizer.h"
 #include "match/Elaborate.h"
 #include "match/Matcher.h"
+#include "verify/GmaGen.h"
+#include "verify/Oracle.h"
 
 #include <gtest/gtest.h>
 
@@ -242,5 +244,34 @@ TEST(IncrementalDriver, VerifiedAndAgreesOnGoalTerms) {
   EXPECT_EQ(RBI.Search.Cycles, RL.Search.Cycles);
   EXPECT_EQ(RI.Search.LowerBoundProved, RL.Search.LowerBoundProved);
 }
+
+//===----------------------------------------------------------------------===
+// Differential GmaGen fuzzing: seeded random GMAs must yield the same
+// minimal K under the fresh-solver and shared-solver ladders, and every
+// result must survive the full oracle (simulator + schedule replay).
+//===----------------------------------------------------------------------===
+
+class IncrementalDifferential : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(IncrementalDifferential, AgreesWithLinearOnGeneratedGmas) {
+  driver::Superoptimizer Opt;
+  Opt.options().Search.MaxCycles = 12;
+  Opt.options().Matching.MaxNodes = 8000;
+  Opt.options().Matching.MaxRounds = 8;
+
+  verify::GmaGen Gen(Opt.context(), 1000 + GetParam());
+  for (unsigned I = 0; I < 3; ++I) {
+    gma::GMA G = Gen.next();
+    SCOPED_TRACE(G.toString(Opt.context()));
+    auto Err = verify::crossCheckStrategies(
+        Opt, G,
+        {codegen::SearchStrategy::Linear,
+         codegen::SearchStrategy::Incremental});
+    EXPECT_FALSE(Err) << *Err;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalDifferential,
+                         ::testing::Range(0u, 6u));
 
 } // namespace

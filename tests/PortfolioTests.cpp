@@ -12,6 +12,8 @@
 #include "driver/Superoptimizer.h"
 #include "match/Elaborate.h"
 #include "match/Matcher.h"
+#include "verify/GmaGen.h"
+#include "verify/Oracle.h"
 
 #include <gtest/gtest.h>
 
@@ -198,5 +200,36 @@ TEST(PortfolioDriver, StrategiesAgreeOnGoalTerms) {
   EXPECT_EQ(RB.Cycles, RL.Cycles);
   EXPECT_EQ(RP.LowerBoundProved, RL.LowerBoundProved);
 }
+
+//===----------------------------------------------------------------------===
+// Differential GmaGen fuzzing: concurrent probe execution must not change
+// the minimal K or the oracle verdict on seeded random GMAs (the same
+// seeds the incremental_tests differential uses — the two suites together
+// pin all four strategies to one answer per seed).
+//===----------------------------------------------------------------------===
+
+class PortfolioDifferential : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PortfolioDifferential, AgreesWithLinearOnGeneratedGmas) {
+  driver::Superoptimizer Opt;
+  Opt.options().Search.MaxCycles = 12;
+  Opt.options().Search.Threads = 4;
+  Opt.options().Matching.MaxNodes = 8000;
+  Opt.options().Matching.MaxRounds = 8;
+
+  verify::GmaGen Gen(Opt.context(), 1000 + GetParam());
+  for (unsigned I = 0; I < 3; ++I) {
+    gma::GMA G = Gen.next();
+    SCOPED_TRACE(G.toString(Opt.context()));
+    auto Err = verify::crossCheckStrategies(
+        Opt, G,
+        {codegen::SearchStrategy::Linear,
+         codegen::SearchStrategy::Portfolio});
+    EXPECT_FALSE(Err) << *Err;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PortfolioDifferential,
+                         ::testing::Range(0u, 6u));
 
 } // namespace

@@ -1,0 +1,22 @@
+//===- tests/harness/FuzzLang.cpp - source-language parser fuzz target ----===//
+//
+// libFuzzer entry point for the program front end: arbitrary bytes go
+// through lang::parseAnyModule (which dispatches between the prototype's
+// parenthesized syntax and the surface syntax). Any input must produce
+// either a module or an error string — never a crash.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Surface.h"
+
+#include <cstdint>
+#include <string>
+
+using namespace denali;
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  std::string Text(reinterpret_cast<const char *>(Data), Size);
+  std::string Err;
+  lang::parseAnyModule(Text, &Err);
+  return 0;
+}

@@ -1,0 +1,61 @@
+//===- tests/harness/FuzzPipeline.cpp - whole-pipeline fuzz target --------===//
+//
+// libFuzzer entry point for the compile-and-verify loop: the input bytes
+// select a GmaGen seed plus shape knobs, and the resulting GMAs run through
+// the pipeline under the differential oracle. Any non-benign verdict (a
+// mismatch between reference evaluator, simulator, and schedule replay)
+// aborts, so the fuzzer minimizes straight to a reproducing seed.
+//
+// Coverage feedback steers the *structure* of generated GMAs (which
+// operators, guards, memory shapes reach which pipeline paths) even though
+// the bytes themselves never parse as text.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Superoptimizer.h"
+#include "verify/GmaGen.h"
+#include "verify/GmaText.h"
+#include "verify/Oracle.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace denali;
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  if (Size < 9)
+    return 0;
+  uint64_t Seed;
+  std::memcpy(&Seed, Data, 8);
+
+  verify::GmaGenOptions GOpts;
+  GOpts.MaxDepth = 1 + Data[8] % 3;
+  if (Size > 9)
+    GOpts.MemoryPercent = Data[9] % 101;
+  if (Size > 10)
+    GOpts.GuardPercent = Data[10] % 101;
+  if (Size > 11)
+    GOpts.NonMachinePercent = Data[11] % 41;
+
+  driver::Superoptimizer Opt;
+  Opt.options().Search.MaxCycles = 10;
+  Opt.options().Matching.MaxNodes = 10000;
+  Opt.options().Matching.MaxRounds = 10;
+
+  verify::GmaGen Gen(Opt.context(), Seed, GOpts);
+  verify::OracleOptions OOpts;
+  OOpts.Trials = 2;
+  for (unsigned I = 0; I < 2; ++I) {
+    gma::GMA G = Gen.next();
+    verify::OracleVerdict V = verify::compileAndCheck(Opt, G, OOpts);
+    if (!V.benign()) {
+      std::fprintf(stderr, "pipeline oracle failure: %s\n%s\n",
+                   V.toString().c_str(),
+                   verify::printGma(Opt.context(), G).c_str());
+      std::abort();
+    }
+  }
+  return 0;
+}

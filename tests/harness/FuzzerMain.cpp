@@ -1,0 +1,37 @@
+//===- tests/harness/FuzzerMain.cpp - file-replay main for fuzz targets ---===//
+//
+// Linked into the fuzz harnesses when they are built *without* libFuzzer
+// (DENALI_LIBFUZZER=OFF, the default — e.g. GCC or no-sanitizer builds):
+// every command-line argument is a file whose bytes are fed to
+// LLVMFuzzerTestOneInput once. This keeps `denali_fuzz` compiling in every
+// configuration and makes corpus replay (`fuzz_sexpr tests/corpus/sexpr/*`)
+// a plain deterministic run.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size);
+
+int main(int argc, char **argv) {
+  int Failures = 0;
+  for (int I = 1; I < argc; ++I) {
+    std::FILE *F = std::fopen(argv[I], "rb");
+    if (!F) {
+      std::fprintf(stderr, "cannot open %s\n", argv[I]);
+      ++Failures;
+      continue;
+    }
+    std::vector<uint8_t> Bytes;
+    uint8_t Buf[4096];
+    size_t N;
+    while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+      Bytes.insert(Bytes.end(), Buf, Buf + N);
+    std::fclose(F);
+    LLVMFuzzerTestOneInput(Bytes.data(), Bytes.size());
+    std::fprintf(stderr, "replayed %s (%zu bytes)\n", argv[I], Bytes.size());
+  }
+  return Failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,234 @@
+//===- tests/harness/VerifySmoke.cpp - differential smoke driver ----------===//
+//
+// The harness's command-line front end: streams seeded random GMAs from
+// verify::GmaGen through the full pipeline under every search strategy and
+// holds each result against the differential oracle (reference evaluator
+// vs. simulator vs. schedule replay, budget agreement across strategies).
+//
+// Two ctest entries run this binary:
+//   verify_smoke        — N GMAs x all strategies, zero tolerance;
+//   verify_fault_detect — same stream with --inject-latency-bug, which
+//     understates Universe latencies by 2 cycles (the E13 planted bug);
+//     --expect-detect inverts the exit code: success means the oracle
+//     caught the bug.
+//
+// Usage: verify_smoke [--seed N] [--count N] [--trials N] [--max-cycles N]
+//                     [--strategies linear,binary,portfolio,incremental]
+//                     [--inject-latency-bug] [--expect-detect] [-v]
+//                     [--dump DIR]
+//
+// --dump writes the generated stream as corpus files (DIR/<name>.gma in
+// the verify::GmaText format) instead of compiling — the documented way to
+// regenerate tests/corpus/gma/.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Superoptimizer.h"
+#include "support/StringExtras.h"
+#include "support/Timer.h"
+#include "verify/GmaGen.h"
+#include "verify/GmaText.h"
+#include "verify/Oracle.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace denali;
+
+namespace {
+
+struct Flags {
+  uint64_t Seed = 1;
+  unsigned Count = 200;
+  unsigned Trials = 3;
+  unsigned MaxCycles = 12;
+  std::vector<codegen::SearchStrategy> Strategies = {
+      codegen::SearchStrategy::Linear, codegen::SearchStrategy::Binary,
+      codegen::SearchStrategy::Portfolio,
+      codegen::SearchStrategy::Incremental};
+  bool InjectLatencyBug = false;
+  bool ExpectDetect = false;
+  bool Verbose = false;
+  std::string DumpDir;
+};
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--seed N] [--count N] [--trials N] [--max-cycles N]\n"
+      "          [--strategies linear,binary,portfolio,incremental]\n"
+      "          [--inject-latency-bug] [--expect-detect] [-v]\n",
+      Argv0);
+  return 2;
+}
+
+bool parseStrategies(const std::string &Spec,
+                     std::vector<codegen::SearchStrategy> &Out) {
+  Out.clear();
+  size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    std::string Name = Spec.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+    if (Name == "linear")
+      Out.push_back(codegen::SearchStrategy::Linear);
+    else if (Name == "binary")
+      Out.push_back(codegen::SearchStrategy::Binary);
+    else if (Name == "portfolio")
+      Out.push_back(codegen::SearchStrategy::Portfolio);
+    else if (Name == "incremental")
+      Out.push_back(codegen::SearchStrategy::Incremental);
+    else
+      return false;
+    if (Comma == std::string::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  return !Out.empty();
+}
+
+const char *strategyName(codegen::SearchStrategy S) {
+  switch (S) {
+  case codegen::SearchStrategy::Linear:
+    return "linear";
+  case codegen::SearchStrategy::Binary:
+    return "binary";
+  case codegen::SearchStrategy::Portfolio:
+    return "portfolio";
+  case codegen::SearchStrategy::Incremental:
+    return "incremental";
+  }
+  return "?";
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Flags F;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < argc ? argv[++I] : nullptr;
+    };
+    if (Arg == "--seed") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      F.Seed = std::strtoull(V, nullptr, 0);
+    } else if (Arg == "--count") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      F.Count = std::strtoul(V, nullptr, 0);
+    } else if (Arg == "--trials") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      F.Trials = std::strtoul(V, nullptr, 0);
+    } else if (Arg == "--max-cycles") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      F.MaxCycles = std::strtoul(V, nullptr, 0);
+    } else if (Arg == "--strategies") {
+      const char *V = Next();
+      if (!V || !parseStrategies(V, F.Strategies))
+        return usage(argv[0]);
+    } else if (Arg == "--dump") {
+      const char *V = Next();
+      if (!V)
+        return usage(argv[0]);
+      F.DumpDir = V;
+    } else if (Arg == "--inject-latency-bug") {
+      F.InjectLatencyBug = true;
+    } else if (Arg == "--expect-detect") {
+      F.ExpectDetect = true;
+    } else if (Arg == "-v" || Arg == "--verbose") {
+      F.Verbose = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  driver::Superoptimizer Opt;
+  Opt.options().Search.MaxCycles = F.MaxCycles;
+  Opt.options().Search.Threads = 4;
+  Opt.options().Matching.MaxNodes = 8000;
+  Opt.options().Matching.MaxRounds = 8;
+  if (F.InjectLatencyBug)
+    Opt.options().Universe.TestLatencyDelta = -2;
+
+  verify::GmaGen Gen(Opt.context(), F.Seed);
+  if (!F.DumpDir.empty()) {
+    for (unsigned I = 0; I < F.Count; ++I) {
+      gma::GMA G = Gen.next();
+      std::string Path = F.DumpDir + "/" + G.Name + ".gma";
+      std::FILE *Out = std::fopen(Path.c_str(), "w");
+      if (!Out) {
+        std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+        return 1;
+      }
+      std::fprintf(Out, "%s\n",
+                   verify::printGma(Opt.context(), G).c_str());
+      std::fclose(Out);
+    }
+    std::printf("wrote %u corpus GMAs to %s\n", F.Count, F.DumpDir.c_str());
+    return 0;
+  }
+  verify::OracleOptions OOpts;
+  OOpts.Trials = F.Trials;
+  OOpts.InputSeed = F.Seed + 1;
+
+  Timer T;
+  unsigned Failures = 0, Compiled = 0, Exhausted = 0;
+  std::string FirstFailure;
+  for (unsigned I = 0; I < F.Count; ++I) {
+    gma::GMA G = Gen.next();
+    verify::OracleVerdict V;
+    auto Err =
+        verify::crossCheckStrategies(Opt, G, F.Strategies, OOpts, &V);
+    if (Err) {
+      ++Failures;
+      if (FirstFailure.empty())
+        FirstFailure = *Err + "\n" + verify::printGma(Opt.context(), G);
+      if (F.Verbose)
+        std::fprintf(stderr, "FAIL %s\n", Err->c_str());
+      if (F.ExpectDetect)
+        break; // One detection is all the fault run needs.
+      continue;
+    }
+    if (V.Status == verify::OracleStatus::Pass)
+      ++Compiled;
+    else
+      ++Exhausted;
+    if (F.Verbose)
+      std::fprintf(stderr, "ok   %s: %s\n", G.Name.c_str(),
+                   V.toString().c_str());
+  }
+  double Seconds = T.seconds();
+
+  std::printf("verify_smoke: seed=%llu gmas=%u strategies=%zu "
+              "compiled=%u budget-exhausted=%u failures=%u "
+              "(%.1f GMA/s, %.1fs total)\n",
+              (unsigned long long)F.Seed, F.Count, F.Strategies.size(),
+              Compiled, Exhausted, Failures, F.Count / Seconds, Seconds);
+  for (codegen::SearchStrategy S : F.Strategies)
+    std::printf("  strategy %s: differential agreement checked\n",
+                strategyName(S));
+  if (!FirstFailure.empty())
+    std::printf("first failure:\n%s\n", FirstFailure.c_str());
+
+  if (F.ExpectDetect) {
+    if (Failures == 0) {
+      std::printf("expected the planted fault to be detected; it was not\n");
+      return 1;
+    }
+    std::printf("planted fault detected as expected\n");
+    return 0;
+  }
+  return Failures == 0 ? 0 : 1;
+}
