@@ -9,6 +9,7 @@
 #ifndef DENALI_BENCH_BENCHUTIL_H
 #define DENALI_BENCH_BENCHUTIL_H
 
+#include "obs/Obs.h"
 #include "support/StringExtras.h"
 
 #include <cstdio>
@@ -62,6 +63,21 @@ inline std::string checksumSource(unsigned Lanes) {
 
 inline void banner(const char *Id, const char *Title) {
   std::printf("\n=== %s: %s ===\n", Id, Title);
+}
+
+/// Switches the obs layer on for metrics collection (no trace outputs), so
+/// the harness's pipeline counters accumulate in the global registry.
+inline void enableObsMetrics() {
+  obs::ObsConfig C;
+  C.Enabled = true;
+  obs::configure(C);
+}
+
+/// Writes the registry's metrics summary to \p Path (next to the
+/// BENCH_*.json trend record; perf_smoke feeds it to `obs_report metrics`).
+inline void writeMetricsSummary(const char *Path) {
+  if (obs::writeTextFile(Path, obs::Registry::global().summaryText()))
+    std::printf("wrote %s\n", Path);
 }
 
 } // namespace bench

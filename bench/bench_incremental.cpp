@@ -73,6 +73,7 @@ int main(int argc, char **argv) {
   for (int I = 1; I < argc; ++I)
     if (!std::strcmp(argv[I], "--smoke"))
       Smoke = true;
+  enableObsMetrics();
 
   struct Problem {
     std::string Name;
@@ -160,9 +161,7 @@ int main(int argc, char **argv) {
                   R.Cycles, R.WallSeconds,
                   static_cast<unsigned long long>(Rec.TotalConflicts));
       for (const codegen::Probe &Pr : R.Probes)
-        std::printf(" K=%u/%s/%lluc", Pr.Cycles,
-                    Pr.Result == sat::SolveResult::Sat ? "sat" : "unsat",
-                    static_cast<unsigned long long>(Pr.Conflicts));
+        std::printf(" %s", codegen::describeProbe(Pr).c_str());
       std::printf("\n");
       Rows.push_back(std::move(Rec));
     }
@@ -208,5 +207,6 @@ int main(int argc, char **argv) {
   } else {
     std::printf("\ncould not write BENCH_incremental.json\n");
   }
+  writeMetricsSummary("BENCH_incremental.metrics.txt");
   return AllOk ? 0 : 1;
 }

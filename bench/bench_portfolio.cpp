@@ -72,6 +72,7 @@ int main(int argc, char **argv) {
   }
   if (Threads == 0)
     Threads = 1;
+  enableObsMetrics();
 
   struct Problem {
     unsigned Bytes;
@@ -149,5 +150,6 @@ int main(int argc, char **argv) {
   } else {
     std::printf("\ncould not write BENCH_portfolio.json\n");
   }
+  writeMetricsSummary("BENCH_portfolio.metrics.txt");
   return AllOk ? 0 : 1;
 }

@@ -20,6 +20,7 @@
 #include "verify/GmaGen.h"
 #include "verify/Oracle.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -125,6 +126,47 @@ int main(int argc, char **argv) {
     }
   }
 
+  // E14: observability overhead — the identical linear batch with the obs
+  // layer off, then on (counters + spans recorded, no trace outputs).
+  // Reported, not gated: the target is <2% (EXPERIMENTS.md E14); wall noise
+  // on a loaded CI machine exceeds a sensible hard threshold. The enabled
+  // arm's registry is dumped as the metrics summary perf_smoke checks.
+  double ObsOffSeconds = 0, ObsOnSeconds = 0;
+  {
+    const unsigned OverheadCount = Smoke ? 20 : 60;
+    // Interleave the arms and take the minimum per arm: the batch is small
+    // enough that scheduler noise would otherwise swamp a few-percent
+    // effect (the same trick bench_incremental uses for its wall times).
+    const int OverheadReps = 3;
+    for (int Rep = 0; Rep < OverheadReps; ++Rep)
+      for (int Phase = 0; Phase < 2; ++Phase) {
+        obs::ObsConfig C;
+        C.Enabled = Phase == 1;
+        obs::configure(C);
+        obs::clearEvents();
+        obs::Registry::global().resetAll();
+        driver::Superoptimizer Opt =
+            makeOpt(codegen::SearchStrategy::Linear, 0);
+        verify::GmaGen Gen(Opt.context(), Seed);
+        Timer T;
+        for (unsigned I = 0; I < OverheadCount; ++I)
+          if (!verify::compileAndCheck(Opt, Gen.next()).benign())
+            AllOk = false;
+        double &Arm = Phase == 0 ? ObsOffSeconds : ObsOnSeconds;
+        double S = T.seconds();
+        Arm = (Rep == 0) ? S : std::min(Arm, S);
+      }
+    banner("E14", "observability overhead (same linear batch, obs off vs on)");
+    std::printf("obs off: %.3fs   obs on: %.3fs   overhead: %+.2f%%\n",
+                ObsOffSeconds, ObsOnSeconds,
+                ObsOffSeconds > 0
+                    ? 100.0 * (ObsOnSeconds / ObsOffSeconds - 1.0)
+                    : 0.0);
+    writeMetricsSummary("BENCH_verify.metrics.txt");
+    obs::ObsConfig Off;
+    obs::configure(Off);
+  }
+
   std::FILE *Out = std::fopen("BENCH_verify.json", "w");
   if (Out) {
     std::fprintf(Out, "[\n");
@@ -138,11 +180,18 @@ int main(int argc, char **argv) {
                    R.Failures, R.WallSeconds, R.Gmas / R.WallSeconds);
     std::fprintf(Out,
                  "  {\"fault\": \"latency-delta-minus-2\", "
-                 "\"detected_after_gmas\": %u}\n]\n",
+                 "\"detected_after_gmas\": %u},\n",
                  DetectedAfter);
+    std::fprintf(Out,
+                 "  {\"e14_obs_off_s\": %.6f, \"e14_obs_on_s\": %.6f, "
+                 "\"e14_overhead_pct\": %.2f}\n]\n",
+                 ObsOffSeconds, ObsOnSeconds,
+                 ObsOffSeconds > 0
+                     ? 100.0 * (ObsOnSeconds / ObsOffSeconds - 1.0)
+                     : 0.0);
     std::fclose(Out);
     std::printf("\nwrote BENCH_verify.json (%zu records)\n",
-                Rows.size() + 1);
+                Rows.size() + 2);
   } else {
     std::printf("\ncould not write BENCH_verify.json\n");
   }

@@ -18,6 +18,12 @@
 //     --no-verify        skip differential verification
 //     --stats            print matcher/SAT statistics per GMA
 //     --dump-cnf DIR     write each probe's CNF in DIMACS format
+//     --trace-out=FILE   write a Chrome trace_event JSON of the run
+//                        (load in chrome://tracing or Perfetto)
+//     --jsonl-out=FILE   write the trace events as JSONL
+//     --metrics-out=FILE write the plain-text metrics summary
+//     --log-level=N      leveled pipeline diagnostics on stderr
+//                        (1 = per-GMA, 2 = per-round/per-probe)
 //
 //===----------------------------------------------------------------------===//
 
@@ -30,6 +36,24 @@
 
 using namespace denali;
 
+namespace {
+
+/// Matches `--name=value` or `--name value`; \p I advances in the latter
+/// form. \returns the value, or nullptr when \p Arg is a different option.
+const char *flagValue(const char *Arg, const char *Name, int &I, int argc,
+                      char **argv) {
+  size_t Len = std::strlen(Name);
+  if (std::strncmp(Arg, Name, Len) != 0)
+    return nullptr;
+  if (Arg[Len] == '=')
+    return Arg + Len + 1;
+  if (Arg[Len] == '\0' && I + 1 < argc)
+    return argv[++I];
+  return nullptr;
+}
+
+} // namespace
+
 int main(int argc, char **argv) {
   const char *Path = nullptr;
   bool ShowNops = false, Verify = true, Stats = false;
@@ -37,7 +61,18 @@ int main(int argc, char **argv) {
   Opts.Search.MaxCycles = 16;
 
   for (int I = 1; I < argc; ++I) {
-    if (!std::strcmp(argv[I], "--max-cycles") && I + 1 < argc) {
+    if (const char *V = flagValue(argv[I], "--trace-out", I, argc, argv)) {
+      Opts.Obs.TraceOut = V;
+    } else if (const char *V =
+                   flagValue(argv[I], "--jsonl-out", I, argc, argv)) {
+      Opts.Obs.JsonlOut = V;
+    } else if (const char *V =
+                   flagValue(argv[I], "--metrics-out", I, argc, argv)) {
+      Opts.Obs.MetricsOut = V;
+    } else if (const char *V =
+                   flagValue(argv[I], "--log-level", I, argc, argv)) {
+      Opts.Obs.LogLevel = std::atoi(V);
+    } else if (!std::strcmp(argv[I], "--max-cycles") && I + 1 < argc) {
       Opts.Search.MaxCycles = static_cast<unsigned>(std::atoi(argv[++I]));
     } else if (!std::strcmp(argv[I], "--binary-search")) {
       Opts.Search.Strategy = codegen::SearchStrategy::Binary;
@@ -66,9 +101,15 @@ int main(int argc, char **argv) {
     std::fprintf(stderr,
                  "usage: denali [--max-cycles N] [--binary-search] "
                  "[--portfolio] [--threads N] [--incremental] [--show-nops] "
-                 "[--no-verify] [--stats] [--dump-cnf DIR] file.dnl\n");
+                 "[--no-verify] [--stats] [--dump-cnf DIR] "
+                 "[--trace-out=FILE] [--jsonl-out=FILE] [--metrics-out=FILE] "
+                 "[--log-level=N] file.dnl\n");
     return 2;
   }
+  // Any observability output (or a log level) switches the layer on.
+  Opts.Obs.Enabled = !Opts.Obs.TraceOut.empty() ||
+                     !Opts.Obs.JsonlOut.empty() ||
+                     !Opts.Obs.MetricsOut.empty() || Opts.Obs.LogLevel > 0;
 
   std::ifstream In(Path);
   if (!In) {
@@ -99,12 +140,7 @@ int main(int argc, char **argv) {
                   G.Matching.FinalNodes,
                   alpha::maxLiveRegisters(G.Search.Program));
       for (const codegen::Probe &P : G.Search.Probes)
-        std::printf(" K=%u[%dv/%lluc/%s]", P.Cycles, P.Stats.Vars,
-                    static_cast<unsigned long long>(P.Stats.Clauses),
-                    P.Result == sat::SolveResult::Sat     ? "sat"
-                    : P.Result == sat::SolveResult::Unsat ? "unsat"
-                    : P.Cancelled                         ? "cancelled"
-                                                          : "unknown");
+        std::printf(" %s", codegen::describeProbe(P).c_str());
       if (G.Search.CancelledProbes)
         std::printf(" (%zu cancelled, wall %.2fs, cpu %.2fs)",
                     G.Search.CancelledProbes, G.Search.WallSeconds,
@@ -119,6 +155,16 @@ int main(int argc, char **argv) {
         AllOk = false;
       }
     }
+  }
+  if (Opts.Obs.Enabled) {
+    if (!obs::exportConfigured())
+      AllOk = false;
+    if (!Opts.Obs.TraceOut.empty())
+      std::fprintf(stderr, "trace written to %s\n",
+                   Opts.Obs.TraceOut.c_str());
+    if (!Opts.Obs.MetricsOut.empty())
+      std::fprintf(stderr, "metrics written to %s\n",
+                   Opts.Obs.MetricsOut.c_str());
   }
   return AllOk ? 0 : 1;
 }

@@ -2,6 +2,7 @@
 
 #include "codegen/Encoder.h"
 
+#include "obs/Obs.h"
 #include "support/Error.h"
 #include "support/StringExtras.h"
 
@@ -20,6 +21,18 @@ EncodingStats Encoder::encode(Solver &S, const std::vector<NamedGoal> &Goals,
   const unsigned NC = numClusters(Opts);
   LastCycles = K;
   LastClusters = NC;
+
+  obs::ObsSpan Span("encode");
+  EncodingStats Stats;
+  const uint64_t ClausesAtStart = S.numClauses();
+  // Per-family clause attribution: the solver's clause count sampled at
+  // each constraint-block boundary.
+  uint64_t FamilyMark = ClausesAtStart;
+  auto takeFamily = [&](uint64_t &Into) {
+    uint64_t Now = S.numClauses();
+    Into = Now - FamilyMark;
+    FamilyMark = Now;
+  };
 
   const std::vector<MachineTerm> &Terms = U.terms();
   const std::vector<ClassId> &Needed = U.neededClasses();
@@ -95,6 +108,7 @@ EncodingStats Encoder::encode(Solver &S, const std::vector<NamedGoal> &Goals,
       }
     }
   }
+  takeFamily(Stats.DefinitionClauses);
 
   // --- Condition 2: operands available before launch. ---------------------
   for (size_t T = 0; T < Terms.size(); ++T) {
@@ -119,6 +133,8 @@ EncodingStats Encoder::encode(Solver &S, const std::vector<NamedGoal> &Goals,
     }
   }
 
+  takeFamily(Stats.OperandClauses);
+
   // --- Condition 4: issue exclusivity per (cycle, unit). ------------------
   for (unsigned UIdx = 0; UIdx < alpha::NumUnits; ++UIdx) {
     for (unsigned I = 0; I < K; ++I) {
@@ -131,6 +147,7 @@ EncodingStats Encoder::encode(Solver &S, const std::vector<NamedGoal> &Goals,
       sat::addAtMostOne(S, Group, Opts.AmoStyle);
     }
   }
+  takeFamily(Stats.ExclusivityClauses);
 
   // --- Condition 5: goals computed within K cycles. ------------------------
   // In monotone mode every budget's deadline is gated by its activation
@@ -146,6 +163,7 @@ EncodingStats Encoder::encode(Solver &S, const std::vector<NamedGoal> &Goals,
       S.addClause(Clause);
     }
   }
+  takeFamily(Stats.DeadlineClauses);
 
   // --- Section 7: guard before unsafe (memory) operations. -----------------
   if (Opts.GuardClass) {
@@ -171,6 +189,7 @@ EncodingStats Encoder::encode(Solver &S, const std::vector<NamedGoal> &Goals,
       }
     }
   }
+  takeFamily(Stats.GuardClauses);
 
   // --- Memory discipline. ---------------------------------------------------
   // Each store launches at most once (a replayed store could overwrite a
@@ -201,6 +220,7 @@ EncodingStats Encoder::encode(Solver &S, const std::vector<NamedGoal> &Goals,
               S.addClause(~LVar(TL, UL, IL), ~LVar(TS, US, IS));
     }
   }
+  takeFamily(Stats.MemoryClauses);
 
   // --- Monotone budget ladder (incremental search). -------------------------
   // One activation literal per budget B: E_B means "some launch at cycle
@@ -235,12 +255,33 @@ EncodingStats Encoder::encode(Solver &S, const std::vector<NamedGoal> &Goals,
     }
   }
 
-  EncodingStats Stats;
+  takeFamily(Stats.MonotoneClauses);
+
   Stats.Cycles = K;
   Stats.Vars = S.numVars();
   Stats.Clauses = S.numClauses();
   Stats.MachineTerms = Terms.size();
   Stats.Classes = U.neededClasses().size();
+  if (obs::enabled()) {
+    if (Span.active())
+      Span.arg("cycles", Stats.Cycles)
+          .arg("vars", Stats.Vars)
+          .arg("clauses", Stats.Clauses)
+          .arg("terms", static_cast<uint64_t>(Stats.MachineTerms))
+          .arg("classes", static_cast<uint64_t>(Stats.Classes))
+          .arg("monotone", Opts.Monotone ? "yes" : "no");
+    auto &R = obs::Registry::global();
+    R.counter("encode.runs").add(1);
+    R.counter("encode.vars").add(static_cast<uint64_t>(Stats.Vars));
+    R.counter("encode.clauses").add(Stats.Clauses - ClausesAtStart);
+    R.counter("encode.clauses.definition").add(Stats.DefinitionClauses);
+    R.counter("encode.clauses.operand").add(Stats.OperandClauses);
+    R.counter("encode.clauses.exclusivity").add(Stats.ExclusivityClauses);
+    R.counter("encode.clauses.deadline").add(Stats.DeadlineClauses);
+    R.counter("encode.clauses.guard").add(Stats.GuardClauses);
+    R.counter("encode.clauses.memory").add(Stats.MemoryClauses);
+    R.counter("encode.clauses.monotone").add(Stats.MonotoneClauses);
+  }
   return Stats;
 }
 

@@ -64,6 +64,15 @@ struct EncodingStats {
   uint64_t Clauses = 0;
   size_t MachineTerms = 0;
   size_t Classes = 0;
+  // Per-family clause counts (they sum to Clauses): the paper's five
+  // conditions plus the section-7 extensions and the monotone ladder.
+  uint64_t DefinitionClauses = 0;  ///< Condition 3: B iff-definitions.
+  uint64_t OperandClauses = 0;     ///< Condition 2: operands before launch.
+  uint64_t ExclusivityClauses = 0; ///< Condition 4: issue exclusivity.
+  uint64_t DeadlineClauses = 0;    ///< Condition 5: goal deadlines.
+  uint64_t GuardClauses = 0;       ///< Section 7: guard-before-unsafe.
+  uint64_t MemoryClauses = 0;      ///< Section 7: memory discipline.
+  uint64_t MonotoneClauses = 0;    ///< Budget-ladder activation clauses.
 };
 
 /// A named goal: GMA target name -> class to compute.

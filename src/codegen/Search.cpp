@@ -2,6 +2,7 @@
 
 #include "codegen/Search.h"
 
+#include "obs/Obs.h"
 #include "sat/Dimacs.h"
 #include "sat/RupChecker.h"
 #include "support/StringExtras.h"
@@ -19,6 +20,45 @@ using namespace denali::codegen;
 using denali::sat::SolveResult;
 
 namespace {
+
+const char *probeResultName(const Probe &P) {
+  if (P.Cancelled)
+    return "cancelled";
+  switch (P.Result) {
+  case SolveResult::Sat:
+    return "sat";
+  case SolveResult::Unsat:
+    return "unsat";
+  case SolveResult::Unknown:
+    return "unknown";
+  }
+  return "unknown";
+}
+
+/// Flushes one finished probe into the registry: per-outcome probe counts
+/// and the solver-effort deltas it spent (absolute stats for a fresh
+/// per-probe solver, per-call deltas under the incremental solver — the
+/// Probe fields already carry the right variant).
+void noteProbe(const Probe &P) {
+  if (!obs::enabled())
+    return;
+  auto &R = obs::Registry::global();
+  R.counter("search.probes").add(1);
+  R.counter(strFormat("search.probes.%s", probeResultName(P))).add(1);
+  R.counter("sat.conflicts").add(P.Conflicts);
+  R.counter("sat.decisions").add(P.Decisions);
+  R.counter("sat.propagations").add(P.Propagations);
+  R.counter("sat.restarts").add(P.Restarts);
+  R.counter("sat.learnt_clauses").add(P.LearntClauses);
+  R.histogram("search.probe.solve_us")
+      .record(static_cast<uint64_t>(P.SolveSeconds * 1e6));
+  if (P.Cancelled) {
+    R.histogram("search.cancel.post_conflicts").record(P.ConflictsAfterCancel);
+    if (P.CancelLatencySeconds >= 0)
+      R.histogram("search.cancel.latency_us")
+          .record(static_cast<uint64_t>(P.CancelLatencySeconds * 1e6));
+  }
+}
 
 /// Writes one probe's CNF to <DumpCnfDir>/<name>.K<cycles>.cnf.
 void dumpProbeCnf(const SearchOptions &Opts, const std::string &Name,
@@ -40,6 +80,7 @@ Probe runProbe(Encoder &Enc, const std::vector<NamedGoal> &Goals,
                std::optional<alpha::Program> &ProgramOut,
                const std::string &Name,
                const std::atomic<bool> *CancelFlag = nullptr) {
+  obs::ObsSpan Span("search.probe");
   Probe P;
   P.Cycles = K;
   P.Worker = support::ThreadPool::currentWorkerId();
@@ -65,7 +106,22 @@ Probe runProbe(Encoder &Enc, const std::vector<NamedGoal> &Goals,
   P.Result = S.solve();
   P.SolveSeconds = T.seconds();
   P.Conflicts = S.stats().Conflicts;
+  P.Decisions = S.stats().Decisions;
+  P.Propagations = S.stats().Propagations;
+  P.Restarts = S.stats().Restarts;
+  P.LearntClauses = S.stats().LearntClauses;
   P.Cancelled = S.interrupted();
+  if (P.Cancelled)
+    P.ConflictsAfterCancel = S.conflictsAfterInterrupt();
+  if (Span.active())
+    Span.arg("k", K)
+        .arg("result", probeResultName(P))
+        .arg("worker", P.Worker)
+        .arg("vars", P.Stats.Vars)
+        .arg("clauses", P.Stats.Clauses)
+        .arg("conflicts", P.Conflicts)
+        .arg("decisions", P.Decisions)
+        .arg("restarts", P.Restarts);
   if (P.Result == SolveResult::Sat) {
     ProgramOut = Enc.extract(S, Goals, EncOpts, Name);
   } else if (P.Result == SolveResult::Unsat && Opts.CertifyRefutations) {
@@ -193,6 +249,7 @@ SearchResult searchIncremental(const egraph::EGraph &G, const alpha::ISA &Isa,
   bool FirstProbe = true;
 
   auto ProbeK = [&](unsigned K, std::optional<alpha::Program> &Prog) {
+    obs::ObsSpan Span("search.probe");
     sat::Lit Assumption = Enc.budgetAssumption(K);
     Probe P;
     P.Cycles = K;
@@ -213,12 +270,28 @@ SearchResult searchIncremental(const egraph::EGraph &G, const alpha::ISA &Isa,
       F.Clauses.push_back(sat::ClauseLits{Assumption});
       dumpProbeCnf(Opts, Name, K, F);
     }
-    uint64_t ConflictsBefore = S.stats().Conflicts;
+    const sat::SolverStats Before = S.stats();
     Timer ProbeTimer;
     P.Result = S.solve({Assumption});
     P.SolveSeconds = ProbeTimer.seconds();
-    P.Conflicts = S.stats().Conflicts - ConflictsBefore;
+    P.Conflicts = S.stats().Conflicts - Before.Conflicts;
+    P.Decisions = S.stats().Decisions - Before.Decisions;
+    P.Propagations = S.stats().Propagations - Before.Propagations;
+    P.Restarts = S.stats().Restarts - Before.Restarts;
+    P.LearntClauses = S.stats().LearntClauses - Before.LearntClauses;
     P.Cancelled = S.interrupted();
+    if (P.Cancelled)
+      P.ConflictsAfterCancel = S.conflictsAfterInterrupt();
+    if (P.Result == SolveResult::Unsat)
+      P.FailedAssumptions = S.conflict().size();
+    if (Span.active())
+      Span.arg("k", K)
+          .arg("result", probeResultName(P))
+          .arg("incremental", "yes")
+          .arg("conflicts", P.Conflicts)
+          .arg("decisions", P.Decisions)
+          .arg("failed_assumptions",
+               static_cast<uint64_t>(P.FailedAssumptions));
     if (P.Result == SolveResult::Sat) {
       EncoderOptions ExtractOpts = EncOpts;
       ExtractOpts.Cycles = K;
@@ -239,6 +312,7 @@ SearchResult searchIncremental(const egraph::EGraph &G, const alpha::ISA &Isa,
       P.ProofChecked = sat::checkRupProof(F, Proof);
       P.ProofCheckSeconds = ProbeTimer.seconds();
     }
+    noteProbe(P);
     Result.Probes.push_back(std::move(P));
     return Result.Probes.back().Result;
   };
@@ -279,6 +353,9 @@ SearchResult searchPortfolio(const egraph::EGraph &G, const alpha::ISA &Isa,
     Probe P;
     std::optional<alpha::Program> Prog;
     bool Done = false;
+    /// When the winner requested this slot's cancellation (obs::nowNs();
+    /// 0 = never asked). Written and read under the window mutex.
+    int64_t CancelRequestNs = 0;
   };
 
   for (unsigned Base = Opts.MinCycles; Base <= Opts.MaxCycles;) {
@@ -310,11 +387,31 @@ SearchResult searchPortfolio(const egraph::EGraph &G, const alpha::ISA &Isa,
         Mine.P = std::move(P);
         Mine.Prog = std::move(Prog);
         Mine.Done = true;
+        // Cancellation latency: from the winner's request (stamped under
+        // this mutex) to this probe's return.
+        if (Mine.P.Cancelled && Mine.CancelRequestNs != 0) {
+          Mine.P.CancelLatencySeconds =
+              static_cast<double>(obs::nowNs() - Mine.CancelRequestNs) / 1e9;
+          if (obs::enabled())
+            obs::instant(
+                "search.cancel",
+                strFormat("\"k\":%u,\"latency_us\":%.1f,"
+                          "\"post_conflicts\":%llu",
+                          K, Mine.P.CancelLatencySeconds * 1e6,
+                          static_cast<unsigned long long>(
+                              Mine.P.ConflictsAfterCancel)));
+        }
+        noteProbe(Mine.P);
         // A SAT answer makes every larger budget irrelevant.
-        if (Mine.P.Result == SolveResult::Sat)
+        if (Mine.P.Result == SolveResult::Sat) {
+          int64_t Now = obs::nowNs();
           for (unsigned J = I + 1; J < N; ++J)
-            if (!Slots[J].Done)
+            if (!Slots[J].Done) {
+              if (Slots[J].CancelRequestNs == 0)
+                Slots[J].CancelRequestNs = Now; // First request wins.
               Slots[J].Cancel.requestCancel();
+            }
+        }
       }));
     }
     for (std::future<void> &F : Futures)
@@ -400,6 +497,7 @@ SearchResult searchBudgetsImpl(const egraph::EGraph &G, const alpha::ISA &Isa,
 
   auto ProbeK = [&](unsigned K, std::optional<alpha::Program> &Prog) {
     Probe P = runProbe(Enc, Goals, Opts, K, Prog, Name);
+    noteProbe(P);
     Result.Probes.push_back(P);
     return P.Result;
   };
@@ -411,15 +509,50 @@ SearchResult searchBudgetsImpl(const egraph::EGraph &G, const alpha::ISA &Isa,
 
 } // namespace
 
+std::string denali::codegen::describeProbe(const Probe &P) {
+  const char *Answer = P.Cancelled ? "cancelled"
+                       : P.Result == SolveResult::Sat     ? "sat"
+                       : P.Result == SolveResult::Unsat   ? "unsat"
+                                                          : "unknown";
+  return strFormat("K=%u[%dv/%lluc/%s]", P.Cycles, P.Stats.Vars,
+                   static_cast<unsigned long long>(P.Stats.Clauses), Answer);
+}
+
 SearchResult denali::codegen::searchBudgets(
     const egraph::EGraph &G, const alpha::ISA &Isa, const Universe &U,
     const std::vector<NamedGoal> &Goals, const SearchOptions &Opts,
     const std::string &Name) {
+  static const char *const StrategyNames[] = {"linear", "binary", "portfolio",
+                                              "incremental"};
+  obs::ObsSpan Span("search");
   Timer Wall;
   SearchResult Result = searchBudgetsImpl(G, Isa, U, Goals, Opts, Name);
   Result.WallSeconds = Wall.seconds();
   for (const Probe &P : Result.Probes)
     Result.CpuSeconds +=
         P.EncodeSeconds + P.SolveSeconds + P.ProofCheckSeconds;
+  if (obs::enabled()) {
+    if (Span.active())
+      Span.arg("name", Name.c_str())
+          .arg("strategy",
+               StrategyNames[static_cast<unsigned>(Opts.Strategy)])
+          .arg("found", Result.Found ? "yes" : "no")
+          .arg("cycles", Result.Cycles)
+          .arg("probes", static_cast<uint64_t>(Result.Probes.size()))
+          .arg("cancelled",
+               static_cast<uint64_t>(Result.CancelledProbes));
+    auto &R = obs::Registry::global();
+    R.counter("search.runs").add(1);
+    if (Result.Found)
+      R.counter("search.found").add(1);
+    R.histogram("search.wall_us")
+        .record(static_cast<uint64_t>(Result.WallSeconds * 1e6));
+    obs::logf(1, "search %s: strategy=%s found=%d cycles=%u probes=%zu "
+                 "wall=%.3fs",
+              Name.c_str(),
+              StrategyNames[static_cast<unsigned>(Opts.Strategy)],
+              Result.Found ? 1 : 0, Result.Cycles, Result.Probes.size(),
+              Result.WallSeconds);
+  }
   return Result;
 }

@@ -85,7 +85,28 @@ struct Probe {
   bool Cancelled = false;
   /// Pool worker that ran the probe (-1 outside the portfolio strategy).
   int Worker = -1;
+  /// Solver effort spent on this probe (per-call deltas under the
+  /// incremental solver, whose counters are cumulative).
+  uint64_t Decisions = 0;
+  uint64_t Propagations = 0;
+  uint64_t Restarts = 0;
+  uint64_t LearntClauses = 0;
+  /// Incremental probes: size of the failed-assumption set of an Unsat
+  /// answer (Solver::conflict()).
+  size_t FailedAssumptions = 0;
+  /// For cancelled portfolio probes: wall-clock seconds from the winner's
+  /// cancellation request to this probe's return (negative when the probe
+  /// was never asked to cancel).
+  double CancelLatencySeconds = -1;
+  /// For cancelled probes: conflicts the solver worked through after its
+  /// last interrupt poll that read false (Solver::conflictsAfterInterrupt
+  /// — at most 1; PortfolioTests asserts the bound).
+  uint64_t ConflictsAfterCancel = 0;
 };
+
+/// One probe as a compact report cell, e.g. "K=5[1639v/4613c/sat]" — the
+/// shared formatter behind the CLI's --stats ladder and the benches.
+std::string describeProbe(const Probe &P);
 
 /// The search outcome.
 struct SearchResult {

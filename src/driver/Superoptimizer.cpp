@@ -14,7 +14,10 @@ using namespace denali::driver;
 using denali::ir::Builtin;
 
 Superoptimizer::Superoptimizer(Options O)
-    : Opts(O), Isa(Ctx, O.Model), Axioms(axioms::loadBuiltinAxioms(Ctx)) {}
+    : Opts(O), Isa(Ctx, O.Model), Axioms(axioms::loadBuiltinAxioms(Ctx)) {
+  if (O.Obs.Enabled)
+    obs::configure(O.Obs);
+}
 
 bool Superoptimizer::addAxiomsText(const std::string &Text,
                                    std::string *ErrorOut) {
@@ -30,6 +33,9 @@ bool Superoptimizer::addAxiomsText(const std::string &Text,
 }
 
 GmaResult Superoptimizer::compileGMA(const gma::GMA &G) {
+  obs::ObsSpan Span("gma.compile");
+  if (Span.active())
+    Span.arg("name", G.Name.c_str());
   GmaResult Result;
   Result.Gma = G;
 
@@ -79,6 +85,11 @@ GmaResult Superoptimizer::compileGMA(const gma::GMA &G) {
     M.addElaborator(std::move(E));
   Result.Matching = M.saturate(Graph, Opts.Matching);
   Result.MatchSeconds = T.seconds();
+  obs::logf(2, "gma %s: saturation %u rounds, %zu nodes / %zu classes "
+               "(%.3fs)",
+            G.Name.c_str(), Result.Matching.Rounds,
+            Result.Matching.FinalNodes, Result.Matching.FinalClasses,
+            Result.MatchSeconds);
   if (Graph.isInconsistent()) {
     Result.Error = "E-graph inconsistent (unsound axiom?): " +
                    Graph.inconsistencyMessage();
@@ -104,9 +115,15 @@ GmaResult Superoptimizer::compileGMA(const gma::GMA &G) {
   // Constraint generation + satisfiability search (Figure 1, right boxes).
   codegen::Universe U;
   std::string Err;
-  if (!U.build(Graph, Isa, Roots, UOpts2, &Err)) {
-    Result.Error = Err;
-    return Result;
+  {
+    obs::ObsSpan USpan("universe.build");
+    if (!U.build(Graph, Isa, Roots, UOpts2, &Err)) {
+      Result.Error = Err;
+      return Result;
+    }
+    if (USpan.active())
+      USpan.arg("terms", static_cast<uint64_t>(U.terms().size()))
+          .arg("classes", static_cast<uint64_t>(U.neededClasses().size()));
   }
   codegen::SearchOptions SOpts = Opts.Search;
   if (GuardClass)
@@ -114,6 +131,9 @@ GmaResult Superoptimizer::compileGMA(const gma::GMA &G) {
   Result.Search = codegen::searchBudgets(Graph, Isa, U, Goals, SOpts, G.Name);
   if (!Result.Search.Found)
     Result.Error = Result.Search.Error;
+  obs::logf(1, "gma %s: %s (%u cycles, %zu probes)", G.Name.c_str(),
+            Result.ok() ? "compiled" : "failed", Result.Search.Cycles,
+            Result.Search.Probes.size());
   return Result;
 }
 
@@ -132,7 +152,14 @@ GmaResult Superoptimizer::compileGoals(
 CompileResult Superoptimizer::compileSource(const std::string &Source) {
   CompileResult Result;
   std::string Err;
-  std::optional<lang::Module> M = lang::parseAnyModule(Source, &Err);
+  std::optional<lang::Module> M;
+  {
+    obs::ObsSpan Span("lang.parse");
+    M = lang::parseAnyModule(Source, &Err);
+    if (Span.active())
+      Span.arg("bytes", static_cast<uint64_t>(Source.size()))
+          .arg("ok", M ? "yes" : "no");
+  }
   if (!M) {
     Result.Error = Err;
     return Result;
@@ -150,8 +177,15 @@ CompileResult Superoptimizer::compileSource(const std::string &Source) {
     Axioms.push_back(std::move(*A));
   }
   for (const lang::Proc &P : M->Procs) {
-    std::optional<std::vector<gma::GMA>> Gmas =
-        gma::translateProc(Ctx, P, &Err);
+    std::optional<std::vector<gma::GMA>> Gmas;
+    {
+      obs::ObsSpan Span("gma.translate");
+      Gmas = gma::translateProc(Ctx, P, &Err);
+      if (Span.active())
+        Span.arg("proc", P.Name.c_str())
+            .arg("gmas",
+                 static_cast<uint64_t>(Gmas ? Gmas->size() : 0));
+    }
     if (!Gmas) {
       Result.Error = Err;
       return Result;

@@ -27,6 +27,7 @@
 #include "gma/GMA.h"
 #include "lang/Parser.h"
 #include "match/Matcher.h"
+#include "obs/Obs.h"
 
 #include <memory>
 #include <optional>
@@ -49,6 +50,13 @@ struct Options {
   /// Enforce guard-before-memory-operation ordering when a GMA has a
   /// nontrivial guard (paper, section 7).
   bool EnforceGuard = true;
+  /// Observability: when Obs.Enabled the constructor installs this as the
+  /// process-wide obs configuration (tracing spans, metric counters, and
+  /// leveled logging across the whole pipeline). Left untouched — the
+  /// default — the constructor does not reconfigure the obs layer, so a
+  /// library user's own obs::configure() call survives embedded
+  /// Superoptimizer instances.
+  obs::ObsConfig Obs;
 };
 
 /// The result of compiling one GMA.

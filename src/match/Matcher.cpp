@@ -3,6 +3,7 @@
 #include "match/Matcher.h"
 
 #include "match/Elaborate.h"
+#include "obs/Obs.h"
 #include "support/Error.h"
 #include "support/FunctionRef.h"
 
@@ -152,8 +153,13 @@ bool Matcher::assertInstance(EGraph &G, const Axiom &A,
 
 MatchStats Matcher::saturate(EGraph &G, const MatchLimits &Limits) {
   MatchStats Stats;
+  obs::ObsSpan SatSpan("match.saturate");
   for (unsigned Round = 0; Round < Limits.MaxRounds; ++Round) {
     ++Stats.Rounds;
+    obs::ObsSpan RoundSpan("match.round");
+    uint64_t RoundMatches = Stats.MatchesFound;
+    uint64_t RoundDeduped = Stats.InstancesDeduped;
+    uint64_t RoundAsserted = Stats.InstancesAsserted;
     uint64_t RoundStart = G.version();
 
     for (const Elaborator &E : Elaborators)
@@ -187,8 +193,10 @@ MatchStats Matcher::saturate(EGraph &G, const MatchLimits &Limits) {
         for (size_t I = 0; I < Bs.size(); ++I)
           Canon[I] = G.find(Bs[I]);
         DoneKey Key{AIdx, std::move(Canon)};
-        if (Done.count(Key) || SeenThisRound.count(Key))
+        if (Done.count(Key) || SeenThisRound.count(Key)) {
+          ++Stats.InstancesDeduped;
           return;
+        }
         if (Pending.size() >= Limits.MaxInstancesPerRound)
           return;
         Pending.push_back(PendingInstance{AIdx, Key.Bindings});
@@ -210,6 +218,14 @@ MatchStats Matcher::saturate(EGraph &G, const MatchLimits &Limits) {
         ++Stats.InstancesAsserted;
     }
 
+    if (RoundSpan.active())
+      RoundSpan.arg("round", Stats.Rounds)
+          .arg("matched", Stats.MatchesFound - RoundMatches)
+          .arg("deduped", Stats.InstancesDeduped - RoundDeduped)
+          .arg("asserted", Stats.InstancesAsserted - RoundAsserted)
+          .arg("enodes", static_cast<uint64_t>(G.numNodes()))
+          .arg("eclasses", static_cast<uint64_t>(G.numClasses()));
+
     if (G.version() == RoundStart) {
       Stats.Quiesced = true;
       break;
@@ -219,6 +235,23 @@ MatchStats Matcher::saturate(EGraph &G, const MatchLimits &Limits) {
   }
   Stats.FinalNodes = G.numNodes();
   Stats.FinalClasses = G.numClasses();
+  if (obs::enabled()) {
+    if (SatSpan.active())
+      SatSpan.arg("rounds", Stats.Rounds)
+          .arg("matched", Stats.MatchesFound)
+          .arg("asserted", Stats.InstancesAsserted)
+          .arg("enodes", static_cast<uint64_t>(Stats.FinalNodes))
+          .arg("eclasses", static_cast<uint64_t>(Stats.FinalClasses))
+          .arg("quiesced", Stats.Quiesced ? "yes" : "no");
+    auto &R = obs::Registry::global();
+    R.counter("match.rounds").add(Stats.Rounds);
+    R.counter("match.matches").add(Stats.MatchesFound);
+    R.counter("match.instances_deduped").add(Stats.InstancesDeduped);
+    R.counter("match.instances_asserted").add(Stats.InstancesAsserted);
+    R.gauge("match.enodes").noteMax(static_cast<int64_t>(Stats.FinalNodes));
+    R.gauge("match.eclasses")
+        .noteMax(static_cast<int64_t>(Stats.FinalClasses));
+  }
   return Stats;
 }
 

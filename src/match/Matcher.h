@@ -37,6 +37,7 @@ struct MatchLimits {
 struct MatchStats {
   unsigned Rounds = 0;
   uint64_t MatchesFound = 0;
+  uint64_t InstancesDeduped = 0; ///< Matches dropped as already seen.
   uint64_t InstancesAsserted = 0;
   size_t FinalNodes = 0;
   size_t FinalClasses = 0;

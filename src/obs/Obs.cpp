@@ -1,0 +1,510 @@
+//===- obs/Obs.cpp --------------------------------------------------------===//
+
+#include "obs/Obs.h"
+
+#include "support/StringExtras.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+#include <memory>
+#include <mutex>
+
+using namespace denali;
+using namespace denali::obs;
+
+//===----------------------------------------------------------------------===
+// Configuration
+//===----------------------------------------------------------------------===
+
+std::atomic<bool> obs::detail::EnabledFlag{false};
+std::atomic<int> obs::detail::LogLevelValue{0};
+
+namespace {
+
+std::mutex &configMutex() {
+  static std::mutex M;
+  return M;
+}
+
+ObsConfig &configStorage() {
+  static ObsConfig C;
+  return C;
+}
+
+} // namespace
+
+void obs::configure(const ObsConfig &C) {
+  {
+    std::lock_guard<std::mutex> Lock(configMutex());
+    configStorage() = C;
+  }
+  // Latch the epoch before the flag flips so the first span sees it.
+  nowNs();
+  detail::LogLevelValue.store(C.LogLevel, std::memory_order_relaxed);
+  detail::EnabledFlag.store(C.Enabled, std::memory_order_relaxed);
+}
+
+ObsConfig obs::config() {
+  std::lock_guard<std::mutex> Lock(configMutex());
+  return configStorage();
+}
+
+int64_t obs::nowNs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point Epoch = Clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              Epoch)
+      .count();
+}
+
+//===----------------------------------------------------------------------===
+// Histogram
+//===----------------------------------------------------------------------===
+
+namespace {
+
+unsigned log2Bucket(uint64_t Sample) {
+  unsigned B = 0;
+  while (Sample > 1) {
+    Sample >>= 1;
+    ++B;
+  }
+  return B;
+}
+
+} // namespace
+
+void Histogram::record(uint64_t Sample) {
+  N.fetch_add(1, std::memory_order_relaxed);
+  Sum.fetch_add(Sample, std::memory_order_relaxed);
+  uint64_t Cur = Min.load(std::memory_order_relaxed);
+  while (Sample < Cur &&
+         !Min.compare_exchange_weak(Cur, Sample, std::memory_order_relaxed)) {
+  }
+  Cur = Max.load(std::memory_order_relaxed);
+  while (Sample > Cur &&
+         !Max.compare_exchange_weak(Cur, Sample, std::memory_order_relaxed)) {
+  }
+  Buckets[log2Bucket(Sample)].fetch_add(1, std::memory_order_relaxed);
+}
+
+void Histogram::reset() {
+  N.store(0, std::memory_order_relaxed);
+  Sum.store(0, std::memory_order_relaxed);
+  Min.store(~0ull, std::memory_order_relaxed);
+  Max.store(0, std::memory_order_relaxed);
+  for (auto &B : Buckets)
+    B.store(0, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===
+// Registry
+//===----------------------------------------------------------------------===
+
+struct Registry::Impl {
+  mutable std::mutex Mutex;
+  // Node-based maps: references stay stable across registrations.
+  std::map<std::string, std::unique_ptr<Counter>> Counters;
+  std::map<std::string, std::unique_ptr<Gauge>> Gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> Histograms;
+};
+
+Registry &Registry::global() {
+  static Registry R;
+  return R;
+}
+
+Registry::Impl &Registry::impl() const {
+  static Impl TheImpl;
+  return TheImpl;
+}
+
+Counter &Registry::counter(const std::string &Name) {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mutex);
+  auto &Slot = I.Counters[Name];
+  if (!Slot)
+    Slot = std::make_unique<Counter>();
+  return *Slot;
+}
+
+Gauge &Registry::gauge(const std::string &Name) {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mutex);
+  auto &Slot = I.Gauges[Name];
+  if (!Slot)
+    Slot = std::make_unique<Gauge>();
+  return *Slot;
+}
+
+Histogram &Registry::histogram(const std::string &Name) {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mutex);
+  auto &Slot = I.Histograms[Name];
+  if (!Slot)
+    Slot = std::make_unique<Histogram>();
+  return *Slot;
+}
+
+uint64_t Registry::counterValue(const std::string &Name) const {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mutex);
+  auto It = I.Counters.find(Name);
+  return It == I.Counters.end() ? 0 : It->second->get();
+}
+
+std::string Registry::summaryText() const {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mutex);
+  std::string Out = "# denali metrics v1\n";
+  for (const auto &[Name, C] : I.Counters)
+    Out += strFormat("counter %s %llu\n", Name.c_str(),
+                     static_cast<unsigned long long>(C->get()));
+  for (const auto &[Name, G] : I.Gauges)
+    Out += strFormat("gauge %s %lld\n", Name.c_str(),
+                     static_cast<long long>(G->get()));
+  for (const auto &[Name, H] : I.Histograms) {
+    uint64_t N = H->count();
+    Out += strFormat(
+        "hist %s count=%llu sum=%llu min=%llu max=%llu avg=%.1f\n",
+        Name.c_str(), static_cast<unsigned long long>(N),
+        static_cast<unsigned long long>(H->sum()),
+        static_cast<unsigned long long>(N ? H->min() : 0),
+        static_cast<unsigned long long>(H->max()),
+        N ? static_cast<double>(H->sum()) / static_cast<double>(N) : 0.0);
+  }
+  return Out;
+}
+
+void Registry::resetAll() {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mutex);
+  for (auto &[Name, C] : I.Counters)
+    C->reset();
+  for (auto &[Name, G] : I.Gauges)
+    G->reset();
+  for (auto &[Name, H] : I.Histograms)
+    H->reset();
+}
+
+//===----------------------------------------------------------------------===
+// Per-thread event buffers with a lock-free publish stack
+//===----------------------------------------------------------------------===
+
+namespace {
+
+constexpr size_t ChunkCapacity = 256;
+
+struct EventChunk {
+  std::vector<Event> Events;
+  EventChunk *Next = nullptr;
+};
+
+std::atomic<EventChunk *> PublishedHead{nullptr};
+std::atomic<uint32_t> NextTid{0};
+
+/// Lock-free MPSC publish: one CAS per chunk, the only cross-thread
+/// operation on the tracing hot path.
+void publishChunk(EventChunk *C) {
+  C->Next = PublishedHead.load(std::memory_order_relaxed);
+  while (!PublishedHead.compare_exchange_weak(
+      C->Next, C, std::memory_order_release, std::memory_order_relaxed)) {
+  }
+}
+
+struct ThreadBuffer {
+  EventChunk *Cur = nullptr;
+  uint32_t Tid;
+
+  ThreadBuffer()
+      : Tid(NextTid.fetch_add(1, std::memory_order_relaxed) + 1) {}
+
+  ~ThreadBuffer() { flush(); }
+
+  void flush() {
+    if (Cur && !Cur->Events.empty()) {
+      publishChunk(Cur);
+    } else {
+      delete Cur;
+    }
+    Cur = nullptr;
+  }
+
+  void emit(Event &&E) {
+    if (!Cur) {
+      Cur = new EventChunk;
+      Cur->Events.reserve(ChunkCapacity);
+    }
+    Cur->Events.push_back(std::move(E));
+    if (Cur->Events.size() >= ChunkCapacity) {
+      publishChunk(Cur);
+      Cur = nullptr;
+    }
+  }
+};
+
+ThreadBuffer &threadBuffer() {
+  static thread_local ThreadBuffer TB;
+  return TB;
+}
+
+thread_local uint16_t SpanDepth = 0;
+
+/// Drains the publish stack; caller owns the returned events.
+std::vector<Event> drainPublished() {
+  EventChunk *Head = PublishedHead.exchange(nullptr, std::memory_order_acquire);
+  std::vector<Event> Out;
+  while (Head) {
+    for (Event &E : Head->Events)
+      Out.push_back(std::move(E));
+    EventChunk *Next = Head->Next;
+    delete Head;
+    Head = Next;
+  }
+  return Out;
+}
+
+} // namespace
+
+void obs::flushThreadEvents() { threadBuffer().flush(); }
+
+std::vector<Event> obs::collectEvents() {
+  flushThreadEvents();
+  std::vector<Event> Events = drainPublished();
+  std::stable_sort(Events.begin(), Events.end(),
+                   [](const Event &A, const Event &B) {
+                     if (A.StartNs != B.StartNs)
+                       return A.StartNs < B.StartNs;
+                     return A.DurNs > B.DurNs; // Parents before children.
+                   });
+  return Events;
+}
+
+void obs::clearEvents() {
+  flushThreadEvents();
+  drainPublished();
+}
+
+void obs::instant(const char *Name, std::string Args) {
+  if (!enabled())
+    return;
+  Event E;
+  E.Kind = EventKind::Instant;
+  E.Name = Name;
+  E.Tid = threadBuffer().Tid;
+  E.Depth = SpanDepth;
+  E.StartNs = nowNs();
+  E.Args = std::move(Args);
+  threadBuffer().emit(std::move(E));
+}
+
+void obs::logf(int Level, const char *Fmt, ...) {
+  if (logLevel() < Level)
+    return;
+  char Buf[1024];
+  va_list Ap;
+  va_start(Ap, Fmt);
+  std::vsnprintf(Buf, sizeof(Buf), Fmt, Ap);
+  va_end(Ap);
+  std::fprintf(stderr, "[denali:%d] %s\n", Level, Buf);
+  if (!enabled())
+    return;
+  Event E;
+  E.Kind = EventKind::Log;
+  E.Level = static_cast<uint8_t>(Level);
+  E.Name = "log";
+  E.Tid = threadBuffer().Tid;
+  E.Depth = SpanDepth;
+  E.StartNs = nowNs();
+  E.Msg = Buf;
+  threadBuffer().emit(std::move(E));
+}
+
+//===----------------------------------------------------------------------===
+// ObsSpan
+//===----------------------------------------------------------------------===
+
+ObsSpan::ObsSpan(const char *Name) : Active(enabled()) {
+  if (!Active)
+    return;
+  this->Name = Name;
+  StartNs = nowNs();
+  ++SpanDepth;
+}
+
+ObsSpan::~ObsSpan() {
+  if (!Active)
+    return;
+  --SpanDepth;
+  int64_t DurNs = nowNs() - StartNs;
+  Event E;
+  E.Kind = EventKind::Span;
+  E.Name = Name;
+  E.Tid = threadBuffer().Tid;
+  E.Depth = SpanDepth;
+  E.StartNs = StartNs;
+  E.DurNs = DurNs;
+  E.Args = std::move(Args);
+  threadBuffer().emit(std::move(E));
+  // Span names are string literals, so the histogram handle can be cached
+  // per name *pointer*, sparing the hot path the string concatenation and
+  // the registry mutex on every span destruction.
+  thread_local std::unordered_map<const void *, Histogram *> HistCache;
+  Histogram *&H = HistCache[static_cast<const void *>(Name)];
+  if (!H)
+    H = &Registry::global().histogram(std::string("span.") + Name + ".us");
+  H->record(static_cast<uint64_t>(DurNs / 1000));
+}
+
+ObsSpan &ObsSpan::arg(const char *Key, uint64_t V) {
+  if (Active)
+    Args += strFormat("%s\"%s\":%llu", Args.empty() ? "" : ",", Key,
+                      static_cast<unsigned long long>(V));
+  return *this;
+}
+
+ObsSpan &ObsSpan::arg(const char *Key, int64_t V) {
+  if (Active)
+    Args += strFormat("%s\"%s\":%lld", Args.empty() ? "" : ",", Key,
+                      static_cast<long long>(V));
+  return *this;
+}
+
+ObsSpan &ObsSpan::arg(const char *Key, double V) {
+  if (Active)
+    Args += strFormat("%s\"%s\":%.6f", Args.empty() ? "" : ",", Key, V);
+  return *this;
+}
+
+ObsSpan &ObsSpan::arg(const char *Key, const char *V) {
+  if (Active)
+    Args += strFormat("%s\"%s\":\"%s\"", Args.empty() ? "" : ",", Key,
+                      jsonEscape(V).c_str());
+  return *this;
+}
+
+//===----------------------------------------------------------------------===
+// Exporters
+//===----------------------------------------------------------------------===
+
+std::string obs::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += strFormat("\\u%04x", C);
+      else
+        Out += C;
+    }
+  }
+  return Out;
+}
+
+namespace {
+
+const char *phaseOf(const Event &E) {
+  switch (E.Kind) {
+  case EventKind::Span:
+    return "X";
+  case EventKind::Instant:
+  case EventKind::Log:
+    return "i";
+  }
+  return "i";
+}
+
+} // namespace
+
+std::string obs::chromeTraceJson(const std::vector<Event> &Events) {
+  std::string Out = "{\"traceEvents\":[\n";
+  bool First = true;
+  for (const Event &E : Events) {
+    if (!First)
+      Out += ",\n";
+    First = false;
+    Out += strFormat("{\"name\":\"%s\",\"cat\":\"denali\",\"ph\":\"%s\","
+                     "\"ts\":%.3f,",
+                     jsonEscape(E.Kind == EventKind::Log ? E.Msg
+                                                         : std::string(E.Name))
+                         .c_str(),
+                     phaseOf(E), static_cast<double>(E.StartNs) / 1000.0);
+    if (E.Kind == EventKind::Span)
+      Out += strFormat("\"dur\":%.3f,", static_cast<double>(E.DurNs) / 1000.0);
+    else
+      Out += "\"s\":\"t\",";
+    Out += strFormat("\"pid\":1,\"tid\":%u", E.Tid);
+    if (!E.Args.empty())
+      Out += strFormat(",\"args\":{%s}", E.Args.c_str());
+    Out += "}";
+  }
+  Out += "\n]}\n";
+  return Out;
+}
+
+std::string obs::jsonlText(const std::vector<Event> &Events) {
+  std::string Out;
+  for (const Event &E : Events) {
+    const char *Kind = E.Kind == EventKind::Span      ? "span"
+                       : E.Kind == EventKind::Instant ? "instant"
+                                                      : "log";
+    Out += strFormat("{\"kind\":\"%s\",\"name\":\"%s\",\"tid\":%u,"
+                     "\"depth\":%u,\"start_us\":%.3f,\"dur_us\":%.3f",
+                     Kind, jsonEscape(E.Name).c_str(), E.Tid, E.Depth,
+                     static_cast<double>(E.StartNs) / 1000.0,
+                     static_cast<double>(E.DurNs) / 1000.0);
+    if (!E.Args.empty())
+      Out += strFormat(",\"args\":{%s}", E.Args.c_str());
+    if (E.Kind == EventKind::Log)
+      Out += strFormat(",\"level\":%u,\"msg\":\"%s\"", E.Level,
+                       jsonEscape(E.Msg).c_str());
+    Out += "}\n";
+  }
+  return Out;
+}
+
+bool obs::writeTextFile(const std::string &Path, const std::string &Text) {
+  std::FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out) {
+    std::fprintf(stderr, "obs: cannot write '%s'\n", Path.c_str());
+    return false;
+  }
+  std::fwrite(Text.data(), 1, Text.size(), Out);
+  std::fclose(Out);
+  return true;
+}
+
+bool obs::exportConfigured() {
+  ObsConfig C = config();
+  bool Ok = true;
+  if (!C.TraceOut.empty() || !C.JsonlOut.empty()) {
+    std::vector<Event> Events = collectEvents();
+    if (!C.TraceOut.empty())
+      Ok &= writeTextFile(C.TraceOut, chromeTraceJson(Events));
+    if (!C.JsonlOut.empty())
+      Ok &= writeTextFile(C.JsonlOut, jsonlText(Events));
+  }
+  if (!C.MetricsOut.empty())
+    Ok &= writeTextFile(C.MetricsOut, Registry::global().summaryText());
+  return Ok;
+}

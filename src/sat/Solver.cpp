@@ -2,7 +2,9 @@
 
 #include "sat/Solver.h"
 
+#include "obs/Obs.h"
 #include "support/Error.h"
+#include "support/StringExtras.h"
 
 #include <algorithm>
 #include <cassert>
@@ -385,6 +387,7 @@ void Solver::backtrack(int ToLevel) {
 }
 
 void Solver::reduceDB() {
+  size_t LearntsBefore = Learnts.size();
   // Drop the less active half of the learnt clauses (never unit reasons).
   std::sort(Learnts.begin(), Learnts.end(), [&](CRef A, CRef B) {
     return clauseActivity(A) < clauseActivity(B);
@@ -406,6 +409,12 @@ void Solver::reduceDB() {
     }
   }
   Learnts.resize(Keep);
+  if (obs::enabled()) {
+    obs::Registry::global().counter("sat.reduce_db").add(1);
+    obs::instant("sat.reduce_db",
+                 strFormat("\"learnts_before\":%zu,\"learnts_after\":%zu",
+                           LearntsBefore, Keep));
+  }
   // Deleted clauses leave dead words in the arena. A per-probe solver never
   // notices, but an incremental solver lives for a whole budget ladder;
   // compact once the holes dominate.
@@ -444,6 +453,12 @@ void Solver::compactArena() {
       W.Clause = Arena[W.Clause];
   ++Stats.ArenaCollections;
   Stats.ArenaWordsReclaimed += Arena.size() - NewArena.size();
+  if (obs::enabled()) {
+    obs::Registry::global().counter("sat.arena_collections").add(1);
+    obs::instant("sat.compact_arena",
+                 strFormat("\"words_before\":%zu,\"words_after\":%zu",
+                           Arena.size(), NewArena.size()));
+  }
   Arena = std::move(NewArena);
   WastedArenaWords = 0;
 }
@@ -505,6 +520,7 @@ SolveResult Solver::solve() { return solve(std::vector<Lit>{}); }
 
 SolveResult Solver::solve(const std::vector<Lit> &Assumptions) {
   WasInterrupted = false;
+  PostInterruptConflicts = 0;
   FinalConflict.clear();
   ++Stats.SolveCalls;
   if (Unsatisfiable) {
@@ -528,13 +544,18 @@ SolveResult Solver::solve(const std::vector<Lit> &Assumptions) {
 
   SolveResult Res = SolveResult::Unknown;
   ClauseLits Learnt;
+  uint64_t ConflictsAtLastPoll = Stats.Conflicts;
   for (;;) {
     // Each iteration is one conflict, restart, or decision boundary — the
     // granularity at which cancellation and the conflict budget act.
     if (Interrupt && Interrupt->load(std::memory_order_relaxed)) {
       WasInterrupted = true;
+      // Work done since the last poll that read false: bounds how stale a
+      // cancellation can be (at most one conflict per poll interval).
+      PostInterruptConflicts = Stats.Conflicts - ConflictsAtLastPoll;
       break; // Unknown.
     }
+    ConflictsAtLastPoll = Stats.Conflicts;
     CRef Confl = propagate();
     if (Confl != InvalidCRef) {
       ++Stats.Conflicts;

@@ -91,6 +91,13 @@ public:
   /// fired (as opposed to exhausting the conflict budget).
   bool interrupted() const { return WasInterrupted; }
 
+  /// After an interrupted solve(): how many conflicts the solver worked
+  /// through between the last interrupt poll that read false and the poll
+  /// that observed the flag. The poll runs every conflict/decision/restart
+  /// boundary, so this is at most 1 — the bound PortfolioTests asserts to
+  /// keep cancellation responsive.
+  uint64_t conflictsAfterInterrupt() const { return PostInterruptConflicts; }
+
   /// Enables clausal proof logging: every learnt clause is recorded in
   /// derivation order (a DRAT proof without deletions). After an Unsat
   /// answer the proof ends with the empty clause and can be validated by
@@ -182,6 +189,7 @@ private:
   uint64_t ConflictBudget = 0;
   const std::atomic<bool> *Interrupt = nullptr;
   bool WasInterrupted = false;
+  uint64_t PostInterruptConflicts = 0;
   bool Unsatisfiable = false;
   SolverStats Stats;
   bool LogProof = false;

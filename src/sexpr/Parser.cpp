@@ -2,6 +2,7 @@
 
 #include "sexpr/Parser.h"
 
+#include "obs/Obs.h"
 #include "support/StringExtras.h"
 
 #include <cctype>
@@ -125,7 +126,13 @@ private:
 } // namespace
 
 ParseResult denali::sexpr::parse(const std::string &Text) {
-  return Reader(Text).readAll();
+  obs::ObsSpan Span("sexpr.parse");
+  ParseResult Result = Reader(Text).readAll();
+  if (Span.active())
+    Span.arg("bytes", static_cast<uint64_t>(Text.size()))
+        .arg("forms", static_cast<uint64_t>(Result.Forms.size()))
+        .arg("ok", Result.ok() ? "yes" : "no");
+  return Result;
 }
 
 ParseResult denali::sexpr::parseOne(const std::string &Text) {

@@ -1,0 +1,207 @@
+//===- support/Json.cpp ---------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include "support/StringExtras.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace denali;
+using namespace denali::support::json;
+
+namespace {
+
+class Parser {
+public:
+  Parser(const std::string &Text) : Text(Text) {}
+
+  std::unique_ptr<Value> run(std::string *Err) {
+    auto V = std::make_unique<Value>();
+    if (!parseValue(*V) || (skipWs(), Pos != Text.size())) {
+      if (Err)
+        *Err = Error.empty()
+                   ? strFormat("trailing garbage at offset %zu", Pos)
+                   : Error;
+      return nullptr;
+    }
+    return V;
+  }
+
+private:
+  const std::string &Text;
+  size_t Pos = 0;
+  std::string Error;
+
+  bool fail(const char *Msg) {
+    if (Error.empty())
+      Error = strFormat("%s at offset %zu", Msg, Pos);
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() && std::isspace(static_cast<unsigned char>(
+                                    Text[Pos])))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipWs();
+    if (Pos >= Text.size() || Text[Pos] != C)
+      return false;
+    ++Pos;
+    return true;
+  }
+
+  bool literal(const char *Word) {
+    size_t Len = std::string(Word).size();
+    if (Text.compare(Pos, Len, Word) != 0)
+      return fail("bad literal");
+    Pos += Len;
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    if (!consume('"'))
+      return fail("expected string");
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        return fail("unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"': Out += '"'; break;
+      case '\\': Out += '\\'; break;
+      case '/': Out += '/'; break;
+      case 'b': Out += '\b'; break;
+      case 'f': Out += '\f'; break;
+      case 'n': Out += '\n'; break;
+      case 'r': Out += '\r'; break;
+      case 't': Out += '\t'; break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("truncated \\u escape");
+        unsigned Code = 0;
+        for (int Hex = 0; Hex < 4; ++Hex) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= H - '0';
+          else if (H >= 'a' && H <= 'f')
+            Code |= H - 'a' + 10;
+          else if (H >= 'A' && H <= 'F')
+            Code |= H - 'A' + 10;
+          else
+            return fail("bad \\u escape");
+        }
+        // UTF-8 encode the BMP code point (surrogates pass through as-is;
+        // the obs exporters only emit \u for control characters).
+        if (Code < 0x80) {
+          Out += static_cast<char>(Code);
+        } else if (Code < 0x800) {
+          Out += static_cast<char>(0xC0 | (Code >> 6));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          Out += static_cast<char>(0xE0 | (Code >> 12));
+          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return fail("bad escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseValue(Value &V) {
+    skipWs();
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    char C = Text[Pos];
+    if (C == '{') {
+      ++Pos;
+      V.K = Value::Kind::Object;
+      skipWs();
+      if (consume('}'))
+        return true;
+      while (true) {
+        std::string Key;
+        if (!parseString(Key))
+          return false;
+        if (!consume(':'))
+          return fail("expected ':'");
+        Value Member;
+        if (!parseValue(Member))
+          return false;
+        V.Obj.emplace(std::move(Key), std::move(Member));
+        if (consume(','))
+          continue;
+        if (consume('}'))
+          return true;
+        return fail("expected ',' or '}'");
+      }
+    }
+    if (C == '[') {
+      ++Pos;
+      V.K = Value::Kind::Array;
+      skipWs();
+      if (consume(']'))
+        return true;
+      while (true) {
+        Value Elem;
+        if (!parseValue(Elem))
+          return false;
+        V.Arr.push_back(std::move(Elem));
+        if (consume(','))
+          continue;
+        if (consume(']'))
+          return true;
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (C == '"') {
+      V.K = Value::Kind::String;
+      return parseString(V.Str);
+    }
+    if (C == 't') {
+      V.K = Value::Kind::Bool;
+      V.B = true;
+      return literal("true");
+    }
+    if (C == 'f') {
+      V.K = Value::Kind::Bool;
+      V.B = false;
+      return literal("false");
+    }
+    if (C == 'n') {
+      V.K = Value::Kind::Null;
+      return literal("null");
+    }
+    if (C == '-' || (C >= '0' && C <= '9')) {
+      const char *Begin = Text.c_str() + Pos;
+      char *End = nullptr;
+      V.K = Value::Kind::Number;
+      V.Num = std::strtod(Begin, &End);
+      if (End == Begin)
+        return fail("bad number");
+      Pos += End - Begin;
+      return true;
+    }
+    return fail("unexpected character");
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Value> denali::support::json::parse(const std::string &Text,
+                                                    std::string *Err) {
+  return Parser(Text).run(Err);
+}

@@ -1,0 +1,317 @@
+//===- tests/ObsTests.cpp - observability layer tests ---------------------===//
+//
+// The obs layer is process-global state (one registry, one event stream,
+// one enabled flag), so every test here re-configures it on entry and the
+// concurrency tests are the TSan gate for the lock-free event publishing
+// (build with -DDENALI_SANITIZE=thread).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Obs.h"
+
+#include "driver/Superoptimizer.h"
+#include "support/Json.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <thread>
+
+using namespace denali;
+namespace json = denali::support::json;
+
+namespace {
+
+/// Installs a fresh enabled configuration and clears all prior state.
+void resetObs(bool Enabled) {
+  obs::ObsConfig C;
+  C.Enabled = Enabled;
+  obs::configure(C);
+  obs::clearEvents();
+  obs::Registry::global().resetAll();
+}
+
+TEST(ObsRegistry, CountersGaugesHistograms) {
+  resetObs(true);
+  auto &R = obs::Registry::global();
+  R.counter("t.c").add(3);
+  R.counter("t.c").add();
+  EXPECT_EQ(R.counter("t.c").get(), 4u);
+  EXPECT_EQ(R.counterValue("t.c"), 4u);
+  EXPECT_EQ(R.counterValue("t.absent"), 0u); // Lookup does not register.
+
+  R.gauge("t.g").set(7);
+  R.gauge("t.g").noteMax(5); // Smaller: no effect.
+  EXPECT_EQ(R.gauge("t.g").get(), 7);
+  R.gauge("t.g").noteMax(9);
+  EXPECT_EQ(R.gauge("t.g").get(), 9);
+
+  auto &H = R.histogram("t.h");
+  H.record(10);
+  H.record(20);
+  H.record(3);
+  EXPECT_EQ(H.count(), 3u);
+  EXPECT_EQ(H.sum(), 33u);
+  EXPECT_EQ(H.min(), 3u);
+  EXPECT_EQ(H.max(), 20u);
+
+  std::string Summary = R.summaryText();
+  EXPECT_NE(Summary.find("counter t.c 4\n"), std::string::npos) << Summary;
+  EXPECT_NE(Summary.find("gauge t.g 9\n"), std::string::npos) << Summary;
+  EXPECT_NE(Summary.find("hist t.h count=3 sum=33 min=3 max=20 avg=11.0"),
+            std::string::npos)
+      << Summary;
+
+  R.resetAll();
+  EXPECT_EQ(R.counterValue("t.c"), 0u);
+  EXPECT_EQ(R.histogram("t.h").count(), 0u);
+}
+
+TEST(ObsRegistry, ReferencesAreStableAcrossRegistrations) {
+  resetObs(true);
+  auto &R = obs::Registry::global();
+  obs::Counter &C = R.counter("t.stable");
+  // Register many more counters; the earlier reference must stay valid.
+  for (int I = 0; I < 500; ++I)
+    R.counter("t.filler." + std::to_string(I)).add();
+  C.add(11);
+  EXPECT_EQ(R.counterValue("t.stable"), 11u);
+}
+
+TEST(ObsRegistry, ConcurrentUpdatesUnderThreadPool) {
+  resetObs(true);
+  auto &R = obs::Registry::global();
+  constexpr int Threads = 8;
+  constexpr int PerThread = 2000;
+  support::ThreadPool Pool(Threads);
+  std::vector<std::future<void>> Futures;
+  for (int T = 0; T < Threads; ++T)
+    Futures.push_back(Pool.submit([&R, T] {
+      for (int I = 0; I < PerThread; ++I) {
+        R.counter("t.conc.c").add();
+        // Concurrent lazy registration from every thread.
+        R.counter("t.conc.per." + std::to_string(T)).add();
+        R.gauge("t.conc.g").noteMax(T * PerThread + I);
+        R.histogram("t.conc.h").record(static_cast<uint64_t>(I));
+      }
+    }));
+  for (auto &F : Futures)
+    F.get();
+  EXPECT_EQ(R.counterValue("t.conc.c"),
+            static_cast<uint64_t>(Threads) * PerThread);
+  for (int T = 0; T < Threads; ++T)
+    EXPECT_EQ(R.counterValue("t.conc.per." + std::to_string(T)),
+              static_cast<uint64_t>(PerThread));
+  EXPECT_EQ(R.gauge("t.conc.g").get(), Threads * PerThread - 1);
+  EXPECT_EQ(R.histogram("t.conc.h").count(),
+            static_cast<uint64_t>(Threads) * PerThread);
+}
+
+TEST(ObsTrace, SpansRecordOnlyWhenEnabled) {
+  resetObs(false);
+  { obs::ObsSpan S("t.disabled"); }
+  obs::instant("t.disabled.i");
+  EXPECT_TRUE(obs::collectEvents().empty());
+
+  resetObs(true);
+  {
+    obs::ObsSpan S("t.enabled");
+    S.arg("k", 5u).arg("tag", "v");
+  }
+  std::vector<obs::Event> Events = obs::collectEvents();
+  ASSERT_EQ(Events.size(), 1u);
+  EXPECT_STREQ(Events[0].Name, "t.enabled");
+  EXPECT_EQ(Events[0].Kind, obs::EventKind::Span);
+  EXPECT_GE(Events[0].DurNs, 0);
+  EXPECT_NE(Events[0].Args.find("\"k\":5"), std::string::npos);
+  EXPECT_NE(Events[0].Args.find("\"tag\":\"v\""), std::string::npos);
+  // The span fed its duration histogram too.
+  EXPECT_EQ(obs::Registry::global().histogram("span.t.enabled.us").count(),
+            1u);
+}
+
+TEST(ObsTrace, ConcurrentSpansFromPoolWorkers) {
+  resetObs(true);
+  constexpr int Threads = 8;
+  constexpr int PerThread = 600; // > chunk capacity: forces mid-run flushes.
+  {
+    support::ThreadPool Pool(Threads);
+    // Start barrier: every task spins until all have started, so each of
+    // the 8 tasks lands on a distinct worker (a fast worker would
+    // otherwise drain several tasks and leave some threads unexercised).
+    std::atomic<int> Started{0};
+    std::vector<std::future<void>> Futures;
+    for (int T = 0; T < Threads; ++T)
+      Futures.push_back(Pool.submit([&Started] {
+        Started.fetch_add(1);
+        while (Started.load() < Threads)
+          std::this_thread::yield();
+        for (int I = 0; I < PerThread; ++I) {
+          obs::ObsSpan S("t.worker");
+          S.arg("i", static_cast<uint64_t>(I));
+        }
+        obs::flushThreadEvents();
+      }));
+    for (auto &F : Futures)
+      F.get();
+  }
+  std::vector<obs::Event> Events = obs::collectEvents();
+  EXPECT_EQ(Events.size(), static_cast<size_t>(Threads) * PerThread);
+  std::set<uint32_t> Tids;
+  for (const obs::Event &E : Events)
+    Tids.insert(E.Tid);
+  EXPECT_EQ(Tids.size(), static_cast<size_t>(Threads));
+  // collectEvents sorts by start time.
+  EXPECT_TRUE(std::is_sorted(
+      Events.begin(), Events.end(),
+      [](const obs::Event &A, const obs::Event &B) {
+        return A.StartNs < B.StartNs;
+      }));
+}
+
+TEST(ObsExport, JsonEscape) {
+  EXPECT_EQ(obs::jsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(obs::jsonEscape(std::string("x\x01y")), "x\\u0001y");
+}
+
+TEST(ObsExport, ChromeTraceIsWellFormedJson) {
+  resetObs(true);
+  {
+    obs::ObsSpan Outer("t.outer");
+    Outer.arg("k", 3u);
+    { obs::ObsSpan Inner("t.inner"); }
+    obs::instant("t.marker", "\"note\":\"quote \\\" inside\"");
+  }
+  obs::logf(0, "log line with \"quotes\"");
+  std::string Trace = obs::chromeTraceJson(obs::collectEvents());
+
+  std::string Err;
+  std::unique_ptr<json::Value> Doc = json::parse(Trace, &Err);
+  ASSERT_TRUE(Doc) << Err << "\n" << Trace;
+  const json::Value *Events = Doc->field("traceEvents");
+  ASSERT_TRUE(Events && Events->isArray()) << Trace;
+  ASSERT_EQ(Events->array().size(), 4u);
+  std::multiset<std::string> Names;
+  for (const json::Value &E : Events->array()) {
+    const json::Value *Name = E.field("name");
+    const json::Value *Ph = E.field("ph");
+    ASSERT_TRUE(Name && Name->isString());
+    ASSERT_TRUE(Ph && Ph->isString());
+    ASSERT_TRUE(E.field("ts") && E.field("ts")->isNumber());
+    ASSERT_TRUE(E.field("pid") && E.field("tid"));
+    if (Ph->stringValue() == "X") {
+      ASSERT_TRUE(E.field("dur") && E.field("dur")->isNumber());
+    }
+    Names.insert(Name->stringValue());
+  }
+  EXPECT_EQ(Names.count("t.outer"), 1u);
+  EXPECT_EQ(Names.count("t.inner"), 1u);
+  EXPECT_EQ(Names.count("t.marker"), 1u);
+  // The span args survive as a JSON object.
+  for (const json::Value &E : Events->array())
+    if (E.field("name")->stringValue() == "t.outer") {
+      const json::Value *Args = E.field("args");
+      ASSERT_TRUE(Args && Args->isObject());
+      ASSERT_TRUE(Args->field("k"));
+      EXPECT_EQ(Args->field("k")->numberValue(), 3.0);
+    }
+}
+
+TEST(ObsExport, JsonlLinesParseIndividually) {
+  resetObs(true);
+  { obs::ObsSpan S("t.jsonl"); }
+  obs::instant("t.jsonl.i");
+  std::string Text = obs::jsonlText(obs::collectEvents());
+  size_t Lines = 0;
+  size_t Start = 0;
+  while (Start < Text.size()) {
+    size_t End = Text.find('\n', Start);
+    ASSERT_NE(End, std::string::npos);
+    std::string Err;
+    EXPECT_TRUE(json::parse(Text.substr(Start, End - Start), &Err)) << Err;
+    Start = End + 1;
+    ++Lines;
+  }
+  EXPECT_EQ(Lines, 2u);
+}
+
+TEST(ObsScopedTimer, FeedsHistogram) {
+  resetObs(true);
+  auto &H = obs::Registry::global().histogram("t.scoped.us");
+  { obs::ScopedTimer T(H); }
+  { obs::ScopedTimer T(H); }
+  EXPECT_EQ(H.count(), 2u);
+}
+
+/// Golden span-tree test: one tiny pipeline run must emit the expected
+/// span taxonomy with the expected nesting (by depth and containment).
+TEST(ObsPipeline, GoldenSpanTree) {
+  resetObs(true);
+  const char *Src = R"(
+(\procdecl tiny ((x long)) long (:= (\res (\add64 x 1))))
+)";
+  driver::Options Opts;
+  Opts.Search.MaxCycles = 4;
+  driver::Superoptimizer Opt(Opts);
+  // The constructor already parsed the builtin axioms (their sexpr.parse
+  // spans are not part of this pipeline run) — start the trace fresh.
+  obs::clearEvents();
+  obs::Registry::global().resetAll();
+  driver::CompileResult R = Opt.compileSource(Src);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  ASSERT_EQ(R.Gmas.size(), 1u);
+  ASSERT_TRUE(R.Gmas[0].ok()) << R.Gmas[0].Error;
+
+  std::vector<obs::Event> Events = obs::collectEvents();
+  std::map<std::string, std::vector<const obs::Event *>> ByName;
+  for (const obs::Event &E : Events)
+    if (E.Kind == obs::EventKind::Span)
+      ByName[E.Name].push_back(&E);
+
+  // The stage spans, each exactly once per run...
+  for (const char *Name : {"sexpr.parse", "lang.parse", "gma.translate",
+                           "gma.compile", "match.saturate", "universe.build",
+                           "search"})
+    EXPECT_EQ(ByName[Name].size(), 1u) << Name;
+  // ...and the per-round / per-probe spans at least once.
+  EXPECT_GE(ByName["match.round"].size(), 1u);
+  EXPECT_GE(ByName["search.probe"].size(), 1u);
+  EXPECT_GE(ByName["encode"].size(), 1u);
+
+  // Nesting, by recorded depth: top-level spans at depth 0, stages inside
+  // gma.compile at depth 1, rounds/probes below them.
+  EXPECT_EQ(ByName["lang.parse"][0]->Depth, 0u);
+  EXPECT_EQ(ByName["gma.compile"][0]->Depth, 0u);
+  EXPECT_EQ(ByName["sexpr.parse"][0]->Depth, 1u); // Inside lang.parse.
+  EXPECT_EQ(ByName["match.saturate"][0]->Depth, 1u);
+  EXPECT_EQ(ByName["search"][0]->Depth, 1u);
+  EXPECT_EQ(ByName["match.round"][0]->Depth, 2u);
+  EXPECT_EQ(ByName["search.probe"][0]->Depth, 2u);
+  EXPECT_EQ(ByName["encode"][0]->Depth, 3u); // Inside search.probe.
+
+  // Interval containment on the same thread backs up the depths.
+  auto contains = [](const obs::Event *Outer, const obs::Event *Inner) {
+    return Outer->Tid == Inner->Tid && Outer->StartNs <= Inner->StartNs &&
+           Inner->StartNs + Inner->DurNs <= Outer->StartNs + Outer->DurNs;
+  };
+  EXPECT_TRUE(contains(ByName["lang.parse"][0], ByName["sexpr.parse"][0]));
+  EXPECT_TRUE(
+      contains(ByName["gma.compile"][0], ByName["match.saturate"][0]));
+  EXPECT_TRUE(contains(ByName["gma.compile"][0], ByName["search"][0]));
+  EXPECT_TRUE(contains(ByName["match.saturate"][0], ByName["match.round"][0]));
+  EXPECT_TRUE(contains(ByName["search"][0], ByName["search.probe"][0]));
+
+  // The registry saw the same run.
+  auto &Reg = obs::Registry::global();
+  EXPECT_GT(Reg.counterValue("match.rounds"), 0u);
+  EXPECT_GT(Reg.counterValue("encode.vars"), 0u);
+  EXPECT_GT(Reg.counterValue("encode.clauses"), 0u);
+  EXPECT_GT(Reg.counterValue("search.probes"), 0u);
+
+  resetObs(false); // Leave the layer off for the remaining test binaries.
+}
+
+} // namespace

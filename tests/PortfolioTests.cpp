@@ -12,12 +12,15 @@
 #include "driver/Superoptimizer.h"
 #include "match/Elaborate.h"
 #include "match/Matcher.h"
+#include "sat/Solver.h"
 #include "verify/GmaGen.h"
 #include "verify/Oracle.h"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <random>
 
 using namespace denali;
 using namespace denali::codegen;
@@ -155,6 +158,70 @@ TEST_F(PortfolioTest, EvidenceMatchesSequentialSemantics) {
                 [](const Probe &P) { return P.Cancelled; })));
   EXPECT_GT(R.WallSeconds, 0.0);
   EXPECT_GE(R.CpuSeconds, 0.0);
+}
+
+TEST_F(PortfolioTest, CancellationIsObservableAndBounded) {
+  // A losing worker must wind down promptly once the winner cancels it: the
+  // solver polls its interrupt flag at every conflict/decision/restart
+  // boundary, so a cancelled probe may complete at most one further
+  // conflict after the request. The probe also carries the wall-clock
+  // cancellation latency when the portfolio recorded the request time.
+  ClassId Goal = app(
+      Builtin::Add64,
+      {app(Builtin::Shl64, {v("x"), c(3)}),
+       app(Builtin::Xor64, {v("y"), app(Builtin::And64, {v("x"), v("y")})})});
+  saturate();
+
+  size_t CancelledSeen = 0;
+  for (int Attempt = 0; Attempt < 8 && !CancelledSeen; ++Attempt) {
+    SearchResult R = search(Goal, SearchStrategy::Portfolio);
+    ASSERT_TRUE(R.Found) << R.Error;
+    for (const Probe &P : R.Probes) {
+      if (!P.Cancelled)
+        continue;
+      ++CancelledSeen;
+      // The conflict bound is structural (poll placement), not timing.
+      EXPECT_LE(P.ConflictsAfterCancel, 1u)
+          << "budget " << P.Cycles << " kept working after cancellation";
+      if (P.CancelLatencySeconds >= 0)
+        EXPECT_LT(P.CancelLatencySeconds, R.WallSeconds + 1.0)
+            << "budget " << P.Cycles;
+    }
+  }
+  // Whether a probe gets cancelled is a race (fast probes may finish
+  // first); over several attempts at least one should lose. Don't fail a
+  // fast machine, but do exercise the assertions when we can.
+  if (!CancelledSeen)
+    GTEST_LOG_(WARNING) << "no probe was cancelled in any attempt; "
+                           "bound not exercised";
+}
+
+TEST(SolverInterrupt, PreSetInterruptStopsBeforeAnyConflict) {
+  // With the flag already raised, the very first poll observes it: the
+  // solve must return Unknown with zero post-interrupt conflicts — the
+  // deterministic anchor for the ≤1 bound asserted above.
+  sat::Solver S;
+  std::mt19937_64 Rng(7);
+  constexpr int NumVars = 40;
+  for (int I = 0; I < NumVars; ++I)
+    S.newVar();
+  for (int I = 0; I < 120; ++I) {
+    sat::ClauseLits C;
+    for (int J = 0; J < 3; ++J)
+      C.push_back(
+          sat::Lit(static_cast<sat::Var>(Rng() % NumVars), Rng() & 1));
+    S.addClause(C);
+  }
+  std::atomic<bool> Stop{true};
+  S.setInterrupt(&Stop);
+  EXPECT_EQ(S.solve(), sat::SolveResult::Unknown);
+  EXPECT_TRUE(S.interrupted());
+  EXPECT_EQ(S.conflictsAfterInterrupt(), 0u);
+
+  // Lowering the flag lets the same solver finish normally.
+  Stop.store(false);
+  EXPECT_NE(S.solve(), sat::SolveResult::Unknown);
+  EXPECT_FALSE(S.interrupted());
 }
 
 TEST_F(PortfolioTest, FreeGoalSkipsThePool) {

@@ -1,0 +1,214 @@
+//===- tools/obs_report.cpp - Trace & metrics report tool -----------------===//
+//
+// Post-processing for the obs layer's artifacts:
+//
+//   obs_report trace <trace.json> [--top N]
+//     Reads a Chrome trace_event file and prints the top-N span names by
+//     *self* time (span duration minus the duration of spans nested inside
+//     it on the same thread), plus call counts and total time.
+//
+//   obs_report metrics <metrics.txt> [--require name,name,...]
+//     Parses the plain-text metrics summary; with --require, exits
+//     nonzero unless every named counter is present with a nonzero value.
+//     The perf_smoke CI step uses this to assert the pipeline's core
+//     counters are actually being recorded.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+#include "support/StringExtras.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace denali;
+namespace json = denali::support::json;
+
+namespace {
+
+bool readFile(const char *Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "obs_report: cannot open '%s'\n", Path);
+    return false;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  Out = Buf.str();
+  return true;
+}
+
+struct SpanRow {
+  uint64_t Count = 0;
+  double TotalUs = 0;
+  double SelfUs = 0;
+};
+
+int traceReport(const char *Path, size_t TopN) {
+  std::string Text;
+  if (!readFile(Path, Text))
+    return 1;
+  std::string Err;
+  std::unique_ptr<json::Value> Doc = json::parse(Text, &Err);
+  if (!Doc) {
+    std::fprintf(stderr, "obs_report: %s: invalid JSON: %s\n", Path,
+                 Err.c_str());
+    return 1;
+  }
+  const json::Value *Events = Doc->field("traceEvents");
+  if (!Events || !Events->isArray()) {
+    std::fprintf(stderr, "obs_report: %s: no traceEvents array\n", Path);
+    return 1;
+  }
+
+  // Complete ("X") events only, grouped per tid. Self time = duration minus
+  // the duration of child spans, found by sweeping each thread's spans in
+  // start order with an enclosing-span stack.
+  struct Span {
+    std::string Name;
+    double Ts, Dur;
+  };
+  std::map<double, std::vector<Span>> PerTid;
+  size_t Total = 0;
+  for (const json::Value &E : Events->array()) {
+    const json::Value *Ph = E.field("ph");
+    if (!Ph || !Ph->isString() || Ph->stringValue() != "X")
+      continue;
+    const json::Value *Name = E.field("name");
+    const json::Value *Ts = E.field("ts");
+    const json::Value *Dur = E.field("dur");
+    const json::Value *Tid = E.field("tid");
+    if (!Name || !Ts || !Dur)
+      continue;
+    PerTid[Tid ? Tid->numberValue() : 0].push_back(
+        Span{Name->stringValue(), Ts->numberValue(), Dur->numberValue()});
+    ++Total;
+  }
+
+  std::map<std::string, SpanRow> Rows;
+  for (auto &[Tid, Spans] : PerTid) {
+    (void)Tid;
+    std::sort(Spans.begin(), Spans.end(), [](const Span &A, const Span &B) {
+      if (A.Ts != B.Ts)
+        return A.Ts < B.Ts;
+      return A.Dur > B.Dur; // Parents (longer) first at equal start.
+    });
+    std::vector<size_t> Stack; // Indices of enclosing spans.
+    for (size_t I = 0; I < Spans.size(); ++I) {
+      const Span &S = Spans[I];
+      while (!Stack.empty() &&
+             Spans[Stack.back()].Ts + Spans[Stack.back()].Dur <= S.Ts)
+        Stack.pop_back();
+      SpanRow &R = Rows[S.Name];
+      R.Count += 1;
+      R.TotalUs += S.Dur;
+      R.SelfUs += S.Dur;
+      if (!Stack.empty())
+        Rows[Spans[Stack.back()].Name].SelfUs -= S.Dur;
+      Stack.push_back(I);
+    }
+  }
+
+  std::vector<std::pair<std::string, SpanRow>> Sorted(Rows.begin(),
+                                                      Rows.end());
+  std::sort(Sorted.begin(), Sorted.end(), [](const auto &A, const auto &B) {
+    return A.second.SelfUs > B.second.SelfUs;
+  });
+  std::printf("%zu spans across %zu threads; top %zu by self time:\n", Total,
+              PerTid.size(), std::min(TopN, Sorted.size()));
+  std::printf("%-24s %10s %14s %14s\n", "span", "count", "self(us)",
+              "total(us)");
+  for (size_t I = 0; I < Sorted.size() && I < TopN; ++I)
+    std::printf("%-24s %10llu %14.1f %14.1f\n", Sorted[I].first.c_str(),
+                static_cast<unsigned long long>(Sorted[I].second.Count),
+                Sorted[I].second.SelfUs, Sorted[I].second.TotalUs);
+  return 0;
+}
+
+int metricsReport(const char *Path, const std::string &Require) {
+  std::string Text;
+  if (!readFile(Path, Text))
+    return 1;
+  std::map<std::string, unsigned long long> Counters;
+  size_t Gauges = 0, Hists = 0;
+  std::istringstream In(Text);
+  std::string Line;
+  unsigned LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    std::istringstream Fields(Line);
+    std::string Kind, Name;
+    if (!(Fields >> Kind >> Name)) {
+      std::fprintf(stderr, "obs_report: %s:%u: malformed line\n", Path,
+                   LineNo);
+      return 1;
+    }
+    if (Kind == "counter") {
+      unsigned long long V = 0;
+      if (!(Fields >> V)) {
+        std::fprintf(stderr, "obs_report: %s:%u: counter without value\n",
+                     Path, LineNo);
+        return 1;
+      }
+      Counters[Name] = V;
+    } else if (Kind == "gauge") {
+      ++Gauges;
+    } else if (Kind == "hist") {
+      ++Hists;
+    } else {
+      std::fprintf(stderr, "obs_report: %s:%u: unknown metric kind '%s'\n",
+                   Path, LineNo, Kind.c_str());
+      return 1;
+    }
+  }
+  std::printf("%zu counters, %zu gauges, %zu histograms\n", Counters.size(),
+              Gauges, Hists);
+  bool Ok = true;
+  for (const std::string &Name : splitString(Require, ",")) {
+    auto It = Counters.find(Name);
+    if (It == Counters.end() || It->second == 0) {
+      std::fprintf(stderr, "obs_report: required counter '%s' %s\n",
+                   Name.c_str(),
+                   It == Counters.end() ? "missing" : "is zero");
+      Ok = false;
+    } else {
+      std::printf("require %s = %llu ok\n", Name.c_str(), It->second);
+    }
+  }
+  return Ok ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const char *Mode = argc > 1 ? argv[1] : nullptr;
+  const char *Path = argc > 2 ? argv[2] : nullptr;
+  size_t TopN = 10;
+  std::string Require;
+  for (int I = 3; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--top") && I + 1 < argc)
+      TopN = static_cast<size_t>(std::atoll(argv[++I]));
+    else if (!std::strcmp(argv[I], "--require") && I + 1 < argc)
+      Require = argv[++I];
+    else {
+      std::fprintf(stderr, "obs_report: unknown option '%s'\n", argv[I]);
+      return 2;
+    }
+  }
+  if (Mode && Path && !std::strcmp(Mode, "trace"))
+    return traceReport(Path, TopN);
+  if (Mode && Path && !std::strcmp(Mode, "metrics"))
+    return metricsReport(Path, Require);
+  std::fprintf(stderr, "usage: obs_report trace <trace.json> [--top N]\n"
+                       "       obs_report metrics <metrics.txt> "
+                       "[--require name,name,...]\n");
+  return 2;
+}
