@@ -40,7 +40,8 @@ struct Row {
   double WallSeconds = 0;
 };
 
-driver::Superoptimizer makeOpt(codegen::SearchStrategy S, int LatencyDelta) {
+driver::Superoptimizer makeOpt(codegen::SearchStrategy S, int LatencyDelta,
+                               bool Explain = false) {
   driver::Options Opts;
   Opts.Search.Strategy = S;
   Opts.Search.MaxCycles = 12;
@@ -48,6 +49,7 @@ driver::Superoptimizer makeOpt(codegen::SearchStrategy S, int LatencyDelta) {
   Opts.Matching.MaxNodes = 8000;
   Opts.Matching.MaxRounds = 8;
   Opts.Universe.TestLatencyDelta = LatencyDelta;
+  Opts.Explain = Explain;
   return driver::Superoptimizer(Opts);
 }
 
@@ -167,6 +169,37 @@ int main(int argc, char **argv) {
     obs::configure(Off);
   }
 
+  // E15: provenance overhead — the same linear batch with the explanation
+  // layer off, then on (e-graph proof forest, per-union justifications,
+  // substitution interning, and per-program derivation-chain construction).
+  // Reported, not gated, for the same wall-noise reason as E14; the
+  // EXPERIMENTS.md E15 target is <3%.
+  double ProvOffSeconds = 0, ProvOnSeconds = 0;
+  {
+    const unsigned OverheadCount = Smoke ? 20 : 60;
+    const int OverheadReps = 3;
+    for (int Rep = 0; Rep < OverheadReps; ++Rep)
+      for (int Phase = 0; Phase < 2; ++Phase) {
+        driver::Superoptimizer Opt =
+            makeOpt(codegen::SearchStrategy::Linear, 0, Phase == 1);
+        verify::GmaGen Gen(Opt.context(), Seed);
+        Timer T;
+        for (unsigned I = 0; I < OverheadCount; ++I)
+          if (!verify::compileAndCheck(Opt, Gen.next()).benign())
+            AllOk = false;
+        double &Arm = Phase == 0 ? ProvOffSeconds : ProvOnSeconds;
+        double S = T.seconds();
+        Arm = (Rep == 0) ? S : std::min(Arm, S);
+      }
+    banner("E15",
+           "provenance overhead (same linear batch, provenance off vs on)");
+    std::printf("prov off: %.3fs   prov on: %.3fs   overhead: %+.2f%%\n",
+                ProvOffSeconds, ProvOnSeconds,
+                ProvOffSeconds > 0
+                    ? 100.0 * (ProvOnSeconds / ProvOffSeconds - 1.0)
+                    : 0.0);
+  }
+
   std::FILE *Out = std::fopen("BENCH_verify.json", "w");
   if (Out) {
     std::fprintf(Out, "[\n");
@@ -184,14 +217,21 @@ int main(int argc, char **argv) {
                  DetectedAfter);
     std::fprintf(Out,
                  "  {\"e14_obs_off_s\": %.6f, \"e14_obs_on_s\": %.6f, "
-                 "\"e14_overhead_pct\": %.2f}\n]\n",
+                 "\"e14_overhead_pct\": %.2f},\n",
                  ObsOffSeconds, ObsOnSeconds,
                  ObsOffSeconds > 0
                      ? 100.0 * (ObsOnSeconds / ObsOffSeconds - 1.0)
                      : 0.0);
+    std::fprintf(Out,
+                 "  {\"e15_prov_off_s\": %.6f, \"e15_prov_on_s\": %.6f, "
+                 "\"e15_overhead_pct\": %.2f}\n]\n",
+                 ProvOffSeconds, ProvOnSeconds,
+                 ProvOffSeconds > 0
+                     ? 100.0 * (ProvOnSeconds / ProvOffSeconds - 1.0)
+                     : 0.0);
     std::fclose(Out);
     std::printf("\nwrote BENCH_verify.json (%zu records)\n",
-                Rows.size() + 2);
+                Rows.size() + 3);
   } else {
     std::printf("\ncould not write BENCH_verify.json\n");
   }

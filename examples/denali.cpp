@@ -18,6 +18,13 @@
 //     --no-verify        skip differential verification
 //     --stats            print matcher/SAT statistics per GMA
 //     --dump-cnf DIR     write each probe's CNF in DIMACS format
+//     --explain-out=FILE write per-instruction derivation-chain
+//                        explanations (axiom ids + substitutions) as JSON,
+//                        and print the annotated listing on stdout
+//     --egraph-dot=FILE  write the quiescent e-graph as Graphviz DOT
+//     --egraph-json=FILE write the quiescent e-graph as JSON
+//     --why-unsat        report which constraint families refute the
+//                        budget one below the minimal feasible one
 //     --trace-out=FILE   write a Chrome trace_event JSON of the run
 //                        (load in chrome://tracing or Perfetto)
 //     --jsonl-out=FILE   write the trace events as JSONL
@@ -57,6 +64,7 @@ const char *flagValue(const char *Arg, const char *Name, int &I, int argc,
 int main(int argc, char **argv) {
   const char *Path = nullptr;
   bool ShowNops = false, Verify = true, Stats = false;
+  std::string ExplainOut, EGraphDotOut, EGraphJsonOut;
   driver::Options Opts;
   Opts.Search.MaxCycles = 16;
 
@@ -90,6 +98,20 @@ int main(int argc, char **argv) {
       Stats = true;
     } else if (!std::strcmp(argv[I], "--dump-cnf") && I + 1 < argc) {
       Opts.Search.DumpCnfDir = argv[++I];
+    } else if (const char *V =
+                   flagValue(argv[I], "--explain-out", I, argc, argv)) {
+      ExplainOut = V;
+      Opts.Explain = true;
+    } else if (const char *V =
+                   flagValue(argv[I], "--egraph-dot", I, argc, argv)) {
+      EGraphDotOut = V;
+      Opts.EGraphDump = true;
+    } else if (const char *V =
+                   flagValue(argv[I], "--egraph-json", I, argc, argv)) {
+      EGraphJsonOut = V;
+      Opts.EGraphDump = true;
+    } else if (!std::strcmp(argv[I], "--why-unsat")) {
+      Opts.WhyUnsat = true;
     } else if (argv[I][0] != '-') {
       Path = argv[I];
     } else {
@@ -102,6 +124,8 @@ int main(int argc, char **argv) {
                  "usage: denali [--max-cycles N] [--binary-search] "
                  "[--portfolio] [--threads N] [--incremental] [--show-nops] "
                  "[--no-verify] [--stats] [--dump-cnf DIR] "
+                 "[--explain-out=FILE] [--egraph-dot=FILE] "
+                 "[--egraph-json=FILE] [--why-unsat] "
                  "[--trace-out=FILE] [--jsonl-out=FILE] [--metrics-out=FILE] "
                  "[--log-level=N] file.dnl\n");
     return 2;
@@ -126,7 +150,12 @@ int main(int argc, char **argv) {
     return 1;
   }
   bool AllOk = true;
+  std::string ExplainJson = "{\"gmas\": [\n";
+  std::string EGraphDot, EGraphJson;
+  bool FirstExplained = true;
   for (driver::GmaResult &G : R.Gmas) {
+    EGraphDot += G.EGraphDotText;
+    EGraphJson += G.EGraphJsonText;
     if (!G.ok()) {
       std::fprintf(stderr, "%s: %s: %s\n", Path, G.Gma.Name.c_str(),
                    G.Error.c_str());
@@ -147,7 +176,16 @@ int main(int argc, char **argv) {
                     G.Search.CpuSeconds);
       std::printf("\n");
     }
-    std::printf("%s\n", G.Search.Program.toString(ShowNops).c_str());
+    if (Opts.WhyUnsat && !G.WhyUnsatText.empty())
+      std::printf("; %s\n", G.WhyUnsatText.c_str());
+    if (Opts.Explain) {
+      std::printf("%s\n", G.ExplanationListing.c_str());
+      ExplainJson += FirstExplained ? "" : ",\n";
+      ExplainJson += G.ExplanationJson;
+      FirstExplained = false;
+    } else {
+      std::printf("%s\n", G.Search.Program.toString(ShowNops).c_str());
+    }
     if (Verify) {
       if (auto Err = Opt.verify(G)) {
         std::fprintf(stderr, "%s: %s: verification FAILED: %s\n", Path,
@@ -156,6 +194,23 @@ int main(int argc, char **argv) {
       }
     }
   }
+  ExplainJson += "\n]}\n";
+  auto writeText = [&](const std::string &File, const std::string &Text,
+                       const char *What) {
+    if (File.empty())
+      return;
+    std::ofstream Out(File);
+    if (!Out) {
+      std::fprintf(stderr, "cannot write %s to '%s'\n", What, File.c_str());
+      AllOk = false;
+      return;
+    }
+    Out << Text;
+    std::fprintf(stderr, "%s written to %s\n", What, File.c_str());
+  };
+  writeText(ExplainOut, ExplainJson, "explanation");
+  writeText(EGraphDotOut, EGraphDot, "e-graph DOT");
+  writeText(EGraphJsonOut, EGraphJson, "e-graph JSON");
   if (Opts.Obs.Enabled) {
     if (!obs::exportConfigured())
       AllOk = false;

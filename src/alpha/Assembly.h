@@ -54,6 +54,10 @@ struct Instruction {
   MemKind Mem = MemKind::None;
   int64_t Disp = 0;
   std::string Comment;
+  /// Index of the universe machine term this instruction launches, or -1
+  /// when unknown (hand-built programs). The explanation layer uses it to
+  /// tie the scheduled instruction back to its e-class and derivation.
+  int32_t SourceTerm = -1;
 };
 
 /// A named program input bound to a virtual register.

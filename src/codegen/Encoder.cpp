@@ -15,6 +15,28 @@ using namespace denali::egraph;
 using denali::sat::Lit;
 using denali::sat::Solver;
 
+const char *denali::codegen::clauseFamilyName(ClauseFamily F) {
+  switch (F) {
+  case ClauseFamily::None:
+    return "none";
+  case ClauseFamily::Definition:
+    return "definition";
+  case ClauseFamily::Operand:
+    return "operand";
+  case ClauseFamily::Exclusivity:
+    return "exclusivity";
+  case ClauseFamily::Deadline:
+    return "deadline";
+  case ClauseFamily::Guard:
+    return "guard";
+  case ClauseFamily::Memory:
+    return "memory";
+  case ClauseFamily::Monotone:
+    return "monotone";
+  }
+  return "unknown";
+}
+
 EncodingStats Encoder::encode(Solver &S, const std::vector<NamedGoal> &Goals,
                               const EncoderOptions &Opts) {
   const unsigned K = Opts.Cycles;
@@ -32,6 +54,13 @@ EncodingStats Encoder::encode(Solver &S, const std::vector<NamedGoal> &Goals,
     uint64_t Now = S.numClauses();
     Into = Now - FamilyMark;
     FamilyMark = Now;
+  };
+  // Refutation attribution: stamp each clause block with its family plus
+  // whatever cycle/unit/term coordinates the block is specific to. A plain
+  // member store per block when enabled, nothing at all when not.
+  auto tag = [&](uint32_t T) {
+    if (Opts.TagClauses)
+      S.setClauseTag(T);
   };
 
   const std::vector<MachineTerm> &Terms = U.terms();
@@ -83,6 +112,7 @@ EncodingStats Encoder::encode(Solver &S, const std::vector<NamedGoal> &Goals,
   for (ClassId Q : U.neededClasses()) {
     for (unsigned C = 0; C < NC; ++C) {
       for (unsigned I = 0; I < K; ++I) {
+        tag(makeClauseTag(ClauseFamily::Definition, I, ~0u, G.find(Q)));
         Lit B = BVar(Q, C, I);
         sat::ClauseLits Definition{~B};
         if (I > 0) {
@@ -123,6 +153,8 @@ EncodingStats Encoder::encode(Solver &S, const std::vector<NamedGoal> &Goals,
       for (alpha::Unit Un : MT.Units) {
         unsigned C = clusterOfUnit(Un, Opts);
         for (unsigned I = 0; I < K; ++I) {
+          tag(makeClauseTag(ClauseFamily::Operand, I, alpha::unitIndex(Un),
+                            static_cast<uint32_t>(T)));
           Lit L = LVar(T, Un, I);
           if (I == 0)
             S.addClause(~L); // No cycle -1 to have computed the operand in.
@@ -138,6 +170,7 @@ EncodingStats Encoder::encode(Solver &S, const std::vector<NamedGoal> &Goals,
   // --- Condition 4: issue exclusivity per (cycle, unit). ------------------
   for (unsigned UIdx = 0; UIdx < alpha::NumUnits; ++UIdx) {
     for (unsigned I = 0; I < K; ++I) {
+      tag(makeClauseTag(ClauseFamily::Exclusivity, I, UIdx));
       sat::ClauseLits Group;
       for (size_t T = 0; T < Terms.size(); ++T) {
         sat::Var V = LDense[lIndex(T, UIdx, I)];
@@ -153,10 +186,13 @@ EncodingStats Encoder::encode(Solver &S, const std::vector<NamedGoal> &Goals,
   // In monotone mode every budget's deadline is gated by its activation
   // literal instead (below), so no unconditional deadline is emitted.
   if (!Opts.Monotone) {
-    for (const NamedGoal &Goal : Goals) {
+    for (size_t GIdx = 0; GIdx < Goals.size(); ++GIdx) {
+      const NamedGoal &Goal = Goals[GIdx];
       ClassId Q = G.find(Goal.Class);
       if (U.isFree(Q))
         continue;
+      tag(makeClauseTag(ClauseFamily::Deadline, ~0u, ~0u,
+                        static_cast<uint32_t>(GIdx)));
       sat::ClauseLits Clause;
       for (unsigned C = 0; C < NC; ++C)
         Clause.push_back(BVar(Q, C, K - 1));
@@ -175,6 +211,8 @@ EncodingStats Encoder::encode(Solver &S, const std::vector<NamedGoal> &Goals,
           continue;
         for (alpha::Unit Un : MT.Units) {
           for (unsigned I = 0; I < K; ++I) {
+            tag(makeClauseTag(ClauseFamily::Guard, I, alpha::unitIndex(Un),
+                              static_cast<uint32_t>(T)));
             Lit L = LVar(T, Un, I);
             if (I == 0) {
               S.addClause(~L);
@@ -198,6 +236,8 @@ EncodingStats Encoder::encode(Solver &S, const std::vector<NamedGoal> &Goals,
     const MachineTerm &MT = Terms[T];
     if (!MT.IsStore)
       continue;
+    tag(makeClauseTag(ClauseFamily::Memory, ~0u, ~0u,
+                      static_cast<uint32_t>(T)));
     sat::ClauseLits All;
     for (alpha::Unit Un : MT.Units)
       for (unsigned I = 0; I < K; ++I)
@@ -209,6 +249,8 @@ EncodingStats Encoder::encode(Solver &S, const std::vector<NamedGoal> &Goals,
   for (size_t TL = 0; TL < Terms.size(); ++TL) {
     if (!Terms[TL].IsLoad)
       continue;
+    tag(makeClauseTag(ClauseFamily::Memory, ~0u, ~0u,
+                      static_cast<uint32_t>(TL)));
     ClassId Mem = Terms[TL].Args[0];
     for (size_t TS = 0; TS < Terms.size(); ++TS) {
       if (!Terms[TS].IsStore || G.find(Terms[TS].Args[0]) != G.find(Mem))
@@ -236,17 +278,25 @@ EncodingStats Encoder::encode(Solver &S, const std::vector<NamedGoal> &Goals,
     ExceedVars.assign(K + 1, -1);
     for (unsigned B = 1; B <= K; ++B)
       ExceedVars[B] = S.newVar();
+    tag(makeClauseTag(ClauseFamily::Monotone));
     for (unsigned B = 1; B < K; ++B)
       S.addClause(Lit::neg(ExceedVars[B + 1]), Lit::pos(ExceedVars[B]));
     for (size_t T = 0; T < Terms.size(); ++T)
       for (alpha::Unit Un : Terms[T].Units)
-        for (unsigned I = 1; I < K; ++I)
+        for (unsigned I = 1; I < K; ++I) {
+          tag(makeClauseTag(ClauseFamily::Monotone, I, alpha::unitIndex(Un),
+                            static_cast<uint32_t>(T)));
           S.addClause(~LVar(T, Un, I), Lit::pos(ExceedVars[I]));
+        }
     for (unsigned B = 1; B <= K; ++B) {
-      for (const NamedGoal &Goal : Goals) {
+      for (size_t GIdx = 0; GIdx < Goals.size(); ++GIdx) {
+        const NamedGoal &Goal = Goals[GIdx];
         ClassId Q = G.find(Goal.Class);
         if (U.isFree(Q))
           continue;
+        // The gated deadline is the budget-B form of the Deadline family.
+        tag(makeClauseTag(ClauseFamily::Deadline, B - 1, ~0u,
+                          static_cast<uint32_t>(GIdx)));
         sat::ClauseLits Clause{Lit::pos(ExceedVars[B])};
         for (unsigned C = 0; C < NC; ++C)
           Clause.push_back(BVar(Q, C, B - 1));
@@ -254,6 +304,7 @@ EncodingStats Encoder::encode(Solver &S, const std::vector<NamedGoal> &Goals,
       }
     }
   }
+  tag(0);
 
   takeFamily(Stats.MonotoneClauses);
 
@@ -370,6 +421,7 @@ alpha::Program Encoder::extract(const Solver &S,
     I.Latency = MT.Latency;
     I.Mem = MT.Desc->Mem;
     I.Disp = MT.Disp;
+    I.SourceTerm = static_cast<int32_t>(L.Term);
     if (MT.IsLdiq) {
       I.Srcs.push_back(alpha::Operand::imm(MT.ConstVal));
     } else {

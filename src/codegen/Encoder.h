@@ -54,7 +54,50 @@ struct EncoderOptions {
   /// assumption the instance is trivially satisfiable (every budget
   /// deadline is gated), so it only makes sense with solve(assumptions).
   bool Monotone = false;
+  /// Refutation attribution: stamp every emitted clause with a ClauseFamily
+  /// tag (Solver::setClauseTag) so an UNSAT core can be folded into a
+  /// bottleneck report. Off by default — only dedicated explain probes pay
+  /// for it.
+  bool TagClauses = false;
 };
+
+/// Families a CNF clause can belong to, for refutation attribution. The
+/// values match the EncodingStats per-family counters.
+enum class ClauseFamily : uint32_t {
+  None = 0,
+  Definition = 1,  ///< Condition 3: B iff-definitions.
+  Operand = 2,     ///< Condition 2: operands before launch.
+  Exclusivity = 3, ///< Condition 4: issue exclusivity.
+  Deadline = 4,    ///< Condition 5: goal deadlines.
+  Guard = 5,       ///< Section 7: guard-before-unsafe.
+  Memory = 6,      ///< Section 7: memory discipline.
+  Monotone = 7,    ///< Budget-ladder activation clauses.
+};
+
+/// Packs a clause tag: family in bits 28-31, cycle+1 in bits 20-27 (0 =
+/// not cycle-specific), unit index+1 in bits 16-19 (0 = not unit-specific),
+/// and a 16-bit family-specific detail (term index, truncated class id, or
+/// goal index). Nonzero whenever the family is.
+inline uint32_t makeClauseTag(ClauseFamily F, unsigned Cycle = ~0u,
+                              unsigned UnitIdx = ~0u, uint32_t Detail = 0) {
+  uint32_t T = static_cast<uint32_t>(F) << 28;
+  if (Cycle != ~0u)
+    T |= ((Cycle + 1) & 0xffu) << 20;
+  if (UnitIdx != ~0u)
+    T |= ((UnitIdx + 1) & 0xfu) << 16;
+  return T | (Detail & 0xffffu);
+}
+inline ClauseFamily tagFamily(uint32_t T) {
+  return static_cast<ClauseFamily>(T >> 28);
+}
+inline bool tagHasCycle(uint32_t T) { return ((T >> 20) & 0xffu) != 0; }
+inline unsigned tagCycle(uint32_t T) { return ((T >> 20) & 0xffu) - 1; }
+inline bool tagHasUnit(uint32_t T) { return ((T >> 16) & 0xfu) != 0; }
+inline unsigned tagUnit(uint32_t T) { return ((T >> 16) & 0xfu) - 1; }
+inline uint32_t tagDetail(uint32_t T) { return T & 0xffffu; }
+
+/// Human-readable family name ("operand", "exclusivity", ...).
+const char *clauseFamilyName(ClauseFamily F);
 
 /// Size statistics of one encoding (reported like the paper's "1639
 /// variables and 4613 clauses").

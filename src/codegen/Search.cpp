@@ -459,6 +459,36 @@ SearchResult searchPortfolio(const egraph::EGraph &G, const alpha::ISA &Isa,
   return Result;
 }
 
+/// The why-unsat explain probe: one dedicated monotone instance at the
+/// budget just below the found minimum, with clause tagging and core
+/// tracking on. Runs after any strategy's ladder, so the report is uniform
+/// and the per-strategy probe evidence stays untouched.
+void runExplainProbe(const egraph::EGraph &G, const alpha::ISA &Isa,
+                     const Universe &U, const std::vector<NamedGoal> &Goals,
+                     const SearchOptions &Opts, SearchResult &Result) {
+  if (!Result.Found || Result.Cycles <= std::max(1u, Opts.MinCycles))
+    return;
+  const unsigned K = Result.Cycles - 1;
+  obs::ObsSpan Span("search.explain_probe");
+  Encoder Enc(G, Isa, U);
+  sat::Solver S;
+  S.enableCoreTracking();
+  if (Opts.ConflictBudget)
+    S.setConflictBudget(Opts.ConflictBudget);
+  EncoderOptions EncOpts = Opts.Encoding;
+  EncOpts.Cycles = K;
+  EncOpts.Monotone = true;
+  EncOpts.TagClauses = true;
+  Enc.encode(S, Goals, EncOpts);
+  if (S.solve({Enc.budgetAssumption(K)}) == SolveResult::Unsat) {
+    Result.WhyUnsatTags = S.coreTags();
+    Result.WhyUnsatCycles = K;
+  }
+  if (Span.active())
+    Span.arg("k", K)
+        .arg("core_tags", static_cast<uint64_t>(Result.WhyUnsatTags.size()));
+}
+
 /// Dispatches on strategy; the wrapper adds the timing summary.
 SearchResult searchBudgetsImpl(const egraph::EGraph &G, const alpha::ISA &Isa,
                                const Universe &U,
@@ -527,6 +557,8 @@ SearchResult denali::codegen::searchBudgets(
   obs::ObsSpan Span("search");
   Timer Wall;
   SearchResult Result = searchBudgetsImpl(G, Isa, U, Goals, Opts, Name);
+  if (Opts.ExplainUnsat)
+    runExplainProbe(G, Isa, U, Goals, Opts, Result);
   Result.WallSeconds = Wall.seconds();
   for (const Probe &P : Result.Probes)
     Result.CpuSeconds +=

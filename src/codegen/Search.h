@@ -58,6 +58,13 @@ struct SearchOptions {
   /// with the cumulative learnt-clause log plus the final assumption
   /// conflict as the derivation.
   bool CertifyRefutations = false;
+  /// After the ladder pins the minimal feasible K with K > MinCycles, run
+  /// one extra probe at K-1 on a fresh solver with clause tagging and core
+  /// tracking enabled, and report which clause families refuted it
+  /// (SearchResult::WhyUnsatTags). Uniform across strategies — the explain
+  /// probe is always a dedicated monotone instance, so the per-strategy
+  /// evidence is untouched.
+  bool ExplainUnsat = false;
   EncoderOptions Encoding; ///< Cycles field is overwritten per probe.
 };
 
@@ -132,6 +139,14 @@ struct SearchResult {
   /// Index into Probes of the probe whose model became Program (-1 when
   /// !Found); Probes[WinningProbe].Worker is the winning thread.
   int WinningProbe = -1;
+  /// With SearchOptions::ExplainUnsat: the attribution core of the K-1
+  /// refutation — sorted distinct clause tags (see makeClauseTag) naming
+  /// the constraint families that make one cycle fewer impossible. Empty
+  /// when no explain probe ran (MinCycles was feasible, or the probe did
+  /// not confirm Unsat).
+  std::vector<uint32_t> WhyUnsatTags;
+  /// The budget the explain probe refuted (Cycles - 1; 0 when none ran).
+  unsigned WhyUnsatCycles = 0;
 };
 
 /// Finds the minimal-cycle program for \p Goals.

@@ -2,6 +2,7 @@
 
 #include "driver/Superoptimizer.h"
 
+#include "explain/Explain.h"
 #include "lang/Surface.h"
 #include "match/Elaborate.h"
 #include "support/StringExtras.h"
@@ -40,6 +41,8 @@ GmaResult Superoptimizer::compileGMA(const gma::GMA &G) {
   Result.Gma = G;
 
   egraph::EGraph Graph(Ctx);
+  if (Opts.Explain)
+    Graph.enableProvenance();
 
   // Goal classes: guard + all new values + annotated miss addresses.
   std::vector<codegen::NamedGoal> Goals;
@@ -112,6 +115,17 @@ GmaResult Superoptimizer::compileGMA(const gma::GMA &G) {
     Roots.push_back(*GuardClass);
   }
 
+  // The graph is quiescent from here on; dump it before the phases that
+  // can fail, so a universe/search failure still leaves the inspectors.
+  if (Opts.EGraphDump) {
+    obs::ObsSpan DSpan("explain.egraph_dump");
+    Result.EGraphDotText = explain::egraphToDot(Graph);
+    Result.EGraphJsonText = explain::egraphToJson(Graph);
+    if (DSpan.active())
+      DSpan.arg("dot_bytes",
+                static_cast<uint64_t>(Result.EGraphDotText.size()));
+  }
+
   // Constraint generation + satisfiability search (Figure 1, right boxes).
   codegen::Universe U;
   std::string Err;
@@ -128,9 +142,22 @@ GmaResult Superoptimizer::compileGMA(const gma::GMA &G) {
   codegen::SearchOptions SOpts = Opts.Search;
   if (GuardClass)
     SOpts.Encoding.GuardClass = *GuardClass;
+  if (Opts.WhyUnsat)
+    SOpts.ExplainUnsat = true;
   Result.Search = codegen::searchBudgets(Graph, Isa, U, Goals, SOpts, G.Name);
   if (!Result.Search.Found)
     Result.Error = Result.Search.Error;
+  if (Opts.WhyUnsat)
+    Result.WhyUnsatText = explain::whyUnsatReport(Result.Search, U, Goals);
+  if (Opts.Explain && Result.Search.Found) {
+    obs::ObsSpan ESpan("explain.program");
+    explain::ProgramExplanation E =
+        explain::explainProgram(Graph, U, Axioms, Result.Search.Program);
+    Result.ExplanationJson = explain::explanationToJson(E);
+    Result.ExplanationListing = explain::explanationToListing(E);
+    if (ESpan.active())
+      ESpan.arg("instructions", static_cast<uint64_t>(E.Instrs.size()));
+  }
   obs::logf(1, "gma %s: %s (%u cycles, %zu probes)", G.Name.c_str(),
             Result.ok() ? "compiled" : "failed", Result.Search.Cycles,
             Result.Search.Probes.size());

@@ -50,6 +50,16 @@ struct Options {
   /// Enforce guard-before-memory-operation ordering when a GMA has a
   /// nontrivial guard (paper, section 7).
   bool EnforceGuard = true;
+  /// Provenance & explanation (src/explain). Explain switches the e-graph
+  /// into provenance mode (proof forest + per-union justifications) and
+  /// attaches a per-instruction derivation-chain explanation of the
+  /// winning schedule to GmaResult (JSON + annotated listing).
+  bool Explain = false;
+  /// Dump the quiescent e-graph (DOT + JSON) into GmaResult.
+  bool EGraphDump = false;
+  /// Run the K-1 explain probe (SearchOptions::ExplainUnsat) and fold its
+  /// clause-family attribution core into GmaResult::WhyUnsatText.
+  bool WhyUnsat = false;
   /// Observability: when Obs.Enabled the constructor installs this as the
   /// process-wide obs configuration (tracing spans, metric counters, and
   /// leveled logging across the whole pipeline). Left untouched — the
@@ -66,6 +76,18 @@ struct GmaResult {
   double MatchSeconds = 0;
   codegen::SearchResult Search;
   std::string Error; ///< Nonempty on failure.
+  /// With Options::Explain: the derivation-chain explanation of the
+  /// winning schedule, as JSON and as an annotated assembly listing.
+  std::string ExplanationJson;
+  std::string ExplanationListing;
+  /// With Options::EGraphDump: the quiescent e-graph, as Graphviz DOT and
+  /// as JSON.
+  std::string EGraphDotText;
+  std::string EGraphJsonText;
+  /// With Options::WhyUnsat: the human-readable bottleneck report of the
+  /// K-1 refutation (empty when no explain probe ran, e.g. when the
+  /// minimal budget was feasible immediately).
+  std::string WhyUnsatText;
 
   bool ok() const { return Error.empty() && Search.Found; }
 };

@@ -145,7 +145,78 @@ void EGraph::mergeInto(ClassId Root, ClassId Gone) {
   GS.Parents.clear();
 }
 
-bool EGraph::mergeClasses(ClassId A, ClassId B) {
+void EGraph::proofLink(ClassId A, ClassId B, const Justification &J) {
+  // Proof-forest nodes are the original (pre-find) class ids; an edge
+  // records which concrete assertion united two trees. Re-root A's tree by
+  // reversing the parent path from A, then hang A under B.
+  if (ProofEdges.size() < ClassStates.size())
+    ProofEdges.resize(ClassStates.size());
+  ClassId Cur = A;
+  ProofEdge Carry; // Edge that pointed *at* Cur before reversal.
+  bool HaveCarry = false;
+  while (true) {
+    ProofEdge Next = ProofEdges[Cur];
+    if (HaveCarry) {
+      // Reverse: Cur's new parent is the previous child; the edge keeps its
+      // justification but flips orientation.
+      ProofEdges[Cur].Parent = Carry.Parent;
+      ProofEdges[Cur].J = Carry.J;
+      ProofEdges[Cur].SelfIsA = !Carry.SelfIsA;
+    }
+    if (Next.Parent == NoProofParent)
+      break;
+    Carry = Next;
+    Carry.Parent = Cur; // From the old parent's view, Cur is the new parent.
+    HaveCarry = true;
+    Cur = Next.Parent;
+  }
+  // A is now the root of its tree; link it under B.
+  ProofEdges[A].Parent = B;
+  ProofEdges[A].J = J;
+  ProofEdges[A].SelfIsA = true;
+}
+
+std::vector<ProofStep> EGraph::explain(ClassId A, ClassId B) const {
+  std::vector<ProofStep> Out;
+  if (!Provenance || A == B || !UF.sameSet(A, B))
+    return Out;
+  if (A >= ProofEdges.size() || B >= ProofEdges.size())
+    return Out;
+  // Ancestor paths to the forest root, then the lowest common ancestor.
+  auto Ancestors = [&](ClassId C) {
+    std::vector<ClassId> Path{C};
+    while (ProofEdges[Path.back()].Parent != NoProofParent)
+      Path.push_back(ProofEdges[Path.back()].Parent);
+    return Path;
+  };
+  std::vector<ClassId> PathA = Ancestors(A);
+  std::vector<ClassId> PathB = Ancestors(B);
+  // Trim the common suffix; the last shared element is the LCA.
+  size_t IA = PathA.size(), IB = PathB.size();
+  while (IA > 0 && IB > 0 && PathA[IA - 1] == PathB[IB - 1]) {
+    --IA;
+    --IB;
+  }
+  // A and B are in the same union-find set, so the forest connects them.
+  assert(IA < PathA.size() && PathA[IA] == PathB[IB] &&
+         "proof forest disconnected for equal classes");
+  ClassId Lca = PathA[IA];
+  (void)Lca;
+  // Steps up from A to the LCA: each edge (Child -> Parent).
+  for (size_t I = 0; I < IA; ++I) {
+    const ProofEdge &E = ProofEdges[PathA[I]];
+    Out.push_back(ProofStep{PathA[I], E.Parent, E.J, E.SelfIsA});
+  }
+  // Steps down from the LCA to B: reverse of B's upward path.
+  for (size_t I = IB; I-- > 0;) {
+    const ProofEdge &E = ProofEdges[PathB[I]];
+    Out.push_back(ProofStep{E.Parent, PathB[I], E.J, !E.SelfIsA});
+  }
+  return Out;
+}
+
+bool EGraph::mergeClasses(ClassId A, ClassId B, const Justification &J) {
+  ClassId OrigA = A, OrigB = B;
   A = UF.find(A);
   B = UF.find(B);
   if (A == B)
@@ -154,6 +225,8 @@ bool EGraph::mergeClasses(ClassId A, ClassId B) {
     conflict("merge of classes constrained distinct");
     return false;
   }
+  if (Provenance)
+    proofLink(OrigA, OrigB, J);
   ClassId Root = UF.unite(A, B);
   ClassId Gone = Root == A ? B : A;
   mergeInto(Root, Gone);
@@ -163,7 +236,11 @@ bool EGraph::mergeClasses(ClassId A, ClassId B) {
 }
 
 bool EGraph::assertEqual(ClassId A, ClassId B) {
-  bool Changed = mergeClasses(A, B);
+  return assertEqual(A, B, Justification());
+}
+
+bool EGraph::assertEqual(ClassId A, ClassId B, const Justification &J) {
+  bool Changed = mergeClasses(A, B, J);
   if (Changed && !InRebuild)
     rebuild();
   return Changed;
@@ -275,7 +352,8 @@ void EGraph::repair(ClassId C) {
     auto It = Hashcons.find(NewKey);
     if (It != Hashcons.end() && It->second != NId) {
       // Congruent twin: merge classes, retire this node.
-      mergeClasses(classOf(NId), classOf(It->second));
+      mergeClasses(classOf(NId), classOf(It->second),
+                   Justification::congruence(It->second, NId));
       N.Alive = false;
       --LiveNodeCount;
     } else {
@@ -320,7 +398,8 @@ void EGraph::processFoldQueue() {
       continue;
     uint64_t Val = ir::evalBuiltinInt(B, Args);
     ClassId ConstClass = addConst(Val);
-    mergeClasses(classOf(NId), ConstClass);
+    mergeClasses(classOf(NId), ConstClass,
+                 Justification::constantFold(NId));
   }
 }
 
@@ -338,7 +417,7 @@ bool EGraph::literalUntenable(const Literal &L) const {
 
 void EGraph::assertLiteral(const Literal &L) {
   if (L.TheKind == Literal::Kind::Eq)
-    mergeClasses(L.A, L.B);
+    mergeClasses(L.A, L.B, Justification::clauseUnit());
   else
     assertDistinct(L.A, L.B);
 }

@@ -50,6 +50,66 @@ struct ENode {
   bool Alive = true; ///< False once deduplicated against a congruent twin.
 };
 
+/// Why two classes were merged — one edge of the proof forest. The matcher
+/// stamps axiom instances (rule id, firing round, substitution slice into
+/// the graph's substitution arena); the graph itself stamps congruence
+/// merges, constant folds, and clause unit propagations.
+struct Justification {
+  enum class Kind : uint8_t {
+    External,     ///< assertEqual without an explicit reason (\assume, tests).
+    Axiom,        ///< Matcher-instantiated axiom equality.
+    Congruence,   ///< Two nodes became congruent twins during repair().
+    ConstantFold, ///< A node's arguments all folded to constants.
+    ClauseUnit,   ///< A recorded clause reduced to one equality literal.
+  };
+  Kind TheKind = Kind::External;
+  uint32_t RuleId = ~0u;  ///< Axiom index (Kind::Axiom).
+  uint32_t Round = 0;     ///< Matcher round the instance fired in.
+  ENodeId NodeA = ~0u;    ///< Congruence: the surviving node; fold: the node.
+  ENodeId NodeB = ~0u;    ///< Congruence: the retired twin.
+  uint32_t SubstBegin = 0; ///< Slice into EGraph::substArena() (Axiom).
+  uint32_t SubstLen = 0;
+
+  static Justification axiom(uint32_t RuleId, uint32_t Round,
+                             uint32_t SubstBegin, uint32_t SubstLen) {
+    Justification J;
+    J.TheKind = Kind::Axiom;
+    J.RuleId = RuleId;
+    J.Round = Round;
+    J.SubstBegin = SubstBegin;
+    J.SubstLen = SubstLen;
+    return J;
+  }
+  static Justification congruence(ENodeId A, ENodeId B) {
+    Justification J;
+    J.TheKind = Kind::Congruence;
+    J.NodeA = A;
+    J.NodeB = B;
+    return J;
+  }
+  static Justification constantFold(ENodeId N) {
+    Justification J;
+    J.TheKind = Kind::ConstantFold;
+    J.NodeA = N;
+    return J;
+  }
+  static Justification clauseUnit() {
+    Justification J;
+    J.TheKind = Kind::ClauseUnit;
+    return J;
+  }
+};
+
+/// One step of a derivation chain: the justification \p J asserted
+/// From == To (Forward) or To == From (!Forward). Consecutive steps share
+/// endpoints, so a chain From=A ... To=B is a proof that A and B are equal.
+struct ProofStep {
+  ClassId From = 0;
+  ClassId To = 0;
+  Justification J;
+  bool Forward = true;
+};
+
 /// A literal of a recorded clause.
 struct Literal {
   enum class Kind { Eq, Ne };
@@ -85,6 +145,10 @@ public:
   /// Asserts A = B and restores congruence closure. \returns true if the
   /// graph changed.
   bool assertEqual(ClassId A, ClassId B);
+
+  /// assertEqual with an explicit provenance justification (recorded only
+  /// when provenance is enabled; see enableProvenance).
+  bool assertEqual(ClassId A, ClassId B, const Justification &J);
 
   /// Asserts A != B (classes become uncombinable). \returns true if the
   /// graph changed. Sets the inconsistent flag if A and B are already equal.
@@ -150,6 +214,33 @@ public:
   /// addition; the matcher uses it to detect quiescence.
   uint64_t version() const { return Version; }
 
+  //===--------------------------------------------------------------------===
+  // Provenance (union-find proof forest)
+  //===--------------------------------------------------------------------===
+
+  /// Switches on per-merge justification recording. Call before any merge
+  /// (typically right after construction); the off path costs nothing —
+  /// not even the proof-forest storage is grown.
+  void enableProvenance() { Provenance = true; }
+  bool provenanceEnabled() const { return Provenance; }
+
+  /// Copies a substitution (variable -> canonical class bindings) into the
+  /// graph's arena; \returns the slice start for Justification::SubstBegin.
+  uint32_t internSubst(const std::vector<ClassId> &Bindings) {
+    uint32_t Begin = static_cast<uint32_t>(SubstArena.size());
+    SubstArena.insert(SubstArena.end(), Bindings.begin(), Bindings.end());
+    return Begin;
+  }
+  const std::vector<ClassId> &substArena() const { return SubstArena; }
+
+  /// The derivation chain between two equal classes: a sequence of proof
+  /// steps whose endpoints chain from find-equivalent \p A to \p B, each
+  /// carrying the justification of one recorded merge. Empty when A and B
+  /// are the same proof node (or provenance is off / they are not equal).
+  /// The proof forest is kept separate from the query union-find and is
+  /// never path-compressed, so chains replay actual assertion history.
+  std::vector<ProofStep> explain(ClassId A, ClassId B) const;
+
   /// Renders one node (with class annotations) for debugging.
   std::string nodeToString(ENodeId N) const;
 
@@ -214,11 +305,29 @@ private:
   uint64_t Version = 0;
   bool InRebuild = false;
 
+  // Proof forest (provenance): per class id, the parent edge and its
+  // justification. Parent pointers are reversed on union (re-rooting), never
+  // compressed — explain() walks real assertion history. Grown lazily, only
+  // when Provenance is on.
+  bool Provenance = false;
+  static constexpr ClassId NoProofParent = ~0u;
+  struct ProofEdge {
+    ClassId Parent = NoProofParent;
+    Justification J;
+    bool SelfIsA = true; ///< The child endpoint was the 'A' side of J.
+  };
+  std::vector<ProofEdge> ProofEdges;
+  std::vector<ClassId> SubstArena;
+
+  /// Adds the proof-forest edge for a recorded merge of (pre-find) A and B.
+  void proofLink(ClassId A, ClassId B, const Justification &J);
+
   Key canonicalKey(const ENode &N) const;
   ENodeId insertNode(ir::OpId Op, std::vector<ClassId> Children,
                      uint64_t ConstVal, bool &WasNew);
   void mergeInto(ClassId Root, ClassId Gone);
-  bool mergeClasses(ClassId A, ClassId B);
+  bool mergeClasses(ClassId A, ClassId B,
+                    const Justification &J = Justification());
   void repair(ClassId C);
   void rebuild();
   void processClauses();

@@ -122,16 +122,23 @@ ClassId Matcher::instantiate(EGraph &G, const Axiom &A, PatternId PId,
   DENALI_UNREACHABLE("bad pattern kind");
 }
 
-bool Matcher::assertInstance(EGraph &G, const Axiom &A,
+bool Matcher::assertInstance(EGraph &G, const Axiom &A, uint32_t AxiomIdx,
+                             unsigned Round,
                              const std::vector<ClassId> &Bindings) {
   uint64_t Before = G.version();
   if (A.Body.size() == 1) {
     const AxiomLiteral &L = A.Body[0];
     ClassId Lhs = instantiate(G, A, L.Lhs, Bindings);
     ClassId Rhs = instantiate(G, A, L.Rhs, Bindings);
-    if (L.IsEq)
-      G.assertEqual(Lhs, Rhs);
-    else
+    if (L.IsEq) {
+      if (G.provenanceEnabled())
+        G.assertEqual(Lhs, Rhs,
+                      Justification::axiom(AxiomIdx, Round,
+                                           G.internSubst(Bindings),
+                                           Bindings.size()));
+      else
+        G.assertEqual(Lhs, Rhs);
+    } else
       G.assertDistinct(Lhs, Rhs);
     return G.version() != Before;
   }
@@ -214,7 +221,8 @@ MatchStats Matcher::saturate(EGraph &G, const MatchLimits &Limits) {
       if (G.isInconsistent())
         break;
       Done.insert(DoneKey{P.AxiomIdx, P.Bindings});
-      if (assertInstance(G, Axioms[P.AxiomIdx], P.Bindings))
+      if (assertInstance(G, Axioms[P.AxiomIdx], P.AxiomIdx, Stats.Rounds,
+                         P.Bindings))
         ++Stats.InstancesAsserted;
     }
 

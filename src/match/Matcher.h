@@ -88,8 +88,11 @@ private:
   egraph::ClassId instantiate(egraph::EGraph &G, const Axiom &A, PatternId P,
                               const std::vector<egraph::ClassId> &Bindings);
 
-  /// Asserts one axiom instance. \returns true if anything changed.
-  bool assertInstance(egraph::EGraph &G, const Axiom &A,
+  /// Asserts one axiom instance. \p AxiomIdx and \p Round feed the
+  /// provenance justification when the graph records proofs. \returns true
+  /// if anything changed.
+  bool assertInstance(egraph::EGraph &G, const Axiom &A, uint32_t AxiomIdx,
+                      unsigned Round,
                       const std::vector<egraph::ClassId> &Bindings);
 };
 

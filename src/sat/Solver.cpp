@@ -45,10 +45,90 @@ Solver::CRef Solver::allocClause(const ClauseLits &Lits, bool Learnt) {
   CRef C = static_cast<CRef>(Arena.size());
   Arena.push_back(static_cast<uint32_t>(Lits.size()) |
                   (Learnt ? LearntBit : 0));
-  Arena.push_back(0); // activity
+  // Word [1] is the activity for learnt clauses; problem clauses never use
+  // it (claBumpActivity early-returns for them), so it carries the
+  // attribution tag instead.
+  Arena.push_back(Learnt ? 0 : CurrentTag);
   for (Lit L : Lits)
     Arena.push_back(static_cast<uint32_t>(L.index()));
   return C;
+}
+
+void Solver::noteClauseTags(CRef C, std::vector<uint32_t> &Out) const {
+  if (clauseLearnt(C)) {
+    auto It = LearntTags.find(C);
+    if (It != LearntTags.end())
+      Out.insert(Out.end(), It->second.begin(), It->second.end());
+    return;
+  }
+  if (uint32_t T = Arena[C + 1])
+    Out.push_back(T);
+}
+
+void Solver::noteUnitTags(Var V, std::vector<uint32_t> &Out) const {
+  auto It = UnitTags.find(V);
+  if (It != UnitTags.end())
+    Out.insert(Out.end(), It->second.begin(), It->second.end());
+}
+
+void Solver::finalizeCore() {
+  std::sort(CoreOut.begin(), CoreOut.end());
+  CoreOut.erase(std::unique(CoreOut.begin(), CoreOut.end()), CoreOut.end());
+}
+
+void Solver::level0CoreBfs(std::vector<Var> &Queue) {
+  // BFS over a level-0 implication cone, unioning the tags of every clause
+  // it rests on (unit facts look up UnitTags). Queue vars are pre-seen.
+  while (!Queue.empty()) {
+    Var V = Queue.back();
+    Queue.pop_back();
+    if (Reason[V] != InvalidCRef) {
+      CRef C = Reason[V];
+      noteClauseTags(C, CoreOut);
+      const Lit *Lits = clauseLits(C);
+      for (uint32_t I = 0; I < clauseSize(C); ++I) {
+        Var W = Lits[I].var();
+        if (!SeenFlags[W]) {
+          SeenFlags[W] = 1;
+          SeenToClear.push_back(W);
+          Queue.push_back(W);
+        }
+      }
+    } else {
+      noteUnitTags(V, CoreOut);
+    }
+  }
+  for (Var V : SeenToClear)
+    SeenFlags[V] = 0;
+  SeenToClear.clear();
+  finalizeCore();
+}
+
+void Solver::collectLevel0Core(CRef Confl) {
+  std::vector<Var> Queue;
+  noteClauseTags(Confl, CoreOut);
+  const Lit *Lits = clauseLits(Confl);
+  for (uint32_t I = 0; I < clauseSize(Confl); ++I) {
+    Var V = Lits[I].var();
+    if (!SeenFlags[V]) {
+      SeenFlags[V] = 1;
+      SeenToClear.push_back(V);
+      Queue.push_back(V);
+    }
+  }
+  level0CoreBfs(Queue);
+}
+
+void Solver::collectLevel0VarCore(Var Start) {
+  // Attribution core of a single literal forced at level 0 (an assumption
+  // the formula refutes without any search).
+  std::vector<Var> Queue;
+  if (!SeenFlags[Start]) {
+    SeenFlags[Start] = 1;
+    SeenToClear.push_back(Start);
+    Queue.push_back(Start);
+  }
+  level0CoreBfs(Queue);
 }
 
 void Solver::attachClause(CRef C) {
@@ -94,12 +174,19 @@ bool Solver::addClause(const ClauseLits &Input) {
   }
   ++ProblemClauses;
   if (Out.empty()) {
+    if (CoreTracking && CurrentTag)
+      CoreOut.push_back(CurrentTag);
     Unsatisfiable = true;
+    finalizeCore();
     return false;
   }
   if (Out.size() == 1) {
+    if (CoreTracking && CurrentTag)
+      UnitTags[Out[0].var()] = {CurrentTag};
     enqueue(Out[0], InvalidCRef);
-    if (propagate() != InvalidCRef) {
+    if (CRef Confl = propagate(); Confl != InvalidCRef) {
+      if (CoreTracking)
+        collectLevel0Core(Confl);
       Unsatisfiable = true;
       return false;
     }
@@ -280,18 +367,27 @@ void Solver::analyze(CRef Confl, ClauseLits &Learnt, int &BacktrackLevel) {
   Lit P;
   size_t TrailIdx = Trail.size();
 
+  if (CoreTracking)
+    ResolveTags.clear();
   CRef Cur = Confl;
   do {
     assert(Cur != InvalidCRef && "reached decision without UIP");
     claBumpActivity(Cur);
+    if (CoreTracking)
+      noteClauseTags(Cur, ResolveTags);
     const Lit *Lits = clauseLits(Cur);
     uint32_t Size = clauseSize(Cur);
     // Skip Lits[0] when Cur is a reason clause (it is P itself).
     for (uint32_t J = (P.valid() ? 1 : 0); J < Size; ++J) {
       Lit Q = Lits[J];
       Var V = Q.var();
-      if (SeenFlags[V] || Level[V] == 0)
+      if (SeenFlags[V] || Level[V] == 0) {
+        // A level-0 literal resolves against a unit fact: its tag is part
+        // of this learnt clause's provenance.
+        if (CoreTracking && !SeenFlags[V])
+          noteUnitTags(V, ResolveTags);
         continue;
+      }
       SeenFlags[V] = 1;
       SeenToClear.push_back(V);
       varBumpActivity(V);
@@ -349,6 +445,11 @@ bool Solver::litRedundant(Lit L, uint32_t AbstractLevels) {
     Stack.pop_back();
     CRef R = Reason[V];
     assert(R != InvalidCRef && "redundancy check reached a decision");
+    // Minimization performs extra resolutions; their provenance joins the
+    // learnt clause's (collected even when the check later fails — a
+    // harmless overapproximation for an attribution core).
+    if (CoreTracking)
+      noteClauseTags(R, ResolveTags);
     const Lit *Lits = clauseLits(R);
     uint32_t Size = clauseSize(R);
     for (uint32_t J = 1; J < Size; ++J) {
@@ -404,6 +505,8 @@ void Solver::reduceDB() {
       Learnts[Keep++] = C;
     } else {
       detachClause(C);
+      if (!LearntTags.empty())
+        LearntTags.erase(C);
       WastedArenaWords += 2 + clauseSize(C);
       ++Stats.DeletedClauses;
     }
@@ -451,6 +554,14 @@ void Solver::compactArena() {
   for (std::vector<Watcher> &WList : Watches)
     for (Watcher &W : WList)
       W.Clause = Arena[W.Clause];
+  if (!LearntTags.empty()) {
+    // The side table is keyed by CRef; follow the forwarding pointers.
+    std::unordered_map<CRef, std::vector<uint32_t>> NewTags;
+    NewTags.reserve(LearntTags.size());
+    for (auto &KV : LearntTags)
+      NewTags.emplace(Arena[KV.first], std::move(KV.second));
+    LearntTags = std::move(NewTags);
+  }
   ++Stats.ArenaCollections;
   Stats.ArenaWordsReclaimed += Arena.size() - NewArena.size();
   if (obs::enabled()) {
@@ -487,8 +598,13 @@ void Solver::analyzeFinal(Lit P) {
   // certificate head.
   FinalConflict.clear();
   FinalConflict.push_back(P);
-  if (decisionLevel() == 0)
+  if (decisionLevel() == 0) {
+    // The assumption was refuted by level-0 propagation alone; its
+    // attribution core is the implication cone of the forced literal.
+    if (CoreTracking)
+      collectLevel0VarCore(P.var());
     return;
+  }
   SeenFlags[P.var()] = 1;
   size_t Level0End = static_cast<size_t>(TrailLims[0]);
   for (size_t I = Trail.size(); I > Level0End; --I) {
@@ -499,15 +615,22 @@ void Solver::analyzeFinal(Lit P) {
       assert(Level[V] > 0 && "decision below level 1");
       FinalConflict.push_back(~Trail[I - 1]);
     } else {
+      if (CoreTracking)
+        noteClauseTags(Reason[V], CoreOut);
       const Lit *Lits = clauseLits(Reason[V]);
       uint32_t Size = clauseSize(Reason[V]);
-      for (uint32_t J = 1; J < Size; ++J)
+      for (uint32_t J = 1; J < Size; ++J) {
         if (Level[Lits[J].var()] > 0)
           SeenFlags[Lits[J].var()] = 1;
+        else if (CoreTracking)
+          noteUnitTags(Lits[J].var(), CoreOut);
+      }
     }
     SeenFlags[V] = 0;
   }
   SeenFlags[P.var()] = 0;
+  if (CoreTracking)
+    finalizeCore();
 }
 
 void Solver::captureModel() {
@@ -529,7 +652,10 @@ SolveResult Solver::solve(const std::vector<Lit> &Assumptions) {
     return SolveResult::Unsat;
   }
   assert(decisionLevel() == 0 && "solve() must start at level 0");
-  if (propagate() != InvalidCRef) {
+  CoreOut.clear();
+  if (CRef Confl = propagate(); Confl != InvalidCRef) {
+    if (CoreTracking)
+      collectLevel0Core(Confl);
     Unsatisfiable = true;
     if (LogProof)
       Proof.push_back(ClauseLits{});
@@ -561,6 +687,8 @@ SolveResult Solver::solve(const std::vector<Lit> &Assumptions) {
       ++Stats.Conflicts;
       ++ConflictsThisRestart;
       if (decisionLevel() == 0) {
+        if (CoreTracking)
+          collectLevel0Core(Confl);
         Unsatisfiable = true;
         if (LogProof)
           Proof.push_back(ClauseLits{}); // The empty clause.
@@ -571,11 +699,20 @@ SolveResult Solver::solve(const std::vector<Lit> &Assumptions) {
       analyze(Confl, Learnt, BacktrackLevel);
       if (LogProof)
         Proof.push_back(Learnt);
+      if (CoreTracking) {
+        std::sort(ResolveTags.begin(), ResolveTags.end());
+        ResolveTags.erase(std::unique(ResolveTags.begin(), ResolveTags.end()),
+                          ResolveTags.end());
+      }
       backtrack(BacktrackLevel);
       if (Learnt.size() == 1) {
+        if (CoreTracking && !ResolveTags.empty())
+          UnitTags[Learnt[0].var()] = ResolveTags;
         enqueue(Learnt[0], InvalidCRef);
       } else {
         CRef C = allocClause(Learnt, /*Learnt=*/true);
+        if (CoreTracking && !ResolveTags.empty())
+          LearntTags[C] = ResolveTags;
         Learnts.push_back(C);
         ++Stats.LearntClauses;
         attachClause(C);

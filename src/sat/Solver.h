@@ -29,6 +29,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 namespace denali {
@@ -97,6 +98,27 @@ public:
   /// boundary, so this is at most 1 — the bound PortfolioTests asserts to
   /// keep cancellation responsive.
   uint64_t conflictsAfterInterrupt() const { return PostInterruptConflicts; }
+
+  /// Refutation attribution: while a nonzero tag is set, every problem
+  /// clause added is stamped with it (the tag lives in the header word a
+  /// problem clause never uses for activity, so it survives arena
+  /// compaction for free). Tag 0 means untagged. Level-0 simplification
+  /// can lose tags of unit facts folded away before tracking starts — a
+  /// documented limitation of this cheap scheme.
+  void setClauseTag(uint32_t Tag) { CurrentTag = Tag; }
+
+  /// Turns on clause-core tracking: conflict analysis additionally unions,
+  /// per learnt clause, the tags of every clause resolved to derive it, so
+  /// that an Unsat answer can report which *problem* clause tags are in the
+  /// final implication cone (coreTags()). Off by default — the per-conflict
+  /// set unions are not free, so only dedicated explain probes enable it.
+  void enableCoreTracking() { CoreTracking = true; }
+
+  /// After an Unsat answer with core tracking on: the sorted distinct
+  /// nonzero tags of the problem clauses in the refutation cone. An
+  /// attribution core (every listed clause participated in the refutation),
+  /// not a minimal one.
+  const std::vector<uint32_t> &coreTags() const { return CoreOut; }
 
   /// Enables clausal proof logging: every learnt clause is recorded in
   /// derivation order (a DRAT proof without deletions). After an Unsat
@@ -185,6 +207,14 @@ private:
   static constexpr double ClauseDecay = 0.999;
   uint64_t MaxLearnts = 0;
 
+  // Refutation attribution (explain probes only; see setClauseTag).
+  uint32_t CurrentTag = 0;
+  bool CoreTracking = false;
+  std::vector<uint32_t> CoreOut; ///< Final core, sorted and deduped.
+  std::unordered_map<CRef, std::vector<uint32_t>> LearntTags;
+  std::unordered_map<Var, std::vector<uint32_t>> UnitTags;
+  std::vector<uint32_t> ResolveTags; ///< Scratch for one analyze() pass.
+
   uint64_t ProblemClauses = 0;
   uint64_t ConflictBudget = 0;
   const std::atomic<bool> *Interrupt = nullptr;
@@ -215,6 +245,12 @@ private:
   void detachClause(CRef C);
   void analyze(CRef Confl, ClauseLits &Learnt, int &BacktrackLevel);
   void analyzeFinal(Lit P);
+  void noteClauseTags(CRef C, std::vector<uint32_t> &Out) const;
+  void noteUnitTags(Var V, std::vector<uint32_t> &Out) const;
+  void collectLevel0Core(CRef Confl);
+  void collectLevel0VarCore(Var Start);
+  void level0CoreBfs(std::vector<Var> &Queue);
+  void finalizeCore();
   void captureModel();
   bool litRedundant(Lit L, uint32_t AbstractLevels);
   void backtrack(int ToLevel);

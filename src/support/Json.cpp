@@ -61,6 +61,26 @@ private:
     return true;
   }
 
+  /// Reads the four hex digits of a \uXXXX escape (the "\u" is consumed).
+  bool readHex4(unsigned &Code) {
+    if (Pos + 4 > Text.size())
+      return fail("truncated \\u escape");
+    Code = 0;
+    for (int Hex = 0; Hex < 4; ++Hex) {
+      char H = Text[Pos++];
+      Code <<= 4;
+      if (H >= '0' && H <= '9')
+        Code |= H - '0';
+      else if (H >= 'a' && H <= 'f')
+        Code |= H - 'a' + 10;
+      else if (H >= 'A' && H <= 'F')
+        Code |= H - 'A' + 10;
+      else
+        return fail("bad \\u escape");
+    }
+    return true;
+  }
+
   bool parseString(std::string &Out) {
     if (!consume('"'))
       return fail("expected string");
@@ -85,30 +105,38 @@ private:
       case 'r': Out += '\r'; break;
       case 't': Out += '\t'; break;
       case 'u': {
-        if (Pos + 4 > Text.size())
-          return fail("truncated \\u escape");
         unsigned Code = 0;
-        for (int Hex = 0; Hex < 4; ++Hex) {
-          char H = Text[Pos++];
-          Code <<= 4;
-          if (H >= '0' && H <= '9')
-            Code |= H - '0';
-          else if (H >= 'a' && H <= 'f')
-            Code |= H - 'a' + 10;
-          else if (H >= 'A' && H <= 'F')
-            Code |= H - 'A' + 10;
-          else
-            return fail("bad \\u escape");
+        if (!readHex4(Code))
+          return false;
+        // Surrogate pairs combine into one supplementary code point; a
+        // lone surrogate (either half) is malformed JSON.
+        if (Code >= 0xD800 && Code <= 0xDBFF) {
+          if (Pos + 2 > Text.size() || Text[Pos] != '\\' ||
+              Text[Pos + 1] != 'u')
+            return fail("unpaired high surrogate");
+          Pos += 2;
+          unsigned Low = 0;
+          if (!readHex4(Low))
+            return false;
+          if (Low < 0xDC00 || Low > 0xDFFF)
+            return fail("bad low surrogate");
+          Code = 0x10000 + ((Code - 0xD800) << 10) + (Low - 0xDC00);
+        } else if (Code >= 0xDC00 && Code <= 0xDFFF) {
+          return fail("unpaired low surrogate");
         }
-        // UTF-8 encode the BMP code point (surrogates pass through as-is;
-        // the obs exporters only emit \u for control characters).
+        // UTF-8 encode the code point.
         if (Code < 0x80) {
           Out += static_cast<char>(Code);
         } else if (Code < 0x800) {
           Out += static_cast<char>(0xC0 | (Code >> 6));
           Out += static_cast<char>(0x80 | (Code & 0x3F));
-        } else {
+        } else if (Code < 0x10000) {
           Out += static_cast<char>(0xE0 | (Code >> 12));
+          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          Out += static_cast<char>(0xF0 | (Code >> 18));
+          Out += static_cast<char>(0x80 | ((Code >> 12) & 0x3F));
           Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
           Out += static_cast<char>(0x80 | (Code & 0x3F));
         }

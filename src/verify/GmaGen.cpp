@@ -2,6 +2,7 @@
 
 #include "verify/GmaGen.h"
 
+#include "obs/Obs.h"
 #include "support/StringExtras.h"
 
 using namespace denali;
@@ -125,6 +126,7 @@ ir::TermId GmaGen::storeChain() {
 }
 
 gma::GMA GmaGen::next() {
+  obs::ObsSpan Span("verify.gmagen");
   gma::GMA G;
   G.Name = strFormat("gen%llu_%u", static_cast<unsigned long long>(Seed),
                      Count);
@@ -146,5 +148,12 @@ gma::GMA GmaGen::next() {
   }
   if (percent(Opts.GuardPercent))
     G.Guard = guardExpr();
+  if (obs::enabled()) {
+    obs::Registry::global().counter("verify.gmas_generated").add(1);
+    if (Span.active())
+      Span.arg("name", G.Name.c_str())
+          .arg("targets", static_cast<uint64_t>(G.Targets.size()))
+          .arg("guarded", G.Guard ? "yes" : "no");
+  }
   return G;
 }

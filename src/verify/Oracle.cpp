@@ -2,6 +2,7 @@
 
 #include "verify/Oracle.h"
 
+#include "obs/Obs.h"
 #include "support/StringExtras.h"
 #include "verify/ScheduleValidator.h"
 
@@ -38,7 +39,19 @@ std::string OracleVerdict::toString() const {
 OracleVerdict denali::verify::checkCompiled(driver::Superoptimizer &Opt,
                                             const driver::GmaResult &R,
                                             const OracleOptions &O) {
+  obs::ObsSpan Span("verify.oracle");
   OracleVerdict V;
+  auto record = [&] {
+    if (!obs::enabled())
+      return;
+    auto &Reg = obs::Registry::global();
+    Reg.counter("verify.oracle_checks").add(1);
+    Reg.counter(strFormat("verify.oracle_%s", oracleStatusName(V.Status)))
+        .add(1);
+    if (Span.active())
+      Span.arg("gma", R.Gma.Name.c_str())
+          .arg("status", oracleStatusName(V.Status));
+  };
   if (!R.ok()) {
     // The honest "no K-cycle program exists up to the ceiling" answer is
     // not a bug; a generated GMA may simply need more cycles than the
@@ -47,6 +60,7 @@ OracleVerdict denali::verify::checkCompiled(driver::Superoptimizer &Opt,
     V.Status = Exhausted ? OracleStatus::BudgetExhausted
                          : OracleStatus::CompileError;
     V.Detail = R.Error;
+    record();
     return V;
   }
   V.Cycles = R.Search.Cycles;
@@ -58,6 +72,7 @@ OracleVerdict denali::verify::checkCompiled(driver::Superoptimizer &Opt,
   if (!SR.Ok) {
     V.Status = OracleStatus::ScheduleBad;
     V.Detail = SR.toString();
+    record();
     return V;
   }
 
@@ -67,8 +82,10 @@ OracleVerdict denali::verify::checkCompiled(driver::Superoptimizer &Opt,
     V.Status = Err->rfind("timing:", 0) == 0 ? OracleStatus::TimingBad
                                              : OracleStatus::FunctionalBad;
     V.Detail = *Err;
+    record();
     return V;
   }
+  record();
   return V;
 }
 

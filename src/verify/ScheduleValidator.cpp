@@ -2,6 +2,7 @@
 
 #include "verify/ScheduleValidator.h"
 
+#include "obs/Obs.h"
 #include "support/StringExtras.h"
 
 #include <algorithm>
@@ -60,6 +61,7 @@ std::string ScheduleReport::toString() const {
 ScheduleReport denali::verify::validateSchedule(const alpha::ISA &Isa,
                                                 const alpha::Program &P,
                                                 unsigned BudgetCycles) {
+  obs::ObsSpan Span("verify.schedule");
   ScheduleReport Report;
   auto Violate = [&](ScheduleViolation::Kind K, std::string Msg) {
     Report.Violations.push_back(ScheduleViolation{K, std::move(Msg)});
@@ -181,5 +183,16 @@ ScheduleReport denali::verify::validateSchedule(const alpha::ISA &Isa,
   }
 
   Report.Ok = Report.Violations.empty();
+  if (obs::enabled()) {
+    auto &Reg = obs::Registry::global();
+    Reg.counter("verify.schedules_validated").add(1);
+    if (!Report.Ok)
+      Reg.counter("verify.schedule_violations")
+          .add(Report.Violations.size());
+    if (Span.active())
+      Span.arg("instrs", static_cast<uint64_t>(P.Instrs.size()))
+          .arg("makespan", Report.Makespan)
+          .arg("ok", Report.Ok ? "yes" : "no");
+  }
   return Report;
 }

@@ -12,6 +12,8 @@
 #include "driver/Superoptimizer.h"
 #include "support/Json.h"
 #include "support/ThreadPool.h"
+#include "verify/GmaGen.h"
+#include "verify/Oracle.h"
 
 #include <gtest/gtest.h>
 
@@ -312,6 +314,43 @@ TEST(ObsPipeline, GoldenSpanTree) {
   EXPECT_GT(Reg.counterValue("search.probes"), 0u);
 
   resetObs(false); // Leave the layer off for the remaining test binaries.
+}
+
+/// The verification layer reports through the same obs surface as the
+/// pipeline: GMA generation, oracle checks, and schedule replay must all
+/// leave spans and counters behind.
+TEST(ObsVerify, VerifyLayerSpansAndCounters) {
+  resetObs(true);
+  driver::Superoptimizer Opt;
+  ir::Context &Ctx = Opt.context();
+
+  // One generated GMA (span + counter), then a deterministic oracle pass
+  // over a trivially compilable goal (oracle + schedule replay).
+  verify::GmaGen Gen(Ctx, /*Seed=*/7);
+  gma::GMA G = Gen.next();
+  EXPECT_FALSE(G.Targets.empty());
+  ir::TermId Goal = Ctx.Terms.makeBuiltin(
+      ir::Builtin::Add64, {Ctx.Terms.makeVar("x"), Ctx.Terms.makeConst(5)});
+  driver::GmaResult R = Opt.compileGoals("obsverify", {{"res", Goal}});
+  ASSERT_TRUE(R.ok()) << R.Error;
+  verify::OracleVerdict V = verify::checkCompiled(Opt, R);
+  EXPECT_EQ(V.Status, verify::OracleStatus::Pass) << V.toString();
+
+  std::map<std::string, unsigned> SpanCount;
+  for (const obs::Event &E : obs::collectEvents())
+    if (E.Kind == obs::EventKind::Span)
+      ++SpanCount[E.Name];
+  EXPECT_GE(SpanCount["verify.gmagen"], 1u);
+  EXPECT_GE(SpanCount["verify.oracle"], 1u);
+  EXPECT_GE(SpanCount["verify.schedule"], 1u);
+
+  auto &Reg = obs::Registry::global();
+  EXPECT_GE(Reg.counterValue("verify.gmas_generated"), 1u);
+  EXPECT_GE(Reg.counterValue("verify.oracle_checks"), 1u);
+  EXPECT_GE(Reg.counterValue("verify.oracle_pass"), 1u);
+  EXPECT_GE(Reg.counterValue("verify.schedules_validated"), 1u);
+
+  resetObs(false);
 }
 
 } // namespace

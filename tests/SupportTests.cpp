@@ -1,6 +1,7 @@
 //===- tests/SupportTests.cpp - support library unit tests ---------------===//
 
 #include "support/FunctionRef.h"
+#include "support/Json.h"
 #include "support/StringExtras.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
@@ -74,6 +75,60 @@ TEST(FormatConstant, SmallDecimalLargeHex) {
   EXPECT_EQ(formatConstant(7), "7");
   EXPECT_EQ(formatConstant(1023), "1023");
   EXPECT_EQ(formatConstant(0xffff), "0xffff");
+}
+
+TEST(Json, BmpEscapes) {
+  namespace json = support::json;
+  std::string Err;
+  auto V = json::parse(R"("A\u00E9\u20AC")", &Err);
+  ASSERT_NE(V, nullptr) << Err;
+  // A, é (2-byte UTF-8), € (3-byte UTF-8).
+  EXPECT_EQ(V->stringValue(), "A\xc3\xa9\xe2\x82\xac");
+}
+
+TEST(Json, SurrogatePairCombines) {
+  namespace json = support::json;
+  std::string Err;
+  auto V = json::parse(R"("\uD83D\uDE00")", &Err);
+  ASSERT_NE(V, nullptr) << Err;
+  // U+1F600 as 4-byte UTF-8.
+  EXPECT_EQ(V->stringValue(), "\xf0\x9f\x98\x80");
+  // Pairs at the extremes of the supplementary range: U+10000, U+10FFFF.
+  auto Lo = json::parse(R"("\uD800\uDC00")", &Err);
+  ASSERT_NE(Lo, nullptr) << Err;
+  EXPECT_EQ(Lo->stringValue(), "\xf0\x90\x80\x80");
+  auto Hi = json::parse(R"("\uDBFF\uDFFF")", &Err);
+  ASSERT_NE(Hi, nullptr) << Err;
+  EXPECT_EQ(Hi->stringValue(), "\xf4\x8f\xbf\xbf");
+}
+
+TEST(Json, RejectsLoneSurrogates) {
+  namespace json = support::json;
+  std::string Err;
+  EXPECT_EQ(json::parse(R"("\uD83D")", &Err), nullptr);
+  EXPECT_NE(Err.find("unpaired high surrogate"), std::string::npos) << Err;
+  EXPECT_EQ(json::parse(R"("\uD83Dx")", &Err), nullptr);
+  EXPECT_EQ(json::parse(R"("\uD83D\n")", &Err), nullptr);
+  EXPECT_EQ(json::parse(R"("\uD83D\u0041")", &Err), nullptr);
+  EXPECT_NE(Err.find("bad low surrogate"), std::string::npos) << Err;
+  EXPECT_EQ(json::parse(R"("\uDE00")", &Err), nullptr);
+  EXPECT_NE(Err.find("unpaired low surrogate"), std::string::npos) << Err;
+  EXPECT_EQ(json::parse(R"("\u12")", &Err), nullptr);
+  EXPECT_NE(Err.find("truncated"), std::string::npos) << Err;
+}
+
+TEST(Json, NumberForms) {
+  namespace json = support::json;
+  std::string Err;
+  auto V = json::parse(R"([1e3, -0.25, 2.5e-3, 0, -7])", &Err);
+  ASSERT_NE(V, nullptr) << Err;
+  const auto &A = V->array();
+  ASSERT_EQ(A.size(), 5u);
+  EXPECT_DOUBLE_EQ(A[0].numberValue(), 1000.0);
+  EXPECT_DOUBLE_EQ(A[1].numberValue(), -0.25);
+  EXPECT_DOUBLE_EQ(A[2].numberValue(), 0.0025);
+  EXPECT_DOUBLE_EQ(A[3].numberValue(), 0.0);
+  EXPECT_DOUBLE_EQ(A[4].numberValue(), -7.0);
 }
 
 TEST(Timer, Monotonic) {

@@ -1,0 +1,363 @@
+//===- tools/denali_explain.cpp - Explanation & obs artifact tool ---------===//
+//
+// Post-processing for the pipeline's observability artifacts. Built twice:
+// as `denali_explain` (the full tool) and as `obs_report` (the historical
+// name; same binary, kept for scripts and CI recipes).
+//
+//   denali_explain trace <trace.json> [--top N]
+//     Reads a Chrome trace_event file and prints the top-N span names by
+//     *self* time (span duration minus the duration of spans nested inside
+//     it on the same thread), plus call counts and total time.
+//
+//   denali_explain metrics <metrics.txt> [--require name,name,...]
+//     Parses the plain-text metrics summary; with --require, exits
+//     nonzero unless every named counter is present with a nonzero value.
+//     The perf_smoke CI step uses this to assert the pipeline's core
+//     counters are actually being recorded.
+//
+//   denali_explain explain <explain.json> [--require-chains]
+//     Summarizes a `denali --explain-out` document: per GMA, the
+//     instruction count, how many instructions carry a derivation chain,
+//     and the axioms used (with instance counts). With --require-chains,
+//     exits nonzero unless every instruction either is a constant
+//     materialization, is directly present in the specification, or has a
+//     nonempty derivation chain — the golden-test invariant.
+//
+//   denali_explain egraph <egraph.json>
+//     Summarizes a `denali --egraph-json` dump: classes, nodes, constants,
+//     and the largest classes by member count.
+//
+// Every malformed input — missing, empty, truncated, or schema-less —
+// produces a clear diagnostic and a nonzero exit; the failure-mode tests
+// in tests/CMakeLists.txt pin each one.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+#include "support/StringExtras.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace denali;
+namespace json = denali::support::json;
+
+namespace {
+
+/// Diagnostic prefix: the name this binary was invoked under.
+const char *Prog = "denali_explain";
+
+bool readFile(const char *Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "%s: cannot open '%s'\n", Prog, Path);
+    return false;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  Out = Buf.str();
+  if (Out.empty()) {
+    std::fprintf(stderr,
+                 "%s: '%s' is empty — was the artifact ever written?\n",
+                 Prog, Path);
+    return false;
+  }
+  return true;
+}
+
+/// Reads and parses \p Path, with diagnostics for unreadable, empty, and
+/// truncated/malformed files. \returns null on any failure.
+std::unique_ptr<json::Value> readJson(const char *Path) {
+  std::string Text;
+  if (!readFile(Path, Text))
+    return nullptr;
+  std::string Err;
+  std::unique_ptr<json::Value> Doc = json::parse(Text, &Err);
+  if (!Doc)
+    std::fprintf(stderr,
+                 "%s: %s: invalid or truncated JSON: %s\n", Prog, Path,
+                 Err.c_str());
+  return Doc;
+}
+
+struct SpanRow {
+  uint64_t Count = 0;
+  double TotalUs = 0;
+  double SelfUs = 0;
+};
+
+int traceReport(const char *Path, size_t TopN) {
+  std::unique_ptr<json::Value> Doc = readJson(Path);
+  if (!Doc)
+    return 1;
+  const json::Value *Events = Doc->field("traceEvents");
+  if (!Events || !Events->isArray()) {
+    std::fprintf(stderr, "%s: %s: no traceEvents array\n", Prog, Path);
+    return 1;
+  }
+
+  // Complete ("X") events only, grouped per tid. Self time = duration minus
+  // the duration of child spans, found by sweeping each thread's spans in
+  // start order with an enclosing-span stack.
+  struct Span {
+    std::string Name;
+    double Ts, Dur;
+  };
+  std::map<double, std::vector<Span>> PerTid;
+  size_t Total = 0;
+  for (const json::Value &E : Events->array()) {
+    const json::Value *Ph = E.field("ph");
+    if (!Ph || !Ph->isString() || Ph->stringValue() != "X")
+      continue;
+    const json::Value *Name = E.field("name");
+    const json::Value *Ts = E.field("ts");
+    const json::Value *Dur = E.field("dur");
+    const json::Value *Tid = E.field("tid");
+    if (!Name || !Ts || !Dur)
+      continue;
+    PerTid[Tid ? Tid->numberValue() : 0].push_back(
+        Span{Name->stringValue(), Ts->numberValue(), Dur->numberValue()});
+    ++Total;
+  }
+  if (Total == 0) {
+    std::fprintf(stderr, "%s: %s: contains no complete ('X') spans\n", Prog,
+                 Path);
+    return 1;
+  }
+
+  std::map<std::string, SpanRow> Rows;
+  for (auto &[Tid, Spans] : PerTid) {
+    (void)Tid;
+    std::sort(Spans.begin(), Spans.end(), [](const Span &A, const Span &B) {
+      if (A.Ts != B.Ts)
+        return A.Ts < B.Ts;
+      return A.Dur > B.Dur; // Parents (longer) first at equal start.
+    });
+    std::vector<size_t> Stack; // Indices of enclosing spans.
+    for (size_t I = 0; I < Spans.size(); ++I) {
+      const Span &S = Spans[I];
+      while (!Stack.empty() &&
+             Spans[Stack.back()].Ts + Spans[Stack.back()].Dur <= S.Ts)
+        Stack.pop_back();
+      SpanRow &R = Rows[S.Name];
+      R.Count += 1;
+      R.TotalUs += S.Dur;
+      R.SelfUs += S.Dur;
+      if (!Stack.empty())
+        Rows[Spans[Stack.back()].Name].SelfUs -= S.Dur;
+      Stack.push_back(I);
+    }
+  }
+
+  std::vector<std::pair<std::string, SpanRow>> Sorted(Rows.begin(),
+                                                      Rows.end());
+  std::sort(Sorted.begin(), Sorted.end(), [](const auto &A, const auto &B) {
+    return A.second.SelfUs > B.second.SelfUs;
+  });
+  std::printf("%zu spans across %zu threads; top %zu by self time:\n", Total,
+              PerTid.size(), std::min(TopN, Sorted.size()));
+  std::printf("%-24s %10s %14s %14s\n", "span", "count", "self(us)",
+              "total(us)");
+  for (size_t I = 0; I < Sorted.size() && I < TopN; ++I)
+    std::printf("%-24s %10llu %14.1f %14.1f\n", Sorted[I].first.c_str(),
+                static_cast<unsigned long long>(Sorted[I].second.Count),
+                Sorted[I].second.SelfUs, Sorted[I].second.TotalUs);
+  return 0;
+}
+
+int metricsReport(const char *Path, const std::string &Require) {
+  std::string Text;
+  if (!readFile(Path, Text))
+    return 1;
+  std::map<std::string, unsigned long long> Counters;
+  size_t Gauges = 0, Hists = 0;
+  std::istringstream In(Text);
+  std::string Line;
+  unsigned LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    std::istringstream Fields(Line);
+    std::string Kind, Name;
+    if (!(Fields >> Kind >> Name)) {
+      std::fprintf(stderr, "%s: %s:%u: malformed line\n", Prog, Path,
+                   LineNo);
+      return 1;
+    }
+    if (Kind == "counter") {
+      unsigned long long V = 0;
+      if (!(Fields >> V)) {
+        std::fprintf(stderr, "%s: %s:%u: counter without value\n", Prog,
+                     Path, LineNo);
+        return 1;
+      }
+      Counters[Name] = V;
+    } else if (Kind == "gauge") {
+      ++Gauges;
+    } else if (Kind == "hist") {
+      ++Hists;
+    } else {
+      std::fprintf(stderr, "%s: %s:%u: unknown metric kind '%s'\n", Prog,
+                   Path, LineNo, Kind.c_str());
+      return 1;
+    }
+  }
+  if (Counters.empty() && Gauges == 0 && Hists == 0) {
+    std::fprintf(stderr,
+                 "%s: %s: no metrics found — was the obs layer enabled?\n",
+                 Prog, Path);
+    return 1;
+  }
+  std::printf("%zu counters, %zu gauges, %zu histograms\n", Counters.size(),
+              Gauges, Hists);
+  bool Ok = true;
+  for (const std::string &Name : splitString(Require, ",")) {
+    auto It = Counters.find(Name);
+    if (It == Counters.end() || It->second == 0) {
+      std::fprintf(stderr, "%s: required counter '%s' %s\n", Prog,
+                   Name.c_str(),
+                   It == Counters.end() ? "missing" : "is zero");
+      Ok = false;
+    } else {
+      std::printf("require %s = %llu ok\n", Name.c_str(), It->second);
+    }
+  }
+  return Ok ? 0 : 1;
+}
+
+int explainReport(const char *Path, bool RequireChains) {
+  std::unique_ptr<json::Value> Doc = readJson(Path);
+  if (!Doc)
+    return 1;
+  const json::Value *Gmas = Doc->field("gmas");
+  if (!Gmas || !Gmas->isArray() || Gmas->array().empty()) {
+    std::fprintf(stderr,
+                 "%s: %s: no gmas array (not an --explain-out document?)\n",
+                 Prog, Path);
+    return 1;
+  }
+  bool Ok = true;
+  for (const json::Value &G : Gmas->array()) {
+    const json::Value *Name = G.field("program");
+    const json::Value *Instrs = G.field("instructions");
+    if (!Name || !Instrs || !Instrs->isArray()) {
+      std::fprintf(stderr, "%s: %s: gma without program/instructions\n",
+                   Prog, Path);
+      return 1;
+    }
+    size_t Chained = 0, Direct = 0, Ldiq = 0, Bare = 0;
+    std::map<std::string, size_t> AxiomUses;
+    for (const json::Value &I : Instrs->array()) {
+      const json::Value *Chain = I.field("chain");
+      const json::Value *IsLdiq = I.field("ldiq");
+      const json::Value *InSpec = I.field("directly_in_spec");
+      size_t Steps = Chain && Chain->isArray() ? Chain->array().size() : 0;
+      if (Steps) {
+        ++Chained;
+        for (const json::Value &S : Chain->array())
+          if (const json::Value *Ax = S.field("axiom"))
+            ++AxiomUses[Ax->stringValue()];
+      } else if (IsLdiq && IsLdiq->isBool() && IsLdiq->boolValue()) {
+        ++Ldiq;
+      } else if (InSpec && InSpec->isBool() && InSpec->boolValue()) {
+        ++Direct;
+      } else {
+        ++Bare;
+        if (RequireChains) {
+          const json::Value *Mn = I.field("mnemonic");
+          std::fprintf(stderr,
+                       "%s: %s: %s: instruction '%s' has no derivation "
+                       "chain\n",
+                       Prog, Path, Name->stringValue().c_str(),
+                       Mn ? Mn->stringValue().c_str() : "?");
+          Ok = false;
+        }
+      }
+    }
+    std::printf("%s: %zu instruction(s): %zu derived, %zu direct, "
+                "%zu ldiq, %zu unexplained\n",
+                Name->stringValue().c_str(), Instrs->array().size(), Chained,
+                Direct, Ldiq, Bare);
+    for (const auto &[Ax, N] : AxiomUses)
+      std::printf("  axiom %-24s x%zu\n", Ax.c_str(), N);
+  }
+  return Ok ? 0 : 1;
+}
+
+int egraphReport(const char *Path) {
+  std::unique_ptr<json::Value> Doc = readJson(Path);
+  if (!Doc)
+    return 1;
+  const json::Value *Dump = Doc->field("dump");
+  if (!Dump || !Dump->isArray()) {
+    std::fprintf(stderr,
+                 "%s: %s: no dump array (not an --egraph-json document?)\n",
+                 Prog, Path);
+    return 1;
+  }
+  size_t Nodes = 0, Constants = 0;
+  std::vector<std::pair<size_t, double>> Sizes; // (members, class id)
+  for (const json::Value &C : Dump->array()) {
+    const json::Value *Members = C.field("nodes");
+    size_t N = Members && Members->isArray() ? Members->array().size() : 0;
+    Nodes += N;
+    if (C.field("constant"))
+      ++Constants;
+    const json::Value *Id = C.field("class");
+    Sizes.push_back({N, Id ? Id->numberValue() : -1});
+  }
+  std::sort(Sizes.rbegin(), Sizes.rend());
+  std::printf("%zu classes, %zu nodes, %zu constant classes\n",
+              Dump->array().size(), Nodes, Constants);
+  for (size_t I = 0; I < Sizes.size() && I < 5; ++I)
+    std::printf("  c%.0f: %zu node(s)\n", Sizes[I].second, Sizes[I].first);
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc > 0 && argv[0]) {
+    const char *Slash = std::strrchr(argv[0], '/');
+    Prog = Slash ? Slash + 1 : argv[0];
+  }
+  const char *Mode = argc > 1 ? argv[1] : nullptr;
+  const char *Path = argc > 2 ? argv[2] : nullptr;
+  size_t TopN = 10;
+  std::string Require;
+  bool RequireChains = false;
+  for (int I = 3; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--top") && I + 1 < argc)
+      TopN = static_cast<size_t>(std::atoll(argv[++I]));
+    else if (!std::strcmp(argv[I], "--require") && I + 1 < argc)
+      Require = argv[++I];
+    else if (!std::strcmp(argv[I], "--require-chains"))
+      RequireChains = true;
+    else {
+      std::fprintf(stderr, "%s: unknown option '%s'\n", Prog, argv[I]);
+      return 2;
+    }
+  }
+  if (Mode && Path && !std::strcmp(Mode, "trace"))
+    return traceReport(Path, TopN);
+  if (Mode && Path && !std::strcmp(Mode, "metrics"))
+    return metricsReport(Path, Require);
+  if (Mode && Path && !std::strcmp(Mode, "explain"))
+    return explainReport(Path, RequireChains);
+  if (Mode && Path && !std::strcmp(Mode, "egraph"))
+    return egraphReport(Path);
+  std::fprintf(stderr,
+               "usage: %s trace <trace.json> [--top N]\n"
+               "       %s metrics <metrics.txt> [--require name,name,...]\n"
+               "       %s explain <explain.json> [--require-chains]\n"
+               "       %s egraph <egraph.json>\n",
+               Prog, Prog, Prog, Prog);
+  return 2;
+}
