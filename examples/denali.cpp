@@ -14,6 +14,17 @@
 //                        (monotone encoding + assumption per budget);
 //                        composes with --binary-search, alone it runs
 //                        the linear ladder incrementally
+//     --match-budget N   per-axiom, per-round raw-match budget; an axiom
+//                        that overflows sits out a round and returns with
+//                        double the budget (0 = unlimited, the default)
+//     --match-phases     phase the rule set: expansive axioms wait until
+//                        the cheap simplification axioms quiesce
+//     --match-threads N  fan the per-round match loop out over N worker
+//                        threads (default 1 = sequential; results are
+//                        identical for any N)
+//     --match-eager-rebuild
+//                        restore per-assert congruence repair instead of
+//                        one batched rebuild per saturation round
 //     --show-nops        print nops in unfilled issue slots (Figure 4 style)
 //     --no-verify        skip differential verification
 //     --stats            print matcher/SAT statistics per GMA
@@ -90,6 +101,17 @@ int main(int argc, char **argv) {
       Opts.Search.Threads = static_cast<unsigned>(std::atoi(argv[++I]));
     } else if (!std::strcmp(argv[I], "--incremental")) {
       Opts.Search.Incremental = true;
+    } else if (const char *V =
+                   flagValue(argv[I], "--match-budget", I, argc, argv)) {
+      Opts.Matching.MatchBudget =
+          static_cast<uint64_t>(std::strtoull(V, nullptr, 10));
+    } else if (!std::strcmp(argv[I], "--match-phases")) {
+      Opts.Matching.Phased = true;
+    } else if (const char *V =
+                   flagValue(argv[I], "--match-threads", I, argc, argv)) {
+      Opts.Matching.Threads = static_cast<unsigned>(std::atoi(V));
+    } else if (!std::strcmp(argv[I], "--match-eager-rebuild")) {
+      Opts.Matching.EagerRebuild = true;
     } else if (!std::strcmp(argv[I], "--show-nops")) {
       ShowNops = true;
     } else if (!std::strcmp(argv[I], "--no-verify")) {
@@ -122,7 +144,9 @@ int main(int argc, char **argv) {
   if (!Path) {
     std::fprintf(stderr,
                  "usage: denali [--max-cycles N] [--binary-search] "
-                 "[--portfolio] [--threads N] [--incremental] [--show-nops] "
+                 "[--portfolio] [--threads N] [--incremental] "
+                 "[--match-budget N] [--match-phases] [--match-threads N] "
+                 "[--match-eager-rebuild] [--show-nops] "
                  "[--no-verify] [--stats] [--dump-cnf DIR] "
                  "[--explain-out=FILE] [--egraph-dot=FILE] "
                  "[--egraph-json=FILE] [--why-unsat] "

@@ -62,7 +62,7 @@ ClassId EGraph::addNode(ir::OpId Op, const std::vector<ClassId> &Children) {
   bool WasNew = false;
   ENodeId N = insertNode(Op, Children, 0, WasNew);
   ClassId C = classOf(N);
-  if (WasNew && !InRebuild)
+  if (WasNew && !InRebuild && Mode == RebuildMode::Eager)
     rebuild();
   return UF.find(C);
 }
@@ -232,6 +232,11 @@ bool EGraph::mergeClasses(ClassId A, ClassId B, const Justification &J) {
   mergeInto(Root, Gone);
   Worklist.push_back(Root);
   ++Version;
+  ++Stats.Merges;
+  if (J.TheKind == Justification::Kind::Congruence)
+    ++Stats.CongruenceMerges;
+  else if (J.TheKind == Justification::Kind::ConstantFold)
+    ++Stats.ConstantFolds;
   return true;
 }
 
@@ -241,7 +246,7 @@ bool EGraph::assertEqual(ClassId A, ClassId B) {
 
 bool EGraph::assertEqual(ClassId A, ClassId B, const Justification &J) {
   bool Changed = mergeClasses(A, B, J);
-  if (Changed && !InRebuild)
+  if (Changed && !InRebuild && Mode == RebuildMode::Eager)
     rebuild();
   return Changed;
 }
@@ -258,14 +263,23 @@ bool EGraph::assertDistinct(ClassId A, ClassId B) {
   ClassStates[A].DistinctFrom.push_back(B);
   ClassStates[B].DistinctFrom.push_back(A);
   ++Version;
-  if (!InRebuild)
+  if (!InRebuild && Mode == RebuildMode::Eager)
     rebuild(); // Distinctness can make clause literals untenable.
   return true;
 }
 
 void EGraph::addClause(std::vector<Literal> Lits) {
   Clauses.push_back(Clause{std::move(Lits), false});
-  if (!InRebuild)
+  if (!InRebuild && Mode == RebuildMode::Eager)
+    rebuild();
+}
+
+void EGraph::setRebuildMode(RebuildMode M) {
+  if (Mode == M)
+    return;
+  Mode = M;
+  // Eager promises a closed graph after every mutation; honor it now.
+  if (Mode == RebuildMode::Eager && !InRebuild)
     rebuild();
 }
 
@@ -325,6 +339,7 @@ size_t EGraph::numClasses() const {
 }
 
 void EGraph::repair(ClassId C) {
+  ++Stats.Repairs;
   // Take ownership of the parent list; surviving entries are re-added.
   std::vector<ENodeId> Parents;
   Parents.swap(ClassStates[C].Parents);
@@ -456,7 +471,13 @@ void EGraph::processClauses() {
 
 void EGraph::rebuild() {
   assert(!InRebuild && "reentrant rebuild");
+  if (rebuildPending())
+    ++Stats.Rebuilds;
   InRebuild = true;
+  // Closure is a fixpoint loop over three explicit queues (dirty-class
+  // worklist, fold queue, clause scan) — never recursion — so 100x stress
+  // graphs cannot overflow the native stack however deep a merge cascade
+  // runs.
   for (;;) {
     if (!Worklist.empty()) {
       std::vector<ClassId> Todo;

@@ -121,6 +121,33 @@ struct Literal {
   static Literal ne(ClassId A, ClassId B) { return {Kind::Ne, A, B}; }
 };
 
+/// When congruence closure is restored after a mutation.
+enum class RebuildMode {
+  /// Every assertEqual/addNode/addClause immediately restores closure
+  /// (repairs parents, folds constants, processes clauses). Simple, but a
+  /// long instantiation batch pays one full clause scan per assertion.
+  Eager,
+  /// Mutations only union and enqueue dirty classes; closure is restored
+  /// by an explicit batched rebuild() (egg-style). The matcher runs one
+  /// rebuild per saturation round. Between a mutation and the next
+  /// rebuild, union-find queries (find, sameClass, classConstant,
+  /// areDistinct) stay exact — only congruence-derived merges, constant
+  /// folds, and clause propagation lag.
+  Deferred,
+};
+
+/// Mutation counters of one E-graph, cumulative over its lifetime. The
+/// matcher reports per-saturation deltas through match.sched.* obs
+/// counters, which is how scheduling regressions are diagnosed from a
+/// metrics file.
+struct RebuildStats {
+  uint64_t Merges = 0;           ///< Class unions performed.
+  uint64_t CongruenceMerges = 0; ///< Unions forced by congruent twins.
+  uint64_t ConstantFolds = 0;    ///< Unions from the constant analysis.
+  uint64_t Rebuilds = 0;         ///< rebuild() passes that found work.
+  uint64_t Repairs = 0;          ///< Classes whose parents were rehashed.
+};
+
 class EGraph {
 public:
   explicit EGraph(ir::Context &Ctx, bool FoldConstants = true);
@@ -157,6 +184,33 @@ public:
   /// Records the clause L1 | ... | Ln. Untenable literals are deleted as
   /// the graph evolves; a clause reduced to one literal asserts it.
   void addClause(std::vector<Literal> Lits);
+
+  //===--------------------------------------------------------------------===
+  // Rebuilding
+  //===--------------------------------------------------------------------===
+
+  /// Switches between per-mutation (Eager) and batched (Deferred)
+  /// congruence restoration. Switching back to Eager first runs any
+  /// pending rebuild, so the graph is always closed under Eager.
+  void setRebuildMode(RebuildMode M);
+  RebuildMode rebuildMode() const { return Mode; }
+
+  /// Restores congruence closure, constant folding, and clause propagation
+  /// to a fixpoint. Idempotent; a no-op-ish fast path when nothing is
+  /// pending. Under Eager mode this runs automatically after every
+  /// mutation; under Deferred the owner calls it (the matcher: once per
+  /// saturation round).
+  void rebuild();
+
+  /// True when deferred work (dirty classes or unfolded constants) is
+  /// queued for the next rebuild().
+  bool rebuildPending() const {
+    return !Worklist.empty() || (FoldConstants && !FoldQueue.empty());
+  }
+
+  /// Lifetime mutation counters (merges, congruence merges, folds,
+  /// rebuild passes, class repairs).
+  const RebuildStats &rebuildStats() const { return Stats; }
 
   //===--------------------------------------------------------------------===
   // Queries
@@ -304,6 +358,8 @@ private:
   std::string ConflictMsg;
   uint64_t Version = 0;
   bool InRebuild = false;
+  RebuildMode Mode = RebuildMode::Eager;
+  RebuildStats Stats;
 
   // Proof forest (provenance): per class id, the parent edge and its
   // justification. Parent pointers are reversed on union (re-rooting), never
@@ -329,7 +385,6 @@ private:
   bool mergeClasses(ClassId A, ClassId B,
                     const Justification &J = Justification());
   void repair(ClassId C);
-  void rebuild();
   void processClauses();
   void processFoldQueue();
   void conflict(const std::string &Msg);

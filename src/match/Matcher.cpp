@@ -6,8 +6,11 @@
 #include "obs/Obs.h"
 #include "support/Error.h"
 #include "support/FunctionRef.h"
+#include "support/ThreadPool.h"
 
+#include <algorithm>
 #include <cassert>
+#include <memory>
 
 using namespace denali;
 using namespace denali::match;
@@ -15,9 +18,10 @@ using namespace denali::egraph;
 
 namespace {
 
-/// Backtracking e-matcher for one axiom. Matches are reported through
-/// OnMatch; the engine never mutates the graph (matches are collected and
-/// instantiated afterwards).
+/// Backtracking e-matcher for one axiom over a slice of the trigger's root
+/// nodes. Matches are reported through OnMatch; the engine never mutates
+/// the graph (matches are collected and instantiated afterwards), which is
+/// what lets work items run concurrently on a frozen graph.
 ///
 /// The backtracking search is continuation-passing, but the continuations
 /// are non-owning FunctionRefs into stack frames of the search itself —
@@ -26,36 +30,48 @@ namespace {
 /// matcher's profile).
 class MatchEngine {
 public:
+  /// OnMatch returns false to stop the enumeration (budget caps).
   MatchEngine(const EGraph &G, const Axiom &A,
-              FunctionRef<void(const std::vector<ClassId> &)> OnMatch)
+              FunctionRef<bool(const std::vector<ClassId> &)> OnMatch)
       : G(G), A(A), OnMatch(OnMatch), Bindings(A.VarNames.size(), 0),
         Bound(A.VarNames.size(), 0) {}
 
-  void run(PatternId Trigger) {
+  /// Matches \p Trigger against the root nodes in [Begin, End) — a slice
+  /// of G.nodesWithOp(trigger op). Slices partition the root list in
+  /// order, so concatenating slice outputs in slice order reproduces the
+  /// full sequential enumeration order exactly.
+  void run(PatternId Trigger, const ENodeId *Begin, const ENodeId *End) {
     const PatternNode &Root = A.pattern(Trigger);
     assert(Root.TheKind == PatternNode::Kind::App && "trigger must be App");
+    (void)Root;
     // The engine only reads the graph and the match callback only collects
-    // (instantiation happens after every trigger has been scanned), so the
-    // op index is stable here — no defensive copy. Retired nodes in the
+    // (instantiation happens after every work item has run), so the op
+    // index is stable here — no defensive copy. Retired nodes in the
     // index are skipped.
-    auto Report = [&] { OnMatch(Bindings); };
-    for (ENodeId N : G.nodesWithOp(Root.Op)) {
-      if (!G.node(N).Alive)
+    auto Report = [&] {
+      if (!OnMatch(Bindings))
+        Stopped = true;
+    };
+    for (const ENodeId *I = Begin; I != End && !Stopped; ++I) {
+      if (!G.node(*I).Alive)
         continue;
-      matchChildren(Root, N, 0, Report);
+      matchChildren(Root, *I, 0, Report);
     }
   }
 
 private:
   const EGraph &G;
   const Axiom &A;
-  FunctionRef<void(const std::vector<ClassId> &)> OnMatch;
+  FunctionRef<bool(const std::vector<ClassId> &)> OnMatch;
   std::vector<ClassId> Bindings;
   std::vector<uint8_t> Bound;
+  bool Stopped = false;
 
   using Cont = FunctionRef<void()>;
 
   void matchChildren(const PatternNode &P, ENodeId N, size_t Idx, Cont K) {
+    if (Stopped)
+      return;
     if (Idx == P.Children.size()) {
       K();
       return;
@@ -66,6 +82,8 @@ private:
   }
 
   void matchClass(PatternId PId, ClassId C, Cont K) {
+    if (Stopped)
+      return;
     const PatternNode &P = A.pattern(PId);
     C = G.find(C);
     switch (P.TheKind) {
@@ -92,7 +110,7 @@ private:
       // E-matching proper: search the whole equivalence class for nodes
       // with the right operator (Figure 2's 2**2 inside 4's class).
       G.forEachClassNode(C, [&](ENodeId N) {
-        if (G.node(N).Op == P.Op)
+        if (!Stopped && G.node(N).Op == P.Op)
           matchChildren(P, N, 0, K);
       });
       return;
@@ -101,25 +119,114 @@ private:
   }
 };
 
+/// One unit of the per-round match loop: one axiom trigger against one
+/// slice of the trigger's root-node list. Items are built in a fixed
+/// order (axiom, trigger, slice) that does not depend on the thread
+/// count, and each item caps its enumeration at thread-independent
+/// limits — so the merged result (and every statistic derived from it) is
+/// identical whether items run inline or fan out across a pool.
+///
+/// Workers filter matches against the matcher's Done/Seen sets, which are
+/// frozen for the whole match phase (inserts happen only in the
+/// single-threaded merge/instantiate phases) — concurrent lookups are
+/// data-race-free and, crucially, every filter decision is independent of
+/// what other items do, keeping the round deterministic. Survivors carry
+/// their 1-based raw-match index so the merge phase can truncate at
+/// exactly the axiom's budget across item boundaries.
+struct WorkItem {
+  uint32_t AxiomIdx = 0;
+  PatternId Trigger = 0;
+  size_t Begin = 0, End = 0;  ///< Root slice in nodesWithOp(trigger op).
+  uint64_t RawCap = 0;        ///< Stop enumerating at this many raw matches.
+  size_t StoreCap = 0;        ///< Stop after this many stored survivors.
+  uint64_t Raw = 0;           ///< Matches enumerated (pre-dedup).
+  uint64_t Deduped = 0;       ///< Filtered against Done or Seen.
+  uint64_t SeenHits = 0;      ///< Of Deduped, hits on the persistent set.
+  std::vector<std::pair<uint64_t, std::vector<ClassId>>>
+      Matches;                ///< (raw index, canonical bindings) survivors.
+  bool Capped = false;        ///< Enumeration stopped at a cap.
+};
+
+/// Root-slice granularity. Chunking is by this fixed size — never by the
+/// thread count — so the work-item list (and with it every per-item cap
+/// decision) is the same for any --match-threads value.
+constexpr size_t RootChunk = 1024;
+
+/// Operator-application count of a pattern, by explicit stack (axiom
+/// sides can be arbitrarily deep; nothing in the matcher may recurse on
+/// pattern or graph depth).
+size_t patternAppCount(const Axiom &A, PatternId Root) {
+  size_t Count = 0;
+  std::vector<PatternId> Stack{Root};
+  while (!Stack.empty()) {
+    PatternId P = Stack.back();
+    Stack.pop_back();
+    const PatternNode &N = A.pattern(P);
+    if (N.TheKind != PatternNode::Kind::App)
+      continue;
+    ++Count;
+    Stack.insert(Stack.end(), N.Children.begin(), N.Children.end());
+  }
+  return Count;
+}
+
 } // namespace
 
-ClassId Matcher::instantiate(EGraph &G, const Axiom &A, PatternId PId,
+unsigned Matcher::axiomPhase(const Axiom &A) {
+  // Expansive: some equality rewrites one side into a materially larger
+  // one (k*x -> shifts/adds style decompositions). Those blow the graph
+  // up, so under --match-phases they wait for the cheap phase to quiesce.
+  for (const AxiomLiteral &L : A.Body) {
+    if (!L.IsEq)
+      continue;
+    size_t Lhs = patternAppCount(A, L.Lhs);
+    size_t Rhs = patternAppCount(A, L.Rhs);
+    size_t Diff = Lhs > Rhs ? Lhs - Rhs : Rhs - Lhs;
+    if (Diff >= 2)
+      return 1;
+  }
+  return 0;
+}
+
+ClassId Matcher::instantiate(EGraph &G, const Axiom &A, PatternId Root,
                              const std::vector<ClassId> &Bindings) {
-  const PatternNode &P = A.pattern(PId);
-  switch (P.TheKind) {
-  case PatternNode::Kind::Var:
-    return Bindings[P.VarIndex];
-  case PatternNode::Kind::Const:
-    return G.addConst(P.ConstVal);
-  case PatternNode::Kind::App: {
-    std::vector<ClassId> Children;
-    Children.reserve(P.Children.size());
-    for (PatternId C : P.Children)
-      Children.push_back(instantiate(G, A, C, Bindings));
-    return G.addNode(P.Op, Children);
+  // Post-order by explicit stack with a value stack: each App pops its
+  // children's classes. Stress axioms nest deeply enough that recursing
+  // here was the one remaining unbounded-depth path under saturation.
+  struct Frame {
+    PatternId P;
+    size_t NextChild;
+  };
+  std::vector<Frame> Stack{{Root, 0}};
+  std::vector<ClassId> Values;
+  while (!Stack.empty()) {
+    Frame &F = Stack.back();
+    const PatternNode &P = A.pattern(F.P);
+    switch (P.TheKind) {
+    case PatternNode::Kind::Var:
+      Values.push_back(Bindings[P.VarIndex]);
+      Stack.pop_back();
+      break;
+    case PatternNode::Kind::Const:
+      Values.push_back(G.addConst(P.ConstVal));
+      Stack.pop_back();
+      break;
+    case PatternNode::Kind::App:
+      if (F.NextChild < P.Children.size()) {
+        PatternId Child = P.Children[F.NextChild++];
+        Stack.push_back(Frame{Child, 0}); // May invalidate F.
+      } else {
+        size_t N = P.Children.size();
+        std::vector<ClassId> Children(Values.end() - N, Values.end());
+        Values.resize(Values.size() - N);
+        Values.push_back(G.addNode(P.Op, Children));
+        Stack.pop_back();
+      }
+      break;
+    }
   }
-  }
-  DENALI_UNREACHABLE("bad pattern kind");
+  assert(Values.size() == 1 && "unbalanced pattern evaluation");
+  return Values.back();
 }
 
 bool Matcher::assertInstance(EGraph &G, const Axiom &A, uint32_t AxiomIdx,
@@ -143,6 +250,9 @@ bool Matcher::assertInstance(EGraph &G, const Axiom &A, uint32_t AxiomIdx,
     return G.version() != Before;
   }
   // Clause: skip if some literal is already satisfied; otherwise record.
+  // Under deferred rebuilding the satisfied-check can miss equalities the
+  // pending rebuild has not yet propagated — that only admits a redundant
+  // clause, which clause processing retires later; never unsoundness.
   std::vector<Literal> Lits;
   Lits.reserve(A.Body.size());
   bool Satisfied = false;
@@ -161,30 +271,165 @@ bool Matcher::assertInstance(EGraph &G, const Axiom &A, uint32_t AxiomIdx,
 MatchStats Matcher::saturate(EGraph &G, const MatchLimits &Limits) {
   MatchStats Stats;
   obs::ObsSpan SatSpan("match.saturate");
+
+  // Saturation owns the rebuild schedule: batched per round unless the
+  // caller pins the old per-assert behavior (--match-eager-rebuild).
+  RebuildMode PrevMode = G.rebuildMode();
+  G.setRebuildMode(Limits.EagerRebuild ? RebuildMode::Eager
+                                       : RebuildMode::Deferred);
+  RebuildStats BaseRB = G.rebuildStats();
+
+  // Per-axiom scheduling state for this run.
+  const size_t NumAxioms = Axioms.size();
+  std::vector<uint64_t> BudgetNow(NumAxioms, Limits.MatchBudget);
+  std::vector<uint8_t> SitOut(NumAxioms, 0);
+  std::vector<unsigned> Phase(NumAxioms, 0);
+  unsigned MaxPhase = 0, CurrentPhase = 0;
+  if (Limits.Phased)
+    for (size_t I = 0; I < NumAxioms; ++I) {
+      Phase[I] = axiomPhase(Axioms[I]);
+      MaxPhase = std::max(MaxPhase, Phase[I]);
+    }
+
+  std::unique_ptr<support::ThreadPool> Pool;
+
   for (unsigned Round = 0; Round < Limits.MaxRounds; ++Round) {
     ++Stats.Rounds;
     obs::ObsSpan RoundSpan("match.round");
     uint64_t RoundMatches = Stats.MatchesFound;
     uint64_t RoundDeduped = Stats.InstancesDeduped;
     uint64_t RoundAsserted = Stats.InstancesAsserted;
+    uint64_t RoundOverflows = Stats.BudgetOverflows;
+    uint64_t RoundSkips = Stats.BudgetSkips;
+    uint64_t RoundRebuilds = G.rebuildStats().Rebuilds;
+    uint64_t RoundMerges = G.rebuildStats().Merges;
     uint64_t RoundStart = G.version();
+    bool SchedHeldBack = false; // Some axiom sat out or was truncated.
 
     for (const Elaborator &E : Elaborators)
       E(G);
+    // Close over last round's instances and the elaborators' facts before
+    // matching (no-op when nothing is pending / in eager mode).
+    G.rebuild();
+    if (G.isInconsistent())
+      break;
 
-    // Collect matches first (the engine must not observe its own output),
-    // then instantiate.
+    // Which axioms match this round, and at what budget.
+    std::vector<uint8_t> Active(NumAxioms, 1);
+    for (size_t I = 0; I < NumAxioms; ++I) {
+      if (Axioms[I].VarNames.empty())
+        continue; // Ground facts are exempt from scheduling.
+      if (Limits.Phased && Phase[I] > CurrentPhase) {
+        Active[I] = 0;
+        continue;
+      }
+      if (SitOut[I]) {
+        // Backoff: sit this round out; the budget was already doubled.
+        SitOut[I] = 0;
+        Active[I] = 0;
+        ++Stats.BudgetSkips;
+        SchedHeldBack = true;
+      }
+    }
+
+    // Build the round's work items in fixed (axiom, trigger, slice)
+    // order. Per-item caps keep memory bounded and make budget
+    // truncation deterministic: an item's share of its axiom's first
+    // `budget` raw matches is at most `budget`, so capping enumeration
+    // at budget+1 never drops a match the merge phase would keep, and a
+    // hit cap always proves a genuine overflow.
+    std::vector<WorkItem> Items;
+    std::vector<std::pair<size_t, size_t>> AxiomItems(NumAxioms, {0, 0});
+    for (uint32_t AIdx = 0; AIdx < NumAxioms; ++AIdx) {
+      AxiomItems[AIdx].first = Items.size();
+      const Axiom &A = Axioms[AIdx];
+      if (Active[AIdx] && !A.VarNames.empty()) {
+        uint64_t RawCap = BudgetNow[AIdx] ? BudgetNow[AIdx] + 1 : UINT64_MAX;
+        for (PatternId Trigger : A.Triggers) {
+          size_t NumRoots = G.nodesWithOp(A.pattern(Trigger).Op).size();
+          for (size_t B = 0; B < NumRoots; B += RootChunk) {
+            WorkItem It;
+            It.AxiomIdx = AIdx;
+            It.Trigger = Trigger;
+            It.Begin = B;
+            It.End = std::min(B + RootChunk, NumRoots);
+            It.RawCap = RawCap;
+            It.StoreCap = Limits.MaxInstancesPerRound + 1;
+            Items.push_back(std::move(It));
+          }
+        }
+      }
+      AxiomItems[AIdx].second = Items.size();
+    }
+
+    // One work item: enumerate, canonicalize into a reused scratch key,
+    // filter against the frozen Done/Seen sets, store survivors. Locals
+    // move into the shared item once at the end so concurrent workers
+    // never write interleaved cache lines while the loop is hot.
+    auto RunItem = [&](WorkItem &It) {
+      const Axiom &A = Axioms[It.AxiomIdx];
+      const std::vector<ENodeId> &Roots =
+          G.nodesWithOp(A.pattern(It.Trigger).Op);
+      uint64_t Raw = 0, Deduped = 0, SeenHits = 0;
+      bool Capped = false;
+      std::vector<std::pair<uint64_t, std::vector<ClassId>>> Matches;
+      DoneKey Scratch{It.AxiomIdx, {}};
+      auto OnMatch = [&](const std::vector<ClassId> &Bs) -> bool {
+        ++Raw;
+        Scratch.Bindings.resize(Bs.size());
+        for (size_t I = 0; I < Bs.size(); ++I)
+          Scratch.Bindings[I] = G.find(Bs[I]);
+        if (Done.count(Scratch)) {
+          ++Deduped;
+        } else if (Seen.count(Scratch)) {
+          ++Deduped;
+          ++SeenHits;
+        } else {
+          Matches.emplace_back(Raw, Scratch.Bindings);
+        }
+        if (Raw >= It.RawCap || Matches.size() >= It.StoreCap) {
+          Capped = true;
+          return false;
+        }
+        return true;
+      };
+      MatchEngine Engine(G, A, OnMatch);
+      Engine.run(It.Trigger, Roots.data() + It.Begin,
+                 Roots.data() + It.End);
+      It.Raw = Raw;
+      It.Deduped = Deduped;
+      It.SeenHits = SeenHits;
+      It.Capped = Capped;
+      It.Matches = std::move(Matches);
+    };
+
+    // Match generation: read-only against graph and dedup sets, so items
+    // may run concurrently once union-find paths are fully compressed
+    // (every find() is then a pure read). Instantiation and merging stay
+    // single-threaded.
+    if (Limits.Threads > 1 && Items.size() > 1) {
+      G.compressPaths();
+      if (!Pool)
+        Pool = std::make_unique<support::ThreadPool>(Limits.Threads);
+      std::vector<std::future<void>> Futures;
+      Futures.reserve(Items.size());
+      for (WorkItem &It : Items)
+        Futures.push_back(Pool->submit([&RunItem, &It] { RunItem(It); }));
+      for (std::future<void> &F : Futures)
+        F.get();
+    } else {
+      for (WorkItem &It : Items)
+        RunItem(It);
+    }
+
+    // Merge in item order: budget truncation, cross-item dedup, pending
+    // collection.
     struct PendingInstance {
       uint32_t AxiomIdx;
       std::vector<ClassId> Bindings;
     };
     std::vector<PendingInstance> Pending;
-    // Round-local dedup: two triggers of one axiom (or two e-nodes of one
-    // class) can report the same (axiom, bindings) instance within a
-    // round, before anything is in Done. The per-round cap applies after
-    // dedup so duplicates cannot burn the instance budget.
-    std::unordered_set<DoneKey, DoneKeyHash> SeenThisRound;
-    for (uint32_t AIdx = 0; AIdx < Axioms.size(); ++AIdx) {
+    for (uint32_t AIdx = 0; AIdx < NumAxioms; ++AIdx) {
       const Axiom &A = Axioms[AIdx];
       if (A.VarNames.empty()) {
         // Ground fact: assert once.
@@ -193,37 +438,86 @@ MatchStats Matcher::saturate(EGraph &G, const MatchLimits &Limits) {
           Pending.push_back(PendingInstance{AIdx, {}});
         continue;
       }
-      // Named local: the engine keeps a non-owning reference to it.
-      auto OnMatch = [&](const std::vector<ClassId> &Bs) {
-        ++Stats.MatchesFound;
-        std::vector<ClassId> Canon(Bs.size());
-        for (size_t I = 0; I < Bs.size(); ++I)
-          Canon[I] = G.find(Bs[I]);
-        DoneKey Key{AIdx, std::move(Canon)};
-        if (Done.count(Key) || SeenThisRound.count(Key)) {
-          ++Stats.InstancesDeduped;
-          return;
+      if (!Active[AIdx])
+        continue;
+      uint64_t Raw = 0;
+      bool Truncated = false;
+      for (size_t I = AxiomItems[AIdx].first; I < AxiomItems[AIdx].second;
+           ++I) {
+        Raw += Items[I].Raw;
+        Stats.InstancesDeduped += Items[I].Deduped;
+        Stats.SeenHits += Items[I].SeenHits;
+        Truncated |= Items[I].Capped;
+      }
+      Stats.MatchesFound += Raw;
+      uint64_t Budget = BudgetNow[AIdx];
+      if (Budget && Raw > Budget)
+        Truncated = true;
+      uint64_t PrefixRaw = 0;
+      for (size_t I = AxiomItems[AIdx].first; I < AxiomItems[AIdx].second;
+           ++I) {
+        for (std::pair<uint64_t, std::vector<ClassId>> &M :
+             Items[I].Matches) {
+          // Keep only survivors within the first `Budget` raw matches of
+          // the sequential enumeration order.
+          if (Budget && PrefixRaw + M.first > Budget)
+            break;
+          DoneKey Key{AIdx, std::move(M.second)};
+          if (Seen.count(Key)) {
+            // A cross-item duplicate earlier this round already queued
+            // this substitution (workers see Seen frozen at round start).
+            ++Stats.InstancesDeduped;
+            ++Stats.SeenHits;
+            continue;
+          }
+          if (Pending.size() >= Limits.MaxInstancesPerRound) {
+            // Dropped matches are NOT marked seen — the next round must
+            // be able to re-find them.
+            Truncated = true;
+            continue;
+          }
+          Pending.push_back(PendingInstance{AIdx, Key.Bindings});
+          Seen.insert(std::move(Key));
         }
-        if (Pending.size() >= Limits.MaxInstancesPerRound)
-          return;
-        Pending.push_back(PendingInstance{AIdx, Key.Bindings});
-        SeenThisRound.insert(std::move(Key));
-      };
-      for (PatternId Trigger : A.Triggers) {
-        MatchEngine Engine(G, A, OnMatch);
-        Engine.run(Trigger);
+        PrefixRaw += Items[I].Raw;
+      }
+      if (Truncated)
+        SchedHeldBack = true;
+      if (Budget && Truncated) {
+        // Backoff: overflowed its budget — sit out next round, return
+        // with double.
+        ++Stats.BudgetOverflows;
+        SitOut[AIdx] = 1;
+        BudgetNow[AIdx] = Budget * 2;
       }
     }
 
-    for (PendingInstance &P : Pending) {
+    size_t Instantiated = 0;
+    for (; Instantiated < Pending.size(); ++Instantiated) {
       if (G.numNodes() >= Limits.MaxNodes)
         break;
       if (G.isInconsistent())
         break;
+      PendingInstance &P = Pending[Instantiated];
       Done.insert(DoneKey{P.AxiomIdx, P.Bindings});
       if (assertInstance(G, Axioms[P.AxiomIdx], P.AxiomIdx, Stats.Rounds,
                          P.Bindings))
         ++Stats.InstancesAsserted;
+    }
+    // Instances cut off by the node cap were marked seen when queued;
+    // un-mark them so a later saturate() of this matcher can retry them.
+    for (size_t I = Instantiated; I < Pending.size(); ++I)
+      Seen.erase(DoneKey{Pending[I].AxiomIdx, Pending[I].Bindings});
+
+    // The batched per-round rebuild: close congruence over everything the
+    // instances merged (one repair pass instead of one per assert).
+    G.rebuild();
+
+    if (Seen.size() > Limits.SeenCap) {
+      // Cap the persistent set by flushing it outright; partial eviction
+      // could only save a few re-asserts and costs an eviction policy.
+      Stats.SeenEvictions += Seen.size();
+      Seen.clear();
     }
 
     if (RoundSpan.active())
@@ -231,16 +525,37 @@ MatchStats Matcher::saturate(EGraph &G, const MatchLimits &Limits) {
           .arg("matched", Stats.MatchesFound - RoundMatches)
           .arg("deduped", Stats.InstancesDeduped - RoundDeduped)
           .arg("asserted", Stats.InstancesAsserted - RoundAsserted)
+          .arg("merges", G.rebuildStats().Merges - RoundMerges)
+          .arg("rebuilds", G.rebuildStats().Rebuilds - RoundRebuilds)
+          .arg("sched_overflows", Stats.BudgetOverflows - RoundOverflows)
+          .arg("sched_skips", Stats.BudgetSkips - RoundSkips)
           .arg("enodes", static_cast<uint64_t>(G.numNodes()))
           .arg("eclasses", static_cast<uint64_t>(G.numClasses()));
 
     if (G.version() == RoundStart) {
+      if (SchedHeldBack)
+        continue; // Budgets doubled / axioms return: more to enumerate.
+      if (Limits.Phased && CurrentPhase < MaxPhase) {
+        ++CurrentPhase;
+        ++Stats.PhaseAdvances;
+        continue;
+      }
       Stats.Quiesced = true;
       break;
     }
     if (G.numNodes() >= Limits.MaxNodes || G.isInconsistent())
       break;
   }
+
+  // Leave the graph closed and restore the caller's rebuild discipline.
+  G.rebuild();
+  G.setRebuildMode(PrevMode);
+  Stats.Merges = G.rebuildStats().Merges - BaseRB.Merges;
+  Stats.CongruenceMerges =
+      G.rebuildStats().CongruenceMerges - BaseRB.CongruenceMerges;
+  Stats.ConstantFolds = G.rebuildStats().ConstantFolds - BaseRB.ConstantFolds;
+  Stats.Rebuilds = G.rebuildStats().Rebuilds - BaseRB.Rebuilds;
+
   Stats.FinalNodes = G.numNodes();
   Stats.FinalClasses = G.numClasses();
   if (obs::enabled()) {
@@ -256,6 +571,15 @@ MatchStats Matcher::saturate(EGraph &G, const MatchLimits &Limits) {
     R.counter("match.matches").add(Stats.MatchesFound);
     R.counter("match.instances_deduped").add(Stats.InstancesDeduped);
     R.counter("match.instances_asserted").add(Stats.InstancesAsserted);
+    R.counter("match.sched.budget_overflows").add(Stats.BudgetOverflows);
+    R.counter("match.sched.budget_skips").add(Stats.BudgetSkips);
+    R.counter("match.sched.seen_hits").add(Stats.SeenHits);
+    R.counter("match.sched.seen_evictions").add(Stats.SeenEvictions);
+    R.counter("match.sched.phase_advances").add(Stats.PhaseAdvances);
+    R.counter("match.sched.merges").add(Stats.Merges);
+    R.counter("match.sched.congruence_merges").add(Stats.CongruenceMerges);
+    R.counter("match.sched.constant_folds").add(Stats.ConstantFolds);
+    R.counter("match.sched.rebuilds").add(Stats.Rebuilds);
     R.gauge("match.enodes").noteMax(static_cast<int64_t>(Stats.FinalNodes));
     R.gauge("match.eclasses")
         .noteMax(static_cast<int64_t>(Stats.FinalClasses));

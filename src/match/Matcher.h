@@ -11,6 +11,22 @@
 /// matches reg6 * 4 once 4's class also contains 2**2 — precisely the
 /// Figure 2 scenario.
 ///
+/// Scaling machinery (Caviar-style saturation scheduling):
+///   * **Deferred rebuilding** — saturate() switches the graph into
+///     egraph::RebuildMode::Deferred and batches congruence repair into one
+///     rebuild() per round instead of one per asserted instance.
+///   * **Match budgets with backoff** — an axiom whose raw matches overflow
+///     its per-round budget is truncated, sits out the next round, and
+///     returns with a doubled budget.
+///   * **Phased rule sets** — cheap simplification axioms saturate first;
+///     expansive axioms (a side materially larger than the other, e.g.
+///     k*x -> shifts/adds) join once the cheap phase quiesces.
+///   * **Parallel matching** — the per-round match loop fans out over
+///     work items (axiom x trigger x root-chunk) on a support::ThreadPool;
+///     the graph is path-compressed first so every read is frozen, and
+///     results merge in deterministic item order. Instantiation stays
+///     single-threaded.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DENALI_MATCH_MATCHER_H
@@ -26,11 +42,29 @@
 namespace denali {
 namespace match {
 
-/// Fuel limits for saturation.
+/// Fuel limits and scheduling knobs for saturation.
 struct MatchLimits {
   unsigned MaxRounds = 24;
   size_t MaxNodes = 60000;          ///< Stop instantiating past this size.
   size_t MaxInstancesPerRound = 200000;
+  /// Per-axiom, per-round raw-match budget; 0 = unlimited (scheduler
+  /// inert). Overflowing axioms back off for a round and double their
+  /// budget (`--match-budget`).
+  uint64_t MatchBudget = 0;
+  /// Phase the rule set: expansive axioms wait until the cheap phase
+  /// quiesces (`--match-phases`).
+  bool Phased = false;
+  /// Worker threads for the per-round match loop; <= 1 matches inline.
+  /// Match *generation* is read-only and concurrent; instantiation and
+  /// merging stay single-threaded per round (`--match-threads`).
+  unsigned Threads = 1;
+  /// Restore the pre-scheduling behavior: congruence repair after every
+  /// asserted instance instead of one batched rebuild per round
+  /// (`--match-eager-rebuild`; the bench_egraph_scale A/B baseline).
+  bool EagerRebuild = false;
+  /// Entry cap of the persistent (axiom, substitution) seen-set; the set
+  /// is flushed (counted as evictions) when it grows past this.
+  size_t SeenCap = 1u << 20;
 };
 
 /// Statistics of one saturation run.
@@ -42,6 +76,17 @@ struct MatchStats {
   size_t FinalNodes = 0;
   size_t FinalClasses = 0;
   bool Quiesced = false; ///< True if a full round produced no change.
+  // Scheduling decisions (surfaced as match.sched.* obs counters).
+  uint64_t BudgetOverflows = 0; ///< Axiom-rounds truncated at their budget.
+  uint64_t BudgetSkips = 0;     ///< Axiom-rounds sat out by backoff.
+  uint64_t SeenHits = 0;        ///< Persistent pending-instance dedup hits.
+  uint64_t SeenEvictions = 0;   ///< Seen-set entries dropped by cap flushes.
+  uint64_t PhaseAdvances = 0;   ///< Times the active phase widened.
+  // Graph-side work, as deltas of egraph::RebuildStats over the run.
+  uint64_t Merges = 0;
+  uint64_t CongruenceMerges = 0;
+  uint64_t ConstantFolds = 0;
+  uint64_t Rebuilds = 0;
 };
 
 /// An elaboration hook run once per round before matching; used for
@@ -62,6 +107,12 @@ public:
   /// Saturates \p G. \returns the run's statistics.
   MatchStats saturate(egraph::EGraph &G,
                       const MatchLimits &Limits = MatchLimits());
+
+  /// The scheduling phase of \p A: 0 for cheap simplification axioms,
+  /// 1 for expansive ones (some equality side at least two operator
+  /// applications larger than the other — the shape of decompositions
+  /// like k*x -> shifts/adds that blow the graph up).
+  static unsigned axiomPhase(const Axiom &A);
 
 private:
   std::vector<Axiom> Axioms;
@@ -84,6 +135,12 @@ private:
     }
   };
   std::unordered_set<DoneKey, DoneKeyHash> Done;
+  /// Persistent pending-instance dedup (promoted from PR 1's round-local
+  /// set): (axiom, substitution) pairs already queued in *some* round, so
+  /// re-found matches stop burning the per-round instance cap. Bounded by
+  /// MatchLimits::SeenCap; flushed (never partially evicted) so a dropped
+  /// entry can only cause a redundant re-assert, never a lost instance.
+  std::unordered_set<DoneKey, DoneKeyHash> Seen;
 
   egraph::ClassId instantiate(egraph::EGraph &G, const Axiom &A, PatternId P,
                               const std::vector<egraph::ClassId> &Bindings);

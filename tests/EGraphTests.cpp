@@ -291,6 +291,86 @@ TEST_F(EGraphTest, NumNodesTracksLiveOnly) {
 }
 
 //===----------------------------------------------------------------------===
+// Deferred rebuilding: mutations only union and enqueue; congruence,
+// constant folding, and clause propagation are restored by an explicit
+// rebuild() (egg-style, one per matcher round).
+//===----------------------------------------------------------------------===
+
+TEST_F(EGraphTest, DeferredDefersCongruenceUntilRebuild) {
+  G.setRebuildMode(RebuildMode::Deferred);
+  ClassId X = v("x");
+  ClassId Y = v("y");
+  ClassId FX = app(Builtin::Neg64, {X});
+  ClassId FY = app(Builtin::Neg64, {Y});
+  G.assertEqual(X, Y);
+  // The union itself is immediate; the upward f(x)=f(y) merge lags.
+  EXPECT_TRUE(G.sameClass(X, Y));
+  EXPECT_FALSE(G.sameClass(FX, FY));
+  EXPECT_TRUE(G.rebuildPending());
+  G.rebuild();
+  EXPECT_FALSE(G.rebuildPending());
+  EXPECT_TRUE(G.sameClass(FX, FY));
+  EXPECT_GE(G.rebuildStats().CongruenceMerges, 1u);
+  EXPECT_GE(G.rebuildStats().Rebuilds, 1u);
+}
+
+TEST_F(EGraphTest, DeferredDefersConstantFoldUntilRebuild) {
+  G.setRebuildMode(RebuildMode::Deferred);
+  ClassId Sum = app(Builtin::Add64, {c(2), c(3)});
+  EXPECT_FALSE(G.classConstant(Sum).has_value());
+  G.rebuild();
+  auto K = G.classConstant(Sum);
+  ASSERT_TRUE(K.has_value());
+  EXPECT_EQ(*K, 5u);
+  EXPECT_GE(G.rebuildStats().ConstantFolds, 1u);
+}
+
+TEST_F(EGraphTest, DeferredDefersClauseUnitUntilRebuild) {
+  G.setRebuildMode(RebuildMode::Deferred);
+  ClassId X = v("x");
+  ClassId Y = v("y");
+  // A unit clause asserts its literal — but only at the next rebuild.
+  G.addClause({Literal::eq(X, Y)});
+  EXPECT_FALSE(G.sameClass(X, Y));
+  G.rebuild();
+  EXPECT_TRUE(G.sameClass(X, Y));
+}
+
+TEST_F(EGraphTest, SwitchingToEagerRunsPendingRebuild) {
+  G.setRebuildMode(RebuildMode::Deferred);
+  ClassId X = v("x");
+  ClassId Y = v("y");
+  ClassId FX = app(Builtin::Neg64, {X});
+  ClassId FY = app(Builtin::Neg64, {Y});
+  G.assertEqual(X, Y);
+  EXPECT_TRUE(G.rebuildPending());
+  // The graph must always be closed under Eager, so the switch flushes.
+  G.setRebuildMode(RebuildMode::Eager);
+  EXPECT_FALSE(G.rebuildPending());
+  EXPECT_TRUE(G.sameClass(FX, FY));
+}
+
+TEST_F(EGraphTest, ProvenanceRecordedAcrossDeferredRebuild) {
+  G.enableProvenance();
+  G.setRebuildMode(RebuildMode::Deferred);
+  ClassId X = v("x");
+  ClassId Y = v("y");
+  ClassId FX = app(Builtin::Neg64, {X});
+  ClassId FY = app(Builtin::Neg64, {Y});
+  G.assertEqual(X, Y);
+  G.rebuild();
+  ASSERT_TRUE(G.sameClass(FX, FY));
+  // The batched repair must stamp the congruence edge just as the eager
+  // path does: the f(x)=f(y) chain replays with a Congruence step.
+  std::vector<ProofStep> Chain = G.explain(FX, FY);
+  ASSERT_FALSE(Chain.empty());
+  bool HasCongruence = false;
+  for (const ProofStep &S : Chain)
+    HasCongruence |= S.J.TheKind == Justification::Kind::Congruence;
+  EXPECT_TRUE(HasCongruence);
+}
+
+//===----------------------------------------------------------------------===
 // Property test: random merge sequences preserve union-find/congruence
 // invariants (canonical classes partition live nodes; congruent nodes
 // share a class).

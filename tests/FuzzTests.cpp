@@ -191,7 +191,10 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FuzzLoops, ::testing::Range(0u, 12u));
 // saturation, with the structural E-graph audit (membership, congruence,
 // constant analysis — verify::checkEGraphInvariants) after every round.
 // saturate() is one-shot, so "after round R" is reproduced by rerunning
-// with MaxRounds = R on a fresh graph over the same seeded GMA.
+// with MaxRounds = R on a fresh graph over the same seeded GMA. The
+// rebuild mode toggles across the (seed, rounds) grid, so both the
+// deferred (batched rebuild) and eager (per-assert repair) paths face
+// every input.
 //===----------------------------------------------------------------------===
 
 class FuzzSaturation : public ::testing::TestWithParam<unsigned> {};
@@ -216,6 +219,7 @@ TEST_P(FuzzSaturation, InvariantsHoldAfterEachRound) {
     match::MatchLimits Limits;
     Limits.MaxRounds = Rounds;
     Limits.MaxNodes = 4000;
+    Limits.EagerRebuild = ((GetParam() + Rounds) & 1) != 0;
     match::MatchStats Stats = M.saturate(Graph, Limits);
     ASSERT_FALSE(Graph.isInconsistent()) << Graph.inconsistencyMessage();
 

@@ -23,9 +23,14 @@
 //     materialization, is directly present in the specification, or has a
 //     nonempty derivation chain — the golden-test invariant.
 //
-//   denali_explain egraph <egraph.json>
+//   denali_explain egraph <egraph.json | metrics.txt>
 //     Summarizes a `denali --egraph-json` dump: classes, nodes, constants,
-//     and the largest classes by member count.
+//     and the largest classes by member count. Given a plain-text metrics
+//     summary instead (`--metrics-out`, BENCH_*.metrics.txt), reports the
+//     saturation scheduling work from the match.* / match.sched.* counters
+//     — rounds, matches, merges, rebuild passes, budget backoff, seen-set
+//     dedup — with per-round averages, so a scheduling regression is
+//     diagnosable from a metrics file alone.
 //
 // Every malformed input — missing, empty, truncated, or schema-less —
 // produces a clear diagnostic and a nonzero exit; the failure-mode tests
@@ -291,10 +296,73 @@ int explainReport(const char *Path, bool RequireChains) {
   return Ok ? 0 : 1;
 }
 
-int egraphReport(const char *Path) {
-  std::unique_ptr<json::Value> Doc = readJson(Path);
-  if (!Doc)
+/// The metrics-summary arm of `egraph` mode: a per-saturation scheduling
+/// report from the match.* / match.sched.* counters. Counters aggregate
+/// over every saturation in the file (one per GMA), so the per-round
+/// averages are the diagnosable signal: e.g. merges-per-round collapsing
+/// while matches-per-round holds means rebuild batching regressed.
+int egraphMetricsReport(const char *Path, const std::string &Text) {
+  std::map<std::string, unsigned long long> Counters;
+  std::istringstream In(Text);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    std::istringstream Fields(Line);
+    std::string Kind, Name;
+    unsigned long long V = 0;
+    if ((Fields >> Kind >> Name) && Kind == "counter" && (Fields >> V))
+      Counters[Name] = V;
+  }
+  auto C = [&](const char *Name) -> unsigned long long {
+    auto It = Counters.find(Name);
+    return It == Counters.end() ? 0 : It->second;
+  };
+  unsigned long long Rounds = C("match.rounds");
+  if (Rounds == 0) {
+    std::fprintf(stderr,
+                 "%s: %s: neither an --egraph-json document nor a metrics "
+                 "summary with a match.rounds counter\n",
+                 Prog, Path);
     return 1;
+  }
+  auto PerRound = [&](unsigned long long V) {
+    return static_cast<double>(V) / static_cast<double>(Rounds);
+  };
+  auto Row = [&](const char *Label, unsigned long long V) {
+    std::printf("  %-22s %12llu  (%.1f/round)\n", Label, V, PerRound(V));
+  };
+  std::printf("saturation scheduling (%llu round(s) total):\n", Rounds);
+  Row("matches found", C("match.matches"));
+  Row("instances asserted", C("match.instances_asserted"));
+  Row("instances deduped", C("match.instances_deduped"));
+  Row("merges", C("match.sched.merges"));
+  Row("  congruence merges", C("match.sched.congruence_merges"));
+  Row("  constant folds", C("match.sched.constant_folds"));
+  Row("rebuild passes", C("match.sched.rebuilds"));
+  std::printf("scheduler decisions:\n");
+  std::printf("  %-22s %12llu\n", "budget overflows",
+              C("match.sched.budget_overflows"));
+  std::printf("  %-22s %12llu\n", "budget skips",
+              C("match.sched.budget_skips"));
+  std::printf("  %-22s %12llu\n", "phase advances",
+              C("match.sched.phase_advances"));
+  std::printf("  %-22s %12llu\n", "seen-set hits",
+              C("match.sched.seen_hits"));
+  std::printf("  %-22s %12llu\n", "seen-set evictions",
+              C("match.sched.seen_evictions"));
+  return 0;
+}
+
+int egraphReport(const char *Path) {
+  std::string Text;
+  if (!readFile(Path, Text))
+    return 1;
+  std::string Err;
+  std::unique_ptr<json::Value> Doc = json::parse(Text, &Err);
+  // Not JSON at all: fall through to the metrics-summary report.
+  if (!Doc)
+    return egraphMetricsReport(Path, Text);
   const json::Value *Dump = Doc->field("dump");
   if (!Dump || !Dump->isArray()) {
     std::fprintf(stderr,
@@ -357,7 +425,7 @@ int main(int argc, char **argv) {
                "usage: %s trace <trace.json> [--top N]\n"
                "       %s metrics <metrics.txt> [--require name,name,...]\n"
                "       %s explain <explain.json> [--require-chains]\n"
-               "       %s egraph <egraph.json>\n",
+               "       %s egraph <egraph.json | metrics.txt>\n",
                Prog, Prog, Prog, Prog);
   return 2;
 }
