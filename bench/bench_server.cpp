@@ -1,0 +1,320 @@
+//===- bench/bench_server.cpp - E17: compile-server load generator --------===//
+//
+// The EXPERIMENTS.md E17 harness: drives the compile server over streams
+// of generated GMA kernels (verify::GmaGen) in three mixes and reports
+// request latency and throughput per cache tier —
+//
+//   * cold     — distinct skeletons, caching disabled: the plain driver
+//                pipeline cost, the baseline every other arm is compared
+//                against;
+//   * warm     — the same distinct corpus replayed against a populated
+//                cache: every request is a canonical-key hit;
+//   * dup      — a duplicate-heavy batch (many alpha-renamed requests over
+//                few skeletons) through compileBulk's grouping, the
+//                "compile farm" workload the server exists for.
+//
+// Plus the front-door cost: zero-copy s-expr parse throughput over the
+// whole corpus (MB/s).
+//
+//   bench_server [--smoke]
+//     --smoke  smaller corpus (CI perf-smoke gate)
+//
+// Gates correctness as well as reporting numbers (nonzero exit):
+//   * warm duplicate-heavy throughput must be >= 5x cold throughput;
+//   * every cache-served result must be bit-identical to its own cold
+//     compile, and a sample must pass differential verification;
+//   * with --cache-bytes 0 semantics (caching off) the server must
+//     reproduce the direct driver::Superoptimizer::compileGMA output.
+//
+// Emits BENCH_server.json for trend tracking (gated by bench_compare
+// against bench/baselines/BENCH_server.json in perf_smoke).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "server/Server.h"
+#include "sexpr/Parser.h"
+#include "support/Timer.h"
+#include "verify/GmaGen.h"
+#include "verify/GmaText.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace denali;
+using namespace denali::bench;
+
+namespace {
+
+driver::Options pipelineOptions() {
+  driver::Options Opts;
+  Opts.Search.MaxCycles = 10;
+  Opts.Matching.MaxNodes = 8000;
+  Opts.Matching.MaxRounds = 8;
+  return Opts;
+}
+
+struct ArmStats {
+  unsigned Requests = 0;
+  unsigned Found = 0;
+  unsigned Exhausted = 0;
+  unsigned Errors = 0;
+  double WallSeconds = 0;
+  double P50 = 0, P99 = 0;
+
+  double reqPerS() const {
+    return WallSeconds > 0 ? Requests / WallSeconds : 0;
+  }
+};
+
+ArmStats summarize(const std::vector<server::ServerResponse> &Rs,
+                   double Wall) {
+  ArmStats A;
+  A.Requests = static_cast<unsigned>(Rs.size());
+  A.WallSeconds = Wall;
+  std::vector<double> Lat;
+  Lat.reserve(Rs.size());
+  for (const server::ServerResponse &R : Rs) {
+    if (!R.Result.Error.empty())
+      ++A.Errors;
+    else if (R.Result.Search.Found)
+      ++A.Found;
+    else
+      ++A.Exhausted;
+    Lat.push_back(R.Seconds);
+  }
+  std::sort(Lat.begin(), Lat.end());
+  if (!Lat.empty()) {
+    A.P50 = Lat[Lat.size() / 2];
+    A.P99 = Lat[std::min(Lat.size() - 1, Lat.size() * 99 / 100)];
+  }
+  return A;
+}
+
+void printArm(const char *Name, const ArmStats &A) {
+  std::printf("%-6s %6u reqs  %5u found  %5u exhausted  %8.3fs  "
+              "%9.1f req/s  p50 %.2fms  p99 %.2fms\n",
+              Name, A.Requests, A.Found, A.Exhausted, A.WallSeconds,
+              A.reqPerS(), A.P50 * 1e3, A.P99 * 1e3);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Smoke = false;
+  for (int I = 1; I < argc; ++I)
+    if (!std::strcmp(argv[I], "--smoke"))
+      Smoke = true;
+
+  const uint64_t Seed = 1;
+  const unsigned Distinct = Smoke ? 24 : 100;   // Cold/warm corpus size.
+  const unsigned DupTotal = Smoke ? 120 : 1000; // Duplicate-heavy batch.
+  const unsigned DupSkeletons = Smoke ? 8 : 20;
+  bool AllOk = true;
+
+  enableObsMetrics();
+  banner("E17", Smoke ? "compile-server load (smoke)"
+                      : "compile-server load");
+
+  // The corpus: GmaGen kernels, shipped to the server as request text
+  // (the wire form every arm pays to parse).
+  server::ServerOptions Cfg;
+  Cfg.Pipeline = pipelineOptions();
+  Cfg.Threads = 2;
+  std::vector<std::string> Corpus;
+  std::string CorpusText;
+  {
+    driver::Superoptimizer Gen(pipelineOptions());
+    verify::GmaGen G(Gen.context(), Seed);
+    for (unsigned I = 0; I < Distinct; ++I) {
+      Corpus.push_back(verify::printGma(Gen.context(), G.next()));
+      CorpusText += Corpus.back();
+      CorpusText += "\n";
+    }
+  }
+
+  // Front door: zero-copy tokenizer throughput over the whole corpus.
+  double ParseMbPerS = 0;
+  unsigned ParsedForms = 0;
+  {
+    const int Reps = Smoke ? 20 : 100;
+    double Best = 1e9;
+    for (int R = 0; R < Reps; ++R) {
+      Timer T;
+      sexpr::ParseResult P = sexpr::parse(CorpusText);
+      double S = T.seconds();
+      if (!P.ok()) {
+        std::printf("corpus re-parse failed: %s\n",
+                    P.Error->toString().c_str());
+        AllOk = false;
+        break;
+      }
+      ParsedForms = static_cast<unsigned>(P.Forms.size());
+      Best = std::min(Best, S);
+    }
+    if (Best > 0 && Best < 1e9)
+      ParseMbPerS = CorpusText.size() / Best / 1e6;
+    std::printf("parse  %6zu bytes, %u forms, best %.1f MB/s\n",
+                CorpusText.size(), ParsedForms, ParseMbPerS);
+  }
+
+  // Arm 1: cold — caching disabled, every request runs the full pipeline.
+  ArmStats Cold;
+  std::vector<server::ServerResponse> ColdRs;
+  {
+    server::ServerOptions Off = Cfg;
+    Off.CacheBytes = 0;
+    server::CompileServer Server(Off);
+    Timer T;
+    ColdRs = Server.compileBulk(Corpus);
+    Cold = summarize(ColdRs, T.seconds());
+    printArm("cold", Cold);
+    for (const server::ServerResponse &R : ColdRs)
+      if (R.Source != server::ResultSource::Cold)
+        AllOk = false;
+
+    // Cache-off parity: the server's answer must be the direct driver
+    // answer (spot-check a slice; each compile costs real time).
+    driver::Superoptimizer Direct(pipelineOptions());
+    verify::GmaGen G(Direct.context(), Seed);
+    bool Parity = true;
+    for (unsigned I = 0; I < Distinct; ++I) {
+      gma::GMA Gma = G.next();
+      if (I % (Smoke ? 6 : 20) != 0)
+        continue;
+      driver::GmaResult D = Direct.compileGMA(Gma);
+      if (D.Search.Program.toString() !=
+              ColdRs[I].Result.Search.Program.toString() ||
+          D.Search.Cycles != ColdRs[I].Result.Search.Cycles)
+        Parity = false;
+    }
+    std::printf("cache-off parity vs direct compileGMA: %s\n",
+                Parity ? "ok" : "MISMATCH");
+    if (!Parity)
+      AllOk = false;
+  }
+
+  // Arm 2: warm replay — fill a cache-on server with the corpus, then
+  // replay it; every request must be a canonical-key hit, bit-identical
+  // to the fill pass's cold result.
+  ArmStats Warm;
+  bool BitIdentical = true;
+  bool OracleOk = true;
+  {
+    server::CompileServer Server(Cfg);
+    std::vector<server::ServerResponse> Fill = Server.compileBulk(Corpus);
+    Timer T;
+    std::vector<server::ServerResponse> Replay = Server.compileBulk(Corpus);
+    Warm = summarize(Replay, T.seconds());
+    printArm("warm", Warm);
+
+    for (size_t I = 0; I < Replay.size(); ++I) {
+      if (Replay[I].Source != server::ResultSource::CacheHit)
+        AllOk = false;
+      // Exact-duplicate requests must reproduce the producing compile
+      // byte for byte.
+      if (Replay[I].Result.Search.Program.toString() !=
+              Fill[I].Result.Search.Program.toString() ||
+          Replay[I].Result.Search.Cycles != Fill[I].Result.Search.Cycles)
+        BitIdentical = false;
+    }
+    std::printf("warm hits bit-identical to cold compiles: %s\n",
+                BitIdentical ? "ok" : "MISMATCH");
+    if (!BitIdentical)
+      AllOk = false;
+
+    // Differential oracle over a sample of the served results: the
+    // renamed/cached program still computes its request's GMA.
+    unsigned Checked = 0;
+    for (const server::ServerResponse &R : Replay) {
+      if (!R.Result.ok() || Checked >= (Smoke ? 5u : 15u))
+        continue;
+      ++Checked;
+      if (std::optional<std::string> Bad = Server.opt().verify(R.Result)) {
+        std::printf("ORACLE FAILURE on cached result %s: %s\n",
+                    R.Result.Gma.Name.c_str(), Bad->c_str());
+        OracleOk = false;
+      }
+    }
+    std::printf("oracle on %u cache-served results: %s\n", Checked,
+                OracleOk ? "ok" : "FAILED");
+    if (!OracleOk)
+      AllOk = false;
+  }
+
+  // Arm 3: duplicate-heavy — DupTotal requests round-robined over
+  // DupSkeletons skeletons, in one compileBulk batch: grouping saturates
+  // each skeleton once and the cache serves the rest.
+  ArmStats Dup;
+  unsigned DupHits = 0, DupCold = 0;
+  {
+    std::vector<std::string> Batch;
+    Batch.reserve(DupTotal);
+    for (unsigned I = 0; I < DupTotal; ++I)
+      Batch.push_back(Corpus[I % DupSkeletons]);
+    server::CompileServer Server(Cfg);
+    Timer T;
+    std::vector<server::ServerResponse> Rs = Server.compileBulk(Batch);
+    Dup = summarize(Rs, T.seconds());
+    printArm("dup", Dup);
+    server::ServerStats St = Server.stats();
+    DupHits = static_cast<unsigned>(St.CacheServes);
+    DupCold = static_cast<unsigned>(St.ColdCompiles);
+    std::printf("dup    %u skeletons: %u cold, %u hits\n", DupSkeletons,
+                DupCold, DupHits);
+    if (DupCold != DupSkeletons || DupHits != DupTotal - DupSkeletons) {
+      std::printf("unexpected tier counts (wanted %u cold, %u hits)\n",
+                  DupSkeletons, DupTotal - DupSkeletons);
+      AllOk = false;
+    }
+  }
+
+  // The headline gate: duplicate-heavy warm throughput vs cold.
+  double Speedup = Cold.reqPerS() > 0 ? Dup.reqPerS() / Cold.reqPerS() : 0;
+  bool SpeedupOk = Speedup >= 5.0;
+  std::printf("\nduplicate-heavy vs cold: %.1fx (gate: >= 5x) %s\n", Speedup,
+              SpeedupOk ? "ok" : "FAILED");
+  if (!SpeedupOk)
+    AllOk = false;
+
+  writeMetricsSummary("BENCH_server.metrics.txt");
+
+  std::FILE *Out = std::fopen("BENCH_server.json", "w");
+  if (Out) {
+    std::fprintf(Out, "[\n");
+    std::fprintf(Out,
+                 "  {\"arm\": \"parse\", \"forms\": %u, "
+                 "\"parse_mb_per_s\": %.1f},\n",
+                 ParsedForms, ParseMbPerS);
+    auto Row = [&](const char *Name, const ArmStats &A) {
+      std::fprintf(Out,
+                   "  {\"arm\": \"%s\", \"requests\": %u, \"found\": %u, "
+                   "\"exhausted\": %u, \"errors\": %u, \"wall_s\": %.6f, "
+                   "\"req_per_s\": %.1f, \"p50_s\": %.6f, "
+                   "\"p99_s\": %.6f},\n",
+                   Name, A.Requests, A.Found, A.Exhausted, A.Errors,
+                   A.WallSeconds, A.reqPerS(), A.P50, A.P99);
+    };
+    Row("cold", Cold);
+    Row("warm", Warm);
+    Row("dup", Dup);
+    std::fprintf(Out,
+                 "  {\"gate\": \"summary\", \"dup_cold\": %u, "
+                 "\"dup_hits\": %u, \"speedup_pct\": %.1f, "
+                 "\"speedup_ok\": %s, \"bit_identical\": %s, "
+                 "\"oracle_ok\": %s}\n]\n",
+                 DupCold, DupHits, Speedup * 100.0,
+                 SpeedupOk ? "true" : "false",
+                 BitIdentical ? "true" : "false",
+                 OracleOk ? "true" : "false");
+    std::fclose(Out);
+    std::printf("wrote BENCH_server.json\n");
+  } else {
+    std::printf("could not write BENCH_server.json\n");
+    AllOk = false;
+  }
+  return AllOk ? 0 : 1;
+}

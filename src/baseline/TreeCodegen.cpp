@@ -19,7 +19,7 @@ namespace {
 /// Emits unscheduled instructions (Cycle/Unit assigned later).
 class Lowering {
 public:
-  Lowering(ir::Context &Ctx, const alpha::ISA &Isa, std::string *ErrorOut)
+  Lowering(const ir::Context &Ctx, const alpha::ISA &Isa, std::string *ErrorOut)
       : Ctx(Ctx), Isa(Isa), ErrorOut(ErrorOut) {}
 
   bool run(const std::vector<std::pair<std::string, ir::TermId>> &Goals,
@@ -44,7 +44,7 @@ public:
   }
 
 private:
-  ir::Context &Ctx;
+  const ir::Context &Ctx;
   const alpha::ISA &Isa;
   std::string *ErrorOut;
   std::vector<alpha::Instruction> Instrs;
@@ -370,7 +370,7 @@ void listSchedule(const alpha::ISA &Isa, alpha::Program &P) {
 } // namespace
 
 std::optional<alpha::Program> denali::baseline::naiveCodegen(
-    ir::Context &Ctx, const alpha::ISA &Isa,
+    const ir::Context &Ctx, const alpha::ISA &Isa,
     const std::vector<std::pair<std::string, ir::TermId>> &Goals,
     const std::string &Name, std::string *ErrorOut) {
   alpha::Program P;

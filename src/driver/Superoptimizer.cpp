@@ -33,52 +33,42 @@ bool Superoptimizer::addAxiomsText(const std::string &Text,
   return true;
 }
 
-GmaResult Superoptimizer::compileGMA(const gma::GMA &G) {
-  obs::ObsSpan Span("gma.compile");
-  if (Span.active())
-    Span.arg("name", G.Name.c_str());
-  GmaResult Result;
-  Result.Gma = G;
-
-  egraph::EGraph Graph(Ctx);
+SaturatedGma Superoptimizer::saturateGMA(const gma::GMA &G) const {
+  SaturatedGma S;
+  auto Graph = std::make_shared<egraph::EGraph>(Ctx);
   if (Opts.Explain)
-    Graph.enableProvenance();
+    Graph->enableProvenance();
 
   // Goal classes: guard + all new values + annotated miss addresses.
-  std::vector<codegen::NamedGoal> Goals;
-  std::vector<egraph::ClassId> GoalClasses;
   for (size_t I = 0; I < G.Targets.size(); ++I) {
-    egraph::ClassId C = Graph.addTerm(G.NewVals[I]);
+    egraph::ClassId C = Graph->addTerm(G.NewVals[I]);
     bool IsMemory =
         Ctx.Terms.node(G.NewVals[I]).Op == Ctx.Ops.builtin(Builtin::Store) ||
         G.Targets[I] == "M";
-    Goals.push_back(codegen::NamedGoal{G.Targets[I], C, IsMemory});
-    GoalClasses.push_back(C);
+    S.Goals.push_back(codegen::NamedGoal{G.Targets[I], C, IsMemory});
   }
-  std::optional<egraph::ClassId> GuardClass;
-  if (G.Guard && Opts.EnforceGuard) {
-    GuardClass = Graph.addTerm(*G.Guard);
-    GoalClasses.push_back(*GuardClass);
-  }
+  if (G.Guard && Opts.EnforceGuard)
+    S.GuardClass = Graph->addTerm(*G.Guard);
   codegen::UniverseOptions UOpts = Opts.Universe;
   for (ir::TermId Addr : G.MissAddrs) {
-    egraph::ClassId C = Graph.addTerm(Addr);
-    UOpts.LoadLatencyByAddr[Graph.find(C)] = Isa.loadMissLatency();
+    egraph::ClassId C = Graph->addTerm(Addr);
+    UOpts.LoadLatencyByAddr[Graph->find(C)] = Isa.loadMissLatency();
   }
   // Trust facts: asserted before matching so the whole saturation can use
   // them (the \trust feature of section 2).
   for (const gma::GMA::Assumption &A : G.Assumptions) {
-    egraph::ClassId L = Graph.addTerm(A.Lhs);
-    egraph::ClassId R = Graph.addTerm(A.Rhs);
+    egraph::ClassId L = Graph->addTerm(A.Lhs);
+    egraph::ClassId R = Graph->addTerm(A.Rhs);
     if (A.IsEq)
-      Graph.assertEqual(L, R);
+      Graph->assertEqual(L, R);
     else
-      Graph.assertDistinct(L, R);
+      Graph->assertDistinct(L, R);
   }
-  if (Graph.isInconsistent()) {
-    Result.Error = "contradictory \\assume facts: " +
-                   Graph.inconsistencyMessage();
-    return Result;
+  if (Graph->isInconsistent()) {
+    S.Error = "contradictory \\assume facts: " +
+              Graph->inconsistencyMessage();
+    S.Graph = std::move(Graph);
+    return S;
   }
 
   // Matching phase (Figure 1, left box).
@@ -86,37 +76,58 @@ GmaResult Superoptimizer::compileGMA(const gma::GMA &G) {
   match::Matcher M(Axioms);
   for (match::Elaborator &E : match::standardElaborators())
     M.addElaborator(std::move(E));
-  Result.Matching = M.saturate(Graph, Opts.Matching);
-  Result.MatchSeconds = T.seconds();
+  S.Matching = M.saturate(*Graph, Opts.Matching);
+  S.MatchSeconds = T.seconds();
   obs::logf(2, "gma %s: saturation %u rounds, %zu nodes / %zu classes "
                "(%.3fs)",
-            G.Name.c_str(), Result.Matching.Rounds,
-            Result.Matching.FinalNodes, Result.Matching.FinalClasses,
-            Result.MatchSeconds);
-  if (Graph.isInconsistent()) {
-    Result.Error = "E-graph inconsistent (unsound axiom?): " +
-                   Graph.inconsistencyMessage();
-    return Result;
+            G.Name.c_str(), S.Matching.Rounds, S.Matching.FinalNodes,
+            S.Matching.FinalClasses, S.MatchSeconds);
+  if (Graph->isInconsistent()) {
+    S.Error = "E-graph inconsistent (unsound axiom?): " +
+              Graph->inconsistencyMessage();
+    S.Graph = std::move(Graph);
+    return S;
   }
   // Miss annotations may have moved classes during saturation.
-  codegen::UniverseOptions UOpts2 = Opts.Universe;
-  UOpts2.LoadLatencyByAddr.clear();
+  S.UOpts = Opts.Universe;
+  S.UOpts.LoadLatencyByAddr.clear();
   for (auto &[C, L] : UOpts.LoadLatencyByAddr)
-    UOpts2.LoadLatencyByAddr[Graph.find(C)] = L;
+    S.UOpts.LoadLatencyByAddr[Graph->find(C)] = L;
 
   // Canonicalize goal classes after merging.
-  for (codegen::NamedGoal &Goal : Goals)
-    Goal.Class = Graph.find(Goal.Class);
-  std::vector<egraph::ClassId> Roots;
-  for (const codegen::NamedGoal &Goal : Goals)
-    Roots.push_back(Goal.Class);
-  if (GuardClass) {
-    GuardClass = Graph.find(*GuardClass);
-    Roots.push_back(*GuardClass);
-  }
+  for (codegen::NamedGoal &Goal : S.Goals)
+    Goal.Class = Graph->find(Goal.Class);
+  if (S.GuardClass)
+    S.GuardClass = Graph->find(*S.GuardClass);
 
-  // The graph is quiescent from here on; dump it before the phases that
-  // can fail, so a universe/search failure still leaves the inspectors.
+  // Freeze: fully compress every union-find path so subsequent const
+  // queries perform no writes — the property concurrent readers (the
+  // portfolio search and the compile server's warm-graph serving) rely
+  // on.
+  Graph->compressPaths();
+  S.Graph = std::move(Graph);
+  return S;
+}
+
+GmaResult Superoptimizer::compileSaturated(const SaturatedGma &S,
+                                           const gma::GMA &G) const {
+  GmaResult Result;
+  Result.Gma = G;
+  Result.Matching = S.Matching;
+  Result.MatchSeconds = S.MatchSeconds;
+  if (!S.Error.empty()) {
+    Result.Error = S.Error;
+    return Result;
+  }
+  const egraph::EGraph &Graph = *S.Graph;
+  std::vector<egraph::ClassId> Roots;
+  for (const codegen::NamedGoal &Goal : S.Goals)
+    Roots.push_back(Goal.Class);
+  if (S.GuardClass)
+    Roots.push_back(*S.GuardClass);
+
+  // The graph is quiescent; dump it before the phases that can fail, so a
+  // universe/search failure still leaves the inspectors.
   if (Opts.EGraphDump) {
     obs::ObsSpan DSpan("explain.egraph_dump");
     Result.EGraphDotText = explain::egraphToDot(Graph);
@@ -131,7 +142,7 @@ GmaResult Superoptimizer::compileGMA(const gma::GMA &G) {
   std::string Err;
   {
     obs::ObsSpan USpan("universe.build");
-    if (!U.build(Graph, Isa, Roots, UOpts2, &Err)) {
+    if (!U.build(Graph, Isa, Roots, S.UOpts, &Err)) {
       Result.Error = Err;
       return Result;
     }
@@ -140,15 +151,16 @@ GmaResult Superoptimizer::compileGMA(const gma::GMA &G) {
           .arg("classes", static_cast<uint64_t>(U.neededClasses().size()));
   }
   codegen::SearchOptions SOpts = Opts.Search;
-  if (GuardClass)
-    SOpts.Encoding.GuardClass = *GuardClass;
+  if (S.GuardClass)
+    SOpts.Encoding.GuardClass = *S.GuardClass;
   if (Opts.WhyUnsat)
     SOpts.ExplainUnsat = true;
-  Result.Search = codegen::searchBudgets(Graph, Isa, U, Goals, SOpts, G.Name);
+  Result.Search =
+      codegen::searchBudgets(Graph, Isa, U, S.Goals, SOpts, G.Name);
   if (!Result.Search.Found)
     Result.Error = Result.Search.Error;
   if (Opts.WhyUnsat)
-    Result.WhyUnsatText = explain::whyUnsatReport(Result.Search, U, Goals);
+    Result.WhyUnsatText = explain::whyUnsatReport(Result.Search, U, S.Goals);
   if (Opts.Explain && Result.Search.Found) {
     obs::ObsSpan ESpan("explain.program");
     explain::ProgramExplanation E =
@@ -164,9 +176,16 @@ GmaResult Superoptimizer::compileGMA(const gma::GMA &G) {
   return Result;
 }
 
+GmaResult Superoptimizer::compileGMA(const gma::GMA &G) const {
+  obs::ObsSpan Span("gma.compile");
+  if (Span.active())
+    Span.arg("name", G.Name.c_str());
+  return compileSaturated(saturateGMA(G), G);
+}
+
 GmaResult Superoptimizer::compileGoals(
     const std::string &Name,
-    const std::vector<std::pair<std::string, ir::TermId>> &Goals) {
+    const std::vector<std::pair<std::string, ir::TermId>> &Goals) const {
   gma::GMA G;
   G.Name = Name;
   for (const auto &[Target, Term] : Goals) {
@@ -225,7 +244,7 @@ CompileResult Superoptimizer::compileSource(const std::string &Source) {
 
 std::optional<std::string> Superoptimizer::verify(const GmaResult &R,
                                                   unsigned Trials,
-                                                  uint64_t Seed) {
+                                                  uint64_t Seed) const {
   if (!R.ok())
     return "GMA was not compiled successfully";
   const alpha::Program &P = R.Search.Program;
@@ -258,7 +277,12 @@ std::optional<std::string> Superoptimizer::verify(const GmaResult &R,
         ir::Value V = PI.IsMemory ? ir::Value::makeArray(Rng())
                                   : ir::Value::makeInt(Rng());
         SimInputs[PI.Name] = V;
-        E[Ctx.Ops.makeVariable(PI.Name)] = V;
+        // Program inputs come from terms in the e-graph, so the variable
+        // exists in the (read-only) operator table; bind it if so, and
+        // skip the binding otherwise — an unknown name cannot appear in
+        // the reference terms either.
+        if (std::optional<ir::OpId> Op = Ctx.Ops.lookup(PI.Name))
+          E[*Op] = V;
       }
     // Honor \assume facts of the simple `var = <evaluable>` shape by
     // forcing the variable's value (the generated code is entitled to rely

@@ -100,28 +100,74 @@ struct CompileResult {
   bool ok() const { return Error.empty(); }
 };
 
+/// A quiescent saturated e-graph for one GMA, ready for (repeated)
+/// universe construction and budget search. Produced by saturateGMA(),
+/// consumed by compileSaturated(). The graph is path-compressed on
+/// return, so every subsequent const query is a pure read: one
+/// SaturatedGma may serve many concurrent compileSaturated() calls (the
+/// compile server's warm-graph memo relies on exactly this).
+struct SaturatedGma {
+  std::shared_ptr<const egraph::EGraph> Graph;
+  /// Goal targets (names from the saturating GMA) with classes already
+  /// canonicalized against the quiescent graph.
+  std::vector<codegen::NamedGoal> Goals;
+  std::optional<egraph::ClassId> GuardClass;
+  /// Universe options with the per-\miss latency overrides merged in and
+  /// re-canonicalized after saturation moved classes.
+  codegen::UniverseOptions UOpts;
+  match::MatchStats Matching;
+  double MatchSeconds = 0;
+  std::string Error; ///< Nonempty: contradictory \assume facts or an
+                     ///< inconsistent saturation.
+
+  bool ok() const { return Error.empty(); }
+};
+
 class Superoptimizer {
 public:
   explicit Superoptimizer(Options Opts = Options());
 
   ir::Context &context() { return Ctx; }
+  const ir::Context &context() const { return Ctx; }
   const alpha::ISA &isa() const { return Isa; }
   Options &options() { return Opts; }
+  const Options &options() const { return Opts; }
 
   /// Compiles Denali source text — either the prototype's parenthesized
   /// syntax (Figure 6) or the envisioned surface syntax (Figures 3/5; see
   /// lang/Surface.h): declares operators, collects program axioms,
-  /// translates every procedure to GMAs, and superoptimizes each.
+  /// translates every procedure to GMAs, and superoptimizes each. This is
+  /// the mutable front end: it interns new operators/axioms and must be
+  /// serialized by callers that share one instance across threads.
   CompileResult compileSource(const std::string &Source);
 
-  /// Superoptimizes one GMA (the crucial inner subroutine).
-  GmaResult compileGMA(const gma::GMA &G);
+  /// Superoptimizes one GMA (the crucial inner subroutine). Const and
+  /// re-entrant: compiling touches no pipeline-wide mutable state (the
+  /// term/operator tables are only read), so two threads may compile
+  /// distinct pre-interned GMAs on one instance concurrently.
+  GmaResult compileGMA(const gma::GMA &G) const;
+
+  /// First half of compileGMA: seed the e-graph from \p G, saturate under
+  /// the axioms, canonicalize the goal classes, and freeze the graph
+  /// (path-compressed). The result can be compiled repeatedly — and
+  /// concurrently — via compileSaturated().
+  SaturatedGma saturateGMA(const gma::GMA &G) const;
+
+  /// Second half of compileGMA: universe construction + the SAT budget
+  /// ladder (+ dump/explain artifacts) against an already-saturated
+  /// graph. \p G names the request being served: the GmaResult carries it,
+  /// but the emitted program's input/output names come from the GMA that
+  /// produced \p S (identical when called via compileGMA; the server
+  /// renames them when serving an alpha-variant request from a warm
+  /// graph).
+  GmaResult compileSaturated(const SaturatedGma &S, const gma::GMA &G) const;
 
   /// Superoptimizes a bare vector of goal terms (library entry point for
   /// the examples): target names are paired with terms.
   GmaResult
   compileGoals(const std::string &Name,
-               const std::vector<std::pair<std::string, ir::TermId>> &Goals);
+               const std::vector<std::pair<std::string, ir::TermId>> &Goals)
+      const;
 
   /// Registers extra axioms (program-specific facts). \returns false with
   /// \p ErrorOut on parse failure. Definitional axioms also extend the
@@ -132,7 +178,7 @@ public:
   /// environments, the simulated program's outputs must equal the GMA's
   /// reference evaluation. \returns an error description or std::nullopt.
   std::optional<std::string> verify(const GmaResult &R, unsigned Trials = 16,
-                                    uint64_t Seed = 1);
+                                    uint64_t Seed = 1) const;
 
   /// The evaluator definitions harvested from definitional axioms.
   const ir::Definitions &definitions() const { return Defs; }

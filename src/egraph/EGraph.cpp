@@ -13,7 +13,7 @@ using namespace denali;
 using namespace denali::egraph;
 using denali::ir::Builtin;
 
-EGraph::EGraph(ir::Context &Ctx, bool FoldConstants)
+EGraph::EGraph(const ir::Context &Ctx, bool FoldConstants)
     : Ctx(Ctx), FoldConstants(FoldConstants) {}
 
 EGraph::Key EGraph::canonicalKey(const ENode &N) const {

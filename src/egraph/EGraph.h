@@ -150,7 +150,7 @@ struct RebuildStats {
 
 class EGraph {
 public:
-  explicit EGraph(ir::Context &Ctx, bool FoldConstants = true);
+  explicit EGraph(const ir::Context &Ctx, bool FoldConstants = true);
 
   //===--------------------------------------------------------------------===
   // Construction
@@ -298,11 +298,10 @@ public:
   /// Renders one node (with class annotations) for debugging.
   std::string nodeToString(ENodeId N) const;
 
-  ir::Context &context() { return Ctx; }
   const ir::Context &context() const { return Ctx; }
 
 private:
-  ir::Context &Ctx;
+  const ir::Context &Ctx;
   bool FoldConstants;
 
   UnionFind UF;

@@ -43,7 +43,8 @@ struct BaseOffset {
   uint64_t Offset = 0;
 };
 
-std::optional<BaseOffset> decompose(const EGraph &G, ir::Context &Ctx,
+std::optional<BaseOffset> decompose(const EGraph &G,
+                                    const ir::Context &Ctx,
                                     ClassId C,
                                     std::unordered_set<ClassId> &OnPath) {
   C = G.find(C);
@@ -88,7 +89,7 @@ std::optional<BaseOffset> decompose(const EGraph &G, ir::Context &Ctx,
 
 Elaborator denali::match::powerOfTwoElaborator() {
   return [](EGraph &G) {
-    ir::Context &Ctx = G.context();
+    const ir::Context &Ctx = G.context();
     ir::OpId MulOp = Ctx.Ops.builtin(Builtin::Mul64);
     ir::OpId PowOp = Ctx.Ops.builtin(Builtin::Pow);
     std::vector<ENodeId> Muls = G.nodesWithOp(MulOp);
@@ -110,7 +111,7 @@ Elaborator denali::match::powerOfTwoElaborator() {
 
 Elaborator denali::match::byteMaskElaborator() {
   return [](EGraph &G) {
-    ir::Context &Ctx = G.context();
+    const ir::Context &Ctx = G.context();
     ir::OpId AndOp = Ctx.Ops.builtin(Builtin::And64);
     ir::OpId ZapnotOp = Ctx.Ops.builtin(Builtin::Zapnot);
     std::vector<ENodeId> Ands = G.nodesWithOp(AndOp);
@@ -136,7 +137,7 @@ Elaborator denali::match::byteMaskElaborator() {
 
 Elaborator denali::match::byteShiftElaborator() {
   return [](EGraph &G) {
-    ir::Context &Ctx = G.context();
+    const ir::Context &Ctx = G.context();
     ir::OpId ShlOp = Ctx.Ops.builtin(Builtin::Shl64);
     ir::OpId MulOp = Ctx.Ops.builtin(Builtin::Mul64);
     std::vector<ENodeId> Shls = G.nodesWithOp(ShlOp);
@@ -155,7 +156,7 @@ Elaborator denali::match::byteShiftElaborator() {
 
 Elaborator denali::match::offsetDisequalityElaborator() {
   return [](EGraph &G) {
-    ir::Context &Ctx = G.context();
+    const ir::Context &Ctx = G.context();
     ir::OpId SelectOp = Ctx.Ops.builtin(Builtin::Select);
     ir::OpId StoreOp = Ctx.Ops.builtin(Builtin::Store);
     // Collect the classes used as memory indices.

@@ -1,0 +1,388 @@
+//===- server/Server.cpp --------------------------------------------------===//
+
+#include "server/Server.h"
+
+#include "support/StringExtras.h"
+#include "support/Timer.h"
+#include "verify/GmaText.h"
+
+#include <chrono>
+#include <deque>
+#include <istream>
+#include <ostream>
+#include <unordered_map>
+
+using namespace denali;
+using namespace denali::server;
+
+const char *denali::server::resultSourceName(ResultSource S) {
+  switch (S) {
+  case ResultSource::Cold:
+    return "cold";
+  case ResultSource::WarmGraph:
+    return "warm";
+  case ResultSource::CacheHit:
+    return "hit";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Rough live size of a cached result, for the --cache-bytes budget. An
+/// estimate is fine: the cap bounds memory order-of-magnitude, it is not
+/// an allocator.
+size_t approxResultBytes(const driver::GmaResult &R, const CanonicalGma &C) {
+  size_t B = sizeof(driver::GmaResult) + C.Text.size();
+  B += R.Search.Program.Instrs.size() * 64;
+  B += R.Search.Probes.size() * 128;
+  B += R.ExplanationJson.size() + R.ExplanationListing.size() +
+       R.EGraphDotText.size() + R.EGraphJsonText.size() +
+       R.WhyUnsatText.size() + R.Error.size();
+  for (const auto &[Orig, Canon] : C.VarMap)
+    B += Orig.size() + Canon.size() + 16;
+  return B;
+}
+
+} // namespace
+
+driver::GmaResult denali::server::renameResult(const driver::GmaResult &Cached,
+                                               const CanonicalGma &From,
+                                               const gma::GMA &To,
+                                               const CanonicalGma &ToCanon) {
+  driver::GmaResult R = Cached;
+  R.Gma = To;
+  // Exact duplicate (same variable names, targets, and source name): the
+  // cached result is already in the request's name space — serve it
+  // verbatim. This is the bit-identical path the bench gate checks.
+  if (From.VarMap == ToCanon.VarMap && From.Targets == ToCanon.Targets &&
+      From.Name == ToCanon.Name)
+    return R;
+
+  // Alpha-variant: compose producer-name -> canonical -> request-name.
+  std::unordered_map<std::string, std::string> CanonToNew;
+  for (const auto &[Orig, Canon] : ToCanon.VarMap)
+    CanonToNew[Canon] = Orig;
+  std::unordered_map<std::string, std::string> OldToNew;
+  for (const auto &[Orig, Canon] : From.VarMap) {
+    auto It = CanonToNew.find(Canon);
+    if (It != CanonToNew.end() && It->second != Orig)
+      OldToNew[Orig] = It->second;
+  }
+  std::unordered_map<std::string, std::string> TargetMap;
+  for (size_t I = 0; I < From.Targets.size() && I < ToCanon.Targets.size();
+       ++I)
+    if (From.Targets[I] != ToCanon.Targets[I])
+      TargetMap[From.Targets[I]] = ToCanon.Targets[I];
+
+  alpha::Program &P = R.Search.Program;
+  P.Name = To.Name;
+  for (alpha::ProgramInput &In : P.Inputs) {
+    auto It = OldToNew.find(In.Name);
+    if (It != OldToNew.end())
+      In.Name = It->second;
+  }
+  for (auto &[Target, Reg] : P.Outputs) {
+    auto It = TargetMap.find(Target);
+    if (It != TargetMap.end())
+      Target = It->second;
+  }
+  return R;
+}
+
+CompileServer::CompileServer(ServerOptions Opts)
+    : SOpts(Opts), Opt(Opts.Pipeline),
+      Pool(Opts.Threads == 0 ? 1 : Opts.Threads),
+      Results(Opts.CacheBytes, "server.cache"),
+      // --cache-bytes 0 is the "no acceleration at all" switch: it turns
+      // the warm-graph memo off too, so every request runs the unmodified
+      // driver pipeline.
+      Graphs(Opts.CacheBytes == 0 ? 0 : Opts.WarmGraphs, "server.memo") {}
+
+ServerResponse CompileServer::serveCached(const CachedResult &Hit,
+                                          const gma::GMA &G,
+                                          const CanonicalGma &C,
+                                          double Seconds) {
+  CacheServes.fetch_add(1, std::memory_order_relaxed);
+  ServerResponse R;
+  R.Result = renameResult(Hit.Result, Hit.Canon, G, C);
+  R.Source = ResultSource::CacheHit;
+  R.Seconds = Seconds;
+  return R;
+}
+
+ServerResponse CompileServer::compileGma(const gma::GMA &G) {
+  obs::ObsSpan Span("server.request");
+  if (Span.active())
+    Span.arg("name", G.Name.c_str());
+  Timer T;
+  Requests.fetch_add(1, std::memory_order_relaxed);
+  obs::Registry::global().counter("server.requests").add();
+
+  // Canonicalization is a pure read on the shared Context; no lock.
+  CanonicalGma C = canonicalizeGma(Opt.context(), G);
+  const driver::Options &DOpts =
+      static_cast<const driver::Superoptimizer &>(Opt).options();
+  Key128 RKey = makeKey(C.Text, resultFingerprint(DOpts));
+
+  // Tier 1: result cache.
+  if (std::shared_ptr<const CachedResult> Hit = Results.get(RKey, C.Text)) {
+    ServerResponse R = serveCached(*Hit, G, C, 0);
+    R.Seconds = T.seconds();
+    if (Span.active())
+      Span.arg("source", "hit");
+    return R;
+  }
+
+  // Tier 2: warm saturated graph. The shared_ptr we hold keeps the graph
+  // alive even if the memo evicts the entry mid-compile.
+  Key128 GKey = makeKey(C.Text, matchFingerprint(DOpts));
+  if (std::shared_ptr<const CachedGraph> Warm = Graphs.get(GKey, C.Text)) {
+    WarmCompiles.fetch_add(1, std::memory_order_relaxed);
+    driver::GmaResult R = Opt.compileSaturated(Warm->Saturated, G);
+    // Cache in the *producer's* name space, with the producer's renaming,
+    // so later hits compose names exactly like this one did.
+    Results.put(RKey, C.Text,
+                std::make_shared<CachedResult>(CachedResult{R, Warm->Canon}),
+                approxResultBytes(R, Warm->Canon));
+    ServerResponse Out;
+    Out.Result = renameResult(R, Warm->Canon, G, C);
+    Out.Source = ResultSource::WarmGraph;
+    Out.Seconds = T.seconds();
+    if (Span.active())
+      Span.arg("source", "warm");
+    return Out;
+  }
+
+  // Tier 3: cold compile; populate both tiers.
+  ColdCompiles.fetch_add(1, std::memory_order_relaxed);
+  driver::SaturatedGma S = Opt.saturateGMA(G);
+  driver::GmaResult R = Opt.compileSaturated(S, G);
+  if (S.ok())
+    Graphs.put(GKey, C.Text,
+               std::make_shared<CachedGraph>(CachedGraph{std::move(S), C}),
+               1);
+  Results.put(RKey, C.Text,
+              std::make_shared<CachedResult>(CachedResult{R, C}),
+              approxResultBytes(R, C));
+  ServerResponse Out;
+  Out.Result = std::move(R);
+  Out.Source = ResultSource::Cold;
+  Out.Seconds = T.seconds();
+  if (Span.active())
+    Span.arg("source", "cold");
+  return Out;
+}
+
+ServerResponse CompileServer::compileText(const std::string &Text) {
+  gma::GMA G;
+  {
+    std::lock_guard<std::mutex> Lock(FrontEndMu);
+    std::string Err;
+    std::optional<gma::GMA> Parsed =
+        verify::parseGma(Opt.context(), Text, &Err);
+    if (!Parsed) {
+      Requests.fetch_add(1, std::memory_order_relaxed);
+      ParseErrors.fetch_add(1, std::memory_order_relaxed);
+      obs::Registry::global().counter("server.parse_errors").add();
+      ServerResponse R;
+      R.Result.Error = "parse: " + Err;
+      return R;
+    }
+    G = std::move(*Parsed);
+  }
+  return compileGma(G);
+}
+
+std::vector<ServerResponse>
+CompileServer::compileBulk(const std::vector<std::string> &Texts) {
+  obs::ObsSpan Span("server.bulk");
+  if (Span.active())
+    Span.arg("requests", static_cast<uint64_t>(Texts.size()));
+
+  struct Parsed {
+    bool Ok = false;
+    gma::GMA G;
+    std::string Err;
+  };
+  std::vector<Parsed> Reqs(Texts.size());
+  {
+    // One lock acquisition for the whole batch: interning dominates the
+    // front-end cost and contends with nothing while we hold it.
+    std::lock_guard<std::mutex> Lock(FrontEndMu);
+    for (size_t I = 0; I < Texts.size(); ++I) {
+      std::string Err;
+      std::optional<gma::GMA> G =
+          verify::parseGma(Opt.context(), Texts[I], &Err);
+      if (G) {
+        Reqs[I].Ok = true;
+        Reqs[I].G = std::move(*G);
+      } else {
+        Reqs[I].Err = std::move(Err);
+      }
+    }
+  }
+
+  // Group same-skeleton requests so each canonical goal skeleton is
+  // saturated once: the group's first request (the leader) compiles and
+  // fills the tiers, followers are then served warm/from cache. With
+  // caching off every member compiles cold — the pre-server behavior.
+  std::unordered_map<std::string, std::vector<size_t>> Groups;
+  std::vector<std::string> GroupOrder;
+  for (size_t I = 0; I < Reqs.size(); ++I) {
+    if (!Reqs[I].Ok)
+      continue;
+    std::string Key = canonicalizeGma(Opt.context(), Reqs[I].G).Text;
+    auto [It, Fresh] = Groups.emplace(std::move(Key), std::vector<size_t>());
+    if (Fresh)
+      GroupOrder.push_back(It->first);
+    It->second.push_back(I);
+  }
+  if (Span.active())
+    Span.arg("groups", static_cast<uint64_t>(GroupOrder.size()));
+
+  std::vector<ServerResponse> Responses(Texts.size());
+  std::vector<std::future<void>> Futures;
+  Futures.reserve(GroupOrder.size());
+  for (const std::string &Key : GroupOrder) {
+    const std::vector<size_t> &Members = Groups[Key];
+    Futures.push_back(Pool.submit([this, &Reqs, &Responses, Members]() {
+      for (size_t I : Members)
+        Responses[I] = compileGma(Reqs[I].G);
+    }));
+  }
+  for (std::future<void> &F : Futures)
+    F.get();
+  for (size_t I = 0; I < Reqs.size(); ++I)
+    if (!Reqs[I].Ok) {
+      Requests.fetch_add(1, std::memory_order_relaxed);
+      ParseErrors.fetch_add(1, std::memory_order_relaxed);
+      obs::Registry::global().counter("server.parse_errors").add();
+      Responses[I].Result.Error = "parse: " + Reqs[I].Err;
+    }
+  return Responses;
+}
+
+namespace {
+
+std::string formatResponse(const ServerResponse &R, bool PrintProgram) {
+  if (!R.Result.Error.empty())
+    return "(error \"" + obs::jsonEscape(R.Result.Error) + "\")";
+  std::string Name =
+      R.Result.Gma.Name.empty() ? std::string("unnamed") : R.Result.Gma.Name;
+  std::string Line =
+      strFormat("(ok %s :cycles %u :source %s :seconds %.6f", Name.c_str(),
+                R.Result.Search.Cycles, resultSourceName(R.Source),
+                R.Seconds);
+  if (PrintProgram)
+    Line +=
+        " :program \"" + obs::jsonEscape(R.Result.Search.Program.toString()) +
+        "\"";
+  return Line + ")";
+}
+
+/// Paren balance of \p Line, for accumulating multi-line forms. The wire
+/// syntax has no string atoms on the request side, so raw counting works.
+int parenDelta(const std::string &Line) {
+  int D = 0;
+  for (char C : Line) {
+    if (C == '(')
+      ++D;
+    else if (C == ')')
+      --D;
+    else if (C == ';')
+      break; // Comment to end of line.
+  }
+  return D;
+}
+
+bool isForm(const std::string &Buf, const char *Verb) {
+  size_t I = Buf.find_first_not_of(" \t\r\n");
+  if (I == std::string::npos || Buf[I] != '(')
+    return false;
+  I = Buf.find_first_not_of(" \t", I + 1);
+  size_t E = I;
+  while (E < Buf.size() && Buf[E] != ' ' && Buf[E] != ')' && Buf[E] != '\n')
+    ++E;
+  return Buf.compare(I, E - I, Verb) == 0;
+}
+
+} // namespace
+
+int CompileServer::serve(std::istream &In, std::ostream &Out) {
+  int Failures = 0;
+  std::deque<std::future<std::string>> Pending;
+  auto Flush = [&](bool All) {
+    while (!Pending.empty()) {
+      if (!All &&
+          Pending.size() <= static_cast<size_t>(SOpts.Threads) * 4 &&
+          Pending.front().wait_for(std::chrono::seconds(0)) !=
+              std::future_status::ready)
+        break;
+      std::string Line = Pending.front().get();
+      Pending.pop_front();
+      if (Line.compare(0, 6, "(error") == 0)
+        ++Failures;
+      Out << Line << "\n" << std::flush;
+    }
+  };
+
+  std::string Buf, Line;
+  int Depth = 0;
+  bool Quit = false;
+  while (!Quit && std::getline(In, Line)) {
+    if (Buf.empty() && Line.find_first_not_of(" \t\r") == std::string::npos)
+      continue;
+    if (!Buf.empty())
+      Buf += "\n";
+    Buf += Line;
+    Depth += parenDelta(Line);
+    if (Depth > 0)
+      continue; // Form still open; keep accumulating.
+    Depth = 0;
+    std::string Form;
+    Form.swap(Buf);
+    if (isForm(Form, "quit")) {
+      Quit = true;
+    } else if (isForm(Form, "stats")) {
+      // Keep strict request ordering: drain compiles first.
+      Flush(true);
+      Out << statsText() << "\n" << std::flush;
+    } else {
+      bool PrintProgram = SOpts.PrintPrograms;
+      Pending.push_back(
+          Pool.submit([this, Text = std::move(Form), PrintProgram]() {
+            return formatResponse(compileText(Text), PrintProgram);
+          }));
+    }
+    Flush(false);
+  }
+  Flush(true);
+  return Failures;
+}
+
+ServerStats CompileServer::stats() const {
+  ServerStats St;
+  St.Requests = Requests.load(std::memory_order_relaxed);
+  St.ParseErrors = ParseErrors.load(std::memory_order_relaxed);
+  St.ColdCompiles = ColdCompiles.load(std::memory_order_relaxed);
+  St.WarmCompiles = WarmCompiles.load(std::memory_order_relaxed);
+  St.CacheServes = CacheServes.load(std::memory_order_relaxed);
+  St.ResultCache = Results.stats();
+  St.GraphMemo = Graphs.stats();
+  return St;
+}
+
+std::string CompileServer::statsText() const {
+  ServerStats St = stats();
+  return strFormat(
+      "(stats :requests %llu :parse-errors %llu :cold %llu :warm %llu "
+      ":hits %llu :cache-entries %zu :cache-bytes %zu :cache-evictions %llu "
+      ":memo-entries %zu :memo-evictions %llu)",
+      (unsigned long long)St.Requests, (unsigned long long)St.ParseErrors,
+      (unsigned long long)St.ColdCompiles,
+      (unsigned long long)St.WarmCompiles,
+      (unsigned long long)St.CacheServes, St.ResultCache.Entries,
+      St.ResultCache.Bytes, (unsigned long long)St.ResultCache.Evictions,
+      St.GraphMemo.Entries, (unsigned long long)St.GraphMemo.Evictions);
+}

@@ -6,6 +6,7 @@
 #include "support/StringExtras.h"
 
 #include <cctype>
+#include <string_view>
 
 using namespace denali;
 using namespace denali::sexpr;
@@ -16,10 +17,16 @@ std::string ParseError::toString() const {
 
 namespace {
 
-/// Recursive-descent reader over a character buffer.
+/// Recursive-descent reader over a character buffer. Tokenization is
+/// zero-copy: atoms are scanned as string_views into the input, runs of
+/// trivia are skipped in bulk, and the only per-token allocation is the
+/// final std::string a *symbol* atom hands to SExpr::makeSymbol (integer
+/// atoms allocate nothing). This is the bulk-ingestion fast path the
+/// compile server's --bulk mode and bench_server's parse-throughput
+/// figure measure.
 class Reader {
 public:
-  explicit Reader(const std::string &Text) : Text(Text) {}
+  explicit Reader(std::string_view Text) : Text(Text) {}
 
   ParseResult readAll() {
     ParseResult Result;
@@ -36,7 +43,7 @@ public:
   }
 
 private:
-  const std::string &Text;
+  std::string_view Text;
   size_t Pos = 0;
   unsigned Line = 1;
   unsigned Col = 1;
@@ -58,12 +65,33 @@ private:
     while (!atEnd()) {
       char C = peek();
       if (std::isspace(static_cast<unsigned char>(C))) {
-        advance();
+        // Bulk-skip the whitespace run, counting newlines once.
+        size_t Start = Pos;
+        size_t LastNewline = std::string_view::npos;
+        while (Pos < Text.size() &&
+               std::isspace(static_cast<unsigned char>(Text[Pos]))) {
+          if (Text[Pos] == '\n') {
+            ++Line;
+            LastNewline = Pos;
+          }
+          ++Pos;
+        }
+        if (LastNewline != std::string_view::npos)
+          Col = static_cast<unsigned>(Pos - LastNewline);
+        else
+          Col += static_cast<unsigned>(Pos - Start);
         continue;
       }
       if (C == ';') {
-        while (!atEnd() && peek() != '\n')
-          advance();
+        // Comment to end of line: one find instead of a char loop.
+        size_t Nl = Text.find('\n', Pos);
+        if (Nl == std::string_view::npos) {
+          Col += static_cast<unsigned>(Text.size() - Pos);
+          Pos = Text.size();
+        } else {
+          Col += static_cast<unsigned>(Nl - Pos);
+          Pos = Nl; // The newline itself is whitespace; next iteration.
+        }
         continue;
       }
       break;
@@ -107,18 +135,20 @@ private:
       Out = SExpr::makeList(std::move(Elems), StartLine, StartCol);
       return true;
     }
-    // Atom: read to the next delimiter.
-    std::string Token;
-    while (!atEnd() && !isDelimiter(peek())) {
-      Token.push_back(peek());
-      advance();
-    }
+    // Atom: scan to the next delimiter as a view — no per-token string.
+    // Delimiters include every whitespace character, so a token can never
+    // contain a newline and the position bookkeeping is a single add.
+    size_t Start = Pos;
+    while (Pos < Text.size() && !isDelimiter(Text[Pos]))
+      ++Pos;
+    Col += static_cast<unsigned>(Pos - Start);
+    std::string_view Token = Text.substr(Start, Pos - Start);
     int64_t IntVal;
     if (parseIntegerLiteral(Token, IntVal)) {
       Out = SExpr::makeInteger(IntVal, StartLine, StartCol);
       return true;
     }
-    Out = SExpr::makeSymbol(std::move(Token), StartLine, StartCol);
+    Out = SExpr::makeSymbol(std::string(Token), StartLine, StartCol);
     return true;
   }
 };

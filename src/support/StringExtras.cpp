@@ -43,7 +43,7 @@ std::vector<std::string> denali::splitString(const std::string &S,
   return Pieces;
 }
 
-bool denali::parseIntegerLiteral(const std::string &S, int64_t &Out) {
+bool denali::parseIntegerLiteral(std::string_view S, int64_t &Out) {
   if (S.empty())
     return false;
   size_t I = 0;

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace denali {
@@ -25,7 +26,9 @@ std::vector<std::string> splitString(const std::string &S,
 
 /// \returns true if \p S parses as a (possibly negative, possibly 0x-prefixed)
 /// integer literal; the value is stored in \p Out.
-bool parseIntegerLiteral(const std::string &S, int64_t &Out);
+/// The parameter is a view so zero-copy tokenizers (sexpr::parse) can
+/// test candidate tokens without materializing a std::string.
+bool parseIntegerLiteral(std::string_view S, int64_t &Out);
 
 /// Renders \p V as a decimal if small, hexadecimal otherwise (readability of
 /// masks like 0xffff in printed terms).

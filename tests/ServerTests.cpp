@@ -1,0 +1,446 @@
+//===- tests/ServerTests.cpp - Compile server & canonical caching ---------===//
+//
+// The server layer's contract, in four parts:
+//   * canonicalization: alpha-renamed / operand-commuted / source-renamed
+//     GMAs share one key; different structure never does; keys fold the
+//     options fingerprint in (invalidation on Options change);
+//   * cache serving: exact duplicates are bit-identical to their cold
+//     compile, alpha-variants are served by pure renaming and still pass
+//     differential verification, cache-off matches the plain driver;
+//   * re-entrancy: one const Superoptimizer compiles distinct GMAs from
+//     several threads with results identical to sequential compiles;
+//   * protocol: bulk grouping hit counts are deterministic, and serve()
+//     answers every request line in order.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Server.h"
+
+#include "support/StringExtras.h"
+#include "verify/GmaGen.h"
+#include "verify/GmaText.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+using namespace denali;
+using namespace denali::server;
+
+namespace {
+
+driver::Options smallOptions() {
+  driver::Options Opts;
+  Opts.Search.MaxCycles = 4;
+  return Opts;
+}
+
+gma::GMA parse(driver::Superoptimizer &Opt, const std::string &Text) {
+  std::string Err;
+  std::optional<gma::GMA> G = verify::parseGma(Opt.context(), Text, &Err);
+  EXPECT_TRUE(G.has_value()) << Err << "\n" << Text;
+  return *G;
+}
+
+//===----------------------------------------------------------------------===//
+// Canonicalization & keys
+//===----------------------------------------------------------------------===//
+
+TEST(CanonTest, AlphaRenameSameKeyAndText) {
+  driver::Superoptimizer Opt(smallOptions());
+  gma::GMA A = parse(Opt, "(gma f (assign r (add64 a (mul64 b c))))");
+  gma::GMA B = parse(Opt, "(gma f (assign r (add64 x (mul64 y z))))");
+  CanonicalGma CA = canonicalizeGma(Opt.context(), A);
+  CanonicalGma CB = canonicalizeGma(Opt.context(), B);
+  EXPECT_EQ(CA.Text, CB.Text);
+  std::string FP = resultFingerprint(Opt.options());
+  EXPECT_EQ(makeKey(CA.Text, FP), makeKey(CB.Text, FP));
+  // The renaming is recorded per request, in canonical first-use order
+  // (the shape sort visits the (mul64 ? ?) operand before the bare
+  // variable, so b/y lead).
+  ASSERT_EQ(CA.VarMap.size(), 3u);
+  ASSERT_EQ(CB.VarMap.size(), 3u);
+  EXPECT_EQ(CA.VarMap[0].first, "b");
+  EXPECT_EQ(CA.VarMap[0].second, "v0");
+  EXPECT_EQ(CB.VarMap[0].first, "y");
+  EXPECT_EQ(CB.VarMap[0].second, "v0");
+}
+
+TEST(CanonTest, CommutedOperandsSameText) {
+  driver::Superoptimizer Opt(smallOptions());
+  gma::GMA A = parse(Opt, "(gma f (assign r (add64 (mul64 a b) c)))");
+  gma::GMA B = parse(Opt, "(gma f (assign r (add64 c (mul64 b a))))");
+  EXPECT_EQ(canonicalizeGma(Opt.context(), A).Text,
+            canonicalizeGma(Opt.context(), B).Text);
+}
+
+TEST(CanonTest, SourceAndTargetNamesStripped) {
+  driver::Superoptimizer Opt(smallOptions());
+  gma::GMA A = parse(Opt, "(gma first (assign r (add64 a b)))");
+  gma::GMA B = parse(Opt, "(gma second (assign out (add64 a b)))");
+  CanonicalGma CA = canonicalizeGma(Opt.context(), A);
+  EXPECT_EQ(CA.Text, canonicalizeGma(Opt.context(), B).Text);
+  ASSERT_EQ(CA.Targets.size(), 1u);
+  EXPECT_EQ(CA.Targets[0], "r");
+  EXPECT_EQ(CA.Name, "first");
+}
+
+TEST(CanonTest, DifferentStructureDifferentKey) {
+  driver::Superoptimizer Opt(smallOptions());
+  gma::GMA A = parse(Opt, "(gma f (assign r (add64 a b)))");
+  gma::GMA B = parse(Opt, "(gma f (assign r (sub64 a b)))");
+  CanonicalGma CA = canonicalizeGma(Opt.context(), A);
+  CanonicalGma CB = canonicalizeGma(Opt.context(), B);
+  EXPECT_NE(CA.Text, CB.Text);
+  std::string FP = resultFingerprint(Opt.options());
+  EXPECT_NE(makeKey(CA.Text, FP), makeKey(CB.Text, FP));
+  // (sub64 b a) IS alpha-equivalent to (sub64 a b) — swapping the names
+  // is a renaming, not a commutation — so it must share B's skeleton.
+  gma::GMA C = parse(Opt, "(gma f (assign r (sub64 b a)))");
+  EXPECT_EQ(CB.Text, canonicalizeGma(Opt.context(), C).Text);
+  // But sub64 is NOT commutative: against a constant (which cannot be
+  // renamed) the operand order must survive canonicalization.
+  gma::GMA D = parse(Opt, "(gma f (assign r (sub64 a 5)))");
+  gma::GMA E = parse(Opt, "(gma f (assign r (sub64 5 a)))");
+  EXPECT_NE(canonicalizeGma(Opt.context(), D).Text,
+            canonicalizeGma(Opt.context(), E).Text);
+  // Same-variable reuse is also structural, not nominal.
+  gma::GMA F = parse(Opt, "(gma f (assign r (sub64 a a)))");
+  EXPECT_NE(CB.Text, canonicalizeGma(Opt.context(), F).Text);
+}
+
+TEST(CanonTest, OptionsChangeInvalidatesResultKeyOnly) {
+  driver::Options O1 = smallOptions();
+  driver::Options O2 = smallOptions();
+  O2.Search.MaxCycles = 8;
+  // A search-only knob moves the result fingerprint but not the
+  // saturation fingerprint: the warm graph stays valid, the result
+  // cache entry does not.
+  EXPECT_NE(resultFingerprint(O1), resultFingerprint(O2));
+  EXPECT_EQ(matchFingerprint(O1), matchFingerprint(O2));
+  driver::Options O3 = smallOptions();
+  O3.EnforceGuard = false;
+  EXPECT_NE(matchFingerprint(O1), matchFingerprint(O3));
+  // Match parallelism is excluded: PR 6 saturation is thread-count
+  // bit-identical.
+  driver::Options O4 = smallOptions();
+  O4.Matching.Threads = 7;
+  EXPECT_EQ(matchFingerprint(O1), matchFingerprint(O4));
+}
+
+// Property over the generator stream: canonicalization is deterministic,
+// idempotent (the canonical text re-canonicalizes to itself), and stable
+// under the printGma/parseGma round trip.
+TEST(CanonTest, GeneratedGmasCanonicalizeStably) {
+  driver::Superoptimizer Opt(smallOptions());
+  verify::GmaGen Gen(Opt.context(), /*Seed=*/7);
+  for (int I = 0; I < 25; ++I) {
+    gma::GMA G = Gen.next();
+    CanonicalGma C1 = canonicalizeGma(Opt.context(), G);
+    EXPECT_EQ(C1.Text, canonicalizeGma(Opt.context(), G).Text);
+
+    std::string Err;
+    std::optional<gma::GMA> Round =
+        verify::parseGma(Opt.context(), verify::printGma(Opt.context(), G),
+                         &Err);
+    ASSERT_TRUE(Round.has_value()) << Err;
+    EXPECT_EQ(C1.Text, canonicalizeGma(Opt.context(), *Round).Text);
+
+    std::optional<gma::GMA> Canon =
+        verify::parseGma(Opt.context(), C1.Text, &Err);
+    ASSERT_TRUE(Canon.has_value()) << Err << "\n" << C1.Text;
+    EXPECT_EQ(C1.Text, canonicalizeGma(Opt.context(), *Canon).Text);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Cache serving
+//===----------------------------------------------------------------------===//
+
+TEST(ServerTest, ExactDuplicateIsBitIdenticalToColdCompile) {
+  ServerOptions SO;
+  SO.Pipeline = smallOptions();
+  SO.Threads = 1;
+  CompileServer Server(SO);
+  const std::string Text = "(gma dup (assign r (add64 a (add64 b 3))))";
+
+  ServerResponse Cold = Server.compileText(Text);
+  ASSERT_TRUE(Cold.Result.ok()) << Cold.Result.Error;
+  EXPECT_EQ(Cold.Source, ResultSource::Cold);
+
+  ServerResponse Hit = Server.compileText(Text);
+  ASSERT_TRUE(Hit.Result.ok()) << Hit.Result.Error;
+  EXPECT_EQ(Hit.Source, ResultSource::CacheHit);
+  EXPECT_EQ(Cold.Result.Search.Cycles, Hit.Result.Search.Cycles);
+  EXPECT_EQ(Cold.Result.Search.Program.toString(),
+            Hit.Result.Search.Program.toString());
+
+  // And the cold compile itself is the plain driver's answer.
+  gma::GMA G = parse(Server.opt(), Text);
+  driver::GmaResult Direct = Server.opt().compileGMA(G);
+  EXPECT_EQ(Direct.Search.Program.toString(),
+            Cold.Result.Search.Program.toString());
+  EXPECT_EQ(Server.stats().CacheServes, 1u);
+}
+
+TEST(ServerTest, RenamedVariantServedFromCacheAndVerifies) {
+  ServerOptions SO;
+  SO.Pipeline = smallOptions();
+  SO.Threads = 1;
+  CompileServer Server(SO);
+
+  ServerResponse Cold =
+      Server.compileText("(gma f (assign r (xor64 a (add64 b 5))))");
+  ASSERT_TRUE(Cold.Result.ok()) << Cold.Result.Error;
+
+  // Alpha-renamed variables, renamed target, renamed source, commuted
+  // add: one canonical skeleton, served by renaming alone.
+  ServerResponse Hit =
+      Server.compileText("(gma g (assign out (xor64 x (add64 5 y))))");
+  ASSERT_TRUE(Hit.Result.ok()) << Hit.Result.Error;
+  EXPECT_EQ(Hit.Source, ResultSource::CacheHit);
+  EXPECT_EQ(Hit.Result.Gma.Name, "g");
+  EXPECT_EQ(Hit.Result.Search.Program.Name, "g");
+  EXPECT_EQ(Cold.Result.Search.Cycles, Hit.Result.Search.Cycles);
+
+  // The renamed program must still compute the request's GMA: the full
+  // differential oracle (simulator vs reference evaluation) is the
+  // cross-check that renaming composed correctly.
+  std::optional<std::string> Bad = Server.opt().verify(Hit.Result);
+  EXPECT_FALSE(Bad.has_value()) << *Bad;
+
+  // Cross-check against an independent cold compile of the variant.
+  driver::Superoptimizer Fresh(smallOptions());
+  gma::GMA G2 = parse(Fresh, "(gma g (assign out (xor64 x (add64 5 y))))");
+  driver::GmaResult Direct = Fresh.compileGMA(G2);
+  ASSERT_TRUE(Direct.ok()) << Direct.Error;
+  EXPECT_EQ(Direct.Search.Cycles, Hit.Result.Search.Cycles);
+}
+
+TEST(ServerTest, WarmGraphReusedWhenResultEntryCannotBeCached) {
+  // A result cache too small for any entry (but nonzero) forces tier 1 to
+  // stay empty while the count-capped warm-graph memo still works: the
+  // second identical request must skip saturation (WarmGraph source) and
+  // reach the same program.
+  ServerOptions SO;
+  SO.Pipeline = smallOptions();
+  SO.Threads = 1;
+  SO.CacheBytes = 64; // Shard cap 8 bytes: every result is oversized.
+  CompileServer Server(SO);
+  const std::string Text = "(gma w (assign r (add64 a (xor64 b c))))";
+
+  ServerResponse First = Server.compileText(Text);
+  ASSERT_TRUE(First.Result.ok()) << First.Result.Error;
+  EXPECT_EQ(First.Source, ResultSource::Cold);
+
+  ServerResponse Second = Server.compileText(Text);
+  ASSERT_TRUE(Second.Result.ok()) << Second.Result.Error;
+  EXPECT_EQ(Second.Source, ResultSource::WarmGraph);
+  EXPECT_EQ(First.Result.Search.Cycles, Second.Result.Search.Cycles);
+  EXPECT_EQ(First.Result.Search.Program.toString(),
+            Second.Result.Search.Program.toString());
+  EXPECT_EQ(Server.stats().WarmCompiles, 1u);
+}
+
+TEST(ServerTest, CacheOffMatchesPlainDriver) {
+  ServerOptions SO;
+  SO.Pipeline = smallOptions();
+  SO.Threads = 1;
+  SO.CacheBytes = 0; // Disables the result cache AND the graph memo.
+  CompileServer Server(SO);
+  const std::string Text = "(gma n (assign r (add64 a b)))";
+
+  ServerResponse R1 = Server.compileText(Text);
+  ServerResponse R2 = Server.compileText(Text);
+  ASSERT_TRUE(R1.Result.ok()) << R1.Result.Error;
+  EXPECT_EQ(R1.Source, ResultSource::Cold);
+  EXPECT_EQ(R2.Source, ResultSource::Cold); // No tier ever serves.
+
+  gma::GMA G = parse(Server.opt(), Text);
+  driver::GmaResult Direct = Server.opt().compileGMA(G);
+  EXPECT_EQ(Direct.Search.Program.toString(),
+            R1.Result.Search.Program.toString());
+  EXPECT_EQ(Direct.Search.Program.toString(),
+            R2.Result.Search.Program.toString());
+  ServerStats St = Server.stats();
+  EXPECT_EQ(St.CacheServes, 0u);
+  EXPECT_EQ(St.WarmCompiles, 0u);
+  EXPECT_EQ(St.ResultCache.Entries, 0u);
+  EXPECT_EQ(St.GraphMemo.Entries, 0u);
+}
+
+TEST(ServerTest, CacheStaysWithinByteCap) {
+  ServerOptions SO;
+  SO.Pipeline = smallOptions();
+  SO.Threads = 1;
+  SO.CacheBytes = 8 << 10;
+  CompileServer Server(SO);
+  // Distinct skeletons (different literals), enough to overflow the cap.
+  for (int I = 0; I < 16; ++I) {
+    ServerResponse R = Server.compileText(
+        strFormat("(gma e%d (assign r (add64 a %d)))", I, 100 + I));
+    ASSERT_TRUE(R.Result.ok()) << R.Result.Error;
+  }
+  ServerStats St = Server.stats();
+  EXPECT_LE(St.ResultCache.Bytes, SO.CacheBytes);
+  // Recompiles after eviction are still correct (cold again or hit).
+  ServerResponse Again =
+      Server.compileText("(gma e0 (assign r (add64 a 100)))");
+  ASSERT_TRUE(Again.Result.ok()) << Again.Result.Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Re-entrancy (satellite: const, concurrent Superoptimizer)
+//===----------------------------------------------------------------------===//
+
+TEST(ServerTest, ConcurrentCompilesOnOneConstSuperoptimizer) {
+  driver::Superoptimizer Opt(smallOptions());
+  // Pre-intern every GMA up front (the front end is the only mutable
+  // stage); compiles below run on a const reference.
+  std::vector<gma::GMA> Gmas;
+  Gmas.push_back(parse(Opt, "(gma c0 (assign r (add64 a b)))"));
+  Gmas.push_back(parse(Opt, "(gma c1 (assign r (xor64 a (add64 b 9))))"));
+  Gmas.push_back(parse(Opt, "(gma c2 (assign r (sub64 (or64 a b) c)))"));
+  Gmas.push_back(parse(Opt, "(gma c3 (assign r (and64 a (shl64 b 2)))"
+                            " (guard (cmplt a b)))"));
+
+  const driver::Superoptimizer &COpt = Opt;
+  std::vector<driver::GmaResult> Sequential;
+  for (const gma::GMA &G : Gmas)
+    Sequential.push_back(COpt.compileGMA(G));
+
+  std::vector<driver::GmaResult> Concurrent(Gmas.size());
+  std::vector<std::thread> Threads;
+  for (size_t I = 0; I < Gmas.size(); ++I)
+    Threads.emplace_back(
+        [&COpt, &Concurrent, &Gmas, I] { Concurrent[I] = COpt.compileGMA(Gmas[I]); });
+  for (std::thread &T : Threads)
+    T.join();
+
+  for (size_t I = 0; I < Gmas.size(); ++I) {
+    ASSERT_TRUE(Concurrent[I].ok()) << Concurrent[I].Error;
+    EXPECT_EQ(Sequential[I].Search.Cycles, Concurrent[I].Search.Cycles);
+    EXPECT_EQ(Sequential[I].Search.Program.toString(),
+              Concurrent[I].Search.Program.toString());
+  }
+}
+
+TEST(ServerTest, SaturateOnceCompileManyConcurrently) {
+  // The warm-graph tier's underlying contract: one frozen SaturatedGma
+  // serves concurrent compileSaturated() calls.
+  driver::Superoptimizer Opt(smallOptions());
+  gma::GMA G = parse(Opt, "(gma s (assign r (add64 (xor64 a b) c)))");
+  driver::SaturatedGma S = Opt.saturateGMA(G);
+  ASSERT_TRUE(S.ok()) << S.Error;
+
+  const driver::Superoptimizer &COpt = Opt;
+  driver::GmaResult Reference = COpt.compileSaturated(S, G);
+  ASSERT_TRUE(Reference.ok()) << Reference.Error;
+
+  std::vector<driver::GmaResult> Rs(4);
+  std::vector<std::thread> Threads;
+  for (size_t I = 0; I < Rs.size(); ++I)
+    Threads.emplace_back([&, I] { Rs[I] = COpt.compileSaturated(S, G); });
+  for (std::thread &T : Threads)
+    T.join();
+  for (const driver::GmaResult &R : Rs) {
+    ASSERT_TRUE(R.ok()) << R.Error;
+    EXPECT_EQ(Reference.Search.Program.toString(),
+              R.Search.Program.toString());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Bulk mode & protocol
+//===----------------------------------------------------------------------===//
+
+TEST(ServerTest, BulkGroupingHitCountsDeterministic) {
+  ServerOptions SO;
+  SO.Pipeline = smallOptions();
+  SO.Threads = 2;
+  CompileServer Server(SO);
+
+  // 8 requests over 3 canonical skeletons (renames/commutes collapse).
+  std::vector<std::string> Texts = {
+      "(gma a0 (assign r (add64 a b)))",
+      "(gma a1 (assign s (add64 y x)))",    // alpha+commute of a0
+      "(gma b0 (assign r (sub64 a b)))",
+      "(gma a2 (assign r (add64 a b)))",    // exact duplicate of a0
+      "(gma c0 (assign r (xor64 a (add64 b 1))))",
+      "(gma b1 (assign t (sub64 p q)))",    // alpha of b0
+      "(gma c1 (assign r (xor64 (add64 b 1) a)))", // commute of c0
+      "(gma a3 (assign z (add64 m n)))",    // alpha of a0
+  };
+  std::vector<ServerResponse> Rs = Server.compileBulk(Texts);
+  ASSERT_EQ(Rs.size(), Texts.size());
+  for (size_t I = 0; I < Rs.size(); ++I)
+    ASSERT_TRUE(Rs[I].Result.ok()) << I << ": " << Rs[I].Result.Error;
+
+  // Responses stay in input order (names echo back).
+  EXPECT_EQ(Rs[0].Result.Gma.Name, "a0");
+  EXPECT_EQ(Rs[7].Result.Gma.Name, "a3");
+
+  ServerStats St = Server.stats();
+  EXPECT_EQ(St.ColdCompiles, 3u);                    // One per skeleton.
+  EXPECT_EQ(St.CacheServes, Texts.size() - 3u);      // Everyone else hits.
+  EXPECT_EQ(St.Requests, Texts.size());
+
+  // All members of a skeleton group agree on the minimal cycle count.
+  EXPECT_EQ(Rs[0].Result.Search.Cycles, Rs[1].Result.Search.Cycles);
+  EXPECT_EQ(Rs[0].Result.Search.Cycles, Rs[3].Result.Search.Cycles);
+  EXPECT_EQ(Rs[2].Result.Search.Cycles, Rs[5].Result.Search.Cycles);
+  EXPECT_EQ(Rs[4].Result.Search.Cycles, Rs[6].Result.Search.Cycles);
+}
+
+TEST(ServerTest, BulkParseErrorsReportedInPlace) {
+  ServerOptions SO;
+  SO.Pipeline = smallOptions();
+  SO.Threads = 1;
+  CompileServer Server(SO);
+  std::vector<ServerResponse> Rs = Server.compileBulk({
+      "(gma ok1 (assign r (add64 a b)))",
+      "(gma bad (assign r (no_such_op a b)))",
+      "(gma ok2 (assign r (add64 a b)))",
+  });
+  ASSERT_EQ(Rs.size(), 3u);
+  EXPECT_TRUE(Rs[0].Result.ok());
+  EXPECT_FALSE(Rs[1].Result.Error.empty());
+  EXPECT_TRUE(Rs[2].Result.ok());
+  EXPECT_EQ(Rs[2].Source, ResultSource::CacheHit);
+  EXPECT_EQ(Server.stats().ParseErrors, 1u);
+}
+
+TEST(ServerTest, ServeAnswersInOrderAndHandlesVerbs) {
+  ServerOptions SO;
+  SO.Pipeline = smallOptions();
+  SO.Threads = 2;
+  CompileServer Server(SO);
+  std::istringstream In("(gma p1 (assign r (add64 a b)))\n"
+                        "\n" // Blank lines are ignored.
+                        "(gma p2\n"
+                        "  (assign r (sub64 a b))) ; multi-line form\n"
+                        "(gma broken (assign r (no_such_op a)))\n"
+                        "(stats)\n"
+                        "(gma p3 (assign s (add64 x y)))\n"
+                        "(quit)\n"
+                        "(gma after-quit (assign r (add64 a b)))\n");
+  std::ostringstream Out;
+  int Failures = Server.serve(In, Out);
+  EXPECT_EQ(Failures, 1); // The parse error.
+
+  std::vector<std::string> Lines;
+  std::istringstream Split(Out.str());
+  for (std::string L; std::getline(Split, L);)
+    Lines.push_back(L);
+  ASSERT_EQ(Lines.size(), 5u) << Out.str();
+  EXPECT_EQ(Lines[0].compare(0, 7, "(ok p1 "), 0) << Lines[0];
+  EXPECT_EQ(Lines[1].compare(0, 7, "(ok p2 "), 0) << Lines[1];
+  EXPECT_EQ(Lines[2].compare(0, 6, "(error"), 0) << Lines[2];
+  EXPECT_EQ(Lines[3].compare(0, 7, "(stats "), 0) << Lines[3];
+  EXPECT_EQ(Lines[4].compare(0, 7, "(ok p3 "), 0) << Lines[4];
+  // p3 is an alpha-variant of p1: served from cache.
+  EXPECT_NE(Lines[4].find(":source hit"), std::string::npos) << Lines[4];
+}
+
+} // namespace

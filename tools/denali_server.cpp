@@ -1,0 +1,238 @@
+//===- tools/denali_server.cpp - Long-lived compile service ---------------===//
+//
+// denali_server: Denali as a service. Reads s-expr compile requests from
+// stdin (or a corpus file in --bulk mode), answers each on one line, and
+// keeps a canonical-GMA result cache plus a warm saturated-e-graph memo
+// across requests.
+//
+//   denali_server [options]
+//     --threads N        worker threads compiling requests concurrently
+//                        (default 2)
+//     --cache-bytes N    result-cache capacity; accepts k/m/g suffixes
+//                        (default 64m). 0 disables all caching: every
+//                        request runs the plain driver pipeline.
+//     --warm-graphs N    saturated e-graphs kept warm (default 64)
+//     --bulk FILE        compile every (gma ...) form in FILE, grouping
+//                        same-skeleton requests into one saturation;
+//                        prints one response line per form, in order
+//     --print-programs   attach the emitted assembly to responses
+//     --stats            print a (stats ...) summary line on exit
+//     --max-cycles N     budget ceiling (default 16)
+//     --min-cycles N     budget floor (default 1)
+//     --binary-search / --portfolio / --incremental
+//                        budget-ladder strategy knobs (as in `denali`)
+//     --search-threads N portfolio worker count
+//     --match-budget N / --match-phases / --match-threads N /
+//     --match-eager-rebuild
+//                        saturation scheduling knobs (as in `denali`)
+//     --no-guard         drop guard-before-memory enforcement
+//     --trace-out=FILE / --jsonl-out=FILE / --metrics-out=FILE /
+//     --log-level=N      observability (server.cache.* / server.memo.* /
+//                        server.requests land in the metrics summary)
+//
+// Protocol (stdin mode):
+//   -> (gma <name> (assign t <term>) ... (guard t) (miss t) (assume ...))
+//   -> (stats)
+//   -> (quit)
+//   <- (ok <name> :cycles N :source cold|warm|hit :seconds S ...)
+//   <- (error "message")
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Obs.h"
+#include "server/Server.h"
+#include "sexpr/Parser.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace denali;
+
+namespace {
+
+const char *flagValue(const char *Arg, const char *Name, int &I, int argc,
+                      char **argv) {
+  size_t Len = std::strlen(Name);
+  if (std::strncmp(Arg, Name, Len) != 0)
+    return nullptr;
+  if (Arg[Len] == '=')
+    return Arg + Len + 1;
+  if (Arg[Len] == '\0' && I + 1 < argc)
+    return argv[++I];
+  return nullptr;
+}
+
+/// Parses "64m", "512k", "2g", or a plain byte count.
+bool parseBytes(const char *S, size_t &Out) {
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(S, &End, 10);
+  if (End == S)
+    return false;
+  switch (*End) {
+  case '\0':
+    break;
+  case 'k':
+  case 'K':
+    V <<= 10;
+    ++End;
+    break;
+  case 'm':
+  case 'M':
+    V <<= 20;
+    ++End;
+    break;
+  case 'g':
+  case 'G':
+    V <<= 30;
+    ++End;
+    break;
+  default:
+    return false;
+  }
+  if (*End != '\0')
+    return false;
+  Out = static_cast<size_t>(V);
+  return true;
+}
+
+int runBulk(server::CompileServer &Server, const std::string &Path,
+            bool PrintStats) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open %s\n", Path.c_str());
+    return 1;
+  }
+  std::stringstream SS;
+  SS << In.rdbuf();
+  std::string Corpus = SS.str();
+
+  // Split the corpus into top-level forms with the (zero-copy) reader,
+  // then hand the form texts to the server's batching bulk path.
+  sexpr::ParseResult P = sexpr::parse(Corpus);
+  if (!P.ok()) {
+    std::fprintf(stderr, "error: %s: %s\n", Path.c_str(),
+                 P.Error->toString().c_str());
+    return 1;
+  }
+  std::vector<std::string> Texts;
+  Texts.reserve(P.Forms.size());
+  for (const sexpr::SExpr &F : P.Forms)
+    Texts.push_back(F.toString());
+  std::vector<server::ServerResponse> Rs = Server.compileBulk(Texts);
+
+  int Failures = 0;
+  for (size_t I = 0; I < Rs.size(); ++I) {
+    const server::ServerResponse &R = Rs[I];
+    if (!R.Result.Error.empty()) {
+      ++Failures;
+      std::printf("(error \"%s\")\n",
+                  obs::jsonEscape(R.Result.Error).c_str());
+      continue;
+    }
+    std::printf("(ok %s :cycles %u :source %s :seconds %.6f)\n",
+                R.Result.Gma.Name.empty() ? "unnamed"
+                                          : R.Result.Gma.Name.c_str(),
+                R.Result.Search.Cycles,
+                server::resultSourceName(R.Source), R.Seconds);
+    if (Server.options().PrintPrograms)
+      std::printf("%s", R.Result.Search.Program.toString().c_str());
+  }
+  if (PrintStats)
+    std::printf("%s\n", Server.statsText().c_str());
+  return Failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  server::ServerOptions SOpts;
+  SOpts.Pipeline.Search.MaxCycles = 16;
+  std::string BulkPath;
+  bool PrintStats = false;
+  driver::Options &Opts = SOpts.Pipeline;
+
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    if (const char *V = flagValue(Arg, "--threads", I, argc, argv)) {
+      SOpts.Threads = static_cast<unsigned>(std::atoi(V));
+    } else if (const char *V =
+                   flagValue(Arg, "--cache-bytes", I, argc, argv)) {
+      if (!parseBytes(V, SOpts.CacheBytes)) {
+        std::fprintf(stderr, "error: bad --cache-bytes '%s'\n", V);
+        return 1;
+      }
+    } else if (const char *V =
+                   flagValue(Arg, "--warm-graphs", I, argc, argv)) {
+      SOpts.WarmGraphs = static_cast<size_t>(std::atoll(V));
+    } else if (const char *V = flagValue(Arg, "--bulk", I, argc, argv)) {
+      BulkPath = V;
+    } else if (std::strcmp(Arg, "--print-programs") == 0) {
+      SOpts.PrintPrograms = true;
+    } else if (std::strcmp(Arg, "--stats") == 0) {
+      PrintStats = true;
+    } else if (const char *V =
+                   flagValue(Arg, "--max-cycles", I, argc, argv)) {
+      Opts.Search.MaxCycles = static_cast<unsigned>(std::atoi(V));
+    } else if (const char *V =
+                   flagValue(Arg, "--min-cycles", I, argc, argv)) {
+      Opts.Search.MinCycles = static_cast<unsigned>(std::atoi(V));
+    } else if (std::strcmp(Arg, "--binary-search") == 0) {
+      Opts.Search.Strategy = codegen::SearchStrategy::Binary;
+    } else if (std::strcmp(Arg, "--portfolio") == 0) {
+      Opts.Search.Strategy = codegen::SearchStrategy::Portfolio;
+    } else if (std::strcmp(Arg, "--incremental") == 0) {
+      Opts.Search.Incremental = true;
+      if (Opts.Search.Strategy == codegen::SearchStrategy::Linear)
+        Opts.Search.Strategy = codegen::SearchStrategy::Incremental;
+    } else if (const char *V =
+                   flagValue(Arg, "--search-threads", I, argc, argv)) {
+      Opts.Search.Threads = static_cast<unsigned>(std::atoi(V));
+    } else if (const char *V =
+                   flagValue(Arg, "--match-budget", I, argc, argv)) {
+      Opts.Matching.MatchBudget = std::strtoull(V, nullptr, 10);
+    } else if (std::strcmp(Arg, "--match-phases") == 0) {
+      Opts.Matching.Phased = true;
+    } else if (const char *V =
+                   flagValue(Arg, "--match-threads", I, argc, argv)) {
+      Opts.Matching.Threads = static_cast<unsigned>(std::atoi(V));
+    } else if (std::strcmp(Arg, "--match-eager-rebuild") == 0) {
+      Opts.Matching.EagerRebuild = true;
+    } else if (std::strcmp(Arg, "--no-guard") == 0) {
+      Opts.EnforceGuard = false;
+    } else if (const char *V = flagValue(Arg, "--trace-out", I, argc, argv)) {
+      Opts.Obs.TraceOut = V;
+    } else if (const char *V = flagValue(Arg, "--jsonl-out", I, argc, argv)) {
+      Opts.Obs.JsonlOut = V;
+    } else if (const char *V =
+                   flagValue(Arg, "--metrics-out", I, argc, argv)) {
+      Opts.Obs.MetricsOut = V;
+    } else if (const char *V = flagValue(Arg, "--log-level", I, argc, argv)) {
+      Opts.Obs.LogLevel = std::atoi(V);
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg);
+      return 1;
+    }
+  }
+  Opts.Obs.Enabled = !Opts.Obs.TraceOut.empty() ||
+                     !Opts.Obs.JsonlOut.empty() ||
+                     !Opts.Obs.MetricsOut.empty() || Opts.Obs.LogLevel > 0;
+
+  server::CompileServer Server(SOpts);
+
+  int Rc;
+  if (!BulkPath.empty()) {
+    Rc = runBulk(Server, BulkPath, PrintStats);
+  } else {
+    int Failures = Server.serve(std::cin, std::cout);
+    if (PrintStats)
+      std::printf("%s\n", Server.statsText().c_str());
+    Rc = Failures == 0 ? 0 : 1;
+  }
+
+  if (Opts.Obs.Enabled && !obs::exportConfigured())
+    Rc = 1;
+  return Rc;
+}
