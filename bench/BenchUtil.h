@@ -61,6 +61,19 @@ inline std::string checksumSource(unsigned Lanes) {
   return Src;
 }
 
+/// A halfword permute (swap the two low 16-bit halves) built from shifts,
+/// ands, and ors only — the instruction core every machine-model backend
+/// shares, so the cross-backend bench compiles it natively everywhere (no
+/// byte-op rewriting required, unlike byteswapSource).
+inline std::string permuteSource() {
+  return R"((\procdecl permute16 ((a long)) long
+  (\var (r long 0)
+  (\semi
+    (:= (r (\or64 (\shl64 (\and64 a 65535) 16)
+                  (\and64 (\shr64 a 16) 65535))))
+    (:= (\res r))))))";
+}
+
 inline void banner(const char *Id, const char *Title) {
   std::printf("\n=== %s: %s ===\n", Id, Title);
 }

@@ -1,0 +1,114 @@
+//===- bench/bench_machine.cpp - E18: machine-model backends --------------===//
+//
+// The cross-backend micro-arm (EXPERIMENTS.md E18): the same two kernels —
+// byteswap4 (Figure 3, exercises the axiom-driven byte-op rewrites on
+// backends without byte instructions) and permute16 (shifts/ands/ors, the
+// instruction core every backend shares) — compiled under every built-in
+// machine model. Each result must verify differentially on its own
+// backend; cycles and instruction counts are recorded per (machine,
+// problem) as structural regression fields.
+//
+// Emits BENCH_machine.json (gated against bench/baselines/) and
+// BENCH_machine.metrics.txt. Exits nonzero on any compile or verify
+// failure.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "driver/Superoptimizer.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace denali;
+using namespace denali::bench;
+
+namespace {
+
+struct Row {
+  std::string Machine;
+  std::string Problem;
+  unsigned Cycles = 0;
+  size_t Instrs = 0;
+  double WallSeconds = 0;
+};
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Smoke = false;
+  for (int I = 1; I < argc; ++I)
+    if (!std::strcmp(argv[I], "--smoke"))
+      Smoke = true;
+  (void)Smoke; // The arm is already CI-sized; --smoke is accepted for
+               // symmetry with the other harnesses.
+  enableObsMetrics();
+
+  const std::vector<std::string> Machines = {"alpha", "rv64"};
+  const std::vector<std::pair<std::string, std::string>> Problems = {
+      {"byteswap4", byteswapSource(4)},
+      {"permute16", permuteSource()},
+  };
+
+  banner("E18", "machine-model backends: byteswap4 + permute16 per machine");
+  std::printf("%-8s %-10s %-8s %-8s %-8s\n", "machine", "problem", "cycles",
+              "instrs", "wall-s");
+
+  std::vector<Row> Rows;
+  bool AllOk = true;
+  for (const std::string &MName : Machines) {
+    for (const auto &[PName, Source] : Problems) {
+      driver::Options Opts;
+      Opts.MachineName = MName;
+      Opts.Search.MaxCycles = 10;
+      driver::Superoptimizer Opt(Opts);
+      Timer T;
+      driver::CompileResult R = Opt.compileSource(Source);
+      double Wall = T.seconds();
+      if (!R.ok() || R.Gmas.empty() || !R.Gmas[0].ok()) {
+        std::printf("%s/%s: FAILED (%s)\n", MName.c_str(), PName.c_str(),
+                    (R.ok() && !R.Gmas.empty() ? R.Gmas[0].Error : R.Error)
+                        .c_str());
+        AllOk = false;
+        continue;
+      }
+      driver::GmaResult &G = R.Gmas[0];
+      if (auto Err = Opt.verify(G)) {
+        std::printf("%s/%s: VERIFY FAILED (%s)\n", MName.c_str(),
+                    PName.c_str(), Err->c_str());
+        AllOk = false;
+        continue;
+      }
+      Rows.push_back(Row{MName, PName, G.Search.Cycles,
+                         G.Search.Program.Instrs.size(), Wall});
+      std::printf("%-8s %-10s %-8u %-8zu %-8.2f\n", MName.c_str(),
+                  PName.c_str(), G.Search.Cycles,
+                  G.Search.Program.Instrs.size(), Wall);
+    }
+  }
+
+  writeMetricsSummary("BENCH_machine.metrics.txt");
+
+  std::FILE *Out = std::fopen("BENCH_machine.json", "w");
+  if (Out) {
+    std::fprintf(Out, "[\n");
+    for (size_t I = 0; I < Rows.size(); ++I) {
+      const Row &R = Rows[I];
+      std::fprintf(Out,
+                   "  {\"machine\": \"%s\", \"problem\": \"%s\", "
+                   "\"cycles\": %u, \"instrs\": %zu, \"wall_s\": %.6f}%s\n",
+                   R.Machine.c_str(), R.Problem.c_str(), R.Cycles, R.Instrs,
+                   R.WallSeconds, I + 1 < Rows.size() ? "," : "");
+    }
+    std::fprintf(Out, "]\n");
+    std::fclose(Out);
+    std::printf("\nwrote BENCH_machine.json (%zu records)\n", Rows.size());
+  } else {
+    std::printf("\ncould not write BENCH_machine.json\n");
+    AllOk = false;
+  }
+  return AllOk ? 0 : 1;
+}

@@ -13,6 +13,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
+#include "alpha/ISA.h"
 #include "axioms/BuiltinAxioms.h"
 #include "codegen/Search.h"
 #include "egraph/Analysis.h"

@@ -4,6 +4,7 @@
 // input syntax, Figure 6) to annotated EV6 assembly on stdout.
 //
 //   denali [options] file.dnl
+//     --machine NAME     target machine backend: alpha (default) or rv64
 //     --max-cycles N     budget ceiling (default 16)
 //     --binary-search    probe budgets by binary search (default linear)
 //     --portfolio        probe a window of budgets concurrently, cancelling
@@ -46,7 +47,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "driver/Superoptimizer.h"
+#include "machine/RV64.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -91,6 +94,9 @@ int main(int argc, char **argv) {
     } else if (const char *V =
                    flagValue(argv[I], "--log-level", I, argc, argv)) {
       Opts.Obs.LogLevel = std::atoi(V);
+    } else if (const char *V =
+                   flagValue(argv[I], "--machine", I, argc, argv)) {
+      Opts.MachineName = V;
     } else if (!std::strcmp(argv[I], "--max-cycles") && I + 1 < argc) {
       Opts.Search.MaxCycles = static_cast<unsigned>(std::atoi(argv[++I]));
     } else if (!std::strcmp(argv[I], "--binary-search")) {
@@ -143,7 +149,8 @@ int main(int argc, char **argv) {
   }
   if (!Path) {
     std::fprintf(stderr,
-                 "usage: denali [--max-cycles N] [--binary-search] "
+                 "usage: denali [--machine NAME] [--max-cycles N] "
+                 "[--binary-search] "
                  "[--portfolio] [--threads N] [--incremental] "
                  "[--match-budget N] [--match-phases] [--match-threads N] "
                  "[--match-eager-rebuild] [--show-nops] "
@@ -158,6 +165,21 @@ int main(int argc, char **argv) {
   Opts.Obs.Enabled = !Opts.Obs.TraceOut.empty() ||
                      !Opts.Obs.JsonlOut.empty() ||
                      !Opts.Obs.MetricsOut.empty() || Opts.Obs.LogLevel > 0;
+
+  // Validate the backend name up front: a typo should be a clean usage
+  // error, not the library's fatal abort.
+  alpha::registerAlphaMachine();
+  machine::registerRV64Machine();
+  std::vector<std::string> Machines = machine::registeredMachines();
+  if (std::find(Machines.begin(), Machines.end(), Opts.MachineName) ==
+      Machines.end()) {
+    std::string Known;
+    for (const std::string &N : Machines)
+      Known += (Known.empty() ? "" : ", ") + N;
+    std::fprintf(stderr, "unknown machine '%s' (known: %s)\n",
+                 Opts.MachineName.c_str(), Known.c_str());
+    return 2;
+  }
 
   std::ifstream In(Path);
   if (!In) {

@@ -23,6 +23,15 @@ const char *denali::alpha::unitName(Unit U) {
 }
 
 ISA::ISA(ir::Context &Ctx, Machine M) : Model(M) {
+  // U/L by capability, 0/1 by cluster; unit index order matches the Unit
+  // enum (and the historical mask constants).
+  addUnit("U0", 0);
+  addUnit("U1", 1);
+  addUnit("L0", 0);
+  addUnit("L1", 1);
+  IssueWidth = 4; // Quad issue.
+  HitLatency = 3; // Cache-hit ldq.
+
   struct Row {
     Builtin B;
     const char *Mnemonic;
@@ -82,20 +91,23 @@ ISA::ISA(ir::Context &Ctx, Machine M) : Model(M) {
     D.UnitMask = Model == Machine::EV6 ? R.UnitMask : MaskAll;
     D.Latency = R.Latency;
     D.Mem = R.Mem;
-    D.AllowsImm8 = R.Imm8;
-    ByOp.emplace(D.Op, Table.size());
-    Table.push_back(std::move(D));
+    D.AllowsImm = R.Imm8;
+    D.ImmMin = 0; // 8-bit unsigned ALU literal.
+    D.ImmMax = 255;
+    addInstr(std::move(D));
   }
+  InstrDesc Ldiq;
   Ldiq.Op = Ctx.Ops.builtin(Builtin::Const);
   Ldiq.Mnemonic = "ldiq";
   Ldiq.UnitMask = MaskAll;
   Ldiq.Latency = 1;
-  Ldiq.AllowsImm8 = false;
+  Ldiq.AllowsImm = false;
+  setConstMaterialize(std::move(Ldiq));
 }
 
-const InstrDesc *ISA::descFor(ir::OpId Op) const {
-  auto It = ByOp.find(Op);
-  if (It == ByOp.end())
-    return nullptr;
-  return &Table[It->second];
+void denali::alpha::registerAlphaMachine() {
+  machine::registerMachine("alpha", [](ir::Context &Ctx) {
+    return std::unique_ptr<machine::MachineModel>(
+        new ISA(Ctx, Machine::EV6));
+  });
 }

@@ -3,7 +3,8 @@
 /// \file
 /// The architectural description consumed by the constraint generator
 /// (paper, Figure 1): which functional units can execute which
-/// instructions, instruction latencies, and the EV6's clustered layout.
+/// instructions, instruction latencies, and the EV6's clustered layout —
+/// expressed as a machine::MachineModel backend.
 ///
 /// The EV6 is a quad-issue processor with four integer execution units in
 /// two clusters — upper/lower (U/L) by capability, 0/1 by cluster:
@@ -23,6 +24,7 @@
 #define DENALI_ALPHA_ISA_H
 
 #include "ir/Term.h"
+#include "machine/Machine.h"
 
 #include <optional>
 #include <string>
@@ -31,6 +33,10 @@
 
 namespace denali {
 namespace alpha {
+
+/// The generic machine types, re-exported under the historical names.
+using machine::MemKind;
+using InstrDesc = machine::InstrDesc;
 
 /// The four integer issue slots of the EV6.
 enum class Unit : uint8_t { U0 = 0, U1 = 1, L0 = 2, L1 = 3 };
@@ -53,21 +59,6 @@ constexpr uint8_t MaskUpper = MaskU0 | MaskU1;
 constexpr uint8_t MaskLower = MaskL0 | MaskL1;
 constexpr uint8_t MaskAll = MaskUpper | MaskLower;
 
-/// Memory behaviour of an instruction.
-enum class MemKind : uint8_t { None, Load, Store };
-
-/// One instruction of the target, tied to the operator it computes.
-struct InstrDesc {
-  ir::OpId Op = 0;
-  std::string Mnemonic;
-  uint8_t UnitMask = MaskAll;
-  unsigned Latency = 1;
-  MemKind Mem = MemKind::None;
-  /// True if the *last* source operand may be an 8-bit literal (the Alpha
-  /// ALU-literal form).
-  bool AllowsImm8 = true;
-};
-
 /// Machine model selector. The paper notes retargeting (to the Itanium)
 /// mostly means new axioms plus a new architectural description; the
 /// second model demonstrates the description is data, not code:
@@ -77,48 +68,38 @@ struct InstrDesc {
 ///    every unit executes everything (an upper bound on EV6 schedules).
 enum class Machine { EV6, SimpleQuad };
 
-/// The machine description: operator -> instruction table plus global
-/// timing parameters.
-class ISA {
+/// The EV6 machine description: operator -> instruction table plus global
+/// timing parameters, behind the generic MachineModel interface.
+class ISA : public machine::MachineModel {
 public:
   explicit ISA(ir::Context &Ctx, Machine Model = Machine::EV6);
 
   Machine model() const { return Model; }
 
-  /// \returns the instruction computing \p Op, or nullptr if \p Op is not a
-  /// machine operation.
-  const InstrDesc *descFor(ir::OpId Op) const;
-
-  /// The pseudo-instruction materializing a 64-bit constant into a
-  /// register (in reality lda/ldah sequences; modeled as one cycle, any
-  /// unit, which matches the common 16-bit-immediate case).
-  const InstrDesc &constMaterialize() const { return Ldiq; }
+  std::string name() const override { return "alpha"; }
 
   /// Extra cycles before a result is usable on the other cluster.
-  unsigned crossClusterDelay() const {
+  unsigned crossClusterDelay() const override {
     return Model == Machine::EV6 ? 1 : 0;
   }
 
-  /// Cache-hit load latency (ldq).
-  unsigned loadHitLatency() const { return 3; }
-  /// Latency for loads annotated \miss in the source program.
-  unsigned loadMissLatency() const { return MissLatency; }
-  void setLoadMissLatency(unsigned L) { MissLatency = L; }
-
-  /// Issue width per cycle (quad issue).
-  unsigned issueWidth() const { return 4; }
-
-  /// All instruction descriptors (for the brute-force baseline's repertoire
-  /// and for documentation dumps).
-  const std::vector<InstrDesc> &allInstructions() const { return Table; }
+  /// The 8-bit ALU literal occupies the Rb slot: the last source for plain
+  /// ALU ops but the middle (value) operand for conditional moves
+  /// (cmovXX Ra, Rb/#lit, Rc).
+  size_t immArgIndex(const machine::InstrDesc &D,
+                     size_t Arity) const override {
+    if (D.Mnemonic.rfind("cmov", 0) == 0)
+      return 1;
+    return Arity - 1;
+  }
 
 private:
   Machine Model;
-  std::vector<InstrDesc> Table;
-  std::unordered_map<ir::OpId, size_t> ByOp;
-  InstrDesc Ldiq;
-  unsigned MissLatency = 13;
 };
+
+/// Registers the "alpha" backend (EV6 variant). Idempotent; call before
+/// machine::createMachine.
+void registerAlphaMachine();
 
 } // namespace alpha
 } // namespace denali

@@ -1,16 +1,9 @@
 //===- alpha/Simulator.h - Functional & timing simulation ------*- C++ -*-===//
 ///
 /// \file
-/// The machine substrate the evaluation runs on (in place of the paper's
-/// real 667 MHz EV6 box):
-///
-///  * the **functional simulator** executes a Program on a machine state
-///    (input values per named input, arrays for memory) and reports the
-///    final value of every output register — this is what the end-to-end
-///    differential tests compare against the GMA's reference evaluation;
-///  * the **timing validator** replays the schedule against the EV6 unit /
-///    latency / cluster model and reports the first violation (operand not
-///    ready, issue-slot conflict, illegal unit) or the achieved makespan.
+/// Historical home of the functional simulator and the timing validator.
+/// Both now live in machine/Sim.h, generic over the MachineModel; this
+/// header keeps the alpha:: names alive for existing users and tests.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,87 +12,19 @@
 
 #include "alpha/Assembly.h"
 #include "alpha/ISA.h"
-#include "ir/Eval.h"
-
-#include <optional>
-#include <string>
-#include <unordered_map>
+#include "machine/Sim.h"
 
 namespace denali {
 namespace alpha {
 
-/// A structured trap raised by the functional simulator. Unlike a bare
-/// error string, a trap carries a machine-readable classification so the
-/// differential-verification oracle (src/verify) can distinguish "the
-/// generated program is garbage" (uninitialized read, double write) from
-/// "the program computed an illegal access on this input" (out of bounds)
-/// from harness bugs.
-struct Trap {
-  enum class Kind : uint8_t {
-    UninitializedRead, ///< A source register with no writer (input or instr).
-    OutOfBounds,       ///< Memory access at/above RunOptions::AddressLimit.
-    KindMismatch,      ///< Array/int kind error (e.g. load from an integer).
-    DoubleWrite,       ///< A virtual register assigned more than once.
-    Stuck,             ///< Dataflow cycle: instructions never became ready.
-  };
-  Kind TheKind = Kind::Stuck;
-  uint32_t Reg = 0;     ///< Offending register (UninitializedRead/DoubleWrite).
-  uint64_t Addr = 0;    ///< Offending address (OutOfBounds).
-  std::string Mnemonic; ///< Trapping instruction, when attributable.
-
-  std::string toString() const;
-};
-
-const char *trapKindName(Trap::Kind K);
-
-/// Knobs of a functional run.
-struct RunOptions {
-  /// If set, loads and stores whose effective address is >= this limit trap
-  /// with Trap::Kind::OutOfBounds instead of reading the base generator.
-  /// Unset preserves the arrays-as-values fiction (every address defined).
-  std::optional<uint64_t> AddressLimit;
-};
-
-/// Result of a functional run.
-struct RunResult {
-  bool Ok = false;
-  std::string Error;
-  /// Set when the failure is a classified trap; Error repeats its rendering.
-  std::optional<Trap> TheTrap;
-  /// Final value per output name (from Program::Outputs).
-  std::unordered_map<std::string, ir::Value> Outputs;
-};
-
-/// Executes \p P with the given input bindings (name -> value).
-/// Instructions execute in dataflow order; each virtual register is
-/// assigned once, so schedule order does not affect values.
-RunResult runProgram(const ir::Context &Ctx, const Program &P,
-                     const std::unordered_map<std::string, ir::Value> &Inputs,
-                     const RunOptions &Opts = RunOptions());
-
-/// Result of a timing validation.
-struct TimingReport {
-  bool Ok = false;
-  std::string Error;       ///< First violation, if any.
-  unsigned Makespan = 0;   ///< Cycles actually needed by the schedule.
-};
-
-/// Replays \p P's schedule against the EV6 model: per-(cycle, unit)
-/// exclusivity, unit legality per opcode, operand readiness including the
-/// cross-cluster delay, and the declared cycle count.
-TimingReport validateTiming(const ISA &Isa, const Program &P);
-
-/// Replays \p P's memory operations in schedule order against one *shared*
-/// memory (the machine's real memory, not the arrays-as-values fiction) and
-/// checks that every load observes exactly the value the dataflow semantics
-/// promised. This catches discipline bugs — a load scheduled after a store
-/// that may alias it, or a speculative store that corrupts memory — which
-/// the purely functional simulator cannot see. \returns an error
-/// description, or std::nullopt if the schedule is memory-sound on this
-/// input.
-std::optional<std::string> validateMemoryDiscipline(
-    const ir::Context &Ctx, const Program &P,
-    const std::unordered_map<std::string, ir::Value> &Inputs);
+using machine::Trap;
+using machine::trapKindName;
+using machine::RunOptions;
+using machine::RunResult;
+using machine::runProgram;
+using machine::TimingReport;
+using machine::validateTiming;
+using machine::validateMemoryDiscipline;
 
 } // namespace alpha
 } // namespace denali

@@ -18,7 +18,7 @@ constexpr unsigned Infinity = ~0u;
 
 /// Per-node cost under the local model: instruction latency; leaves free
 /// (inputs, literal-slot constants); large constants pay the ldiq.
-unsigned opCost(const ir::Context &Ctx, const alpha::ISA &Isa,
+unsigned opCost(const ir::Context &Ctx, const machine::MachineModel &Isa,
                 const ENode &N) {
   const ir::OpInfo &Info = Ctx.Ops.info(N.Op);
   if (Info.BuiltinOp == ir::Builtin::Const)
@@ -32,7 +32,7 @@ unsigned opCost(const ir::Context &Ctx, const alpha::ISA &Isa,
 } // namespace
 
 std::optional<ExtractResult>
-denali::baseline::extractBestTerm(const EGraph &G, const alpha::ISA &Isa,
+denali::baseline::extractBestTerm(const EGraph &G, const machine::MachineModel &Isa,
                                   ClassId Root) {
   const ir::Context &Ctx = G.context();
 
@@ -109,7 +109,7 @@ denali::baseline::extractBestTerm(const EGraph &G, const alpha::ISA &Isa,
 }
 
 std::optional<alpha::Program> denali::baseline::extractAndSchedule(
-    EGraph &G, const alpha::ISA &Isa,
+    EGraph &G, const machine::MachineModel &Isa,
     const std::vector<std::pair<std::string, ClassId>> &Goals,
     const std::string &Name, std::string *ErrorOut) {
   std::vector<std::pair<std::string, ir::TermId>> Terms;

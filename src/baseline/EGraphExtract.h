@@ -37,13 +37,13 @@ struct ExtractResult {
 /// E-graph (egg-style). \returns std::nullopt if the class has no term
 /// over machine operations (e.g. a declared operator with no axioms).
 std::optional<ExtractResult> extractBestTerm(const egraph::EGraph &G,
-                                             const alpha::ISA &Isa,
+                                             const machine::MachineModel &Isa,
                                              egraph::ClassId Root);
 
 /// Full pipeline of the equality-saturation baseline: extract best terms
 /// for the goals, then list-schedule them with the naive code generator.
 std::optional<alpha::Program> extractAndSchedule(
-    egraph::EGraph &G, const alpha::ISA &Isa,
+    egraph::EGraph &G, const machine::MachineModel &Isa,
     const std::vector<std::pair<std::string, egraph::ClassId>> &Goals,
     const std::string &Name, std::string *ErrorOut);
 

@@ -213,7 +213,7 @@ std::vector<Rule> buildRules() {
 
 } // namespace
 
-unsigned denali::baseline::termCost(ir::Context &Ctx, const alpha::ISA &Isa,
+unsigned denali::baseline::termCost(ir::Context &Ctx, const machine::MachineModel &Isa,
                                     ir::TermId T) {
   std::unordered_set<TermId> Seen;
   unsigned Cost = 0;
@@ -239,7 +239,7 @@ unsigned denali::baseline::termCost(ir::Context &Ctx, const alpha::ISA &Isa,
 }
 
 RewriteResult denali::baseline::greedyRewrite(ir::Context &Ctx,
-                                              const alpha::ISA &Isa,
+                                              const machine::MachineModel &Isa,
                                               ir::TermId T) {
   static const std::vector<Rule> Rules = buildRules();
   RewriteResult Result;

@@ -34,10 +34,10 @@ struct RewriteResult {
 
 /// Latency-sum cost of \p T over its (shared) DAG; non-machine operators
 /// cost a large penalty, constants needing materialization cost 1.
-unsigned termCost(ir::Context &Ctx, const alpha::ISA &Isa, ir::TermId T);
+unsigned termCost(ir::Context &Ctx, const machine::MachineModel &Isa, ir::TermId T);
 
 /// Greedily rewrites \p T to a (locally) cheaper form.
-RewriteResult greedyRewrite(ir::Context &Ctx, const alpha::ISA &Isa,
+RewriteResult greedyRewrite(ir::Context &Ctx, const machine::MachineModel &Isa,
                             ir::TermId T);
 
 } // namespace baseline

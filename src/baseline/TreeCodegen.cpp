@@ -19,7 +19,7 @@ namespace {
 /// Emits unscheduled instructions (Cycle/Unit assigned later).
 class Lowering {
 public:
-  Lowering(const ir::Context &Ctx, const alpha::ISA &Isa, std::string *ErrorOut)
+  Lowering(const ir::Context &Ctx, const machine::MachineModel &Isa, std::string *ErrorOut)
       : Ctx(Ctx), Isa(Isa), ErrorOut(ErrorOut) {}
 
   bool run(const std::vector<std::pair<std::string, ir::TermId>> &Goals,
@@ -45,7 +45,7 @@ public:
 
 private:
   const ir::Context &Ctx;
-  const alpha::ISA &Isa;
+  const machine::MachineModel &Isa;
   std::string *ErrorOut;
   std::vector<alpha::Instruction> Instrs;
   std::vector<alpha::ProgramInput> Inputs;
@@ -90,17 +90,18 @@ private:
     return Instrs.back().Dest;
   }
 
-  /// Operand conversion honoring the 8-bit literal slot: position \p ArgIdx
-  /// of an instruction described by \p Desc.
+  /// Operand conversion honoring the machine's literal slot: position
+  /// \p ArgIdx of an instruction described by \p Desc.
   std::optional<alpha::Operand> asOperand(const alpha::Operand &Op,
                                           const alpha::InstrDesc *Desc,
                                           size_t ArgIdx, size_t Arity) {
     if (Op.isReg())
       return Op;
     if (Op.Imm == 0)
-      return Op; // $31.
-    bool ImmSlot = Desc && Desc->AllowsImm8 && ArgIdx == Arity - 1 &&
-                   Op.Imm <= 255;
+      return Op; // Zero register.
+    bool ImmSlot = Desc && Desc->AllowsImm &&
+                   ArgIdx == Isa.immArgIndex(*Desc, Arity) &&
+                   Isa.immFits(*Desc, Op.Imm);
     if (ImmSlot)
       return Op;
     return alpha::Operand::reg(materializeConst(Op.Imm));
@@ -269,8 +270,9 @@ private:
   }
 };
 
-/// Greedy critical-path list scheduler over the EV6 model.
-void listSchedule(const alpha::ISA &Isa, alpha::Program &P) {
+/// Greedy critical-path list scheduler over the machine's unit/latency/
+/// cluster model.
+void listSchedule(const machine::MachineModel &Isa, alpha::Program &P) {
   size_t N = P.Instrs.size();
   // Producer index per vreg.
   std::unordered_map<uint32_t, size_t> ProducerOf;
@@ -293,17 +295,19 @@ void listSchedule(const alpha::ISA &Isa, alpha::Program &P) {
 
   std::vector<bool> Done(N, false);
   // ReadyAt[vreg][cluster].
-  std::unordered_map<uint32_t, std::array<unsigned, 2>> ReadyAt;
+  const unsigned NC = Isa.numClusters();
+  std::unordered_map<uint32_t, std::array<unsigned, machine::MaxClusters>>
+      ReadyAt;
   for (uint32_t R : InputRegs)
-    ReadyAt[R] = {0, 0};
+    ReadyAt[R] = {};
 
   size_t Scheduled = 0;
   unsigned Cycle = 0;
   unsigned Makespan = 0;
   while (Scheduled < N && Cycle < 10000) {
-    for (unsigned UIdx = 0; UIdx < alpha::NumUnits; ++UIdx) {
-      alpha::Unit Un = alpha::unitFromIndex(UIdx);
-      unsigned Cluster = alpha::clusterOf(Un);
+    for (unsigned UIdx = 0; UIdx < Isa.numUnits(); ++UIdx) {
+      machine::UnitId Un = static_cast<machine::UnitId>(UIdx);
+      unsigned Cluster = Isa.clusterOf(Un);
       // Best ready instruction for this slot.
       size_t Best = N;
       for (size_t I = 0; I < N; ++I) {
@@ -348,10 +352,10 @@ void listSchedule(const alpha::ISA &Isa, alpha::Program &P) {
       ++Scheduled;
       unsigned Fin = Cycle + I.Latency;
       auto &Entry = ReadyAt[I.Dest];
-      Entry[Cluster] = Fin;
-      Entry[1 - Cluster] = I.Mem == alpha::MemKind::Store
-                               ? Fin
-                               : Fin + Isa.crossClusterDelay();
+      for (unsigned C = 0; C < NC; ++C)
+        Entry[C] = (C == Cluster || I.Mem == alpha::MemKind::Store)
+                       ? Fin
+                       : Fin + Isa.crossClusterDelay();
       Makespan = std::max(Makespan, Fin);
     }
     ++Cycle;
@@ -362,19 +366,19 @@ void listSchedule(const alpha::ISA &Isa, alpha::Program &P) {
                       const alpha::Instruction &B) {
                      if (A.Cycle != B.Cycle)
                        return A.Cycle < B.Cycle;
-                     return alpha::unitIndex(A.IssueUnit) <
-                            alpha::unitIndex(B.IssueUnit);
+                     return A.IssueUnit < B.IssueUnit;
                    });
 }
 
 } // namespace
 
 std::optional<alpha::Program> denali::baseline::naiveCodegen(
-    const ir::Context &Ctx, const alpha::ISA &Isa,
+    const ir::Context &Ctx, const machine::MachineModel &Isa,
     const std::vector<std::pair<std::string, ir::TermId>> &Goals,
     const std::string &Name, std::string *ErrorOut) {
   alpha::Program P;
   P.Name = Name;
+  P.Model = &Isa;
   Lowering L(Ctx, Isa, ErrorOut);
   if (!L.run(Goals, P))
     return std::nullopt;

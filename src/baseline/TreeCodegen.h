@@ -31,7 +31,7 @@ namespace baseline {
 /// scheduling. \returns std::nullopt with \p ErrorOut if some operator has
 /// no lowering.
 std::optional<alpha::Program>
-naiveCodegen(const ir::Context &Ctx, const alpha::ISA &Isa,
+naiveCodegen(const ir::Context &Ctx, const machine::MachineModel &Isa,
              const std::vector<std::pair<std::string, ir::TermId>> &Goals,
              const std::string &Name, std::string *ErrorOut);
 

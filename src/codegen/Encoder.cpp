@@ -69,11 +69,11 @@ EncodingStats Encoder::encode(Solver &S, const std::vector<NamedGoal> &Goals,
   // --- Variables -----------------------------------------------------------
   // Dense tables; creation order (all L's, then all B's) matches the
   // variable numbering the tree-map encoder produced.
-  LDense.assign(Terms.size() * alpha::NumUnits * K, -1);
+  LDense.assign(Terms.size() * NumUnits * K, -1);
   for (size_t T = 0; T < Terms.size(); ++T)
-    for (alpha::Unit Un : Terms[T].Units)
+    for (machine::UnitId Un : Terms[T].Units)
       for (unsigned I = 0; I < K; ++I)
-        LDense[lIndex(T, alpha::unitIndex(Un), I)] = S.newVar();
+        LDense[lIndex(T, Un, I)] = S.newVar();
   BDense.assign(Needed.size() * NC * K, -1);
   BClassRow.clear();
   BClassRow.reserve(Needed.size() * 2);
@@ -86,8 +86,8 @@ EncodingStats Encoder::encode(Solver &S, const std::vector<NamedGoal> &Goals,
         BDense[bIndex(static_cast<uint32_t>(R), C, I)] = S.newVar();
   }
 
-  auto LVar = [&](size_t T, alpha::Unit Un, unsigned I) {
-    sat::Var V = LDense[lIndex(T, alpha::unitIndex(Un), I)];
+  auto LVar = [&](size_t T, machine::UnitId Un, unsigned I) {
+    sat::Var V = LDense[lIndex(T, Un, I)];
     assert(V >= 0 && "missing L variable");
     return Lit::pos(V);
   };
@@ -102,10 +102,10 @@ EncodingStats Encoder::encode(Solver &S, const std::vector<NamedGoal> &Goals,
   // Extra cycles before term T's result (launched on unit Un) is usable on
   // cluster C: stores write shared state, everything else pays the
   // cross-cluster delay.
-  auto crossDelay = [&](const MachineTerm &T, alpha::Unit Un, unsigned C) {
+  auto crossDelay = [&](const MachineTerm &T, machine::UnitId Un, unsigned C) {
     if (Opts.SingleCluster || T.IsStore)
       return 0u;
-    return clusterOfUnit(Un, Opts) == C ? 0u : Isa.crossClusterDelay();
+    return clusterOfUnit(Un, Opts) == C ? 0u : M.crossClusterDelay();
   };
 
   // --- Condition 3 (+1): B(q,c,i) holds iff some member completed by i. ---
@@ -122,7 +122,7 @@ EncodingStats Encoder::encode(Solver &S, const std::vector<NamedGoal> &Goals,
         }
         for (size_t T : U.producersOf(Q)) {
           const MachineTerm &MT = Terms[T];
-          for (alpha::Unit Un : MT.Units) {
+          for (machine::UnitId Un : MT.Units) {
             // Launch at J completes (on cluster C) at the end of cycle
             // J + latency - 1 + crossDelay; completion exactly at I:
             int J = static_cast<int>(I) -
@@ -150,10 +150,10 @@ EncodingStats Encoder::encode(Solver &S, const std::vector<NamedGoal> &Goals,
       if (!MT.IsLdiq &&
           U.isImmOperand(G, *MT.Desc, ArgIdx, MT.Args.size(), A))
         continue;
-      for (alpha::Unit Un : MT.Units) {
+      for (machine::UnitId Un : MT.Units) {
         unsigned C = clusterOfUnit(Un, Opts);
         for (unsigned I = 0; I < K; ++I) {
-          tag(makeClauseTag(ClauseFamily::Operand, I, alpha::unitIndex(Un),
+          tag(makeClauseTag(ClauseFamily::Operand, I, Un,
                             static_cast<uint32_t>(T)));
           Lit L = LVar(T, Un, I);
           if (I == 0)
@@ -168,7 +168,7 @@ EncodingStats Encoder::encode(Solver &S, const std::vector<NamedGoal> &Goals,
   takeFamily(Stats.OperandClauses);
 
   // --- Condition 4: issue exclusivity per (cycle, unit). ------------------
-  for (unsigned UIdx = 0; UIdx < alpha::NumUnits; ++UIdx) {
+  for (unsigned UIdx = 0; UIdx < NumUnits; ++UIdx) {
     for (unsigned I = 0; I < K; ++I) {
       tag(makeClauseTag(ClauseFamily::Exclusivity, I, UIdx));
       sat::ClauseLits Group;
@@ -209,9 +209,9 @@ EncodingStats Encoder::encode(Solver &S, const std::vector<NamedGoal> &Goals,
         const MachineTerm &MT = Terms[T];
         if (!MT.IsLoad && !MT.IsStore)
           continue;
-        for (alpha::Unit Un : MT.Units) {
+        for (machine::UnitId Un : MT.Units) {
           for (unsigned I = 0; I < K; ++I) {
-            tag(makeClauseTag(ClauseFamily::Guard, I, alpha::unitIndex(Un),
+            tag(makeClauseTag(ClauseFamily::Guard, I, Un,
                               static_cast<uint32_t>(T)));
             Lit L = LVar(T, Un, I);
             if (I == 0) {
@@ -239,7 +239,7 @@ EncodingStats Encoder::encode(Solver &S, const std::vector<NamedGoal> &Goals,
     tag(makeClauseTag(ClauseFamily::Memory, ~0u, ~0u,
                       static_cast<uint32_t>(T)));
     sat::ClauseLits All;
-    for (alpha::Unit Un : MT.Units)
+    for (machine::UnitId Un : MT.Units)
       for (unsigned I = 0; I < K; ++I)
         All.push_back(LVar(T, Un, I));
     sat::addAtMostOne(S, All, Opts.AmoStyle);
@@ -255,8 +255,8 @@ EncodingStats Encoder::encode(Solver &S, const std::vector<NamedGoal> &Goals,
     for (size_t TS = 0; TS < Terms.size(); ++TS) {
       if (!Terms[TS].IsStore || G.find(Terms[TS].Args[0]) != G.find(Mem))
         continue;
-      for (alpha::Unit UL : Terms[TL].Units)
-        for (alpha::Unit US : Terms[TS].Units)
+      for (machine::UnitId UL : Terms[TL].Units)
+        for (machine::UnitId US : Terms[TS].Units)
           for (unsigned IL = 0; IL < K; ++IL)
             for (unsigned IS = 0; IS < IL; ++IS)
               S.addClause(~LVar(TL, UL, IL), ~LVar(TS, US, IS));
@@ -282,9 +282,9 @@ EncodingStats Encoder::encode(Solver &S, const std::vector<NamedGoal> &Goals,
     for (unsigned B = 1; B < K; ++B)
       S.addClause(Lit::neg(ExceedVars[B + 1]), Lit::pos(ExceedVars[B]));
     for (size_t T = 0; T < Terms.size(); ++T)
-      for (alpha::Unit Un : Terms[T].Units)
+      for (machine::UnitId Un : Terms[T].Units)
         for (unsigned I = 1; I < K; ++I) {
-          tag(makeClauseTag(ClauseFamily::Monotone, I, alpha::unitIndex(Un),
+          tag(makeClauseTag(ClauseFamily::Monotone, I, Un,
                             static_cast<uint32_t>(T)));
           S.addClause(~LVar(T, Un, I), Lit::pos(ExceedVars[I]));
         }
@@ -342,26 +342,27 @@ sat::Lit Encoder::budgetAssumption(unsigned K) const {
   return Lit::neg(ExceedVars[K]);
 }
 
-alpha::Program Encoder::extract(const Solver &S,
-                                const std::vector<NamedGoal> &Goals,
-                                const EncoderOptions &Opts,
-                                const std::string &Name) const {
+machine::Program Encoder::extract(const Solver &S,
+                                  const std::vector<NamedGoal> &Goals,
+                                  const EncoderOptions &Opts,
+                                  const std::string &Name) const {
   const std::vector<MachineTerm> &Terms = U.terms();
-  alpha::Program P;
+  machine::Program P;
   P.Name = Name;
   P.Cycles = Opts.Cycles;
+  P.Model = &M;
 
   uint32_t NextReg = 0;
   std::unordered_map<ClassId, uint32_t> InputReg;
   for (const Universe::InputInfo &In : U.inputs()) {
     uint32_t R = NextReg++;
-    P.Inputs.push_back(alpha::ProgramInput{R, In.Name, In.IsMemory});
+    P.Inputs.push_back(machine::ProgramInput{R, In.Name, In.IsMemory});
     InputReg[In.Class] = R;
   }
 
   struct Launch {
     size_t Term;
-    alpha::Unit Un;
+    machine::UnitId Un;
     unsigned Cycle;
     uint32_t VReg;
   };
@@ -371,13 +372,13 @@ alpha::Program Encoder::extract(const Solver &S,
   // scanning all encoded cycles is still exact.
   std::vector<Launch> Launches;
   for (size_t T = 0; T < Terms.size(); ++T) {
-    for (unsigned UIdx = 0; UIdx < alpha::NumUnits; ++UIdx) {
+    for (unsigned UIdx = 0; UIdx < NumUnits; ++UIdx) {
       for (unsigned I = 0; I < LastCycles; ++I) {
         sat::Var V = LDense[lIndex(T, UIdx, I)];
         if (V < 0 || !S.modelValue(V))
           continue;
         Launches.push_back(
-            Launch{T, alpha::unitFromIndex(UIdx), I, NextReg++});
+            Launch{T, static_cast<machine::UnitId>(UIdx), I, NextReg++});
       }
     }
   }
@@ -396,7 +397,7 @@ alpha::Program Encoder::extract(const Solver &S,
       unsigned XD = (Opts.SingleCluster || MT.IsStore ||
                      clusterOfUnit(L.Un, Opts) == C)
                         ? 0
-                        : Isa.crossClusterDelay();
+                        : M.crossClusterDelay();
       unsigned Ready = L.Cycle + MT.Latency + XD;
       if (Ready > I)
         continue;
@@ -409,10 +410,10 @@ alpha::Program Encoder::extract(const Solver &S,
   };
 
   // Wire instructions.
-  std::unordered_map<const Launch *, alpha::Instruction> Built;
+  std::unordered_map<const Launch *, machine::Instruction> Built;
   for (const Launch &L : Launches) {
     const MachineTerm &MT = Terms[L.Term];
-    alpha::Instruction I;
+    machine::Instruction I;
     I.Mnemonic = MT.Desc->Mnemonic;
     I.Op = MT.Desc->Op;
     I.Dest = L.VReg;
@@ -423,23 +424,23 @@ alpha::Program Encoder::extract(const Solver &S,
     I.Disp = MT.Disp;
     I.SourceTerm = static_cast<int32_t>(L.Term);
     if (MT.IsLdiq) {
-      I.Srcs.push_back(alpha::Operand::imm(MT.ConstVal));
+      I.Srcs.push_back(machine::Operand::imm(MT.ConstVal));
     } else {
       for (size_t ArgIdx = 0; ArgIdx < MT.Args.size(); ++ArgIdx) {
         ClassId A = MT.Args[ArgIdx];
         std::optional<uint64_t> KConst = G.classConstant(A);
         if (U.isFree(A)) {
           if (KConst && *KConst == 0) {
-            I.Srcs.push_back(alpha::Operand::imm(0)); // $31.
+            I.Srcs.push_back(machine::Operand::imm(0)); // Zero register.
             continue;
           }
           auto It = InputReg.find(G.find(A));
           assert(It != InputReg.end() && "free class without input");
-          I.Srcs.push_back(alpha::Operand::reg(It->second));
+          I.Srcs.push_back(machine::Operand::reg(It->second));
           continue;
         }
         if (U.isImmOperand(G, *MT.Desc, ArgIdx, MT.Args.size(), A)) {
-          I.Srcs.push_back(alpha::Operand::imm(*KConst));
+          I.Srcs.push_back(machine::Operand::imm(*KConst));
           continue;
         }
         const Launch *Prod =
@@ -449,7 +450,7 @@ alpha::Program Encoder::extract(const Solver &S,
               "extraction: no producer for class c%u needed by '%s' at "
               "cycle %u (encoder/extractor mismatch)",
               G.find(A), I.Mnemonic.c_str(), L.Cycle));
-        I.Srcs.push_back(alpha::Operand::reg(Prod->VReg));
+        I.Srcs.push_back(machine::Operand::reg(Prod->VReg));
       }
     }
     Built.emplace(&L, std::move(I));
@@ -499,7 +500,7 @@ alpha::Program Encoder::extract(const Solver &S,
     for (const Launch &L : Launches) {
       if (Dropped.count(&L))
         continue;
-      for (const alpha::Operand &Src : Built[&L].Srcs)
+      for (const machine::Operand &Src : Built[&L].Srcs)
         if (Src.isReg())
           Used.insert(Src.Reg);
     }
@@ -524,12 +525,11 @@ alpha::Program Encoder::extract(const Solver &S,
     if (!Dropped.count(&L))
       P.Instrs.push_back(std::move(Built[&L]));
   std::stable_sort(P.Instrs.begin(), P.Instrs.end(),
-                   [](const alpha::Instruction &A,
-                      const alpha::Instruction &B) {
+                   [](const machine::Instruction &A,
+                      const machine::Instruction &B) {
                      if (A.Cycle != B.Cycle)
                        return A.Cycle < B.Cycle;
-                     return alpha::unitIndex(A.IssueUnit) <
-                            alpha::unitIndex(B.IssueUnit);
+                     return A.IssueUnit < B.IssueUnit;
                    });
   P.NumVRegs = NextReg;
   return P;

@@ -27,8 +27,8 @@
 #ifndef DENALI_CODEGEN_ENCODER_H
 #define DENALI_CODEGEN_ENCODER_H
 
-#include "alpha/Assembly.h"
 #include "codegen/Universe.h"
+#include "machine/Program.h"
 #include "sat/Encodings.h"
 #include "sat/Solver.h"
 
@@ -129,8 +129,11 @@ struct NamedGoal {
 /// One Encoder instance serves many probes (one encode per fresh Solver).
 class Encoder {
 public:
-  Encoder(const egraph::EGraph &G, const alpha::ISA &Isa, const Universe &U)
-      : G(G), Isa(Isa), U(U) {}
+  Encoder(const egraph::EGraph &G, const machine::MachineModel &M,
+          const Universe &U)
+      : G(G), M(M), U(U) {
+    NumUnits = M.numUnits();
+  }
 
   /// Emits the constraints for \p Opts into \p S.
   EncodingStats encode(sat::Solver &S, const std::vector<NamedGoal> &Goals,
@@ -141,10 +144,10 @@ public:
   /// program, section 6) and wires operands into a Program. In monotone
   /// mode pass Opts.Cycles = the SAT budget K (the model was produced
   /// under budgetAssumption(K), so no launch at a later cycle is true).
-  alpha::Program extract(const sat::Solver &S,
-                         const std::vector<NamedGoal> &Goals,
-                         const EncoderOptions &Opts,
-                         const std::string &Name) const;
+  machine::Program extract(const sat::Solver &S,
+                           const std::vector<NamedGoal> &Goals,
+                           const EncoderOptions &Opts,
+                           const std::string &Name) const;
 
   /// After a Monotone encode(): the assumption literal meaning "no program
   /// longer than \p K cycles" (¬E_K — it forbids every launch at cycle
@@ -154,7 +157,7 @@ public:
 
 private:
   const egraph::EGraph &G;
-  const alpha::ISA &Isa;
+  const machine::MachineModel &M;
   const Universe &U;
 
   // Variable maps of the most recent encode(). Dense per-key vectors (L:
@@ -166,22 +169,23 @@ private:
   std::unordered_map<egraph::ClassId, uint32_t> BClassRow;
   unsigned LastCycles = 0;   ///< K of the most recent encode.
   unsigned LastClusters = 0; ///< NC of the most recent encode.
+  unsigned NumUnits = 0;     ///< The machine's unit count (fixed per model).
   /// Monotone mode: E_K ("some launch at cycle >= K") per budget K; index
   /// 0 unused.
   std::vector<sat::Var> ExceedVars;
 
   size_t lIndex(size_t Term, unsigned UnitIdx, unsigned Cycle) const {
-    return (Term * alpha::NumUnits + UnitIdx) * LastCycles + Cycle;
+    return (Term * NumUnits + UnitIdx) * LastCycles + Cycle;
   }
   size_t bIndex(uint32_t Row, unsigned Cluster, unsigned Cycle) const {
     return (Row * LastClusters + Cluster) * LastCycles + Cycle;
   }
 
   unsigned numClusters(const EncoderOptions &Opts) const {
-    return Opts.SingleCluster ? 1 : alpha::NumClusters;
+    return Opts.SingleCluster ? 1 : M.numClusters();
   }
-  unsigned clusterOfUnit(alpha::Unit Un, const EncoderOptions &Opts) const {
-    return Opts.SingleCluster ? 0 : alpha::clusterOf(Un);
+  unsigned clusterOfUnit(machine::UnitId Un, const EncoderOptions &Opts) const {
+    return Opts.SingleCluster ? 0 : M.clusterOf(Un);
   }
 };
 

@@ -77,7 +77,7 @@ void dumpProbeCnf(const SearchOptions &Opts, const std::string &Name,
 /// and the probe is marked Cancelled instead of producing evidence.
 Probe runProbe(Encoder &Enc, const std::vector<NamedGoal> &Goals,
                const SearchOptions &Opts, unsigned K,
-               std::optional<alpha::Program> &ProgramOut,
+               std::optional<machine::Program> &ProgramOut,
                const std::string &Name,
                const std::atomic<bool> *CancelFlag = nullptr) {
   obs::ObsSpan Span("search.probe");
@@ -144,7 +144,7 @@ template <typename ProbeFn>
 SearchResult &runLinearLadder(SearchResult &Result, const SearchOptions &Opts,
                               ProbeFn &&ProbeK) {
   for (unsigned K = Opts.MinCycles; K <= Opts.MaxCycles; ++K) {
-    std::optional<alpha::Program> Prog;
+    std::optional<machine::Program> Prog;
     SolveResult R = ProbeK(K, Prog);
     if (R == SolveResult::Sat) {
       Result.Found = true;
@@ -171,12 +171,12 @@ SearchResult &runBinaryLadder(SearchResult &Result, const SearchOptions &Opts,
                               ProbeFn &&ProbeK) {
   unsigned Lo = Opts.MinCycles;
   unsigned Hi = Opts.MinCycles;
-  std::optional<alpha::Program> BestProg;
+  std::optional<machine::Program> BestProg;
   unsigned BestK = 0;
   int BestIdx = -1;
   bool AnyUnsat = false;
   for (;;) {
-    std::optional<alpha::Program> Prog;
+    std::optional<machine::Program> Prog;
     SolveResult R = ProbeK(Hi, Prog);
     if (R == SolveResult::Sat) {
       BestProg = std::move(Prog);
@@ -199,7 +199,7 @@ SearchResult &runBinaryLadder(SearchResult &Result, const SearchOptions &Opts,
   }
   while (Lo < BestK) {
     unsigned Mid = Lo + (BestK - Lo) / 2;
-    std::optional<alpha::Program> Prog;
+    std::optional<machine::Program> Prog;
     SolveResult R = ProbeK(Mid, Prog);
     if (R == SolveResult::Sat) {
       BestProg = std::move(Prog);
@@ -228,7 +228,7 @@ SearchResult &runBinaryLadder(SearchResult &Result, const SearchOptions &Opts,
 /// phases persist across probes; UNSAT-at-K still means exactly "no
 /// K-cycle program computes the goals" because the assumption ¬E_K
 /// restricts the monotone instance to the fresh budget-K encoding.
-SearchResult searchIncremental(const egraph::EGraph &G, const alpha::ISA &Isa,
+SearchResult searchIncremental(const egraph::EGraph &G, const machine::MachineModel &Isa,
                                const Universe &U,
                                const std::vector<NamedGoal> &Goals,
                                const SearchOptions &Opts,
@@ -248,7 +248,7 @@ SearchResult searchIncremental(const egraph::EGraph &G, const alpha::ISA &Isa,
   double EncodeSeconds = T.seconds();
   bool FirstProbe = true;
 
-  auto ProbeK = [&](unsigned K, std::optional<alpha::Program> &Prog) {
+  auto ProbeK = [&](unsigned K, std::optional<machine::Program> &Prog) {
     obs::ObsSpan Span("search.probe");
     sat::Lit Assumption = Enc.budgetAssumption(K);
     Probe P;
@@ -329,7 +329,7 @@ SearchResult searchIncremental(const egraph::EGraph &G, const alpha::ISA &Isa,
 /// cancels in-flight probes at K' > K (their results cannot matter:
 /// feasibility is monotone in K); an UNSAT answer cancels nothing, it
 /// only contributes to advancing the window's lower bound.
-SearchResult searchPortfolio(const egraph::EGraph &G, const alpha::ISA &Isa,
+SearchResult searchPortfolio(const egraph::EGraph &G, const machine::MachineModel &Isa,
                              const Universe &U,
                              const std::vector<NamedGoal> &Goals,
                              const SearchOptions &Opts,
@@ -351,7 +351,7 @@ SearchResult searchPortfolio(const egraph::EGraph &G, const alpha::ISA &Isa,
   struct Slot {
     support::CancellationToken Cancel;
     Probe P;
-    std::optional<alpha::Program> Prog;
+    std::optional<machine::Program> Prog;
     bool Done = false;
     /// When the winner requested this slot's cancellation (obs::nowNs();
     /// 0 = never asked). Written and read under the window mutex.
@@ -370,7 +370,7 @@ SearchResult searchPortfolio(const egraph::EGraph &G, const alpha::ISA &Isa,
       const unsigned K = Base + I;
       Futures.push_back(Pool.submit([&, I, K] {
         Slot &Mine = Slots[I];
-        std::optional<alpha::Program> Prog;
+        std::optional<machine::Program> Prog;
         Probe P;
         if (Mine.Cancel.isCancelled()) {
           // Cancelled before starting: skip the encode entirely.
@@ -463,7 +463,7 @@ SearchResult searchPortfolio(const egraph::EGraph &G, const alpha::ISA &Isa,
 /// budget just below the found minimum, with clause tagging and core
 /// tracking on. Runs after any strategy's ladder, so the report is uniform
 /// and the per-strategy probe evidence stays untouched.
-void runExplainProbe(const egraph::EGraph &G, const alpha::ISA &Isa,
+void runExplainProbe(const egraph::EGraph &G, const machine::MachineModel &Isa,
                      const Universe &U, const std::vector<NamedGoal> &Goals,
                      const SearchOptions &Opts, SearchResult &Result) {
   if (!Result.Found || Result.Cycles <= std::max(1u, Opts.MinCycles))
@@ -490,7 +490,7 @@ void runExplainProbe(const egraph::EGraph &G, const alpha::ISA &Isa,
 }
 
 /// Dispatches on strategy; the wrapper adds the timing summary.
-SearchResult searchBudgetsImpl(const egraph::EGraph &G, const alpha::ISA &Isa,
+SearchResult searchBudgetsImpl(const egraph::EGraph &G, const machine::MachineModel &Isa,
                                const Universe &U,
                                const std::vector<NamedGoal> &Goals,
                                const SearchOptions &Opts,
@@ -525,7 +525,7 @@ SearchResult searchBudgetsImpl(const egraph::EGraph &G, const alpha::ISA &Isa,
                              /*Binary=*/Opts.Strategy ==
                                  SearchStrategy::Binary);
 
-  auto ProbeK = [&](unsigned K, std::optional<alpha::Program> &Prog) {
+  auto ProbeK = [&](unsigned K, std::optional<machine::Program> &Prog) {
     Probe P = runProbe(Enc, Goals, Opts, K, Prog, Name);
     noteProbe(P);
     Result.Probes.push_back(P);
@@ -549,7 +549,7 @@ std::string denali::codegen::describeProbe(const Probe &P) {
 }
 
 SearchResult denali::codegen::searchBudgets(
-    const egraph::EGraph &G, const alpha::ISA &Isa, const Universe &U,
+    const egraph::EGraph &G, const machine::MachineModel &Isa, const Universe &U,
     const std::vector<NamedGoal> &Goals, const SearchOptions &Opts,
     const std::string &Name) {
   static const char *const StrategyNames[] = {"linear", "binary", "portfolio",

@@ -119,7 +119,7 @@ std::string describeProbe(const Probe &P);
 struct SearchResult {
   bool Found = false;
   std::string Error; ///< Set when !Found.
-  alpha::Program Program;
+  machine::Program Program;
   unsigned Cycles = 0; ///< Minimal feasible budget found.
   /// True if some strictly smaller budget was *proved* infeasible (the
   /// paper's optimality certificate); false if MinCycles was feasible
@@ -150,7 +150,7 @@ struct SearchResult {
 };
 
 /// Finds the minimal-cycle program for \p Goals.
-SearchResult searchBudgets(const egraph::EGraph &G, const alpha::ISA &Isa,
+SearchResult searchBudgets(const egraph::EGraph &G, const machine::MachineModel &Isa,
                            const Universe &U,
                            const std::vector<NamedGoal> &Goals,
                            const SearchOptions &Opts,

@@ -12,20 +12,7 @@ using namespace denali::codegen;
 using namespace denali::egraph;
 using denali::ir::Builtin;
 
-namespace {
-
-/// The argument position at which an instruction accepts an 8-bit literal:
-/// the Rb slot, which is the last source for plain ALU ops but the middle
-/// (value) operand for conditional moves (cmovXX Ra, Rb/#lit, Rc).
-size_t immArgIndex(const alpha::InstrDesc &Desc, size_t Arity) {
-  if (Desc.Mnemonic.rfind("cmov", 0) == 0)
-    return 1;
-  return Arity - 1;
-}
-
-} // namespace
-
-bool Universe::build(const EGraph &G, const alpha::ISA &Isa,
+bool Universe::build(const EGraph &G, const machine::MachineModel &M,
                      const std::vector<ClassId> &Goals,
                      const UniverseOptions &Opts, std::string *ErrorOut) {
   Terms.clear();
@@ -33,6 +20,11 @@ bool Universe::build(const EGraph &G, const alpha::ISA &Isa,
   Free.clear();
   Needed.clear();
   Inputs.clear();
+  Model = &M;
+
+  // The displacement range is capped by what the machine's load/store
+  // encoding can absorb (Alpha: 16-bit; RV64: 12-bit).
+  const int64_t MaxDisp = std::min<int64_t>(Opts.MaxDisp, M.maxMemDisp());
 
   const ir::Context &Ctx = G.context();
   ir::OpId StoreOp = Ctx.Ops.builtin(Builtin::Store);
@@ -86,11 +78,11 @@ bool Universe::build(const EGraph &G, const alpha::ISA &Isa,
     Terms.push_back(std::move(T));
   };
 
-  auto unitsFromMask = [&](uint8_t Mask) {
-    std::vector<alpha::Unit> Units;
-    for (unsigned U = 0; U < alpha::NumUnits; ++U)
+  auto unitsFromMask = [&](uint32_t Mask) {
+    std::vector<machine::UnitId> Units;
+    for (unsigned U = 0; U < M.numUnits(); ++U)
       if (Mask & (1u << U))
-        Units.push_back(alpha::unitFromIndex(U));
+        Units.push_back(static_cast<machine::UnitId>(U));
     return Units;
   };
 
@@ -127,7 +119,7 @@ bool Universe::build(const EGraph &G, const alpha::ISA &Isa,
       }
       MachineTerm T;
       T.Class = C;
-      T.Desc = &Isa.constMaterialize();
+      T.Desc = &M.constMaterialize();
       T.Latency = T.Desc->Latency;
       T.Units = unitsFromMask(T.Desc->UnitMask);
       T.IsLdiq = true;
@@ -141,11 +133,11 @@ bool Universe::build(const EGraph &G, const alpha::ISA &Isa,
 
     for (ENodeId N : G.classNodes(C)) {
       const ENode &Node = G.node(N);
-      const alpha::InstrDesc *Desc = Isa.descFor(Node.Op);
+      const machine::InstrDesc *Desc = M.descFor(Node.Op);
       if (!Desc)
         continue;
-      bool IsStore = Desc->Mem == alpha::MemKind::Store;
-      bool IsLoad = Desc->Mem == alpha::MemKind::Load;
+      bool IsStore = Desc->Mem == machine::MemKind::Store;
+      bool IsLoad = Desc->Mem == machine::MemKind::Load;
       if (IsStore && !Spine.count(C))
         continue; // Only spine stores may execute (memory discipline).
 
@@ -184,7 +176,7 @@ bool Universe::build(const EGraph &G, const alpha::ISA &Isa,
             int64_t Disp = static_cast<int64_t>(*K);
             if (IsSub)
               Disp = -Disp;
-            if (Disp > Opts.MaxDisp || Disp < -Opts.MaxDisp - 1)
+            if (Disp > MaxDisp || Disp < -MaxDisp - 1)
               continue;
             MachineTerm V = T;
             V.Args[1] = G.find(ANode.Children[1 - KIdx]);
@@ -231,12 +223,12 @@ const std::vector<size_t> &Universe::producersOf(ClassId C) const {
   return It->second;
 }
 
-bool Universe::isImmOperand(const EGraph &G, const alpha::InstrDesc &Desc,
+bool Universe::isImmOperand(const EGraph &G, const machine::InstrDesc &Desc,
                             size_t ArgIdx, size_t Arity, ClassId C) const {
-  if (!Desc.AllowsImm8)
+  if (!Desc.AllowsImm || !Model)
     return false;
-  if (ArgIdx != immArgIndex(Desc, Arity))
+  if (ArgIdx != Model->immArgIndex(Desc, Arity))
     return false;
   std::optional<uint64_t> K = G.classConstant(G.find(C));
-  return K && *K <= 255;
+  return K && Model->immFits(Desc, *K);
 }

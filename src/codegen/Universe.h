@@ -22,7 +22,7 @@
 #ifndef DENALI_CODEGEN_UNIVERSE_H
 #define DENALI_CODEGEN_UNIVERSE_H
 
-#include "alpha/ISA.h"
+#include "machine/Machine.h"
 #include "egraph/EGraph.h"
 
 #include <optional>
@@ -38,10 +38,10 @@ namespace codegen {
 struct MachineTerm {
   egraph::ENodeId Node = 0;          ///< 0 for ldiq pseudo-terms.
   egraph::ClassId Class = 0;         ///< Canonical class it computes.
-  const alpha::InstrDesc *Desc = nullptr;
+  const machine::InstrDesc *Desc = nullptr;
   unsigned Latency = 1;
   std::vector<egraph::ClassId> Args; ///< Canonical argument classes.
-  std::vector<alpha::Unit> Units;    ///< Units it may issue on.
+  std::vector<machine::UnitId> Units; ///< Units it may issue on.
   bool IsLoad = false;
   bool IsStore = false;
   bool IsLdiq = false;
@@ -72,9 +72,12 @@ class Universe {
 public:
   /// Builds the universe for \p Goals. \returns false (with \p ErrorOut)
   /// if some goal class is not computable at all.
-  bool build(const egraph::EGraph &G, const alpha::ISA &Isa,
+  bool build(const egraph::EGraph &G, const machine::MachineModel &M,
              const std::vector<egraph::ClassId> &Goals,
              const UniverseOptions &Opts, std::string *ErrorOut);
+
+  /// The machine the universe was built for (null before build()).
+  const machine::MachineModel *model() const { return Model; }
 
   const std::vector<MachineTerm> &terms() const { return Terms; }
 
@@ -87,9 +90,9 @@ public:
   /// Classes requiring availability (B) variables.
   const std::vector<egraph::ClassId> &neededClasses() const { return Needed; }
 
-  /// True if \p C can appear as the 8-bit literal operand of \p Desc at
-  /// argument position \p ArgIdx.
-  bool isImmOperand(const egraph::EGraph &G, const alpha::InstrDesc &Desc,
+  /// True if \p C can appear as the literal operand of \p Desc at
+  /// argument position \p ArgIdx (slot and range are the machine's).
+  bool isImmOperand(const egraph::EGraph &G, const machine::InstrDesc &Desc,
                     size_t ArgIdx, size_t Arity, egraph::ClassId C) const;
 
   /// The input (variable) classes with their names; memory inputs flagged.
@@ -108,6 +111,7 @@ private:
   std::vector<egraph::ClassId> Needed;
   std::vector<InputInfo> Inputs;
   std::vector<size_t> EmptyList;
+  const machine::MachineModel *Model = nullptr;
 };
 
 } // namespace codegen

@@ -2,6 +2,9 @@
 
 #include "driver/Superoptimizer.h"
 
+#include "machine/RV64.h"
+#include "support/Error.h"
+
 #include "explain/Explain.h"
 #include "lang/Surface.h"
 #include "match/Elaborate.h"
@@ -15,7 +18,20 @@ using namespace denali::driver;
 using denali::ir::Builtin;
 
 Superoptimizer::Superoptimizer(Options O)
-    : Opts(O), Isa(Ctx, O.Model), Axioms(axioms::loadBuiltinAxioms(Ctx)) {
+    : Opts(O), Axioms(axioms::loadBuiltinAxioms(Ctx)) {
+  // Idempotent; makes the built-in backends constructible by name no
+  // matter who instantiates the pipeline first.
+  alpha::registerAlphaMachine();
+  machine::registerRV64Machine();
+  if (Opts.MachineName == "alpha") {
+    // Direct construction keeps the EV6/SimpleQuad variant knob.
+    Model = std::make_unique<alpha::ISA>(Ctx, Opts.Model);
+  } else {
+    std::string Err;
+    Model = machine::createMachine(Opts.MachineName, Ctx, &Err);
+    if (!Model)
+      reportFatalError("Superoptimizer: " + Err);
+  }
   if (O.Obs.Enabled)
     obs::configure(O.Obs);
 }
@@ -52,7 +68,7 @@ SaturatedGma Superoptimizer::saturateGMA(const gma::GMA &G) const {
   codegen::UniverseOptions UOpts = Opts.Universe;
   for (ir::TermId Addr : G.MissAddrs) {
     egraph::ClassId C = Graph->addTerm(Addr);
-    UOpts.LoadLatencyByAddr[Graph->find(C)] = Isa.loadMissLatency();
+    UOpts.LoadLatencyByAddr[Graph->find(C)] = Model->loadMissLatency();
   }
   // Trust facts: asserted before matching so the whole saturation can use
   // them (the \trust feature of section 2).
@@ -142,7 +158,7 @@ GmaResult Superoptimizer::compileSaturated(const SaturatedGma &S,
   std::string Err;
   {
     obs::ObsSpan USpan("universe.build");
-    if (!U.build(Graph, Isa, Roots, S.UOpts, &Err)) {
+    if (!U.build(Graph, *Model, Roots, S.UOpts, &Err)) {
       Result.Error = Err;
       return Result;
     }
@@ -156,7 +172,7 @@ GmaResult Superoptimizer::compileSaturated(const SaturatedGma &S,
   if (Opts.WhyUnsat)
     SOpts.ExplainUnsat = true;
   Result.Search =
-      codegen::searchBudgets(Graph, Isa, U, S.Goals, SOpts, G.Name);
+      codegen::searchBudgets(Graph, *Model, U, S.Goals, SOpts, G.Name);
   if (!Result.Search.Found)
     Result.Error = Result.Search.Error;
   if (Opts.WhyUnsat)
@@ -249,7 +265,7 @@ std::optional<std::string> Superoptimizer::verify(const GmaResult &R,
     return "GMA was not compiled successfully";
   const alpha::Program &P = R.Search.Program;
 
-  alpha::TimingReport TR = alpha::validateTiming(Isa, P);
+  machine::TimingReport TR = machine::validateTiming(*Model, P);
   if (!TR.Ok)
     return "timing: " + TR.Error;
 

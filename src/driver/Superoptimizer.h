@@ -22,6 +22,7 @@
 
 #include "alpha/ISA.h"
 #include "alpha/Simulator.h"
+#include "machine/Machine.h"
 #include "axioms/BuiltinAxioms.h"
 #include "codegen/Search.h"
 #include "gma/GMA.h"
@@ -39,7 +40,13 @@ namespace driver {
 
 /// Pipeline knobs.
 struct Options {
-  /// Target machine model (the architectural description of Figure 1).
+  /// Target machine backend, by registry name ("alpha", "rv64", ...; see
+  /// machine::registeredMachines()). The architectural description of
+  /// Figure 1 is pluggable: every later pipeline stage reads the chosen
+  /// machine::MachineModel, never a hard-coded EV6 table.
+  std::string MachineName = "alpha";
+  /// Alpha-only variant knob (EV6 with clusters vs. the idealized
+  /// SimpleQuad); ignored by other backends.
   alpha::Machine Model = alpha::Machine::EV6;
   match::MatchLimits Matching;
   codegen::SearchOptions Search;
@@ -129,7 +136,7 @@ public:
 
   ir::Context &context() { return Ctx; }
   const ir::Context &context() const { return Ctx; }
-  const alpha::ISA &isa() const { return Isa; }
+  const machine::MachineModel &isa() const { return *Model; }
   Options &options() { return Opts; }
   const Options &options() const { return Opts; }
 
@@ -186,7 +193,7 @@ public:
 private:
   Options Opts;
   ir::Context Ctx;
-  alpha::ISA Isa;
+  std::unique_ptr<machine::MachineModel> Model;
   std::vector<match::Axiom> Axioms;
   ir::Definitions Defs;
 };

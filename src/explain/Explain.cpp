@@ -67,25 +67,28 @@ DerivationStep renderStep(const EGraph &G,
 ProgramExplanation
 denali::explain::explainProgram(const EGraph &G, const codegen::Universe &U,
                                 const std::vector<match::Axiom> &Axioms,
-                                const alpha::Program &P) {
+                                const machine::Program &P) {
   ProgramExplanation E;
   E.Name = P.Name;
   E.Cycles = P.Cycles;
   const std::vector<codegen::MachineTerm> &Terms = U.terms();
   for (size_t Idx = 0; Idx < P.Instrs.size(); ++Idx) {
-    const alpha::Instruction &I = P.Instrs[Idx];
+    const machine::Instruction &I = P.Instrs[Idx];
     InstructionExplanation IE;
     IE.InstrIndex = Idx;
     IE.Mnemonic = I.Mnemonic;
     IE.Cycle = I.Cycle;
-    IE.Unit = alpha::unitName(I.IssueUnit);
+    IE.Unit = P.Model ? P.Model->unitName(I.IssueUnit)
+                      : machine::defaultUnitName(I.IssueUnit);
     IE.Latency = I.Latency;
     IE.Term = I.SourceTerm;
     if (I.SourceTerm >= 0 &&
         static_cast<size_t>(I.SourceTerm) < Terms.size()) {
       const codegen::MachineTerm &MT = Terms[I.SourceTerm];
-      for (alpha::Unit Un : MT.Units)
-        IE.AllowedUnits.push_back(alpha::unitName(Un));
+      for (machine::UnitId Un : MT.Units)
+        IE.AllowedUnits.push_back(
+            U.model() ? U.model()->unitName(Un)
+                      : machine::defaultUnitName(Un));
       IE.Class = G.find(MT.Class);
       IE.IsLdiq = MT.IsLdiq;
       if (MT.IsLdiq) {
@@ -247,12 +250,14 @@ denali::explain::whyUnsatReport(const codegen::SearchResult &R,
     return Lo == Hi ? strFormat(" at cycle %u", Lo)
                     : strFormat(" at cycles %u-%u", Lo, Hi);
   };
-  auto unitList = [](const std::set<unsigned> &Us) {
+  auto unitList = [&U](const std::set<unsigned> &Us) {
     std::string S;
     for (unsigned UIdx : Us) {
       if (!S.empty())
         S += ",";
-      S += alpha::unitName(alpha::unitFromIndex(UIdx));
+      S += U.model()
+               ? U.model()->unitName(static_cast<machine::UnitId>(UIdx))
+               : machine::defaultUnitName(UIdx);
     }
     return S;
   };

@@ -85,7 +85,7 @@ struct ProgramExplanation {
 ProgramExplanation explainProgram(const egraph::EGraph &G,
                                   const codegen::Universe &U,
                                   const std::vector<match::Axiom> &Axioms,
-                                  const alpha::Program &P);
+                                  const machine::Program &P);
 
 /// Renders \p E as a JSON document.
 std::string explanationToJson(const ProgramExplanation &E);

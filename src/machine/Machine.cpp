@@ -1,0 +1,111 @@
+//===- machine/Machine.cpp ------------------------------------------------===//
+
+#include "machine/Machine.h"
+
+#include "support/Error.h"
+#include "support/StringExtras.h"
+
+#include <algorithm>
+#include <mutex>
+
+using namespace denali;
+using namespace denali::machine;
+
+MachineModel::~MachineModel() = default;
+
+void MachineModel::addUnit(std::string Name, unsigned Cluster) {
+  if (Cluster >= MaxClusters)
+    reportFatalError(strFormat("machine unit '%s' names cluster %u but "
+                               "MaxClusters is %u",
+                               Name.c_str(), Cluster, MaxClusters));
+  if (Units.size() >= 32)
+    reportFatalError("machine models support at most 32 units (UnitMask)");
+  if (Cluster >= Clusters)
+    Clusters = Cluster + 1;
+  Units.push_back(UnitDesc{std::move(Name), Cluster});
+}
+
+void MachineModel::addInstr(InstrDesc D) {
+  ByOp.emplace(D.Op, Table.size());
+  Table.push_back(std::move(D));
+}
+
+const InstrDesc *MachineModel::descFor(ir::OpId Op) const {
+  auto It = ByOp.find(Op);
+  if (It == ByOp.end())
+    return nullptr;
+  return &Table[It->second];
+}
+
+// Default naming renders the Alpha convention ($16.. arguments, $1..
+// temporaries, $M* memory versions); backends with other register files
+// override.
+std::string MachineModel::argRegName(unsigned Index) const {
+  return strFormat("$%u", 16 + Index);
+}
+
+std::string MachineModel::tempRegName(unsigned Index) const {
+  return strFormat("$%u", Index + 1);
+}
+
+std::string MachineModel::memRegName(unsigned Index) const {
+  return strFormat("$M%u", Index);
+}
+
+namespace {
+
+struct Registry {
+  std::mutex Mu;
+  std::unordered_map<std::string, MachineFactory> Factories;
+};
+
+Registry &registry() {
+  static Registry R;
+  return R;
+}
+
+} // namespace
+
+void denali::machine::registerMachine(const std::string &Name,
+                                      MachineFactory F) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  R.Factories[Name] = std::move(F);
+}
+
+std::unique_ptr<MachineModel>
+denali::machine::createMachine(const std::string &Name, ir::Context &Ctx,
+                               std::string *ErrorOut) {
+  MachineFactory F;
+  {
+    Registry &R = registry();
+    std::lock_guard<std::mutex> Lock(R.Mu);
+    auto It = R.Factories.find(Name);
+    if (It != R.Factories.end())
+      F = It->second;
+  }
+  if (!F) {
+    if (ErrorOut) {
+      std::string Known;
+      for (const std::string &N : registeredMachines())
+        Known += (Known.empty() ? "" : ", ") + N;
+      *ErrorOut = strFormat("unknown machine model '%s' (registered: %s)",
+                            Name.c_str(), Known.c_str());
+    }
+    return nullptr;
+  }
+  return F(Ctx);
+}
+
+std::vector<std::string> denali::machine::registeredMachines() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  std::vector<std::string> Names;
+  Names.reserve(R.Factories.size());
+  for (const auto &[Name, F] : R.Factories) {
+    (void)F;
+    Names.push_back(Name);
+  }
+  std::sort(Names.begin(), Names.end());
+  return Names;
+}

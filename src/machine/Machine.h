@@ -1,0 +1,171 @@
+//===- machine/Machine.h - Pluggable machine-model interface ----*- C++ -*-===//
+///
+/// \file
+/// The architectural seam of the superoptimizer. The paper notes that
+/// retargeting Denali (to the Itanium) mostly means new axioms plus a new
+/// architectural description; `MachineModel` makes that description data
+/// behind one interface:
+///
+///  * the **opcode table** — which IR operators one instruction computes,
+///    with mnemonics, latencies and memory behaviour;
+///  * the **slot topology** — functional units, their clusters, the issue
+///    width, and the cross-cluster forwarding delay;
+///  * **immediate forms** — which operand slot of which instruction may hold
+///    a literal, and the literal range (Alpha: 8-bit ALU literals; RV64:
+///    12-bit signed I-type immediates);
+///  * **assembly naming** — how argument/temporary/memory registers print.
+///
+/// Backends register themselves by name (`registerMachine`); the driver
+/// resolves `--machine=alpha|rv64` through `createMachine`. Registration is
+/// explicit (no static initializers) so static-library linking cannot drop
+/// a backend silently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DENALI_MACHINE_MACHINE_H
+#define DENALI_MACHINE_MACHINE_H
+
+#include "ir/Term.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace denali {
+namespace machine {
+
+/// A functional unit (issue slot) index. Unit 0..numUnits()-1.
+using UnitId = uint8_t;
+
+/// Upper bound on clusters across all backends — validators keep fixed-size
+/// per-cluster arrays. A model declaring more clusters is rejected at
+/// construction.
+constexpr unsigned MaxClusters = 2;
+
+/// Memory behaviour of an instruction.
+enum class MemKind : uint8_t { None, Load, Store };
+
+/// One functional unit of the target.
+struct UnitDesc {
+  std::string Name;     ///< Printed in schedule comments ("U0", "P1").
+  unsigned Cluster = 0; ///< Register-bank cluster the unit belongs to.
+};
+
+/// One instruction of the target, tied to the operator it computes.
+struct InstrDesc {
+  ir::OpId Op = 0;
+  std::string Mnemonic;
+  uint32_t UnitMask = 0; ///< Bit u set => may issue on unit u.
+  unsigned Latency = 1;
+  MemKind Mem = MemKind::None;
+  /// True if one source operand may be a literal (the model's immArgIndex
+  /// names the slot, ImmMin/ImmMax the signed range).
+  bool AllowsImm = true;
+  int64_t ImmMin = 0;
+  int64_t ImmMax = 255;
+};
+
+class Program;
+
+/// The machine description consumed by the universe builder, the SAT
+/// encoder, both simulators, the schedule validator, and the printer.
+class MachineModel {
+public:
+  virtual ~MachineModel();
+
+  /// Registry name of the backend ("alpha", "rv64").
+  virtual std::string name() const = 0;
+
+  // --- Slot topology -------------------------------------------------------
+  const std::vector<UnitDesc> &units() const { return Units; }
+  unsigned numUnits() const { return static_cast<unsigned>(Units.size()); }
+  unsigned numClusters() const { return Clusters; }
+  unsigned clusterOf(UnitId U) const { return Units[U].Cluster; }
+  const char *unitName(UnitId U) const { return Units[U].Name.c_str(); }
+  /// Instructions issued per cycle.
+  unsigned issueWidth() const { return IssueWidth; }
+  /// Extra cycles before a result is usable on another cluster.
+  virtual unsigned crossClusterDelay() const { return 0; }
+
+  // --- Opcode table --------------------------------------------------------
+  /// \returns the instruction computing \p Op, or nullptr if \p Op is not a
+  /// machine operation of this target.
+  const InstrDesc *descFor(ir::OpId Op) const;
+  /// The pseudo-instruction materializing a 64-bit constant into a register.
+  const InstrDesc &constMaterialize() const { return ConstInstr; }
+  /// All instruction descriptors (brute-force repertoire, documentation).
+  const std::vector<InstrDesc> &allInstructions() const { return Table; }
+
+  /// Cache-hit load latency.
+  unsigned loadHitLatency() const { return HitLatency; }
+  /// Latency for loads annotated \miss in the source program.
+  unsigned loadMissLatency() const { return MissLatency; }
+  void setLoadMissLatency(unsigned L) { MissLatency = L; }
+
+  // --- Immediate forms -----------------------------------------------------
+  /// The argument position at which \p D accepts a literal operand.
+  virtual size_t immArgIndex(const InstrDesc &D, size_t Arity) const {
+    (void)D;
+    return Arity - 1;
+  }
+  /// True if the bit pattern \p V fits \p D's literal form.
+  virtual bool immFits(const InstrDesc &D, uint64_t V) const {
+    int64_t SV = static_cast<int64_t>(V);
+    return SV >= D.ImmMin && SV <= D.ImmMax;
+  }
+
+  /// Largest positive displacement load/store address folding may absorb
+  /// (the negative bound is -maxMemDisp()-1, matching two's complement).
+  int64_t maxMemDisp() const { return MaxDisp; }
+
+  // --- Assembly naming -----------------------------------------------------
+  /// Physical name of the \p Index'th (non-memory) program argument.
+  virtual std::string argRegName(unsigned Index) const;
+  /// Physical name of the \p Index'th temporary (Index from 0).
+  virtual std::string tempRegName(unsigned Index) const;
+  /// Pseudo-name of the \p Index'th memory version register.
+  virtual std::string memRegName(unsigned Index) const;
+
+protected:
+  /// Subclass constructors describe the target through these.
+  void addUnit(std::string Name, unsigned Cluster);
+  void addInstr(InstrDesc D);
+  void setConstMaterialize(InstrDesc D) { ConstInstr = std::move(D); }
+
+  unsigned Clusters = 1;
+  unsigned IssueWidth = 1;
+  unsigned HitLatency = 3;
+  unsigned MissLatency = 13;
+  int64_t MaxDisp = 32767;
+
+private:
+  std::vector<UnitDesc> Units;
+  std::vector<InstrDesc> Table;
+  std::unordered_map<ir::OpId, size_t> ByOp;
+  InstrDesc ConstInstr;
+};
+
+// --- Backend registry ------------------------------------------------------
+
+using MachineFactory =
+    std::function<std::unique_ptr<MachineModel>(ir::Context &)>;
+
+/// Registers (or replaces) the factory for backend \p Name. Thread-safe.
+void registerMachine(const std::string &Name, MachineFactory F);
+
+/// Instantiates the backend registered as \p Name, or nullptr (with
+/// \p ErrorOut naming the known backends) if none is registered.
+std::unique_ptr<MachineModel> createMachine(const std::string &Name,
+                                            ir::Context &Ctx,
+                                            std::string *ErrorOut = nullptr);
+
+/// Names of all registered backends, sorted.
+std::vector<std::string> registeredMachines();
+
+} // namespace machine
+} // namespace denali
+
+#endif // DENALI_MACHINE_MACHINE_H

@@ -1,6 +1,6 @@
-//===- alpha/Assembly.cpp -------------------------------------------------===//
+//===- machine/Program.cpp ------------------------------------------------===//
 
-#include "alpha/Assembly.h"
+#include "machine/Program.h"
 
 #include "support/StringExtras.h"
 
@@ -9,32 +9,55 @@
 #include <set>
 
 using namespace denali;
-using namespace denali::alpha;
+using namespace denali::machine;
+
+const char *machine::defaultUnitName(unsigned UnitIdx) {
+  static const char *Names[] = {"U0", "U1", "L0", "L1"};
+  return UnitIdx < 4 ? Names[UnitIdx] : "U?";
+}
 
 std::string Program::toString(bool ShowNops) const {
-  // Physical register map: inputs take the Alpha argument registers
-  // ($16..$21), results $0, temporaries from $1 up, memory pseudo-regs $M*.
+  // Physical register map: inputs take the argument registers, temporaries
+  // count up from the model's first temporary, memory pseudo-registers get
+  // version names. All naming goes through the model (Alpha style when
+  // absent); a temporary whose name would collide with an argument is
+  // skipped.
+  auto argReg = [&](unsigned I) {
+    return Model ? Model->argRegName(I) : strFormat("$%u", 16 + I);
+  };
+  auto tempReg = [&](unsigned I) {
+    return Model ? Model->tempRegName(I) : strFormat("$%u", I + 1);
+  };
+  auto memReg = [&](unsigned I) {
+    return Model ? Model->memRegName(I) : strFormat("$M%u", I);
+  };
+  auto unitNameOf = [&](UnitId U) {
+    return Model ? Model->unitName(U) : defaultUnitName(U);
+  };
+  const unsigned NumUnits = Model ? Model->numUnits() : 4;
+
   std::map<uint32_t, std::string> PhysName;
-  std::set<unsigned> UsedNumbers;
-  unsigned NextArg = 16;
+  std::set<std::string> UsedNames;
+  unsigned NextArg = 0;
   unsigned NextMem = 0;
   for (const ProgramInput &In : Inputs) {
     if (In.IsMemory) {
-      PhysName[In.Reg] = strFormat("$M%u", NextMem++);
+      PhysName[In.Reg] = memReg(NextMem++);
     } else {
-      PhysName[In.Reg] = strFormat("$%u", NextArg);
-      UsedNumbers.insert(NextArg++);
+      std::string N = argReg(NextArg++);
+      UsedNames.insert(N);
+      PhysName[In.Reg] = std::move(N);
     }
   }
-  unsigned NextTemp = 1;
+  unsigned NextTemp = 0;
   auto nameOf = [&](uint32_t VReg) -> std::string {
     auto It = PhysName.find(VReg);
     if (It != PhysName.end())
       return It->second;
-    while (UsedNumbers.count(NextTemp))
-      ++NextTemp;
-    UsedNumbers.insert(NextTemp);
-    std::string N = strFormat("$%u", NextTemp);
+    std::string N = tempReg(NextTemp);
+    while (UsedNames.count(N))
+      N = tempReg(++NextTemp);
+    UsedNames.insert(N);
     PhysName[VReg] = N;
     return N;
   };
@@ -55,16 +78,15 @@ std::string Program::toString(bool ShowNops) const {
                    [](const Instruction *A, const Instruction *B) {
                      if (A->Cycle != B->Cycle)
                        return A->Cycle < B->Cycle;
-                     return unitIndex(A->IssueUnit) < unitIndex(B->IssueUnit);
+                     return A->IssueUnit < B->IssueUnit;
                    });
 
   size_t Idx = 0;
   for (unsigned Cycle = 0; Cycle < Cycles; ++Cycle) {
-    bool AnyThisCycle = false;
     for (unsigned U = 0; U < NumUnits; ++U) {
       const Instruction *I = nullptr;
       if (Idx < Sorted.size() && Sorted[Idx]->Cycle == Cycle &&
-          unitIndex(Sorted[Idx]->IssueUnit) == U)
+          Sorted[Idx]->IssueUnit == U)
         I = Sorted[Idx++];
       if (!I) {
         if (ShowNops)
@@ -72,13 +94,12 @@ std::string Program::toString(bool ShowNops) const {
                            Cycle);
         continue;
       }
-      AnyThisCycle = true;
       std::string Text = "        " + I->Mnemonic;
       auto opText = [&](const Operand &S) {
         return S.isReg() ? nameOf(S.Reg) : formatConstant(S.Imm);
       };
       if (I->Mem == MemKind::Load) {
-        // ldq Rd, disp(Rbase)   (memory version register in the comment)
+        // ld Rd, disp(Rbase)   (memory version register in the comment)
         Text += strFormat(" %s, %lld(%s)", nameOf(I->Dest).c_str(),
                           static_cast<long long>(I->Disp),
                           opText(I->Srcs[1]).c_str());
@@ -103,14 +124,13 @@ std::string Program::toString(bool ShowNops) const {
       }
       while (Text.size() < 37)
         Text += ' ';
-      Text += strFormat("# %u, %s", I->Cycle, unitName(I->IssueUnit));
+      Text += strFormat("# %u, %s", I->Cycle, unitNameOf(I->IssueUnit));
       if (I->Unused)
         Text += " (unused)";
       if (!I->Comment.empty())
         Text += " ; " + I->Comment;
       Out += Text + '\n';
     }
-    (void)AnyThisCycle;
   }
   // Output map.
   for (const auto &[TargetName, VReg] : Outputs)
@@ -121,7 +141,7 @@ std::string Program::toString(bool ShowNops) const {
   return Out;
 }
 
-unsigned denali::alpha::maxLiveRegisters(const Program &P) {
+unsigned denali::machine::maxLiveRegisters(const Program &P) {
   // Live range of a vreg: from its definition cycle to its last read
   // (outputs stay live through the end). Memory pseudo-registers are not
   // integer registers and are excluded.

@@ -1,0 +1,104 @@
+//===- machine/Program.h - Scheduled assembly programs ----------*- C++ -*-===//
+///
+/// \file
+/// The representation of generated code: a list of instructions, each
+/// annotated with its issue cycle and functional unit (the annotations
+/// Figure 4 prints as "# 0, U1"). Registers are virtual (SSA-like: each is
+/// assigned exactly once); the printer maps them to physical names through
+/// the program's MachineModel.
+///
+/// Memory is threaded through virtual registers too: a store writes a new
+/// "memory value" register, a load names the memory register it reads.
+/// This mirrors the arrays-as-values treatment (paper, section 3) and
+/// makes both simulators uniform dataflow interpreters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DENALI_MACHINE_PROGRAM_H
+#define DENALI_MACHINE_PROGRAM_H
+
+#include "machine/Machine.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace denali {
+namespace machine {
+
+/// A source operand: a virtual register or an immediate.
+struct Operand {
+  enum class Kind { Reg, Imm };
+  Kind TheKind = Kind::Reg;
+  uint32_t Reg = 0;
+  uint64_t Imm = 0;
+
+  static Operand reg(uint32_t R) { return {Kind::Reg, R, 0}; }
+  static Operand imm(uint64_t V) { return {Kind::Imm, 0, V}; }
+  bool isReg() const { return TheKind == Kind::Reg; }
+};
+
+/// One scheduled instruction.
+struct Instruction {
+  std::string Mnemonic;
+  ir::OpId Op = 0; ///< Semantic operator (drives the simulator).
+  std::vector<Operand> Srcs; ///< In operator-argument order.
+  uint32_t Dest = 0;         ///< Virtual destination register.
+  unsigned Cycle = 0;
+  UnitId IssueUnit = 0;
+  unsigned Latency = 1;
+  bool Unused = false; ///< Result not consumed (Figure 4's "(unused)").
+  /// Memory behaviour: loads read Srcs[0] (memory) at Srcs[1] + Disp;
+  /// stores write Srcs[2] there, producing a new memory value in Dest.
+  MemKind Mem = MemKind::None;
+  int64_t Disp = 0;
+  std::string Comment;
+  /// Index of the universe machine term this instruction launches, or -1
+  /// when unknown (hand-built programs). The explanation layer uses it to
+  /// tie the scheduled instruction back to its e-class and derivation.
+  int32_t SourceTerm = -1;
+};
+
+/// A named program input bound to a virtual register.
+struct ProgramInput {
+  uint32_t Reg = 0;
+  std::string Name;    ///< Source-level name ("a", "M", "ptr").
+  bool IsMemory = false;
+};
+
+/// A complete straight-line program for one GMA.
+struct Program {
+  std::string Name;
+  std::vector<Instruction> Instrs; ///< Sorted by (cycle, unit).
+  std::vector<ProgramInput> Inputs;
+  /// Output vregs in GMA target order, with target names.
+  std::vector<std::pair<std::string, uint32_t>> Outputs;
+  unsigned Cycles = 0;
+  uint32_t NumVRegs = 0;
+  /// The machine this program is scheduled for. Drives printing, unit
+  /// naming, and the trap attribution of the simulators. Null for
+  /// hand-built programs, which render in the Alpha convention. Not owned;
+  /// must outlive the program.
+  const MachineModel *Model = nullptr;
+
+  /// Renders in the Figure 4 style (cycle/unit comments, optional nops for
+  /// unfilled issue slots).
+  std::string toString(bool ShowNops = false) const;
+};
+
+/// Maximum number of simultaneously live (integer) virtual registers in
+/// \p P's schedule — an upper bound on the physical registers an allocator
+/// would need. The paper's prototype ignores register allocation; this
+/// report makes the resulting pressure visible (the Alpha has 31 usable
+/// integer registers).
+unsigned maxLiveRegisters(const Program &P);
+
+/// Unit name used when a program carries no model: the Alpha EV6
+/// convention ("U0", "U1", "L0", "L1"), so hand-built model-less programs
+/// print exactly as they did before the MachineModel seam.
+const char *defaultUnitName(unsigned UnitIdx);
+
+} // namespace machine
+} // namespace denali
+
+#endif // DENALI_MACHINE_PROGRAM_H

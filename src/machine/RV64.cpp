@@ -1,0 +1,105 @@
+//===- machine/RV64.cpp ---------------------------------------------------===//
+
+#include "machine/RV64.h"
+
+#include "support/StringExtras.h"
+
+using namespace denali;
+using namespace denali::machine;
+using denali::ir::Builtin;
+
+namespace {
+
+constexpr uint32_t MaskP0 = 1u << 0;
+constexpr uint32_t MaskP1 = 1u << 1;
+constexpr uint32_t MaskBoth = MaskP0 | MaskP1;
+
+constexpr int64_t IMin = -2048; ///< 12-bit signed I-type immediate.
+constexpr int64_t IMax = 2047;
+
+} // namespace
+
+RV64Model::RV64Model(ir::Context &Ctx) {
+  // A dual-issue in-order core: two ALU pipes in one cluster; the memory
+  // unit shares P0, the multiplier shares P1.
+  addUnit("P0", 0);
+  addUnit("P1", 0);
+  IssueWidth = 2;
+  HitLatency = 2;
+  MaxDisp = IMax; // 12-bit signed load/store displacement.
+
+  struct Row {
+    Builtin B;
+    const char *Mnemonic;
+    uint32_t UnitMask;
+    unsigned Latency;
+    MemKind Mem;
+    bool Imm;
+    int64_t ImmMin, ImmMax;
+  };
+  const Row Rows[] = {
+      {Builtin::Add64, "add", MaskBoth, 1, MemKind::None, true, IMin, IMax},
+      {Builtin::Sub64, "sub", MaskBoth, 1, MemKind::None, false, 0, 0},
+      // Standard pseudo-instructions: neg rd,rs = sub rd,x0,rs and
+      // not rd,rs = xori rd,rs,-1.
+      {Builtin::Neg64, "neg", MaskBoth, 1, MemKind::None, false, 0, 0},
+      {Builtin::Not64, "not", MaskBoth, 1, MemKind::None, false, 0, 0},
+      {Builtin::Mul64, "mul", MaskP1, 3, MemKind::None, false, 0, 0},
+      {Builtin::Umulh, "mulhu", MaskP1, 3, MemKind::None, false, 0, 0},
+      {Builtin::And64, "and", MaskBoth, 1, MemKind::None, true, IMin, IMax},
+      {Builtin::Or64, "or", MaskBoth, 1, MemKind::None, true, IMin, IMax},
+      {Builtin::Xor64, "xor", MaskBoth, 1, MemKind::None, true, IMin, IMax},
+      {Builtin::Shl64, "sll", MaskBoth, 1, MemKind::None, true, 0, 63},
+      {Builtin::Shr64, "srl", MaskBoth, 1, MemKind::None, true, 0, 63},
+      {Builtin::Sar64, "sra", MaskBoth, 1, MemKind::None, true, 0, 63},
+      {Builtin::CmpUlt, "sltu", MaskBoth, 1, MemKind::None, true, IMin, IMax},
+      {Builtin::CmpLt, "slt", MaskBoth, 1, MemKind::None, true, IMin, IMax},
+      // No RV64I single instruction for cmpeq/cmpule/cmple, andn/orn/xnor
+      // (Zbb), byte inserts/extracts, zapnot, scaled add/sub, or cmov: the
+      // saturated e-graph must offer a core-RV64I alternative.
+      {Builtin::Select, "ld", MaskP0, 2, MemKind::Load, false, 0, 0},
+      {Builtin::Store, "sd", MaskP0, 1, MemKind::Store, false, 0, 0},
+  };
+  for (const Row &R : Rows) {
+    InstrDesc D;
+    D.Op = Ctx.Ops.builtin(R.B);
+    D.Mnemonic = R.Mnemonic;
+    D.UnitMask = R.UnitMask;
+    D.Latency = R.Latency;
+    D.Mem = R.Mem;
+    D.AllowsImm = R.Imm;
+    D.ImmMin = R.ImmMin;
+    D.ImmMax = R.ImmMax;
+    addInstr(std::move(D));
+  }
+
+  InstrDesc Li;
+  Li.Op = Ctx.Ops.builtin(Builtin::Const);
+  Li.Mnemonic = "li";
+  Li.UnitMask = MaskBoth;
+  Li.Latency = 1;
+  Li.AllowsImm = false;
+  setConstMaterialize(std::move(Li));
+}
+
+std::string RV64Model::argRegName(unsigned Index) const {
+  // Arguments in a0..a7; spilling past the ABI argument registers is not
+  // modeled (GMAs have few inputs).
+  return strFormat("a%u", Index);
+}
+
+std::string RV64Model::tempRegName(unsigned Index) const {
+  // Temporaries t0, t1, ... — the prototype ignores register allocation
+  // (like the paper's), so the sequence is unbounded.
+  return strFormat("t%u", Index);
+}
+
+std::string RV64Model::memRegName(unsigned Index) const {
+  return strFormat("M%u", Index);
+}
+
+void denali::machine::registerRV64Machine() {
+  registerMachine("rv64", [](ir::Context &Ctx) {
+    return std::unique_ptr<MachineModel>(new RV64Model(Ctx));
+  });
+}

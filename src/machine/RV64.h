@@ -1,0 +1,45 @@
+//===- machine/RV64.h - RISC-V RV64 machine model ---------------*- C++ -*-===//
+///
+/// \file
+/// A second backend behind the MachineModel seam: a small RV64I(+M) subset
+/// covering the same integer/logical/shift/memory core the Alpha model
+/// exposes. Deliberately asymmetric with the Alpha so cross-backend
+/// differential runs are interesting:
+///
+///  * dual issue, one cluster, two symmetric ALU pipes P0/P1;
+///  * multiplies (M extension) only on P1, latency 3;
+///  * loads/stores only on P0; ld hits in 2 cycles;
+///  * 12-bit signed I-type immediates (Alpha: 8-bit unsigned literals) and
+///    6-bit shift amounts; ±2 KiB load/store displacements;
+///  * no single-instruction andn/orn/xnor (Zbb), byte inserts/extracts,
+///    scaled adds, or conditional moves — the e-graph must rewrite into
+///    the RV64I core, or compilation honestly fails.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DENALI_MACHINE_RV64_H
+#define DENALI_MACHINE_RV64_H
+
+#include "machine/Machine.h"
+
+namespace denali {
+namespace machine {
+
+class RV64Model : public MachineModel {
+public:
+  explicit RV64Model(ir::Context &Ctx);
+
+  std::string name() const override { return "rv64"; }
+
+  std::string argRegName(unsigned Index) const override;
+  std::string tempRegName(unsigned Index) const override;
+  std::string memRegName(unsigned Index) const override;
+};
+
+/// Registers the "rv64" backend. Idempotent; call before createMachine.
+void registerRV64Machine();
+
+} // namespace machine
+} // namespace denali
+
+#endif // DENALI_MACHINE_RV64_H

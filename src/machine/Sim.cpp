@@ -1,6 +1,6 @@
-//===- alpha/Simulator.cpp ------------------------------------------------===//
+//===- machine/Sim.cpp ----------------------------------------------------===//
 
-#include "alpha/Simulator.h"
+#include "machine/Sim.h"
 
 #include "support/StringExtras.h"
 
@@ -9,9 +9,9 @@
 #include <map>
 
 using namespace denali;
-using namespace denali::alpha;
+using namespace denali::machine;
 
-const char *denali::alpha::trapKindName(Trap::Kind K) {
+const char *denali::machine::trapKindName(Trap::Kind K) {
   switch (K) {
   case Trap::Kind::UninitializedRead:
     return "uninitialized-read";
@@ -28,24 +28,39 @@ const char *denali::alpha::trapKindName(Trap::Kind K) {
 }
 
 std::string Trap::toString() const {
+  // Location suffix: which backend's simulator trapped, on which
+  // instruction — this is what makes cross-backend disagreement reports
+  // actionable.
+  std::string Where;
+  if (!Machine.empty() || InstrIndex >= 0) {
+    Where = " [";
+    if (!Machine.empty())
+      Where += Machine;
+    if (InstrIndex >= 0)
+      Where += strFormat("%sinstr #%d", Machine.empty() ? "" : " ",
+                         InstrIndex);
+    Where += "]";
+  }
   switch (TheKind) {
   case Kind::UninitializedRead:
-    return strFormat("trap[%s]: v%u read by '%s' but never written",
-                     trapKindName(TheKind), Reg, Mnemonic.c_str());
+    return strFormat("trap[%s]: v%u read by '%s' but never written%s",
+                     trapKindName(TheKind), Reg, Mnemonic.c_str(),
+                     Where.c_str());
   case Kind::OutOfBounds:
     return strFormat("trap[%s]: '%s' accesses address 0x%llx beyond the "
-                     "address limit",
+                     "address limit%s",
                      trapKindName(TheKind), Mnemonic.c_str(),
-                     static_cast<unsigned long long>(Addr));
+                     static_cast<unsigned long long>(Addr), Where.c_str());
   case Kind::KindMismatch:
-    return strFormat("trap[%s]: '%s' applied to operands of the wrong kind",
-                     trapKindName(TheKind), Mnemonic.c_str());
+    return strFormat("trap[%s]: '%s' applied to operands of the wrong kind%s",
+                     trapKindName(TheKind), Mnemonic.c_str(), Where.c_str());
   case Kind::DoubleWrite:
-    return strFormat("trap[%s]: register v%u written twice (by '%s')",
-                     trapKindName(TheKind), Reg, Mnemonic.c_str());
+    return strFormat("trap[%s]: register v%u written twice (by '%s')%s",
+                     trapKindName(TheKind), Reg, Mnemonic.c_str(),
+                     Where.c_str());
   case Kind::Stuck:
     return strFormat("trap[%s]: dataflow cycle, instructions never became "
-                     "ready", trapKindName(TheKind));
+                     "ready%s", trapKindName(TheKind), Where.c_str());
   }
   return "trap[unknown]";
 }
@@ -63,7 +78,7 @@ bool computeRegValues(const ir::Context &Ctx, const Program &P,
 
 } // namespace
 
-RunResult denali::alpha::runProgram(
+RunResult denali::machine::runProgram(
     const ir::Context &Ctx, const Program &P,
     const std::unordered_map<std::string, ir::Value> &Inputs,
     const RunOptions &Opts) {
@@ -93,7 +108,20 @@ bool computeRegValues(const ir::Context &Ctx, const Program &P,
                       const RunOptions &Opts,
                       std::unordered_map<uint32_t, ir::Value> &Regs,
                       std::string &Error, std::optional<Trap> *TrapOut) {
-  auto RaiseTrap = [&](Trap T) {
+  const Instruction *FirstInstr = P.Instrs.data();
+  auto MakeTrap = [](Trap::Kind K, uint32_t Reg, uint64_t Addr,
+                     const std::string &Mnemonic) {
+    Trap T;
+    T.TheKind = K;
+    T.Reg = Reg;
+    T.Addr = Addr;
+    T.Mnemonic = Mnemonic;
+    return T;
+  };
+  auto RaiseTrap = [&](Trap T, const Instruction *At) {
+    T.Machine = P.Model ? P.Model->name() : "";
+    if (At)
+      T.InstrIndex = static_cast<int32_t>(At - FirstInstr);
     Error = T.toString();
     if (TrapOut)
       *TrapOut = std::move(T);
@@ -154,28 +182,29 @@ bool computeRegValues(const ir::Context &Ctx, const Program &P,
         if (Args.size() != WantArgs || !Args[0].isArray() ||
             !Args[1].isInt() || (!IsLoad && !Args[2].isInt()))
           return RaiseTrap(
-              Trap{Trap::Kind::KindMismatch, I->Dest, 0, I->Mnemonic});
+              MakeTrap(Trap::Kind::KindMismatch, I->Dest, 0, I->Mnemonic), I);
         uint64_t Addr = Args[1].asInt() + static_cast<uint64_t>(I->Disp);
         if (Opts.AddressLimit && Addr >= *Opts.AddressLimit)
           return RaiseTrap(
-              Trap{Trap::Kind::OutOfBounds, I->Dest, Addr, I->Mnemonic});
+              MakeTrap(Trap::Kind::OutOfBounds, I->Dest, Addr, I->Mnemonic),
+              I);
         V = IsLoad ? ir::Value::makeInt(Args[0].select(Addr))
                    : Args[0].store(Addr, Args[2].asInt());
       } else if (Info.BuiltinOp == ir::Builtin::Const) {
-        // ldiq: materialize the immediate.
+        // Constant materialization: forward the immediate.
         if (Args.size() != 1 || !Args[0].isInt())
           return RaiseTrap(
-              Trap{Trap::Kind::KindMismatch, I->Dest, 0, I->Mnemonic});
+              MakeTrap(Trap::Kind::KindMismatch, I->Dest, 0, I->Mnemonic), I);
         V = Args[0];
       } else if (Info.Kind == ir::OpKind::Builtin) {
         V = ir::evalBuiltin(Info.BuiltinOp, Args);
       }
       if (!V)
         return RaiseTrap(
-            Trap{Trap::Kind::KindMismatch, I->Dest, 0, I->Mnemonic});
+            MakeTrap(Trap::Kind::KindMismatch, I->Dest, 0, I->Mnemonic), I);
       if (Regs.count(I->Dest))
         return RaiseTrap(
-            Trap{Trap::Kind::DoubleWrite, I->Dest, 0, I->Mnemonic});
+            MakeTrap(Trap::Kind::DoubleWrite, I->Dest, 0, I->Mnemonic), I);
       Regs.emplace(I->Dest, std::move(*V));
     }
     PendingInstrs = std::move(Next);
@@ -186,17 +215,19 @@ bool computeRegValues(const ir::Context &Ctx, const Program &P,
     for (const Instruction *I : PendingInstrs)
       for (const Operand &S : I->Srcs)
         if (S.isReg() && !Writers.count(S.Reg))
-          return RaiseTrap(Trap{Trap::Kind::UninitializedRead, S.Reg, 0,
-                                I->Mnemonic});
-    return RaiseTrap(Trap{Trap::Kind::Stuck, 0, 0,
-                          PendingInstrs.front()->Mnemonic});
+          return RaiseTrap(
+              MakeTrap(Trap::Kind::UninitializedRead, S.Reg, 0, I->Mnemonic),
+              I);
+    return RaiseTrap(MakeTrap(Trap::Kind::Stuck, 0, 0,
+                              PendingInstrs.front()->Mnemonic),
+                     PendingInstrs.front());
   }
   return true;
 }
 
 } // namespace
 
-std::optional<std::string> denali::alpha::validateMemoryDiscipline(
+std::optional<std::string> denali::machine::validateMemoryDiscipline(
     const ir::Context &Ctx, const Program &P,
     const std::unordered_map<std::string, ir::Value> &Inputs) {
   // Dataflow ("promised") values per register.
@@ -268,56 +299,65 @@ std::optional<std::string> denali::alpha::validateMemoryDiscipline(
   return std::nullopt;
 }
 
-TimingReport denali::alpha::validateTiming(const ISA &Isa, const Program &P) {
+TimingReport denali::machine::validateTiming(const MachineModel &M,
+                                             const Program &P) {
   TimingReport Report;
+  const unsigned NC = M.numClusters();
 
-  // Inputs are ready at cycle 0 on both clusters.
+  // Inputs are ready at cycle 0 on every cluster.
   // ReadyAt[vreg][cluster] = first cycle at whose *start* the value is
   // usable on that cluster.
-  std::unordered_map<uint32_t, std::array<unsigned, NumClusters>> ReadyAt;
+  std::unordered_map<uint32_t, std::array<unsigned, MaxClusters>> ReadyAt;
   for (const ProgramInput &In : P.Inputs)
-    ReadyAt[In.Reg] = {0, 0};
+    ReadyAt[In.Reg] = {};
 
   // Issue-slot occupancy.
   std::map<std::pair<unsigned, unsigned>, const Instruction *> Slots;
 
   // First pass: occupancy, unit legality, producer completion times.
   for (const Instruction &I : P.Instrs) {
-    const InstrDesc *D = I.Op == Isa.constMaterialize().Op
-                             ? &Isa.constMaterialize()
-                             : Isa.descFor(I.Op);
+    const InstrDesc *D = I.Op == M.constMaterialize().Op
+                             ? &M.constMaterialize()
+                             : M.descFor(I.Op);
     if (!D) {
       Report.Error = strFormat("'%s' is not a machine instruction",
                                I.Mnemonic.c_str());
       return Report;
     }
-    unsigned UIdx = unitIndex(I.IssueUnit);
+    unsigned UIdx = I.IssueUnit;
+    if (UIdx >= M.numUnits()) {
+      Report.Error = strFormat("'%s' issues on unit %u but '%s' has %u units",
+                               I.Mnemonic.c_str(), UIdx, M.name().c_str(),
+                               M.numUnits());
+      return Report;
+    }
     if (!(D->UnitMask & (1u << UIdx))) {
       Report.Error = strFormat("'%s' cannot issue on %s", I.Mnemonic.c_str(),
-                               unitName(I.IssueUnit));
+                               M.unitName(I.IssueUnit));
       return Report;
     }
     auto Key = std::make_pair(I.Cycle, UIdx);
     if (Slots.count(Key)) {
       Report.Error = strFormat("issue slot conflict at cycle %u on %s",
-                               I.Cycle, unitName(I.IssueUnit));
+                               I.Cycle, M.unitName(I.IssueUnit));
       return Report;
     }
     Slots.emplace(Key, &I);
 
-    unsigned OwnCluster = clusterOf(I.IssueUnit);
+    unsigned OwnCluster = M.clusterOf(I.IssueUnit);
     unsigned Done = I.Cycle + I.Latency; // Usable at start of this cycle.
     auto &Entry = ReadyAt[I.Dest];
-    Entry[OwnCluster] = Done;
-    // Memory state (a store's "result") is shared between clusters.
-    Entry[1 - OwnCluster] = I.Mem == MemKind::Store
-                                ? Done
-                                : Done + Isa.crossClusterDelay();
+    for (unsigned C = 0; C < NC; ++C) {
+      // Memory state (a store's "result") is shared between clusters.
+      Entry[C] = (C == OwnCluster || I.Mem == MemKind::Store)
+                     ? Done
+                     : Done + M.crossClusterDelay();
+    }
   }
 
   // Second pass: operand readiness.
   for (const Instruction &I : P.Instrs) {
-    unsigned Cluster = clusterOf(I.IssueUnit);
+    unsigned Cluster = M.clusterOf(I.IssueUnit);
     for (const Operand &S : I.Srcs) {
       if (!S.isReg())
         continue;
@@ -330,7 +370,7 @@ TimingReport denali::alpha::validateTiming(const ISA &Isa, const Program &P) {
         Report.Error = strFormat(
             "operand v%u of '%s' (cycle %u, %s) ready only at cycle %u on "
             "cluster %u",
-            S.Reg, I.Mnemonic.c_str(), I.Cycle, unitName(I.IssueUnit),
+            S.Reg, I.Mnemonic.c_str(), I.Cycle, M.unitName(I.IssueUnit),
             It->second[Cluster], Cluster);
         return Report;
       }

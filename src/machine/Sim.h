@@ -1,0 +1,117 @@
+//===- machine/Sim.h - Functional & timing simulation -----------*- C++ -*-===//
+///
+/// \file
+/// The machine substrate the evaluation runs on (in place of the paper's
+/// real 667 MHz EV6 box), generic over the MachineModel:
+///
+///  * the **functional simulator** executes a Program on a machine state
+///    (input values per named input, arrays for memory) and reports the
+///    final value of every output register — this is what the end-to-end
+///    differential tests compare against the GMA's reference evaluation;
+///  * the **timing validator** replays the schedule against the model's
+///    unit / latency / cluster description and reports the first violation
+///    (operand not ready, issue-slot conflict, illegal unit) or the
+///    achieved makespan.
+///
+/// Traps carry the faulting machine's name and the trapping instruction's
+/// index, so cross-backend disagreement reports say *which* backend
+/// misbehaved and *where*.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DENALI_MACHINE_SIM_H
+#define DENALI_MACHINE_SIM_H
+
+#include "ir/Eval.h"
+#include "machine/Program.h"
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace denali {
+namespace machine {
+
+/// A structured trap raised by the functional simulator. Unlike a bare
+/// error string, a trap carries a machine-readable classification so the
+/// differential-verification oracle (src/verify) can distinguish "the
+/// generated program is garbage" (uninitialized read, double write) from
+/// "the program computed an illegal access on this input" (out of bounds)
+/// from harness bugs.
+struct Trap {
+  enum class Kind : uint8_t {
+    UninitializedRead, ///< A source register with no writer (input or instr).
+    OutOfBounds,       ///< Memory access at/above RunOptions::AddressLimit.
+    KindMismatch,      ///< Array/int kind error (e.g. load from an integer).
+    DoubleWrite,       ///< A virtual register assigned more than once.
+    Stuck,             ///< Dataflow cycle: instructions never became ready.
+  };
+  Kind TheKind = Kind::Stuck;
+  uint32_t Reg = 0;     ///< Offending register (UninitializedRead/DoubleWrite).
+  uint64_t Addr = 0;    ///< Offending address (OutOfBounds).
+  std::string Mnemonic; ///< Trapping instruction, when attributable.
+  /// The backend the trapping program was scheduled for (Program::Model's
+  /// name), or empty for model-less hand-built programs.
+  std::string Machine;
+  /// Index of the trapping instruction in Program::Instrs, or -1 when not
+  /// attributable to one instruction (e.g. Stuck over a whole cycle).
+  int32_t InstrIndex = -1;
+
+  std::string toString() const;
+};
+
+const char *trapKindName(Trap::Kind K);
+
+/// Knobs of a functional run.
+struct RunOptions {
+  /// If set, loads and stores whose effective address is >= this limit trap
+  /// with Trap::Kind::OutOfBounds instead of reading the base generator.
+  /// Unset preserves the arrays-as-values fiction (every address defined).
+  std::optional<uint64_t> AddressLimit;
+};
+
+/// Result of a functional run.
+struct RunResult {
+  bool Ok = false;
+  std::string Error;
+  /// Set when the failure is a classified trap; Error repeats its rendering.
+  std::optional<Trap> TheTrap;
+  /// Final value per output name (from Program::Outputs).
+  std::unordered_map<std::string, ir::Value> Outputs;
+};
+
+/// Executes \p P with the given input bindings (name -> value).
+/// Instructions execute in dataflow order; each virtual register is
+/// assigned once, so schedule order does not affect values.
+RunResult runProgram(const ir::Context &Ctx, const Program &P,
+                     const std::unordered_map<std::string, ir::Value> &Inputs,
+                     const RunOptions &Opts = RunOptions());
+
+/// Result of a timing validation.
+struct TimingReport {
+  bool Ok = false;
+  std::string Error;       ///< First violation, if any.
+  unsigned Makespan = 0;   ///< Cycles actually needed by the schedule.
+};
+
+/// Replays \p P's schedule against \p M: per-(cycle, unit) exclusivity,
+/// unit legality per opcode, operand readiness including the cross-cluster
+/// delay, and the declared cycle count.
+TimingReport validateTiming(const MachineModel &M, const Program &P);
+
+/// Replays \p P's memory operations in schedule order against one *shared*
+/// memory (the machine's real memory, not the arrays-as-values fiction) and
+/// checks that every load observes exactly the value the dataflow semantics
+/// promised. This catches discipline bugs — a load scheduled after a store
+/// that may alias it, or a speculative store that corrupts memory — which
+/// the purely functional simulator cannot see. \returns an error
+/// description, or std::nullopt if the schedule is memory-sound on this
+/// input.
+std::optional<std::string> validateMemoryDiscipline(
+    const ir::Context &Ctx, const Program &P,
+    const std::unordered_map<std::string, ir::Value> &Inputs);
+
+} // namespace machine
+} // namespace denali
+
+#endif // DENALI_MACHINE_SIM_H

@@ -1,0 +1,200 @@
+//===- verify/CrossBackend.cpp --------------------------------------------===//
+
+#include "verify/CrossBackend.h"
+
+#include "obs/Obs.h"
+#include "support/StringExtras.h"
+#include "verify/GmaText.h"
+#include "verify/Oracle.h"
+
+#include <algorithm>
+#include <map>
+#include <random>
+
+using namespace denali;
+using namespace denali::verify;
+
+const char *denali::verify::crossStatusName(CrossStatus S) {
+  switch (S) {
+  case CrossStatus::Agree:
+    return "agree";
+  case CrossStatus::SkippedUncomputable:
+    return "skipped-uncomputable";
+  case CrossStatus::SkippedBudget:
+    return "skipped-budget";
+  case CrossStatus::TransportBad:
+    return "transport-bad";
+  case CrossStatus::BackendBad:
+    return "backend-bad";
+  case CrossStatus::OutputMismatch:
+    return "output-mismatch";
+  }
+  return "unknown";
+}
+
+std::string CrossBackendVerdict::toString() const {
+  std::string Out = crossStatusName(Status);
+  if (!CyclesByMachine.empty()) {
+    Out += " (";
+    for (size_t I = 0; I < CyclesByMachine.size(); ++I)
+      Out += strFormat("%s%s=%u", I ? ", " : "",
+                       CyclesByMachine[I].first.c_str(),
+                       CyclesByMachine[I].second);
+    Out += ")";
+  }
+  if (!Detail.empty())
+    Out += ": " + Detail;
+  return Out;
+}
+
+CrossBackendVerdict denali::verify::crossCompileAndCheck(
+    const std::vector<driver::Superoptimizer *> &Machines, const gma::GMA &G,
+    const CrossBackendOptions &O) {
+  obs::ObsSpan Span("verify.cross_backend");
+  CrossBackendVerdict V;
+  auto record = [&] {
+    if (!obs::enabled())
+      return;
+    auto &Reg = obs::Registry::global();
+    Reg.counter("verify.cross_checks").add(1);
+    Reg.counter(strFormat("verify.cross_%s", crossStatusName(V.Status)))
+        .add(1);
+    if (Span.active())
+      Span.arg("gma", G.Name.c_str())
+          .arg("status", crossStatusName(V.Status));
+  };
+  if (Machines.size() < 2) {
+    V.Status = CrossStatus::TransportBad;
+    V.Detail = "cross-backend check needs at least two machines";
+    record();
+    return V;
+  }
+
+  // Ship the GMA into every backend's context via the corpus text format
+  // (parse(print(G)) re-interns the same terms in any context knowing the
+  // operators), compile, and run the single-machine oracle.
+  const std::string Text = printGma(Machines[0]->context(), G);
+  OracleOptions OOpts;
+  OOpts.Trials = O.Trials;
+  OOpts.InputSeed = O.InputSeed;
+  std::vector<driver::GmaResult> Results;
+  for (size_t I = 0; I < Machines.size(); ++I) {
+    driver::Superoptimizer &Opt = *Machines[I];
+    const std::string MName = Opt.isa().name();
+    gma::GMA Local;
+    if (I == 0) {
+      Local = G;
+    } else {
+      std::string Err;
+      std::optional<gma::GMA> Parsed = parseGma(Opt.context(), Text, &Err);
+      if (!Parsed) {
+        V.Status = CrossStatus::TransportBad;
+        V.Detail = strFormat("%s: GMA round-trip failed: %s", MName.c_str(),
+                             Err.c_str());
+        record();
+        return V;
+      }
+      Local = std::move(*Parsed);
+    }
+    driver::GmaResult R = Opt.compileGMA(Local);
+    OracleVerdict OV = checkCompiled(Opt, R, OOpts);
+    switch (OV.Status) {
+    case OracleStatus::Pass:
+      break;
+    case OracleStatus::BudgetExhausted:
+      V.Status = CrossStatus::SkippedBudget;
+      V.Detail = strFormat("%s: %s", MName.c_str(), OV.Detail.c_str());
+      record();
+      return V;
+    case OracleStatus::CompileError:
+      // The honest "this ISA cannot compute the goal" refusal (weaker
+      // backends lack whole instruction families) is benign; any other
+      // compile error is a real failure.
+      if (OV.Detail.find("no machine-computable alternative") !=
+          std::string::npos) {
+        V.Status = CrossStatus::SkippedUncomputable;
+        V.Detail = strFormat("%s: %s", MName.c_str(), OV.Detail.c_str());
+        record();
+        return V;
+      }
+      [[fallthrough]];
+    default:
+      V.Status = CrossStatus::BackendBad;
+      V.Detail = strFormat("%s: %s", MName.c_str(), OV.toString().c_str());
+      record();
+      return V;
+    }
+    V.CyclesByMachine.emplace_back(MName, R.Search.Cycles);
+    Results.push_back(std::move(R));
+  }
+
+  // Shared input vectors: one value per input name, generated in sorted
+  // name order so every backend sees the identical environment no matter
+  // how its context interned the variables.
+  std::map<std::string, bool> InputIsMemory;
+  for (const driver::GmaResult &R : Results)
+    for (const machine::ProgramInput &In : R.Search.Program.Inputs)
+      InputIsMemory.emplace(In.Name, In.IsMemory);
+  std::mt19937_64 Rng(O.InputSeed * 0x9e3779b97f4a7c15ULL + 0x1234567);
+  for (unsigned Trial = 0; Trial < O.Trials; ++Trial) {
+    std::unordered_map<std::string, ir::Value> Inputs;
+    for (const auto &[Name, IsMemory] : InputIsMemory)
+      Inputs[Name] = IsMemory ? ir::Value::makeArray(Rng())
+                              : ir::Value::makeInt(Rng());
+
+    // Run every backend's simulator and compare output-by-name against
+    // the first backend.
+    std::map<std::string, ir::Value> Reference;
+    for (size_t I = 0; I < Results.size(); ++I) {
+      const driver::GmaResult &R = Results[I];
+      const std::string &MName = V.CyclesByMachine[I].first;
+      machine::RunResult Run =
+          machine::runProgram(Machines[I]->context(), R.Search.Program,
+                              Inputs);
+      if (!Run.Ok) {
+        V.Status = CrossStatus::BackendBad;
+        V.Detail = strFormat("%s: trial %u: simulation failed: %s",
+                             MName.c_str(), Trial, Run.Error.c_str());
+        record();
+        return V;
+      }
+      if (I == 0) {
+        for (const auto &[Target, Val] : Run.Outputs)
+          Reference.emplace(Target, Val);
+        continue;
+      }
+      for (const auto &[Target, Want] : Reference) {
+        auto It = Run.Outputs.find(Target);
+        if (It == Run.Outputs.end()) {
+          V.Status = CrossStatus::OutputMismatch;
+          V.Detail = strFormat("%s: output '%s' missing (present on %s)",
+                               MName.c_str(), Target.c_str(),
+                               V.CyclesByMachine[0].first.c_str());
+          record();
+          return V;
+        }
+        if (!It->second.equals(Want)) {
+          V.Status = CrossStatus::OutputMismatch;
+          V.Detail = strFormat(
+              "trial %u: output '%s': %s computes %s but %s computes %s",
+              Trial, Target.c_str(), V.CyclesByMachine[0].first.c_str(),
+              Want.toString().c_str(), MName.c_str(),
+              It->second.toString().c_str());
+          record();
+          return V;
+        }
+      }
+      if (Run.Outputs.size() != Reference.size()) {
+        V.Status = CrossStatus::OutputMismatch;
+        V.Detail = strFormat("%s: %zu outputs but %s has %zu",
+                             MName.c_str(), Run.Outputs.size(),
+                             V.CyclesByMachine[0].first.c_str(),
+                             Reference.size());
+        record();
+        return V;
+      }
+    }
+  }
+  record();
+  return V;
+}

@@ -1,0 +1,85 @@
+//===- verify/CrossBackend.h - Cross-machine differential runs -*- C++ -*-===//
+///
+/// \file
+/// The cross-backend arm of the differential harness: one GMA is compiled
+/// under several machine::MachineModel backends (each behind its own
+/// Superoptimizer, hence its own ir::Context), and the resulting schedules
+/// must agree *semantically* — each backend's program, run through that
+/// backend's functional simulator on shared random input vectors, must
+/// produce identical output values per target name.
+///
+/// Each backend's result also passes through the full single-machine
+/// oracle (verify::checkCompiled): the independent schedule replay against
+/// that machine's tables and the annotation-trusting timing check. That
+/// part is what makes a planted per-backend latency bug visible — an
+/// understated latency never changes simulated *values* (the simulator is
+/// dataflow-ordered), only the table-driven validators can object.
+///
+/// Two verdict classes are benign by design:
+///   * uncomputable — a weaker ISA has no instruction (and the axioms no
+///     rewrite) for some goal; the pipeline honestly refuses;
+///   * budget-exhausted — no program fits the smoke-test cycle ceiling on
+///     that machine.
+/// Everything else is a bug in some stage of some backend, and the status
+/// says which.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DENALI_VERIFY_CROSSBACKEND_H
+#define DENALI_VERIFY_CROSSBACKEND_H
+
+#include "driver/Superoptimizer.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace denali {
+namespace verify {
+
+struct CrossBackendOptions {
+  /// Shared random input vectors per GMA.
+  unsigned Trials = 3;
+  /// Seed of the shared input stream.
+  uint64_t InputSeed = 1;
+};
+
+enum class CrossStatus : uint8_t {
+  Agree,               ///< Every backend compiled; all outputs identical.
+  SkippedUncomputable, ///< Some backend cannot compute a goal (benign).
+  SkippedBudget,       ///< Some backend exhausted the budget (benign).
+  TransportBad,        ///< GMA failed to round-trip between contexts.
+  BackendBad,          ///< A backend failed its own single-machine oracle.
+  OutputMismatch,      ///< Simulators disagree on an output value.
+};
+
+const char *crossStatusName(CrossStatus S);
+
+struct CrossBackendVerdict {
+  CrossStatus Status = CrossStatus::Agree;
+  std::string Detail; ///< Human explanation for non-Agree statuses.
+  /// Minimal budget found per machine (filled for machines that compiled).
+  std::vector<std::pair<std::string, unsigned>> CyclesByMachine;
+
+  bool benign() const {
+    return Status == CrossStatus::Agree ||
+           Status == CrossStatus::SkippedUncomputable ||
+           Status == CrossStatus::SkippedBudget;
+  }
+  std::string toString() const;
+};
+
+/// Compiles \p G (interned in \p Machines[0]'s context) under every
+/// Superoptimizer in \p Machines — the GMA travels between contexts via
+/// the GmaText round-trip — runs each result through the single-machine
+/// oracle, and compares all simulators' outputs on shared random inputs.
+/// Requires at least two machines.
+CrossBackendVerdict
+crossCompileAndCheck(const std::vector<driver::Superoptimizer *> &Machines,
+                     const gma::GMA &G,
+                     const CrossBackendOptions &O = CrossBackendOptions());
+
+} // namespace verify
+} // namespace denali
+
+#endif // DENALI_VERIFY_CROSSBACKEND_H

@@ -7,7 +7,7 @@
 ///   * the reference evaluator (gma::evalGMA) versus the Alpha functional
 ///     simulator on random input states, plus the shared-memory replay
 ///     (driver::Superoptimizer::verify);
-///   * the annotation-trusting timing check (alpha::validateTiming, also
+///   * the annotation-trusting timing check (machine::validateTiming, also
 ///     inside Superoptimizer::verify);
 ///   * the independent schedule replay against the ISA tables
 ///     (verify::validateSchedule), including "simulated cycles stay within

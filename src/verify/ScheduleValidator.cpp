@@ -12,9 +12,9 @@
 
 using namespace denali;
 using namespace denali::verify;
-using alpha::Instruction;
-using alpha::MemKind;
-using alpha::Operand;
+using machine::Instruction;
+using machine::MemKind;
+using machine::Operand;
 
 const char *denali::verify::violationKindName(ScheduleViolation::Kind K) {
   switch (K) {
@@ -58,9 +58,10 @@ std::string ScheduleReport::toString() const {
   return Out;
 }
 
-ScheduleReport denali::verify::validateSchedule(const alpha::ISA &Isa,
-                                                const alpha::Program &P,
-                                                unsigned BudgetCycles) {
+ScheduleReport
+denali::verify::validateSchedule(const machine::MachineModel &Isa,
+                                 const machine::Program &P,
+                                 unsigned BudgetCycles) {
   obs::ObsSpan Span("verify.schedule");
   ScheduleReport Report;
   auto Violate = [&](ScheduleViolation::Kind K, std::string Msg) {
@@ -70,33 +71,41 @@ ScheduleReport denali::verify::validateSchedule(const alpha::ISA &Isa,
   // The latency the machine actually takes. The annotation may honestly
   // model *more* cycles than the table (a \miss load), never fewer.
   auto trueLatency = [&](const Instruction &I,
-                         const alpha::InstrDesc &D) -> unsigned {
+                         const machine::InstrDesc &D) -> unsigned {
     return std::max(I.Latency, D.Latency);
   };
 
   // Pass 1: descriptors, unit legality, slot occupancy, result readiness.
-  std::unordered_map<uint32_t, std::array<unsigned, alpha::NumClusters>>
+  const unsigned NC = Isa.numClusters();
+  std::unordered_map<uint32_t, std::array<unsigned, machine::MaxClusters>>
       ReadyAt;
-  for (const alpha::ProgramInput &In : P.Inputs)
-    ReadyAt[In.Reg] = {0, 0};
+  for (const machine::ProgramInput &In : P.Inputs)
+    ReadyAt[In.Reg] = {};
 
   std::map<std::pair<unsigned, unsigned>, const Instruction *> Slots;
-  std::unordered_map<const Instruction *, const alpha::InstrDesc *> Descs;
+  std::unordered_map<const Instruction *, const machine::InstrDesc *> Descs;
   for (const Instruction &I : P.Instrs) {
-    const alpha::InstrDesc *D = I.Op == Isa.constMaterialize().Op
-                                    ? &Isa.constMaterialize()
-                                    : Isa.descFor(I.Op);
+    const machine::InstrDesc *D = I.Op == Isa.constMaterialize().Op
+                                      ? &Isa.constMaterialize()
+                                      : Isa.descFor(I.Op);
     if (!D) {
       Violate(ScheduleViolation::Kind::NotMachineInstruction,
               strFormat("'%s' is not in the ISA tables", I.Mnemonic.c_str()));
       continue;
     }
     Descs[&I] = D;
-    unsigned UIdx = alpha::unitIndex(I.IssueUnit);
+    unsigned UIdx = I.IssueUnit;
+    if (UIdx >= Isa.numUnits()) {
+      Violate(ScheduleViolation::Kind::IllegalUnit,
+              strFormat("'%s' issued on unit index %u but the machine has "
+                        "only %u units",
+                        I.Mnemonic.c_str(), UIdx, Isa.numUnits()));
+      continue;
+    }
     if (!(D->UnitMask & (1u << UIdx)))
       Violate(ScheduleViolation::Kind::IllegalUnit,
               strFormat("'%s' issued on %s which its descriptor forbids",
-                        I.Mnemonic.c_str(), alpha::unitName(I.IssueUnit)));
+                        I.Mnemonic.c_str(), Isa.unitName(I.IssueUnit)));
     if (I.Latency < D->Latency)
       Violate(ScheduleViolation::Kind::LatencyUnderstated,
               strFormat("'%s' annotated with latency %u but the ISA needs "
@@ -108,17 +117,17 @@ ScheduleReport denali::verify::validateSchedule(const alpha::ISA &Isa,
       Violate(ScheduleViolation::Kind::SlotConflict,
               strFormat("'%s' and '%s' both issue at cycle %u on %s",
                         It->second->Mnemonic.c_str(), I.Mnemonic.c_str(),
-                        I.Cycle, alpha::unitName(I.IssueUnit)));
+                        I.Cycle, Isa.unitName(I.IssueUnit)));
 
-    unsigned OwnCluster = alpha::clusterOf(I.IssueUnit);
+    unsigned OwnCluster = Isa.clusterOf(I.IssueUnit);
     unsigned Done = I.Cycle + trueLatency(I, *D);
     auto &Entry = ReadyAt[I.Dest];
-    Entry[OwnCluster] = Done;
     // Stores update the shared memory state; everything else pays the
     // cross-cluster forwarding delay.
-    Entry[1 - OwnCluster] = I.Mem == MemKind::Store
-                                ? Done
-                                : Done + Isa.crossClusterDelay();
+    for (unsigned C = 0; C < NC; ++C)
+      Entry[C] = (C == OwnCluster || I.Mem == MemKind::Store)
+                     ? Done
+                     : Done + Isa.crossClusterDelay();
   }
 
   // Pass 2: operand readiness and the certified deadline, both under the
@@ -127,7 +136,9 @@ ScheduleReport denali::verify::validateSchedule(const alpha::ISA &Isa,
     auto DIt = Descs.find(&I);
     if (DIt == Descs.end())
       continue;
-    unsigned Cluster = alpha::clusterOf(I.IssueUnit);
+    if (I.IssueUnit >= Isa.numUnits())
+      continue;
+    unsigned Cluster = Isa.clusterOf(I.IssueUnit);
     for (const Operand &S : I.Srcs) {
       if (!S.isReg())
         continue;

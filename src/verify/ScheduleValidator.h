@@ -10,8 +10,8 @@
 /// and the memory-discipline side conditions (single launch per store,
 /// loads not scheduled after the store that overwrites their memory state).
 ///
-/// This is the third, mutually independent implementation of the EV6
-/// timing model (after codegen::Encoder and alpha::validateTiming), which
+/// This is the third, mutually independent implementation of the machine
+/// timing model (after codegen::Encoder and machine::validateTiming), which
 /// is the point: the encoder and the simulator check *each other* through
 /// it. An encoder that under-models a latency produces programs whose
 /// annotations agree with the encoder's belief — only a validator that
@@ -23,8 +23,8 @@
 #ifndef DENALI_VERIFY_SCHEDULEVALIDATOR_H
 #define DENALI_VERIFY_SCHEDULEVALIDATOR_H
 
-#include "alpha/Assembly.h"
-#include "alpha/ISA.h"
+#include "machine/Machine.h"
+#include "machine/Program.h"
 
 #include <string>
 #include <vector>
@@ -51,7 +51,7 @@ struct ScheduleViolation {
 
 const char *violationKindName(ScheduleViolation::Kind K);
 
-/// The replay outcome. Unlike alpha::validateTiming (first violation only),
+/// The replay outcome. Unlike machine::validateTiming (first violation only),
 /// all violations are collected, which is what a fuzzer wants to minimize
 /// against.
 struct ScheduleReport {
@@ -67,8 +67,8 @@ struct ScheduleReport {
 /// Replays \p P's schedule against \p Isa. \p BudgetCycles is the
 /// SAT-certified budget to check the deadline against (pass P.Cycles to
 /// check the program's own claim).
-ScheduleReport validateSchedule(const alpha::ISA &Isa,
-                                const alpha::Program &P,
+ScheduleReport validateSchedule(const machine::MachineModel &Isa,
+                                const machine::Program &P,
                                 unsigned BudgetCycles);
 
 } // namespace verify

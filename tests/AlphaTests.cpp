@@ -25,7 +25,7 @@ protected:
     I.Srcs = std::move(Srcs);
     I.Dest = Dest;
     I.Cycle = Cycle;
-    I.IssueUnit = U;
+    I.IssueUnit = static_cast<machine::UnitId>(unitIndex(U));
     I.Latency = D->Latency;
     I.Mem = D->Mem;
     return I;

@@ -1,0 +1,283 @@
+//===- tests/MachineModelTests.cpp - backend contract suite ---------------===//
+//
+// The MachineModel contract, checked against every registered backend: the
+// universe builder, SAT encoder, printer, and simulators all consume the
+// model through the same interface, so each invariant below is something
+// one of those consumers silently relies on. A new backend that passes
+// this suite plugs into the whole pipeline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "alpha/ISA.h"
+#include "machine/RV64.h"
+#include "machine/Sim.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <string>
+
+using namespace denali;
+using namespace denali::machine;
+using denali::ir::Builtin;
+
+namespace {
+
+std::vector<std::string> allBackends() {
+  alpha::registerAlphaMachine();
+  registerRV64Machine();
+  return registeredMachines();
+}
+
+/// Lowest set bit of \p Mask — the canonical "some legal unit" choice.
+UnitId firstUnit(uint32_t Mask) {
+  UnitId U = 0;
+  while (!(Mask & (1u << U)))
+    ++U;
+  return U;
+}
+
+class MachineModelTest : public ::testing::TestWithParam<std::string> {
+protected:
+  ir::Context Ctx;
+  std::unique_ptr<MachineModel> M;
+
+  void SetUp() override {
+    allBackends(); // Ensure registration.
+    std::string Err;
+    M = createMachine(GetParam(), Ctx, &Err);
+    ASSERT_NE(M, nullptr) << Err;
+  }
+
+  /// An instruction computing \p D on its first legal unit.
+  Instruction instr(const InstrDesc &D, std::vector<Operand> Srcs,
+                    uint32_t Dest, unsigned Cycle) {
+    Instruction I;
+    I.Mnemonic = D.Mnemonic;
+    I.Op = D.Op;
+    I.Srcs = std::move(Srcs);
+    I.Dest = Dest;
+    I.Cycle = Cycle;
+    I.IssueUnit = firstUnit(D.UnitMask);
+    I.Latency = D.Latency;
+    I.Mem = D.Mem;
+    return I;
+  }
+
+  /// res = (a + 1) + b, scheduled with model latencies. Every backend must
+  /// provide Add64 (the universe builder depends on it for displacement
+  /// splitting), so the fixture program is portable.
+  Program addChain() {
+    const InstrDesc *Add = M->descFor(Ctx.Ops.builtin(Builtin::Add64));
+    EXPECT_NE(Add, nullptr);
+    Program P;
+    P.Model = M.get();
+    P.Name = "chain";
+    P.Inputs = {{0, "a", false}, {1, "b", false}};
+    P.Instrs = {instr(*Add, {Operand::reg(0), Operand::imm(1)}, 2, 0),
+                instr(*Add, {Operand::reg(2), Operand::reg(1)}, 3,
+                      Add->Latency)};
+    P.Outputs = {{"res", 3}};
+    P.Cycles = 2 * Add->Latency;
+    P.NumVRegs = 4;
+    return P;
+  }
+};
+
+//===----------------------------------------------------------------------===
+// Registry.
+//===----------------------------------------------------------------------===
+
+TEST(MachineRegistry, ListsBothBuiltinBackends) {
+  std::vector<std::string> Names = allBackends();
+  EXPECT_NE(std::find(Names.begin(), Names.end(), "alpha"), Names.end());
+  EXPECT_NE(std::find(Names.begin(), Names.end(), "rv64"), Names.end());
+  EXPECT_TRUE(std::is_sorted(Names.begin(), Names.end()));
+}
+
+TEST(MachineRegistry, UnknownNameFailsWithKnownList) {
+  allBackends();
+  ir::Context Ctx;
+  std::string Err;
+  EXPECT_EQ(createMachine("vax", Ctx, &Err), nullptr);
+  // The error must name the alternatives so the CLI message is actionable.
+  EXPECT_NE(Err.find("alpha"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("rv64"), std::string::npos) << Err;
+}
+
+TEST(MachineRegistry, CreatedModelReportsItsOwnName) {
+  for (const std::string &Name : allBackends()) {
+    ir::Context Ctx;
+    std::unique_ptr<MachineModel> M = createMachine(Name, Ctx);
+    ASSERT_NE(M, nullptr);
+    EXPECT_EQ(M->name(), Name);
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Per-backend contract.
+//===----------------------------------------------------------------------===
+
+TEST_P(MachineModelTest, UnitTopology) {
+  ASSERT_GE(M->numUnits(), 1u);
+  ASSERT_LE(M->numUnits(), 32u); // UnitMask is a uint32_t.
+  ASSERT_GE(M->numClusters(), 1u);
+  ASSERT_LE(M->numClusters(), MaxClusters);
+  EXPECT_GE(M->issueWidth(), 1u);
+  EXPECT_LE(M->issueWidth(), M->numUnits());
+  if (M->numClusters() == 1)
+    EXPECT_EQ(M->crossClusterDelay(), 0u)
+        << "a single-cluster machine has no cross-cluster forwarding";
+
+  std::set<std::string> Names;
+  std::set<unsigned> SeenClusters;
+  for (unsigned U = 0; U < M->numUnits(); ++U) {
+    const char *Name = M->unitName(static_cast<UnitId>(U));
+    ASSERT_NE(Name, nullptr);
+    EXPECT_FALSE(std::string(Name).empty());
+    EXPECT_TRUE(Names.insert(Name).second) << "duplicate unit name " << Name;
+    unsigned C = M->clusterOf(static_cast<UnitId>(U));
+    EXPECT_LT(C, M->numClusters());
+    SeenClusters.insert(C);
+  }
+  // Every declared cluster owns at least one unit.
+  EXPECT_EQ(SeenClusters.size(), M->numClusters());
+}
+
+TEST_P(MachineModelTest, OpcodeTableConsistency) {
+  const uint32_t LegalMask = (1u << M->numUnits()) - 1;
+  ASSERT_FALSE(M->allInstructions().empty());
+  for (const InstrDesc &D : M->allInstructions()) {
+    EXPECT_FALSE(D.Mnemonic.empty());
+    EXPECT_NE(D.UnitMask, 0u) << D.Mnemonic << " issues nowhere";
+    EXPECT_EQ(D.UnitMask & ~LegalMask, 0u)
+        << D.Mnemonic << " names a unit past numUnits()";
+    EXPECT_GE(D.Latency, 1u) << D.Mnemonic;
+    // descFor must round-trip: the table is keyed by operator.
+    const InstrDesc *Back = M->descFor(D.Op);
+    ASSERT_NE(Back, nullptr) << D.Mnemonic;
+    EXPECT_EQ(Back->Mnemonic, D.Mnemonic);
+    if (D.Mem == MemKind::Load)
+      EXPECT_EQ(D.Latency, M->loadHitLatency())
+          << D.Mnemonic << ": load latency and loadHitLatency() disagree";
+    if (D.AllowsImm) {
+      EXPECT_LE(D.ImmMin, D.ImmMax) << D.Mnemonic;
+      EXPECT_LT(M->immArgIndex(D, 2), 2u) << D.Mnemonic;
+    }
+  }
+  EXPECT_GT(M->loadMissLatency(), M->loadHitLatency());
+  EXPECT_GT(M->maxMemDisp(), 0);
+}
+
+TEST_P(MachineModelTest, ConstMaterializeIsWellFormed) {
+  const InstrDesc &C = M->constMaterialize();
+  EXPECT_FALSE(C.Mnemonic.empty());
+  EXPECT_NE(C.UnitMask, 0u);
+  EXPECT_EQ(C.UnitMask & ~((1u << M->numUnits()) - 1), 0u);
+  EXPECT_GE(C.Latency, 1u);
+  EXPECT_EQ(C.Op, Ctx.Ops.builtin(Builtin::Const));
+}
+
+TEST_P(MachineModelTest, ImmediateRangeBoundaries) {
+  for (const InstrDesc &D : M->allInstructions()) {
+    if (!D.AllowsImm)
+      continue;
+    EXPECT_TRUE(M->immFits(D, static_cast<uint64_t>(D.ImmMin))) << D.Mnemonic;
+    EXPECT_TRUE(M->immFits(D, static_cast<uint64_t>(D.ImmMax))) << D.Mnemonic;
+    EXPECT_FALSE(M->immFits(D, static_cast<uint64_t>(D.ImmMax) + 1))
+        << D.Mnemonic << " accepts a literal past ImmMax";
+    EXPECT_FALSE(M->immFits(D, static_cast<uint64_t>(D.ImmMin - 1)))
+        << D.Mnemonic << " accepts a literal below ImmMin";
+  }
+}
+
+TEST_P(MachineModelTest, RegisterNamesAreDistinct) {
+  std::set<std::string> Names;
+  for (unsigned I = 0; I < 4; ++I) {
+    std::string A = M->argRegName(I), T = M->tempRegName(I);
+    EXPECT_FALSE(A.empty());
+    EXPECT_FALSE(T.empty());
+    EXPECT_TRUE(Names.insert(A).second) << A;
+    EXPECT_TRUE(Names.insert(T).second) << T;
+  }
+  EXPECT_FALSE(M->memRegName(0).empty());
+}
+
+TEST_P(MachineModelTest, PrinterIsDeterministicAndUsesModelNames) {
+  Program P = addChain();
+  std::string First = P.toString();
+  std::string Second = P.toString();
+  EXPECT_EQ(First, Second);
+  // The rendering speaks this model's dialect: its unit names in the cycle
+  // comments and its argument registers as operands.
+  const InstrDesc *Add = M->descFor(Ctx.Ops.builtin(Builtin::Add64));
+  EXPECT_NE(First.find(M->unitName(firstUnit(Add->UnitMask))),
+            std::string::npos)
+      << First;
+  EXPECT_NE(First.find(M->argRegName(0)), std::string::npos) << First;
+  EXPECT_NE(First.find(Add->Mnemonic), std::string::npos) << First;
+}
+
+TEST_P(MachineModelTest, SimulatorDeterministicOnSeededVectors) {
+  Program P = addChain();
+  std::mt19937_64 Rng(0xD15EA5E);
+  for (int Trial = 0; Trial < 16; ++Trial) {
+    uint64_t A = Rng(), B = Rng();
+    std::unordered_map<std::string, ir::Value> In = {
+        {"a", ir::Value::makeInt(A)}, {"b", ir::Value::makeInt(B)}};
+    RunResult R1 = runProgram(Ctx, P, In);
+    RunResult R2 = runProgram(Ctx, P, In);
+    ASSERT_TRUE(R1.Ok) << R1.Error;
+    ASSERT_TRUE(R2.Ok) << R2.Error;
+    ASSERT_EQ(R1.Outputs.count("res"), 1u);
+    EXPECT_EQ(R1.Outputs.at("res").asInt(), R2.Outputs.at("res").asInt());
+    // And the values are the operator semantics, not backend-dependent.
+    EXPECT_EQ(R1.Outputs.at("res").asInt(), A + 1 + B);
+  }
+}
+
+TEST_P(MachineModelTest, ScheduleWithModelLatenciesValidates) {
+  Program P = addChain();
+  TimingReport R = validateTiming(*M, P);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  // Tightening the consumer below the producer's latency must be rejected —
+  // this is the seam the planted-latency fault gates lean on.
+  if (P.Instrs[1].Cycle > 0) {
+    P.Instrs[1].Cycle = 0;
+    P.Cycles = 1;
+    TimingReport Bad = validateTiming(*M, P);
+    EXPECT_FALSE(Bad.Ok);
+  }
+}
+
+TEST_P(MachineModelTest, TrapNamesMachineAndInstruction) {
+  const InstrDesc *Ld = M->descFor(Ctx.Ops.builtin(Builtin::Select));
+  ASSERT_NE(Ld, nullptr);
+  Program P;
+  P.Model = M.get();
+  P.Cycles = Ld->Latency + 1;
+  P.Inputs = {{0, "M", true}, {1, "p", false}};
+  P.Instrs = {instr(*Ld, {Operand::reg(0), Operand::reg(1)}, 2, 0)};
+  P.Outputs = {{"res", 2}};
+  RunOptions Opts;
+  Opts.AddressLimit = 64;
+  RunResult R = runProgram(Ctx, P,
+                           {{"M", ir::Value::makeArray(7)},
+                            {"p", ir::Value::makeInt(128)}},
+                           Opts);
+  ASSERT_FALSE(R.Ok);
+  ASSERT_TRUE(R.TheTrap.has_value());
+  EXPECT_EQ(R.TheTrap->TheKind, Trap::Kind::OutOfBounds);
+  // The cross-backend oracle's attribution: which machine, which slot.
+  EXPECT_EQ(R.TheTrap->Machine, M->name());
+  EXPECT_EQ(R.TheTrap->InstrIndex, 0);
+  std::string Where = "[" + M->name() + " instr #0]";
+  EXPECT_NE(R.Error.find(Where), std::string::npos) << R.Error;
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, MachineModelTest,
+                         ::testing::ValuesIn(allBackends()),
+                         [](const auto &Info) { return Info.param; });
+
+} // namespace

@@ -3,6 +3,8 @@
 #include "codegen/Search.h"
 #include "codegen/Universe.h"
 
+#include "alpha/ISA.h"
+
 #include <gtest/gtest.h>
 
 using namespace denali;

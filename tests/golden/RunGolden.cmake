@@ -1,0 +1,38 @@
+# Runs the denali CLI on one sample program and compares the merged
+# stdout+stderr byte-for-byte against a committed golden capture. This is
+# the Alpha bit-identity gate of the MachineModel seam: the goldens were
+# captured before the backend abstraction existed, so any drift in
+# scheduling, register naming, or listing format fails the test.
+#
+# Arguments (all -D):
+#   DENALI_BIN  path to the denali executable
+#   WORKDIR     directory to run from (the source root — the goldens embed
+#               the relative input path in diagnostics)
+#   INPUT       program path relative to WORKDIR
+#   GOLDEN      committed golden file to compare against
+#   ARGS        extra CLI flags, space separated (may be empty)
+#   EXPECT_RC   required exit code (default 0; rowop's budget refusal is 1)
+
+if(NOT DEFINED EXPECT_RC)
+  set(EXPECT_RC 0)
+endif()
+separate_arguments(ARG_LIST UNIX_COMMAND "${ARGS}")
+
+# OUTPUT_VARIABLE and ERROR_VARIABLE name the same variable, so the two
+# streams merge in write order — exactly how the goldens were captured
+# (`denali ... > golden 2>&1`).
+execute_process(COMMAND ${DENALI_BIN} ${ARG_LIST} ${INPUT}
+                WORKING_DIRECTORY ${WORKDIR}
+                OUTPUT_VARIABLE OUT
+                ERROR_VARIABLE OUT
+                RESULT_VARIABLE RC)
+
+if(NOT RC EQUAL ${EXPECT_RC})
+  message(FATAL_ERROR "${INPUT}: exit code ${RC}, expected ${EXPECT_RC}\n${OUT}")
+endif()
+
+file(READ ${GOLDEN} WANT)
+if(NOT OUT STREQUAL WANT)
+  message(FATAL_ERROR "${INPUT}: output drifted from ${GOLDEN}\n"
+                      "--- got ---\n${OUT}\n--- want ---\n${WANT}")
+endif()
