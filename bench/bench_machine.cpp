@@ -17,9 +17,12 @@
 #include "BenchUtil.h"
 #include "driver/Superoptimizer.h"
 #include "support/Timer.h"
+#include "verify/CrossBackend.h"
+#include "verify/GmaGen.h"
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -88,6 +91,40 @@ int main(int argc, char **argv) {
                   PName.c_str(), G.Search.Cycles,
                   G.Search.Program.Instrs.size(), Wall);
     }
+  }
+
+  // Cross-backend differential arm: a short stream of generated kernels
+  // compiled under every backend at once; all verdicts must be benign
+  // (agree, or an honest uncomputable/budget skip). This is what feeds the
+  // verify.cross_checks / verify.cross_*.<machine> counters the metrics
+  // gate requires.
+  {
+    std::vector<std::unique_ptr<driver::Superoptimizer>> Owners;
+    std::vector<driver::Superoptimizer *> Cross;
+    for (const std::string &MName : Machines) {
+      driver::Options MOpts;
+      MOpts.MachineName = MName;
+      MOpts.Search.MaxCycles = 6;
+      Owners.push_back(std::make_unique<driver::Superoptimizer>(MOpts));
+      Cross.push_back(Owners.back().get());
+    }
+    verify::GmaGen Gen(Cross[0]->context(), /*Seed=*/7);
+    unsigned Agreed = 0, Skipped = 0;
+    for (unsigned I = 0; I < 4; ++I) {
+      gma::GMA G = Gen.next();
+      verify::CrossBackendVerdict V = verify::crossCompileAndCheck(Cross, G);
+      if (!V.benign()) {
+        std::printf("cross %s: FAILED (%s)\n", G.Name.c_str(),
+                    V.toString().c_str());
+        AllOk = false;
+      } else if (V.Status == verify::CrossStatus::Agree) {
+        ++Agreed;
+      } else {
+        ++Skipped;
+      }
+    }
+    std::printf("cross-backend differential: %u agree, %u skipped (benign)\n",
+                Agreed, Skipped);
   }
 
   writeMetricsSummary("BENCH_machine.metrics.txt");

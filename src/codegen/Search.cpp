@@ -348,6 +348,11 @@ SearchResult searchPortfolio(const egraph::EGraph &G, const machine::MachineMode
   G.compressPaths();
   support::ThreadPool Pool(Threads);
 
+  // Carry the caller's request context onto the pool workers so probe spans
+  // recorded there are stamped with the same request id as the rest of the
+  // request's pipeline.
+  const obs::RequestToken ReqTok = obs::currentRequestToken();
+
   struct Slot {
     support::CancellationToken Cancel;
     Probe P;
@@ -369,6 +374,7 @@ SearchResult searchPortfolio(const egraph::EGraph &G, const machine::MachineMode
     for (unsigned I = 0; I < N; ++I) {
       const unsigned K = Base + I;
       Futures.push_back(Pool.submit([&, I, K] {
+        obs::RequestScope ReqScope(ReqTok);
         Slot &Mine = Slots[I];
         std::optional<machine::Program> Prog;
         Probe P;

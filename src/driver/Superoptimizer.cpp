@@ -127,6 +127,9 @@ SaturatedGma Superoptimizer::saturateGMA(const gma::GMA &G) const {
 
 GmaResult Superoptimizer::compileSaturated(const SaturatedGma &S,
                                            const gma::GMA &G) const {
+  // Counted here rather than in compileGMA so every compile path (direct,
+  // server cold tier, warm-graph replay) lands in the per-backend counter.
+  obs::Registry::global().counter("driver.compile." + Opts.MachineName).add();
   GmaResult Result;
   Result.Gma = G;
   Result.Matching = S.Matching;
@@ -194,8 +197,11 @@ GmaResult Superoptimizer::compileSaturated(const SaturatedGma &S,
 
 GmaResult Superoptimizer::compileGMA(const gma::GMA &G) const {
   obs::ObsSpan Span("gma.compile");
+  // The machine label lets reports split compile latency per backend
+  // (alpha vs rv64) from one shared trace or metrics capture.
   if (Span.active())
-    Span.arg("name", G.Name.c_str());
+    Span.arg("name", G.Name.c_str())
+        .arg("machine", Opts.MachineName.c_str());
   return compileSaturated(saturateGMA(G), G);
 }
 

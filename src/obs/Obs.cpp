@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <map>
@@ -21,6 +22,7 @@ using namespace denali::obs;
 //===----------------------------------------------------------------------===
 
 std::atomic<bool> obs::detail::EnabledFlag{false};
+std::atomic<bool> obs::detail::EventsFlag{false};
 std::atomic<int> obs::detail::LogLevelValue{0};
 
 namespace {
@@ -45,6 +47,7 @@ void obs::configure(const ObsConfig &C) {
   // Latch the epoch before the flag flips so the first span sees it.
   nowNs();
   detail::LogLevelValue.store(C.LogLevel, std::memory_order_relaxed);
+  detail::EventsFlag.store(C.Enabled && C.Events, std::memory_order_relaxed);
   detail::EnabledFlag.store(C.Enabled, std::memory_order_relaxed);
 }
 
@@ -76,7 +79,39 @@ unsigned log2Bucket(uint64_t Sample) {
   return B;
 }
 
+/// The shared percentile estimator: the Q-quantile sample's bucket upper
+/// edge, clamped to the exact [Min, Max] the histogram tracked.
+uint64_t bucketPercentile(const std::array<uint64_t, 64> &Buckets,
+                          uint64_t Count, uint64_t Min, uint64_t Max,
+                          double Q) {
+  if (Count == 0)
+    return 0;
+  uint64_t Rank = static_cast<uint64_t>(
+      std::ceil(Q * static_cast<double>(Count)));
+  if (Rank < 1)
+    Rank = 1;
+  if (Rank > Count)
+    Rank = Count;
+  uint64_t Cum = 0;
+  for (unsigned B = 0; B < 64; ++B) {
+    Cum += Buckets[B];
+    if (Cum >= Rank) {
+      uint64_t Edge = B >= 63 ? Max : (1ull << (B + 1)) - 1;
+      return std::max(Min, std::min(Edge, Max));
+    }
+  }
+  return Max;
+}
+
 } // namespace
+
+uint64_t Histogram::percentile(double Q) const {
+  std::array<uint64_t, 64> Snap{};
+  for (unsigned B = 0; B < 64; ++B)
+    Snap[B] = Buckets[B].load(std::memory_order_relaxed);
+  uint64_t Cnt = count();
+  return bucketPercentile(Snap, Cnt, Cnt ? min() : 0, max(), Q);
+}
 
 void Histogram::record(uint64_t Sample) {
   N.fetch_add(1, std::memory_order_relaxed);
@@ -102,6 +137,91 @@ void Histogram::reset() {
 }
 
 //===----------------------------------------------------------------------===
+// WindowedHistogram
+//===----------------------------------------------------------------------===
+
+WindowedHistogram::WindowedHistogram(int64_t WindowNs)
+    : WindowNsVal(WindowNs > 0 ? WindowNs : DefaultWindowNs),
+      SlotNs(std::max<int64_t>(1, WindowNsVal / (NumSlots - 1))) {}
+
+WindowedHistogram::Slot &WindowedHistogram::slotFor(int64_t Now) {
+  int64_t E = Now / SlotNs;
+  Slot &S = Slots[static_cast<size_t>(E % NumSlots)];
+  int64_t Cur = S.Epoch.load(std::memory_order_acquire);
+  while (Cur < E) {
+    if (S.Epoch.compare_exchange_weak(Cur, E, std::memory_order_acq_rel)) {
+      // Won the rotation: the slot's previous epoch just expired out of the
+      // window, so wipe it for the new one. A racing record() that already
+      // saw the new epoch may lose its sample to this reset — one sample at
+      // a slot boundary, acceptable for a monitoring window.
+      S.N.store(0, std::memory_order_relaxed);
+      S.Sum.store(0, std::memory_order_relaxed);
+      S.Min.store(~0ull, std::memory_order_relaxed);
+      S.Max.store(0, std::memory_order_relaxed);
+      for (auto &B : S.Buckets)
+        B.store(0, std::memory_order_relaxed);
+      break;
+    }
+  }
+  return S;
+}
+
+void WindowedHistogram::record(uint64_t Sample) {
+  Slot &S = slotFor(nowNs());
+  S.N.fetch_add(1, std::memory_order_relaxed);
+  S.Sum.fetch_add(Sample, std::memory_order_relaxed);
+  uint64_t Cur = S.Min.load(std::memory_order_relaxed);
+  while (Sample < Cur && !S.Min.compare_exchange_weak(
+                             Cur, Sample, std::memory_order_relaxed)) {
+  }
+  Cur = S.Max.load(std::memory_order_relaxed);
+  while (Sample > Cur && !S.Max.compare_exchange_weak(
+                             Cur, Sample, std::memory_order_relaxed)) {
+  }
+  S.Buckets[log2Bucket(Sample)].fetch_add(1, std::memory_order_relaxed);
+}
+
+WindowedHistogram::Snapshot WindowedHistogram::snapshot() const {
+  Snapshot Out;
+  Out.WindowNs = WindowNsVal;
+  const int64_t CurE = nowNs() / SlotNs;
+  const int64_t MinE = CurE - (NumSlots - 2);
+  uint64_t Min = ~0ull;
+  for (const Slot &S : Slots) {
+    int64_t E = S.Epoch.load(std::memory_order_acquire);
+    if (E < MinE || E > CurE)
+      continue;
+    uint64_t N = S.N.load(std::memory_order_relaxed);
+    if (!N)
+      continue;
+    Out.Count += N;
+    Out.Sum += S.Sum.load(std::memory_order_relaxed);
+    Min = std::min(Min, S.Min.load(std::memory_order_relaxed));
+    Out.Max = std::max(Out.Max, S.Max.load(std::memory_order_relaxed));
+    for (unsigned B = 0; B < 64; ++B)
+      Out.Buckets[B] += S.Buckets[B].load(std::memory_order_relaxed);
+  }
+  Out.Min = Out.Count ? Min : 0;
+  return Out;
+}
+
+uint64_t WindowedHistogram::Snapshot::percentile(double Q) const {
+  return bucketPercentile(Buckets, Count, Min, Max, Q);
+}
+
+void WindowedHistogram::reset() {
+  for (Slot &S : Slots) {
+    S.Epoch.store(-1, std::memory_order_relaxed);
+    S.N.store(0, std::memory_order_relaxed);
+    S.Sum.store(0, std::memory_order_relaxed);
+    S.Min.store(~0ull, std::memory_order_relaxed);
+    S.Max.store(0, std::memory_order_relaxed);
+    for (auto &B : S.Buckets)
+      B.store(0, std::memory_order_relaxed);
+  }
+}
+
+//===----------------------------------------------------------------------===
 // Registry
 //===----------------------------------------------------------------------===
 
@@ -111,6 +231,7 @@ struct Registry::Impl {
   std::map<std::string, std::unique_ptr<Counter>> Counters;
   std::map<std::string, std::unique_ptr<Gauge>> Gauges;
   std::map<std::string, std::unique_ptr<Histogram>> Histograms;
+  std::map<std::string, std::unique_ptr<WindowedHistogram>> Windows;
 };
 
 Registry &Registry::global() {
@@ -150,6 +271,15 @@ Histogram &Registry::histogram(const std::string &Name) {
   return *Slot;
 }
 
+WindowedHistogram &Registry::windowed(const std::string &Name) {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mutex);
+  auto &Slot = I.Windows[Name];
+  if (!Slot)
+    Slot = std::make_unique<WindowedHistogram>();
+  return *Slot;
+}
+
 uint64_t Registry::counterValue(const std::string &Name) const {
   Impl &I = impl();
   std::lock_guard<std::mutex> Lock(I.Mutex);
@@ -157,26 +287,122 @@ uint64_t Registry::counterValue(const std::string &Name) const {
   return It == I.Counters.end() ? 0 : It->second->get();
 }
 
+namespace {
+
+std::string histLine(const char *Kind, const std::string &Name, uint64_t N,
+                     uint64_t Sum, uint64_t Min, uint64_t Max, uint64_t P50,
+                     uint64_t P90, uint64_t P99, int64_t WindowNs) {
+  std::string Line = strFormat(
+      "%s %s count=%llu sum=%llu min=%llu max=%llu avg=%.1f "
+      "p50=%llu p90=%llu p99=%llu",
+      Kind, Name.c_str(), static_cast<unsigned long long>(N),
+      static_cast<unsigned long long>(Sum),
+      static_cast<unsigned long long>(N ? Min : 0),
+      static_cast<unsigned long long>(Max),
+      N ? static_cast<double>(Sum) / static_cast<double>(N) : 0.0,
+      static_cast<unsigned long long>(P50),
+      static_cast<unsigned long long>(P90),
+      static_cast<unsigned long long>(P99));
+  if (WindowNs > 0)
+    Line += strFormat(" window_s=%.0f", static_cast<double>(WindowNs) / 1e9);
+  return Line + "\n";
+}
+
+} // namespace
+
 std::string Registry::summaryText() const {
   Impl &I = impl();
   std::lock_guard<std::mutex> Lock(I.Mutex);
+  // Determinism contract (metrics diffs must be stable across runs): emit
+  // each kind's lines in explicitly sorted name order, independent of the
+  // container behind the registrations.
   std::string Out = "# denali metrics v1\n";
+  std::vector<std::string> Lines;
+  auto emitSorted = [&Out, &Lines]() {
+    std::sort(Lines.begin(), Lines.end());
+    for (const std::string &L : Lines)
+      Out += L;
+    Lines.clear();
+  };
   for (const auto &[Name, C] : I.Counters)
-    Out += strFormat("counter %s %llu\n", Name.c_str(),
-                     static_cast<unsigned long long>(C->get()));
+    Lines.push_back(strFormat("counter %s %llu\n", Name.c_str(),
+                              static_cast<unsigned long long>(C->get())));
+  emitSorted();
   for (const auto &[Name, G] : I.Gauges)
-    Out += strFormat("gauge %s %lld\n", Name.c_str(),
-                     static_cast<long long>(G->get()));
-  for (const auto &[Name, H] : I.Histograms) {
-    uint64_t N = H->count();
-    Out += strFormat(
-        "hist %s count=%llu sum=%llu min=%llu max=%llu avg=%.1f\n",
-        Name.c_str(), static_cast<unsigned long long>(N),
-        static_cast<unsigned long long>(H->sum()),
-        static_cast<unsigned long long>(N ? H->min() : 0),
-        static_cast<unsigned long long>(H->max()),
-        N ? static_cast<double>(H->sum()) / static_cast<double>(N) : 0.0);
+    Lines.push_back(strFormat("gauge %s %lld\n", Name.c_str(),
+                              static_cast<long long>(G->get())));
+  emitSorted();
+  for (const auto &[Name, H] : I.Histograms)
+    Lines.push_back(histLine("hist", Name, H->count(), H->sum(), H->min(),
+                             H->max(), H->percentile(0.50),
+                             H->percentile(0.90), H->percentile(0.99), 0));
+  emitSorted();
+  for (const auto &[Name, W] : I.Windows) {
+    WindowedHistogram::Snapshot S = W->snapshot();
+    Lines.push_back(histLine("whist", Name, S.Count, S.Sum, S.Min, S.Max,
+                             S.percentile(0.50), S.percentile(0.90),
+                             S.percentile(0.99), S.WindowNs));
   }
+  emitSorted();
+  return Out;
+}
+
+std::string Registry::snapshotJson() const {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mutex);
+  auto histJson = [](uint64_t N, uint64_t Sum, uint64_t Min, uint64_t Max,
+                     uint64_t P50, uint64_t P90, uint64_t P99) {
+    return strFormat(
+        "{\"count\":%llu,\"sum\":%llu,\"min\":%llu,\"max\":%llu,"
+        "\"avg\":%.1f,\"p50\":%llu,\"p90\":%llu,\"p99\":%llu}",
+        static_cast<unsigned long long>(N),
+        static_cast<unsigned long long>(Sum),
+        static_cast<unsigned long long>(N ? Min : 0),
+        static_cast<unsigned long long>(Max),
+        N ? static_cast<double>(Sum) / static_cast<double>(N) : 0.0,
+        static_cast<unsigned long long>(P50),
+        static_cast<unsigned long long>(P90),
+        static_cast<unsigned long long>(P99));
+  };
+  std::string Out = "\"counters\":{";
+  bool First = true;
+  for (const auto &[Name, C] : I.Counters) {
+    Out += strFormat("%s\"%s\":%llu", First ? "" : ",",
+                     jsonEscape(Name).c_str(),
+                     static_cast<unsigned long long>(C->get()));
+    First = false;
+  }
+  Out += "},\"gauges\":{";
+  First = true;
+  for (const auto &[Name, G] : I.Gauges) {
+    Out += strFormat("%s\"%s\":%lld", First ? "" : ",",
+                     jsonEscape(Name).c_str(),
+                     static_cast<long long>(G->get()));
+    First = false;
+  }
+  Out += "},\"hists\":{";
+  First = true;
+  for (const auto &[Name, H] : I.Histograms) {
+    Out += strFormat("%s\"%s\":%s", First ? "" : ",",
+                     jsonEscape(Name).c_str(),
+                     histJson(H->count(), H->sum(), H->min(), H->max(),
+                              H->percentile(0.50), H->percentile(0.90),
+                              H->percentile(0.99))
+                         .c_str());
+    First = false;
+  }
+  Out += "},\"whists\":{";
+  First = true;
+  for (const auto &[Name, W] : I.Windows) {
+    WindowedHistogram::Snapshot S = W->snapshot();
+    Out += strFormat(
+        "%s\"%s\":%s", First ? "" : ",", jsonEscape(Name).c_str(),
+        histJson(S.Count, S.Sum, S.Min, S.Max, S.percentile(0.50),
+                 S.percentile(0.90), S.percentile(0.99))
+            .c_str());
+    First = false;
+  }
+  Out += "}";
   return Out;
 }
 
@@ -189,6 +415,8 @@ void Registry::resetAll() {
     G->reset();
   for (auto &[Name, H] : I.Histograms)
     H->reset();
+  for (auto &[Name, W] : I.Windows)
+    W->reset();
 }
 
 //===----------------------------------------------------------------------===
@@ -254,6 +482,16 @@ ThreadBuffer &threadBuffer() {
 
 thread_local uint16_t SpanDepth = 0;
 
+/// The calling thread's request context (see RequestScope).
+struct RequestTls {
+  uint64_t Id = 0;
+  RequestTrace *Trace = nullptr;
+};
+
+thread_local RequestTls ReqTls;
+
+std::atomic<uint64_t> NextRequestId{0};
+
 /// Drains the publish stack; caller owns the returned events.
 std::vector<Event> drainPublished() {
   EventChunk *Head = PublishedHead.exchange(nullptr, std::memory_order_acquire);
@@ -269,6 +507,79 @@ std::vector<Event> drainPublished() {
 }
 
 } // namespace
+
+//===----------------------------------------------------------------------===
+// Request contexts
+//===----------------------------------------------------------------------===
+
+uint64_t obs::nextRequestId() {
+  return NextRequestId.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+uint64_t obs::currentRequestId() { return ReqTls.Id; }
+
+RequestToken obs::currentRequestToken() {
+  RequestToken T;
+  T.Id = ReqTls.Id;
+  T.Trace = ReqTls.Trace;
+  return T;
+}
+
+RequestScope::RequestScope(uint64_t Id, RequestTrace *Trace)
+    : PrevId(ReqTls.Id), PrevTrace(ReqTls.Trace) {
+  ReqTls.Id = Id;
+  ReqTls.Trace = Trace;
+}
+
+RequestScope::~RequestScope() {
+  ReqTls.Id = PrevId;
+  ReqTls.Trace = PrevTrace;
+}
+
+void RequestTrace::append(const Event &E) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Retained.push_back(E);
+}
+
+std::vector<Event> RequestTrace::events() const {
+  std::vector<Event> Out;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Out = Retained;
+  }
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const Event &A, const Event &B) {
+                     if (A.StartNs != B.StartNs)
+                       return A.StartNs < B.StartNs;
+                     return A.DurNs > B.DurNs; // Parents before children.
+                   });
+  return Out;
+}
+
+std::string RequestTrace::spanTreeText() const {
+  std::string Out;
+  for (const Event &E : events()) {
+    const char *Label = E.Kind == EventKind::Log ? E.Msg.c_str() : E.Name;
+    if (E.Kind == EventKind::Span)
+      Out += strFormat("%9.1fus ", static_cast<double>(E.DurNs) / 1000.0);
+    else
+      Out += strFormat("%9s   ", E.Kind == EventKind::Instant ? "·" : "log");
+    Out += strFormat("%*s%s", static_cast<int>(E.Depth) * 2, "", Label);
+    if (!E.Args.empty())
+      Out += strFormat(" {%s}", E.Args.c_str());
+    Out += "\n";
+  }
+  return Out;
+}
+
+/// Stamps the thread's request context onto \p E and mirrors it into the
+/// installed RequestTrace (when any) before the event moves into the shared
+/// buffers.
+static void stampRequest(Event &E) {
+  E.Req = ReqTls.Id;
+  if (ReqTls.Trace)
+    ReqTls.Trace->append(E);
+}
 
 void obs::flushThreadEvents() { threadBuffer().flush(); }
 
@@ -290,7 +601,9 @@ void obs::clearEvents() {
 }
 
 void obs::instant(const char *Name, std::string Args) {
-  if (!enabled())
+  // Instants have no metric side effect, so in metrics-only mode they are
+  // worth recording only when a RequestTrace will retain them.
+  if (!enabled() || (!eventsEnabled() && !ReqTls.Trace))
     return;
   Event E;
   E.Kind = EventKind::Instant;
@@ -299,7 +612,9 @@ void obs::instant(const char *Name, std::string Args) {
   E.Depth = SpanDepth;
   E.StartNs = nowNs();
   E.Args = std::move(Args);
-  threadBuffer().emit(std::move(E));
+  stampRequest(E);
+  if (eventsEnabled())
+    threadBuffer().emit(std::move(E));
 }
 
 void obs::logf(int Level, const char *Fmt, ...) {
@@ -311,7 +626,7 @@ void obs::logf(int Level, const char *Fmt, ...) {
   std::vsnprintf(Buf, sizeof(Buf), Fmt, Ap);
   va_end(Ap);
   std::fprintf(stderr, "[denali:%d] %s\n", Level, Buf);
-  if (!enabled())
+  if (!enabled() || (!eventsEnabled() && !ReqTls.Trace))
     return;
   Event E;
   E.Kind = EventKind::Log;
@@ -321,7 +636,9 @@ void obs::logf(int Level, const char *Fmt, ...) {
   E.Depth = SpanDepth;
   E.StartNs = nowNs();
   E.Msg = Buf;
-  threadBuffer().emit(std::move(E));
+  stampRequest(E);
+  if (eventsEnabled())
+    threadBuffer().emit(std::move(E));
 }
 
 //===----------------------------------------------------------------------===
@@ -331,6 +648,10 @@ void obs::logf(int Level, const char *Fmt, ...) {
 ObsSpan::ObsSpan(const char *Name) : Active(enabled()) {
   if (!Active)
     return;
+  // The completed event is only worth assembling when something retains it:
+  // the shared buffers (event mode) or this thread's RequestTrace. The
+  // duration histogram is fed either way.
+  Retain = eventsEnabled() || ReqTls.Trace != nullptr;
   this->Name = Name;
   StartNs = nowNs();
   ++SpanDepth;
@@ -341,15 +662,19 @@ ObsSpan::~ObsSpan() {
     return;
   --SpanDepth;
   int64_t DurNs = nowNs() - StartNs;
-  Event E;
-  E.Kind = EventKind::Span;
-  E.Name = Name;
-  E.Tid = threadBuffer().Tid;
-  E.Depth = SpanDepth;
-  E.StartNs = StartNs;
-  E.DurNs = DurNs;
-  E.Args = std::move(Args);
-  threadBuffer().emit(std::move(E));
+  if (Retain) {
+    Event E;
+    E.Kind = EventKind::Span;
+    E.Name = Name;
+    E.Tid = threadBuffer().Tid;
+    E.Depth = SpanDepth;
+    E.StartNs = StartNs;
+    E.DurNs = DurNs;
+    E.Args = std::move(Args);
+    stampRequest(E);
+    if (eventsEnabled())
+      threadBuffer().emit(std::move(E));
+  }
   // Span names are string literals, so the histogram handle can be cached
   // per name *pointer*, sparing the hot path the string concatenation and
   // the registry mutex on every span destruction.
@@ -361,27 +686,27 @@ ObsSpan::~ObsSpan() {
 }
 
 ObsSpan &ObsSpan::arg(const char *Key, uint64_t V) {
-  if (Active)
+  if (Retain)
     Args += strFormat("%s\"%s\":%llu", Args.empty() ? "" : ",", Key,
                       static_cast<unsigned long long>(V));
   return *this;
 }
 
 ObsSpan &ObsSpan::arg(const char *Key, int64_t V) {
-  if (Active)
+  if (Retain)
     Args += strFormat("%s\"%s\":%lld", Args.empty() ? "" : ",", Key,
                       static_cast<long long>(V));
   return *this;
 }
 
 ObsSpan &ObsSpan::arg(const char *Key, double V) {
-  if (Active)
+  if (Retain)
     Args += strFormat("%s\"%s\":%.6f", Args.empty() ? "" : ",", Key, V);
   return *this;
 }
 
 ObsSpan &ObsSpan::arg(const char *Key, const char *V) {
-  if (Active)
+  if (Retain)
     Args += strFormat("%s\"%s\":\"%s\"", Args.empty() ? "" : ",", Key,
                       jsonEscape(V).c_str());
   return *this;
@@ -454,8 +779,14 @@ std::string obs::chromeTraceJson(const std::vector<Event> &Events) {
     else
       Out += "\"s\":\"t\",";
     Out += strFormat("\"pid\":1,\"tid\":%u", E.Tid);
-    if (!E.Args.empty())
-      Out += strFormat(",\"args\":{%s}", E.Args.c_str());
+    // The request id rides in args so Perfetto can group/filter by it.
+    std::string ArgsFrag = E.Args;
+    if (E.Req)
+      ArgsFrag = strFormat("\"req\":%llu%s%s",
+                           static_cast<unsigned long long>(E.Req),
+                           ArgsFrag.empty() ? "" : ",", ArgsFrag.c_str());
+    if (!ArgsFrag.empty())
+      Out += strFormat(",\"args\":{%s}", ArgsFrag.c_str());
     Out += "}";
   }
   Out += "\n]}\n";
@@ -473,6 +804,9 @@ std::string obs::jsonlText(const std::vector<Event> &Events) {
                      Kind, jsonEscape(E.Name).c_str(), E.Tid, E.Depth,
                      static_cast<double>(E.StartNs) / 1000.0,
                      static_cast<double>(E.DurNs) / 1000.0);
+    if (E.Req)
+      Out += strFormat(",\"req\":%llu",
+                       static_cast<unsigned long long>(E.Req));
     if (!E.Args.empty())
       Out += strFormat(",\"args\":{%s}", E.Args.c_str());
     if (E.Kind == EventKind::Log)
@@ -507,4 +841,79 @@ bool obs::exportConfigured() {
   if (!C.MetricsOut.empty())
     Ok &= writeTextFile(C.MetricsOut, Registry::global().summaryText());
   return Ok;
+}
+
+//===----------------------------------------------------------------------===
+// MetricsFlusher
+//===----------------------------------------------------------------------===
+
+void MetricsFlusher::start(const Options &O) {
+  if (Running || O.Path.empty() || O.IntervalSec <= 0)
+    return;
+  Opts = O;
+  StopFlag = false;
+  Running = true;
+  Worker = std::thread([this] {
+    std::unique_lock<std::mutex> Lock(Mu);
+    while (!StopFlag) {
+      Cv.wait_for(Lock,
+                  std::chrono::duration<double>(Opts.IntervalSec),
+                  [this] { return StopFlag; });
+      if (StopFlag)
+        break;
+      Lock.unlock();
+      flushOnce();
+      Lock.lock();
+    }
+  });
+}
+
+void MetricsFlusher::stop() {
+  if (!Running)
+    return;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    StopFlag = true;
+  }
+  Cv.notify_all();
+  Worker.join();
+  Running = false;
+  // Final snapshot so short-lived servers still leave one line behind.
+  flushOnce();
+}
+
+bool MetricsFlusher::flushOnce() {
+  if (Opts.Path.empty())
+    return false;
+  const auto WallMs =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  std::string Line =
+      strFormat("{\"ts_ms\":%lld,%s}\n", static_cast<long long>(WallMs),
+                Registry::global().snapshotJson().c_str());
+  std::FILE *Out = std::fopen(Opts.Path.c_str(), "a");
+  if (!Out) {
+    std::fprintf(stderr, "obs: cannot append '%s'\n", Opts.Path.c_str());
+    return false;
+  }
+  std::fwrite(Line.data(), 1, Line.size(), Out);
+  long Size = std::ftell(Out);
+  std::fclose(Out);
+  Flushes.fetch_add(1, std::memory_order_relaxed);
+  rotateIfNeeded(Size);
+  return true;
+}
+
+void MetricsFlusher::rotateIfNeeded(long Size) {
+  if (Size < 0 || static_cast<size_t>(Size) <= Opts.MaxBytes)
+    return;
+  // Shift the generations: Path.(N-1) -> Path.N, ..., Path -> Path.1. The
+  // oldest generation falls off the end.
+  std::remove(strFormat("%s.%d", Opts.Path.c_str(), Opts.MaxFiles).c_str());
+  for (int I = Opts.MaxFiles - 1; I >= 1; --I)
+    std::rename(strFormat("%s.%d", Opts.Path.c_str(), I).c_str(),
+                strFormat("%s.%d", Opts.Path.c_str(), I + 1).c_str());
+  std::rename(Opts.Path.c_str(),
+              strFormat("%s.1", Opts.Path.c_str()).c_str());
 }

@@ -30,8 +30,11 @@
 
 #include <array>
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace denali {
@@ -46,6 +49,15 @@ struct ObsConfig {
   /// Master switch. When false every obs entry point is a near-free no-op
   /// (one relaxed atomic load).
   bool Enabled = false;
+  /// Whether completed events (spans, instants, log mirrors) are buffered
+  /// in memory for later export. Metrics — counters, gauges, histograms,
+  /// the span.<name>.us duration feeds — and installed RequestTraces work
+  /// regardless. The compile server's always-on telemetry turns this off:
+  /// a long-lived process with no exporter draining the buffers must not
+  /// accumulate events without bound (and skipping the per-span event
+  /// construction is most of the difference between "tracing" and
+  /// "monitoring" overhead).
+  bool Events = true;
   /// Diagnostics verbosity for logf(): 0 = silent, 1 = per-GMA summaries,
   /// 2 = per-round/per-probe detail.
   int LogLevel = 0;
@@ -62,6 +74,7 @@ struct ObsConfig {
 
 namespace detail {
 extern std::atomic<bool> EnabledFlag;
+extern std::atomic<bool> EventsFlag;
 extern std::atomic<int> LogLevelValue;
 } // namespace detail
 
@@ -69,6 +82,14 @@ extern std::atomic<int> LogLevelValue;
 /// fast-path gate, not for synchronization.
 inline bool enabled() {
   return detail::EnabledFlag.load(std::memory_order_relaxed);
+}
+
+/// True when the layer is enabled AND event buffering is on (see
+/// ObsConfig::Events). When false, spans still time themselves into their
+/// duration histograms and request-scoped events still land in an installed
+/// RequestTrace, but nothing accumulates in the shared trace buffers.
+inline bool eventsEnabled() {
+  return detail::EventsFlag.load(std::memory_order_relaxed);
 }
 
 /// The configured log level (readable without locking).
@@ -131,11 +152,68 @@ public:
   /// ~0 when empty.
   uint64_t min() const { return Min.load(std::memory_order_relaxed); }
   uint64_t max() const { return Max.load(std::memory_order_relaxed); }
+  /// Estimated percentile (\p Q in [0,1]) from the log2 buckets: the upper
+  /// edge of the bucket holding the Q-quantile sample, clamped to
+  /// [min, max]. 0 when empty.
+  uint64_t percentile(double Q) const;
   void reset();
 
 private:
   std::atomic<uint64_t> N{0}, Sum{0}, Min{~0ull}, Max{0};
   std::array<std::atomic<uint64_t>, 64> Buckets{};
+};
+
+/// A sliding-window log2 histogram: like Histogram, but samples expire after
+/// the window elapses, so snapshots answer "what did latency look like over
+/// the last minute" for a long-lived server rather than since process start.
+///
+/// Implementation: a ring of epoch-tagged slots, each covering
+/// window/(slots-1) of wall time. record() claims the current slot with a
+/// CAS when its epoch is stale (resetting it) and then adds with relaxed
+/// atomics — no locks anywhere, so pool workers can record on the hot path.
+/// A racing record() at a slot boundary may land in a slot being reset and
+/// be dropped; that is acceptable for monitoring-grade windows. snapshot()
+/// merges the in-window slots into an immutable Snapshot.
+class WindowedHistogram {
+public:
+  static constexpr int64_t DefaultWindowNs = 60ll * 1000 * 1000 * 1000;
+
+  explicit WindowedHistogram(int64_t WindowNs = DefaultWindowNs);
+
+  /// An immutable merged view of the in-window slots.
+  struct Snapshot {
+    uint64_t Count = 0;
+    uint64_t Sum = 0;
+    uint64_t Min = 0;
+    uint64_t Max = 0;
+    std::array<uint64_t, 64> Buckets{};
+    int64_t WindowNs = 0;
+    double avg() const {
+      return Count ? static_cast<double>(Sum) / static_cast<double>(Count)
+                   : 0.0;
+    }
+    /// Same estimator as Histogram::percentile (\p Q in [0,1]).
+    uint64_t percentile(double Q) const;
+  };
+
+  void record(uint64_t Sample);
+  Snapshot snapshot() const;
+  int64_t windowNs() const { return WindowNsVal; }
+  void reset();
+
+private:
+  static constexpr int NumSlots = 8;
+  struct Slot {
+    std::atomic<int64_t> Epoch{-1};
+    std::atomic<uint64_t> N{0}, Sum{0}, Min{~0ull}, Max{0};
+    std::array<std::atomic<uint64_t>, 64> Buckets{};
+  };
+
+  Slot &slotFor(int64_t Now);
+
+  const int64_t WindowNsVal;
+  const int64_t SlotNs;
+  std::array<Slot, NumSlots> Slots;
 };
 
 /// The process-wide metric registry: one flat, dot-separated namespace
@@ -149,16 +227,27 @@ public:
   Counter &counter(const std::string &Name);
   Gauge &gauge(const std::string &Name);
   Histogram &histogram(const std::string &Name);
+  /// A sliding-window histogram (60s window by default). Same lazy
+  /// registration contract as histogram().
+  WindowedHistogram &windowed(const std::string &Name);
 
   /// The counter's current value, or 0 when it was never registered
   /// (lookup without registering — for tests and reports).
   uint64_t counterValue(const std::string &Name) const;
 
-  /// The plain-text metrics summary: one line per metric, sorted by name —
+  /// The plain-text metrics summary: one line per metric. Enumeration order
+  /// is deterministic — sorted by name within each kind, kinds in the fixed
+  /// order counter/gauge/hist/whist — so two captures diff cleanly:
   ///   counter <name> <value>
   ///   gauge <name> <value>
-  ///   hist <name> count=<n> sum=<s> min=<m> max=<x> avg=<a>
+  ///   hist <name> count=<n> sum=<s> min=<m> max=<x> avg=<a> p50= p90= p99=
+  ///   whist <name> count=... p50= p90= p99= window_s=<w>
   std::string summaryText() const;
+
+  /// The same snapshot as one JSON object fragment (no outer braces):
+  ///   "counters":{...},"gauges":{...},"hists":{...},"whists":{...}
+  /// Keys are sorted; used by MetricsFlusher for the periodic JSONL feed.
+  std::string snapshotJson() const;
 
   /// Zeroes every registered metric (registrations survive). For tests and
   /// the benches' phase boundaries.
@@ -183,10 +272,77 @@ struct Event {
   uint16_t Depth = 0;  ///< Span nesting depth on the recording thread.
   uint32_t Tid = 0;    ///< Sequential per-thread id (1 = first thread seen).
   const char *Name = ""; ///< Static string; Log events use Msg instead.
+  uint64_t Req = 0;    ///< Request id stamped from the active RequestScope
+                       ///< (0 = no request context).
   int64_t StartNs = 0; ///< Since the trace epoch.
   int64_t DurNs = 0;   ///< 0 for instants/logs.
   std::string Args;    ///< Preformatted JSON object fragment ("\"k\":5,...").
   std::string Msg;     ///< Log message (Log events only).
+};
+
+//===----------------------------------------------------------------------===
+// Request contexts
+//===----------------------------------------------------------------------===
+//
+// The compile server mints one RequestId per request and opens a
+// RequestScope around the whole pipeline; every event recorded under the
+// scope (parse, canonicalize, cache probe, saturate, universe, search,
+// encode) is stamped with the id, so a single request's full stage
+// breakdown can be extracted from the shared trace. Scopes are thread-local
+// and nestable; currentRequestToken() captures the active context so pool
+// workers (the portfolio search) can re-open it on their own threads.
+
+/// An optional per-request event retainer. When installed via RequestScope,
+/// every event recorded under the scope is *also* copied here (in addition
+/// to the shared trace buffers), so the server can dump a slow request's
+/// span tree without draining the global stream. Mutex-protected: requests
+/// record a few hundred spans at most, far off the disabled-obs hot path.
+class RequestTrace {
+public:
+  void append(const Event &E);
+  /// All retained events, sorted parents-before-children.
+  std::vector<Event> events() const;
+  /// A human-readable indented span tree (for slow-request logs).
+  std::string spanTreeText() const;
+
+private:
+  mutable std::mutex Mu;
+  std::vector<Event> Retained;
+};
+
+/// A copyable capture of the calling thread's request context; hand it to a
+/// worker thread and reconstruct the context there with RequestScope.
+struct RequestToken {
+  uint64_t Id = 0;
+  RequestTrace *Trace = nullptr;
+};
+
+/// Mints a fresh process-unique request id (1-based, atomic).
+uint64_t nextRequestId();
+
+/// The calling thread's active request id (0 when none).
+uint64_t currentRequestId();
+
+/// Captures the calling thread's request context for cross-thread
+/// propagation.
+RequestToken currentRequestToken();
+
+/// RAII request context: installs \p Id (and optionally a RequestTrace) as
+/// the calling thread's active request, restoring the previous context on
+/// destruction. Cheap enough to use unconditionally (two thread-local
+/// stores each way).
+class RequestScope {
+public:
+  explicit RequestScope(uint64_t Id, RequestTrace *Trace = nullptr);
+  explicit RequestScope(const RequestToken &T) : RequestScope(T.Id, T.Trace) {}
+  ~RequestScope();
+
+  RequestScope(const RequestScope &) = delete;
+  RequestScope &operator=(const RequestScope &) = delete;
+
+private:
+  uint64_t PrevId;
+  RequestTrace *PrevTrace;
 };
 
 /// Publishes the calling thread's partially filled event chunk so a
@@ -215,9 +371,12 @@ __attribute__((format(printf, 2, 3)))
 void logf(int Level, const char *Fmt, ...);
 
 /// A RAII trace span. Construction latches the start time; destruction
-/// records a complete event into the thread's buffer and feeds the span's
-/// duration into the `span.<name>.us` histogram. All methods are no-ops
-/// when the layer is disabled.
+/// feeds the span's duration into the `span.<name>.us` histogram and — when
+/// the event will be retained anywhere (event buffering on, or a
+/// RequestTrace installed on this thread) — records a complete event. All
+/// methods are no-ops when the layer is disabled; active() is additionally
+/// false when the event would be dropped, so callers skip arg-building in
+/// metrics-only mode.
 class ObsSpan {
 public:
   explicit ObsSpan(const char *Name);
@@ -239,10 +398,11 @@ public:
   /// \p V is JSON-escaped.
   ObsSpan &arg(const char *Key, const char *V);
 
-  bool active() const { return Active; }
+  bool active() const { return Retain; }
 
 private:
-  bool Active;
+  bool Active;          ///< Layer enabled at construction.
+  bool Retain = false;  ///< The completed event goes somewhere.
   const char *Name = nullptr;
   int64_t StartNs = 0;
   std::string Args;
@@ -288,6 +448,53 @@ bool writeTextFile(const std::string &Path, const std::string &Text);
 /// names (TraceOut / JsonlOut / MetricsOut). \returns true if every
 /// requested file was written.
 bool exportConfigured();
+
+/// A background metrics flusher for long-lived processes: every IntervalSec
+/// it appends one JSONL line — {"ts_ms":..., <Registry::snapshotJson()>} —
+/// to Path, rotating Path -> Path.1 -> ... -> Path.MaxFiles when the file
+/// grows past MaxBytes. configure() never spawns threads (tests reconfigure
+/// constantly), so the owner (the compile server) starts/stops this
+/// explicitly; stop() performs a final flush.
+class MetricsFlusher {
+public:
+  struct Options {
+    std::string Path;        ///< JSONL output; empty disables start().
+    double IntervalSec = 0;  ///< <= 0 disables start().
+    size_t MaxBytes = 8u << 20; ///< Rotation threshold.
+    int MaxFiles = 3;        ///< Rotated generations kept (Path.1..Path.N).
+  };
+
+  MetricsFlusher() = default;
+  ~MetricsFlusher() { stop(); }
+
+  MetricsFlusher(const MetricsFlusher &) = delete;
+  MetricsFlusher &operator=(const MetricsFlusher &) = delete;
+
+  /// Starts the background thread. No-op when already running or when the
+  /// options disable flushing.
+  void start(const Options &O);
+  /// Final flush + join. Idempotent.
+  void stop();
+  /// Appends one snapshot line now (also used by the background loop).
+  /// \returns false on I/O failure. Public so tests can drive rotation
+  /// without waiting out the interval.
+  bool flushOnce();
+  /// Lines written so far.
+  uint64_t flushCount() const {
+    return Flushes.load(std::memory_order_relaxed);
+  }
+
+private:
+  void rotateIfNeeded(long Size);
+
+  Options Opts;
+  std::thread Worker;
+  std::mutex Mu;
+  std::condition_variable Cv;
+  bool StopFlag = false;
+  bool Running = false;
+  std::atomic<uint64_t> Flushes{0};
+};
 
 } // namespace obs
 } // namespace denali

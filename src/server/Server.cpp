@@ -7,6 +7,7 @@
 #include "verify/GmaText.h"
 
 #include <chrono>
+#include <cstdio>
 #include <deque>
 #include <istream>
 #include <ostream>
@@ -97,7 +98,40 @@ CompileServer::CompileServer(ServerOptions Opts)
       // --cache-bytes 0 is the "no acceleration at all" switch: it turns
       // the warm-graph memo off too, so every request runs the unmodified
       // driver pipeline.
-      Graphs(Opts.CacheBytes == 0 ? 0 : Opts.WarmGraphs, "server.memo") {}
+      Graphs(Opts.CacheBytes == 0 ? 0 : Opts.WarmGraphs, "server.memo"),
+      WinAll(obs::Registry::global().windowed("server.win.request.us")),
+      WinCold(obs::Registry::global().windowed("server.win.request.cold.us")),
+      WinWarm(obs::Registry::global().windowed("server.win.request.warm.us")),
+      WinHit(obs::Registry::global().windowed("server.win.request.hit.us")),
+      InFlightGauge(obs::Registry::global().gauge("server.inflight")),
+      InFlightMaxGauge(obs::Registry::global().gauge("server.inflight.max")),
+      QueueDepthGauge(obs::Registry::global().gauge("server.queue.depth")),
+      SlowCounter(obs::Registry::global().counter("server.slow_requests")) {
+  // Always-on telemetry: a server with no explicit obs configuration still
+  // mints request ids, stamps spans, and feeds the live windows. Metrics
+  // only — event buffering stays off so a long-lived server with no
+  // exporter draining the trace buffers never accumulates events, and an
+  // existing configuration (e.g. --trace-out) is left untouched.
+  if (SOpts.Telemetry && !obs::enabled()) {
+    obs::ObsConfig C = obs::config();
+    C.Enabled = true;
+    C.Events = false;
+    obs::configure(C);
+  }
+  if (SOpts.MetricsFlushSec > 0) {
+    obs::MetricsFlusher::Options FO;
+    FO.Path = SOpts.MetricsFlushPath;
+    FO.IntervalSec = SOpts.MetricsFlushSec;
+    FO.MaxBytes = SOpts.MetricsFlushMaxBytes;
+    Flusher.start(FO);
+  }
+}
+
+CompileServer::~CompileServer() {
+  // Stop the flusher before the pool (and everything it may observe) goes
+  // away; stop() writes one final snapshot line.
+  Flusher.stop();
+}
 
 ServerResponse CompileServer::serveCached(const CachedResult &Hit,
                                           const gma::GMA &G,
@@ -112,9 +146,64 @@ ServerResponse CompileServer::serveCached(const CachedResult &Hit,
 }
 
 ServerResponse CompileServer::compileGma(const gma::GMA &G) {
+  // Every request gets a process-unique id; all spans recorded under the
+  // scope (parse happened earlier, but canonicalize, cache probes,
+  // saturate, universe, search, encode run inside) are stamped with it, so
+  // one request's full stage breakdown is extractable from a shared trace.
+  const uint64_t Req = obs::nextRequestId();
+  std::unique_ptr<obs::RequestTrace> Trace;
+  if (SOpts.SlowMs > 0 && obs::enabled())
+    Trace = std::make_unique<obs::RequestTrace>();
+  const int64_t Running = InFlight.fetch_add(1, std::memory_order_relaxed) + 1;
+  InFlightGauge.set(Running);
+  InFlightMaxGauge.noteMax(Running);
+  ServerResponse R;
+  {
+    obs::RequestScope Scope(Req, Trace.get());
+    R = compileGmaTiered(G, Req);
+  }
+  InFlightGauge.set(InFlight.fetch_sub(1, std::memory_order_relaxed) - 1);
+  noteRequestDone(R, Req, Trace.get());
+  return R;
+}
+
+void CompileServer::noteRequestDone(const ServerResponse &R, uint64_t Req,
+                                    obs::RequestTrace *Trace) {
+  if (!SOpts.Telemetry && !obs::enabled())
+    return;
+  const uint64_t Us = static_cast<uint64_t>(R.Seconds * 1e6);
+  WinAll.record(Us);
+  switch (R.Source) {
+  case ResultSource::Cold:
+    WinCold.record(Us);
+    break;
+  case ResultSource::WarmGraph:
+    WinWarm.record(Us);
+    break;
+  case ResultSource::CacheHit:
+    WinHit.record(Us);
+    break;
+  }
+  if (SOpts.SlowMs > 0 && R.Seconds * 1e3 >= SOpts.SlowMs) {
+    SlowRequests.fetch_add(1, std::memory_order_relaxed);
+    SlowCounter.add();
+    obs::logf(0, "slow request #%llu '%s': %.3f ms (source %s)",
+              static_cast<unsigned long long>(Req),
+              R.Result.Gma.Name.c_str(), R.Seconds * 1e3,
+              resultSourceName(R.Source));
+    // The span tree can be arbitrarily long; bypass logf's bounded buffer.
+    if (Trace)
+      std::fputs(Trace->spanTreeText().c_str(), stderr);
+  }
+}
+
+ServerResponse CompileServer::compileGmaTiered(const gma::GMA &G,
+                                               uint64_t Req) {
   obs::ObsSpan Span("server.request");
   if (Span.active())
-    Span.arg("name", G.Name.c_str());
+    Span.arg("name", G.Name.c_str())
+        .arg("req", Req)
+        .arg("machine", SOpts.Pipeline.MachineName.c_str());
   Timer T;
   Requests.fetch_add(1, std::memory_order_relaxed);
   obs::Registry::global().counter("server.requests").add();
@@ -325,6 +414,7 @@ int CompileServer::serve(std::istream &In, std::ostream &Out) {
         ++Failures;
       Out << Line << "\n" << std::flush;
     }
+    QueueDepthGauge.set(static_cast<int64_t>(Pending.size()));
   };
 
   std::string Buf, Line;
@@ -348,6 +438,9 @@ int CompileServer::serve(std::istream &In, std::ostream &Out) {
       // Keep strict request ordering: drain compiles first.
       Flush(true);
       Out << statsText() << "\n" << std::flush;
+    } else if (isForm(Form, "stats-full")) {
+      Flush(true);
+      Out << statsFullText() << "\n" << std::flush;
     } else {
       bool PrintProgram = SOpts.PrintPrograms;
       Pending.push_back(
@@ -355,6 +448,7 @@ int CompileServer::serve(std::istream &In, std::ostream &Out) {
             return formatResponse(compileText(Text), PrintProgram);
           }));
     }
+    QueueDepthGauge.set(static_cast<int64_t>(Pending.size()));
     Flush(false);
   }
   Flush(true);
@@ -368,6 +462,8 @@ ServerStats CompileServer::stats() const {
   St.ColdCompiles = ColdCompiles.load(std::memory_order_relaxed);
   St.WarmCompiles = WarmCompiles.load(std::memory_order_relaxed);
   St.CacheServes = CacheServes.load(std::memory_order_relaxed);
+  St.SlowRequests = SlowRequests.load(std::memory_order_relaxed);
+  St.InFlight = InFlight.load(std::memory_order_relaxed);
   St.ResultCache = Results.stats();
   St.GraphMemo = Graphs.stats();
   return St;
@@ -385,4 +481,35 @@ std::string CompileServer::statsText() const {
       (unsigned long long)St.CacheServes, St.ResultCache.Entries,
       St.ResultCache.Bytes, (unsigned long long)St.ResultCache.Evictions,
       St.GraphMemo.Entries, (unsigned long long)St.GraphMemo.Evictions);
+}
+
+std::string CompileServer::statsFullText() const {
+  ServerStats St = stats();
+  auto Lat = [](const char *Key, const obs::WindowedHistogram &W) {
+    obs::WindowedHistogram::Snapshot S = W.snapshot();
+    return strFormat(
+        " (lat %s :count %llu :p50-us %llu :p90-us %llu :p99-us %llu "
+        ":max-us %llu)",
+        Key, (unsigned long long)S.Count,
+        (unsigned long long)S.percentile(0.50),
+        (unsigned long long)S.percentile(0.90),
+        (unsigned long long)S.percentile(0.99), (unsigned long long)S.Max);
+  };
+  std::string Out = strFormat(
+      "(stats-full :requests %llu :parse-errors %llu :cold %llu :warm %llu "
+      ":hits %llu :slow %llu :inflight %lld :queue-depth %lld "
+      ":cache-entries %zu :cache-bytes %zu :memo-entries %zu :window-s %.0f",
+      (unsigned long long)St.Requests, (unsigned long long)St.ParseErrors,
+      (unsigned long long)St.ColdCompiles,
+      (unsigned long long)St.WarmCompiles,
+      (unsigned long long)St.CacheServes,
+      (unsigned long long)St.SlowRequests, (long long)St.InFlight,
+      (long long)QueueDepthGauge.get(), St.ResultCache.Entries,
+      St.ResultCache.Bytes, St.GraphMemo.Entries,
+      static_cast<double>(WinAll.windowNs()) / 1e9);
+  Out += Lat("all", WinAll);
+  Out += Lat("cold", WinCold);
+  Out += Lat("warm", WinWarm);
+  Out += Lat("hit", WinHit);
+  return Out + ")";
 }

@@ -29,6 +29,7 @@
 /// Wire protocol (line-oriented s-exprs; see serve()):
 ///   -> (gma <name> (assign t <term>) ...)       compile one GMA
 ///   -> (stats)                                  cache/memo counters
+///   -> (stats-full)                             + live latency windows
 ///   -> (quit)                                   shut down
 ///   <- (ok <name> :cycles N :source cold|warm|hit :program "...")
 ///   <- (error "message")
@@ -39,6 +40,7 @@
 #define DENALI_SERVER_SERVER_H
 
 #include "driver/Superoptimizer.h"
+#include "obs/Obs.h"
 #include "server/Cache.h"
 #include "server/Canon.h"
 #include "support/ThreadPool.h"
@@ -68,6 +70,20 @@ struct ServerOptions {
   size_t WarmGraphs = 64;
   /// Attach the emitted program text to protocol responses.
   bool PrintPrograms = false;
+  /// Always-on telemetry: per-request ids + spans, sliding-window latency
+  /// histograms per tier, in-flight/queue gauges. The constructor enables
+  /// the obs layer (metrics only, no exporter outputs) if it is not already
+  /// configured. `--obs-off` clears this for overhead measurements.
+  bool Telemetry = true;
+  /// When > 0, a request slower than this many milliseconds increments
+  /// server.slow_requests and dumps its full span tree via obs::logf.
+  double SlowMs = 0;
+  /// When > 0, a background obs::MetricsFlusher appends a JSONL metrics
+  /// snapshot to MetricsFlushPath every MetricsFlushSec seconds.
+  double MetricsFlushSec = 0;
+  std::string MetricsFlushPath = "denali_metrics.jsonl";
+  /// Rotation threshold for the flusher (path -> path.1 -> path.2 ...).
+  size_t MetricsFlushMaxBytes = 8u << 20;
 };
 
 /// Which tier answered a request.
@@ -88,6 +104,8 @@ struct ServerStats {
   uint64_t ColdCompiles = 0;
   uint64_t WarmCompiles = 0;
   uint64_t CacheServes = 0;
+  uint64_t SlowRequests = 0;
+  int64_t InFlight = 0;
   CacheStats ResultCache;
   CacheStats GraphMemo;
 };
@@ -95,6 +113,7 @@ struct ServerStats {
 class CompileServer {
 public:
   explicit CompileServer(ServerOptions Opts = ServerOptions());
+  ~CompileServer();
 
   driver::Superoptimizer &opt() { return Opt; }
   const driver::Superoptimizer &opt() const { return Opt; }
@@ -125,6 +144,14 @@ public:
   ServerStats stats() const;
   /// The (stats) verb / --stats report, as a one-line s-expr.
   std::string statsText() const;
+  /// The (stats-full) verb: statsText()'s counters plus live telemetry —
+  /// in-flight/queue gauges and sliding-window latency percentiles per
+  /// tier, snapshot at call time.
+  std::string statsFullText() const;
+
+  /// The periodic flusher (exposed for tests; started by the constructor
+  /// when MetricsFlushSec > 0).
+  obs::MetricsFlusher &metricsFlusher() { return Flusher; }
 
 private:
   struct CachedResult {
@@ -138,6 +165,12 @@ private:
 
   ServerResponse serveCached(const CachedResult &Hit, const gma::GMA &G,
                              const CanonicalGma &C, double Seconds);
+  /// The tiered compile body, run under the request's RequestScope.
+  ServerResponse compileGmaTiered(const gma::GMA &G, uint64_t Req);
+  /// Records per-request telemetry (windowed latencies, slow-request log)
+  /// once the request's scope has closed.
+  void noteRequestDone(const ServerResponse &R, uint64_t Req,
+                       obs::RequestTrace *Trace);
 
   ServerOptions SOpts;
   driver::Superoptimizer Opt;
@@ -146,7 +179,14 @@ private:
   ShardedLruCache<CachedResult> Results;
   ShardedLruCache<CachedGraph> Graphs;
   std::atomic<uint64_t> Requests{0}, ParseErrors{0}, ColdCompiles{0},
-      WarmCompiles{0}, CacheServes{0};
+      WarmCompiles{0}, CacheServes{0}, SlowRequests{0};
+  std::atomic<int64_t> InFlight{0};
+  // Cached metric handles: registry references are stable for the process
+  // lifetime, so the per-request hot path never takes the registry mutex.
+  obs::WindowedHistogram &WinAll, &WinCold, &WinWarm, &WinHit;
+  obs::Gauge &InFlightGauge, &InFlightMaxGauge, &QueueDepthGauge;
+  obs::Counter &SlowCounter;
+  obs::MetricsFlusher Flusher;
 };
 
 /// Renames a cached result (in the \p From request's name space) into the

@@ -59,9 +59,20 @@ CrossBackendVerdict denali::verify::crossCompileAndCheck(
     Reg.counter("verify.cross_checks").add(1);
     Reg.counter(strFormat("verify.cross_%s", crossStatusName(V.Status)))
         .add(1);
+    // Per-backend variants so reports can split verdicts by machine model
+    // (verify.cross_<status>.<machine>).
+    std::string MachineList;
+    for (const driver::Superoptimizer *M : Machines) {
+      const std::string &Name = M->options().MachineName;
+      Reg.counter(strFormat("verify.cross_%s.%s", crossStatusName(V.Status),
+                            Name.c_str()))
+          .add(1);
+      MachineList += MachineList.empty() ? Name : "," + Name;
+    }
     if (Span.active())
       Span.arg("gma", G.Name.c_str())
-          .arg("status", crossStatusName(V.Status));
+          .arg("status", crossStatusName(V.Status))
+          .arg("machines", MachineList.c_str());
   };
   if (Machines.size() < 2) {
     V.Status = CrossStatus::TransportBad;

@@ -18,6 +18,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <map>
 #include <set>
 #include <thread>
@@ -112,6 +115,242 @@ TEST(ObsRegistry, ConcurrentUpdatesUnderThreadPool) {
             static_cast<uint64_t>(Threads) * PerThread);
 }
 
+TEST(ObsRegistry, HistogramPercentiles) {
+  resetObs(true);
+  auto &R = obs::Registry::global();
+  auto &H = R.histogram("t.pct");
+  for (uint64_t I = 1; I <= 100; ++I)
+    H.record(I);
+  // Log2 buckets: the estimate is the bucket's upper edge, clamped to the
+  // exact [min, max]; p50 of 1..100 lands in bucket [32,64) -> edge 63.
+  EXPECT_EQ(H.percentile(0.5), 63u);
+  EXPECT_EQ(H.percentile(0.99), 100u); // Clamped to max.
+  EXPECT_EQ(H.percentile(0.0), 1u);    // Clamped to min.
+  EXPECT_EQ(R.histogram("t.pct.empty").percentile(0.5), 0u);
+
+  // The summary line carries the estimates.
+  std::string Summary = R.summaryText();
+  EXPECT_NE(Summary.find("hist t.pct count=100"), std::string::npos)
+      << Summary;
+  EXPECT_NE(Summary.find("p50=63"), std::string::npos) << Summary;
+}
+
+TEST(ObsRegistry, SummaryTextIsSortedAndDeterministic) {
+  resetObs(true);
+  auto &R = obs::Registry::global();
+  // Register deliberately out of order.
+  R.counter("t.z").add(1);
+  R.counter("t.a").add(2);
+  R.gauge("t.m").set(3);
+  R.histogram("t.k").record(4);
+  R.windowed("t.w").record(5);
+  std::string S1 = R.summaryText();
+  std::string S2 = R.summaryText();
+  EXPECT_EQ(S1, S2);
+  // Kinds in fixed order, names sorted within each kind.
+  size_t A = S1.find("counter t.a ");
+  size_t Z = S1.find("counter t.z ");
+  size_t G = S1.find("gauge t.m ");
+  size_t H = S1.find("hist t.k ");
+  size_t W = S1.find("whist t.w ");
+  ASSERT_NE(A, std::string::npos) << S1;
+  ASSERT_NE(Z, std::string::npos) << S1;
+  ASSERT_NE(G, std::string::npos) << S1;
+  ASSERT_NE(H, std::string::npos) << S1;
+  ASSERT_NE(W, std::string::npos) << S1;
+  EXPECT_LT(A, Z);
+  EXPECT_LT(Z, G);
+  EXPECT_LT(G, H);
+  EXPECT_LT(H, W);
+}
+
+TEST(ObsRegistry, WindowedHistogramBasics) {
+  obs::WindowedHistogram W; // Default 60s window: nothing expires in-test.
+  EXPECT_EQ(W.snapshot().Count, 0u);
+  EXPECT_EQ(W.snapshot().percentile(0.5), 0u);
+  for (uint64_t I = 1; I <= 100; ++I)
+    W.record(I);
+  obs::WindowedHistogram::Snapshot S = W.snapshot();
+  EXPECT_EQ(S.Count, 100u);
+  EXPECT_EQ(S.Sum, 5050u);
+  EXPECT_EQ(S.Min, 1u);
+  EXPECT_EQ(S.Max, 100u);
+  EXPECT_DOUBLE_EQ(S.avg(), 50.5);
+  EXPECT_EQ(S.percentile(0.5), 63u);
+  EXPECT_EQ(S.percentile(0.99), 100u);
+  EXPECT_EQ(S.WindowNs, obs::WindowedHistogram::DefaultWindowNs);
+  W.reset();
+  EXPECT_EQ(W.snapshot().Count, 0u);
+}
+
+TEST(ObsRegistry, WindowedHistogramExpiresOldSamples) {
+  // A 8ms window over 8 slots (1ms each): samples recorded now must fall
+  // out of the snapshot after the window has fully rotated.
+  obs::WindowedHistogram W(8ll * 1000 * 1000);
+  W.record(42);
+  EXPECT_EQ(W.snapshot().Count, 1u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  // Recording after the gap claims fresh slots; the old sample's slot is
+  // outside the merge range.
+  W.record(7);
+  obs::WindowedHistogram::Snapshot S = W.snapshot();
+  EXPECT_EQ(S.Count, 1u);
+  EXPECT_EQ(S.Max, 7u);
+}
+
+TEST(ObsRegistry, WindowedMergeUnderThreadPool) {
+  resetObs(true);
+  auto &W = obs::Registry::global().windowed("t.win.conc");
+  constexpr int Threads = 8;
+  constexpr int PerThread = 4000;
+  {
+    support::ThreadPool Pool(Threads);
+    std::vector<std::future<void>> Futures;
+    std::atomic<uint64_t> Snapshots{0};
+    for (int T = 0; T < Threads; ++T)
+      Futures.push_back(Pool.submit([&W, &Snapshots, T] {
+        for (int I = 0; I < PerThread; ++I) {
+          W.record(static_cast<uint64_t>(T * PerThread + I + 1));
+          // Interleave snapshot readers with writers: the TSan copy of this
+          // test is the data-race gate for the lock-free slot ring.
+          if (I % 512 == 0)
+            Snapshots.fetch_add(W.snapshot().Count);
+        }
+      }));
+    for (auto &F : Futures)
+      F.get();
+    EXPECT_GT(Snapshots.load(), 0u);
+  }
+  // All samples land well inside the 60s window; the documented one-sample
+  // loss race only applies at slot-boundary rotation, which a sub-second
+  // test never crosses.
+  obs::WindowedHistogram::Snapshot S = W.snapshot();
+  EXPECT_EQ(S.Count, static_cast<uint64_t>(Threads) * PerThread);
+  EXPECT_EQ(S.Min, 1u);
+  EXPECT_EQ(S.Max, static_cast<uint64_t>(Threads) * PerThread);
+}
+
+TEST(ObsRequest, ScopeStampsEventsAndRestores) {
+  resetObs(true);
+  EXPECT_EQ(obs::currentRequestId(), 0u);
+  const uint64_t R1 = obs::nextRequestId();
+  const uint64_t R2 = obs::nextRequestId();
+  EXPECT_NE(R1, 0u);
+  EXPECT_NE(R1, R2);
+
+  obs::RequestTrace Trace;
+  {
+    obs::RequestScope Outer(R1, &Trace);
+    EXPECT_EQ(obs::currentRequestId(), R1);
+    { obs::ObsSpan S("t.req.outer"); }
+    {
+      obs::RequestScope Inner(R2);
+      EXPECT_EQ(obs::currentRequestId(), R2);
+      { obs::ObsSpan S("t.req.inner"); }
+    }
+    EXPECT_EQ(obs::currentRequestId(), R1); // Nested scope restored.
+    obs::instant("t.req.marker");
+  }
+  EXPECT_EQ(obs::currentRequestId(), 0u);
+  { obs::ObsSpan S("t.req.none"); }
+
+  std::map<std::string, uint64_t> ReqByName;
+  for (const obs::Event &E : obs::collectEvents())
+    ReqByName[E.Kind == obs::EventKind::Span ? E.Name : "marker"] = E.Req;
+  EXPECT_EQ(ReqByName["t.req.outer"], R1);
+  EXPECT_EQ(ReqByName["t.req.inner"], R2);
+  EXPECT_EQ(ReqByName["marker"], R1);
+  EXPECT_EQ(ReqByName["t.req.none"], 0u);
+
+  // The installed RequestTrace retained only the R1-scope events (the inner
+  // scope replaced the trace pointer).
+  std::vector<obs::Event> Kept = Trace.events();
+  ASSERT_EQ(Kept.size(), 2u);
+  std::string Tree = Trace.spanTreeText();
+  EXPECT_NE(Tree.find("t.req.outer"), std::string::npos) << Tree;
+}
+
+TEST(ObsRequest, TokenPropagatesAcrossThreads) {
+  resetObs(true);
+  const uint64_t Id = obs::nextRequestId();
+  obs::RequestToken Tok;
+  {
+    obs::RequestScope Scope(Id);
+    Tok = obs::currentRequestToken();
+  }
+  EXPECT_EQ(Tok.Id, Id);
+  std::thread Worker([Tok] {
+    obs::RequestScope Scope(Tok);
+    { obs::ObsSpan S("t.req.worker"); }
+    obs::flushThreadEvents();
+  });
+  Worker.join();
+  bool Seen = false;
+  for (const obs::Event &E : obs::collectEvents())
+    if (E.Kind == obs::EventKind::Span &&
+        std::string(E.Name) == "t.req.worker") {
+      Seen = true;
+      EXPECT_EQ(E.Req, Id);
+    }
+  EXPECT_TRUE(Seen);
+}
+
+TEST(ObsRequest, JsonlCarriesRequestId) {
+  resetObs(true);
+  const uint64_t Id = obs::nextRequestId();
+  {
+    obs::RequestScope Scope(Id);
+    obs::ObsSpan S("t.req.jsonl");
+  }
+  std::string Text = obs::jsonlText(obs::collectEvents());
+  EXPECT_NE(Text.find("\"req\":" + std::to_string(Id)), std::string::npos)
+      << Text;
+  std::string Err;
+  EXPECT_TRUE(json::parse(Text.substr(0, Text.find('\n')), &Err)) << Err;
+}
+
+TEST(ObsFlusher, FlushOnceWritesParseableJsonAndRotates) {
+  resetObs(true);
+  obs::Registry::global().counter("t.flush.c").add(9);
+  const std::string Path = "test_metrics_flush.jsonl";
+  std::remove(Path.c_str());
+  std::remove((Path + ".1").c_str());
+  std::remove((Path + ".2").c_str());
+
+  obs::MetricsFlusher F;
+  obs::MetricsFlusher::Options O;
+  O.Path = Path;
+  O.IntervalSec = 3600; // Background thread stays asleep; we drive flushes.
+  O.MaxBytes = 1;       // Every flush exceeds the threshold -> rotates.
+  O.MaxFiles = 2;
+  F.start(O);
+  EXPECT_TRUE(F.flushOnce());
+  EXPECT_TRUE(F.flushOnce());
+  F.stop(); // Final flush.
+  EXPECT_GE(F.flushCount(), 3u);
+
+  // Rotation left the previous generations behind.
+  std::ifstream Gen1(Path + ".1");
+  EXPECT_TRUE(Gen1.good());
+
+  // Every line is one standalone JSON object with the registry snapshot.
+  std::ifstream In(Path + ".1");
+  std::string Line;
+  ASSERT_TRUE(std::getline(In, Line));
+  std::string Err;
+  std::unique_ptr<json::Value> Doc = json::parse(Line, &Err);
+  ASSERT_TRUE(Doc) << Err << "\n" << Line;
+  ASSERT_TRUE(Doc->field("ts_ms") && Doc->field("ts_ms")->isNumber());
+  const json::Value *Counters = Doc->field("counters");
+  ASSERT_TRUE(Counters && Counters->isObject()) << Line;
+  ASSERT_TRUE(Counters->field("t.flush.c"));
+  EXPECT_EQ(Counters->field("t.flush.c")->numberValue(), 9.0);
+
+  std::remove(Path.c_str());
+  std::remove((Path + ".1").c_str());
+  std::remove((Path + ".2").c_str());
+}
+
 TEST(ObsTrace, SpansRecordOnlyWhenEnabled) {
   resetObs(false);
   { obs::ObsSpan S("t.disabled"); }
@@ -133,6 +372,40 @@ TEST(ObsTrace, SpansRecordOnlyWhenEnabled) {
   // The span fed its duration histogram too.
   EXPECT_EQ(obs::Registry::global().histogram("span.t.enabled.us").count(),
             1u);
+}
+
+TEST(ObsTrace, MetricsOnlyModeSkipsEventBuffering) {
+  // Enabled with Events off: spans still feed their duration histograms
+  // and an installed RequestTrace still retains its request's spans, but
+  // nothing accumulates in the shared trace buffers.
+  obs::ObsConfig C;
+  C.Enabled = true;
+  C.Events = false;
+  obs::configure(C);
+  obs::clearEvents();
+  obs::Registry::global().resetAll();
+  EXPECT_TRUE(obs::enabled());
+  EXPECT_FALSE(obs::eventsEnabled());
+
+  {
+    obs::ObsSpan S("t.mon");
+    EXPECT_FALSE(S.active()); // Callers skip arg-building.
+  }
+  obs::instant("t.mon.i");
+  EXPECT_TRUE(obs::collectEvents().empty());
+  EXPECT_EQ(obs::Registry::global().histogram("span.t.mon.us").count(), 1u);
+
+  obs::RequestTrace T;
+  {
+    obs::RequestScope Scope(obs::nextRequestId(), &T);
+    obs::ObsSpan S("t.mon.traced");
+    EXPECT_TRUE(S.active()); // The trace retains it.
+  }
+  ASSERT_EQ(T.events().size(), 1u);
+  EXPECT_STREQ(T.events()[0].Name, "t.mon.traced");
+  EXPECT_TRUE(obs::collectEvents().empty());
+
+  resetObs(true);
 }
 
 TEST(ObsTrace, ConcurrentSpansFromPoolWorkers) {

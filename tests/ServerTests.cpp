@@ -16,12 +16,16 @@
 
 #include "server/Server.h"
 
+#include "obs/Obs.h"
 #include "support/StringExtras.h"
 #include "verify/GmaGen.h"
 #include "verify/GmaText.h"
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <set>
 #include <sstream>
 #include <thread>
 
@@ -441,6 +445,240 @@ TEST(ServerTest, ServeAnswersInOrderAndHandlesVerbs) {
   EXPECT_EQ(Lines[4].compare(0, 7, "(ok p3 "), 0) << Lines[4];
   // p3 is an alpha-variant of p1: served from cache.
   EXPECT_NE(Lines[4].find(":source hit"), std::string::npos) << Lines[4];
+}
+
+//===----------------------------------------------------------------------===//
+// Telemetry (always-on tracing, live windows, stats-full, flusher)
+//===----------------------------------------------------------------------===//
+
+/// Puts the process-global obs layer in a known state for telemetry tests.
+void resetObs(bool Enabled) {
+  obs::ObsConfig C;
+  C.Enabled = Enabled;
+  obs::configure(C);
+  obs::clearEvents();
+  obs::Registry::global().resetAll();
+}
+
+TEST(TelemetryTest, AlwaysOnServerIsMetricsOnly) {
+  // A fresh server with no explicit obs configuration still records: the
+  // always-on default switches the metrics layer on in the constructor —
+  // but with event buffering off, so a long-lived server accumulates
+  // histograms and counters, not an unbounded trace.
+  resetObs(false);
+  ServerOptions SO;
+  SO.Pipeline = smallOptions();
+  SO.Threads = 1;
+  CompileServer Server(SO);
+  EXPECT_TRUE(obs::enabled());
+  EXPECT_FALSE(obs::eventsEnabled());
+
+  ASSERT_TRUE(
+      Server.compileText("(gma m1 (assign r (add64 a b)))").Result.ok());
+  ASSERT_TRUE(
+      Server.compileText("(gma m2 (assign r (sub64 a b)))").Result.ok());
+
+  EXPECT_TRUE(obs::collectEvents().empty());
+
+  // Metrics flow regardless: live latency windows, span-duration
+  // histograms, and the per-backend compile counter all saw both requests
+  // (two distinct skeletons: both cold).
+  auto &Reg = obs::Registry::global();
+  EXPECT_EQ(Reg.windowed("server.win.request.us").snapshot().Count, 2u);
+  EXPECT_EQ(Reg.windowed("server.win.request.cold.us").snapshot().Count, 2u);
+  EXPECT_EQ(Reg.histogram("span.server.request.us").count(), 2u);
+  EXPECT_EQ(Reg.counterValue("driver.compile.alpha"), 2u);
+}
+
+TEST(TelemetryTest, TracingServerStampsRequestIdsOnSpans) {
+  // When obs is configured with event buffering (the tracing default), the
+  // server leaves the configuration alone and every span lands in the
+  // shared trace stamped with its request id.
+  resetObs(true);
+  ServerOptions SO;
+  SO.Pipeline = smallOptions();
+  SO.Threads = 1;
+  CompileServer Server(SO);
+  EXPECT_TRUE(obs::eventsEnabled());
+
+  ASSERT_TRUE(
+      Server.compileText("(gma t1 (assign r (add64 a b)))").Result.ok());
+  ASSERT_TRUE(
+      Server.compileText("(gma t2 (assign r (sub64 a b)))").Result.ok());
+
+  std::vector<obs::Event> Events = obs::collectEvents();
+  std::vector<const obs::Event *> ReqSpans;
+  for (const obs::Event &E : Events)
+    if (E.Kind == obs::EventKind::Span &&
+        std::string(E.Name) == "server.request")
+      ReqSpans.push_back(&E);
+  ASSERT_EQ(ReqSpans.size(), 2u);
+  EXPECT_NE(ReqSpans[0]->Req, 0u);
+  EXPECT_NE(ReqSpans[1]->Req, 0u);
+  EXPECT_NE(ReqSpans[0]->Req, ReqSpans[1]->Req);
+
+  // Every pipeline span nested under a request carries that request's id,
+  // so one request's stage breakdown is extractable from the shared trace.
+  std::set<uint64_t> Ids{ReqSpans[0]->Req, ReqSpans[1]->Req};
+  unsigned Nested = 0;
+  for (const obs::Event &E : Events)
+    if (E.Kind == obs::EventKind::Span &&
+        (std::string(E.Name) == "search" ||
+         std::string(E.Name) == "match.saturate")) {
+      ++Nested;
+      EXPECT_TRUE(Ids.count(E.Req)) << E.Name << " req " << E.Req;
+    }
+  EXPECT_GE(Nested, 2u);
+
+  // The live latency windows saw both requests (two distinct skeletons:
+  // both cold).
+  auto &Reg = obs::Registry::global();
+  EXPECT_EQ(Reg.windowed("server.win.request.us").snapshot().Count, 2u);
+  EXPECT_EQ(Reg.windowed("server.win.request.cold.us").snapshot().Count, 2u);
+  EXPECT_EQ(Reg.counterValue("driver.compile.alpha"), 2u);
+}
+
+TEST(TelemetryTest, ObsOffServerRecordsNoEventsOrWindows) {
+  resetObs(false);
+  ServerOptions SO;
+  SO.Pipeline = smallOptions();
+  SO.Threads = 1;
+  SO.Telemetry = false;
+  CompileServer Server(SO);
+  EXPECT_FALSE(obs::enabled());
+  ASSERT_TRUE(
+      Server.compileText("(gma off (assign r (add64 a b)))").Result.ok());
+  EXPECT_TRUE(obs::collectEvents().empty());
+  EXPECT_EQ(
+      obs::Registry::global().windowed("server.win.request.us").snapshot()
+          .Count,
+      0u);
+}
+
+TEST(TelemetryTest, SlowRequestsCountedAgainstThreshold) {
+  resetObs(true);
+  ServerOptions SO;
+  SO.Pipeline = smallOptions();
+  SO.Threads = 1;
+  SO.SlowMs = 1e-6; // Every real compile exceeds a nanosecond threshold.
+  CompileServer Server(SO);
+  ASSERT_TRUE(
+      Server.compileText("(gma slow (assign r (add64 a b)))").Result.ok());
+  EXPECT_EQ(Server.stats().SlowRequests, 1u);
+  EXPECT_EQ(obs::Registry::global().counterValue("server.slow_requests"),
+            1u);
+
+  // An effectively-unreachable threshold counts nothing.
+  ServerOptions Fast = SO;
+  Fast.SlowMs = 1e9;
+  CompileServer Quick(Fast);
+  ASSERT_TRUE(
+      Quick.compileText("(gma quick (assign r (sub64 a b)))").Result.ok());
+  EXPECT_EQ(Quick.stats().SlowRequests, 0u);
+}
+
+TEST(TelemetryTest, ServeStatsFullRoundTrip) {
+  resetObs(true);
+  ServerOptions SO;
+  SO.Pipeline = smallOptions();
+  // One worker: sf1 must finish (and fill the cache) before its alpha
+  // variant sf2 starts, so the hit/cold split below is deterministic.
+  SO.Threads = 1;
+  CompileServer Server(SO);
+  std::istringstream In("(gma sf1 (assign r (add64 a b)))\n"
+                        "(gma sf2 (assign s (add64 x y)))\n" // alpha of sf1
+                        "(stats-full)\n"
+                        "(quit)\n");
+  std::ostringstream Out;
+  EXPECT_EQ(Server.serve(In, Out), 0);
+
+  std::vector<std::string> Lines;
+  std::istringstream Split(Out.str());
+  for (std::string L; std::getline(Split, L);)
+    Lines.push_back(L);
+  ASSERT_EQ(Lines.size(), 3u) << Out.str();
+  // stats-full drains pending compiles first, so it answers last, on one
+  // line, with the tier counters and the per-tier latency windows.
+  const std::string &SF = Lines[2];
+  EXPECT_EQ(SF.compare(0, 12, "(stats-full "), 0) << SF;
+  EXPECT_EQ(SF.back(), ')') << SF;
+  EXPECT_NE(SF.find(":requests 2"), std::string::npos) << SF;
+  EXPECT_NE(SF.find(":cold 1"), std::string::npos) << SF;
+  EXPECT_NE(SF.find(":hits 1"), std::string::npos) << SF;
+  EXPECT_NE(SF.find(":queue-depth 0"), std::string::npos) << SF;
+  EXPECT_NE(SF.find("(lat all :count 2"), std::string::npos) << SF;
+  EXPECT_NE(SF.find("(lat cold :count 1"), std::string::npos) << SF;
+  EXPECT_NE(SF.find("(lat hit :count 1"), std::string::npos) << SF;
+  EXPECT_NE(SF.find(":p50-us "), std::string::npos) << SF;
+  EXPECT_NE(SF.find(":window-s 60"), std::string::npos) << SF;
+  // statsFullText() agrees with the protocol answer's shape.
+  EXPECT_EQ(Server.statsFullText().compare(0, 12, "(stats-full "), 0);
+}
+
+TEST(TelemetryTest, BulkRequestsGetDistinctIdsAcrossPoolWorkers) {
+  // compileBulk fans groups out to pool workers; every request must still
+  // get its own id and feed the shared window exactly once. The TSan copy
+  // of this test (server_tests_tsan) is the race gate for concurrent
+  // WindowedHistogram record/snapshot.
+  resetObs(true);
+  std::vector<std::string> Texts;
+  for (int I = 0; I < 4; ++I)
+    Texts.push_back(strFormat("(gma b%d (assign r (add64 a %d)))", I,
+                              100 + I));
+  for (int I = 0; I < 4; ++I)
+    Texts.push_back(strFormat("(gma b%dx (assign z (add64 q %d)))", I,
+                              100 + I)); // Alpha variants: cache hits.
+  {
+    ServerOptions SO;
+    SO.Pipeline = smallOptions();
+    SO.Threads = 4;
+    CompileServer Server(SO);
+    std::vector<ServerResponse> Rs = Server.compileBulk(Texts);
+    ASSERT_EQ(Rs.size(), Texts.size());
+    for (const ServerResponse &R : Rs)
+      ASSERT_TRUE(R.Result.ok()) << R.Result.Error;
+  } // Join the pool: worker event chunks publish at thread exit.
+
+  std::set<uint64_t> Ids;
+  for (const obs::Event &E : obs::collectEvents())
+    if (E.Kind == obs::EventKind::Span &&
+        std::string(E.Name) == "server.request") {
+      EXPECT_NE(E.Req, 0u);
+      Ids.insert(E.Req);
+    }
+  EXPECT_EQ(Ids.size(), Texts.size());
+  EXPECT_EQ(
+      obs::Registry::global().windowed("server.win.request.us").snapshot()
+          .Count,
+      Texts.size());
+}
+
+TEST(TelemetryTest, ServerFlusherWritesSnapshotOnShutdown) {
+  resetObs(true);
+  const std::string Path = "server_flush_test.jsonl";
+  std::remove(Path.c_str());
+  std::remove((Path + ".1").c_str());
+  {
+    ServerOptions SO;
+    SO.Pipeline = smallOptions();
+    SO.Threads = 1;
+    SO.MetricsFlushSec = 3600; // Interval never fires in-test...
+    SO.MetricsFlushPath = Path;
+    CompileServer Server(SO);
+    ASSERT_TRUE(
+        Server.compileText("(gma fl (assign r (add64 a b)))").Result.ok());
+    EXPECT_GE(Server.metricsFlusher().flushCount(), 0u);
+  } // ...the destructor's stop() still leaves one final line behind.
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::string Line;
+  ASSERT_TRUE(std::getline(In, Line));
+  EXPECT_EQ(Line.front(), '{');
+  EXPECT_EQ(Line.back(), '}');
+  EXPECT_NE(Line.find("\"ts_ms\":"), std::string::npos);
+  EXPECT_NE(Line.find("\"server.requests\":1"), std::string::npos) << Line;
+  EXPECT_NE(Line.find("\"whists\":"), std::string::npos);
+  std::remove(Path.c_str());
 }
 
 } // namespace

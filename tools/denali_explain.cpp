@@ -23,6 +23,16 @@
 //     materialization, is directly present in the specification, or has a
 //     nonempty derivation chain — the golden-test invariant.
 //
+//   denali_explain profile <baseline> <current> [--tolerance PCT]
+//                  [--min-us N] [--require name,...]
+//     Regression diff of two captures of the same kind: two Chrome traces
+//     (per-span self time per call) or two metrics summaries (per-histogram
+//     avg/p50/p99 plus counter deltas). Exits nonzero when a time metric
+//     exceeds baseline by both --tolerance percent and --min-us
+//     microseconds, or a --require name is missing. Also built as
+//     `denali_profile`, which defaults to this mode; perf_smoke gates
+//     BENCH_server latency drift with it.
+//
 //   denali_explain egraph <egraph.json | metrics.txt>
 //     Summarizes a `denali --egraph-json` dump: classes, nodes, constants,
 //     and the largest classes by member count. Given a plain-text metrics
@@ -42,6 +52,7 @@
 #include "support/StringExtras.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -97,25 +108,29 @@ struct SpanRow {
   double SelfUs = 0;
 };
 
-int traceReport(const char *Path, size_t TopN) {
+/// Loads \p Path as a Chrome trace and computes per-span-name rows (count,
+/// total, self time). Self time = duration minus the duration of spans
+/// nested inside it on the same thread, found by sweeping each thread's
+/// spans in start order with an enclosing-span stack. Shared by the trace
+/// and profile modes. \returns false with a diagnostic on any failure.
+bool traceRows(const char *Path, std::map<std::string, SpanRow> &Rows,
+               size_t &Total, size_t &Threads) {
   std::unique_ptr<json::Value> Doc = readJson(Path);
   if (!Doc)
-    return 1;
+    return false;
   const json::Value *Events = Doc->field("traceEvents");
   if (!Events || !Events->isArray()) {
     std::fprintf(stderr, "%s: %s: no traceEvents array\n", Prog, Path);
-    return 1;
+    return false;
   }
 
-  // Complete ("X") events only, grouped per tid. Self time = duration minus
-  // the duration of child spans, found by sweeping each thread's spans in
-  // start order with an enclosing-span stack.
+  // Complete ("X") events only, grouped per tid.
   struct Span {
     std::string Name;
     double Ts, Dur;
   };
   std::map<double, std::vector<Span>> PerTid;
-  size_t Total = 0;
+  Total = 0;
   for (const json::Value &E : Events->array()) {
     const json::Value *Ph = E.field("ph");
     if (!Ph || !Ph->isString() || Ph->stringValue() != "X")
@@ -133,10 +148,9 @@ int traceReport(const char *Path, size_t TopN) {
   if (Total == 0) {
     std::fprintf(stderr, "%s: %s: contains no complete ('X') spans\n", Prog,
                  Path);
-    return 1;
+    return false;
   }
 
-  std::map<std::string, SpanRow> Rows;
   for (auto &[Tid, Spans] : PerTid) {
     (void)Tid;
     std::sort(Spans.begin(), Spans.end(), [](const Span &A, const Span &B) {
@@ -159,6 +173,15 @@ int traceReport(const char *Path, size_t TopN) {
       Stack.push_back(I);
     }
   }
+  Threads = PerTid.size();
+  return true;
+}
+
+int traceReport(const char *Path, size_t TopN) {
+  std::map<std::string, SpanRow> Rows;
+  size_t Total = 0, Threads = 0;
+  if (!traceRows(Path, Rows, Total, Threads))
+    return 1;
 
   std::vector<std::pair<std::string, SpanRow>> Sorted(Rows.begin(),
                                                       Rows.end());
@@ -166,7 +189,7 @@ int traceReport(const char *Path, size_t TopN) {
     return A.second.SelfUs > B.second.SelfUs;
   });
   std::printf("%zu spans across %zu threads; top %zu by self time:\n", Total,
-              PerTid.size(), std::min(TopN, Sorted.size()));
+              Threads, std::min(TopN, Sorted.size()));
   std::printf("%-24s %10s %14s %14s\n", "span", "count", "self(us)",
               "total(us)");
   for (size_t I = 0; I < Sorted.size() && I < TopN; ++I)
@@ -176,12 +199,39 @@ int traceReport(const char *Path, size_t TopN) {
   return 0;
 }
 
-int metricsReport(const char *Path, const std::string &Require) {
-  std::string Text;
-  if (!readFile(Path, Text))
-    return 1;
+/// One parsed hist/whist summary line.
+struct HistRow {
+  unsigned long long Count = 0, Sum = 0, Min = 0, Max = 0;
+  unsigned long long P50 = 0, P90 = 0, P99 = 0;
+  double Avg = 0;
+};
+
+/// A parsed plain-text metrics capture (`# denali metrics v1`). hist and
+/// whist lines land in the same map (names never collide: whist names are
+/// a distinct namespace by convention, e.g. server.win.*).
+struct MetricsCapture {
   std::map<std::string, unsigned long long> Counters;
-  size_t Gauges = 0, Hists = 0;
+  std::map<std::string, long long> Gauges;
+  std::map<std::string, HistRow> Hists;
+
+  bool empty() const {
+    return Counters.empty() && Gauges.empty() && Hists.empty();
+  }
+  /// Presence-with-signal check used by --require: a nonzero counter, any
+  /// gauge, or a histogram with at least one sample.
+  bool hasNonzero(const std::string &Name) const {
+    auto C = Counters.find(Name);
+    if (C != Counters.end())
+      return C->second != 0;
+    if (Gauges.count(Name))
+      return true;
+    auto H = Hists.find(Name);
+    return H != Hists.end() && H->second.Count != 0;
+  }
+};
+
+bool parseMetricsCapture(const char *Path, const std::string &Text,
+                         MetricsCapture &Out) {
   std::istringstream In(Text);
   std::string Line;
   unsigned LineNo = 0;
@@ -194,45 +244,84 @@ int metricsReport(const char *Path, const std::string &Require) {
     if (!(Fields >> Kind >> Name)) {
       std::fprintf(stderr, "%s: %s:%u: malformed line\n", Prog, Path,
                    LineNo);
-      return 1;
+      return false;
     }
     if (Kind == "counter") {
       unsigned long long V = 0;
       if (!(Fields >> V)) {
         std::fprintf(stderr, "%s: %s:%u: counter without value\n", Prog,
                      Path, LineNo);
-        return 1;
+        return false;
       }
-      Counters[Name] = V;
+      Out.Counters[Name] = V;
     } else if (Kind == "gauge") {
-      ++Gauges;
-    } else if (Kind == "hist") {
-      ++Hists;
+      long long V = 0;
+      Fields >> V;
+      Out.Gauges[Name] = V;
+    } else if (Kind == "hist" || Kind == "whist") {
+      HistRow R;
+      std::string Tok;
+      while (Fields >> Tok) {
+        size_t Eq = Tok.find('=');
+        if (Eq == std::string::npos)
+          continue;
+        std::string Key = Tok.substr(0, Eq);
+        const char *Val = Tok.c_str() + Eq + 1;
+        if (Key == "count")
+          R.Count = std::strtoull(Val, nullptr, 10);
+        else if (Key == "sum")
+          R.Sum = std::strtoull(Val, nullptr, 10);
+        else if (Key == "min")
+          R.Min = std::strtoull(Val, nullptr, 10);
+        else if (Key == "max")
+          R.Max = std::strtoull(Val, nullptr, 10);
+        else if (Key == "avg")
+          R.Avg = std::atof(Val);
+        else if (Key == "p50")
+          R.P50 = std::strtoull(Val, nullptr, 10);
+        else if (Key == "p90")
+          R.P90 = std::strtoull(Val, nullptr, 10);
+        else if (Key == "p99")
+          R.P99 = std::strtoull(Val, nullptr, 10);
+      }
+      Out.Hists[Name] = R;
     } else {
       std::fprintf(stderr, "%s: %s:%u: unknown metric kind '%s'\n", Prog,
                    Path, LineNo, Kind.c_str());
-      return 1;
+      return false;
     }
   }
-  if (Counters.empty() && Gauges == 0 && Hists == 0) {
+  return true;
+}
+
+int metricsReport(const char *Path, const std::string &Require) {
+  std::string Text;
+  if (!readFile(Path, Text))
+    return 1;
+  MetricsCapture Cap;
+  if (!parseMetricsCapture(Path, Text, Cap))
+    return 1;
+  if (Cap.empty()) {
     std::fprintf(stderr,
                  "%s: %s: no metrics found — was the obs layer enabled?\n",
                  Prog, Path);
     return 1;
   }
-  std::printf("%zu counters, %zu gauges, %zu histograms\n", Counters.size(),
-              Gauges, Hists);
+  std::printf("%zu counters, %zu gauges, %zu histograms\n",
+              Cap.Counters.size(), Cap.Gauges.size(), Cap.Hists.size());
   bool Ok = true;
   for (const std::string &Name : splitString(Require, ",")) {
-    auto It = Counters.find(Name);
-    if (It == Counters.end() || It->second == 0) {
-      std::fprintf(stderr, "%s: required counter '%s' %s\n", Prog,
-                   Name.c_str(),
-                   It == Counters.end() ? "missing" : "is zero");
+    if (!Cap.hasNonzero(Name)) {
+      std::fprintf(stderr, "%s: required metric '%s' missing or zero\n",
+                   Prog, Name.c_str());
       Ok = false;
-    } else {
-      std::printf("require %s = %llu ok\n", Name.c_str(), It->second);
+      continue;
     }
+    auto C = Cap.Counters.find(Name);
+    if (C != Cap.Counters.end())
+      std::printf("require %s = %llu ok\n", Name.c_str(), C->second);
+    else
+      std::printf("require %s ok\n", Name.c_str());
   }
   return Ok ? 0 : 1;
 }
@@ -389,6 +478,155 @@ int egraphReport(const char *Path) {
   return 0;
 }
 
+/// A trace capture starts with a JSON object; a metrics capture starts
+/// with the `# denali metrics` header (or a bare metric line).
+bool looksLikeTrace(const std::string &Text) {
+  size_t I = Text.find_first_not_of(" \t\r\n");
+  return I != std::string::npos && Text[I] == '{';
+}
+
+/// The regression-diff mode (also reachable as the `denali_profile`
+/// binary): loads two captures of the same kind — two Chrome traces or two
+/// plain-text metrics summaries — and compares per-stage times. Trace
+/// captures compare per-span-name *self time per call*; metrics captures
+/// compare each shared histogram's avg/p50/p99 (µs for the span.* and
+/// server.win.* families). A metric regresses when the current value
+/// exceeds baseline by more than \p TolerancePct percent AND by more than
+/// \p MinUs microseconds (the absolute floor keeps sub-µs jitter on cheap
+/// stages from tripping percentage gates). Counter deltas are reported but
+/// never gated — counts legitimately differ across runs. \returns nonzero
+/// when any metric regressed or a --require name is absent from either
+/// capture.
+int profileReport(const char *BasePath, const char *CurPath,
+                  double TolerancePct, double MinUs,
+                  const std::string &Require, size_t TopN) {
+  std::string BaseText, CurText;
+  if (!readFile(BasePath, BaseText) || !readFile(CurPath, CurText))
+    return 1;
+  const bool IsTrace = looksLikeTrace(BaseText);
+  if (IsTrace != looksLikeTrace(CurText)) {
+    std::fprintf(stderr,
+                 "%s: cannot diff a trace against a metrics summary "
+                 "('%s' vs '%s')\n",
+                 Prog, BasePath, CurPath);
+    return 1;
+  }
+
+  struct Row {
+    std::string Name;
+    double Base, Cur;
+  };
+  std::vector<Row> Rows;
+  std::vector<std::string> Missing;
+
+  if (IsTrace) {
+    std::map<std::string, SpanRow> B, C;
+    size_t Total = 0, Threads = 0;
+    if (!traceRows(BasePath, B, Total, Threads) ||
+        !traceRows(CurPath, C, Total, Threads))
+      return 1;
+    for (const auto &[Name, BR] : B) {
+      auto It = C.find(Name);
+      if (It == C.end() || BR.Count == 0 || It->second.Count == 0)
+        continue;
+      Rows.push_back({Name + " self/call",
+                      BR.SelfUs / static_cast<double>(BR.Count),
+                      It->second.SelfUs /
+                          static_cast<double>(It->second.Count)});
+    }
+    for (const std::string &Name : splitString(Require, ","))
+      if (!B.count(Name) || !C.count(Name))
+        Missing.push_back(Name);
+  } else {
+    MetricsCapture B, C;
+    if (!parseMetricsCapture(BasePath, BaseText, B) ||
+        !parseMetricsCapture(CurPath, CurText, C))
+      return 1;
+    if (B.empty() || C.empty()) {
+      std::fprintf(stderr, "%s: empty metrics capture\n", Prog);
+      return 1;
+    }
+    for (const auto &[Name, BH] : B.Hists) {
+      auto It = C.Hists.find(Name);
+      if (It == C.Hists.end() || BH.Count == 0 || It->second.Count == 0)
+        continue;
+      const HistRow &CH = It->second;
+      Rows.push_back({Name + " avg", BH.Avg, CH.Avg});
+      Rows.push_back({Name + " p50", static_cast<double>(BH.P50),
+                      static_cast<double>(CH.P50)});
+      Rows.push_back({Name + " p99", static_cast<double>(BH.P99),
+                      static_cast<double>(CH.P99)});
+    }
+    // Counter deltas: context for a human reading the diff, never a gate.
+    std::vector<std::pair<double, std::string>> CounterDeltas;
+    for (const auto &[Name, BV] : B.Counters) {
+      auto It = C.Counters.find(Name);
+      if (It == C.Counters.end() || BV == 0)
+        continue;
+      double Pct = (static_cast<double>(It->second) -
+                    static_cast<double>(BV)) /
+                   static_cast<double>(BV) * 100.0;
+      if (Pct != 0)
+        CounterDeltas.push_back({std::abs(Pct), strFormat(
+            "  counter %-40s %12llu -> %12llu (%+.1f%%)", Name.c_str(), BV,
+            It->second, Pct)});
+    }
+    std::sort(CounterDeltas.rbegin(), CounterDeltas.rend());
+    if (!CounterDeltas.empty()) {
+      std::printf("counter deltas (top %zu of %zu changed, not gated):\n",
+                  std::min(TopN, CounterDeltas.size()), CounterDeltas.size());
+      for (size_t I = 0; I < CounterDeltas.size() && I < TopN; ++I)
+        std::printf("%s\n", CounterDeltas[I].second.c_str());
+    }
+    for (const std::string &Name : splitString(Require, ","))
+      if (!B.hasNonzero(Name) || !C.hasNonzero(Name))
+        Missing.push_back(Name);
+  }
+
+  if (Rows.empty() && Missing.empty()) {
+    std::fprintf(stderr,
+                 "%s: no comparable time metrics shared by '%s' and '%s'\n",
+                 Prog, BasePath, CurPath);
+    return 1;
+  }
+
+  size_t Regressions = 0;
+  std::vector<std::pair<double, std::string>> Printed;
+  for (const Row &R : Rows) {
+    double DeltaUs = R.Cur - R.Base;
+    double Pct = R.Base > 0 ? DeltaUs / R.Base * 100.0
+                            : (R.Cur > 0 ? 1e9 : 0.0);
+    bool Reg = R.Cur > R.Base * (1.0 + TolerancePct / 100.0) &&
+               DeltaUs > MinUs;
+    if (Reg)
+      ++Regressions;
+    Printed.push_back(
+        {std::abs(DeltaUs),
+         strFormat("  %-44s %12.1f %12.1f %+10.1f%%%s", R.Name.c_str(),
+                   R.Base, R.Cur, Pct, Reg ? "  REGRESSED" : "")});
+  }
+  std::sort(Printed.rbegin(), Printed.rend());
+  std::printf("%zu time metric(s) compared (tolerance %.0f%%, floor %.0fus); "
+              "top %zu by |delta|:\n",
+              Rows.size(), TolerancePct, MinUs,
+              std::min(TopN, Printed.size()));
+  std::printf("  %-44s %12s %12s %11s\n", "metric", "base(us)", "cur(us)",
+              "delta");
+  for (size_t I = 0; I < Printed.size() && I < TopN; ++I)
+    std::printf("%s\n", Printed[I].second.c_str());
+
+  for (const std::string &Name : Missing)
+    std::fprintf(stderr, "%s: required metric '%s' missing from a capture\n",
+                 Prog, Name.c_str());
+  if (Regressions || !Missing.empty()) {
+    std::fprintf(stderr, "%s: %zu regression(s), %zu missing requirement(s)\n",
+                 Prog, Regressions, Missing.size());
+    return 1;
+  }
+  std::printf("no regressions\n");
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -397,17 +635,40 @@ int main(int argc, char **argv) {
     Prog = Slash ? Slash + 1 : argv[0];
   }
   const char *Mode = argc > 1 ? argv[1] : nullptr;
-  const char *Path = argc > 2 ? argv[2] : nullptr;
+  // The denali_profile alias defaults to profile mode, so CI recipes read
+  //   denali_profile <baseline> <current> [--tolerance N]
+  // without repeating the mode word. An explicit mode still wins.
+  auto isKnownMode = [](const char *M) {
+    return !std::strcmp(M, "trace") || !std::strcmp(M, "metrics") ||
+           !std::strcmp(M, "explain") || !std::strcmp(M, "egraph") ||
+           !std::strcmp(M, "profile");
+  };
+  int ArgBase = 2;
+  if (Mode && !isKnownMode(Mode) && Mode[0] != '-' &&
+      !std::strcmp(Prog, "denali_profile")) {
+    Mode = "profile";
+    ArgBase = 1;
+  }
+  const char *Path = argc > ArgBase ? argv[ArgBase] : nullptr;
+  const bool IsProfile = Mode && !std::strcmp(Mode, "profile");
+  const char *Path2 = IsProfile && argc > ArgBase + 1 ? argv[ArgBase + 1]
+                                                      : nullptr;
   size_t TopN = 10;
   std::string Require;
   bool RequireChains = false;
-  for (int I = 3; I < argc; ++I) {
+  double TolerancePct = 10;
+  double MinUs = 50;
+  for (int I = ArgBase + (IsProfile ? 2 : 1); I < argc; ++I) {
     if (!std::strcmp(argv[I], "--top") && I + 1 < argc)
       TopN = static_cast<size_t>(std::atoll(argv[++I]));
     else if (!std::strcmp(argv[I], "--require") && I + 1 < argc)
       Require = argv[++I];
     else if (!std::strcmp(argv[I], "--require-chains"))
       RequireChains = true;
+    else if (!std::strcmp(argv[I], "--tolerance") && I + 1 < argc)
+      TolerancePct = std::atof(argv[++I]);
+    else if (!std::strcmp(argv[I], "--min-us") && I + 1 < argc)
+      MinUs = std::atof(argv[++I]);
     else {
       std::fprintf(stderr, "%s: unknown option '%s'\n", Prog, argv[I]);
       return 2;
@@ -421,11 +682,16 @@ int main(int argc, char **argv) {
     return explainReport(Path, RequireChains);
   if (Mode && Path && !std::strcmp(Mode, "egraph"))
     return egraphReport(Path);
+  if (IsProfile && Path && Path2)
+    return profileReport(Path, Path2, TolerancePct, MinUs, Require, TopN);
   std::fprintf(stderr,
                "usage: %s trace <trace.json> [--top N]\n"
                "       %s metrics <metrics.txt> [--require name,name,...]\n"
                "       %s explain <explain.json> [--require-chains]\n"
-               "       %s egraph <egraph.json | metrics.txt>\n",
-               Prog, Prog, Prog, Prog);
+               "       %s egraph <egraph.json | metrics.txt>\n"
+               "       %s profile <baseline> <current> [--tolerance PCT]\n"
+               "               [--min-us N] [--require name,...] [--top N]\n"
+               "         (captures: two trace.json or two metrics.txt)\n",
+               Prog, Prog, Prog, Prog, Prog);
   return 2;
 }

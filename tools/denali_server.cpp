@@ -26,13 +26,30 @@
 //     --match-eager-rebuild
 //                        saturation scheduling knobs (as in `denali`)
 //     --no-guard         drop guard-before-memory enforcement
+//     --machine NAME     machine-model backend (alpha, rv64; default alpha)
 //     --trace-out=FILE / --jsonl-out=FILE / --metrics-out=FILE /
 //     --log-level=N      observability (server.cache.* / server.memo.* /
 //                        server.requests land in the metrics summary)
 //
+// Telemetry (always on unless --obs-off): every request gets a RequestId
+// stamped on its spans, and live sliding-window latency histograms feed the
+// (stats-full) verb.
+//     --obs-off          disable always-on telemetry (overhead baselines)
+//     --slow-ms MS       log + span-tree-dump requests slower than MS
+//     --metrics-flush-sec S
+//                        append a JSONL metrics snapshot every S seconds
+//     --metrics-flush-out FILE
+//                        snapshot destination (default denali_metrics.jsonl;
+//                        rotates FILE -> FILE.1 -> FILE.2 past
+//                        --metrics-flush-max-bytes)
+//     --metrics-flush-max-bytes N
+//                        rotation threshold (k/m/g suffixes; default 8m)
+//     --stats-full       print the (stats-full ...) line on exit
+//
 // Protocol (stdin mode):
 //   -> (gma <name> (assign t <term>) ... (guard t) (miss t) (assume ...))
 //   -> (stats)
+//   -> (stats-full)
 //   -> (quit)
 //   <- (ok <name> :cycles N :source cold|warm|hit :seconds S ...)
 //   <- (error "message")
@@ -152,6 +169,7 @@ int main(int argc, char **argv) {
   SOpts.Pipeline.Search.MaxCycles = 16;
   std::string BulkPath;
   bool PrintStats = false;
+  bool PrintStatsFull = false;
   driver::Options &Opts = SOpts.Pipeline;
 
   for (int I = 1; I < argc; ++I) {
@@ -202,6 +220,27 @@ int main(int argc, char **argv) {
       Opts.Matching.EagerRebuild = true;
     } else if (std::strcmp(Arg, "--no-guard") == 0) {
       Opts.EnforceGuard = false;
+    } else if (const char *V = flagValue(Arg, "--machine", I, argc, argv)) {
+      Opts.MachineName = V;
+    } else if (std::strcmp(Arg, "--obs-off") == 0) {
+      SOpts.Telemetry = false;
+    } else if (const char *V = flagValue(Arg, "--slow-ms", I, argc, argv)) {
+      SOpts.SlowMs = std::atof(V);
+    } else if (const char *V =
+                   flagValue(Arg, "--metrics-flush-sec", I, argc, argv)) {
+      SOpts.MetricsFlushSec = std::atof(V);
+    } else if (const char *V =
+                   flagValue(Arg, "--metrics-flush-out", I, argc, argv)) {
+      SOpts.MetricsFlushPath = V;
+    } else if (const char *V = flagValue(Arg, "--metrics-flush-max-bytes", I,
+                                         argc, argv)) {
+      if (!parseBytes(V, SOpts.MetricsFlushMaxBytes)) {
+        std::fprintf(stderr, "error: bad --metrics-flush-max-bytes '%s'\n",
+                     V);
+        return 1;
+      }
+    } else if (std::strcmp(Arg, "--stats-full") == 0) {
+      PrintStatsFull = true;
     } else if (const char *V = flagValue(Arg, "--trace-out", I, argc, argv)) {
       Opts.Obs.TraceOut = V;
     } else if (const char *V = flagValue(Arg, "--jsonl-out", I, argc, argv)) {
@@ -231,6 +270,8 @@ int main(int argc, char **argv) {
       std::printf("%s\n", Server.statsText().c_str());
     Rc = Failures == 0 ? 0 : 1;
   }
+  if (PrintStatsFull)
+    std::printf("%s\n", Server.statsFullText().c_str());
 
   if (Opts.Obs.Enabled && !obs::exportConfigured())
     Rc = 1;
