@@ -26,15 +26,33 @@
 // eager/deferred agreement on the final partition and node/class counts,
 // and gates the parallel arm as bit-identical to the deferred arm,
 // statistics included — the match loop's any-thread-count contract.
+//
+// Each tier also A/Bs the deferred arm with per-axiom attribution
+// disabled (MatchLimits::Profile off) — attr_overhead_pct is the cost of
+// the always-on profiling instrumentation, reported but not gated (it is
+// a timing ratio; EXPERIMENTS.md E20 records the expectation of < 2%).
+//
+// The E20 section compares blind budget-backoff against ledger-warmed
+// adaptive scheduling (--match-adaptive) on *quiescing* inputs: groups of
+// figure-2-style mul/add seeds over distinct variables, whose builtin
+// closure is finite. Blind and warm runs must quiesce to identical
+// closures (partition + node/class counts + extraction costs gated hard),
+// with the warm run enumerating strictly fewer raw matches — the history
+// seeds productive axioms' budgets past the backoff ladder's blind
+// doubling and demotes never-productive axioms to a trailing phase.
+//
 // Emits BENCH_egraph_scale.json for the perf_smoke bench_compare gate.
 //
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
+#include "alpha/ISA.h"
 #include "axioms/BuiltinAxioms.h"
+#include "baseline/EGraphExtract.h"
 #include "egraph/EGraph.h"
 #include "match/Elaborate.h"
 #include "match/Matcher.h"
+#include "obs/ProfileLedger.h"
 #include "support/Timer.h"
 #include "verify/GmaGen.h"
 
@@ -77,11 +95,18 @@ struct Tier {
 struct ArmResult {
   match::MatchStats Stats;
   std::vector<unsigned> Partition; ///< Seed term -> first equal seed term.
+  std::vector<long long> ExtractCosts; ///< Per root; -1 = no machine term.
 };
 
-/// Builds the tier's stress graph fresh and saturates it.
+/// Builds the tier's stress graph fresh and saturates it. With
+/// \p RecordInto, records the run's per-axiom attribution under
+/// \p LedgerKey (the E20 profiling pre-run); with \p Extract, DP-extracts
+/// the best term per seed root (egg-style cost) so two arms can gate
+/// extraction-cost equality.
 double runArm(ir::Context &Ctx, const std::vector<ir::TermId> &Seeds,
-              const match::MatchLimits &Limits, ArmResult &Out) {
+              const match::MatchLimits &Limits, ArmResult &Out,
+              obs::ProfileLedger *RecordInto = nullptr,
+              const char *LedgerKey = "", bool Extract = false) {
   egraph::EGraph G(Ctx);
   std::vector<egraph::ClassId> Roots;
   Roots.reserve(Seeds.size());
@@ -93,6 +118,8 @@ double runArm(ir::Context &Ctx, const std::vector<ir::TermId> &Seeds,
   Timer T;
   Out.Stats = M.saturate(G, Limits);
   double Seconds = T.seconds();
+  if (RecordInto)
+    match::recordMatchProfile(*RecordInto, LedgerKey, M.axioms(), Out.Stats);
   Out.Partition.assign(Roots.size(), 0);
   for (size_t I = 0; I < Roots.size(); ++I) {
     Out.Partition[I] = static_cast<unsigned>(I);
@@ -101,6 +128,15 @@ double runArm(ir::Context &Ctx, const std::vector<ir::TermId> &Seeds,
         Out.Partition[I] = static_cast<unsigned>(J);
         break;
       }
+  }
+  Out.ExtractCosts.clear();
+  if (Extract) {
+    alpha::ISA Isa(Ctx);
+    for (egraph::ClassId Root : Roots) {
+      std::optional<baseline::ExtractResult> Ex =
+          baseline::extractBestTerm(G, Isa, Root);
+      Out.ExtractCosts.push_back(Ex ? static_cast<long long>(Ex->Cost) : -1);
+    }
   }
   return Seconds;
 }
@@ -128,9 +164,9 @@ int main(int argc, char **argv) {
   banner("E16", Smoke ? "saturation scaling, eager vs deferred vs parallel "
                         "(smoke)"
                       : "saturation scaling, eager vs deferred vs parallel");
-  std::printf("%-6s %-10s %-8s %-8s %-9s %-10s %-10s %-10s %-9s\n", "tier",
-              "seed-nodes", "nodes", "classes", "quiesced", "eager-s",
-              "deferred-s", "par4-s", "speedup");
+  std::printf("%-6s %-10s %-8s %-8s %-9s %-10s %-10s %-10s %-9s %-8s\n",
+              "tier", "seed-nodes", "nodes", "classes", "quiesced", "eager-s",
+              "deferred-s", "par4-s", "speedup", "attr-ov%");
 
   enableObsMetrics();
   bool AllOk = true;
@@ -139,7 +175,7 @@ int main(int argc, char **argv) {
     size_t SeedNodes, Nodes, Classes;
     unsigned Gmas;
     bool Quiesced, ModesAgree;
-    double EagerS, DeferredS, Parallel4S;
+    double EagerS, DeferredS, Parallel4S, AttrOverheadPct;
   };
   std::vector<Record> Records;
 
@@ -180,19 +216,35 @@ int main(int argc, char **argv) {
         Parallel.MaxInstancesPerRound = 1u << 20;
     Eager.EagerRebuild = true;
     Parallel.Threads = 4;
+    // The attribution-overhead A/B: deferred with per-axiom profiling off.
+    match::MatchLimits NoProf = Deferred;
+    NoProf.Profile = false;
 
-    ArmResult EagerR, DeferredR, ParallelR;
-    double EagerS = 0, DeferredS = 0, Parallel4S = 0;
+    ArmResult EagerR, DeferredR, ParallelR, NoProfR;
+    double EagerS = 0, DeferredS = 0, Parallel4S = 0, NoProfS = 0;
     for (int Rep = 0; Rep < T.Reps; ++Rep) {
       // Interleaved min-of-reps, the bench_verify trick against scheduler
       // noise. Stats and partitions are identical across reps.
       double E = runArm(Ctx, Seeds, Eager, EagerR);
       double D = runArm(Ctx, Seeds, Deferred, DeferredR);
       double P = runArm(Ctx, Seeds, Parallel, ParallelR);
+      double N = runArm(Ctx, Seeds, NoProf, NoProfR);
       EagerS = Rep ? std::min(EagerS, E) : E;
       DeferredS = Rep ? std::min(DeferredS, D) : D;
       Parallel4S = Rep ? std::min(Parallel4S, P) : P;
+      NoProfS = Rep ? std::min(NoProfS, N) : N;
     }
+    // The overhead A/B needs min-of-3 even on single-rep tiers — it
+    // divides two nearly-equal wall times, so a single noisy sample
+    // swamps the few-percent signal.
+    for (int Rep = T.Reps; Rep < 3; ++Rep) {
+      double D = runArm(Ctx, Seeds, Deferred, DeferredR);
+      double N = runArm(Ctx, Seeds, NoProf, NoProfR);
+      DeferredS = std::min(DeferredS, D);
+      NoProfS = std::min(NoProfS, N);
+    }
+    double AttrOverheadPct =
+        NoProfS > 0 ? 100.0 * (DeferredS - NoProfS) / NoProfS : 0.0;
 
     bool Quiesced = EagerR.Stats.Quiesced && DeferredR.Stats.Quiesced &&
                     ParallelR.Stats.Quiesced;
@@ -212,7 +264,13 @@ int main(int argc, char **argv) {
         DeferredR.Stats.MatchesFound == ParallelR.Stats.MatchesFound &&
         DeferredR.Stats.InstancesAsserted ==
             ParallelR.Stats.InstancesAsserted &&
-        DeferredR.Stats.InstancesDeduped == ParallelR.Stats.InstancesDeduped;
+        DeferredR.Stats.InstancesDeduped == ParallelR.Stats.InstancesDeduped &&
+        // Turning attribution off must not change what the scheduler does.
+        DeferredR.Partition == NoProfR.Partition &&
+        DeferredR.Stats.FinalNodes == NoProfR.Stats.FinalNodes &&
+        DeferredR.Stats.FinalClasses == NoProfR.Stats.FinalClasses &&
+        DeferredR.Stats.Rounds == NoProfR.Stats.Rounds &&
+        DeferredR.Stats.MatchesFound == NoProfR.Stats.MatchesFound;
     if (!ModesAgree) {
       std::printf("tier %s: arms DISAGREE "
                   "(eager %zu/%zu, deferred %zu/%zu, parallel %zu/%zu)\n",
@@ -222,14 +280,129 @@ int main(int argc, char **argv) {
       AllOk = false;
     }
     std::printf("%-6s %-10zu %-8zu %-8zu %-9s %-10.3f %-10.3f %-10.3f "
-                "%.2fx\n",
+                "%-9.2f %+.1f%%\n",
                 T.Name, SeedNodes, DeferredR.Stats.FinalNodes,
                 DeferredR.Stats.FinalClasses, Quiesced ? "yes" : "NO",
                 EagerS, DeferredS, Parallel4S,
-                DeferredS > 0 ? EagerS / DeferredS : 0.0);
+                DeferredS > 0 ? EagerS / DeferredS : 0.0, AttrOverheadPct);
     Records.push_back(Record{T.Name, SeedNodes, DeferredR.Stats.FinalNodes,
                              DeferredR.Stats.FinalClasses, T.Gmas, Quiesced,
-                             ModesAgree, EagerS, DeferredS, Parallel4S});
+                             ModesAgree, EagerS, DeferredS, Parallel4S,
+                             AttrOverheadPct});
+  }
+
+  // E20: blind budget-backoff vs ledger-warmed adaptive scheduling, on
+  // quiescing inputs (finite builtin closure — see the header comment).
+  banner("E20", "adaptive budgets: blind backoff vs ledger-warmed");
+  std::printf("%-8s %-7s %-9s %-7s %-11s %-11s %-10s %-8s %-8s\n", "tier",
+              "groups", "quiesced", "agree", "blind-raw", "warm-raw",
+              "saved", "blind-s", "warm-s");
+
+  struct E20Record {
+    std::string Tier;
+    unsigned Groups;
+    bool Quiesced, Agree;
+    uint64_t BlindRaw, WarmRaw;
+    unsigned BlindRounds, WarmRounds;
+    double BlindS, WarmS;
+  };
+  std::vector<E20Record> E20Records;
+
+  struct E20Tier {
+    const char *Name;
+    unsigned Groups;
+    int Reps;
+  };
+  std::vector<E20Tier> E20Tiers = {{"1x", 4, 3}, {"10x", 12, 2}};
+  if (!Smoke)
+    E20Tiers.push_back({"30x", 24, 1});
+
+  for (const E20Tier &T : E20Tiers) {
+    ir::Context Ctx;
+    // Figure-2-style groups over distinct variables: mul-by-pow2 feeding
+    // an add. Distinct variables keep the groups unmergeable, so the
+    // partition gate is meaningful; the closure stays finite.
+    std::vector<ir::TermId> Seeds;
+    for (unsigned I = 0; I < T.Groups; ++I) {
+      ir::TermId V =
+          Ctx.Terms.makeVar(("x" + std::to_string(I)).c_str());
+      ir::TermId Mul = Ctx.Terms.makeBuiltin(
+          Builtin::Mul64, {V, Ctx.Terms.makeConst(I % 2 ? 8 : 4)});
+      Seeds.push_back(Ctx.Terms.makeBuiltin(
+          Builtin::Add64, {Mul, Ctx.Terms.makeConst(1 + I % 3)}));
+    }
+
+    // Blind: a deliberately tight budget, so the backoff ladder has to
+    // discover every productive axiom's appetite by doubling. Warm: the
+    // same limits, plus the ledger from a profiling pre-run (recorded by
+    // the blind arm itself, as `--profile-ledger` would).
+    match::MatchLimits Blind;
+    Blind.MatchBudget = 2;
+    Blind.MaxRounds = 200;
+    Blind.MaxNodes = 1u << 20;
+    Blind.MaxInstancesPerRound = 1u << 20;
+
+    obs::ProfileLedger Ledger;
+    const char *Key = "e20";
+    ArmResult BlindR, WarmR;
+    double BlindS = 0, WarmS = 0;
+    for (int Rep = 0; Rep < T.Reps; ++Rep) {
+      obs::ProfileLedger Fresh;
+      double B = runArm(Ctx, Seeds, Blind, BlindR, &Fresh, Key,
+                        /*Extract=*/true);
+      if (Rep == 0)
+        Ledger.loadText(Fresh.toJsonl());
+      match::MatchLimits Warm = Blind;
+      Warm.Adaptive = true;
+      Warm.Ledger = &Ledger;
+      Warm.LedgerKey = Key;
+      double W = runArm(Ctx, Seeds, Warm, WarmR, nullptr, "",
+                        /*Extract=*/true);
+      BlindS = Rep ? std::min(BlindS, B) : B;
+      WarmS = Rep ? std::min(WarmS, W) : W;
+    }
+
+    bool Quiesced = BlindR.Stats.Quiesced && WarmR.Stats.Quiesced;
+    // The hard gates: identical closure (partition, counts, extraction
+    // costs) and strictly fewer raw match attempts for the warmed run.
+    bool Agree = Quiesced && BlindR.Partition == WarmR.Partition &&
+                 BlindR.Stats.FinalNodes == WarmR.Stats.FinalNodes &&
+                 BlindR.Stats.FinalClasses == WarmR.Stats.FinalClasses &&
+                 BlindR.ExtractCosts == WarmR.ExtractCosts &&
+                 WarmR.Stats.MatchesFound < BlindR.Stats.MatchesFound &&
+                 WarmR.Stats.AdaptiveSeeded > 0;
+    if (!Agree) {
+      std::printf(
+          "tier %s: adaptive arm FAILED its gates "
+          "(quiesced %d/%d, nodes %zu/%zu, classes %zu/%zu, raw %llu/%llu, "
+          "seeded %llu)\n",
+          T.Name, BlindR.Stats.Quiesced ? 1 : 0,
+          WarmR.Stats.Quiesced ? 1 : 0, BlindR.Stats.FinalNodes,
+          WarmR.Stats.FinalNodes, BlindR.Stats.FinalClasses,
+          WarmR.Stats.FinalClasses,
+          (unsigned long long)BlindR.Stats.MatchesFound,
+          (unsigned long long)WarmR.Stats.MatchesFound,
+          (unsigned long long)WarmR.Stats.AdaptiveSeeded);
+      AllOk = false;
+    }
+    double SavedPct =
+        BlindR.Stats.MatchesFound
+            ? 100.0 *
+                  (double)(BlindR.Stats.MatchesFound -
+                           WarmR.Stats.MatchesFound) /
+                  (double)BlindR.Stats.MatchesFound
+            : 0.0;
+    std::printf("%-8s %-7u %-9s %-7s %-11llu %-11llu %6.1f%%    %-8.3f "
+                "%-8.3f\n",
+                T.Name, T.Groups, Quiesced ? "yes" : "NO",
+                Agree ? "yes" : "NO",
+                (unsigned long long)BlindR.Stats.MatchesFound,
+                (unsigned long long)WarmR.Stats.MatchesFound, SavedPct,
+                BlindS, WarmS);
+    E20Records.push_back(E20Record{
+        T.Name, T.Groups, Quiesced, Agree, BlindR.Stats.MatchesFound,
+        WarmR.Stats.MatchesFound, BlindR.Stats.Rounds, WarmR.Stats.Rounds,
+        BlindS, WarmS});
   }
 
   writeMetricsSummary("BENCH_egraph_scale.metrics.txt");
@@ -247,18 +420,38 @@ int main(int argc, char **argv) {
           "\"nodes\": %zu, \"classes\": %zu, \"quiesced\": %s, "
           "\"modes_agree\": %s, \"eager_s\": %.6f, \"deferred_s\": %.6f, "
           "\"parallel4_s\": %.6f, \"speedup_pct\": %.1f, "
-          "\"parallel_speedup_pct\": %.1f}%s\n",
+          "\"parallel_speedup_pct\": %.1f, \"attr_overhead_pct\": %.1f}%s\n",
           R.Tier.c_str(), R.Gmas, R.SeedNodes, R.Nodes, R.Classes,
           R.Quiesced ? "true" : "false", R.ModesAgree ? "true" : "false",
           R.EagerS, R.DeferredS, R.Parallel4S,
           R.DeferredS > 0 ? 100.0 * R.EagerS / R.DeferredS : 0.0,
           R.Parallel4S > 0 ? 100.0 * R.EagerS / R.Parallel4S : 0.0,
-          I + 1 < Records.size() ? "," : "");
+          R.AttrOverheadPct,
+          I + 1 < Records.size() || !E20Records.empty() ? "," : "");
+    }
+    for (size_t I = 0; I < E20Records.size(); ++I) {
+      const E20Record &R = E20Records[I];
+      // blind_raw/warm_raw are deterministic match counts — exact-gated
+      // by bench_compare, like the node/class counts above.
+      std::fprintf(
+          Out,
+          "  {\"tier\": \"e20-%s\", \"groups\": %u, \"quiesced\": %s, "
+          "\"adaptive_agrees\": %s, \"blind_raw\": %llu, "
+          "\"warm_raw\": %llu, \"blind_rounds\": %u, \"warm_rounds\": %u, "
+          "\"blind_s\": %.6f, \"warm_s\": %.6f, \"raw_saved_pct\": %.1f}%s\n",
+          R.Tier.c_str(), R.Groups, R.Quiesced ? "true" : "false",
+          R.Agree ? "true" : "false", (unsigned long long)R.BlindRaw,
+          (unsigned long long)R.WarmRaw, R.BlindRounds, R.WarmRounds,
+          R.BlindS, R.WarmS,
+          R.BlindRaw ? 100.0 * (double)(R.BlindRaw - R.WarmRaw) /
+                           (double)R.BlindRaw
+                     : 0.0,
+          I + 1 < E20Records.size() ? "," : "");
     }
     std::fprintf(Out, "]\n");
     std::fclose(Out);
     std::printf("\nwrote BENCH_egraph_scale.json (%zu records)\n",
-                Records.size());
+                Records.size() + E20Records.size());
   } else {
     std::printf("\ncould not write BENCH_egraph_scale.json\n");
     AllOk = false;

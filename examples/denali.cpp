@@ -26,6 +26,13 @@
 //     --match-eager-rebuild
 //                        restore per-assert congruence repair instead of
 //                        one batched rebuild per saturation round
+//     --profile-ledger=FILE
+//                        merge FILE (per-axiom saturation-profile JSONL)
+//                        into the run and write the aggregate back on exit
+//     --match-adaptive   seed per-axiom budgets and phases from ledger
+//                        history (yield-per-microsecond ordering) instead
+//                        of uniform budgets + blind doubling; runs that
+//                        quiesce reach the identical closure
 //     --show-nops        print nops in unfilled issue slots (Figure 4 style)
 //     --no-verify        skip differential verification
 //     --stats            print matcher/SAT statistics per GMA
@@ -118,6 +125,11 @@ int main(int argc, char **argv) {
       Opts.Matching.Threads = static_cast<unsigned>(std::atoi(V));
     } else if (!std::strcmp(argv[I], "--match-eager-rebuild")) {
       Opts.Matching.EagerRebuild = true;
+    } else if (const char *V =
+                   flagValue(argv[I], "--profile-ledger", I, argc, argv)) {
+      Opts.ProfileLedgerPath = V;
+    } else if (!std::strcmp(argv[I], "--match-adaptive")) {
+      Opts.MatchAdaptive = true;
     } else if (!std::strcmp(argv[I], "--show-nops")) {
       ShowNops = true;
     } else if (!std::strcmp(argv[I], "--no-verify")) {
@@ -153,7 +165,8 @@ int main(int argc, char **argv) {
                  "[--binary-search] "
                  "[--portfolio] [--threads N] [--incremental] "
                  "[--match-budget N] [--match-phases] [--match-threads N] "
-                 "[--match-eager-rebuild] [--show-nops] "
+                 "[--match-eager-rebuild] [--profile-ledger=FILE] "
+                 "[--match-adaptive] [--show-nops] "
                  "[--no-verify] [--stats] [--dump-cnf DIR] "
                  "[--explain-out=FILE] [--egraph-dot=FILE] "
                  "[--egraph-json=FILE] [--why-unsat] "
@@ -257,6 +270,17 @@ int main(int argc, char **argv) {
   writeText(ExplainOut, ExplainJson, "explanation");
   writeText(EGraphDotOut, EGraphDot, "e-graph DOT");
   writeText(EGraphJsonOut, EGraphJson, "e-graph JSON");
+  if (!Opts.ProfileLedgerPath.empty()) {
+    std::string LedgerErr;
+    if (!Opt.saveProfileLedger(&LedgerErr)) {
+      std::fprintf(stderr, "cannot write profile ledger: %s\n",
+                   LedgerErr.c_str());
+      AllOk = false;
+    } else {
+      std::fprintf(stderr, "profile ledger written to %s\n",
+                   Opts.ProfileLedgerPath.c_str());
+    }
+  }
   if (Opts.Obs.Enabled) {
     if (!obs::exportConfigured())
       AllOk = false;

@@ -11,6 +11,8 @@
 #include "support/StringExtras.h"
 #include "support/Timer.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <random>
 
 using namespace denali;
@@ -34,6 +36,49 @@ Superoptimizer::Superoptimizer(Options O)
   }
   if (O.Obs.Enabled)
     obs::configure(O.Obs);
+  if (!Opts.ProfileLedgerPath.empty()) {
+    std::string Err;
+    if (!Ledger.load(Opts.ProfileLedgerPath, &Err))
+      // A corrupt ledger costs only scheduling history; start cold rather
+      // than failing the whole pipeline over an observability artifact.
+      std::fprintf(stderr, "denali: profile ledger '%s': %s (starting cold)\n",
+                   Opts.ProfileLedgerPath.c_str(), Err.c_str());
+  }
+}
+
+std::string denali::driver::matchOptionsFingerprint(const Options &Opts) {
+  const match::MatchLimits &M = Opts.Matching;
+  std::string F = strFormat(
+      "model=%d;guard=%d;prov=%d;rounds=%u;nodes=%zu;inst=%zu;budget=%llu;"
+      "phased=%d;eager=%d;seen=%zu;adapt=%d;disp=%lld;lat=%d",
+      static_cast<int>(Opts.Model), Opts.EnforceGuard ? 1 : 0,
+      Opts.Explain ? 1 : 0, M.MaxRounds, M.MaxNodes, M.MaxInstancesPerRound,
+      (unsigned long long)M.MatchBudget, M.Phased ? 1 : 0,
+      M.EagerRebuild ? 1 : 0, M.SeenCap, Opts.MatchAdaptive ? 1 : 0,
+      (long long)Opts.Universe.MaxDisp, Opts.Universe.TestLatencyDelta);
+  // Global latency injections (a test-only knob, but soundness first):
+  // include them sorted so the fingerprint is deterministic.
+  if (!Opts.Universe.LoadLatencyByAddr.empty()) {
+    std::vector<std::pair<egraph::ClassId, unsigned>> L(
+        Opts.Universe.LoadLatencyByAddr.begin(),
+        Opts.Universe.LoadLatencyByAddr.end());
+    std::sort(L.begin(), L.end());
+    for (auto &[C, Lat] : L)
+      F += strFormat(";miss%u=%u", C, Lat);
+  }
+  return F;
+}
+
+std::string denali::driver::profileLedgerKey(const Options &Opts) {
+  Options Masked = Opts;
+  Masked.MatchAdaptive = false;
+  return matchOptionsFingerprint(Masked);
+}
+
+bool Superoptimizer::saveProfileLedger(std::string *ErrorOut) const {
+  if (Opts.ProfileLedgerPath.empty())
+    return true;
+  return Ledger.save(Opts.ProfileLedgerPath, ErrorOut);
 }
 
 bool Superoptimizer::addAxiomsText(const std::string &Text,
@@ -92,8 +137,25 @@ SaturatedGma Superoptimizer::saturateGMA(const gma::GMA &G) const {
   match::Matcher M(Axioms);
   for (match::Elaborator &E : match::standardElaborators())
     M.addElaborator(std::move(E));
-  S.Matching = M.saturate(*Graph, Opts.Matching);
+  // Profiling loop: adaptive saturation reads the ledger's history for
+  // this options fingerprint, and every profiled run records back into
+  // it — so a persistent ledger aggregates across processes and a
+  // long-lived server warms its own scheduling request over request.
+  match::MatchLimits ML = Opts.Matching;
+  const bool ProfileRuns =
+      Opts.MatchAdaptive || !Opts.ProfileLedgerPath.empty();
+  std::string LedgerKey;
+  if (ProfileRuns)
+    LedgerKey = profileLedgerKey(Opts);
+  if (Opts.MatchAdaptive) {
+    ML.Adaptive = true;
+    ML.Ledger = &Ledger;
+    ML.LedgerKey = LedgerKey;
+  }
+  S.Matching = M.saturate(*Graph, ML);
   S.MatchSeconds = T.seconds();
+  if (ProfileRuns)
+    match::recordMatchProfile(Ledger, LedgerKey, Axioms, S.Matching);
   obs::logf(2, "gma %s: saturation %u rounds, %zu nodes / %zu classes "
                "(%.3fs)",
             G.Name.c_str(), S.Matching.Rounds, S.Matching.FinalNodes,

@@ -74,7 +74,36 @@ struct Options {
   /// library user's own obs::configure() call survives embedded
   /// Superoptimizer instances.
   obs::ObsConfig Obs;
+  /// Saturation-profile ledger path (`--profile-ledger`): the constructor
+  /// merges the file into the in-memory ledger, every saturation records
+  /// its per-axiom attribution, and saveProfileLedger() writes the
+  /// aggregate back. Empty = no persistence; the in-memory ledger still
+  /// accumulates when MatchAdaptive is on, so a long-lived server warms
+  /// its own scheduling within the process.
+  std::string ProfileLedgerPath;
+  /// History-driven saturation scheduling (`--match-adaptive`): seed
+  /// per-axiom budgets and phase assignment from the ledger rows recorded
+  /// under profileLedgerKey() instead of uniform budgets + blind doubling.
+  /// Without matching history this is exactly the default scheduler. Any
+  /// run that reaches quiescence reaches the identical closure (held-back
+  /// work re-enters via the sit-out/phase machinery); a rounds-bounded
+  /// run may stop at a different — equally valid — frontier, exactly as
+  /// changing MatchBudget would.
+  bool MatchAdaptive = false;
 };
+
+/// Fingerprint of every driver option that influences saturation and the
+/// resulting SaturatedGma (machine model, match limits, universe knobs,
+/// guard enforcement, provenance mode). The compile server's cache keys
+/// (server::matchFingerprint) delegate here; the ledger's graph keys are
+/// derived from it. MatchLimits::Threads is deliberately excluded — the
+/// parallel matcher is bit-identical for any thread count.
+std::string matchOptionsFingerprint(const Options &Opts);
+
+/// The profile ledger's graph key for \p Opts: matchOptionsFingerprint
+/// with the adaptive bit masked out, so the cold profiling runs that
+/// build a ledger and the adaptive runs it later warms share one row set.
+std::string profileLedgerKey(const Options &Opts);
 
 /// The result of compiling one GMA.
 struct GmaResult {
@@ -190,12 +219,23 @@ public:
   /// The evaluator definitions harvested from definitional axioms.
   const ir::Definitions &definitions() const { return Defs; }
 
+  /// The in-memory saturation-profile ledger (thread-safe; see
+  /// Options::ProfileLedgerPath). Const access pattern mirrors the
+  /// compile paths: recording during const compiles is an observability
+  /// side effect, not pipeline state.
+  obs::ProfileLedger &profileLedger() const { return Ledger; }
+
+  /// Writes the ledger back to Options::ProfileLedgerPath. \returns true
+  /// when the path is empty (nothing to persist) or the write succeeded.
+  bool saveProfileLedger(std::string *ErrorOut = nullptr) const;
+
 private:
   Options Opts;
   ir::Context Ctx;
   std::unique_ptr<machine::MachineModel> Model;
   std::vector<match::Axiom> Axioms;
   ir::Definitions Defs;
+  mutable obs::ProfileLedger Ledger;
 };
 
 } // namespace driver

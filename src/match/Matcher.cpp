@@ -6,6 +6,7 @@
 #include "obs/Obs.h"
 #include "support/Error.h"
 #include "support/FunctionRef.h"
+#include "support/StringExtras.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -145,6 +146,7 @@ struct WorkItem {
   std::vector<std::pair<uint64_t, std::vector<ClassId>>>
       Matches;                ///< (raw index, canonical bindings) survivors.
   bool Capped = false;        ///< Enumeration stopped at a cap.
+  uint64_t Ns = 0;            ///< Wall time enumerating this item.
 };
 
 /// Root-slice granularity. Chunking is by this fixed size — never by the
@@ -168,6 +170,15 @@ size_t patternAppCount(const Axiom &A, PatternId Root) {
     Stack.insert(Stack.end(), N.Children.begin(), N.Children.end());
   }
   return Count;
+}
+
+/// The next power of two >= \p V (for adaptive budget seeding: budgets
+/// stay on the same doubling ladder the blind backoff walks).
+uint64_t roundUpPow2(uint64_t V) {
+  uint64_t P = 1;
+  while (P < V && P < (1ull << 62))
+    P <<= 1;
+  return P;
 }
 
 } // namespace
@@ -291,7 +302,78 @@ MatchStats Matcher::saturate(EGraph &G, const MatchLimits &Limits) {
       MaxPhase = std::max(MaxPhase, Phase[I]);
     }
 
+  // Per-axiom attribution rows (the saturation profiler's raw output).
+  const bool ProfileOn = Limits.Profile;
+  if (ProfileOn)
+    Stats.PerAxiom.assign(NumAxioms, obs::AxiomProfile());
+
+  // Adaptive scheduling (--match-adaptive): replace "uniform budget +
+  // blind doubling" with history. Two moves, both pure schedule changes
+  // that re-enter held-back work through the existing backoff /
+  // phase-advance machinery (so quiescent closure is unchanged):
+  //   * Demote axioms whose recorded runs never changed the graph behind
+  //     every scheduled phase; their enumeration cost is paid only after
+  //     the productive set quiesces.
+  //   * Seed each productive axiom's budget at its historical per-run raw
+  //     demand (next power of two — the backoff ladder), so early rounds
+  //     stop burning truncated enumerations and sit-outs discovering it.
+  //     Seeding needs an active budget scheduler (MatchBudget > 0);
+  //     yield-per-microsecond ordering gives the top half 2x headroom.
+  bool PhasedRun = Limits.Phased;
+  if (Limits.Adaptive && Limits.Ledger) {
+    const unsigned DemotePhase = MaxPhase + 1;
+    struct Hist {
+      size_t Idx;
+      obs::AxiomProfile P;
+    };
+    std::vector<Hist> Productive;
+    bool AnyDemoted = false;
+    for (size_t I = 0; I < NumAxioms; ++I) {
+      if (Axioms[I].VarNames.empty())
+        continue; // Ground facts are exempt from scheduling.
+      obs::AxiomProfile P;
+      if (!Limits.Ledger->lookup(Limits.LedgerKey,
+                                 axiomLedgerId(Axioms[I], I), P) ||
+          P.Runs == 0)
+        continue; // No history: PR 6 defaults for this axiom.
+      if (P.Instances == 0 && P.Merges == 0) {
+        Phase[I] = DemotePhase;
+        AnyDemoted = true;
+        ++Stats.AdaptiveDemoted;
+      } else if (Limits.MatchBudget) {
+        Productive.push_back(Hist{I, P});
+      }
+    }
+    if (AnyDemoted) {
+      PhasedRun = true;
+      MaxPhase = std::max(MaxPhase, DemotePhase);
+    }
+    if (!Productive.empty()) {
+      std::sort(Productive.begin(), Productive.end(),
+                [](const Hist &A, const Hist &B) {
+                  double Ya = A.P.yieldPerUs(), Yb = B.P.yieldPerUs();
+                  if (Ya != Yb)
+                    return Ya > Yb;
+                  return A.Idx < B.Idx;
+                });
+      for (size_t R = 0; R < Productive.size(); ++R) {
+        const Hist &H = Productive[R];
+        uint64_t PerRun = H.P.Raw / H.P.Runs + 1;
+        uint64_t Seeded =
+            roundUpPow2(std::max(PerRun, Limits.MatchBudget));
+        if (R * 2 < Productive.size())
+          Seeded *= 2;
+        BudgetNow[H.Idx] = std::max(BudgetNow[H.Idx], Seeded);
+        ++Stats.AdaptiveSeeded;
+      }
+    }
+  }
+
   std::unique_ptr<support::ThreadPool> Pool;
+  // Per-worker busy-time slots (match.sched.par.*): each slot is written
+  // only by the pool worker that owns it and read only after the round's
+  // futures have joined — TSan-clean by construction.
+  std::vector<uint64_t> WorkerBusyNs;
 
   for (unsigned Round = 0; Round < Limits.MaxRounds; ++Round) {
     ++Stats.Rounds;
@@ -319,7 +401,7 @@ MatchStats Matcher::saturate(EGraph &G, const MatchLimits &Limits) {
     for (size_t I = 0; I < NumAxioms; ++I) {
       if (Axioms[I].VarNames.empty())
         continue; // Ground facts are exempt from scheduling.
-      if (Limits.Phased && Phase[I] > CurrentPhase) {
+      if (PhasedRun && Phase[I] > CurrentPhase) {
         Active[I] = 0;
         continue;
       }
@@ -328,6 +410,8 @@ MatchStats Matcher::saturate(EGraph &G, const MatchLimits &Limits) {
         SitOut[I] = 0;
         Active[I] = 0;
         ++Stats.BudgetSkips;
+        if (ProfileOn)
+          ++Stats.PerAxiom[I].Skips;
         SchedHeldBack = true;
       }
     }
@@ -367,6 +451,7 @@ MatchStats Matcher::saturate(EGraph &G, const MatchLimits &Limits) {
     // move into the shared item once at the end so concurrent workers
     // never write interleaved cache lines while the loop is hot.
     auto RunItem = [&](WorkItem &It) {
+      const int64_t T0 = ProfileOn ? obs::nowNs() : 0;
       const Axiom &A = Axioms[It.AxiomIdx];
       const std::vector<ENodeId> &Roots =
           G.nodesWithOp(A.pattern(It.Trigger).Op);
@@ -401,6 +486,14 @@ MatchStats Matcher::saturate(EGraph &G, const MatchLimits &Limits) {
       It.SeenHits = SeenHits;
       It.Capped = Capped;
       It.Matches = std::move(Matches);
+      if (ProfileOn) {
+        It.Ns = static_cast<uint64_t>(obs::nowNs() - T0);
+        // Attribute the item's wall time to the worker that ran it (slot
+        // -1 = inline on the caller; only pool workers have slots).
+        int W = support::ThreadPool::currentWorkerId();
+        if (W >= 0 && static_cast<size_t>(W) < WorkerBusyNs.size())
+          WorkerBusyNs[static_cast<size_t>(W)] += It.Ns;
+      }
     };
 
     // Match generation: read-only against graph and dedup sets, so items
@@ -409,8 +502,14 @@ MatchStats Matcher::saturate(EGraph &G, const MatchLimits &Limits) {
     // single-threaded.
     if (Limits.Threads > 1 && Items.size() > 1) {
       G.compressPaths();
-      if (!Pool)
+      if (!Pool) {
         Pool = std::make_unique<support::ThreadPool>(Limits.Threads);
+        WorkerBusyNs.assign(Pool->numThreads(), 0);
+      }
+      ++Stats.ParRounds;
+      Stats.ParItems += Items.size();
+      for (const WorkItem &It : Items)
+        Stats.ParChunkRoots += It.End - It.Begin;
       std::vector<std::future<void>> Futures;
       Futures.reserve(Items.size());
       for (WorkItem &It : Items)
@@ -429,6 +528,8 @@ MatchStats Matcher::saturate(EGraph &G, const MatchLimits &Limits) {
       std::vector<ClassId> Bindings;
     };
     std::vector<PendingInstance> Pending;
+    uint64_t TopRaw = 0; // This round's busiest axiom, for the round span.
+    uint32_t TopAIdx = 0;
     for (uint32_t AIdx = 0; AIdx < NumAxioms; ++AIdx) {
       const Axiom &A = Axioms[AIdx];
       if (A.VarNames.empty()) {
@@ -448,8 +549,16 @@ MatchStats Matcher::saturate(EGraph &G, const MatchLimits &Limits) {
         Stats.InstancesDeduped += Items[I].Deduped;
         Stats.SeenHits += Items[I].SeenHits;
         Truncated |= Items[I].Capped;
+        if (ProfileOn)
+          Stats.PerAxiom[AIdx].MatchNs += Items[I].Ns;
       }
       Stats.MatchesFound += Raw;
+      if (ProfileOn)
+        Stats.PerAxiom[AIdx].Raw += Raw;
+      if (Raw > TopRaw) {
+        TopRaw = Raw;
+        TopAIdx = AIdx;
+      }
       uint64_t Budget = BudgetNow[AIdx];
       if (Budget && Raw > Budget)
         Truncated = true;
@@ -487,11 +596,31 @@ MatchStats Matcher::saturate(EGraph &G, const MatchLimits &Limits) {
         // Backoff: overflowed its budget — sit out next round, return
         // with double.
         ++Stats.BudgetOverflows;
+        if (ProfileOn)
+          ++Stats.PerAxiom[AIdx].Overflows;
         SitOut[AIdx] = 1;
         BudgetNow[AIdx] = Budget * 2;
       }
     }
 
+    // Per-axiom instantiate attribution is batched over the contiguous
+    // runs of one axiom's instances in Pending (the merge loop queues per
+    // axiom, in order), so the clock is read twice per axiom group, not
+    // twice per instance — that difference is most of the attribution
+    // overhead on instance-heavy rounds. Instantiation is
+    // single-threaded, so plain accumulation here is race-free. Merges
+    // counts direct unions; congruence repair is batched into the round
+    // rebuild and not attributable per axiom.
+    uint32_t GroupAIdx = UINT32_MAX;
+    int64_t GroupT0 = 0;
+    uint64_t GroupMerges0 = 0;
+    auto FlushGroup = [&](int64_t Now) {
+      if (GroupAIdx == UINT32_MAX)
+        return;
+      obs::AxiomProfile &AP = Stats.PerAxiom[GroupAIdx];
+      AP.InstantiateNs += static_cast<uint64_t>(Now - GroupT0);
+      AP.Merges += G.rebuildStats().Merges - GroupMerges0;
+    };
     size_t Instantiated = 0;
     for (; Instantiated < Pending.size(); ++Instantiated) {
       if (G.numNodes() >= Limits.MaxNodes)
@@ -500,10 +629,28 @@ MatchStats Matcher::saturate(EGraph &G, const MatchLimits &Limits) {
         break;
       PendingInstance &P = Pending[Instantiated];
       Done.insert(DoneKey{P.AxiomIdx, P.Bindings});
-      if (assertInstance(G, Axioms[P.AxiomIdx], P.AxiomIdx, Stats.Rounds,
-                         P.Bindings))
+      if (ProfileOn && P.AxiomIdx != GroupAIdx) {
+        const int64_t Now = obs::nowNs();
+        FlushGroup(Now);
+        GroupAIdx = P.AxiomIdx;
+        GroupT0 = Now;
+        GroupMerges0 = G.rebuildStats().Merges;
+      }
+      bool Changed = assertInstance(G, Axioms[P.AxiomIdx], P.AxiomIdx,
+                                    Stats.Rounds, P.Bindings);
+      if (Changed) {
         ++Stats.InstancesAsserted;
+        if (ProfileOn) {
+          obs::AxiomProfile &AP = Stats.PerAxiom[P.AxiomIdx];
+          ++AP.Instances;
+          if (!AP.FirstRound)
+            AP.FirstRound = Stats.Rounds;
+          AP.LastRound = Stats.Rounds;
+        }
+      }
     }
+    if (ProfileOn)
+      FlushGroup(obs::nowNs());
     // Instances cut off by the node cap were marked seen when queued;
     // un-mark them so a later saturate() of this matcher can retry them.
     for (size_t I = Instantiated; I < Pending.size(); ++I)
@@ -520,7 +667,7 @@ MatchStats Matcher::saturate(EGraph &G, const MatchLimits &Limits) {
       Seen.clear();
     }
 
-    if (RoundSpan.active())
+    if (RoundSpan.active()) {
       RoundSpan.arg("round", Stats.Rounds)
           .arg("matched", Stats.MatchesFound - RoundMatches)
           .arg("deduped", Stats.InstancesDeduped - RoundDeduped)
@@ -531,11 +678,17 @@ MatchStats Matcher::saturate(EGraph &G, const MatchLimits &Limits) {
           .arg("sched_skips", Stats.BudgetSkips - RoundSkips)
           .arg("enodes", static_cast<uint64_t>(G.numNodes()))
           .arg("eclasses", static_cast<uint64_t>(G.numClasses()));
+      if (TopRaw)
+        RoundSpan
+            .arg("top_axiom",
+                 axiomLedgerId(Axioms[TopAIdx], TopAIdx).c_str())
+            .arg("top_axiom_raw", TopRaw);
+    }
 
     if (G.version() == RoundStart) {
       if (SchedHeldBack)
         continue; // Budgets doubled / axioms return: more to enumerate.
-      if (Limits.Phased && CurrentPhase < MaxPhase) {
+      if (PhasedRun && CurrentPhase < MaxPhase) {
         ++CurrentPhase;
         ++Stats.PhaseAdvances;
         continue;
@@ -558,6 +711,8 @@ MatchStats Matcher::saturate(EGraph &G, const MatchLimits &Limits) {
 
   Stats.FinalNodes = G.numNodes();
   Stats.FinalClasses = G.numClasses();
+  for (uint64_t Busy : WorkerBusyNs)
+    Stats.ParBusyNs += Busy;
   if (obs::enabled()) {
     if (SatSpan.active())
       SatSpan.arg("rounds", Stats.Rounds)
@@ -580,11 +735,63 @@ MatchStats Matcher::saturate(EGraph &G, const MatchLimits &Limits) {
     R.counter("match.sched.congruence_merges").add(Stats.CongruenceMerges);
     R.counter("match.sched.constant_folds").add(Stats.ConstantFolds);
     R.counter("match.sched.rebuilds").add(Stats.Rebuilds);
+    R.counter("match.sched.adaptive_seeded").add(Stats.AdaptiveSeeded);
+    R.counter("match.sched.adaptive_demoted").add(Stats.AdaptiveDemoted);
     R.gauge("match.enodes").noteMax(static_cast<int64_t>(Stats.FinalNodes));
     R.gauge("match.eclasses")
         .noteMax(static_cast<int64_t>(Stats.FinalClasses));
+    // Parallel match-loop accounting (satellite of the saturation
+    // profiler): how much work fanned out and how evenly it landed.
+    if (Stats.ParRounds) {
+      R.counter("match.sched.par.rounds").add(Stats.ParRounds);
+      R.counter("match.sched.par.items").add(Stats.ParItems);
+      R.counter("match.sched.par.chunk_roots").add(Stats.ParChunkRoots);
+      R.counter("match.sched.par.busy_us").add(Stats.ParBusyNs / 1000);
+      auto &ThreadBusy = R.histogram("match.sched.par.thread_busy_us");
+      for (uint64_t Busy : WorkerBusyNs)
+        if (Busy)
+          ThreadBusy.record(Busy / 1000);
+    }
+    // Per-axiom attribution rows, as a counter family keyed by ledger id.
+    // Only touched rows register, so the namespace holds the axioms that
+    // actually did something, not the whole rule set times seven.
+    if (ProfileOn)
+      for (size_t I = 0; I < NumAxioms; ++I) {
+        const obs::AxiomProfile &AP = Stats.PerAxiom[I];
+        if (!AP.Raw && !AP.Instances && !AP.InstantiateNs && !AP.Skips)
+          continue;
+        std::string Base = "match.axiom." + axiomLedgerId(Axioms[I], I);
+        auto Add = [&R, &Base](const char *Leaf, uint64_t V) {
+          if (V)
+            R.counter(Base + Leaf).add(V);
+        };
+        Add(".raw", AP.Raw);
+        Add(".instances", AP.Instances);
+        Add(".merges", AP.Merges);
+        Add(".match_us", AP.MatchNs / 1000);
+        Add(".inst_us", AP.InstantiateNs / 1000);
+        Add(".overflows", AP.Overflows);
+        Add(".skips", AP.Skips);
+      }
   }
   return Stats;
+}
+
+std::string Matcher::axiomLedgerId(const Axiom &A, size_t Idx) {
+  return strFormat("%s#%zu", A.Name.c_str(), Idx);
+}
+
+void denali::match::recordMatchProfile(obs::ProfileLedger &Ledger,
+                                       const std::string &GraphKey,
+                                       const std::vector<Axiom> &Axioms,
+                                       const MatchStats &Stats) {
+  for (size_t I = 0; I < Axioms.size() && I < Stats.PerAxiom.size(); ++I) {
+    if (Axioms[I].VarNames.empty())
+      continue; // Ground facts are exempt from scheduling — no history.
+    obs::AxiomProfile P = Stats.PerAxiom[I];
+    P.Runs = 1;
+    Ledger.record(GraphKey, Matcher::axiomLedgerId(Axioms[I], I), P);
+  }
 }
 
 std::vector<Elaborator> denali::match::standardElaborators() {

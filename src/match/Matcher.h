@@ -34,6 +34,7 @@
 
 #include "egraph/EGraph.h"
 #include "match/Axiom.h"
+#include "obs/ProfileLedger.h"
 
 #include <functional>
 #include <string>
@@ -65,6 +66,24 @@ struct MatchLimits {
   /// Entry cap of the persistent (axiom, substitution) seen-set; the set
   /// is flushed (counted as evictions) when it grows past this.
   size_t SeenCap = 1u << 20;
+  /// Per-axiom attribution (MatchStats::PerAxiom + match.axiom.* counters).
+  /// Always on in production; the only reason to turn it off is the
+  /// bench_egraph_scale overhead A/B (E20), which measures what the
+  /// timing calls cost. Never changes matching behavior.
+  bool Profile = true;
+  /// History-driven scheduling (`--match-adaptive`): seed per-axiom
+  /// budgets and phase assignment from Ledger's rows under LedgerKey
+  /// instead of uniform budgets + blind doubling. Axioms without history
+  /// keep the PR 6 defaults; a null/empty ledger is exactly PR 6
+  /// behavior. Scheduling may reorder work, never change the saturated
+  /// graph: held-back work re-enters through the same backoff /
+  /// phase-advance machinery, so a run to quiescence reaches the
+  /// identical closure whatever the ledger says.
+  bool Adaptive = false;
+  const obs::ProfileLedger *Ledger = nullptr;
+  /// The ledger's graph key for this workload (the driver passes
+  /// driver::profileLedgerKey()).
+  std::string LedgerKey;
 };
 
 /// Statistics of one saturation run.
@@ -87,6 +106,19 @@ struct MatchStats {
   uint64_t CongruenceMerges = 0;
   uint64_t ConstantFolds = 0;
   uint64_t Rebuilds = 0;
+  // Adaptive scheduling decisions (--match-adaptive; 0 when off).
+  uint64_t AdaptiveSeeded = 0;  ///< Axioms whose budget came from history.
+  uint64_t AdaptiveDemoted = 0; ///< Never-productive axioms demoted.
+  // Parallel match-loop accounting (match.sched.par.*; 0 single-threaded).
+  uint64_t ParRounds = 0;     ///< Rounds that fanned out on the pool.
+  uint64_t ParItems = 0;      ///< Work items executed on the pool.
+  uint64_t ParChunkRoots = 0; ///< Root nodes covered by those items.
+  uint64_t ParBusyNs = 0;     ///< Summed worker busy time.
+  /// Per-axiom attribution, indexed like Matcher::axioms() (empty when
+  /// MatchLimits::Profile is off). Raw / Instances / Merges / Overflows /
+  /// Skips / First-LastRound are deterministic for a fixed workload and
+  /// thread-count-independent; the *Ns fields are wall time.
+  std::vector<obs::AxiomProfile> PerAxiom;
 };
 
 /// An elaboration hook run once per round before matching; used for
@@ -113,6 +145,13 @@ public:
   /// applications larger than the other — the shape of decompositions
   /// like k*x -> shifts/adds that blow the graph up).
   static unsigned axiomPhase(const Axiom &A);
+
+  /// The ledger/metrics identity of axiom \p Idx: "<name>#<index>".
+  /// Axiom::Name alone is positional within its source text, so the math
+  /// and alpha builtin sets can collide on name; the index pins the id
+  /// within a fixed axiom set (builtins first, program axioms appended in
+  /// program order — stable across runs of the same workload).
+  static std::string axiomLedgerId(const Axiom &A, size_t Idx);
 
 private:
   std::vector<Axiom> Axioms;
@@ -157,6 +196,16 @@ private:
 /// and byte-regular masks (enables zapnot), plus the base+offset
 /// disequality oracle for memory indices.
 std::vector<Elaborator> standardElaborators();
+
+/// Records one saturation run's per-axiom attribution into \p Ledger under
+/// \p GraphKey: one row (Runs=1) per non-ground axiom — all-zero rows
+/// included, so "matched nothing across N runs" is itself history the
+/// adaptive scheduler can demote on. No-op when the run was made with
+/// MatchLimits::Profile off.
+void recordMatchProfile(obs::ProfileLedger &Ledger,
+                        const std::string &GraphKey,
+                        const std::vector<Axiom> &Axioms,
+                        const MatchStats &Stats);
 
 } // namespace match
 } // namespace denali

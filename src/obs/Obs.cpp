@@ -166,8 +166,10 @@ WindowedHistogram::Slot &WindowedHistogram::slotFor(int64_t Now) {
   return S;
 }
 
-void WindowedHistogram::record(uint64_t Sample) {
-  Slot &S = slotFor(nowNs());
+void WindowedHistogram::record(uint64_t Sample) { recordAt(nowNs(), Sample); }
+
+void WindowedHistogram::recordAt(int64_t Now, uint64_t Sample) {
+  Slot &S = slotFor(Now);
   S.N.fetch_add(1, std::memory_order_relaxed);
   S.Sum.fetch_add(Sample, std::memory_order_relaxed);
   uint64_t Cur = S.Min.load(std::memory_order_relaxed);
@@ -182,9 +184,13 @@ void WindowedHistogram::record(uint64_t Sample) {
 }
 
 WindowedHistogram::Snapshot WindowedHistogram::snapshot() const {
+  return snapshotAt(nowNs());
+}
+
+WindowedHistogram::Snapshot WindowedHistogram::snapshotAt(int64_t Now) const {
   Snapshot Out;
   Out.WindowNs = WindowNsVal;
-  const int64_t CurE = nowNs() / SlotNs;
+  const int64_t CurE = Now / SlotNs;
   const int64_t MinE = CurE - (NumSlots - 2);
   uint64_t Min = ~0ull;
   for (const Slot &S : Slots) {
@@ -285,6 +291,22 @@ uint64_t Registry::counterValue(const std::string &Name) const {
   std::lock_guard<std::mutex> Lock(I.Mutex);
   auto It = I.Counters.find(Name);
   return It == I.Counters.end() ? 0 : It->second->get();
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+Registry::countersWithPrefix(const std::string &Prefix) const {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mutex);
+  std::vector<std::pair<std::string, uint64_t>> Out;
+  // std::map iterates in name order, so the result is already sorted; the
+  // prefix range ends at the first key that no longer starts with Prefix.
+  for (auto It = I.Counters.lower_bound(Prefix); It != I.Counters.end();
+       ++It) {
+    if (It->first.compare(0, Prefix.size(), Prefix) != 0)
+      break;
+    Out.emplace_back(It->first, It->second->get());
+  }
+  return Out;
 }
 
 namespace {

@@ -198,6 +198,12 @@ public:
 
   void record(uint64_t Sample);
   Snapshot snapshot() const;
+  /// Deterministic-time seams: record()/snapshot() delegate here with
+  /// nowNs(). Tests drive rotation edge cases (idle gaps longer than the
+  /// whole ring, snapshot racing a rotation) with explicit timestamps
+  /// instead of real sleeps. \p NowNs is on the nowNs() clock.
+  void recordAt(int64_t NowNs, uint64_t Sample);
+  Snapshot snapshotAt(int64_t NowNs) const;
   int64_t windowNs() const { return WindowNsVal; }
   void reset();
 
@@ -234,6 +240,13 @@ public:
   /// The counter's current value, or 0 when it was never registered
   /// (lookup without registering — for tests and reports).
   uint64_t counterValue(const std::string &Name) const;
+
+  /// Every registered counter whose name starts with \p Prefix, with its
+  /// current value, sorted by name. For prefix families like
+  /// `match.axiom.<id>.*` where the member names are data-dependent (the
+  /// server's top-axiom self-time table enumerates them this way).
+  std::vector<std::pair<std::string, uint64_t>>
+  countersWithPrefix(const std::string &Prefix) const;
 
   /// The plain-text metrics summary: one line per metric. Enumeration order
   /// is deterministic — sorted by name within each kind, kinds in the fixed

@@ -1,0 +1,228 @@
+//===- obs/ProfileLedger.cpp ----------------------------------------------===//
+
+#include "obs/ProfileLedger.h"
+
+#include "obs/Obs.h"
+#include "support/Json.h"
+#include "support/StringExtras.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace denali;
+using namespace denali::obs;
+namespace json = support::json;
+
+namespace {
+
+/// Merges \p P into \p Row: totals add, Runs add, FirstRound is the
+/// smallest nonzero, LastRound the largest.
+void mergeInto(AxiomProfile &Row, const AxiomProfile &P) {
+  Row.Raw += P.Raw;
+  Row.Instances += P.Instances;
+  Row.Merges += P.Merges;
+  Row.MatchNs += P.MatchNs;
+  Row.InstantiateNs += P.InstantiateNs;
+  Row.Overflows += P.Overflows;
+  Row.Skips += P.Skips;
+  if (P.FirstRound &&
+      (Row.FirstRound == 0 || P.FirstRound < Row.FirstRound))
+    Row.FirstRound = P.FirstRound;
+  Row.LastRound = std::max(Row.LastRound, P.LastRound);
+  Row.Runs += P.Runs;
+}
+
+void halve(AxiomProfile &Row) {
+  Row.Raw /= 2;
+  Row.Instances /= 2;
+  Row.Merges /= 2;
+  Row.MatchNs /= 2;
+  Row.InstantiateNs /= 2;
+  Row.Overflows /= 2;
+  Row.Skips /= 2;
+  Row.Runs /= 2;
+  // First/LastRound are positions, not totals — they survive decay.
+}
+
+uint64_t fieldU64(const json::Value &Obj, const char *Name) {
+  const json::Value *F = Obj.field(Name);
+  return F && F->isNumber() && F->numberValue() > 0
+             ? static_cast<uint64_t>(F->numberValue())
+             : 0;
+}
+
+} // namespace
+
+bool ProfileLedger::load(const std::string &Path, std::string *Err) {
+  std::ifstream In(Path);
+  if (!In.is_open())
+    return true; // Cold start: nothing to merge.
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  return loadText(Buf.str(), Err);
+}
+
+bool ProfileLedger::loadText(const std::string &Text, std::string *Err) {
+  size_t LineNo = 0;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t End = Text.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Text.size();
+    std::string Line = Text.substr(Pos, End - Pos);
+    Pos = End + 1;
+    ++LineNo;
+    if (Line.find_first_not_of(" \t\r") == std::string::npos)
+      continue;
+    std::string JsonErr;
+    std::unique_ptr<json::Value> V = json::parse(Line, &JsonErr);
+    if (!V || !V->isObject()) {
+      if (Err)
+        *Err = strFormat("ledger line %zu: %s",
+                         LineNo, JsonErr.empty() ? "not an object"
+                                                 : JsonErr.c_str());
+      return false;
+    }
+    const json::Value *Key = V->field("key");
+    const json::Value *Ax = V->field("axiom");
+    if (!Key || !Key->isString() || !Ax || !Ax->isString()) {
+      if (Err)
+        *Err = strFormat("ledger line %zu: missing key/axiom", LineNo);
+      return false;
+    }
+    AxiomProfile P;
+    P.Raw = fieldU64(*V, "raw");
+    P.Instances = fieldU64(*V, "inst");
+    P.Merges = fieldU64(*V, "merges");
+    P.MatchNs = fieldU64(*V, "match_ns");
+    P.InstantiateNs = fieldU64(*V, "inst_ns");
+    P.Overflows = fieldU64(*V, "overflows");
+    P.Skips = fieldU64(*V, "skips");
+    P.FirstRound = static_cast<unsigned>(fieldU64(*V, "first_round"));
+    P.LastRound = static_cast<unsigned>(fieldU64(*V, "last_round"));
+    P.Runs = fieldU64(*V, "runs");
+    if (!P.Runs)
+      P.Runs = 1;
+    std::lock_guard<std::mutex> Lock(Mu);
+    mergeInto(Rows[Key->stringValue()][Ax->stringValue()], P);
+  }
+  return true;
+}
+
+bool ProfileLedger::save(const std::string &Path, std::string *Err) const {
+  std::string Text = toJsonl();
+  std::FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out) {
+    if (Err)
+      *Err = strFormat("cannot write '%s'", Path.c_str());
+    return false;
+  }
+  std::fwrite(Text.data(), 1, Text.size(), Out);
+  std::fclose(Out);
+  return true;
+}
+
+void ProfileLedger::record(const std::string &GraphKey,
+                           const std::string &AxiomId,
+                           const AxiomProfile &P) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  AxiomProfile &Row = Rows[GraphKey][AxiomId];
+  if (Row.Runs >= DecayThreshold)
+    halve(Row);
+  mergeInto(Row, P);
+}
+
+bool ProfileLedger::lookup(const std::string &GraphKey,
+                           const std::string &AxiomId,
+                           AxiomProfile &Out) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto KeyIt = Rows.find(GraphKey);
+  if (KeyIt == Rows.end())
+    return false;
+  auto AxIt = KeyIt->second.find(AxiomId);
+  if (AxIt == KeyIt->second.end())
+    return false;
+  Out = AxIt->second;
+  return true;
+}
+
+void ProfileLedger::decay(double Factor) {
+  if (Factor < 0)
+    Factor = 0;
+  if (Factor >= 1)
+    return;
+  auto Scale = [Factor](uint64_t V) {
+    return static_cast<uint64_t>(static_cast<double>(V) * Factor);
+  };
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (auto KeyIt = Rows.begin(); KeyIt != Rows.end();) {
+    for (auto AxIt = KeyIt->second.begin(); AxIt != KeyIt->second.end();) {
+      AxiomProfile &Row = AxIt->second;
+      Row.Raw = Scale(Row.Raw);
+      Row.Instances = Scale(Row.Instances);
+      Row.Merges = Scale(Row.Merges);
+      Row.MatchNs = Scale(Row.MatchNs);
+      Row.InstantiateNs = Scale(Row.InstantiateNs);
+      Row.Overflows = Scale(Row.Overflows);
+      Row.Skips = Scale(Row.Skips);
+      Row.Runs = Scale(Row.Runs);
+      if (Row.Runs == 0)
+        AxIt = KeyIt->second.erase(AxIt);
+      else
+        ++AxIt;
+    }
+    if (KeyIt->second.empty())
+      KeyIt = Rows.erase(KeyIt);
+    else
+      ++KeyIt;
+  }
+}
+
+size_t ProfileLedger::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  size_t N = 0;
+  for (const auto &[Key, Axioms] : Rows)
+    N += Axioms.size();
+  return N;
+}
+
+std::vector<std::tuple<std::string, std::string, AxiomProfile>>
+ProfileLedger::rows() const {
+  std::vector<std::tuple<std::string, std::string, AxiomProfile>> Out;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    for (const auto &[Key, Axioms] : Rows)
+      for (const auto &[Id, P] : Axioms)
+        Out.emplace_back(Key, Id, P);
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const auto &A, const auto &B) {
+              if (std::get<0>(A) != std::get<0>(B))
+                return std::get<0>(A) < std::get<0>(B);
+              return std::get<1>(A) < std::get<1>(B);
+            });
+  return Out;
+}
+
+std::string ProfileLedger::toJsonl() const {
+  std::string Out;
+  for (const auto &[Key, Id, P] : rows()) {
+    Out += strFormat(
+        "{\"key\":\"%s\",\"axiom\":\"%s\",\"raw\":%llu,\"inst\":%llu,"
+        "\"merges\":%llu,\"match_ns\":%llu,\"inst_ns\":%llu,"
+        "\"overflows\":%llu,\"skips\":%llu,\"first_round\":%u,"
+        "\"last_round\":%u,\"runs\":%llu}\n",
+        jsonEscape(Key).c_str(), jsonEscape(Id).c_str(),
+        static_cast<unsigned long long>(P.Raw),
+        static_cast<unsigned long long>(P.Instances),
+        static_cast<unsigned long long>(P.Merges),
+        static_cast<unsigned long long>(P.MatchNs),
+        static_cast<unsigned long long>(P.InstantiateNs),
+        static_cast<unsigned long long>(P.Overflows),
+        static_cast<unsigned long long>(P.Skips), P.FirstRound, P.LastRound,
+        static_cast<unsigned long long>(P.Runs));
+  }
+  return Out;
+}

@@ -1,0 +1,127 @@
+//===- obs/ProfileLedger.h - Persistent saturation profiles -----*- C++ -*-===//
+///
+/// \file
+/// A persistent per-axiom saturation profile: for each (graph-options
+/// fingerprint, axiom id) pair, the accumulated cost (time matching and
+/// instantiating, budget overflows/skips) and yield (raw matches, asserted
+/// instances, merges caused) observed across saturation runs. The matcher
+/// records one row per axiom per saturate() call; `--match-adaptive` reads
+/// the rows back to seed per-axiom budgets and phase assignments instead of
+/// uniform budgets + blind doubling (DESIGN.md §6).
+///
+/// Keys are opaque strings so this layer stays below the driver: the graph
+/// key is `driver::profileLedgerKey()` (the match-options fingerprint with
+/// the adaptive bit masked out, so profiling runs and adaptive runs share
+/// history), and the axiom id is `match::axiomLedgerId()`
+/// ("<name>#<index>" — the index disambiguates axioms whose positional
+/// names collide across source texts).
+///
+/// Persistence is JSONL — one self-contained object per line — because the
+/// ledger is append-merged across processes: load() *merges* the file into
+/// memory (never replaces), so `denali --profile-ledger p.jsonl` run N
+/// times aggregates N runs' worth of history. Entries decay exponentially
+/// once enough runs accumulate (halve-at-threshold), so stale behavior ages
+/// out instead of dominating the averages forever.
+///
+/// Thread-safe: the compile server records from its worker pool while
+/// adaptive saturations read. Lookups return by value for that reason —
+/// no references into the map escape the lock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DENALI_OBS_PROFILELEDGER_H
+#define DENALI_OBS_PROFILELEDGER_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+namespace denali {
+namespace obs {
+
+/// One axiom's accumulated profile under one graph key. All totals are
+/// sums over `Runs` saturation runs (averages are total/Runs).
+struct AxiomProfile {
+  uint64_t Raw = 0;           ///< Raw matches enumerated (pre-dedup).
+  uint64_t Instances = 0;     ///< Asserted instances that changed the graph.
+  uint64_t Merges = 0;        ///< Direct union-find merges the asserts caused.
+  uint64_t MatchNs = 0;       ///< Time enumerating this axiom's matches.
+  uint64_t InstantiateNs = 0; ///< Time instantiating + asserting.
+  uint64_t Overflows = 0;     ///< Rounds truncated at the axiom's budget.
+  uint64_t Skips = 0;         ///< Rounds sat out by backoff.
+  /// 1-based round of the first/last graph-changing assert, minimized /
+  /// maximized across runs. 0 = never productive.
+  unsigned FirstRound = 0;
+  unsigned LastRound = 0;
+  uint64_t Runs = 0; ///< Saturation runs merged into this row.
+
+  /// The adaptive scheduler's ordering signal: instances yielded per
+  /// microsecond of total self-time. 0 when no time was recorded.
+  double yieldPerUs() const {
+    uint64_t Ns = MatchNs + InstantiateNs;
+    return Ns ? static_cast<double>(Instances) * 1000.0 /
+                    static_cast<double>(Ns)
+              : 0.0;
+  }
+};
+
+class ProfileLedger {
+public:
+  /// Merges the JSONL file at \p Path into memory (totals add, Runs add,
+  /// FirstRound min-nonzero / LastRound max). A missing file is success
+  /// with no effect — the first run of a workflow starts cold. \returns
+  /// false with \p Err set only on a malformed line.
+  bool load(const std::string &Path, std::string *Err = nullptr);
+
+  /// Same merge semantics, from an in-memory JSONL string (tests, tools).
+  bool loadText(const std::string &Text, std::string *Err = nullptr);
+
+  /// Writes the full ledger to \p Path as JSONL (rows sorted by key then
+  /// axiom id, so two saves of the same state diff cleanly).
+  bool save(const std::string &Path, std::string *Err = nullptr) const;
+
+  /// Accumulates \p P into the (GraphKey, AxiomId) row. \p P.Runs should
+  /// be the number of runs it represents (1 for a fresh saturate).
+  /// Once a row's Runs reaches DecayThreshold the row is halved before the
+  /// add — exponential forgetting, so the aggregate tracks recent behavior
+  /// and the totals stay bounded.
+  void record(const std::string &GraphKey, const std::string &AxiomId,
+              const AxiomProfile &P);
+
+  /// Copies the (GraphKey, AxiomId) row into \p Out. \returns false (Out
+  /// untouched) when the row does not exist.
+  bool lookup(const std::string &GraphKey, const std::string &AxiomId,
+              AxiomProfile &Out) const;
+
+  /// Scales every row's totals (and Runs) by \p Factor in [0,1), rounding
+  /// down; rows whose Runs reach 0 are dropped. Explicit aging for tools.
+  void decay(double Factor);
+
+  /// Number of (key, axiom) rows.
+  size_t size() const;
+
+  /// All rows as (GraphKey, AxiomId, profile), sorted by key then id.
+  std::vector<std::tuple<std::string, std::string, AxiomProfile>> rows() const;
+
+  /// The JSONL serialization save() writes.
+  std::string toJsonl() const;
+
+  /// Runs per row before record() halves it first (see record()).
+  static constexpr uint64_t DecayThreshold = 64;
+
+private:
+  mutable std::mutex Mu;
+  // GraphKey -> AxiomId -> profile. Two levels so adaptive seeding (one
+  // key, every axiom) does one outer lookup.
+  std::unordered_map<std::string,
+                     std::unordered_map<std::string, AxiomProfile>>
+      Rows;
+};
+
+} // namespace obs
+} // namespace denali
+
+#endif // DENALI_OBS_PROFILELEDGER_H

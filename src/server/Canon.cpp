@@ -177,26 +177,10 @@ Key128 denali::server::makeKey(std::string_view CanonText,
 }
 
 std::string denali::server::matchFingerprint(const driver::Options &Opts) {
-  const match::MatchLimits &M = Opts.Matching;
-  std::string F = strFormat(
-      "model=%d;guard=%d;prov=%d;rounds=%u;nodes=%zu;inst=%zu;budget=%llu;"
-      "phased=%d;eager=%d;seen=%zu;disp=%lld;lat=%d",
-      static_cast<int>(Opts.Model), Opts.EnforceGuard ? 1 : 0,
-      Opts.Explain ? 1 : 0, M.MaxRounds, M.MaxNodes, M.MaxInstancesPerRound,
-      (unsigned long long)M.MatchBudget, M.Phased ? 1 : 0,
-      M.EagerRebuild ? 1 : 0, M.SeenCap, (long long)Opts.Universe.MaxDisp,
-      Opts.Universe.TestLatencyDelta);
-  // Global latency injections (a test-only knob, but soundness first):
-  // include them sorted so the fingerprint is deterministic.
-  if (!Opts.Universe.LoadLatencyByAddr.empty()) {
-    std::vector<std::pair<egraph::ClassId, unsigned>> L(
-        Opts.Universe.LoadLatencyByAddr.begin(),
-        Opts.Universe.LoadLatencyByAddr.end());
-    std::sort(L.begin(), L.end());
-    for (auto &[C, Lat] : L)
-      F += strFormat(";miss%u=%u", C, Lat);
-  }
-  return F;
+  // The fingerprint logic lives in the driver (the profile ledger keys
+  // off the same identity and src/obs cannot see src/server); the server
+  // keeps this alias so its cache-key derivation reads locally.
+  return driver::matchOptionsFingerprint(Opts);
 }
 
 std::string denali::server::resultFingerprint(const driver::Options &Opts) {

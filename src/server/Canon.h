@@ -80,10 +80,12 @@ Key128 makeKey(std::string_view CanonText, std::string_view Fingerprint);
 
 /// Fingerprint of every driver option that influences saturation and the
 /// resulting SaturatedGma (machine model, match limits, universe knobs,
-/// guard enforcement, provenance mode). Requests agreeing on this — and
-/// on canonical text — may share one warm e-graph. Match parallelism
-/// (MatchLimits::Threads) is deliberately excluded: the PR 6 parallel
-/// matcher is bit-identical for any thread count.
+/// guard enforcement, provenance mode, adaptive scheduling). Requests
+/// agreeing on this — and on canonical text — may share one warm e-graph.
+/// Match parallelism (MatchLimits::Threads) is deliberately excluded: the
+/// PR 6 parallel matcher is bit-identical for any thread count. Delegates
+/// to driver::matchOptionsFingerprint, which also keys the profile
+/// ledger (with the adaptive bit masked; see driver::profileLedgerKey).
 std::string matchFingerprint(const driver::Options &Opts);
 
 /// Fingerprint of every option that influences the full GmaResult: the

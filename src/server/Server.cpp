@@ -6,10 +6,12 @@
 #include "support/Timer.h"
 #include "verify/GmaText.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <deque>
 #include <istream>
+#include <map>
 #include <ostream>
 #include <unordered_map>
 
@@ -511,5 +513,47 @@ std::string CompileServer::statsFullText() const {
   Out += Lat("cold", WinCold);
   Out += Lat("warm", WinWarm);
   Out += Lat("hit", WinHit);
+  // Top-5 axioms by accumulated self-time, from the saturation profiler's
+  // live match.axiom.<id>.* counter family (empty until a cold compile
+  // has saturated something). Self-time = match + instantiate.
+  struct AxiomRow {
+    std::string Id;
+    uint64_t SelfUs = 0, Raw = 0, Instances = 0;
+  };
+  std::map<std::string, AxiomRow> ByAxiom;
+  const std::string Prefix = "match.axiom.";
+  for (const auto &[Name, Value] :
+       obs::Registry::global().countersWithPrefix(Prefix)) {
+    size_t LeafDot = Name.rfind('.');
+    if (LeafDot == std::string::npos || LeafDot <= Prefix.size())
+      continue;
+    std::string Id = Name.substr(Prefix.size(), LeafDot - Prefix.size());
+    std::string Leaf = Name.substr(LeafDot + 1);
+    AxiomRow &Row = ByAxiom[Id];
+    Row.Id = Id;
+    if (Leaf == "match_us" || Leaf == "inst_us")
+      Row.SelfUs += Value;
+    else if (Leaf == "raw")
+      Row.Raw = Value;
+    else if (Leaf == "instances")
+      Row.Instances = Value;
+  }
+  std::vector<AxiomRow> Rows;
+  Rows.reserve(ByAxiom.size());
+  for (auto &[Id, Row] : ByAxiom)
+    Rows.push_back(std::move(Row));
+  std::sort(Rows.begin(), Rows.end(),
+            [](const AxiomRow &A, const AxiomRow &B) {
+              if (A.SelfUs != B.SelfUs)
+                return A.SelfUs > B.SelfUs;
+              return A.Id < B.Id;
+            });
+  if (Rows.size() > 5)
+    Rows.resize(5);
+  for (const AxiomRow &Row : Rows)
+    Out += strFormat(
+        " (axiom \"%s\" :self-us %llu :raw %llu :instances %llu)",
+        Row.Id.c_str(), (unsigned long long)Row.SelfUs,
+        (unsigned long long)Row.Raw, (unsigned long long)Row.Instances);
   return Out + ")";
 }

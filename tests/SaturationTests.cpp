@@ -175,6 +175,21 @@ void expectStatsIdentical(const match::MatchStats &A,
   EXPECT_EQ(A.CongruenceMerges, B.CongruenceMerges);
   EXPECT_EQ(A.ConstantFolds, B.ConstantFolds);
   EXPECT_EQ(A.Rebuilds, B.Rebuilds);
+  EXPECT_EQ(A.AdaptiveSeeded, B.AdaptiveSeeded);
+  EXPECT_EQ(A.AdaptiveDemoted, B.AdaptiveDemoted);
+  // Per-axiom attribution: every field except the wall-time *Ns pair is
+  // deterministic and thread-count-independent.
+  ASSERT_EQ(A.PerAxiom.size(), B.PerAxiom.size());
+  for (size_t I = 0; I < A.PerAxiom.size(); ++I) {
+    SCOPED_TRACE(I);
+    EXPECT_EQ(A.PerAxiom[I].Raw, B.PerAxiom[I].Raw);
+    EXPECT_EQ(A.PerAxiom[I].Instances, B.PerAxiom[I].Instances);
+    EXPECT_EQ(A.PerAxiom[I].Merges, B.PerAxiom[I].Merges);
+    EXPECT_EQ(A.PerAxiom[I].Overflows, B.PerAxiom[I].Overflows);
+    EXPECT_EQ(A.PerAxiom[I].Skips, B.PerAxiom[I].Skips);
+    EXPECT_EQ(A.PerAxiom[I].FirstRound, B.PerAxiom[I].FirstRound);
+    EXPECT_EQ(A.PerAxiom[I].LastRound, B.PerAxiom[I].LastRound);
+  }
 }
 
 //===----------------------------------------------------------------------===

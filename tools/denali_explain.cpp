@@ -42,12 +42,24 @@
 //     dedup — with per-round averages, so a scheduling regression is
 //     diagnosable from a metrics file alone.
 //
+//   denali_explain rules <ledger.jsonl> [--top N]
+//   denali_explain rules <baseline.jsonl> <current.jsonl> [--tolerance PCT]
+//                  [--min-us N] [--top N]
+//     Reports a `--profile-ledger` capture: per axiom (aggregated across
+//     graph keys and averaged per run), self time, raw matches, asserted
+//     instances, and yield per microsecond — top-N by self time. With two
+//     ledgers, diffs per-run self time per axiom and exits nonzero when an
+//     axiom regresses by both --tolerance percent and --min-us
+//     microseconds (same gate as profile mode); yield/count changes are
+//     reported but never gated.
+//
 // Every malformed input — missing, empty, truncated, or schema-less —
 // produces a clear diagnostic and a nonzero exit; the failure-mode tests
 // in tests/CMakeLists.txt pin each one.
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/ProfileLedger.h"
 #include "support/Json.h"
 #include "support/StringExtras.h"
 
@@ -627,6 +639,146 @@ int profileReport(const char *BasePath, const char *CurPath,
   return 0;
 }
 
+/// One axiom's ledger rows aggregated across graph keys, normalized per
+/// saturation run (Runs differs per key, so totals alone would weight a
+/// frequently-run fingerprint over an expensive one).
+struct RuleRow {
+  double SelfUs = 0; ///< (MatchNs + InstantiateNs) / Runs, in µs.
+  double Raw = 0, Instances = 0, Merges = 0, Skips = 0;
+  uint64_t Runs = 0; ///< Max Runs over the axiom's keys.
+  double yieldPerUs() const {
+    return SelfUs > 0 ? Instances / SelfUs : 0.0;
+  }
+};
+
+/// Loads \p Path as a profile ledger and aggregates per axiom id. The
+/// tool is stricter than ProfileLedger::load: a missing or empty file is
+/// an error (there is nothing to report), not a cold start.
+bool ruleRows(const char *Path, std::map<std::string, RuleRow> &Rows,
+              size_t &Keys) {
+  std::string Text;
+  if (!readFile(Path, Text))
+    return false;
+  obs::ProfileLedger Ledger;
+  std::string Err;
+  if (!Ledger.loadText(Text, &Err)) {
+    std::fprintf(stderr, "%s: %s: %s\n", Prog, Path, Err.c_str());
+    return false;
+  }
+  if (Ledger.size() == 0) {
+    std::fprintf(stderr,
+                 "%s: %s: no ledger rows (not a --profile-ledger file?)\n",
+                 Prog, Path);
+    return false;
+  }
+  std::map<std::string, bool> SeenKeys;
+  for (const auto &[Key, Id, P] : Ledger.rows()) {
+    SeenKeys[Key] = true;
+    RuleRow &R = Rows[Id];
+    double Runs = P.Runs ? static_cast<double>(P.Runs) : 1.0;
+    R.SelfUs += static_cast<double>(P.MatchNs + P.InstantiateNs) / 1000.0 /
+                Runs;
+    R.Raw += static_cast<double>(P.Raw) / Runs;
+    R.Instances += static_cast<double>(P.Instances) / Runs;
+    R.Merges += static_cast<double>(P.Merges) / Runs;
+    R.Skips += static_cast<double>(P.Skips) / Runs;
+    R.Runs = std::max(R.Runs, P.Runs);
+  }
+  Keys = SeenKeys.size();
+  return true;
+}
+
+/// Single-ledger report: top axioms by per-run self time.
+int rulesReport(const char *Path, size_t TopN) {
+  std::map<std::string, RuleRow> Rows;
+  size_t Keys = 0;
+  if (!ruleRows(Path, Rows, Keys))
+    return 1;
+  std::vector<std::pair<std::string, RuleRow>> Sorted(Rows.begin(),
+                                                      Rows.end());
+  std::sort(Sorted.begin(), Sorted.end(), [](const auto &A, const auto &B) {
+    if (A.second.SelfUs != B.second.SelfUs)
+      return A.second.SelfUs > B.second.SelfUs;
+    return A.first < B.first;
+  });
+  size_t Unproductive = 0;
+  for (const auto &[Id, R] : Rows)
+    if (R.Instances == 0 && R.Merges == 0)
+      ++Unproductive;
+  std::printf("%zu axiom(s) across %zu graph key(s), %zu never productive; "
+              "top %zu by self time per run:\n",
+              Rows.size(), Keys, Unproductive,
+              std::min(TopN, Sorted.size()));
+  std::printf("  %-28s %10s %10s %10s %10s\n", "axiom", "self(us)", "raw",
+              "instances", "yield/us");
+  for (size_t I = 0; I < Sorted.size() && I < TopN; ++I) {
+    const RuleRow &R = Sorted[I].second;
+    std::printf("  %-28s %10.1f %10.1f %10.1f %10.3f\n",
+                Sorted[I].first.c_str(), R.SelfUs, R.Raw, R.Instances,
+                R.yieldPerUs());
+  }
+  return 0;
+}
+
+/// Two-ledger regression diff: per-run self time per axiom, gated exactly
+/// like profile mode (percent AND absolute floor). Axioms present in only
+/// one capture are reported but never gated — rule sets legitimately
+/// change between versions.
+int rulesDiffReport(const char *BasePath, const char *CurPath,
+                    double TolerancePct, double MinUs, size_t TopN) {
+  std::map<std::string, RuleRow> B, C;
+  size_t Keys = 0;
+  if (!ruleRows(BasePath, B, Keys) || !ruleRows(CurPath, C, Keys))
+    return 1;
+
+  size_t Regressions = 0, Compared = 0, Unshared = 0;
+  std::vector<std::pair<double, std::string>> Printed;
+  for (const auto &[Id, BR] : B) {
+    auto It = C.find(Id);
+    if (It == C.end()) {
+      ++Unshared;
+      continue;
+    }
+    const RuleRow &CR = It->second;
+    ++Compared;
+    double DeltaUs = CR.SelfUs - BR.SelfUs;
+    double Pct = BR.SelfUs > 0 ? DeltaUs / BR.SelfUs * 100.0
+                               : (CR.SelfUs > 0 ? 1e9 : 0.0);
+    bool Reg = CR.SelfUs > BR.SelfUs * (1.0 + TolerancePct / 100.0) &&
+               DeltaUs > MinUs;
+    if (Reg)
+      ++Regressions;
+    Printed.push_back(
+        {std::abs(DeltaUs),
+         strFormat("  %-28s %10.1f %10.1f %+9.1f%%  yield %.3f -> %.3f%s",
+                   Id.c_str(), BR.SelfUs, CR.SelfUs, Pct, BR.yieldPerUs(),
+                   CR.yieldPerUs(), Reg ? "  REGRESSED" : "")});
+  }
+  for (const auto &[Id, CR] : C)
+    if (!B.count(Id))
+      ++Unshared;
+  if (Compared == 0) {
+    std::fprintf(stderr, "%s: no axiom shared by '%s' and '%s'\n", Prog,
+                 BasePath, CurPath);
+    return 1;
+  }
+  std::sort(Printed.rbegin(), Printed.rend());
+  std::printf("%zu axiom(s) compared, %zu unshared (tolerance %.0f%%, "
+              "floor %.0fus); top %zu by |delta self time|:\n",
+              Compared, Unshared, TolerancePct, MinUs,
+              std::min(TopN, Printed.size()));
+  std::printf("  %-28s %10s %10s %10s\n", "axiom", "base(us)", "cur(us)",
+              "delta");
+  for (size_t I = 0; I < Printed.size() && I < TopN; ++I)
+    std::printf("%s\n", Printed[I].second.c_str());
+  if (Regressions) {
+    std::fprintf(stderr, "%s: %zu axiom regression(s)\n", Prog, Regressions);
+    return 1;
+  }
+  std::printf("no regressions\n");
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -641,7 +793,7 @@ int main(int argc, char **argv) {
   auto isKnownMode = [](const char *M) {
     return !std::strcmp(M, "trace") || !std::strcmp(M, "metrics") ||
            !std::strcmp(M, "explain") || !std::strcmp(M, "egraph") ||
-           !std::strcmp(M, "profile");
+           !std::strcmp(M, "profile") || !std::strcmp(M, "rules");
   };
   int ArgBase = 2;
   if (Mode && !isKnownMode(Mode) && Mode[0] != '-' &&
@@ -651,14 +803,19 @@ int main(int argc, char **argv) {
   }
   const char *Path = argc > ArgBase ? argv[ArgBase] : nullptr;
   const bool IsProfile = Mode && !std::strcmp(Mode, "profile");
-  const char *Path2 = IsProfile && argc > ArgBase + 1 ? argv[ArgBase + 1]
-                                                      : nullptr;
+  // rules takes an optional second ledger (diff form).
+  const bool IsRules = Mode && !std::strcmp(Mode, "rules");
+  const char *Path2 = nullptr;
+  if (IsProfile && argc > ArgBase + 1)
+    Path2 = argv[ArgBase + 1];
+  else if (IsRules && argc > ArgBase + 1 && argv[ArgBase + 1][0] != '-')
+    Path2 = argv[ArgBase + 1];
   size_t TopN = 10;
   std::string Require;
   bool RequireChains = false;
   double TolerancePct = 10;
   double MinUs = 50;
-  for (int I = ArgBase + (IsProfile ? 2 : 1); I < argc; ++I) {
+  for (int I = ArgBase + (Path2 ? 2 : 1); I < argc; ++I) {
     if (!std::strcmp(argv[I], "--top") && I + 1 < argc)
       TopN = static_cast<size_t>(std::atoll(argv[++I]));
     else if (!std::strcmp(argv[I], "--require") && I + 1 < argc)
@@ -684,6 +841,10 @@ int main(int argc, char **argv) {
     return egraphReport(Path);
   if (IsProfile && Path && Path2)
     return profileReport(Path, Path2, TolerancePct, MinUs, Require, TopN);
+  if (IsRules && Path && Path2)
+    return rulesDiffReport(Path, Path2, TolerancePct, MinUs, TopN);
+  if (IsRules && Path)
+    return rulesReport(Path, TopN);
   std::fprintf(stderr,
                "usage: %s trace <trace.json> [--top N]\n"
                "       %s metrics <metrics.txt> [--require name,name,...]\n"
@@ -691,7 +852,9 @@ int main(int argc, char **argv) {
                "       %s egraph <egraph.json | metrics.txt>\n"
                "       %s profile <baseline> <current> [--tolerance PCT]\n"
                "               [--min-us N] [--require name,...] [--top N]\n"
-               "         (captures: two trace.json or two metrics.txt)\n",
-               Prog, Prog, Prog, Prog, Prog);
+               "         (captures: two trace.json or two metrics.txt)\n"
+               "       %s rules <ledger.jsonl> [<current.jsonl>]\n"
+               "               [--tolerance PCT] [--min-us N] [--top N]\n",
+               Prog, Prog, Prog, Prog, Prog, Prog);
   return 2;
 }

@@ -25,6 +25,12 @@
 //     --match-budget N / --match-phases / --match-threads N /
 //     --match-eager-rebuild
 //                        saturation scheduling knobs (as in `denali`)
+//     --profile-ledger=FILE
+//                        merge FILE (per-axiom saturation-profile JSONL)
+//                        into the run and write the aggregate back on exit
+//     --match-adaptive   seed per-axiom budgets and phases from ledger
+//                        history (as in `denali`; runs that quiesce reach
+//                        the identical closure)
 //     --no-guard         drop guard-before-memory enforcement
 //     --machine NAME     machine-model backend (alpha, rv64; default alpha)
 //     --trace-out=FILE / --jsonl-out=FILE / --metrics-out=FILE /
@@ -218,6 +224,11 @@ int main(int argc, char **argv) {
       Opts.Matching.Threads = static_cast<unsigned>(std::atoi(V));
     } else if (std::strcmp(Arg, "--match-eager-rebuild") == 0) {
       Opts.Matching.EagerRebuild = true;
+    } else if (const char *V =
+                   flagValue(Arg, "--profile-ledger", I, argc, argv)) {
+      Opts.ProfileLedgerPath = V;
+    } else if (std::strcmp(Arg, "--match-adaptive") == 0) {
+      Opts.MatchAdaptive = true;
     } else if (std::strcmp(Arg, "--no-guard") == 0) {
       Opts.EnforceGuard = false;
     } else if (const char *V = flagValue(Arg, "--machine", I, argc, argv)) {
@@ -273,6 +284,14 @@ int main(int argc, char **argv) {
   if (PrintStatsFull)
     std::printf("%s\n", Server.statsFullText().c_str());
 
+  if (!Opts.ProfileLedgerPath.empty()) {
+    std::string LedgerErr;
+    if (!Server.opt().saveProfileLedger(&LedgerErr)) {
+      std::fprintf(stderr, "error: cannot write profile ledger: %s\n",
+                   LedgerErr.c_str());
+      Rc = 1;
+    }
+  }
   if (Opts.Obs.Enabled && !obs::exportConfigured())
     Rc = 1;
   return Rc;
